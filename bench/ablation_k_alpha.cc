@@ -1,0 +1,107 @@
+// Ablation (DESIGN.md §6): the bound hyper-parameters k (tightening
+// iterations) and α (row/column balancing). The paper fixes k = 5 and
+// α = 0.9 with a one-line justification; this harness quantifies
+//   (a) bound tightness vs. the true spectral radius across (k, α),
+//   (b) evaluation cost vs. k,
+//   (c) end-to-end recovery F1 when LEAST runs with each (k, α).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "constraint/spectral_bound.h"
+#include "data/benchmark_data.h"
+#include "linalg/power_iteration.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace least::bench {
+namespace {
+
+// Mid-optimization-like matrix: sparse DAG + weak back edges.
+DenseMatrix RealisticW(int d, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix w(d, d);
+  for (int i = 0; i < d; ++i) {
+    for (int j = i + 1; j < d; ++j) {
+      if (rng.Bernoulli(2.5 / d)) w(i, j) = rng.Uniform(0.5, 1.5);
+    }
+  }
+  for (int t = 0; t < d / 10; ++t) {
+    const int i = rng.UniformInt(d);
+    const int j = rng.UniformInt(d);
+    if (i > j) w(i, j) = rng.Uniform(0.01, 0.2);
+  }
+  // A genuine 3-cycle so the true spectral radius is positive.
+  w(0, 1) = 0.8;
+  w(1, 2) = 0.8;
+  w(2, 0) = 0.8;
+  return w;
+}
+
+int Run() {
+  const double scale = Scale(1.0);
+  PrintBanner("Ablation: bound iterations k and balancing factor alpha",
+              scale);
+
+  // ---- (a)+(b) tightness and cost. ----
+  const int d = static_cast<int>(200 * std::max(1.0, scale));
+  DenseMatrix w = RealisticW(d, 7);
+  const double radius = SpectralRadius(w.HadamardSquare());
+  std::printf("matrix: d=%d, nnz=%lld, true spectral radius of S = %.4g\n\n",
+              d, w.CountNonZeros(), radius);
+
+  TablePrinter tight({"k", "alpha", "bound", "bound/radius", "eval (ms)"});
+  DenseMatrix grad(d, d);
+  for (int k : {0, 1, 2, 3, 5, 8, 12}) {
+    for (double alpha : {0.1, 0.5, 0.9}) {
+      SpectralBoundConstraint c({.k = k, .alpha = alpha});
+      Stopwatch watch;
+      double bound = 0.0;
+      const int reps = 5;
+      for (int rep = 0; rep < reps; ++rep) bound = c.Evaluate(w, &grad);
+      char bound_str[32], ratio_str[32];
+      std::snprintf(bound_str, sizeof(bound_str), "%.3e", bound);
+      std::snprintf(ratio_str, sizeof(ratio_str), "%.2e",
+                    radius > 0 ? bound / radius : 0.0);
+      tight.AddRow({std::to_string(k), TablePrinter::Fmt(alpha, 1),
+                    bound_str, ratio_str,
+                    TablePrinter::Fmt(watch.Millis() / reps, 2)});
+    }
+  }
+  std::printf("%s\n", tight.ToString().c_str());
+
+  // ---- (c) end-to-end recovery. ----
+  TablePrinter end2end({"k", "alpha", "F1", "SHD", "time (s)"});
+  BenchmarkConfig cfg;
+  cfg.d = static_cast<int>(30 * std::max(1.0, scale));
+  cfg.seed = 11;
+  BenchmarkInstance inst = MakeBenchmarkInstance(cfg);
+  for (int k : {1, 3, 5, 8}) {
+    for (double alpha : {0.5, 0.9}) {
+      LearnOptions opt;
+      opt.k = k;
+      opt.alpha = alpha;
+      opt.lambda1 = 0.1;
+      opt.learning_rate = 0.03;
+      opt.max_outer_iterations = 20;
+      opt.max_inner_iterations = 150;
+      ProtocolResult p = RunPaperProtocol(inst.x, inst.w_true, "least", opt);
+      end2end.AddRow({std::to_string(k), TablePrinter::Fmt(alpha, 1),
+                      TablePrinter::Fmt(p.metrics.f1, 3),
+                      TablePrinter::Fmt(p.metrics.shd),
+                      TablePrinter::Fmt(p.seconds, 2)});
+    }
+  }
+  std::printf("%s\n", end2end.ToString().c_str());
+  std::printf(
+      "Paper reference: k ~ 5 suffices; alpha = 0.9 (their default). Note "
+      "the literal recursion *loosens* with small alpha / large k on dense "
+      "matrices (bound explodes, recovery collapses) — the k = 5, alpha = "
+      "0.9 operating point the paper picks is the stable corner.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace least::bench
+
+int main() { return least::bench::Run(); }

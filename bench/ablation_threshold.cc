@@ -1,0 +1,110 @@
+// Ablation (DESIGN.md §6): the optimization-time filter θ (paper Fig. 3
+// INNER line 9) and the sparse initial density ζ. θ is what removes
+// cycle-inducing parasite entries for good (Section IV: "removing these
+// elements makes W remain sparse throughout the optimization"); ζ decides
+// how much of the support the sparse learner can ever recover.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/least.h"
+#include "core/least_sparse.h"
+#include "data/benchmark_data.h"
+#include "metrics/structure_metrics.h"
+#include "util/table_printer.h"
+
+namespace least::bench {
+namespace {
+
+int Run() {
+  const double scale = Scale(1.0);
+  PrintBanner("Ablation: filter threshold theta and init density zeta",
+              scale);
+
+  // ---- θ on the dense learner. ----
+  BenchmarkConfig cfg;
+  cfg.d = static_cast<int>(30 * std::max(1.0, scale));
+  cfg.seed = 19;
+  BenchmarkInstance inst = MakeBenchmarkInstance(cfg);
+
+  TablePrinter theta_table(
+      {"theta", "F1", "SHD", "converged", "final bound", "outer"});
+  for (double theta : {0.0, 0.005, 0.02, 0.05, 0.1, 0.2}) {
+    LearnOptions opt;
+    opt.lambda1 = 0.1;
+    opt.learning_rate = 0.03;
+    opt.filter_threshold = theta;
+    opt.tolerance = 1e-6;
+    opt.max_outer_iterations = 25;
+    opt.max_inner_iterations = 150;
+    LearnResult r = FitLeastDense(inst.x, opt);
+    StructureMetrics m = EvaluateStructure(inst.w_true, r.weights);
+    theta_table.AddRow({TablePrinter::Fmt(theta, 3),
+                        TablePrinter::Fmt(m.f1, 3), TablePrinter::Fmt(m.shd),
+                        r.status.ok() ? "yes" : "no",
+                        TablePrinter::Fmt(r.constraint_value, 8),
+                        TablePrinter::Fmt(
+                            static_cast<long long>(r.outer_iterations))});
+  }
+  std::printf("%s\n", theta_table.ToString().c_str());
+  std::printf(
+      "Shape: theta = 0 leaves the bound stuck at the optimizer's step-size "
+      "floor (tight tolerances unreachable); moderate theta collapses it to "
+      "exactly 0; huge theta begins to cut true edges.\n\n");
+
+  // ---- ζ on the sparse learner (fraction of support recoverable). ----
+  const int d = static_cast<int>(150 * std::max(1.0, scale));
+  BenchmarkConfig sparse_cfg;
+  sparse_cfg.d = d;
+  sparse_cfg.n = 5 * d;
+  sparse_cfg.seed = 23;
+  BenchmarkInstance sparse_inst = MakeBenchmarkInstance(sparse_cfg);
+
+  TablePrinter zeta_table({"zeta", "pattern nnz", "true edges in pattern",
+                           "TPR", "FDR", "converged"});
+  const long long true_edges = sparse_inst.w_true.CountNonZeros();
+  for (double zeta : {0.005, 0.02, 0.08, 0.3}) {
+    LearnOptions opt;
+    opt.lambda1 = 0.05;
+    opt.learning_rate = 0.03;
+    opt.filter_threshold = 0.05;
+    opt.init_density = zeta;
+    opt.batch_size = 256;
+    opt.tolerance = 1e-8;
+    opt.max_outer_iterations = 20;
+    opt.max_inner_iterations = 150;
+    opt.seed = 31;
+    LeastSparseLearner learner(opt);
+    DenseDataSource src(&sparse_inst.x);
+
+    // Count how many true edges the random ζ pattern could even contain:
+    // rerun the same pattern construction statistically via the learner's
+    // result trace (first trace point's nnz is the initial pattern size).
+    SparseLearnResult r = learner.Fit(src);
+    StructureMetrics m =
+        EvaluateStructure(sparse_inst.w_true, r.weights.ToDense());
+    const long long pattern0 =
+        r.trace.empty() ? 0 : static_cast<long long>(r.trace.front().nnz);
+    // Expected true edges covered by a ζ-density random pattern.
+    const long long expected_hits =
+        static_cast<long long>(zeta * static_cast<double>(true_edges));
+    zeta_table.AddRow({TablePrinter::Fmt(zeta, 3),
+                       TablePrinter::Fmt(pattern0),
+                       TablePrinter::Fmt(expected_hits) + " (expected)",
+                       TablePrinter::Fmt(m.tpr, 3),
+                       TablePrinter::Fmt(m.fdr, 3),
+                       r.status.ok() ? "yes" : "no"});
+  }
+  std::printf("%s\n", zeta_table.ToString().c_str());
+  std::printf(
+      "Shape: recovery is capped by the share of true edges that land in "
+      "the zeta-random pattern (TPR ~ zeta at small zeta) — the paper's "
+      "zeta = 1e-4 presumes d ~ 10^5 where zeta d^2 is still millions of "
+      "candidate entries.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace least::bench
+
+int main() { return least::bench::Run(); }

@@ -1,0 +1,92 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <map>
+
+namespace least::bench {
+
+ProtocolResult RunPaperProtocol(const DenseMatrix& x,
+                                const DenseMatrix& w_true,
+                                const std::string& algorithm,
+                                LearnOptions options) {
+  const std::vector<double> epsilon_grid = {1e-1, 1e-2, 1e-3, 1e-4};
+  const std::vector<double> tau_grid = {0.1, 0.2, 0.3, 0.4, 0.5};
+
+  const bool is_least = algorithm == "least";
+  options.tolerance = epsilon_grid.back();
+  if (is_least) {
+    options.track_exact_h = true;
+    options.terminate_on_h = true;
+    // The paper reports θ = 0 for the artificial benchmarks, but with an
+    // Adam inner solver the θ-culling (library default 0.05) is what keeps
+    // the non-Lipschitz bound from squeezing true edges; see
+    // learn_options.h and EXPERIMENTS.md. Callers can still force θ = 0.
+  } else {
+    options.filter_threshold = 0.0;  // NOTEARS has no thresholding step
+  }
+
+  ContinuousLearner learner =
+      is_least ? MakeLeastDenseLearner(options) : MakeNotearsLearner(options);
+  std::map<int, DenseMatrix> snapshots;  // outer round -> W copy
+  learner.set_snapshot_callback(
+      [&snapshots](int outer, const DenseMatrix& w, double) {
+        snapshots.emplace(outer, w);
+      });
+
+  ProtocolResult result;
+  result.run = learner.Fit(x);
+  result.seconds = result.run.seconds;
+  result.outer_iterations = result.run.outer_iterations;
+
+  // h value per outer round: tracked exactly for LEAST, equal to the
+  // constraint for NOTEARS.
+  auto h_at = [&](const TracePoint& tp) {
+    return is_least ? tp.h_value : tp.constraint_value;
+  };
+
+  // First crossing of each ε; fall back to the final round.
+  std::vector<int> crossing_outers;
+  for (double eps : epsilon_grid) {
+    int found = -1;
+    for (const TracePoint& tp : result.run.trace) {
+      if (h_at(tp) >= 0.0 && h_at(tp) <= eps) {
+        found = tp.outer;
+        break;
+      }
+    }
+    if (found < 0 && !result.run.trace.empty()) {
+      found = result.run.trace.back().outer;
+    }
+    crossing_outers.push_back(found);
+  }
+
+  double best_f1 = -1.0;
+  for (size_t e = 0; e < epsilon_grid.size(); ++e) {
+    const int outer = crossing_outers[e];
+    auto it = snapshots.find(outer);
+    if (it == snapshots.end()) continue;
+    for (double tau : tau_grid) {
+      DenseMatrix pruned = it->second;
+      pruned.ApplyThreshold(tau);
+      StructureMetrics m = EvaluateStructure(w_true, pruned);
+      if (m.f1 > best_f1) {
+        best_f1 = m.f1;
+        result.metrics = m;
+        result.best_epsilon = epsilon_grid[e];
+        result.best_tau = tau;
+        result.auc = EdgeAucRoc(w_true, it->second);
+      }
+    }
+  }
+  return result;
+}
+
+void PrintBanner(const std::string& what, double scale) {
+  std::printf("=== %s ===\n", what.c_str());
+  std::printf(
+      "scale=%.3g (set LEAST_BENCH_SCALE or LEAST_BENCH_FULL=1 for larger "
+      "runs; LEAST_BENCH_SEEDS for more seeds)\n\n",
+      scale);
+}
+
+}  // namespace least::bench

@@ -1,0 +1,63 @@
+/// \file bench_common.h
+/// \brief Shared helpers for the paper-reproduction benchmark harnesses.
+///
+/// Every harness prints the rows/series of one table or figure from the
+/// paper. Sizes default to a single-core-friendly scale and grow via:
+///   LEAST_BENCH_SCALE=<double>   fraction of the paper's full size
+///   LEAST_BENCH_FULL=1           shorthand for scale = 1
+///   LEAST_BENCH_SEEDS=<int>      seeds per configuration (default 1)
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/least.h"
+#include "core/learn_options.h"
+#include "linalg/dense_matrix.h"
+#include "metrics/structure_metrics.h"
+#include "util/env.h"
+
+namespace least::bench {
+
+/// Workload scale factor from the environment.
+inline double Scale(double fallback) {
+  if (EnvFlag("LEAST_BENCH_FULL")) return 1.0;
+  return EnvDouble("LEAST_BENCH_SCALE", fallback);
+}
+
+/// Seeds per configuration.
+inline int Seeds(int fallback = 1) {
+  return EnvInt("LEAST_BENCH_SEEDS", fallback);
+}
+
+/// \brief Outcome of the paper's Section V-A evaluation protocol.
+struct ProtocolResult {
+  StructureMetrics metrics;  ///< best-F1 metrics over the (ε, τ) grid
+  double auc = 0.5;          ///< AUC-ROC of the chosen snapshot (pre-prune)
+  double best_epsilon = 0.0;
+  double best_tau = 0.0;
+  double seconds = 0.0;      ///< wall time of the underlying single run
+  int outer_iterations = 0;
+  LearnResult run;           ///< full result (trace etc.)
+};
+
+/// \brief Runs a learner with the paper's protocol: one optimization to the
+/// tightest tolerance, snapshots of W at every ε crossing of the grid
+/// {1e-1, 1e-2, 1e-3, 1e-4}, then a grid search over pruning thresholds
+/// τ ∈ {0.1..0.5}; the best F1 against `w_true` is reported ("we apply a
+/// grid search for the two hyper-parameters ε and τ and report the result
+/// of the best case").
+///
+/// `algorithm` is "least" or "notears". For LEAST, h(W) is tracked exactly
+/// and used both for the ε grid and for termination (the paper's modified
+/// termination rule); for NOTEARS the constraint already is h(W).
+ProtocolResult RunPaperProtocol(const DenseMatrix& x,
+                                const DenseMatrix& w_true,
+                                const std::string& algorithm,
+                                LearnOptions options);
+
+/// Prints a standard harness banner with the active scale.
+void PrintBanner(const std::string& what, double scale);
+
+}  // namespace least::bench

@@ -1,0 +1,100 @@
+// Kernel microbenchmark backing the paper's complexity claims (Sections
+// III and V): one evaluation (value + gradient) of each acyclicity
+// constraint across graph sizes. The spectral bound must scale ~O(d²)
+// dense / ~O(nnz) sparse, versus O(d³) for the expm/poly baselines —
+// this is the mechanism behind the Fig. 4 row 4 speedups.
+
+#include <benchmark/benchmark.h>
+
+#include "constraint/expm_trace.h"
+#include "constraint/poly_trace.h"
+#include "constraint/power_iteration_constraint.h"
+#include "constraint/spectral_bound.h"
+#include "graph/graph_generator.h"
+#include "util/rng.h"
+
+namespace least {
+namespace {
+
+DenseMatrix DenseW(int d, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix w = DenseMatrix::RandomUniform(d, d, -0.5, 0.5, rng);
+  w.FillDiagonal(0.0);
+  return w;
+}
+
+CsrMatrix SparseW(int d, uint64_t seed) {
+  Rng rng(seed);
+  return SparseRandomDagWeights(GraphType::kErdosRenyi, d, 4.0, rng);
+}
+
+void BM_SpectralBoundDense(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  DenseMatrix w = DenseW(d, 3);
+  DenseMatrix grad(d, d);
+  SpectralBoundConstraint c;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.Evaluate(w, &grad));
+  }
+  state.SetComplexityN(d);
+}
+BENCHMARK(BM_SpectralBoundDense)->RangeMultiplier(2)->Range(32, 512)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_ExpmTrace(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  DenseMatrix w = DenseW(d, 3);
+  DenseMatrix grad(d, d);
+  ExpmTraceConstraint c;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.Evaluate(w, &grad));
+  }
+  state.SetComplexityN(d);
+}
+BENCHMARK(BM_ExpmTrace)->RangeMultiplier(2)->Range(32, 512)
+    ->Iterations(3)->Complexity(benchmark::oNCubed);
+
+void BM_PolyTrace(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  DenseMatrix w = DenseW(d, 3);
+  DenseMatrix grad(d, d);
+  PolyTraceConstraint c;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.Evaluate(w, &grad));
+  }
+  state.SetComplexityN(d);
+}
+BENCHMARK(BM_PolyTrace)->RangeMultiplier(2)->Range(32, 256)->Iterations(3);
+
+void BM_PowerIterationConstraint(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  DenseMatrix w = DenseW(d, 3);
+  DenseMatrix grad(d, d);
+  PowerIterationConstraint c(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.Evaluate(w, &grad));
+  }
+  state.SetComplexityN(d);
+}
+BENCHMARK(BM_PowerIterationConstraint)->RangeMultiplier(2)->Range(32, 512);
+
+void BM_SpectralBoundSparse(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  CsrMatrix w = SparseW(d, 5);
+  std::vector<double> grad;
+  SparseBoundWorkspace ws;
+  SpectralBoundOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpectralBoundSparse(w, opts, &grad, &ws));
+  }
+  state.SetComplexityN(d);
+}
+// Near-linear in d at fixed average degree: runs up to 131k nodes — a size
+// where a single dense expm evaluation would be ~10^15 flops.
+BENCHMARK(BM_SpectralBoundSparse)->RangeMultiplier(4)->Range(512, 131072)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace least
+
+BENCHMARK_MAIN();

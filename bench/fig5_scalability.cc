@@ -1,0 +1,107 @@
+// Reproduces Fig. 5 (paper Section V-B): convergence of the spectral bound
+// δ̄(W) and the (estimated) NOTEARS constraint h(W) against wall time for
+// LEAST-SP on three large sparse workloads shaped like the paper's
+// Movielens (27,278 nodes), App-Security (91,850) and App-Recom (159,008)
+// datasets. The proprietary datasets are replaced by sparse LSEM stand-ins
+// of the same shape (DESIGN.md §4); h(W) at this scale is estimated by
+// Hutchinson stochastic trace estimation, since no dense e^S can exist.
+//
+// Expected shape (paper): both curves decrease together to ~1e-8-ish
+// levels; LEAST-SP handles all three sizes. NOTEARS cannot run at all at
+// these sizes (a dense d x d alone would be tens of gigabytes).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/least_sparse.h"
+#include "data/streaming_lsem.h"
+#include "graph/graph_generator.h"
+#include "util/table_printer.h"
+
+namespace least::bench {
+namespace {
+
+struct Dataset {
+  const char* name;
+  int full_nodes;
+  int full_samples;
+};
+
+int Run() {
+  const double scale = Scale(0.02);
+  PrintBanner("Fig. 5: LEAST-SP scalability on large sparse workloads",
+              scale);
+
+  const std::vector<Dataset> datasets = {
+      {"Movielens-like", 27278, 138493},
+      {"App-Security-like", 91850, 1000000},
+      {"App-Recom-like", 159008, 584871},
+  };
+
+  for (const Dataset& ds : datasets) {
+    const int d = std::max(400, static_cast<int>(ds.full_nodes * scale));
+    const int n = std::max(10000, static_cast<int>(ds.full_samples * scale));
+    std::printf("--- %s: d = %d (full %d), n = %d (full %d) ---\n", ds.name,
+                d, ds.full_nodes, n, ds.full_samples);
+
+    Rng rng(29);
+    CsrMatrix w_true =
+        SparseRandomDagWeights(GraphType::kScaleFree, d, 4.0, rng);
+    LsemOptions sem;
+    StreamingLsemSource source(w_true, n, sem, /*base_seed=*/71);
+
+    LearnOptions opt;
+    opt.batch_size = 512;              // paper: B = 1000 on a larger box
+    opt.filter_threshold = 0.02;       // paper: θ = 1e-3 (see DESIGN.md)
+    opt.tolerance = 1e-8;              // paper: ε = 1e-8
+    opt.lambda1 = 0.05;
+    opt.learning_rate = 0.03;
+    opt.max_outer_iterations = 10;
+    opt.max_inner_iterations = 60;
+    opt.track_estimated_h = true;
+    opt.init_density = 1e-4;
+
+    // Candidate support: the true edges plus an equal volume of random
+    // decoys (the ζ-density random pattern alone would carry no signal at
+    // reduced scale; at the paper's full 1e5-node scale ζ d² is plenty).
+    std::vector<std::pair<int, int>> candidates;
+    for (int i = 0; i < d; ++i) {
+      for (int64_t e = w_true.row_ptr()[i]; e < w_true.row_ptr()[i + 1];
+           ++e) {
+        candidates.push_back({i, w_true.col_idx()[e]});
+      }
+    }
+    const size_t true_edges = candidates.size();
+    for (size_t t = 0; t < true_edges; ++t) {
+      const int i = rng.UniformInt(d);
+      const int j = rng.UniformInt(d);
+      if (i != j) candidates.push_back({i, j});
+    }
+
+    LeastSparseLearner learner(opt);
+    learner.set_candidate_edges(std::move(candidates));
+    SparseLearnResult r = learner.Fit(source);
+
+    TablePrinter table({"time (s)", "spectral bound", "h(W) est.", "nnz(W)"});
+    for (const TracePoint& tp : r.trace) {
+      table.AddRow({TablePrinter::Fmt(tp.seconds, 2),
+                    TablePrinter::Fmt(tp.constraint_value, 8),
+                    tp.h_value >= 0.0 ? TablePrinter::Fmt(tp.h_value, 8)
+                                      : "-",
+                    TablePrinter::Fmt(static_cast<long long>(tp.nnz))});
+    }
+    std::printf("%s", table.ToString().c_str());
+    std::printf("status: %s, total %.1fs\n\n", r.status.ToString().c_str(),
+                r.seconds);
+  }
+  std::printf(
+      "Paper reference: bound and h fall together to ~1e-8; full-size runs "
+      "took 89.4h / 67.2h / 6.5h on the paper's hardware. NOTEARS cannot "
+      "represent these sizes at all (dense e^S).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace least::bench
+
+int main() { return least::bench::Run(); }

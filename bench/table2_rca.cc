@@ -1,0 +1,104 @@
+// Reproduces Table II and Fig. 7 (paper Section VI-A): the ticket-booking
+// monitoring pipeline. Simulated Fliggy-style logs receive injected
+// root-cause scenarios; a BN is learned on the monitored window with LEAST
+// and anomalous cause paths are reported with p-values, then scored
+// against the injected ground truth (the Fig. 7 true/false-positive
+// breakdown — the paper reports 97% TP / 3% FP from manual review).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/least.h"
+#include "data/booking_simulator.h"
+#include "rca/root_cause.h"
+#include "sem/lsem_sampler.h"
+#include "util/table_printer.h"
+
+namespace least::bench {
+namespace {
+
+int Run() {
+  const double scale = Scale(0.5);
+  PrintBanner("Table II + Fig. 7: booking anomaly root-cause analysis",
+              scale);
+
+  int total_tp = 0, total_fp = 0, total_found = 0, total_scenarios = 0;
+  TablePrinter table({"case", "identified anomaly path", "p-value",
+                      "support T / T'", "injected event"});
+  const int cases = std::max(1, static_cast<int>(4 * scale));
+  for (int c = 0; c < cases; ++c) {
+    BookingConfig cfg;
+    cfg.records_previous = static_cast<int>(20000 * std::min(1.0, scale));
+    cfg.records_current = cfg.records_previous;
+    cfg.num_anomalies = 3;
+    cfg.seed = 101 + c;
+    BookingDataset ds = SimulateBookingLogs(cfg);
+
+    // Learn the BN on the monitored window (paper: every half hour on the
+    // last 24h of logs; LEAST finishes in 2–3 minutes at production size).
+    DenseMatrix x = ds.current;
+    CenterColumns(&x);
+    LearnOptions opt;
+    opt.lambda1 = 0.003;
+    opt.learning_rate = 0.03;
+    opt.filter_threshold = 0.01;
+    opt.prune_threshold = 0.02;
+    opt.max_outer_iterations = 30;
+    opt.max_inner_iterations = 600;
+    opt.tolerance = 1e-8;
+    LearnResult learned = FitLeastDense(x, opt);
+
+    RcaOptions rca;
+    rca.edge_tolerance = 0.02;
+    rca.p_value_threshold = 1e-6;
+    auto reports = DetectAnomalies(learned.raw_weights, ds.error_nodes,
+                                   ds.current, ds.previous, rca);
+    RcaEvaluation eval = EvaluateReports(reports, ds.injected);
+    total_tp += eval.true_positives;
+    total_fp += eval.false_positives;
+    total_found += eval.scenarios_found;
+    total_scenarios += eval.scenarios_total;
+
+    int shown = 0;
+    for (const AnomalyReport& report : reports) {
+      if (shown++ >= 3) break;  // top three per case, like Table II rows
+      // Attribute the report to an injected event if one matches.
+      std::string event = "(unmatched)";
+      for (const AnomalyScenario& sc : ds.injected) {
+        if (report.path.back() != sc.error_step) continue;
+        for (int node : sc.condition_nodes) {
+          if (std::find(report.path.begin(), report.path.end(), node) !=
+              report.path.end()) {
+            event = sc.description;
+            break;
+          }
+        }
+      }
+      char pval[32];
+      std::snprintf(pval, sizeof(pval), "%.1e", report.p_value);
+      table.AddRow({"case-" + std::to_string(c + 1),
+                    report.Format(ds.node_names), pval,
+                    std::to_string(report.support_current) + " / " +
+                        std::to_string(report.support_previous),
+                    event});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  const int total_reports = total_tp + total_fp;
+  std::printf("Fig. 7 analog: %d reports -> %.0f%% true positives, %.0f%% "
+              "false positives; %d/%d injected scenarios recovered.\n",
+              total_reports,
+              total_reports ? 100.0 * total_tp / total_reports : 0.0,
+              total_reports ? 100.0 * total_fp / total_reports : 0.0,
+              total_found, total_scenarios);
+  std::printf(
+      "Paper reference: 97%% of reported cases were true positives, 3%% "
+      "false alarms.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace least::bench
+
+int main() { return least::bench::Run(); }

@@ -1,0 +1,135 @@
+// Reproduces Table IV and Fig. 8 (paper Section VI-C): the explainable
+// recommendation case study. Learns the item-to-item graph from synthetic
+// MovieLens-style ratings with LEAST-SP, prints the top-10 positive edges
+// with ground-truth remarks (the "same series / same genre" column of
+// Table IV), extracts a Fig. 8-style neighborhood subgraph, and checks the
+// paper's blockbuster/niche in/out-degree asymmetry observation.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/least_sparse.h"
+#include "data/ratings_generator.h"
+#include "graph/dag.h"
+#include "util/table_printer.h"
+
+namespace least::bench {
+namespace {
+
+std::string Remark(const RatingsInstance& inst, int from, int to) {
+  const ItemInfo& a = inst.items[from];
+  const ItemInfo& b = inst.items[to];
+  if (a.series >= 0 && a.series == b.series) return "same series";
+  if (a.genre == b.genre) return "same genre";
+  return "-";
+}
+
+int Run() {
+  const double scale = Scale(1.0);
+  PrintBanner("Table IV + Fig. 8: explainable recommendation case study",
+              scale);
+
+  RatingsConfig cfg;
+  cfg.num_items = static_cast<int>(120 * std::max(1.0, scale));
+  cfg.num_users = static_cast<int>(6000 * std::max(1.0, scale));
+  cfg.num_series = cfg.num_items / 5;
+  cfg.seed = 5;
+  RatingsInstance inst = MakeRatings(cfg);
+
+  LearnOptions opt;
+  opt.batch_size = 512;
+  opt.lambda1 = 0.002;
+  opt.learning_rate = 0.03;
+  opt.filter_threshold = 0.02;
+  opt.prune_threshold = 0.03;
+  opt.tolerance = 1e-6;
+  opt.max_outer_iterations = 20;
+  opt.max_inner_iterations = 150;
+  LeastSparseLearner learner(opt);
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < cfg.num_items; ++i) {
+    for (int j = 0; j < cfg.num_items; ++j) {
+      if (i != j) pairs.push_back({i, j});
+    }
+  }
+  learner.set_candidate_edges(std::move(pairs));
+  CsrDataSource src(&inst.ratings);
+  SparseLearnResult r = learner.Fit(src);
+  DenseMatrix learned = r.weights.ToDense();
+
+  // ---- Table IV: top-10 positive learned edges. ----
+  auto edges = EdgesFromDense(learned);
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.weight > b.weight;
+            });
+  TablePrinter table({"link from", "link to", "weight", "remark"});
+  int same_series = 0;
+  const int top = std::min<int>(10, static_cast<int>(edges.size()));
+  for (int e = 0; e < top; ++e) {
+    const std::string remark = Remark(inst, edges[e].from, edges[e].to);
+    same_series += remark == "same series";
+    table.AddRow({inst.items[edges[e].from].name,
+                  inst.items[edges[e].to].name,
+                  TablePrinter::Fmt(edges[e].weight, 3), remark});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("top-%d edges: %d same-series (paper Table IV: 5/10 same "
+              "series, rest same period/director/genre)\n\n",
+              top, same_series);
+
+  // ---- Fig. 8: neighborhood subgraph around a well-connected item. ----
+  AdjacencyList adj = AdjacencyFromDense(learned, 0.02);
+  DegreeSummary deg = Degrees(adj);
+  int hub = 0;
+  for (int i = 1; i < cfg.num_items; ++i) {
+    if (deg.in[i] + deg.out[i] > deg.in[hub] + deg.out[hub]) hub = i;
+  }
+  auto nodes = NeighborhoodNodes(adj, hub, 1);
+  std::printf("Fig. 8 analog: radius-1 subgraph around \"%s\": %zu nodes\n",
+              inst.items[hub].name.c_str(), nodes.size());
+  for (int a : nodes) {
+    for (int b : adj[a]) {
+      if (std::find(nodes.begin(), nodes.end(), b) != nodes.end()) {
+        std::printf("  %s -> %s (%.3f, %s)\n", inst.items[a].name.c_str(),
+                    inst.items[b].name.c_str(), learned(a, b),
+                    learned(a, b) > 0 ? "positive" : "negative");
+      }
+    }
+  }
+
+  // ---- Blockbuster / niche degree asymmetry. ----
+  double blockbuster_in = 0, blockbuster_out = 0, niche_in = 0,
+         niche_out = 0;
+  int nb = 0, nn = 0;
+  for (int i = 0; i < cfg.num_items; ++i) {
+    if (inst.items[i].blockbuster) {
+      blockbuster_in += deg.in[i];
+      blockbuster_out += deg.out[i];
+      ++nb;
+    }
+    if (inst.items[i].niche) {
+      niche_in += deg.in[i];
+      niche_out += deg.out[i];
+      ++nn;
+    }
+  }
+  if (nb > 0 && nn > 0) {
+    std::printf(
+        "\nDegree asymmetry (learned graph): blockbusters avg in=%.1f "
+        "out=%.1f; niche avg in=%.1f out=%.1f\n",
+        blockbuster_in / nb, blockbuster_out / nb, niche_in / nn,
+        niche_out / nn);
+    std::printf(
+        "Paper reference: blockbusters (Star Wars V: 68 in, 0 out) attract "
+        "links; niche titles (The New Land: 221 out, 0 in) emit them.\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace least::bench
+
+int main() { return least::bench::Run(); }

@@ -1,0 +1,58 @@
+// Gene-expression analysis (paper Section VI-B): infer a gene regulatory
+// network from expression samples and compare LEAST with the NOTEARS
+// baseline on the same data — the paper's Table I experiment at Sachs
+// scale (11 genes, 17 interactions, 1000 samples).
+//
+// Build & run:  ./build/examples/gene_expression
+
+#include <cstdio>
+
+#include "core/least.h"
+#include "data/gene_network.h"
+#include "metrics/structure_metrics.h"
+
+namespace {
+
+void Report(const char* name, const least::LearnResult& result,
+            const least::GeneNetworkInstance& instance) {
+  least::StructureMetrics m =
+      least::EvaluateStructure(instance.w_true, result.weights);
+  const double auc = least::EdgeAucRoc(instance.w_true, result.raw_weights);
+  std::printf("%-8s  pred=%-3lld TP=%-3lld FDR=%.3f TPR=%.3f SHD=%-3lld "
+              "F1=%.3f AUC=%.3f  (%.2fs)\n",
+              name, m.pred_edges, m.true_positive, m.fdr, m.tpr, m.shd, m.f1,
+              auc, result.seconds);
+}
+
+}  // namespace
+
+int main() {
+  // Sachs-shaped synthetic regulatory network (the real Sachs data is a
+  // bnlearn download; the generator matches its node/edge/sample counts).
+  least::GeneNetworkConfig config =
+      least::GeneConfigForProfile(least::GeneProfile::kSachs);
+  config.seed = 7;
+  least::GeneNetworkInstance instance = least::MakeGeneNetwork(config);
+  std::printf("gene network: %d genes, %d interactions, %d expression "
+              "samples\n\n",
+              config.num_genes, instance.actual_edges, config.num_samples);
+
+  least::LearnOptions options;
+  options.lambda1 = 0.05;
+  options.learning_rate = 0.03;
+  options.max_outer_iterations = 25;
+  options.max_inner_iterations = 150;
+  options.prune_threshold = 0.25;
+  options.tolerance = 1e-6;
+
+  Report("LEAST", least::FitLeastDense(instance.x, options), instance);
+  Report("NOTEARS", least::FitNotears(instance.x, options), instance);
+
+  std::printf("\npaper reference on the real Sachs data: F1 0.437 vs 0.412, "
+              "AUC 0.947 vs 0.925 (LEAST vs NOTEARS); on clean synthetic "
+              "LSEM samples both do better, with the same ordering.\n");
+  std::printf("scale up to E. coli / Yeast shapes with "
+              "GeneConfigForProfile(GeneProfile::kEcoli /* or kYeast */) — "
+              "see bench/table1_gene.\n");
+  return 0;
+}

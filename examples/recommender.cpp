@@ -1,0 +1,92 @@
+// Explainable recommendation (paper Section VI-C): learn an item-to-item
+// graph from user ratings with the sparse learner, inspect the strongest
+// links (the paper's Table IV), and extract a neighborhood subgraph around
+// one movie (the paper's Fig. 8 "Braveheart" example).
+//
+// Build & run:  ./build/examples/recommender
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/least_sparse.h"
+#include "data/ratings_generator.h"
+#include "graph/dag.h"
+
+int main() {
+  // --- Synthetic MovieLens-style ratings with known ground truth:
+  // series chains, genres, blockbusters and niche titles.
+  least::RatingsConfig config;
+  config.num_items = 80;
+  config.num_users = 5000;
+  config.num_series = 16;
+  config.seed = 11;
+  least::RatingsInstance data = least::MakeRatings(config);
+  std::printf("ratings: %d users x %d items, %lld centered ratings\n",
+              config.num_users, config.num_items,
+              static_cast<long long>(data.ratings.nnz()));
+
+  // --- Learn the item graph with LEAST-SP over the sparse rating rows.
+  least::LearnOptions options;
+  options.batch_size = 512;
+  options.lambda1 = 0.002;
+  options.learning_rate = 0.03;
+  options.filter_threshold = 0.02;
+  options.prune_threshold = 0.03;
+  options.tolerance = 1e-6;
+  options.max_outer_iterations = 20;
+  options.max_inner_iterations = 150;
+  least::LeastSparseLearner learner(options);
+  std::vector<std::pair<int, int>> candidates;
+  for (int i = 0; i < config.num_items; ++i) {
+    for (int j = 0; j < config.num_items; ++j) {
+      if (i != j) candidates.push_back({i, j});
+    }
+  }
+  learner.set_candidate_edges(std::move(candidates));
+  least::CsrDataSource source(&data.ratings);
+  least::SparseLearnResult result = learner.Fit(source);
+  least::DenseMatrix learned = result.weights.ToDense();
+  std::printf("learned item graph: %lld edges in %.1fs\n\n",
+              static_cast<long long>(result.weights.nnz()), result.seconds);
+
+  // --- Table IV analog: strongest positive links with explanations.
+  auto edges = least::EdgesFromDense(learned);
+  std::sort(edges.begin(), edges.end(),
+            [](const least::WeightedEdge& a, const least::WeightedEdge& b) {
+              return a.weight > b.weight;
+            });
+  std::printf("top learned links:\n");
+  for (size_t e = 0; e < std::min<size_t>(8, edges.size()); ++e) {
+    const least::ItemInfo& from = data.items[edges[e].from];
+    const least::ItemInfo& to = data.items[edges[e].to];
+    const char* why = (from.series >= 0 && from.series == to.series)
+                          ? "same series"
+                          : (from.genre == to.genre ? "same genre" : "-");
+    std::printf("  %.3f  %-28s -> %-28s  [%s]\n", edges[e].weight,
+                from.name.c_str(), to.name.c_str(), why);
+  }
+
+  // --- Fig. 8 analog: the subgraph around the best-connected item.
+  least::AdjacencyList adj = least::AdjacencyFromDense(learned, 0.02);
+  least::DegreeSummary deg = least::Degrees(adj);
+  int hub = 0;
+  for (int i = 1; i < config.num_items; ++i) {
+    if (deg.in[i] + deg.out[i] > deg.in[hub] + deg.out[hub]) hub = i;
+  }
+  auto nodes = least::NeighborhoodNodes(adj, hub, 1);
+  std::printf("\nsubgraph around \"%s\" (%zu nodes):\n",
+              data.items[hub].name.c_str(), nodes.size());
+  for (int a : nodes) {
+    for (int b : adj[a]) {
+      if (std::find(nodes.begin(), nodes.end(), b) != nodes.end()) {
+        std::printf("  %s -> %s (%s)\n", data.items[a].name.c_str(),
+                    data.items[b].name.c_str(),
+                    learned(a, b) > 0 ? "green/positive" : "red/negative");
+      }
+    }
+  }
+  std::printf("\nreading the graph like the paper: follow outgoing edges "
+              "from a movie the user rated, multiplying the rating by edge "
+              "weights — positive products predict \"will like\".\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ticket-booking monitoring (paper Section VI-A): the Fliggy-style
+// near-real-time anomaly detection and root-cause analysis pipeline.
+//
+//   1. simulate booking logs: a baseline window T' and a monitored window T
+//      with injected incidents (airline outage, city lockdown, ...);
+//   2. learn a Bayesian network over error/airline/fare/city/agent
+//      indicator nodes with LEAST on the monitored window;
+//   3. walk incoming paths of each error node and z-test their support
+//      across windows; report significant paths root-cause-first.
+//
+// Build & run:  ./build/examples/ticket_monitoring
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/least.h"
+#include "data/booking_simulator.h"
+#include "rca/root_cause.h"
+#include "sem/lsem_sampler.h"
+
+int main() {
+  // --- 1. Two log windows; 3 incidents injected into the current one.
+  least::BookingConfig config;
+  config.records_previous = 15000;
+  config.records_current = 15000;
+  config.num_anomalies = 3;
+  config.seed = 2026;
+  least::BookingDataset logs = least::SimulateBookingLogs(config);
+  std::printf("simulated %d baseline + %d monitored booking records over "
+              "%d nodes\n",
+              logs.previous.rows(), logs.current.rows(), logs.num_nodes());
+  std::printf("injected incidents (hidden from the pipeline):\n");
+  for (const least::AnomalyScenario& s : logs.injected) {
+    std::printf("  * %s (fails %s)\n", s.description.c_str(),
+                least::BookingStepName(s.error_step));
+  }
+
+  // --- 2. Learn the BN on the monitored window (the paper re-learns every
+  // half hour on the last 24h of logs; one run takes LEAST 2-3 minutes at
+  // production scale).
+  least::DenseMatrix x = logs.current;
+  least::CenterColumns(&x);
+  least::LearnOptions options;
+  options.lambda1 = 0.003;
+  options.learning_rate = 0.03;
+  options.filter_threshold = 0.01;
+  options.prune_threshold = 0.02;
+  options.tolerance = 1e-8;
+  options.max_outer_iterations = 30;
+  options.max_inner_iterations = 600;
+  least::LearnResult learned = least::FitLeastDense(x, options);
+  std::printf("\nlearned monitoring BN: %lld edges (%.2fs)\n",
+              learned.raw_weights.CountNonZeros(0.02), learned.seconds);
+
+  // --- 3. Root-cause analysis.
+  least::RcaOptions rca;
+  rca.edge_tolerance = 0.02;
+  rca.p_value_threshold = 1e-6;
+  auto reports = least::DetectAnomalies(learned.raw_weights, logs.error_nodes,
+                                        logs.current, logs.previous, rca);
+  std::printf("\n%zu anomalous cause paths detected:\n", reports.size());
+  int shown = 0;
+  for (const least::AnomalyReport& report : reports) {
+    if (shown++ >= 8) break;
+    std::printf("  p=%-9.2e support %4lld (was %4lld)   %s\n",
+                report.p_value, report.support_current,
+                report.support_previous,
+                report.Format(logs.node_names).c_str());
+  }
+
+  least::RcaEvaluation eval = least::EvaluateReports(reports, logs.injected);
+  std::printf("\nscored against injected truth: %d/%d incidents recovered, "
+              "%d true-positive vs %d false-positive reports\n",
+              eval.scenarios_found, eval.scenarios_total,
+              eval.true_positives, eval.false_positives);
+  return 0;
+}

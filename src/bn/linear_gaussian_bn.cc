@@ -1,0 +1,160 @@
+#include "bn/linear_gaussian_bn.h"
+
+#include <cmath>
+
+#include "linalg/lu.h"
+
+namespace least {
+
+Result<LinearGaussianBn> LinearGaussianBn::Fit(const DenseMatrix& structure,
+                                               const DenseMatrix& x,
+                                               double support_tol) {
+  if (structure.rows() != structure.cols()) {
+    return Status::InvalidArgument("structure must be square");
+  }
+  const int d = structure.rows();
+  if (x.cols() != d) {
+    return Status::InvalidArgument("data/structure dimension mismatch");
+  }
+  const int n = x.rows();
+  if (n < 2) {
+    return Status::InvalidArgument("need at least two samples");
+  }
+  AdjacencyList adj = AdjacencyFromDense(structure, support_tol);
+  auto order = TopologicalSort(adj);
+  if (!order.ok()) {
+    return Status::InvalidArgument("structure support is cyclic");
+  }
+
+  LinearGaussianBn bn;
+  bn.weights_ = DenseMatrix(d, d);
+  bn.intercepts_.assign(d, 0.0);
+  bn.noise_variances_.assign(d, 0.0);
+  bn.topo_order_ = std::move(order).value();
+
+  // Parent lists per node.
+  std::vector<std::vector<int>> parents(d);
+  for (int p = 0; p < d; ++p) {
+    for (int child : adj[p]) parents[child].push_back(p);
+  }
+
+  for (int node = 0; node < d; ++node) {
+    const auto& pa = parents[node];
+    const int k = static_cast<int>(pa.size());
+    if (n <= k + 1) {
+      return Status::InvalidArgument(
+          "too few samples (" + std::to_string(n) + ") to fit node " +
+          std::to_string(node) + " with " + std::to_string(k) + " parents");
+    }
+    // OLS with intercept: solve (Z^T Z) beta = Z^T y, Z = [1, parents].
+    const int m = k + 1;
+    DenseMatrix ztz(m, m);
+    std::vector<double> zty(m, 0.0);
+    for (int s = 0; s < n; ++s) {
+      const double* row = x.row(s);
+      const double y = row[node];
+      // z = (1, x_pa...).
+      ztz(0, 0) += 1.0;
+      zty[0] += y;
+      for (int a = 0; a < k; ++a) {
+        const double za = row[pa[a]];
+        ztz(0, a + 1) += za;
+        ztz(a + 1, 0) += za;
+        zty[a + 1] += za * y;
+        for (int b = 0; b < k; ++b) {
+          ztz(a + 1, b + 1) += za * row[pa[b]];
+        }
+      }
+    }
+    // Tiny ridge keeps collinear parents solvable.
+    for (int i = 0; i < m; ++i) ztz(i, i) += 1e-9 * n;
+    auto lu = LuFactorization::Factor(ztz);
+    if (!lu.ok()) {
+      return Status::Internal("singular design matrix at node " +
+                              std::to_string(node));
+    }
+    std::vector<double> beta = lu.value().Solve(zty);
+    bn.intercepts_[node] = beta[0];
+    for (int a = 0; a < k; ++a) bn.weights_(pa[a], node) = beta[a + 1];
+
+    // Residual variance (ML estimate; floored for degenerate columns).
+    double rss = 0.0;
+    for (int s = 0; s < n; ++s) {
+      const double* row = x.row(s);
+      double mean = beta[0];
+      for (int a = 0; a < k; ++a) mean += beta[a + 1] * row[pa[a]];
+      const double r = row[node] - mean;
+      rss += r * r;
+    }
+    bn.noise_variances_[node] = std::max(rss / n, 1e-12);
+  }
+  return bn;
+}
+
+double LinearGaussianBn::LogLikelihood(std::span<const double> sample) const {
+  const int d = dim();
+  LEAST_CHECK(static_cast<int>(sample.size()) == d);
+  constexpr double kLog2Pi = 1.8378770664093454;
+  double ll = 0.0;
+  for (int node = 0; node < d; ++node) {
+    double mean = intercepts_[node];
+    for (int p = 0; p < d; ++p) {
+      const double w = weights_(p, node);
+      if (w != 0.0) mean += w * sample[p];
+    }
+    const double var = noise_variances_[node];
+    const double r = sample[node] - mean;
+    ll += -0.5 * (kLog2Pi + std::log(var) + r * r / var);
+  }
+  return ll;
+}
+
+double LinearGaussianBn::MeanLogLikelihood(const DenseMatrix& x) const {
+  LEAST_CHECK(x.cols() == dim());
+  if (x.rows() == 0) return 0.0;
+  double total = 0.0;
+  for (int s = 0; s < x.rows(); ++s) {
+    total += LogLikelihood(std::span<const double>(x.row(s), dim()));
+  }
+  return total / x.rows();
+}
+
+double LinearGaussianBn::Bic(const DenseMatrix& x) const {
+  const double n = std::max(1, x.rows());
+  const double log_l = MeanLogLikelihood(x) * n;
+  const double params = static_cast<double>(num_edges()) + 2.0 * dim();
+  return -2.0 * log_l + params * std::log(n);
+}
+
+DenseMatrix LinearGaussianBn::Sample(int n, Rng& rng) const {
+  const int d = dim();
+  DenseMatrix x(n, d);
+  for (int s = 0; s < n; ++s) {
+    double* row = x.row(s);
+    for (int node : topo_order_) {
+      double v = intercepts_[node] +
+                 rng.Gaussian(0.0, std::sqrt(noise_variances_[node]));
+      for (int p = 0; p < d; ++p) {
+        const double w = weights_(p, node);
+        if (w != 0.0) v += w * row[p];
+      }
+      row[node] = v;
+    }
+  }
+  return x;
+}
+
+double LinearGaussianBn::PredictMean(int target,
+                                     std::span<const double> sample) const {
+  const int d = dim();
+  LEAST_CHECK(target >= 0 && target < d);
+  LEAST_CHECK(static_cast<int>(sample.size()) == d);
+  double mean = intercepts_[target];
+  for (int p = 0; p < d; ++p) {
+    const double w = weights_(p, target);
+    if (w != 0.0) mean += w * sample[p];
+  }
+  return mean;
+}
+
+}  // namespace least

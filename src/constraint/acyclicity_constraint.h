@@ -1,0 +1,35 @@
+/// \file acyclicity_constraint.h
+/// \brief Common interface for differentiable acyclicity measures.
+///
+/// Continuous structure learning (Fig. 1 of the paper) minimizes a data loss
+/// subject to `constraint(W) = 0`, where the constraint is some smooth
+/// non-negative function that vanishes iff the support of W is acyclic
+/// (exactly, for NOTEARS' h and DAG-GNN's g) or that upper-bounds a quantity
+/// which vanishes iff acyclic (LEAST's spectral bound). All implementations
+/// evaluate on S = W ∘ W internally and report gradients with respect to W.
+
+#pragma once
+
+#include <string_view>
+
+#include "linalg/dense_matrix.h"
+
+namespace least {
+
+/// \brief A differentiable function of W that is zero (or bounds a quantity
+/// that is zero) exactly when G(W) is a DAG.
+class AcyclicityConstraint {
+ public:
+  virtual ~AcyclicityConstraint() = default;
+
+  /// Short identifier for logs and benchmark tables.
+  virtual std::string_view name() const = 0;
+
+  /// Returns the constraint value for a square weight matrix. When
+  /// `grad_out` is non-null it must have the same shape as `w` and is
+  /// overwritten with the gradient d(value)/dW.
+  virtual double Evaluate(const DenseMatrix& w,
+                          DenseMatrix* grad_out) const = 0;
+};
+
+}  // namespace least

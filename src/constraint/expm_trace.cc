@@ -1,0 +1,28 @@
+#include "constraint/expm_trace.h"
+
+#include "linalg/expm.h"
+
+namespace least {
+
+double ExpmTraceConstraint::Evaluate(const DenseMatrix& w,
+                                     DenseMatrix* grad_out) const {
+  LEAST_CHECK(w.rows() == w.cols());
+  const int d = w.rows();
+  DenseMatrix s = w.HadamardSquare();
+  DenseMatrix e = Expm(s);
+  const double h = e.Trace() - d;
+  if (grad_out != nullptr) {
+    LEAST_CHECK(grad_out->SameShape(w));
+    // ∇_W h = (e^S)^T ∘ 2W.
+    for (int i = 0; i < d; ++i) {
+      double* out = grad_out->row(i);
+      const double* w_row = w.row(i);
+      for (int j = 0; j < d; ++j) {
+        out[j] = 2.0 * e(j, i) * w_row[j];
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace least

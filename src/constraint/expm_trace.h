@@ -1,0 +1,22 @@
+/// \file expm_trace.h
+/// \brief NOTEARS acyclicity constraint [38]: h(W) = Tr(e^{W∘W}) − d.
+///
+/// h is zero iff G(W) is a DAG: the (i,i) entry of S^k sums the weights of
+/// all k-step closed walks through i, so Tr(e^S) = d exactly when no cycle
+/// exists. Gradient: ∇_W h = (e^S)^T ∘ 2W. Cost is O(d³) time / O(d²) space
+/// per evaluation — the bottleneck motivating LEAST.
+
+#pragma once
+
+#include "constraint/acyclicity_constraint.h"
+
+namespace least {
+
+/// \brief Matrix-exponential trace constraint (the NOTEARS baseline).
+class ExpmTraceConstraint final : public AcyclicityConstraint {
+ public:
+  std::string_view name() const override { return "expm-trace"; }
+  double Evaluate(const DenseMatrix& w, DenseMatrix* grad_out) const override;
+};
+
+}  // namespace least

@@ -1,0 +1,56 @@
+#include "constraint/poly_trace.h"
+
+namespace least {
+
+namespace {
+
+// Binary powering: returns base^exp for square `base`.
+DenseMatrix MatrixPower(DenseMatrix base, int exp) {
+  LEAST_CHECK(exp >= 0);
+  const int d = base.rows();
+  DenseMatrix result = DenseMatrix::Identity(d);
+  DenseMatrix tmp(d, d);
+  while (exp > 0) {
+    if (exp & 1) {
+      MatmulInto(result, base, &tmp);
+      std::swap(result, tmp);
+    }
+    exp >>= 1;
+    if (exp > 0) {
+      MatmulInto(base, base, &tmp);
+      std::swap(base, tmp);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+double PolyTraceConstraint::Evaluate(const DenseMatrix& w,
+                                     DenseMatrix* grad_out) const {
+  LEAST_CHECK(w.rows() == w.cols());
+  const int d = w.rows();
+  if (d == 0) return 0.0;
+  DenseMatrix m = w.HadamardSquare();
+  m.Scale(1.0 / d);
+  for (int i = 0; i < d; ++i) m(i, i) += 1.0;  // M = I + S/d
+
+  // Need M^{d-1} for the gradient and M^d = M^{d-1} * M for the value.
+  DenseMatrix m_pow = MatrixPower(m, d - 1);
+  DenseMatrix m_full = Matmul(m_pow, m);
+  const double g = m_full.Trace() - d;
+  if (grad_out != nullptr) {
+    LEAST_CHECK(grad_out->SameShape(w));
+    // d Tr(M^d)/dS = (M^{d-1})^T (chain through S/d and S = W∘W).
+    for (int i = 0; i < d; ++i) {
+      double* out = grad_out->row(i);
+      const double* w_row = w.row(i);
+      for (int j = 0; j < d; ++j) {
+        out[j] = 2.0 * m_pow(j, i) * w_row[j];
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace least

@@ -1,0 +1,26 @@
+/// \file poly_trace.h
+/// \brief Polynomial acyclicity constraint (DAG-GNN [37] / paper Eq. 3):
+/// g(W) = Tr((I + S/d)^d) − d with S = W ∘ W.
+///
+/// A simple cycle has at most d nodes, so the binomial expansion of
+/// (I + S/d)^d contains every Tr(S^k), k ≤ d, with positive coefficients:
+/// g = 0 iff G(W) is a DAG. The S/d scaling (used by the DAG-GNN reference
+/// implementation) keeps the powers from overflowing; the paper's Eq. (3)
+/// states the unscaled variant. Gradient: ∇_W g = ((I+S/d)^{d−1})^T ∘ 2W.
+/// Cost O(d³ log d) via binary powering — asymptotically *worse* than
+/// NOTEARS' expm, which is why it only appears as a baseline here.
+
+#pragma once
+
+#include "constraint/acyclicity_constraint.h"
+
+namespace least {
+
+/// \brief Matrix-power trace constraint (DAG-GNN-style baseline).
+class PolyTraceConstraint final : public AcyclicityConstraint {
+ public:
+  std::string_view name() const override { return "poly-trace"; }
+  double Evaluate(const DenseMatrix& w, DenseMatrix* grad_out) const override;
+};
+
+}  // namespace least

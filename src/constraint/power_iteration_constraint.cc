@@ -1,0 +1,74 @@
+#include "constraint/power_iteration_constraint.h"
+
+#include <cmath>
+
+namespace least {
+
+PowerIterationConstraint::PowerIterationConstraint(int iterations)
+    : iterations_(iterations) {
+  LEAST_CHECK(iterations_ >= 1);
+}
+
+double PowerIterationConstraint::Evaluate(const DenseMatrix& w,
+                                          DenseMatrix* grad_out) const {
+  LEAST_CHECK(w.rows() == w.cols());
+  const int d = w.rows();
+  if (d == 0) return 0.0;
+  DenseMatrix s = w.HadamardSquare();
+  DenseMatrix st = s.Transpose();
+
+  std::vector<double> v(d, 1.0), u(d, 1.0), tmp(d);
+  bool collapsed = false;
+  auto normalize = [&](std::vector<double>& vec) {
+    double norm = 0.0;
+    for (double x : vec) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-150) {
+      // Nilpotent direction: the iterate died, the radius is 0.
+      collapsed = true;
+      return;
+    }
+    for (double& x : vec) x /= norm;
+  };
+  for (int t = 0; t < iterations_ && !collapsed; ++t) {
+    MatvecInto(s, v, tmp);
+    std::swap(v, tmp);
+    normalize(v);
+    MatvecInto(st, u, tmp);
+    std::swap(u, tmp);
+    normalize(u);
+  }
+  if (collapsed) {
+    if (grad_out != nullptr) {
+      LEAST_CHECK(grad_out->SameShape(w));
+      grad_out->Fill(0.0);
+    }
+    return 0.0;
+  }
+
+  MatvecInto(s, v, tmp);  // tmp = S v
+  double usv = 0.0, uv = 0.0;
+  for (int i = 0; i < d; ++i) {
+    usv += u[i] * tmp[i];
+    uv += u[i] * v[i];
+  }
+  // u, v are entrywise non-negative for non-negative S started from ones,
+  // but guard the denominator anyway.
+  const double denom = std::max(uv, 1e-12);
+  const double radius = usv / denom;
+
+  if (grad_out != nullptr) {
+    LEAST_CHECK(grad_out->SameShape(w));
+    // ∇_S δ ≈ u vᵀ / uᵀv; chain through S = W ∘ W.
+    for (int i = 0; i < d; ++i) {
+      double* out = grad_out->row(i);
+      const double* w_row = w.row(i);
+      for (int j = 0; j < d; ++j) {
+        out[j] = 2.0 * (u[i] * v[j] / denom) * w_row[j];
+      }
+    }
+  }
+  return radius;
+}
+
+}  // namespace least

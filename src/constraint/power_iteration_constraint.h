@@ -1,0 +1,32 @@
+/// \file power_iteration_constraint.h
+/// \brief Spectral-radius constraint in the style of NO-BEARS [18].
+///
+/// Prior work penalizes the spectral radius δ of S = W ∘ W directly,
+/// estimating it with power iteration: run T steps to get approximate right
+/// and left dominant eigenvectors v, u, take the Rayleigh-style estimate
+/// δ ≈ uᵀ S v / uᵀ v, and use the first-order gradient
+/// ∇_S δ ≈ u vᵀ / (uᵀ v) (eigenvalue perturbation, treating u, v as
+/// constants). Each evaluation costs O(T · d²) dense — the O(d²) approach
+/// the paper cites when motivating its cheaper bound. Included as a
+/// baseline for the ablation benches.
+
+#pragma once
+
+#include "constraint/acyclicity_constraint.h"
+
+namespace least {
+
+/// \brief Power-iteration spectral radius estimate (NO-BEARS baseline).
+class PowerIterationConstraint final : public AcyclicityConstraint {
+ public:
+  /// `iterations` power steps are unrolled per evaluation.
+  explicit PowerIterationConstraint(int iterations = 8);
+
+  std::string_view name() const override { return "power-iteration"; }
+  double Evaluate(const DenseMatrix& w, DenseMatrix* grad_out) const override;
+
+ private:
+  int iterations_;
+};
+
+}  // namespace least

@@ -1,0 +1,263 @@
+#include "constraint/spectral_bound.h"
+
+#include <cmath>
+
+namespace least {
+
+namespace {
+
+// ∂b/∂r = α r^{α-1} c^{1-α}. Clamped to 0 at the non-differentiable r = 0
+// boundary (α < 1); equals α (c/r)^{1-α} elsewhere. α = 1 degenerates to 1.
+inline double DbDr(double r, double c, double alpha) {
+  if (alpha == 0.0) return 0.0;
+  if (alpha == 1.0) return 1.0;
+  if (r <= 0.0) return 0.0;
+  return alpha * std::pow(c / r, 1.0 - alpha);
+}
+
+// ∂b/∂c, symmetric to DbDr.
+inline double DbDc(double r, double c, double alpha) {
+  if (alpha == 1.0) return 0.0;
+  if (alpha == 0.0) return 1.0;
+  if (c <= 0.0) return 0.0;
+  return (1.0 - alpha) * std::pow(r / c, alpha);
+}
+
+// b = r^α c^{1-α}; std::pow(0,0) = 1 makes the α ∈ {0,1} ends exact.
+inline double BalancedBound(double r, double c, double alpha) {
+  return std::pow(r, alpha) * std::pow(c, 1.0 - alpha);
+}
+
+}  // namespace
+
+SpectralBoundConstraint::SpectralBoundConstraint(
+    const SpectralBoundOptions& options)
+    : options_(options) {
+  LEAST_CHECK(options_.k >= 0);
+  LEAST_CHECK(options_.alpha >= 0.0 && options_.alpha <= 1.0);
+}
+
+double SpectralBoundConstraint::Evaluate(const DenseMatrix& w,
+                                         DenseMatrix* grad_out) const {
+  LEAST_CHECK(w.rows() == w.cols());
+  const int d = w.rows();
+  const int k = options_.k;
+  const double alpha = options_.alpha;
+
+  // ---- Forward pass: levels S(0)..S(k), keeping all of them for backward.
+  std::vector<DenseMatrix> s_levels;
+  s_levels.reserve(k + 1);
+  s_levels.push_back(w.HadamardSquare());
+  std::vector<std::vector<double>> r_levels(k + 1), c_levels(k + 1),
+      b_levels(k + 1);
+  for (int j = 0; j <= k; ++j) {
+    const DenseMatrix& s = s_levels[j];
+    r_levels[j] = s.RowSums();
+    c_levels[j] = s.ColSums();
+    b_levels[j].resize(d);
+    for (int i = 0; i < d; ++i) {
+      b_levels[j][i] = BalancedBound(r_levels[j][i], c_levels[j][i], alpha);
+    }
+    if (j < k) {
+      DenseMatrix next(d, d);
+      const std::vector<double>& b = b_levels[j];
+      for (int i = 0; i < d; ++i) {
+        const double bi = b[i];
+        const double* src = s.row(i);
+        double* dst = next.row(i);
+        if (bi <= 0.0) continue;  // paper convention: (D^{-1})[i,i] = 0
+        const double inv_bi = 1.0 / bi;
+        for (int l = 0; l < d; ++l) dst[l] = src[l] * b[l] * inv_bi;
+      }
+      s_levels.push_back(std::move(next));
+    }
+  }
+  double bound = 0.0;
+  for (double v : b_levels[k]) bound += v;
+
+  if (grad_out == nullptr) return bound;
+
+  // ---- Backward pass.
+  LEAST_CHECK(grad_out->SameShape(w));
+  auto make_xy = [&](int j, std::vector<double>& x, std::vector<double>& y) {
+    x.resize(d);
+    y.resize(d);
+    for (int i = 0; i < d; ++i) {
+      x[i] = DbDr(r_levels[j][i], c_levels[j][i], alpha);
+      y[i] = DbDc(r_levels[j][i], c_levels[j][i], alpha);
+    }
+  };
+
+  std::vector<double> x, y;
+  make_xy(k, x, y);
+  // Seed: G(k)[i,l] = x[i] + y[l].
+  DenseMatrix g(d, d);
+  for (int i = 0; i < d; ++i) {
+    double* row = g.row(i);
+    for (int l = 0; l < d; ++l) row[l] = x[i] + y[l];
+  }
+
+  std::vector<double> z(d);
+  for (int j = k - 1; j >= 0; --j) {
+    const DenseMatrix& s = s_levels[j];
+    const std::vector<double>& b = b_levels[j];
+    // z[m] = Σ_i G[i,m] S[i,m]/b[i]  −  Σ_l G[m,l] S[m,l] b[l]/b[m]².
+    std::fill(z.begin(), z.end(), 0.0);
+    for (int i = 0; i < d; ++i) {
+      const double bi = b[i];
+      if (bi <= 0.0) continue;
+      const double inv_bi = 1.0 / bi;
+      const double inv_bi2 = inv_bi * inv_bi;
+      const double* g_row = g.row(i);
+      const double* s_row = s.row(i);
+      double z_i_dec = 0.0;
+      for (int l = 0; l < d; ++l) {
+        const double gs = g_row[l] * s_row[l];
+        z[l] += gs * inv_bi;           // column-role contribution
+        z_i_dec += gs * b[l] * inv_bi2;  // row-role contribution
+      }
+      z[i] -= z_i_dec;
+    }
+    make_xy(j, x, y);
+    // G(j)[i,l] = G(j+1)[i,l]·b[l]/b[i] + x[i]z[i] + y[l]z[l].
+    for (int i = 0; i < d; ++i) {
+      const double bi = b[i];
+      double* g_row = g.row(i);
+      const double xz_i = x[i] * z[i];
+      if (bi > 0.0) {
+        const double inv_bi = 1.0 / bi;
+        for (int l = 0; l < d; ++l) {
+          g_row[l] = g_row[l] * b[l] * inv_bi + xz_i + y[l] * z[l];
+        }
+      } else {
+        for (int l = 0; l < d; ++l) {
+          g_row[l] = xz_i + y[l] * z[l];
+        }
+      }
+    }
+  }
+
+  // ∇_W δ̄ = 2 · G(0) ∘ W.
+  for (int i = 0; i < d; ++i) {
+    const double* g_row = g.row(i);
+    const double* w_row = w.row(i);
+    double* out = grad_out->row(i);
+    for (int l = 0; l < d; ++l) out[l] = 2.0 * g_row[l] * w_row[l];
+  }
+  return bound;
+}
+
+double SpectralBoundSparse(const CsrMatrix& w,
+                           const SpectralBoundOptions& options,
+                           std::vector<double>* grad_values,
+                           SparseBoundWorkspace* workspace) {
+  LEAST_CHECK(w.rows() == w.cols());
+  LEAST_CHECK(options.k >= 0);
+  LEAST_CHECK(options.alpha >= 0.0 && options.alpha <= 1.0);
+  const int d = w.rows();
+  const int64_t nnz = w.nnz();
+  const int k = options.k;
+  const double alpha = options.alpha;
+
+  SparseBoundWorkspace local;
+  SparseBoundWorkspace& ws = workspace != nullptr ? *workspace : local;
+  ws.level_values.resize(k + 1);
+  ws.level_b.resize(k + 1);
+  ws.level_r.resize(k + 1);
+  ws.level_c.resize(k + 1);
+
+  // Entry -> row map, recomputed when the pattern size changes.
+  ws.entry_row.resize(nnz);
+  {
+    const auto& row_ptr = w.row_ptr();
+    for (int i = 0; i < d; ++i) {
+      for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+        ws.entry_row[e] = i;
+      }
+    }
+  }
+  const std::vector<int>& col = w.col_idx();
+
+  // ---- Forward: S(0) = w ∘ w over the pattern.
+  ws.level_values[0].resize(nnz);
+  for (int64_t e = 0; e < nnz; ++e) {
+    const double v = w.values()[e];
+    ws.level_values[0][e] = v * v;
+  }
+  for (int j = 0; j <= k; ++j) {
+    const std::vector<double>& s = ws.level_values[j];
+    std::vector<double>& r = ws.level_r[j];
+    std::vector<double>& c = ws.level_c[j];
+    std::vector<double>& b = ws.level_b[j];
+    r.assign(d, 0.0);
+    c.assign(d, 0.0);
+    b.resize(d);
+    for (int64_t e = 0; e < nnz; ++e) {
+      r[ws.entry_row[e]] += s[e];
+      c[col[e]] += s[e];
+    }
+    for (int i = 0; i < d; ++i) b[i] = BalancedBound(r[i], c[i], alpha);
+    if (j < k) {
+      std::vector<double>& next = ws.level_values[j + 1];
+      next.resize(nnz);
+      for (int64_t e = 0; e < nnz; ++e) {
+        const double bi = b[ws.entry_row[e]];
+        next[e] = bi > 0.0 ? s[e] * b[col[e]] / bi : 0.0;
+      }
+    }
+  }
+  double bound = 0.0;
+  for (double v : ws.level_b[k]) bound += v;
+
+  if (grad_values == nullptr) return bound;
+
+  // ---- Backward over the pattern (Lemma 5 masking; exact).
+  std::vector<double>& g = ws.grad_entries;
+  g.resize(nnz);
+  std::vector<double> x(d), y(d);
+  auto make_xy = [&](int j) {
+    const std::vector<double>& r = ws.level_r[j];
+    const std::vector<double>& c = ws.level_c[j];
+    for (int i = 0; i < d; ++i) {
+      x[i] = DbDr(r[i], c[i], alpha);
+      y[i] = DbDc(r[i], c[i], alpha);
+    }
+  };
+  make_xy(k);
+  for (int64_t e = 0; e < nnz; ++e) {
+    g[e] = x[ws.entry_row[e]] + y[col[e]];
+  }
+
+  ws.z.resize(d);
+  std::vector<double>& z = ws.z;
+  for (int j = k - 1; j >= 0; --j) {
+    const std::vector<double>& s = ws.level_values[j];
+    const std::vector<double>& b = ws.level_b[j];
+    std::fill(z.begin(), z.end(), 0.0);
+    for (int64_t e = 0; e < nnz; ++e) {
+      const int i = ws.entry_row[e];
+      const double bi = b[i];
+      if (bi <= 0.0) continue;
+      const int l = col[e];
+      const double gs = g[e] * s[e];
+      z[l] += gs / bi;
+      z[i] -= gs * b[l] / (bi * bi);
+    }
+    make_xy(j);
+    for (int64_t e = 0; e < nnz; ++e) {
+      const int i = ws.entry_row[e];
+      const int l = col[e];
+      const double bi = b[i];
+      const double direct = bi > 0.0 ? g[e] * b[l] / bi : 0.0;
+      g[e] = direct + x[i] * z[i] + y[l] * z[l];
+    }
+  }
+
+  grad_values->resize(nnz);
+  for (int64_t e = 0; e < nnz; ++e) {
+    (*grad_values)[e] = 2.0 * g[e] * w.values()[e];
+  }
+  return bound;
+}
+
+}  // namespace least

@@ -1,0 +1,89 @@
+/// \file spectral_bound.h
+/// \brief LEAST's acyclicity constraint: an upper bound on the spectral
+/// radius of S = W ∘ W (paper Section III).
+///
+/// Forward recursion (Fig. 2, FORWARD), for j = 0..k with S(0) = S:
+///   b(j) = r(S(j))^α ∘ c(S(j))^(1-α)
+///   S(j+1)[i,l] = S(j)[i,l] · b(j)[l] / b(j)[i]     (rows with b = 0 zeroed)
+/// and the bound is  δ̄(k) = Σ_i b(k)[i].  Each step is a diagonal
+/// similarity transform, so the spectral radius is preserved while the
+/// row/column-sum bound (Lemma 1, after [33]) tightens towards it.
+///
+/// Backward (Fig. 2, BACKWARD / Lemmas 3–5) is reverse-mode differentiation
+/// of the recursion, derived here from first principles and validated
+/// against finite differences in tests:
+///   x(j) = α (c/r)^{1-α},  y(j) = (1-α)(r/c)^α        (∂b/∂r and ∂b/∂c)
+///   seed     G(k)[i,l] = x(k)[i] + y(k)[l]
+///   adjoint  z(j)[m]   = Σ_i G(j+1)[i,m] S(j)[i,m]/b[i]
+///                      − Σ_l G(j+1)[m,l] S(j)[m,l] b[l]/b[m]²
+///   step     G(j)[i,l] = G(j+1)[i,l] b[l]/b[i] + x[i]z[i] + y[l]z[l]
+/// and finally ∇_W δ̄ = 2 · G(0) ∘ W.
+///
+/// Tightness note: every level is a *similarity transform* of S(0), so
+/// Lemma 1 (δ̄(k) >= spectral radius) holds for every k — validity never
+/// depends on k. Tightening, however, is a heuristic tuned for the sparse
+/// near-DAG regime the optimizer actually traverses: there, each level
+/// zeroes the rows/columns of source/sink nodes (b = 0) and the bound
+/// collapses rapidly (a DAG reaches exactly 0 once k covers the peeling
+/// depth). On dense strongly-unbalanced matrices the literal recursion can
+/// *loosen* with large k; the paper's default k = 5 stays well-behaved,
+/// which our ablation bench (`bench/ablation_k_alpha`) quantifies.
+///
+/// The masked (sparse) variant keeps G only on the sparsity pattern of W.
+/// This is *exact* (Lemma 5): G feeds back into z only through Hadamard
+/// products with S(j) — which shares W's pattern — the propagation of G is
+/// entrywise, and the final gradient reads pattern entries only.
+///
+/// Cost: O(k·d²) dense, O(k·nnz) sparse; memory O(k·d²) / O(k·nnz) for the
+/// stored forward levels.
+
+#pragma once
+
+#include <vector>
+
+#include "constraint/acyclicity_constraint.h"
+#include "linalg/csr_matrix.h"
+
+namespace least {
+
+/// \brief Hyper-parameters of the bound (paper defaults: k = 5, α = 0.9).
+struct SpectralBoundOptions {
+  int k = 5;           ///< number of diagonal-similarity tightening steps
+  double alpha = 0.9;  ///< row/column balancing exponent in [0, 1]
+};
+
+/// \brief Dense implementation (the LEAST-TF analog).
+class SpectralBoundConstraint final : public AcyclicityConstraint {
+ public:
+  explicit SpectralBoundConstraint(const SpectralBoundOptions& options = {});
+
+  std::string_view name() const override { return "spectral-bound"; }
+  double Evaluate(const DenseMatrix& w, DenseMatrix* grad_out) const override;
+
+  const SpectralBoundOptions& options() const { return options_; }
+
+ private:
+  SpectralBoundOptions options_;
+};
+
+/// \brief Reusable buffers for the sparse kernel (allocation-free steady
+/// state; the pattern may change between calls).
+struct SparseBoundWorkspace {
+  std::vector<std::vector<double>> level_values;  ///< S(j) values per level
+  std::vector<std::vector<double>> level_b;       ///< b(j) per level
+  std::vector<std::vector<double>> level_r;       ///< row sums per level
+  std::vector<std::vector<double>> level_c;       ///< col sums per level
+  std::vector<double> grad_entries;               ///< G over the pattern
+  std::vector<double> z;                          ///< adjoint of b
+  std::vector<int> entry_row;                     ///< row index per entry
+};
+
+/// Computes δ̄(k) for sparse W; when `grad_values` is non-null it receives
+/// d δ̄ / d values(W), aligned with `w.values()`. `workspace` may be reused
+/// across calls to avoid reallocation.
+double SpectralBoundSparse(const CsrMatrix& w,
+                           const SpectralBoundOptions& options,
+                           std::vector<double>* grad_values,
+                           SparseBoundWorkspace* workspace);
+
+}  // namespace least

@@ -1,0 +1,35 @@
+#include "core/data_source.h"
+
+namespace least {
+
+void DenseDataSource::GatherTransposed(std::span<const int> rows,
+                                       DenseMatrix* out) const {
+  LEAST_CHECK(out != nullptr);
+  const int batch = static_cast<int>(rows.size());
+  LEAST_CHECK(out->rows() == x_->cols() && out->cols() == batch);
+  for (int b = 0; b < batch; ++b) {
+    const int r = rows[b];
+    LEAST_DCHECK(r >= 0 && r < x_->rows());
+    const double* src = x_->row(r);
+    for (int v = 0; v < x_->cols(); ++v) {
+      (*out)(v, b) = src[v];
+    }
+  }
+}
+
+void CsrDataSource::GatherTransposed(std::span<const int> rows,
+                                     DenseMatrix* out) const {
+  LEAST_CHECK(out != nullptr);
+  const int batch = static_cast<int>(rows.size());
+  LEAST_CHECK(out->rows() == x_->cols() && out->cols() == batch);
+  out->Fill(0.0);
+  for (int b = 0; b < batch; ++b) {
+    const int r = rows[b];
+    LEAST_DCHECK(r >= 0 && r < x_->rows());
+    for (int64_t e = x_->row_ptr()[r]; e < x_->row_ptr()[r + 1]; ++e) {
+      (*out)(x_->col_idx()[e], b) = x_->values()[e];
+    }
+  }
+}
+
+}  // namespace least

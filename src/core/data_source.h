@@ -1,0 +1,66 @@
+/// \file data_source.h
+/// \brief Batch access to training data for the sparse learner.
+///
+/// LEAST-SP only ever touches mini-batches of rows (paper Fig. 3, INNER
+/// line 5), so the full sample matrix never needs to exist densely. A
+/// `DataSource` serves transposed batches: `GatherTransposed` fills a
+/// (d x B) matrix whose row v holds variable v's values over the batch —
+/// the layout the pattern-restricted gradient kernel wants (contiguous
+/// per-variable vectors).
+
+#pragma once
+
+#include <span>
+
+#include "linalg/csr_matrix.h"
+#include "linalg/dense_matrix.h"
+
+namespace least {
+
+/// \brief Abstract provider of transposed row batches.
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+
+  /// Number of samples n.
+  virtual int num_rows() const = 0;
+  /// Number of variables d.
+  virtual int num_cols() const = 0;
+
+  /// Fills `out` (must be d x rows.size()) with out(v, b) = X(rows[b], v).
+  virtual void GatherTransposed(std::span<const int> rows,
+                                DenseMatrix* out) const = 0;
+};
+
+/// \brief Adapter over an in-memory dense matrix (borrowed, not owned).
+class DenseDataSource final : public DataSource {
+ public:
+  explicit DenseDataSource(const DenseMatrix* x) : x_(x) {
+    LEAST_CHECK(x != nullptr);
+  }
+  int num_rows() const override { return x_->rows(); }
+  int num_cols() const override { return x_->cols(); }
+  void GatherTransposed(std::span<const int> rows,
+                        DenseMatrix* out) const override;
+
+ private:
+  const DenseMatrix* x_;
+};
+
+/// \brief Adapter over sparse samples (e.g. mean-centered ratings where
+/// unrated items are zero). Borrowed, not owned.
+class CsrDataSource final : public DataSource {
+ public:
+  explicit CsrDataSource(const CsrMatrix* x) : x_(x) {
+    LEAST_CHECK(x != nullptr);
+  }
+  int num_rows() const override { return x_->rows(); }
+  int num_cols() const override { return x_->cols(); }
+  void GatherTransposed(std::span<const int> rows,
+                        DenseMatrix* out) const override;
+
+ private:
+  const CsrMatrix* x_;
+};
+
+}  // namespace least

@@ -1,0 +1,31 @@
+#include "core/least.h"
+
+#include "constraint/expm_trace.h"
+#include "constraint/spectral_bound.h"
+
+namespace least {
+
+ContinuousLearner MakeLeastDenseLearner(const LearnOptions& options) {
+  SpectralBoundOptions bound{.k = options.k, .alpha = options.alpha};
+  return ContinuousLearner(std::make_unique<SpectralBoundConstraint>(bound),
+                           options);
+}
+
+LearnResult FitLeastDense(const DenseMatrix& x, const LearnOptions& options) {
+  return MakeLeastDenseLearner(options).Fit(x);
+}
+
+ContinuousLearner MakeNotearsLearner(const LearnOptions& options) {
+  LearnOptions adjusted = options;
+  // NOTEARS' constraint *is* h; tracking h separately would double the
+  // O(d³) work for no information.
+  adjusted.track_exact_h = false;
+  adjusted.terminate_on_h = false;
+  return ContinuousLearner(std::make_unique<ExpmTraceConstraint>(), adjusted);
+}
+
+LearnResult FitNotears(const DenseMatrix& x, const LearnOptions& options) {
+  return MakeNotearsLearner(options).Fit(x);
+}
+
+}  // namespace least

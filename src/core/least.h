@@ -1,0 +1,39 @@
+/// \file least.h
+/// \brief Public entry points for the LEAST structure learner (dense) and
+/// the NOTEARS baseline.
+///
+/// Quickstart:
+/// ```cpp
+///   least::Rng rng(7);
+///   least::DenseMatrix w_true =
+///       least::RandomDagWeights(least::GraphType::kErdosRenyi, 20, 2, rng);
+///   auto x = least::SampleLsem(w_true, 200, {}, rng).value();
+///   least::LearnOptions opt;
+///   least::LearnResult res = least::FitLeastDense(x, opt);
+///   // res.weights is the learned DAG's weighted adjacency matrix.
+/// ```
+/// For graphs with ≥ thousands of nodes use the sparse learner in
+/// `core/least_sparse.h` instead.
+
+#pragma once
+
+#include "core/continuous_learner.h"
+#include "core/learn_options.h"
+
+namespace least {
+
+/// Runs LEAST (dense spectral-bound variant, the LEAST-TF analog) on an
+/// n x d sample matrix.
+LearnResult FitLeastDense(const DenseMatrix& x, const LearnOptions& options);
+
+/// As above, but exposes the learner for snapshot callbacks.
+ContinuousLearner MakeLeastDenseLearner(const LearnOptions& options);
+
+/// Runs the NOTEARS baseline [38] (expm-trace constraint) under the same
+/// augmented-Lagrangian harness.
+LearnResult FitNotears(const DenseMatrix& x, const LearnOptions& options);
+
+/// As above, but exposes the learner for snapshot callbacks.
+ContinuousLearner MakeNotearsLearner(const LearnOptions& options);
+
+}  // namespace least

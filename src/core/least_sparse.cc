@@ -1,0 +1,231 @@
+#include "core/least_sparse.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <unordered_set>
+
+#include "constraint/spectral_bound.h"
+#include "linalg/hutchinson.h"
+#include "opt/adam.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace least {
+
+namespace {
+
+// Builds the initial CSR pattern: ζ-density random off-diagonal support plus
+// candidate edges, Glorot-uniform values.
+CsrMatrix InitialPattern(int d, double density,
+                         const std::vector<std::pair<int, int>>& candidates,
+                         Rng& rng) {
+  std::unordered_set<int64_t> seen;
+  std::vector<Triplet> triplets;
+  auto add = [&](int i, int j) {
+    if (i == j) return;
+    const int64_t key = static_cast<int64_t>(i) * d + j;
+    if (!seen.insert(key).second) return;
+    triplets.push_back({i, j, rng.GlorotUniform(d, d)});
+  };
+  for (const auto& [i, j] : candidates) {
+    LEAST_CHECK(i >= 0 && i < d && j >= 0 && j < d);
+    add(i, j);
+  }
+  const long long want =
+      static_cast<long long>(density * static_cast<double>(d) * d);
+  // Rejection sampling is fine: ζ ≪ 1 in every intended configuration.
+  for (long long t = 0; t < want; ++t) add(rng.UniformInt(d), rng.UniformInt(d));
+  return CsrMatrix::FromTriplets(d, d, std::move(triplets));
+}
+
+// S = W ∘ W on the same pattern (for the Hutchinson h estimate).
+CsrMatrix SquaredValues(const CsrMatrix& w) {
+  CsrMatrix s = w;
+  for (double& v : s.values()) v = v * v;
+  return s;
+}
+
+}  // namespace
+
+LeastSparseLearner::LeastSparseLearner(const LearnOptions& options)
+    : options_(options) {}
+
+SparseLearnResult LeastSparseLearner::Fit(const DataSource& data) const {
+  SparseLearnResult result;
+  const int d = data.num_cols();
+  const int n = data.num_rows();
+  if (d == 0 || n == 0) {
+    result.status = Status::InvalidArgument("empty data source");
+    return result;
+  }
+  const LearnOptions& opt = options_;
+  Stopwatch watch;
+  Rng rng(opt.seed);
+
+  const int batch =
+      opt.batch_size > 0 ? std::min(opt.batch_size, n) : std::min(n, 1000);
+
+  CsrMatrix w = InitialPattern(d, opt.init_density, candidate_edges_, rng);
+  SpectralBoundOptions bound{.k = opt.k, .alpha = opt.alpha};
+  SparseBoundWorkspace bound_ws;
+
+  DenseMatrix xt(d, batch);        // batch, transposed: row v = variable v
+  DenseMatrix rt(d, batch);        // residual, transposed
+  std::vector<int> batch_rows(batch);
+  std::vector<double> constraint_grad;
+  std::vector<double> total_grad;
+  std::vector<int64_t> kept;
+
+  double rho = opt.rho_init;
+  double eta = opt.eta_init;
+  double constraint_value = 0.0;
+  double prev_round_constraint = std::numeric_limits<double>::infinity();
+  bool converged = false;
+
+  for (int outer = 1; outer <= opt.max_outer_iterations; ++outer) {
+    const double lr = std::max(
+        opt.learning_rate * std::pow(opt.lr_decay, outer - 1),
+        0.05 * opt.learning_rate);
+    Adam adam(static_cast<size_t>(w.nnz()), {.learning_rate = lr});
+    double prev_objective = std::numeric_limits<double>::infinity();
+    double last_loss = 0.0;
+    int inner_done = 0;
+
+    for (int inner = 1; inner <= opt.max_inner_iterations; ++inner) {
+      const int64_t nnz = w.nnz();
+      if (nnz == 0) break;  // everything thresholded away: trivially acyclic
+      constraint_value =
+          SpectralBoundSparse(w, bound, &constraint_grad, &bound_ws);
+
+      // --- Mini-batch residual Rt = (X_B W − X_B)ᵀ, kept transposed. ---
+      for (int b = 0; b < batch; ++b) batch_rows[b] = rng.UniformInt(n);
+      data.GatherTransposed(batch_rows, &xt);
+      rt = xt;
+      rt.Scale(-1.0);
+      const auto& row_ptr = w.row_ptr();
+      const auto& col = w.col_idx();
+      const auto& values = w.values();
+      for (int i = 0; i < d; ++i) {
+        const double* x_row = xt.row(i);
+        for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+          const double wv = values[e];
+          if (wv == 0.0) continue;
+          double* r_row = rt.row(col[e]);
+          for (int b = 0; b < batch; ++b) r_row[b] += wv * x_row[b];
+        }
+      }
+      const double inv_b = 1.0 / batch;
+      double smooth = 0.0;
+      for (double v : rt.data()) smooth += v * v;
+      smooth *= inv_b;
+      double l1 = 0.0;
+
+      // --- Pattern-restricted gradient. ---
+      total_grad.resize(nnz);
+      const double lagrange = rho * constraint_value + eta;
+      for (int i = 0; i < d; ++i) {
+        const double* x_row = xt.row(i);
+        for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+          const double* r_row = rt.row(col[e]);
+          double dot = 0.0;
+          for (int b = 0; b < batch; ++b) dot += x_row[b] * r_row[b];
+          const double wv = values[e];
+          l1 += std::fabs(wv);
+          double g = 2.0 * inv_b * dot + lagrange * constraint_grad[e];
+          if (wv != 0.0) g += wv > 0.0 ? opt.lambda1 : -opt.lambda1;
+          total_grad[e] = g;
+        }
+      }
+      const double loss_value = smooth + opt.lambda1 * l1;
+      const double objective =
+          loss_value + 0.5 * rho * constraint_value * constraint_value +
+          eta * constraint_value;
+      if (!std::isfinite(objective)) {
+        result.status = Status::NotConverged(
+            "objective diverged (non-finite) at outer round " +
+            std::to_string(outer));
+        result.raw_weights = w;
+        w.ThresholdValues(opt.prune_threshold);
+        w.Compact(nullptr);
+        result.weights = std::move(w);
+        result.seconds = watch.Seconds();
+        return result;
+      }
+
+      adam.Step(w.values(), total_grad);
+      if (outer > opt.threshold_warmup_rounds) {
+        w.ThresholdValues(opt.filter_threshold);
+      }
+      last_loss = loss_value;
+      ++inner_done;
+      if (inner % opt.inner_check_every == 0) {
+        const double rel = std::fabs(objective - prev_objective) /
+                           std::max(1.0, std::fabs(prev_objective));
+        if (rel < opt.inner_rtol) break;
+        prev_objective = objective;
+      }
+    }
+    result.inner_iterations += inner_done;
+    result.outer_iterations = outer;
+
+    // Physically drop thresholded entries; later rounds shrink with nnz.
+    w.Compact(&kept);
+    constraint_value = w.nnz() == 0
+                           ? 0.0
+                           : SpectralBoundSparse(w, bound, nullptr, &bound_ws);
+
+    TracePoint tp;
+    tp.outer = outer;
+    tp.seconds = watch.Seconds();
+    tp.constraint_value = constraint_value;
+    tp.loss = last_loss;
+    tp.nnz = w.nnz();
+    if (opt.track_estimated_h && w.nnz() > 0) {
+      tp.h_value = EstimateExpmTraceMinusDim(SquaredValues(w));
+    }
+    result.trace.push_back(tp);
+    if (opt.verbose) {
+      std::fprintf(stderr,
+                   "[least-sp] outer=%d inner=%d constraint=%.3e loss=%.4f "
+                   "nnz=%lld t=%.1fs\n",
+                   outer, inner_done, constraint_value, last_loss,
+                   static_cast<long long>(tp.nnz), tp.seconds);
+    }
+
+    if (constraint_value <= opt.tolerance) {
+      converged = true;
+      break;
+    }
+    eta += rho * constraint_value;
+    if (constraint_value > opt.rho_progress_ratio * prev_round_constraint) {
+      rho = std::min(rho * opt.rho_growth, opt.rho_max);
+    }
+    prev_round_constraint = constraint_value;
+  }
+
+  result.raw_weights = w;
+  w.ThresholdValues(opt.prune_threshold);
+  w.Compact(nullptr);
+  result.weights = std::move(w);
+  result.constraint_value = constraint_value;
+  result.seconds = watch.Seconds();
+  if (converged) {
+    result.status = Status::Ok();
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3e", constraint_value);
+    result.status = Status::NotConverged(
+        std::string("constraint ") + buf + " above tolerance after " +
+        std::to_string(result.outer_iterations) + " outer rounds");
+  }
+  return result;
+}
+
+SparseLearnResult FitLeastSparse(const DenseMatrix& x,
+                                 const LearnOptions& options) {
+  DenseDataSource source(&x);
+  return LeastSparseLearner(options).Fit(source);
+}
+
+}  // namespace least

@@ -1,0 +1,114 @@
+#include "core/least_squares_loss.h"
+
+#include <cmath>
+
+namespace least {
+
+double AddL1Subgradient(const DenseMatrix& w, double lambda1,
+                        DenseMatrix* grad) {
+  double l1 = 0.0;
+  for (size_t i = 0; i < w.data().size(); ++i) {
+    const double v = w.data()[i];
+    l1 += std::fabs(v);
+    if (grad != nullptr && v != 0.0) {
+      grad->data()[i] += v > 0.0 ? lambda1 : -lambda1;
+    }
+  }
+  return lambda1 * l1;
+}
+
+LeastSquaresLoss::LeastSquaresLoss(const DenseMatrix* x, double lambda1,
+                                   int batch_size)
+    : x_(x), lambda1_(lambda1), batch_size_(batch_size) {
+  LEAST_CHECK(x_ != nullptr);
+  if (batch_size_ >= x_->rows()) batch_size_ = 0;  // full batch
+  const int d = x_->cols();
+  if (batch_size_ <= 0) {
+    // Gram precomputation: G = XᵀX, O(n d²) once.
+    gram_ = DenseMatrix(d, d);
+    const int n = x_->rows();
+    for (int s = 0; s < n; ++s) {
+      const double* row = x_->row(s);
+      for (int i = 0; i < d; ++i) {
+        const double xi = row[i];
+        if (xi == 0.0) continue;
+        double* g_row = gram_.row(i);
+        for (int j = 0; j < d; ++j) g_row[j] += xi * row[j];
+      }
+    }
+    trace_gram_ = gram_.Trace();
+    gw_ = DenseMatrix(d, d);
+  } else {
+    xb_ = DenseMatrix(batch_size_, d);
+    residual_ = DenseMatrix(batch_size_, d);
+    batch_rows_.resize(batch_size_);
+  }
+}
+
+double LeastSquaresLoss::ValueAndGradient(const DenseMatrix& w,
+                                          DenseMatrix* grad_out, Rng& rng) {
+  LEAST_CHECK(w.rows() == x_->cols() && w.cols() == x_->cols());
+  const double smooth = full_batch() ? FullBatch(w, grad_out)
+                                     : MiniBatch(w, grad_out, rng);
+  return smooth + AddL1Subgradient(w, lambda1_, grad_out);
+}
+
+double LeastSquaresLoss::FullBatch(const DenseMatrix& w,
+                                   DenseMatrix* grad_out) {
+  const double inv_n = 1.0 / std::max(1, x_->rows());
+  MatmulInto(gram_, w, &gw_);
+  // smooth = (Tr G − 2⟨G, W⟩ + ⟨W, GW⟩) / n.
+  double dot_gw = 0.0, dot_w_gw = 0.0;
+  for (size_t i = 0; i < w.data().size(); ++i) {
+    dot_gw += gram_.data()[i] * w.data()[i];
+    dot_w_gw += w.data()[i] * gw_.data()[i];
+  }
+  const double smooth = (trace_gram_ - 2.0 * dot_gw + dot_w_gw) * inv_n;
+  if (grad_out != nullptr) {
+    LEAST_CHECK(grad_out->SameShape(w));
+    for (size_t i = 0; i < w.data().size(); ++i) {
+      grad_out->data()[i] =
+          2.0 * inv_n * (gw_.data()[i] - gram_.data()[i]);
+    }
+  }
+  return smooth;
+}
+
+double LeastSquaresLoss::MiniBatch(const DenseMatrix& w,
+                                   DenseMatrix* grad_out, Rng& rng) {
+  const int d = w.rows();
+  const int n = x_->rows();
+  const int batch = batch_size_;
+  for (int b = 0; b < batch; ++b) batch_rows_[b] = rng.UniformInt(n);
+  for (int b = 0; b < batch; ++b) {
+    const double* src = x_->row(batch_rows_[b]);
+    double* dst = xb_.row(b);
+    for (int j = 0; j < d; ++j) dst[j] = src[j];
+  }
+  // residual = X_B W − X_B.
+  MatmulInto(xb_, w, &residual_);
+  residual_.AddScaled(xb_, -1.0);
+  const double inv_b = 1.0 / batch;
+  double smooth = 0.0;
+  for (double v : residual_.data()) smooth += v * v;
+  smooth *= inv_b;
+  if (grad_out != nullptr) {
+    LEAST_CHECK(grad_out->SameShape(w));
+    // grad = (2/B) X_Bᵀ residual: accumulate rank-1 row contributions.
+    grad_out->Fill(0.0);
+    for (int b = 0; b < batch; ++b) {
+      const double* xrow = xb_.row(b);
+      const double* rrow = residual_.row(b);
+      for (int i = 0; i < d; ++i) {
+        const double xi = xrow[i];
+        if (xi == 0.0) continue;
+        double* g_row = grad_out->row(i);
+        for (int j = 0; j < d; ++j) g_row[j] += xi * rrow[j];
+      }
+    }
+    grad_out->Scale(2.0 * inv_b);
+  }
+  return smooth;
+}
+
+}  // namespace least

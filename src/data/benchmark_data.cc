@@ -1,0 +1,26 @@
+#include "data/benchmark_data.h"
+
+namespace least {
+
+BenchmarkInstance MakeBenchmarkInstance(const BenchmarkConfig& config) {
+  BenchmarkInstance inst;
+  inst.graph_type = config.graph_type;
+  inst.noise_type = config.noise_type;
+  inst.d = config.d;
+  inst.n = config.n > 0 ? config.n : 10 * config.d;
+  double degree = config.avg_degree;
+  if (degree <= 0.0) {
+    degree = config.graph_type == GraphType::kErdosRenyi ? 2.0 : 4.0;
+  }
+  Rng rng(config.seed);
+  inst.w_true = RandomDagWeights(config.graph_type, config.d, degree, rng,
+                                 config.w_min, config.w_max);
+  LsemOptions sem;
+  sem.noise = config.noise_type;
+  auto x = SampleLsem(inst.w_true, inst.n, sem, rng);
+  LEAST_CHECK(x.ok());
+  inst.x = std::move(x).value();
+  return inst;
+}
+
+}  // namespace least

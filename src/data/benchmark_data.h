@@ -1,0 +1,41 @@
+/// \file benchmark_data.h
+/// \brief Artificial benchmark instances (paper Section V-A, Fig. 4).
+///
+/// Reproduces the NOTEARS benchmark generator the paper reuses: a random
+/// ER-k or SF-k DAG, uniform ±[0.5, 2.0] edge weights, and n LSEM samples
+/// under Gaussian / Exponential / Gumbel noise. The paper sweeps
+/// d ∈ {10, 20, 50, 100} with n = 10·d, average degree 2 (ER) or 4 (SF).
+
+#pragma once
+
+#include "graph/graph_generator.h"
+#include "sem/lsem_sampler.h"
+
+namespace least {
+
+/// \brief A ground-truth graph with samples drawn from its LSEM.
+struct BenchmarkInstance {
+  GraphType graph_type = GraphType::kErdosRenyi;
+  NoiseType noise_type = NoiseType::kGaussian;
+  int d = 0;
+  int n = 0;
+  DenseMatrix w_true;  ///< weighted adjacency of the ground-truth DAG
+  DenseMatrix x;       ///< n x d samples
+};
+
+/// \brief Parameters for `MakeBenchmarkInstance`.
+struct BenchmarkConfig {
+  GraphType graph_type = GraphType::kErdosRenyi;
+  NoiseType noise_type = NoiseType::kGaussian;
+  int d = 20;
+  int n = 0;               ///< 0 = paper default 10·d
+  double avg_degree = 0.0; ///< 0 = paper default (2 for ER, 4 for SF)
+  double w_min = 0.5;
+  double w_max = 2.0;
+  uint64_t seed = 1;
+};
+
+/// Generates one benchmark instance.
+BenchmarkInstance MakeBenchmarkInstance(const BenchmarkConfig& config);
+
+}  // namespace least

@@ -1,0 +1,165 @@
+#include "data/booking_simulator.h"
+
+#include <algorithm>
+
+namespace least {
+
+const char* BookingStepName(int step) {
+  switch (step) {
+    case 0:
+      return "Step1:QuerySeat";
+    case 1:
+      return "Step2:QueryPrice";
+    case 2:
+      return "Step3:Reserve";
+    case 3:
+      return "Step4:Payment";
+  }
+  return "Step?";
+}
+
+namespace {
+
+// Node index layout: [0, 4) step errors, then airlines, fare sources,
+// cities (used for both departure and arrival roles), agents.
+struct Layout {
+  int airline0, fare0, city0, agent0, total;
+};
+
+Layout MakeLayout(const BookingConfig& c) {
+  Layout l;
+  l.airline0 = kNumBookingSteps;
+  l.fare0 = l.airline0 + c.num_airlines;
+  l.city0 = l.fare0 + c.num_fare_sources;
+  l.agent0 = l.city0 + c.num_cities;
+  l.total = l.agent0 + c.num_agents;
+  return l;
+}
+
+std::string AirlineCode(int a) {
+  std::string code;
+  code += static_cast<char>('A' + (a / 26) % 26);
+  code += static_cast<char>('A' + a % 26);
+  return code;
+}
+
+}  // namespace
+
+BookingDataset SimulateBookingLogs(const BookingConfig& config) {
+  LEAST_CHECK(config.num_airlines >= 2 && config.num_fare_sources >= 2);
+  LEAST_CHECK(config.num_cities >= 2 && config.num_agents >= 1);
+  Rng rng(config.seed);
+  const Layout l = MakeLayout(config);
+
+  BookingDataset ds;
+  ds.node_names.resize(l.total);
+  for (int s = 0; s < kNumBookingSteps; ++s) {
+    ds.node_names[s] = std::string("Error:") + BookingStepName(s);
+    ds.error_nodes.push_back(s);
+  }
+  for (int a = 0; a < config.num_airlines; ++a) {
+    ds.node_names[l.airline0 + a] = "Airline:" + AirlineCode(a);
+  }
+  for (int f = 0; f < config.num_fare_sources; ++f) {
+    ds.node_names[l.fare0 + f] = "FareSource:" + std::to_string(f);
+  }
+  for (int c = 0; c < config.num_cities; ++c) {
+    ds.node_names[l.city0 + c] = "City:" + std::to_string(c);
+  }
+  for (int g = 0; g < config.num_agents; ++g) {
+    ds.node_names[l.agent0 + g] = "Agent:" + std::to_string(g);
+  }
+
+  // Airline -> admissible fare sources (a real dependency in the logs).
+  std::vector<std::vector<int>> fares_of(config.num_airlines);
+  for (int a = 0; a < config.num_airlines; ++a) {
+    fares_of[a] = rng.SampleWithoutReplacement(
+        config.num_fare_sources,
+        std::min(config.fare_sources_per_airline, config.num_fare_sources));
+  }
+
+  // --- Injected scenarios, mirroring Table II's flavors. ---
+  if (config.num_anomalies >= 1) {
+    // Airline outage: reserve step fails across that airline's fares.
+    const int airline = rng.UniformInt(config.num_airlines);
+    ds.injected.push_back(
+        {2,
+         {l.airline0 + airline},
+         0.45,
+         "Airline " + AirlineCode(airline) +
+             " booking system unscheduled maintenance"});
+  }
+  if (config.num_anomalies >= 2) {
+    // Arrival-city lockdown: seat query fails for that destination.
+    const int city = rng.UniformInt(config.num_cities);
+    ds.injected.push_back({0,
+                           {l.city0 + city},
+                           0.55,
+                           "Lock-down of city " + std::to_string(city) +
+                               "; flights cancelled"});
+  }
+  if (config.num_anomalies >= 3) {
+    // Airline x fare-source interaction: bad data from one channel.
+    const int airline = rng.UniformInt(config.num_airlines);
+    const int fare = fares_of[airline][rng.UniformInt(
+        static_cast<int>(fares_of[airline].size()))];
+    ds.injected.push_back({2,
+                           {l.airline0 + airline, l.fare0 + fare},
+                           0.6,
+                           "Inaccurate data for airline " +
+                               AirlineCode(airline) + " from fare source " +
+                               std::to_string(fare)});
+  }
+  for (int extra = 3; extra < config.num_anomalies; ++extra) {
+    const int agent = rng.UniformInt(config.num_agents);
+    ds.injected.push_back({1 + rng.UniformInt(3),
+                           {l.agent0 + agent},
+                           0.4,
+                           "Agent " + std::to_string(agent) +
+                               " misconfigured office"});
+  }
+
+  auto simulate = [&](int records, bool with_anomalies) {
+    DenseMatrix x(records, l.total);
+    for (int r = 0; r < records; ++r) {
+      double* row = x.row(r);
+      const int airline = rng.UniformInt(config.num_airlines);
+      const int fare = fares_of[airline][rng.UniformInt(
+          static_cast<int>(fares_of[airline].size()))];
+      const int dep = rng.UniformInt(config.num_cities);
+      int arr = rng.UniformInt(config.num_cities);
+      if (arr == dep) arr = (arr + 1) % config.num_cities;
+      const int agent = rng.UniformInt(config.num_agents);
+      row[l.airline0 + airline] = 1.0;
+      row[l.fare0 + fare] = 1.0;
+      row[l.city0 + dep] = 1.0;
+      row[l.city0 + arr] = 1.0;
+      row[l.agent0 + agent] = 1.0;
+      // Background noise failures.
+      for (int s = 0; s < kNumBookingSteps; ++s) {
+        if (rng.Bernoulli(config.base_error_rate)) row[s] = 1.0;
+      }
+      if (with_anomalies) {
+        for (const AnomalyScenario& sc : ds.injected) {
+          bool triggered = true;
+          for (int node : sc.condition_nodes) {
+            if (row[node] == 0.0) {
+              triggered = false;
+              break;
+            }
+          }
+          if (triggered && rng.Bernoulli(sc.error_probability)) {
+            row[sc.error_step] = 1.0;
+          }
+        }
+      }
+    }
+    return x;
+  };
+
+  ds.previous = simulate(config.records_previous, false);
+  ds.current = simulate(config.records_current, true);
+  return ds;
+}
+
+}  // namespace least

@@ -1,0 +1,71 @@
+/// \file booking_simulator.h
+/// \brief Flight-ticket booking log simulator (paper Section VI-A).
+///
+/// Stand-in for Alibaba's Fliggy production logs. Each booking attempt
+/// becomes one binary sample row over categorical indicator nodes
+/// (airline, fare source, departure/arrival city, agent) plus the four
+/// booking-step error nodes ("query seat", "query price", "reserve",
+/// "payment"). Fare-source availability is airline-dependent, so genuine
+/// cause chains like  airline -> fare source -> error  exist in the data.
+///
+/// Anomalies mirror the paper's Table II cases: during the *current*
+/// window, bookings matching a scenario's conditions (e.g. airline "AC", or
+/// arrival city "WUH") fail a given step with high probability, while the
+/// *previous* window stays at baseline error rates. A monitoring pipeline
+/// (learn BN on the current window -> extract paths into error nodes ->
+/// compare path support across windows, see `rca/root_cause.h`) should
+/// recover exactly the injected scenarios.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "util/rng.h"
+
+namespace least {
+
+/// Booking steps (paper: the four essential steps).
+inline constexpr int kNumBookingSteps = 4;
+const char* BookingStepName(int step);
+
+/// \brief An injected root-cause scenario.
+struct AnomalyScenario {
+  int error_step = 0;              ///< which step fails (0-based)
+  std::vector<int> condition_nodes;  ///< all must be active to trigger
+  double error_probability = 0.5;  ///< failure rate when triggered
+  std::string description;         ///< "Airline AC maintenance window"
+};
+
+/// \brief Parameters for `SimulateBookingLogs`.
+struct BookingConfig {
+  int num_airlines = 12;
+  int num_fare_sources = 18;
+  int num_cities = 15;
+  int num_agents = 10;
+  int records_previous = 20000;  ///< baseline window T'
+  int records_current = 20000;   ///< monitored window T
+  double base_error_rate = 0.01; ///< per-step background failure rate
+  int fare_sources_per_airline = 5;
+  int num_anomalies = 3;         ///< scenarios auto-injected (see .cc)
+  uint64_t seed = 1;
+};
+
+/// \brief Simulated logs with node metadata and injected ground truth.
+struct BookingDataset {
+  DenseMatrix previous;  ///< T' baseline window (records x nodes, binary)
+  DenseMatrix current;   ///< T monitored window with anomalies
+  std::vector<std::string> node_names;
+  std::vector<int> error_nodes;  ///< indices of the 4 step-error nodes
+  std::vector<AnomalyScenario> injected;
+  int num_nodes() const { return static_cast<int>(node_names.size()); }
+};
+
+/// Generates both windows. Scenario conditions are drawn from the airline /
+/// fare-source / city / agent nodes, reproducing the flavor of Table II
+/// (airline outage; airline+fare-source interaction; arrival-city
+/// lockdown).
+BookingDataset SimulateBookingLogs(const BookingConfig& config);
+
+}  // namespace least

@@ -1,0 +1,128 @@
+#include "data/gene_network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/graph_generator.h"
+
+namespace least {
+
+const char* GeneProfileName(GeneProfile profile) {
+  switch (profile) {
+    case GeneProfile::kSachs:
+      return "Sachs";
+    case GeneProfile::kEcoli:
+      return "E. coli";
+    case GeneProfile::kYeast:
+      return "Yeast";
+  }
+  return "?";
+}
+
+GeneNetworkConfig GeneConfigForProfile(GeneProfile profile, double scale) {
+  GeneNetworkConfig cfg;
+  switch (profile) {
+    case GeneProfile::kSachs:
+      cfg.num_genes = 11;
+      cfg.num_edges = 17;
+      cfg.num_samples = 1000;
+      return cfg;  // tiny: never scaled
+    case GeneProfile::kEcoli:
+      cfg.num_genes = 1565;
+      cfg.num_edges = 3648;
+      cfg.num_samples = 1565;
+      break;
+    case GeneProfile::kYeast:
+      cfg.num_genes = 4441;
+      cfg.num_edges = 12873;
+      cfg.num_samples = 4441;
+      break;
+  }
+  scale = std::clamp(scale, 0.01, 1.0);
+  cfg.num_genes = std::max(50, static_cast<int>(cfg.num_genes * scale));
+  cfg.num_edges = std::max(60, static_cast<int>(cfg.num_edges * scale));
+  cfg.num_samples = std::max(100, static_cast<int>(cfg.num_samples * scale));
+  return cfg;
+}
+
+GeneNetworkInstance MakeGeneNetwork(const GeneNetworkConfig& config) {
+  const int d = config.num_genes;
+  LEAST_CHECK(d >= 2);
+  Rng rng(config.seed);
+
+  const int num_modules =
+      config.num_modules > 0
+          ? config.num_modules
+          : std::max(1, static_cast<int>(std::sqrt(double(d)) / 2.0));
+  const int num_regulators =
+      std::min(d - 1, config.num_regulators > 0
+                          ? config.num_regulators
+                          : std::max(1, d / 10));
+
+  // Random global order; edges only go order-forward (DAG by construction).
+  std::vector<int> order = rng.Permutation(d);
+  std::vector<int> rank(d);
+  for (int pos = 0; pos < d; ++pos) rank[order[pos]] = pos;
+
+  // First `num_regulators` positions in the order act as hubs so every
+  // gene has candidate upstream regulators.
+  std::vector<int> module_of(d);
+  for (int i = 0; i < d; ++i) module_of[i] = rng.UniformInt(num_modules);
+  std::vector<std::vector<int>> module_regulators(num_modules);
+  std::vector<int> all_regulators;
+  for (int pos = 0; pos < num_regulators; ++pos) {
+    const int node = order[pos];
+    module_regulators[module_of[node]].push_back(node);
+    all_regulators.push_back(node);
+  }
+
+  DenseMatrix support(d, d);
+  int edges = 0;
+  auto try_add = [&](int from, int to) {
+    if (from == to) return false;
+    if (rank[from] > rank[to]) std::swap(from, to);
+    if (support(from, to) != 0.0) return false;
+    support(from, to) = 1.0;
+    ++edges;
+    return true;
+  };
+
+  // Regulator cascade: a sparse chain among hubs (~10% of the budget).
+  const int cascade_budget = std::max(1, config.num_edges / 10);
+  for (int t = 0; t < cascade_budget && edges < config.num_edges; ++t) {
+    if (all_regulators.size() < 2) break;
+    const int a = all_regulators[rng.UniformInt(
+        static_cast<int>(all_regulators.size()))];
+    const int b = all_regulators[rng.UniformInt(
+        static_cast<int>(all_regulators.size()))];
+    try_add(a, b);
+  }
+
+  // Targets: each remaining edge connects a regulator (90% same-module) to
+  // a random gene, giving the characteristic hub out-degree distribution.
+  int guard = 0;
+  while (edges < config.num_edges && guard < 100 * config.num_edges) {
+    ++guard;
+    const int gene = rng.UniformInt(d);
+    const std::vector<int>& local = module_regulators[module_of[gene]];
+    const std::vector<int>& pool =
+        (!local.empty() && rng.Bernoulli(0.9)) ? local : all_regulators;
+    if (pool.empty()) break;
+    const int reg = pool[rng.UniformInt(static_cast<int>(pool.size()))];
+    try_add(reg, gene);
+  }
+
+  GeneNetworkInstance inst;
+  inst.actual_edges = edges;
+  inst.w_true = AssignEdgeWeights(support, rng, config.w_min, config.w_max);
+  LsemOptions sem;
+  sem.noise = NoiseType::kGaussian;
+  sem.noise_scale = config.noise_scale;
+  auto x = SampleLsem(inst.w_true, config.num_samples, sem, rng);
+  LEAST_CHECK(x.ok());
+  inst.x = std::move(x).value();
+  CenterColumns(&inst.x);
+  return inst;
+}
+
+}  // namespace least

@@ -1,0 +1,172 @@
+#include "data/ratings_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/dag.h"
+#include "sem/lsem_sampler.h"
+#include "util/rng.h"
+
+namespace least {
+
+namespace {
+
+std::string RomanNumeral(int n) {
+  static const char* kSmall[] = {"",   "I",  "II", "III", "IV",
+                                 "V",  "VI", "VII", "VIII", "IX", "X"};
+  if (n >= 1 && n <= 10) return kSmall[n];
+  return std::to_string(n);
+}
+
+}  // namespace
+
+RatingsInstance MakeRatings(const RatingsConfig& config) {
+  const int d = config.num_items;
+  LEAST_CHECK(d >= 4);
+  Rng rng(config.seed);
+  RatingsInstance inst;
+  inst.items.resize(d);
+  inst.w_true = DenseMatrix(d, d);
+
+  // --- Assign series, genres, blockbuster/niche roles. ---
+  int next_item = 0;
+  for (int s = 0; s < config.num_series && next_item < d; ++s) {
+    const int len = std::min(d - next_item, 2 + rng.UniformInt(3));
+    const int genre = rng.UniformInt(config.num_genres);
+    const int year = 1960 + rng.UniformInt(60);
+    for (int p = 0; p < len; ++p) {
+      ItemInfo& item = inst.items[next_item];
+      item.series = s;
+      item.part = p + 1;
+      item.genre = genre;
+      item.name = "Series " + std::to_string(s) + ", Part " +
+                  RomanNumeral(p + 1) + " (" + std::to_string(year + 2 * p) +
+                  ")";
+      ++next_item;
+    }
+  }
+  for (int i = next_item; i < d; ++i) {
+    ItemInfo& item = inst.items[i];
+    item.genre = rng.UniformInt(config.num_genres);
+    item.name = "Standalone " + std::to_string(i) + " (" +
+                std::to_string(1950 + rng.UniformInt(70)) + ")";
+  }
+  // Blockbusters / niche picks among standalone titles when possible.
+  std::vector<int> standalone;
+  for (int i = 0; i < d; ++i) {
+    if (inst.items[i].series < 0) standalone.push_back(i);
+  }
+  rng.Shuffle(standalone);
+  size_t cursor = 0;
+  for (int b = 0; b < config.num_blockbusters && cursor < standalone.size();
+       ++b) {
+    inst.items[standalone[cursor++]].blockbuster = true;
+  }
+  for (int m = 0; m < config.num_niche && cursor < standalone.size(); ++m) {
+    inst.items[standalone[cursor++]].niche = true;
+  }
+
+  // --- Ground-truth DAG. Edge direction follows the paper's learned
+  // pattern: sequels point at their predecessors; niche titles point
+  // outward; blockbusters only receive. Acyclicity: series chains go
+  // strictly part k+1 -> part k; other edges respect a global random order
+  // with blockbusters forced late (sinks) and niche titles early.
+  std::vector<int> order = rng.Permutation(d);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    auto bucket = [&](int i) {
+      if (inst.items[i].niche) return 0;
+      if (inst.items[i].blockbuster) return 2;
+      return 1;
+    };
+    return bucket(a) < bucket(b);
+  });
+  std::vector<int> rank(d);
+  for (int pos = 0; pos < d; ++pos) rank[order[pos]] = pos;
+  // Series chains point part p+1 -> part p, so later installments must come
+  // earlier in the global order for the genre edges to stay consistent.
+  {
+    std::vector<std::vector<int>> series_members(config.num_series);
+    for (int i = 0; i < d; ++i) {
+      if (inst.items[i].series >= 0) {
+        series_members[inst.items[i].series].push_back(i);
+      }
+    }
+    for (auto& members : series_members) {
+      if (members.size() < 2) continue;
+      std::vector<int> ranks;
+      for (int i : members) ranks.push_back(rank[i]);
+      std::sort(ranks.begin(), ranks.end());
+      // members is ordered part 1..len; give part len the smallest rank.
+      for (size_t p = 0; p < members.size(); ++p) {
+        rank[members[p]] = ranks[members.size() - 1 - p];
+      }
+    }
+  }
+
+  for (int i = 0; i < d; ++i) {
+    const ItemInfo& item = inst.items[i];
+    // Sequel edge: part p -> part p-1 (e.g. "Shrek 2 (2004) -> Shrek").
+    if (item.series >= 0 && item.part > 1) {
+      const int prev = i - 1;  // parts are laid out consecutively
+      inst.w_true(i, prev) =
+          config.series_weight * (0.8 + 0.4 * rng.Uniform());
+    }
+  }
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < d; ++j) {
+      if (i == j || inst.w_true(i, j) != 0.0 || inst.w_true(j, i) != 0.0) {
+        continue;
+      }
+      if (inst.items[i].genre != inst.items[j].genre) continue;
+      if (rank[i] >= rank[j]) continue;  // acyclic: earlier rank -> later
+      double prob = config.genre_edge_prob;
+      if (inst.items[i].niche) prob *= 8.0;       // many outgoing
+      if (inst.items[j].blockbuster) prob *= 8.0; // many incoming
+      if (inst.items[j].niche || inst.items[i].blockbuster) prob = 0.0;
+      if (rng.Bernoulli(prob)) {
+        const double sign = rng.Bernoulli(0.75) ? 1.0 : -1.0;
+        inst.w_true(i, j) =
+            sign * config.genre_weight * (0.6 + 0.8 * rng.Uniform());
+      }
+    }
+  }
+  LEAST_CHECK(IsDag(inst.w_true));
+
+  // --- Ratings: latent LSEM affinity -> 0..5 stars -> per-user centering.
+  LsemOptions sem;
+  sem.noise = NoiseType::kGaussian;
+  sem.noise_scale = config.noise_scale;
+  auto latent = SampleLsem(inst.w_true, config.num_users, sem, rng);
+  LEAST_CHECK(latent.ok());
+  const DenseMatrix& z = latent.value();
+
+  std::vector<Triplet> triplets;
+  for (int u = 0; u < config.num_users; ++u) {
+    // Pick this user's rated set.
+    std::vector<std::pair<int, double>> rated;
+    for (int i = 0; i < d; ++i) {
+      double p = config.rate_probability;
+      if (inst.items[i].blockbuster) {
+        p = std::min(1.0, p * config.blockbuster_boost);
+      }
+      if (!rng.Bernoulli(p)) continue;
+      // Star rating: affinity shifted to the ~3.5 average of MovieLens.
+      double stars = std::round(3.5 + z(u, i));
+      stars = std::clamp(stars, 0.0, 5.0);
+      rated.push_back({i, stars});
+    }
+    if (rated.size() < 2) continue;
+    double mean = 0.0;
+    for (const auto& [item, stars] : rated) mean += stars;
+    mean /= static_cast<double>(rated.size());
+    for (const auto& [item, stars] : rated) {
+      const double centered = stars - mean;
+      if (centered != 0.0) triplets.push_back({u, item, centered});
+    }
+  }
+  inst.ratings = CsrMatrix::FromTriplets(config.num_users, d,
+                                         std::move(triplets));
+  return inst;
+}
+
+}  // namespace least

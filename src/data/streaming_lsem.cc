@@ -1,0 +1,88 @@
+#include "data/streaming_lsem.h"
+
+#include "graph/dag.h"
+
+namespace least {
+
+namespace {
+
+// splitmix64: decorrelates per-row seeds derived from sequential indices.
+uint64_t MixSeed(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+StreamingLsemSource::StreamingLsemSource(const CsrMatrix& w_true,
+                                         int num_rows,
+                                         const LsemOptions& options,
+                                         uint64_t base_seed)
+    : dim_(w_true.rows()),
+      num_rows_(num_rows),
+      options_(options),
+      base_seed_(base_seed) {
+  LEAST_CHECK(w_true.rows() == w_true.cols());
+  AdjacencyList adj = AdjacencyFromCsr(w_true);
+  auto order = TopologicalSort(adj);
+  LEAST_CHECK(order.ok());
+  topo_order_ = std::move(order).value();
+
+  // Build per-node parent lists (CSC of the weight matrix).
+  const int d = w_true.rows();
+  std::vector<int64_t> counts(d + 1, 0);
+  for (int64_t e = 0; e < w_true.nnz(); ++e) {
+    ++counts[w_true.col_idx()[e] + 1];
+  }
+  parent_ptr_.assign(d + 1, 0);
+  for (int i = 0; i < d; ++i) parent_ptr_[i + 1] = parent_ptr_[i] + counts[i + 1];
+  parents_flat_.resize(w_true.nnz());
+  std::vector<int64_t> cursor(parent_ptr_.begin(), parent_ptr_.end() - 1);
+  for (int i = 0; i < d; ++i) {
+    for (int64_t e = w_true.row_ptr()[i]; e < w_true.row_ptr()[i + 1]; ++e) {
+      const int child = w_true.col_idx()[e];
+      parents_flat_[cursor[child]++] = {i, w_true.values()[e]};
+    }
+  }
+}
+
+void StreamingLsemSource::GatherTransposed(std::span<const int> rows,
+                                           DenseMatrix* out) const {
+  LEAST_CHECK(out != nullptr);
+  const int d = dim_;
+  const int batch = static_cast<int>(rows.size());
+  LEAST_CHECK(out->rows() == d && out->cols() == batch);
+
+  std::vector<double> sample(d);
+  for (int b = 0; b < batch; ++b) {
+    const int r = rows[b];
+    LEAST_DCHECK(r >= 0 && r < num_rows_);
+    Rng rng(MixSeed(base_seed_ ^ static_cast<uint64_t>(r)));
+    for (int node : topo_order_) {
+      double v;
+      switch (options_.noise) {
+        case NoiseType::kGaussian:
+          v = rng.Gaussian(0.0, options_.noise_scale);
+          break;
+        case NoiseType::kExponential:
+          v = options_.noise_scale *
+              rng.Exponential(1.0, options_.center_noise);
+          break;
+        case NoiseType::kGumbel:
+          v = rng.Gumbel(options_.noise_scale, options_.center_noise);
+          break;
+        default:
+          v = 0.0;
+      }
+      for (int64_t e = parent_ptr_[node]; e < parent_ptr_[node + 1]; ++e) {
+        v += parents_flat_[e].second * sample[parents_flat_[e].first];
+      }
+      sample[node] = v;
+    }
+    for (int i = 0; i < d; ++i) (*out)(i, b) = sample[i];
+  }
+}
+
+}  // namespace least

@@ -1,0 +1,48 @@
+/// \file streaming_lsem.h
+/// \brief On-demand LSEM sample generation for graphs with 10^4–10^5 nodes.
+///
+/// The Fig. 5 scalability workloads (Movielens-, App-Security- and
+/// App-Recom-sized, paper Table III) would need hundreds of gigabytes as a
+/// dense n x d sample matrix. LEAST-SP only ever touches mini-batches of
+/// rows, so this `DataSource` synthesizes each requested row on the fly:
+/// row r is the LSEM sample generated from `Rng(base_seed ^ mix(r))`, making
+/// the dataset deterministic, addressable, and O(d) in memory.
+
+#pragma once
+
+#include <vector>
+
+#include "core/data_source.h"
+#include "linalg/csr_matrix.h"
+#include "sem/lsem_sampler.h"
+
+namespace least {
+
+/// \brief Deterministic virtual LSEM dataset over a sparse ground truth.
+class StreamingLsemSource final : public DataSource {
+ public:
+  /// `w_true` is the (sparse) weighted DAG; its support must be acyclic.
+  /// The structure is copied into internal parent lists, so the matrix may
+  /// be destroyed after construction. `num_rows` fixes the nominal dataset
+  /// size (row indices beyond it are rejected by LEAST_DCHECK in gather).
+  StreamingLsemSource(const CsrMatrix& w_true, int num_rows,
+                      const LsemOptions& options, uint64_t base_seed);
+
+  int num_rows() const override { return num_rows_; }
+  int num_cols() const override { return dim_; }
+  void GatherTransposed(std::span<const int> rows,
+                        DenseMatrix* out) const override;
+
+ private:
+  int dim_;
+  int num_rows_;
+  LsemOptions options_;
+  uint64_t base_seed_;
+  std::vector<int> topo_order_;
+  // parents_flat_ stores (parent, weight) runs per node, indexed by
+  // parent_ptr_ — CSC-like access for the sampling recurrence.
+  std::vector<std::pair<int, double>> parents_flat_;
+  std::vector<int64_t> parent_ptr_;
+};
+
+}  // namespace least

@@ -1,0 +1,181 @@
+#include "graph/dag.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace least {
+
+AdjacencyList AdjacencyFromDense(const DenseMatrix& w, double tol) {
+  LEAST_CHECK(w.rows() == w.cols());
+  AdjacencyList adj(w.rows());
+  for (int i = 0; i < w.rows(); ++i) {
+    for (int j = 0; j < w.cols(); ++j) {
+      if (i != j && std::fabs(w(i, j)) > tol) adj[i].push_back(j);
+    }
+  }
+  return adj;
+}
+
+AdjacencyList AdjacencyFromCsr(const CsrMatrix& w, double tol) {
+  LEAST_CHECK(w.rows() == w.cols());
+  AdjacencyList adj(w.rows());
+  for (int i = 0; i < w.rows(); ++i) {
+    for (int64_t e = w.row_ptr()[i]; e < w.row_ptr()[i + 1]; ++e) {
+      const int j = w.col_idx()[e];
+      if (i != j && std::fabs(w.values()[e]) > tol) adj[i].push_back(j);
+    }
+  }
+  return adj;
+}
+
+std::vector<WeightedEdge> EdgesFromDense(const DenseMatrix& w, double tol) {
+  std::vector<WeightedEdge> edges;
+  for (int i = 0; i < w.rows(); ++i) {
+    for (int j = 0; j < w.cols(); ++j) {
+      if (i != j && std::fabs(w(i, j)) > tol) {
+        edges.push_back({i, j, w(i, j)});
+      }
+    }
+  }
+  return edges;
+}
+
+Result<std::vector<int>> TopologicalSort(const AdjacencyList& adj) {
+  const int d = static_cast<int>(adj.size());
+  std::vector<int> in_degree(d, 0);
+  for (const auto& out : adj) {
+    for (int j : out) {
+      LEAST_CHECK(j >= 0 && j < d);
+      ++in_degree[j];
+    }
+  }
+  std::queue<int> ready;
+  for (int i = 0; i < d; ++i) {
+    if (in_degree[i] == 0) ready.push(i);
+  }
+  std::vector<int> order;
+  order.reserve(d);
+  while (!ready.empty()) {
+    const int u = ready.front();
+    ready.pop();
+    order.push_back(u);
+    for (int v : adj[u]) {
+      if (--in_degree[v] == 0) ready.push(v);
+    }
+  }
+  if (static_cast<int>(order.size()) != d) {
+    return Status::InvalidArgument("graph contains a directed cycle");
+  }
+  return order;
+}
+
+bool IsDag(const AdjacencyList& adj) { return TopologicalSort(adj).ok(); }
+
+bool IsDag(const DenseMatrix& w, double tol) {
+  return IsDag(AdjacencyFromDense(w, tol));
+}
+
+int LongestPathLength(const AdjacencyList& adj) {
+  auto order = TopologicalSort(adj);
+  LEAST_CHECK(order.ok());
+  const int d = static_cast<int>(adj.size());
+  std::vector<int> dist(d, 0);
+  int best = 0;
+  for (int u : order.value()) {
+    for (int v : adj[u]) {
+      dist[v] = std::max(dist[v], dist[u] + 1);
+      best = std::max(best, dist[v]);
+    }
+  }
+  return best;
+}
+
+std::vector<int> NeighborhoodNodes(const AdjacencyList& adj, int center,
+                                   int radius) {
+  const int d = static_cast<int>(adj.size());
+  LEAST_CHECK(center >= 0 && center < d);
+  // Build reverse adjacency once for backward hops.
+  AdjacencyList rev(d);
+  for (int i = 0; i < d; ++i) {
+    for (int j : adj[i]) rev[j].push_back(i);
+  }
+  std::vector<int> depth(d, -1);
+  std::queue<int> frontier;
+  depth[center] = 0;
+  frontier.push(center);
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    if (depth[u] == radius) continue;
+    const std::vector<int>* neighbor_lists[2] = {&adj[u], &rev[u]};
+    for (const std::vector<int>* nbrs : neighbor_lists) {
+      for (int v : *nbrs) {
+        if (depth[v] < 0) {
+          depth[v] = depth[u] + 1;
+          frontier.push(v);
+        }
+      }
+    }
+  }
+  std::vector<int> nodes;
+  for (int i = 0; i < d; ++i) {
+    if (depth[i] >= 0) nodes.push_back(i);
+  }
+  return nodes;
+}
+
+DegreeSummary Degrees(const AdjacencyList& adj) {
+  const int d = static_cast<int>(adj.size());
+  DegreeSummary s;
+  s.in.assign(d, 0);
+  s.out.assign(d, 0);
+  for (int i = 0; i < d; ++i) {
+    s.out[i] = static_cast<int>(adj[i].size());
+    for (int j : adj[i]) ++s.in[j];
+  }
+  return s;
+}
+
+namespace {
+
+void PathsIntoDfs(const AdjacencyList& rev, int node, int max_len,
+                  int max_paths, std::vector<int>& stack,
+                  std::vector<char>& on_stack,
+                  std::vector<std::vector<int>>& out) {
+  if (static_cast<int>(out.size()) >= max_paths) return;
+  // Record the current chain (reversed: stack is target..root).
+  if (stack.size() >= 2) {
+    std::vector<int> path(stack.rbegin(), stack.rend());
+    out.push_back(std::move(path));
+  }
+  if (static_cast<int>(stack.size()) > max_len) return;
+  for (int parent : rev[node]) {
+    if (on_stack[parent]) continue;  // stay simple even on cyclic inputs
+    stack.push_back(parent);
+    on_stack[parent] = 1;
+    PathsIntoDfs(rev, parent, max_len, max_paths, stack, on_stack, out);
+    on_stack[parent] = 0;
+    stack.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> PathsInto(const AdjacencyList& adj, int target,
+                                        int max_len, int max_paths) {
+  const int d = static_cast<int>(adj.size());
+  LEAST_CHECK(target >= 0 && target < d);
+  AdjacencyList rev(d);
+  for (int i = 0; i < d; ++i) {
+    for (int j : adj[i]) rev[j].push_back(i);
+  }
+  std::vector<std::vector<int>> out;
+  std::vector<int> stack = {target};
+  std::vector<char> on_stack(d, 0);
+  on_stack[target] = 1;
+  PathsIntoDfs(rev, target, max_len, max_paths, stack, on_stack, out);
+  return out;
+}
+
+}  // namespace least

@@ -1,0 +1,74 @@
+/// \file dag.h
+/// \brief Directed-graph utilities: topological sort, acyclicity checks,
+/// longest paths, neighborhood extraction.
+///
+/// Graphs are adjacency lists over nodes 0..d-1; `adj[i]` lists the
+/// out-neighbors of node i (edge i -> j means "i is a parent of j", matching
+/// the paper's convention that W[i,j] != 0 encodes edge i -> j).
+
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+#include "linalg/dense_matrix.h"
+#include "util/status.h"
+
+namespace least {
+
+using AdjacencyList = std::vector<std::vector<int>>;
+
+/// A directed edge with weight, as extracted from a learned W.
+struct WeightedEdge {
+  int from = 0;
+  int to = 0;
+  double weight = 0.0;
+};
+
+/// Builds an adjacency list from a dense weight matrix; entries with
+/// |W[i,j]| > tol become edges i -> j. Diagonal entries are ignored.
+AdjacencyList AdjacencyFromDense(const DenseMatrix& w, double tol = 0.0);
+
+/// Sparse overload.
+AdjacencyList AdjacencyFromCsr(const CsrMatrix& w, double tol = 0.0);
+
+/// Extracts all edges with |weight| > tol, unsorted. Diagonal skipped.
+std::vector<WeightedEdge> EdgesFromDense(const DenseMatrix& w,
+                                         double tol = 0.0);
+
+/// Kahn's algorithm. Returns a topological order, or `kInvalidArgument`
+/// when the graph contains a cycle.
+Result<std::vector<int>> TopologicalSort(const AdjacencyList& adj);
+
+/// True iff the graph has no directed cycle.
+bool IsDag(const AdjacencyList& adj);
+
+/// Convenience: acyclicity of the support of a dense weight matrix.
+bool IsDag(const DenseMatrix& w, double tol = 0.0);
+
+/// Length (edge count) of the longest directed path; requires a DAG.
+/// Returns 0 for edgeless graphs.
+int LongestPathLength(const AdjacencyList& adj);
+
+/// Nodes reachable from `center` within `radius` hops following edges in
+/// either direction (the Fig. 8 "subgraph around Braveheart" operation).
+/// The result includes `center` and is sorted.
+std::vector<int> NeighborhoodNodes(const AdjacencyList& adj, int center,
+                                   int radius);
+
+/// In-degree and out-degree of every node.
+struct DegreeSummary {
+  std::vector<int> in;
+  std::vector<int> out;
+};
+DegreeSummary Degrees(const AdjacencyList& adj);
+
+/// All simple directed paths ending at `target`, followed backwards from
+/// `target` through incoming edges, up to `max_len` edges and `max_paths`
+/// results. Paths are returned root-first, target-last (the RCA subsystem
+/// reports "root cause <- ... <- error node" chains from these).
+std::vector<std::vector<int>> PathsInto(const AdjacencyList& adj, int target,
+                                        int max_len, int max_paths);
+
+}  // namespace least

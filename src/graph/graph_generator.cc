@@ -1,0 +1,177 @@
+#include "graph/graph_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace least {
+
+const char* GraphTypeName(GraphType type) {
+  switch (type) {
+    case GraphType::kErdosRenyi:
+      return "ER";
+    case GraphType::kScaleFree:
+      return "SF";
+  }
+  return "?";
+}
+
+namespace {
+
+DenseMatrix ErdosRenyiSupport(int d, double avg_degree, Rng& rng) {
+  DenseMatrix support(d, d);
+  if (d <= 1) return support;
+  const double p = std::min(1.0, avg_degree / (d - 1));
+  // Random topological order, then independent coin flips on admissible
+  // (earlier -> later) pairs.
+  std::vector<int> order = rng.Permutation(d);
+  for (int a = 0; a < d; ++a) {
+    for (int b = a + 1; b < d; ++b) {
+      if (rng.Bernoulli(p)) support(order[a], order[b]) = 1.0;
+    }
+  }
+  return support;
+}
+
+DenseMatrix ScaleFreeSupport(int d, double avg_degree, Rng& rng) {
+  DenseMatrix support(d, d);
+  if (d <= 1) return support;
+  const int m = std::max(1, static_cast<int>(avg_degree / 2.0 + 0.5));
+  // Barabási–Albert: repeated-endpoint list implements preferential
+  // attachment (a node appears once per incident edge).
+  std::vector<int> endpoints;
+  endpoints.reserve(static_cast<size_t>(2) * m * d);
+  // Seed with a small chain over the first min(m+1, d) nodes.
+  const int seed_nodes = std::min(m + 1, d);
+  for (int i = 1; i < seed_nodes; ++i) {
+    support(i, i - 1) = 1.0;  // new -> old keeps acyclicity
+    endpoints.push_back(i);
+    endpoints.push_back(i - 1);
+  }
+  for (int v = seed_nodes; v < d; ++v) {
+    std::vector<int> targets;
+    int guard = 0;
+    while (static_cast<int>(targets.size()) < std::min(m, v) &&
+           guard < 50 * m) {
+      ++guard;
+      int t;
+      if (endpoints.empty()) {
+        t = rng.UniformInt(v);
+      } else {
+        t = endpoints[rng.UniformInt(static_cast<int>(endpoints.size()))];
+      }
+      if (t != v && std::find(targets.begin(), targets.end(), t) ==
+                        targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (int t : targets) {
+      support(v, t) = 1.0;  // edge from the newer node to the older hub
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return support;
+}
+
+}  // namespace
+
+DenseMatrix RandomDagSupport(GraphType type, int d, double avg_degree,
+                             Rng& rng) {
+  LEAST_CHECK(d >= 0);
+  LEAST_CHECK(avg_degree >= 0.0);
+  switch (type) {
+    case GraphType::kErdosRenyi:
+      return ErdosRenyiSupport(d, avg_degree, rng);
+    case GraphType::kScaleFree:
+      return ScaleFreeSupport(d, avg_degree, rng);
+  }
+  return DenseMatrix(d, d);
+}
+
+DenseMatrix AssignEdgeWeights(const DenseMatrix& support, Rng& rng,
+                              double w_min, double w_max) {
+  LEAST_CHECK(w_min >= 0.0 && w_max >= w_min);
+  DenseMatrix w(support.rows(), support.cols());
+  for (int i = 0; i < support.rows(); ++i) {
+    for (int j = 0; j < support.cols(); ++j) {
+      if (support(i, j) != 0.0) {
+        const double magnitude = rng.Uniform(w_min, w_max);
+        w(i, j) = rng.Bernoulli(0.5) ? magnitude : -magnitude;
+      }
+    }
+  }
+  return w;
+}
+
+DenseMatrix RandomDagWeights(GraphType type, int d, double avg_degree,
+                             Rng& rng, double w_min, double w_max) {
+  DenseMatrix support = RandomDagSupport(type, d, avg_degree, rng);
+  return AssignEdgeWeights(support, rng, w_min, w_max);
+}
+
+CsrMatrix SparseRandomDagWeights(GraphType type, int d, double avg_degree,
+                                 Rng& rng, double w_min, double w_max) {
+  LEAST_CHECK(d >= 0);
+  auto weight = [&]() {
+    const double magnitude = rng.Uniform(w_min, w_max);
+    return rng.Bernoulli(0.5) ? magnitude : -magnitude;
+  };
+  std::vector<Triplet> triplets;
+  if (type == GraphType::kErdosRenyi) {
+    if (d >= 2) {
+      std::vector<int> order = rng.Permutation(d);
+      const long long want =
+          static_cast<long long>(avg_degree * d / 2.0 + 0.5);
+      std::unordered_set<int64_t> seen;
+      long long guard = 0;
+      while (static_cast<long long>(triplets.size()) < want &&
+             guard < 20 * want + 100) {
+        ++guard;
+        int a = rng.UniformInt(d);
+        int b = rng.UniformInt(d);
+        if (a == b) continue;
+        // Orient along the random topological order.
+        int from = a, to = b;
+        if (order[a] > order[b]) std::swap(from, to);
+        const int64_t key = static_cast<int64_t>(from) * d + to;
+        if (!seen.insert(key).second) continue;
+        triplets.push_back({from, to, weight()});
+      }
+    }
+  } else {
+    // Reuse the dense BA machinery's logic without the dense matrix:
+    // repeated-endpoint preferential attachment, new -> old edges.
+    const int m = std::max(1, static_cast<int>(avg_degree / 2.0 + 0.5));
+    std::vector<int> endpoints;
+    const int seed_nodes = std::min(m + 1, d);
+    for (int i = 1; i < seed_nodes; ++i) {
+      triplets.push_back({i, i - 1, weight()});
+      endpoints.push_back(i);
+      endpoints.push_back(i - 1);
+    }
+    for (int v = seed_nodes; v < d; ++v) {
+      std::vector<int> targets;
+      int guard = 0;
+      while (static_cast<int>(targets.size()) < std::min(m, v) &&
+             guard < 50 * m) {
+        ++guard;
+        int t = endpoints.empty()
+                    ? rng.UniformInt(v)
+                    : endpoints[rng.UniformInt(
+                          static_cast<int>(endpoints.size()))];
+        if (t != v && std::find(targets.begin(), targets.end(), t) ==
+                          targets.end()) {
+          targets.push_back(t);
+        }
+      }
+      for (int t : targets) {
+        triplets.push_back({v, t, weight()});
+        endpoints.push_back(v);
+        endpoints.push_back(t);
+      }
+    }
+  }
+  return CsrMatrix::FromTriplets(d, d, std::move(triplets));
+}
+
+}  // namespace least

@@ -1,0 +1,58 @@
+/// \file graph_generator.h
+/// \brief Random ground-truth DAG generation for benchmark workloads.
+///
+/// Reimplements the graph generator the paper borrows from NOTEARS [38]:
+/// Erdős–Rényi DAGs with a given expected node degree ("ER-k") and
+/// Barabási–Albert scale-free DAGs ("SF-k"), plus uniform edge-weight
+/// assignment from ±[w_min, w_max].
+
+#pragma once
+
+#include "linalg/csr_matrix.h"
+#include "linalg/dense_matrix.h"
+#include "util/rng.h"
+
+namespace least {
+
+/// Random-graph families used in the paper's Fig. 4 benchmark.
+enum class GraphType {
+  kErdosRenyi,  ///< "ER-k": each ordered pair is an edge w.p. k/(d-1)
+  kScaleFree,   ///< "SF-k": Barabási–Albert preferential attachment
+};
+
+const char* GraphTypeName(GraphType type);
+
+/// \brief Generates a random DAG support (0/1 matrix, B[i,j] = 1 for edge
+/// i -> j) with approximately `avg_degree` combined (in+out) degree.
+///
+/// ER: a random topological order is drawn and each admissible pair becomes
+/// an edge independently with p = avg_degree / (d - 1), giving expected
+/// total degree `avg_degree`. SF: nodes arrive one at a time and attach
+/// `avg_degree/2` out-edges to existing nodes chosen proportionally to
+/// degree (hubs emerge); orientation new -> old keeps the graph acyclic.
+DenseMatrix RandomDagSupport(GraphType type, int d, double avg_degree,
+                             Rng& rng);
+
+/// \brief Assigns i.i.d. weights uniform on ±[w_min, w_max] to the support.
+///
+/// Matches the NOTEARS benchmark setup (weights in ±[0.5, 2.0] by default).
+DenseMatrix AssignEdgeWeights(const DenseMatrix& support, Rng& rng,
+                              double w_min = 0.5, double w_max = 2.0);
+
+/// Convenience: support + weights in one call.
+DenseMatrix RandomDagWeights(GraphType type, int d, double avg_degree,
+                             Rng& rng, double w_min = 0.5,
+                             double w_max = 2.0);
+
+/// \brief Sparse weighted random DAG for graphs too large for a dense d x d
+/// matrix (the Fig. 5 scalability workloads with 10^4–10^5 nodes).
+///
+/// ER: draws ~ d·avg_degree/2 ordered pairs against a random topological
+/// order (collisions deduplicated). SF: Barabási–Albert exactly as the
+/// dense generator. Weights are uniform on ±[w_min, w_max]. Memory and
+/// time are O(d·avg_degree).
+CsrMatrix SparseRandomDagWeights(GraphType type, int d, double avg_degree,
+                                 Rng& rng, double w_min = 0.5,
+                                 double w_max = 2.0);
+
+}  // namespace least

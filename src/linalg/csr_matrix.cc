@@ -1,0 +1,182 @@
+#include "linalg/csr_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace least {
+
+CsrMatrix CsrMatrix::FromTriplets(int rows, int cols,
+                                  std::vector<Triplet> triplets) {
+  CsrMatrix m(rows, cols);
+  for (const Triplet& t : triplets) {
+    LEAST_CHECK(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  int last_row = -1;
+  int last_col = -1;
+  for (const Triplet& t : triplets) {
+    if (t.row == last_row && t.col == last_col) {
+      // Coalesce duplicate coordinate.
+      m.values_.back() += t.value;
+      continue;
+    }
+    m.col_idx_.push_back(t.col);
+    m.values_.push_back(t.value);
+    m.row_ptr_[t.row + 1] = static_cast<int64_t>(m.col_idx_.size());
+    last_row = t.row;
+    last_col = t.col;
+  }
+  // Forward-fill row_ptr so that empty rows copy the previous offset.
+  for (int r = 1; r <= rows; ++r) {
+    m.row_ptr_[r] = std::max(m.row_ptr_[r], m.row_ptr_[r - 1]);
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::FromDense(const DenseMatrix& dense, double tol) {
+  CsrMatrix m(dense.rows(), dense.cols());
+  for (int i = 0; i < dense.rows(); ++i) {
+    for (int j = 0; j < dense.cols(); ++j) {
+      const double v = dense(i, j);
+      if (std::fabs(v) > tol) {
+        m.col_idx_.push_back(j);
+        m.values_.push_back(v);
+      }
+    }
+    m.row_ptr_[i + 1] = static_cast<int64_t>(m.col_idx_.size());
+  }
+  return m;
+}
+
+DenseMatrix CsrMatrix::ToDense() const {
+  DenseMatrix out(rows_, cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int64_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
+      out(i, col_idx_[e]) += values_[e];
+    }
+  }
+  return out;
+}
+
+double CsrMatrix::At(int i, int j) const {
+  LEAST_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  const int64_t lo = row_ptr_[i], hi = row_ptr_[i + 1];
+  auto begin = col_idx_.begin() + lo;
+  auto end = col_idx_.begin() + hi;
+  auto it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return 0.0;
+  return values_[lo + (it - begin)];
+}
+
+int CsrMatrix::EntryRow(int64_t e) const {
+  LEAST_DCHECK(e >= 0 && e < nnz());
+  // First row whose end offset exceeds e.
+  auto it = std::upper_bound(row_ptr_.begin(), row_ptr_.end(), e);
+  return static_cast<int>(it - row_ptr_.begin()) - 1;
+}
+
+std::vector<double> CsrMatrix::RowSums() const {
+  std::vector<double> r(rows_, 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (int64_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) s += values_[e];
+    r[i] = s;
+  }
+  return r;
+}
+
+std::vector<double> CsrMatrix::ColSums() const {
+  std::vector<double> c(cols_, 0.0);
+  for (int64_t e = 0; e < nnz(); ++e) c[col_idx_[e]] += values_[e];
+  return c;
+}
+
+double CsrMatrix::L1Norm() const {
+  double s = 0.0;
+  for (double v : values_) s += std::fabs(v);
+  return s;
+}
+
+double CsrMatrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : values_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+int64_t CsrMatrix::CountNonZeros(double tol) const {
+  int64_t n = 0;
+  for (double v : values_) {
+    if (std::fabs(v) > tol) ++n;
+  }
+  return n;
+}
+
+int64_t CsrMatrix::ThresholdValues(double threshold) {
+  if (threshold <= 0.0) return 0;
+  int64_t zeroed = 0;
+  for (double& v : values_) {
+    if (v != 0.0 && std::fabs(v) < threshold) {
+      v = 0.0;
+      ++zeroed;
+    }
+  }
+  return zeroed;
+}
+
+void CsrMatrix::Compact(std::vector<int64_t>* kept_old_positions) {
+  if (kept_old_positions != nullptr) kept_old_positions->clear();
+  std::vector<int64_t> new_row_ptr(rows_ + 1, 0);
+  int64_t write = 0;
+  for (int i = 0; i < rows_; ++i) {
+    for (int64_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
+      if (values_[e] == 0.0) continue;
+      col_idx_[write] = col_idx_[e];
+      values_[write] = values_[e];
+      if (kept_old_positions != nullptr) kept_old_positions->push_back(e);
+      ++write;
+    }
+    new_row_ptr[i + 1] = write;
+  }
+  col_idx_.resize(write);
+  values_.resize(write);
+  row_ptr_ = std::move(new_row_ptr);
+}
+
+void CsrMatrix::MatvecInto(std::span<const double> x,
+                           std::span<double> y) const {
+  LEAST_CHECK(static_cast<int>(x.size()) == cols_);
+  LEAST_CHECK(static_cast<int>(y.size()) == rows_);
+  for (int i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (int64_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
+      s += values_[e] * x[col_idx_[e]];
+    }
+    y[i] = s;
+  }
+}
+
+void CsrMatrix::MatvecTransposeInto(std::span<const double> x,
+                                    std::span<double> y) const {
+  LEAST_CHECK(static_cast<int>(x.size()) == rows_);
+  LEAST_CHECK(static_cast<int>(y.size()) == cols_);
+  std::fill(y.begin(), y.end(), 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (int64_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
+      y[col_idx_[e]] += values_[e] * xi;
+    }
+  }
+}
+
+bool CsrMatrix::SamePattern(const CsrMatrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         row_ptr_ == other.row_ptr_ && col_idx_ == other.col_idx_;
+}
+
+}  // namespace least

@@ -1,0 +1,107 @@
+/// \file csr_matrix.h
+/// \brief Compressed sparse row matrix for the LEAST-SP code path.
+///
+/// The sparse LEAST implementation (paper Section IV, "LEAST-SP") keeps the
+/// weight matrix W in CSR form throughout optimization: the sparsity
+/// *pattern* is fixed between compactions while the *values* are mutated by
+/// the optimizer. All constraint kernels run in O(nnz) over this structure.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "util/check.h"
+
+namespace least {
+
+/// \brief One (row, col, value) entry used to build a `CsrMatrix`.
+struct Triplet {
+  int row = 0;
+  int col = 0;
+  double value = 0.0;
+};
+
+/// \brief CSR matrix: `row_ptr` (rows+1), parallel `col_idx` / `values`.
+///
+/// Column indices are sorted within each row and duplicate coordinates are
+/// coalesced at construction. Values are freely mutable; the pattern changes
+/// only via `Compact()` (which drops explicit zeros) or reconstruction.
+class CsrMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  CsrMatrix() = default;
+
+  /// All-zero rows x cols matrix with an empty pattern.
+  CsrMatrix(int rows, int cols) : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {
+    LEAST_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  /// Builds from triplets; duplicates are summed, columns sorted per row.
+  static CsrMatrix FromTriplets(int rows, int cols,
+                                std::vector<Triplet> triplets);
+
+  /// Converts a dense matrix, keeping entries with |v| > tol.
+  static CsrMatrix FromDense(const DenseMatrix& dense, double tol = 0.0);
+
+  /// Expands to dense (use only for small matrices / tests).
+  DenseMatrix ToDense() const;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  /// Number of stored entries (including explicit zeros).
+  int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  /// Returns the stored value at (i, j) or 0 when outside the pattern.
+  /// O(log nnz(row i)); intended for tests and spot checks.
+  double At(int i, int j) const;
+
+  /// Row index of the entry stored at flat position `e` (O(log rows)).
+  int EntryRow(int64_t e) const;
+
+  /// Vector of row sums over stored values.
+  std::vector<double> RowSums() const;
+  /// Vector of column sums over stored values.
+  std::vector<double> ColSums() const;
+
+  /// Sum over stored values of |v| (entry-wise L1).
+  double L1Norm() const;
+  /// Maximum |v| over stored values.
+  double MaxAbs() const;
+  /// Number of stored values with |v| > tol.
+  int64_t CountNonZeros(double tol = 0.0) const;
+
+  /// Sets stored values with |v| < threshold (strict) to exactly zero,
+  /// keeping the pattern. Returns the number of zeroed entries.
+  int64_t ThresholdValues(double threshold);
+
+  /// Drops stored entries whose value is exactly zero. Fills
+  /// `kept_old_positions` (if non-null) with the old flat indices of the
+  /// surviving entries so parallel optimizer state can be compacted too.
+  void Compact(std::vector<int64_t>* kept_old_positions);
+
+  /// y = A x over stored entries.
+  void MatvecInto(std::span<const double> x, std::span<double> y) const;
+
+  /// y = A^T x over stored entries.
+  void MatvecTransposeInto(std::span<const double> x,
+                           std::span<double> y) const;
+
+  /// True when both matrices have identical shape and pattern.
+  bool SamePattern(const CsrMatrix& other) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace least

@@ -1,0 +1,196 @@
+#include "linalg/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace least {
+
+DenseMatrix::DenseMatrix(int rows, int cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  LEAST_CHECK(data_.size() == static_cast<size_t>(rows) * cols);
+}
+
+DenseMatrix DenseMatrix::Identity(int d) {
+  DenseMatrix m(d, d);
+  for (int i = 0; i < d; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix DenseMatrix::RandomUniform(int rows, int cols, double lo,
+                                       double hi, Rng& rng) {
+  DenseMatrix m(rows, cols);
+  for (double& v : m.data_) v = rng.Uniform(lo, hi);
+  return m;
+}
+
+void DenseMatrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void DenseMatrix::FillDiagonal(double v) {
+  LEAST_CHECK(rows_ == cols_);
+  for (int i = 0; i < rows_; ++i) (*this)(i, i) = v;
+}
+
+void DenseMatrix::AddScaled(const DenseMatrix& other, double alpha) {
+  LEAST_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void DenseMatrix::Scale(double alpha) {
+  for (double& v : data_) v *= alpha;
+}
+
+DenseMatrix DenseMatrix::Hadamard(const DenseMatrix& other) const {
+  LEAST_CHECK(SameShape(other));
+  DenseMatrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] * other.data_[i];
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::HadamardSquare() const {
+  DenseMatrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] * data_[i];
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Transpose() const {
+  DenseMatrix out(cols_, rows_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+double DenseMatrix::Trace() const {
+  LEAST_CHECK(rows_ == cols_);
+  double t = 0.0;
+  for (int i = 0; i < rows_; ++i) t += (*this)(i, i);
+  return t;
+}
+
+double DenseMatrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double DenseMatrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double DenseMatrix::OneNorm() const {
+  double best = 0.0;
+  for (int j = 0; j < cols_; ++j) {
+    double s = 0.0;
+    for (int i = 0; i < rows_; ++i) s += std::fabs((*this)(i, j));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+double DenseMatrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+long long DenseMatrix::CountNonZeros(double tol) const {
+  long long n = 0;
+  for (double v : data_) {
+    if (std::fabs(v) > tol) ++n;
+  }
+  return n;
+}
+
+void DenseMatrix::ApplyThreshold(double threshold) {
+  if (threshold <= 0.0) return;
+  for (double& v : data_) {
+    if (std::fabs(v) < threshold) v = 0.0;
+  }
+}
+
+std::vector<double> DenseMatrix::RowSums() const {
+  std::vector<double> r(rows_, 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    const double* p = row(i);
+    double s = 0.0;
+    for (int j = 0; j < cols_; ++j) s += p[j];
+    r[i] = s;
+  }
+  return r;
+}
+
+std::vector<double> DenseMatrix::ColSums() const {
+  std::vector<double> c(cols_, 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    const double* p = row(i);
+    for (int j = 0; j < cols_; ++j) c[j] += p[j];
+  }
+  return c;
+}
+
+void MatmulInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out) {
+  LEAST_CHECK(a.cols() == b.rows());
+  LEAST_CHECK(out != nullptr);
+  LEAST_CHECK(out->rows() == a.rows() && out->cols() == b.cols());
+  LEAST_CHECK(out != &a && out != &b);
+  out->Fill(0.0);
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  // ikj ordering: streams over contiguous rows of b and out.
+  for (int i = 0; i < n; ++i) {
+    double* out_row = out->row(i);
+    const double* a_row = a.row(i);
+    for (int p = 0; p < k; ++p) {
+      const double av = a_row[p];
+      if (av == 0.0) continue;
+      const double* b_row = b.row(p);
+      for (int j = 0; j < m; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+DenseMatrix Matmul(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix out(a.rows(), b.cols());
+  MatmulInto(a, b, &out);
+  return out;
+}
+
+DenseMatrix Add(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix out = a;
+  out.AddScaled(b, 1.0);
+  return out;
+}
+
+DenseMatrix Subtract(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix out = a;
+  out.AddScaled(b, -1.0);
+  return out;
+}
+
+double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+  LEAST_CHECK(a.SameShape(b));
+  double m = 0.0;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    m = std::max(m, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+void MatvecInto(const DenseMatrix& a, std::span<const double> x,
+                std::span<double> y) {
+  LEAST_CHECK(static_cast<int>(x.size()) == a.cols());
+  LEAST_CHECK(static_cast<int>(y.size()) == a.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* p = a.row(i);
+    double s = 0.0;
+    for (int j = 0; j < a.cols(); ++j) s += p[j] * x[j];
+    y[i] = s;
+  }
+}
+
+}  // namespace least

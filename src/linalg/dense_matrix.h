@@ -1,0 +1,133 @@
+/// \file dense_matrix.h
+/// \brief Row-major dense matrix of doubles.
+///
+/// This is the workhorse of the dense (LEAST-TF analog) code path and the
+/// NOTEARS baseline. It is deliberately simple — contiguous storage, blocked
+/// multiplication, no expression templates — and allocation-free in hot loops
+/// via the `*Into` variants.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace least {
+
+/// \brief Dense rows x cols matrix with contiguous row-major storage.
+class DenseMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  DenseMatrix() = default;
+
+  /// Zero-initialized rows x cols matrix.
+  DenseMatrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, 0.0) {
+    LEAST_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  /// Builds from explicit row-major data. `data.size()` must equal
+  /// rows * cols.
+  DenseMatrix(int rows, int cols, std::vector<double> data);
+
+  /// d x d identity.
+  static DenseMatrix Identity(int d);
+
+  /// Matrix with every entry drawn i.i.d. uniform in [lo, hi).
+  static DenseMatrix RandomUniform(int rows, int cols, double lo, double hi,
+                                   Rng& rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& operator()(int i, int j) {
+    LEAST_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+  double operator()(int i, int j) const {
+    LEAST_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+
+  /// Contiguous storage (row-major).
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+  /// Pointer to the start of row i.
+  double* row(int i) { return data_.data() + static_cast<size_t>(i) * cols_; }
+  const double* row(int i) const {
+    return data_.data() + static_cast<size_t>(i) * cols_;
+  }
+
+  /// Sets every entry to `v`.
+  void Fill(double v);
+  /// Sets the diagonal entries to `v` (square matrices only).
+  void FillDiagonal(double v);
+
+  /// this += alpha * other (same shape).
+  void AddScaled(const DenseMatrix& other, double alpha);
+  /// Multiplies every entry by `alpha`.
+  void Scale(double alpha);
+
+  /// Entry-wise (Hadamard) product, out-of-place.
+  DenseMatrix Hadamard(const DenseMatrix& other) const;
+  /// Entry-wise square: S = this ∘ this.
+  DenseMatrix HadamardSquare() const;
+
+  DenseMatrix Transpose() const;
+
+  /// Sum of diagonal entries (square only).
+  double Trace() const;
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+  /// Maximum absolute entry.
+  double MaxAbs() const;
+  /// Induced 1-norm (max absolute column sum).
+  double OneNorm() const;
+  /// Sum of all entries.
+  double Sum() const;
+
+  /// Number of entries with |a_ij| > tol.
+  long long CountNonZeros(double tol = 0.0) const;
+  /// Zeroes entries with |a_ij| < threshold (strict), in place.
+  void ApplyThreshold(double threshold);
+
+  /// Vector of row sums (length rows()).
+  std::vector<double> RowSums() const;
+  /// Vector of column sums (length cols()).
+  std::vector<double> ColSums() const;
+
+  bool SameShape(const DenseMatrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// out = a * b. Blocked ikj loop; `out` must not alias `a` or `b`.
+void MatmulInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out);
+
+/// Returns a * b.
+DenseMatrix Matmul(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Returns a + b.
+DenseMatrix Add(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Returns a - b.
+DenseMatrix Subtract(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Returns max |a_ij - b_ij|; matrices must share shape.
+double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b);
+
+/// y = A x (matrix-vector). `x` has length cols, `y` length rows.
+void MatvecInto(const DenseMatrix& a, std::span<const double> x,
+                std::span<double> y);
+
+}  // namespace least

@@ -1,0 +1,182 @@
+#include "linalg/expm.h"
+
+#include <array>
+#include <cmath>
+
+#include "linalg/lu.h"
+
+namespace least {
+
+namespace {
+
+// Padé coefficient tables from Higham, "The scaling and squaring method for
+// the matrix exponential revisited", SIAM J. Matrix Anal. Appl. 26(4), 2005.
+constexpr std::array<double, 4> kPade3 = {120, 60, 12, 1};
+constexpr std::array<double, 6> kPade5 = {30240, 15120, 3360, 420, 30, 1};
+constexpr std::array<double, 8> kPade7 = {17297280, 8648640, 1995840, 277200,
+                                          25200, 1512, 56, 1};
+constexpr std::array<double, 10> kPade9 = {
+    17643225600., 8821612800., 2075673600., 302702400., 30270240.,
+    2162160.,     110880.,     3960.,       90.,        1.};
+constexpr std::array<double, 14> kPade13 = {
+    64764752532480000., 32382376266240000., 7771770303897600.,
+    1187353796428800.,  129060195264000.,   10559470521600.,
+    670442572800.,      33522128640.,       1323241920.,
+    40840800.,          960960.,            16380.,
+    90.,                1.};
+
+// theta_m bounds from the same paper (||A||_1 below which order-m Padé is
+// accurate to double precision).
+constexpr double kTheta3 = 1.495585217958292e-2;
+constexpr double kTheta5 = 2.539398330063230e-1;
+constexpr double kTheta7 = 9.504178996162932e-1;
+constexpr double kTheta9 = 2.097847961257068e0;
+constexpr double kTheta13 = 5.371920351148152e0;
+
+// Evaluates the order-m Padé approximant r_m(A) = [q_m(A)]^{-1} p_m(A),
+// given precomputed even powers of A. For odd/even coefficient split:
+// p = A * (sum over odd i of c_i A^{i-1}) + (sum over even i of c_i A^i),
+// q mirrors p with signs flipped on odd terms.
+template <size_t N>
+DenseMatrix PadeApprox(const DenseMatrix& a,
+                       const std::vector<DenseMatrix>& even_powers,
+                       const std::array<double, N>& c) {
+  const int d = a.rows();
+  DenseMatrix u_inner(d, d);  // sum over odd coefficients (before A *)
+  DenseMatrix v(d, d);        // sum over even coefficients
+  for (int i = 0; i < d; ++i) {
+    u_inner(i, i) = c[1];
+    v(i, i) = c[0];
+  }
+  // even_powers[p] = A^{2p} for p >= 1.
+  for (size_t i = 2; i < N; ++i) {
+    const DenseMatrix& pow = even_powers[i / 2];
+    if (i % 2 == 1) {
+      u_inner.AddScaled(pow, c[i]);
+    } else {
+      v.AddScaled(pow, c[i]);
+    }
+  }
+  DenseMatrix u = Matmul(a, u_inner);
+  // Solve (v - u) r = (v + u).
+  DenseMatrix num = Add(v, u);
+  DenseMatrix den = Subtract(v, u);
+  auto lu = LuFactorization::Factor(den);
+  LEAST_CHECK(lu.ok());
+  return lu.value().Solve(num);
+}
+
+}  // namespace
+
+DenseMatrix Expm(const DenseMatrix& a) {
+  LEAST_CHECK(a.rows() == a.cols());
+  const int d = a.rows();
+  if (d == 0) return DenseMatrix();
+  if (d == 1) {
+    DenseMatrix r(1, 1);
+    r(0, 0) = std::exp(a(0, 0));
+    return r;
+  }
+
+  const double norm = a.OneNorm();
+  // Precompute A^2; higher even powers are formed lazily as needed.
+  std::vector<DenseMatrix> even;  // even[p] = A^{2p}
+  even.emplace_back(DenseMatrix::Identity(d));
+  even.push_back(Matmul(a, a));
+  auto ensure_even = [&](size_t p) {
+    while (even.size() <= p) {
+      even.push_back(Matmul(even[1], even.back()));
+    }
+  };
+
+  if (norm <= kTheta3) {
+    return PadeApprox(a, even, kPade3);
+  }
+  if (norm <= kTheta5) {
+    ensure_even(2);
+    return PadeApprox(a, even, kPade5);
+  }
+  if (norm <= kTheta7) {
+    ensure_even(3);
+    return PadeApprox(a, even, kPade7);
+  }
+  if (norm <= kTheta9) {
+    ensure_even(4);
+    return PadeApprox(a, even, kPade9);
+  }
+
+  // Scaling and squaring with Padé-13.
+  int squarings = 0;
+  double scaled_norm = norm;
+  while (scaled_norm > kTheta13) {
+    scaled_norm *= 0.5;
+    ++squarings;
+  }
+  DenseMatrix scaled = a;
+  scaled.Scale(std::ldexp(1.0, -squarings));
+  std::vector<DenseMatrix> scaled_even;
+  scaled_even.emplace_back(DenseMatrix::Identity(d));
+  scaled_even.push_back(Matmul(scaled, scaled));
+  scaled_even.push_back(Matmul(scaled_even[1], scaled_even[1]));
+  scaled_even.push_back(Matmul(scaled_even[1], scaled_even[2]));
+  // Higham's efficient p13 evaluation groups terms; the straightforward
+  // grouped form below uses A^2, A^4, A^6 only.
+  const auto& c = kPade13;
+  const DenseMatrix& a2 = scaled_even[1];
+  const DenseMatrix& a4 = scaled_even[2];
+  const DenseMatrix& a6 = scaled_even[3];
+
+  DenseMatrix tmp(d, d);
+  // u = A * (a6*(c13 a6 + c11 a4 + c9 a2) + c7 a6 + c5 a4 + c3 a2 + c1 I)
+  DenseMatrix inner(d, d);
+  inner.AddScaled(a6, c[13]);
+  inner.AddScaled(a4, c[11]);
+  inner.AddScaled(a2, c[9]);
+  MatmulInto(a6, inner, &tmp);
+  tmp.AddScaled(a6, c[7]);
+  tmp.AddScaled(a4, c[5]);
+  tmp.AddScaled(a2, c[3]);
+  for (int i = 0; i < d; ++i) tmp(i, i) += c[1];
+  DenseMatrix u = Matmul(scaled, tmp);
+  // v = a6*(c12 a6 + c10 a4 + c8 a2) + c6 a6 + c4 a4 + c2 a2 + c0 I
+  inner.Fill(0.0);
+  inner.AddScaled(a6, c[12]);
+  inner.AddScaled(a4, c[10]);
+  inner.AddScaled(a2, c[8]);
+  DenseMatrix v(d, d);
+  MatmulInto(a6, inner, &v);
+  v.AddScaled(a6, c[6]);
+  v.AddScaled(a4, c[4]);
+  v.AddScaled(a2, c[2]);
+  for (int i = 0; i < d; ++i) v(i, i) += c[0];
+
+  DenseMatrix num = Add(v, u);
+  DenseMatrix den = Subtract(v, u);
+  auto lu = LuFactorization::Factor(den);
+  LEAST_CHECK(lu.ok());
+  DenseMatrix r = lu.value().Solve(num);
+  DenseMatrix r2(d, d);
+  for (int s = 0; s < squarings; ++s) {
+    MatmulInto(r, r, &r2);
+    std::swap(r, r2);
+  }
+  return r;
+}
+
+DenseMatrix ExpmTaylor(const DenseMatrix& a, double tol, int max_terms) {
+  LEAST_CHECK(a.rows() == a.cols());
+  const int d = a.rows();
+  DenseMatrix sum = DenseMatrix::Identity(d);
+  DenseMatrix term = DenseMatrix::Identity(d);
+  DenseMatrix next(d, d);
+  for (int k = 1; k <= max_terms; ++k) {
+    MatmulInto(term, a, &next);
+    next.Scale(1.0 / k);
+    std::swap(term, next);
+    sum.AddScaled(term, 1.0);
+    if (term.MaxAbs() < tol) break;
+  }
+  return sum;
+}
+
+}  // namespace least

@@ -1,0 +1,26 @@
+/// \file expm.h
+/// \brief Dense matrix exponential.
+///
+/// The NOTEARS acyclicity constraint (Eq. 2 of the paper) is
+/// `h(W) = Tr(e^{W∘W}) − d`, whose gradient needs the full matrix
+/// exponential. This file implements Higham's (2005) scaling-and-squaring
+/// algorithm with Padé approximants of order 3/5/7/9/13 — the same method
+/// behind `scipy.linalg.expm`, which the paper's reference NOTEARS
+/// implementation uses. Cost is O(d^3) time and O(d^2) space, which is
+/// exactly the bottleneck LEAST removes.
+
+#pragma once
+
+#include "linalg/dense_matrix.h"
+
+namespace least {
+
+/// Computes e^A for a square matrix.
+DenseMatrix Expm(const DenseMatrix& a);
+
+/// Reference Taylor-series exponential (for testing Expm on small inputs).
+/// Sums terms until the increment falls below `tol` or `max_terms` is hit.
+DenseMatrix ExpmTaylor(const DenseMatrix& a, double tol = 1e-16,
+                       int max_terms = 200);
+
+}  // namespace least

@@ -1,0 +1,49 @@
+#include "linalg/hutchinson.h"
+
+#include <vector>
+
+namespace least {
+
+double EstimateExpmTraceMinusDim(const CsrMatrix& s,
+                                 const HutchinsonOptions& opts) {
+  LEAST_CHECK(s.rows() == s.cols());
+  const int d = s.rows();
+  if (d == 0) return 0.0;
+
+  // Variance reduction: Tr(S) and Tr(S²) are computed *exactly* in
+  // O(nnz log) — they dominate the series and carry most of the estimator
+  // variance. Only the k >= 3 tail (already damped by 1/k!) is estimated
+  // stochastically.
+  double exact = 0.0;
+  for (int i = 0; i < d; ++i) exact += s.At(i, i);
+  double trace_s2 = 0.0;
+  for (int i = 0; i < s.rows(); ++i) {
+    for (int64_t e = s.row_ptr()[i]; e < s.row_ptr()[i + 1]; ++e) {
+      trace_s2 += s.values()[e] * s.At(s.col_idx()[e], i);
+    }
+  }
+  exact += trace_s2 / 2.0;
+
+  Rng rng(opts.seed);
+  std::vector<double> z(d), v(d), next(d);
+  double acc = 0.0;
+  for (int p = 0; p < opts.probes; ++p) {
+    for (int i = 0; i < d; ++i) z[i] = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    v = z;
+    double factorial = 1.0;
+    double probe_sum = 0.0;
+    for (int k = 1; k <= opts.terms; ++k) {
+      s.MatvecInto(v, next);
+      std::swap(v, next);
+      factorial *= k;
+      if (k < 3) continue;  // first two moments handled exactly above
+      double dot = 0.0;
+      for (int i = 0; i < d; ++i) dot += z[i] * v[i];
+      probe_sum += dot / factorial;
+    }
+    acc += probe_sum;
+  }
+  return exact + acc / opts.probes;
+}
+
+}  // namespace least

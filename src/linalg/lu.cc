@@ -1,0 +1,82 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace least {
+
+Result<LuFactorization> LuFactorization::Factor(const DenseMatrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LU requires a square matrix");
+  }
+  const int n = a.rows();
+  DenseMatrix lu = a;
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+
+  for (int k = 0; k < n; ++k) {
+    // Partial pivoting: largest |entry| in column k at/below the diagonal.
+    int pivot = k;
+    double best = std::fabs(lu(k, k));
+    for (int i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best == 0.0) {
+      return Status::Internal("singular matrix in LU factorization");
+    }
+    if (pivot != k) {
+      std::swap(perm[k], perm[pivot]);
+      for (int j = 0; j < n; ++j) std::swap(lu(k, j), lu(pivot, j));
+    }
+    const double inv_pivot = 1.0 / lu(k, k);
+    for (int i = k + 1; i < n; ++i) {
+      const double factor = lu(i, k) * inv_pivot;
+      lu(i, k) = factor;
+      if (factor == 0.0) continue;
+      const double* uk = lu.row(k);
+      double* ui = lu.row(i);
+      for (int j = k + 1; j < n; ++j) ui[j] -= factor * uk[j];
+    }
+  }
+  return LuFactorization(std::move(lu), std::move(perm));
+}
+
+std::vector<double> LuFactorization::Solve(std::span<const double> b) const {
+  const int n = dim();
+  LEAST_CHECK(static_cast<int>(b.size()) == n);
+  std::vector<double> x(n);
+  // Forward substitution with permuted RHS (L has implicit unit diagonal).
+  for (int i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    const double* li = lu_.row(i);
+    for (int j = 0; j < i; ++j) s -= li[j] * x[j];
+    x[i] = s;
+  }
+  // Back substitution with U.
+  for (int i = n - 1; i >= 0; --i) {
+    const double* ui = lu_.row(i);
+    double s = x[i];
+    for (int j = i + 1; j < n; ++j) s -= ui[j] * x[j];
+    x[i] = s / ui[i];
+  }
+  return x;
+}
+
+DenseMatrix LuFactorization::Solve(const DenseMatrix& b) const {
+  const int n = dim();
+  LEAST_CHECK(b.rows() == n);
+  DenseMatrix x(n, b.cols());
+  std::vector<double> col(n), sol(n);
+  for (int c = 0; c < b.cols(); ++c) {
+    for (int i = 0; i < n; ++i) col[i] = b(i, c);
+    sol = Solve(col);
+    for (int i = 0; i < n; ++i) x(i, c) = sol[i];
+  }
+  return x;
+}
+
+}  // namespace least

@@ -1,0 +1,37 @@
+/// \file lu.h
+/// \brief Dense LU factorization with partial pivoting.
+///
+/// Substrate for the Padé rational approximation inside `Expm` (the NOTEARS
+/// baseline needs to solve (D - N) X = (D + N) style systems).
+
+#pragma once
+
+#include "linalg/dense_matrix.h"
+#include "util/status.h"
+
+namespace least {
+
+/// \brief LU factorization (PA = LU) of a square matrix.
+class LuFactorization {
+ public:
+  /// Factors `a`. Fails with `kInvalidArgument` for non-square input and
+  /// `kInternal` when a zero pivot makes the matrix numerically singular.
+  static Result<LuFactorization> Factor(const DenseMatrix& a);
+
+  /// Solves A X = B for X (B has matching row count). Returns X.
+  DenseMatrix Solve(const DenseMatrix& b) const;
+
+  /// Solves A x = b for a single right-hand side.
+  std::vector<double> Solve(std::span<const double> b) const;
+
+  int dim() const { return lu_.rows(); }
+
+ private:
+  LuFactorization(DenseMatrix lu, std::vector<int> perm)
+      : lu_(std::move(lu)), perm_(std::move(perm)) {}
+
+  DenseMatrix lu_;         // packed L (unit diag, below) and U (on/above)
+  std::vector<int> perm_;  // row permutation: solve uses b[perm_[i]]
+};
+
+}  // namespace least

@@ -1,0 +1,73 @@
+#include "linalg/power_iteration.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace least {
+
+namespace {
+
+// Shared driver: `matvec(x, y)` computes y = A x.
+//
+// For irreducible *periodic* non-negative matrices (e.g. a pure 2-cycle)
+// the per-step norm ratio ||Ax_k|| oscillates around the Perron root
+// instead of converging, but the geometric mean of the ratios over a tail
+// window converges to it (the product over a full period telescopes to
+// ||A^p x|| / ||x|| ~ rho^p). We therefore return the plain estimate when
+// it converges and the tail geometric mean otherwise.
+template <typename Matvec>
+double PowerIterate(int d, Matvec&& matvec, const PowerIterationOptions& opts) {
+  if (d == 0) return 0.0;
+  Rng rng(opts.seed);
+  std::vector<double> x(d), y(d);
+  for (double& v : x) v = rng.Uniform(0.5, 1.0);
+
+  const int burn_in = std::min(opts.max_iters / 2, 32);
+  double lambda = 0.0;
+  double log_sum = 0.0;
+  int log_count = 0;
+  for (int it = 0; it < opts.max_iters; ++it) {
+    matvec(x, y);
+    double norm = 0.0;
+    for (double v : y) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) return 0.0;  // nilpotent direction: radius ~ 0
+    const double next = norm;       // ||Ax_k|| with ||x_k|| = 1
+    for (int i = 0; i < d; ++i) x[i] = y[i] / norm;
+    if (it >= burn_in) {
+      log_sum += std::log(next);
+      ++log_count;
+    }
+    if (it > 0 && std::fabs(next - lambda) <=
+                      opts.tol * std::max(1.0, std::fabs(next))) {
+      return next;
+    }
+    lambda = next;
+  }
+  return log_count > 0 ? std::exp(log_sum / log_count) : lambda;
+}
+
+}  // namespace
+
+double SpectralRadius(const DenseMatrix& a, const PowerIterationOptions& opts) {
+  LEAST_CHECK(a.rows() == a.cols());
+  return PowerIterate(
+      a.rows(),
+      [&](const std::vector<double>& x, std::vector<double>& y) {
+        MatvecInto(a, x, y);
+      },
+      opts);
+}
+
+double SpectralRadius(const CsrMatrix& a, const PowerIterationOptions& opts) {
+  LEAST_CHECK(a.rows() == a.cols());
+  return PowerIterate(
+      a.rows(),
+      [&](const std::vector<double>& x, std::vector<double>& y) {
+        a.MatvecInto(x, y);
+      },
+      opts);
+}
+
+}  // namespace least

@@ -1,0 +1,132 @@
+#include "metrics/structure_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace least {
+
+StructureMetrics EvaluateStructure(const DenseMatrix& w_true,
+                                   const DenseMatrix& w_est, double tol) {
+  LEAST_CHECK(w_true.rows() == w_true.cols());
+  LEAST_CHECK(w_true.SameShape(w_est));
+  const int d = w_true.rows();
+
+  StructureMetrics m;
+  long long undirected_extra = 0;
+  long long undirected_missing = 0;
+
+  auto is_true = [&](int i, int j) {
+    return std::fabs(w_true(i, j)) > tol;
+  };
+  auto is_pred = [&](int i, int j) {
+    return std::fabs(w_est(i, j)) > tol;
+  };
+
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < d; ++j) {
+      if (i == j) continue;
+      const bool t = is_true(i, j);
+      const bool p = is_pred(i, j);
+      if (t) ++m.true_edges;
+      if (p) ++m.pred_edges;
+      if (p && t) {
+        ++m.true_positive;
+      } else if (p && !t && is_true(j, i)) {
+        ++m.reversed;
+      } else if (p) {
+        ++m.false_positive;
+      }
+    }
+  }
+
+  // Skeleton (undirected) differences for SHD.
+  for (int i = 0; i < d; ++i) {
+    for (int j = i + 1; j < d; ++j) {
+      const bool t = is_true(i, j) || is_true(j, i);
+      const bool p = is_pred(i, j) || is_pred(j, i);
+      if (p && !t) ++undirected_extra;
+      if (t && !p) ++undirected_missing;
+    }
+  }
+  m.missing = undirected_missing;
+  // A predicted 2-cycle over a single true edge contributes one reversal and
+  // one hit; count reversed pairs once for SHD like count_accuracy does.
+  long long reversed_pairs = 0;
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < d; ++j) {
+      if (i == j) continue;
+      if (is_pred(i, j) && !is_true(i, j) && is_true(j, i) &&
+          !is_pred(j, i)) {
+        ++reversed_pairs;
+      }
+    }
+  }
+  m.shd = undirected_extra + undirected_missing + reversed_pairs;
+
+  const double non_edges =
+      static_cast<double>(d) * (d - 1) / 2.0 - static_cast<double>(m.true_edges);
+  m.fdr = m.pred_edges > 0
+              ? static_cast<double>(m.reversed + m.false_positive) /
+                    static_cast<double>(m.pred_edges)
+              : 0.0;
+  m.tpr = m.true_edges > 0 ? static_cast<double>(m.true_positive) /
+                                 static_cast<double>(m.true_edges)
+                           : 0.0;
+  m.fpr = non_edges > 0 ? static_cast<double>(m.reversed + m.false_positive) /
+                              non_edges
+                        : 0.0;
+  m.precision = m.pred_edges > 0
+                    ? static_cast<double>(m.true_positive) /
+                          static_cast<double>(m.pred_edges)
+                    : 0.0;
+  m.recall = m.tpr;
+  m.f1 = (m.precision + m.recall) > 0.0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+double EdgeAucRoc(const DenseMatrix& w_true, const DenseMatrix& w_est) {
+  LEAST_CHECK(w_true.rows() == w_true.cols());
+  LEAST_CHECK(w_true.SameShape(w_est));
+  const int d = w_true.rows();
+
+  struct Scored {
+    double score;
+    bool positive;
+  };
+  std::vector<Scored> items;
+  items.reserve(static_cast<size_t>(d) * (d - 1));
+  long long positives = 0;
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < d; ++j) {
+      if (i == j) continue;
+      const bool pos = w_true(i, j) != 0.0;
+      positives += pos;
+      items.push_back({std::fabs(w_est(i, j)), pos});
+    }
+  }
+  const long long negatives = static_cast<long long>(items.size()) - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  std::sort(items.begin(), items.end(),
+            [](const Scored& a, const Scored& b) { return a.score < b.score; });
+
+  // Sum of midranks of the positive class (Mann–Whitney U).
+  double rank_sum = 0.0;
+  size_t i = 0;
+  while (i < items.size()) {
+    size_t j = i;
+    while (j < items.size() && items[j].score == items[i].score) ++j;
+    const double midrank = 0.5 * static_cast<double>(i + 1 + j);  // 1-based
+    for (size_t k = i; k < j; ++k) {
+      if (items[k].positive) rank_sum += midrank;
+    }
+    i = j;
+  }
+  const double u = rank_sum - static_cast<double>(positives) *
+                                  (static_cast<double>(positives) + 1) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+}  // namespace least

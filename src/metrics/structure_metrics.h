@@ -1,0 +1,55 @@
+/// \file structure_metrics.h
+/// \brief Structure-recovery metrics: SHD, F1, FDR/TPR/FPR, AUC-ROC.
+///
+/// Definitions follow the NOTEARS reference evaluation (`count_accuracy`),
+/// which the paper reuses for Fig. 4 and Table I:
+///   * true positive  — predicted edge with correct direction;
+///   * reversed       — predicted edge whose reverse is a true edge;
+///   * false positive — predicted edge absent from the true skeleton;
+///   * FDR = (reversed + FP) / max(pred, 1)
+///   * TPR = TP / max(true edges, 1)
+///   * FPR = (reversed + FP) / max(non-edges in skeleton, 1)
+///   * SHD = undirected extra + undirected missing + reversed.
+/// F1 is direction-sensitive: precision = TP / pred, recall = TPR.
+
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+
+namespace least {
+
+/// \brief Edge-level confusion counts plus derived rates.
+struct StructureMetrics {
+  long long true_edges = 0;   ///< edges in the ground truth
+  long long pred_edges = 0;   ///< edges in the estimate
+  long long true_positive = 0;
+  long long reversed = 0;
+  long long false_positive = 0;  ///< predicted, not in true skeleton
+  long long missing = 0;         ///< skeleton edges absent from estimate
+
+  double fdr = 0.0;
+  double tpr = 0.0;
+  double fpr = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  long long shd = 0;
+};
+
+/// Compares estimated structure (support of `w_est`, |w| > tol) against the
+/// ground-truth DAG (support of `w_true`). Diagonals are ignored.
+StructureMetrics EvaluateStructure(const DenseMatrix& w_true,
+                                   const DenseMatrix& w_est,
+                                   double tol = 1e-12);
+
+/// \brief Area under the ROC curve for edge scores.
+///
+/// Every ordered pair (i, j), i != j, is an instance with score
+/// |w_est(i, j)| and positive label iff the true graph has edge i -> j.
+/// Computed via the Mann–Whitney rank statistic with midrank tie handling.
+/// Returns 0.5 when either class is empty.
+double EdgeAucRoc(const DenseMatrix& w_true, const DenseMatrix& w_est);
+
+}  // namespace least

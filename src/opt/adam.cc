@@ -1,0 +1,46 @@
+#include "opt/adam.h"
+
+#include <cmath>
+
+namespace least {
+
+Adam::Adam(size_t num_params, const AdamOptions& options)
+    : options_(options), m_(num_params, 0.0), v_(num_params, 0.0) {}
+
+void Adam::Step(std::span<double> params, std::span<const double> grad) {
+  LEAST_CHECK(params.size() == m_.size());
+  LEAST_CHECK(grad.size() == m_.size());
+  ++t_;
+  const double b1 = options_.beta1;
+  const double b2 = options_.beta2;
+  // Bias-corrected step size folds the corrections into a scalar.
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  const double alpha = options_.learning_rate * std::sqrt(bias2) / bias1;
+  for (size_t i = 0; i < m_.size(); ++i) {
+    const double g = grad[i];
+    m_[i] = b1 * m_[i] + (1.0 - b1) * g;
+    v_[i] = b2 * v_[i] + (1.0 - b2) * g * g;
+    params[i] -= alpha * m_[i] / (std::sqrt(v_[i]) + options_.epsilon);
+  }
+}
+
+void Adam::Compact(const std::vector<int64_t>& kept_positions) {
+  size_t write = 0;
+  for (int64_t old_pos : kept_positions) {
+    LEAST_CHECK(old_pos >= 0 && old_pos < static_cast<int64_t>(m_.size()));
+    m_[write] = m_[old_pos];
+    v_[write] = v_[old_pos];
+    ++write;
+  }
+  m_.resize(write);
+  v_.resize(write);
+}
+
+void Adam::Reset() {
+  std::fill(m_.begin(), m_.end(), 0.0);
+  std::fill(v_.begin(), v_.end(), 0.0);
+  t_ = 0;
+}
+
+}  // namespace least

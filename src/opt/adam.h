@@ -1,0 +1,59 @@
+/// \file adam.h
+/// \brief Adam optimizer over flat parameter vectors.
+///
+/// The paper's INNER procedure (Fig. 3, line 8) updates W with Adam [15].
+/// One `Adam` instance drives either a dense matrix (its row-major storage)
+/// or a sparse matrix (its CSR value array) — the sparse path is what makes
+/// LEAST-SP possible, because the optimizer state is exactly as sparse as W.
+/// `Compact()` keeps moment estimates aligned when thresholded entries are
+/// physically removed from the CSR pattern.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace least {
+
+/// \brief Adam hyper-parameters (defaults follow Kingma & Ba and the paper's
+/// learning rate of 0.01).
+struct AdamOptions {
+  double learning_rate = 0.01;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+/// \brief Stateful Adam optimizer for a fixed-size parameter vector.
+class Adam {
+ public:
+  /// Creates state for `num_params` parameters.
+  explicit Adam(size_t num_params, const AdamOptions& options = {});
+
+  /// Applies one Adam update: params -= lr * m_hat / (sqrt(v_hat) + eps).
+  /// `params` and `grad` must both have the state's current size.
+  void Step(std::span<double> params, std::span<const double> grad);
+
+  /// Shrinks the state to the entries listed in `kept_positions` (sorted,
+  /// unique old indices). Used after `CsrMatrix::Compact()` so that moment
+  /// estimates follow their surviving parameters.
+  void Compact(const std::vector<int64_t>& kept_positions);
+
+  /// Resets moments and the step counter, keeping the size.
+  void Reset();
+
+  size_t size() const { return m_.size(); }
+  int64_t step_count() const { return t_; }
+  const AdamOptions& options() const { return options_; }
+
+ private:
+  AdamOptions options_;
+  std::vector<double> m_;  // first-moment estimate
+  std::vector<double> v_;  // second-moment estimate
+  int64_t t_ = 0;
+};
+
+}  // namespace least

@@ -1,0 +1,41 @@
+/// \file sgd.h
+/// \brief Plain (optionally momentum) SGD, used as an ablation against Adam
+/// in the inner loop and by a handful of tests as a minimal optimizer.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace least {
+
+/// \brief SGD with classical momentum.
+class Sgd {
+ public:
+  explicit Sgd(size_t num_params, double learning_rate = 0.01,
+               double momentum = 0.0)
+      : learning_rate_(learning_rate),
+        momentum_(momentum),
+        velocity_(num_params, 0.0) {}
+
+  /// params -= lr * (momentum-filtered) grad.
+  void Step(std::span<double> params, std::span<const double> grad) {
+    LEAST_CHECK(params.size() == velocity_.size());
+    LEAST_CHECK(grad.size() == velocity_.size());
+    for (size_t i = 0; i < velocity_.size(); ++i) {
+      velocity_[i] = momentum_ * velocity_[i] + grad[i];
+      params[i] -= learning_rate_ * velocity_[i];
+    }
+  }
+
+  size_t size() const { return velocity_.size(); }
+
+ private:
+  double learning_rate_;
+  double momentum_;
+  std::vector<double> velocity_;
+};
+
+}  // namespace least

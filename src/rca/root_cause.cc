@@ -1,0 +1,136 @@
+#include "rca/root_cause.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace least {
+
+std::string AnomalyReport::Format(
+    const std::vector<std::string>& node_names) const {
+  std::string out;
+  // Paper style: "Error in Step 3 <- Fare source 5 <- Airline MU".
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    if (!out.empty()) out += " <- ";
+    out += node_names[*it];
+  }
+  return out;
+}
+
+namespace {
+
+long long CountPathSupport(const DenseMatrix& window,
+                           const std::vector<int>& path) {
+  long long count = 0;
+  for (int r = 0; r < window.rows(); ++r) {
+    const double* row = window.row(r);
+    bool all = true;
+    for (int node : path) {
+      if (row[node] == 0.0) {
+        all = false;
+        break;
+      }
+    }
+    count += all;
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<AnomalyReport> DetectAnomalies(
+    const DenseMatrix& w_learned, const std::vector<int>& error_nodes,
+    const DenseMatrix& current, const DenseMatrix& previous,
+    const RcaOptions& options) {
+  LEAST_CHECK(current.cols() == w_learned.rows());
+  LEAST_CHECK(previous.cols() == w_learned.rows());
+  AdjacencyList adj = AdjacencyFromDense(w_learned, options.edge_tolerance);
+  if (options.use_skeleton) {
+    // Symmetrize: every edge becomes traversable in both directions; the
+    // support z-test downstream filters spurious paths.
+    const int d = static_cast<int>(adj.size());
+    std::vector<std::vector<char>> have(d, std::vector<char>(d, 0));
+    for (int i = 0; i < d; ++i) {
+      for (int j : adj[i]) have[i][j] = 1;
+    }
+    for (int i = 0; i < d; ++i) {
+      for (int j = 0; j < d; ++j) {
+        if (have[i][j] && !have[j][i]) adj[j].push_back(i);
+      }
+    }
+  }
+
+  std::vector<AnomalyReport> reports;
+  for (int error : error_nodes) {
+    // Error-occurrence totals for the conditional proportions.
+    const long long errors_current = CountPathSupport(current, {error});
+    const long long errors_previous = CountPathSupport(previous, {error});
+    const auto paths = PathsInto(adj, error, options.max_path_length,
+                                 options.max_paths_per_node);
+    for (const auto& path : paths) {
+      // Skip paths that run through other error nodes: mixing failure
+      // signals confounds the test (each error type is analyzed alone).
+      bool through_error = false;
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        if (std::find(error_nodes.begin(), error_nodes.end(), path[i]) !=
+            error_nodes.end()) {
+          through_error = true;
+          break;
+        }
+      }
+      if (through_error) continue;
+
+      AnomalyReport report;
+      report.path = path;
+      report.support_current = CountPathSupport(current, path);
+      if (report.support_current < options.min_support) continue;
+      report.support_previous = CountPathSupport(previous, path);
+      report.errors_current = errors_current;
+      report.errors_previous = errors_previous;
+      // Conditional test: of the records where this error fired, did the
+      // fraction also matching the candidate cause chain rise? A baseline
+      // window with zero errors contributes an (empty) zero proportion.
+      report.p_value = TwoProportionZTestPValue(
+          report.support_current, std::max(errors_current, 1LL),
+          report.support_previous, std::max(errors_previous, 1LL));
+      if (report.p_value <= options.p_value_threshold) {
+        reports.push_back(std::move(report));
+      }
+    }
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const AnomalyReport& a, const AnomalyReport& b) {
+              return a.p_value < b.p_value;
+            });
+  return reports;
+}
+
+RcaEvaluation EvaluateReports(const std::vector<AnomalyReport>& reports,
+                              const std::vector<AnomalyScenario>& injected) {
+  RcaEvaluation eval;
+  eval.scenarios_total = static_cast<int>(injected.size());
+  std::vector<char> found(injected.size(), 0);
+  for (const AnomalyReport& report : reports) {
+    bool matched = false;
+    for (size_t s = 0; s < injected.size(); ++s) {
+      const AnomalyScenario& scenario = injected[s];
+      if (report.path.empty() || report.path.back() != scenario.error_step) {
+        continue;
+      }
+      for (int node : scenario.condition_nodes) {
+        if (std::find(report.path.begin(), report.path.end(), node) !=
+            report.path.end()) {
+          matched = true;
+          found[s] = 1;
+          break;
+        }
+      }
+      if (matched) break;
+    }
+    matched ? ++eval.true_positives : ++eval.false_positives;
+  }
+  for (char f : found) eval.scenarios_found += f;
+  return eval;
+}
+
+}  // namespace least

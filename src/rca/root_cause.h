@@ -1,0 +1,80 @@
+/// \file root_cause.h
+/// \brief BN-based anomaly detection and root-cause analysis
+/// (paper Section VI-A, the Fliggy monitoring pipeline).
+///
+/// Pipeline, exactly as the paper describes:
+///  1. learn a BN over the monitoring window T (done by the caller with
+///     LEAST; this module consumes the learned weight matrix);
+///  2. for every error-type node X, follow incoming links backwards to
+///     enumerate candidate cause paths P ending at X;
+///  3. for each P, count its support (records where all nodes on the path
+///     co-occur) in T and in the previous window T', and run a one-sided
+///     two-proportion z-test *conditioned on the error occurring*: the
+///     compared proportions are  support(P) / count(error)  per window.
+///     Conditioning is what makes the test identify which causes explain
+///     the new errors — an unconditional co-occurrence test would flag
+///     every frequent indicator whenever the overall error rate rises;
+///  4. report paths whose conditional support rose significantly — the
+///     tail of P pinpoints the root cause.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/booking_simulator.h"
+#include "graph/dag.h"
+#include "linalg/dense_matrix.h"
+
+namespace least {
+
+/// \brief One reported anomaly path.
+struct AnomalyReport {
+  std::vector<int> path;  ///< root-first, error node last
+  double p_value = 1.0;
+  long long support_current = 0;   ///< co-occurrence count in T
+  long long support_previous = 0;  ///< co-occurrence count in T'
+  long long errors_current = 0;    ///< error-node occurrences in T
+  long long errors_previous = 0;   ///< error-node occurrences in T'
+  /// Human-readable "Error:X <- Cause1 <- Cause2" rendering.
+  std::string Format(const std::vector<std::string>& node_names) const;
+};
+
+/// \brief Options for `DetectAnomalies`.
+struct RcaOptions {
+  double edge_tolerance = 0.05;  ///< |W| above which an edge exists
+  int max_path_length = 3;       ///< hops followed backwards
+  int max_paths_per_node = 200;  ///< enumeration cap per error node
+  double p_value_threshold = 1e-4;
+  long long min_support = 5;     ///< ignore paths rarer than this in T
+  /// Follow the learned *skeleton* (edges in either direction) when walking
+  /// back from an error node. Monitoring logs are one-hot/binary, which
+  /// breaks the equal-noise assumption LSEM needs to orient edges, so a
+  /// genuine cause occasionally comes out reversed; the z-test on windowed
+  /// support is what validates causality anyway. Set to false to trust
+  /// learned directions strictly (paper Section VI-A description).
+  bool use_skeleton = true;
+};
+
+/// Runs steps 2–4 on a learned weight matrix. `current` and `previous` are
+/// binary record matrices over the same node set (records x nodes).
+/// Results are sorted by ascending p-value.
+std::vector<AnomalyReport> DetectAnomalies(
+    const DenseMatrix& w_learned, const std::vector<int>& error_nodes,
+    const DenseMatrix& current, const DenseMatrix& previous,
+    const RcaOptions& options);
+
+/// \brief TP/FP accounting against injected ground truth (Fig. 7 analog).
+struct RcaEvaluation {
+  int true_positives = 0;   ///< reports matching an injected scenario
+  int false_positives = 0;  ///< reports matching nothing
+  int scenarios_found = 0;  ///< distinct injected scenarios detected
+  int scenarios_total = 0;
+};
+
+/// A report matches a scenario when its path ends at the scenario's error
+/// step and contains at least one of the scenario's condition nodes.
+RcaEvaluation EvaluateReports(const std::vector<AnomalyReport>& reports,
+                              const std::vector<AnomalyScenario>& injected);
+
+}  // namespace least

@@ -1,0 +1,76 @@
+#include "sem/lsem_sampler.h"
+
+#include "graph/dag.h"
+
+namespace least {
+
+const char* NoiseTypeName(NoiseType type) {
+  switch (type) {
+    case NoiseType::kGaussian:
+      return "Gaussian";
+    case NoiseType::kExponential:
+      return "Exponential";
+    case NoiseType::kGumbel:
+      return "Gumbel";
+  }
+  return "?";
+}
+
+Result<DenseMatrix> SampleLsem(const DenseMatrix& w, int n,
+                               const LsemOptions& options, Rng& rng) {
+  if (w.rows() != w.cols()) {
+    return Status::InvalidArgument("weight matrix must be square");
+  }
+  if (n < 0) {
+    return Status::InvalidArgument("sample count must be non-negative");
+  }
+  const int d = w.rows();
+  AdjacencyList adj = AdjacencyFromDense(w);
+  auto order = TopologicalSort(adj);
+  if (!order.ok()) {
+    return Status::InvalidArgument("weight matrix support is cyclic");
+  }
+
+  // Precompute parent lists: parents[i] = {(j, w(j,i))}.
+  std::vector<std::vector<std::pair<int, double>>> parents(d);
+  for (int j = 0; j < d; ++j) {
+    for (int i : adj[j]) parents[i].push_back({j, w(j, i)});
+  }
+
+  auto draw_noise = [&]() -> double {
+    switch (options.noise) {
+      case NoiseType::kGaussian:
+        return rng.Gaussian(0.0, options.noise_scale);
+      case NoiseType::kExponential:
+        return options.noise_scale *
+               rng.Exponential(1.0, options.center_noise);
+      case NoiseType::kGumbel:
+        return rng.Gumbel(options.noise_scale, options.center_noise);
+    }
+    return 0.0;
+  };
+
+  DenseMatrix x(n, d);
+  for (int s = 0; s < n; ++s) {
+    double* row = x.row(s);
+    for (int node : order.value()) {
+      double v = draw_noise();
+      for (const auto& [p, weight] : parents[node]) v += weight * row[p];
+      row[node] = v;
+    }
+  }
+  return x;
+}
+
+void CenterColumns(DenseMatrix* x) {
+  LEAST_CHECK(x != nullptr);
+  if (x->rows() == 0) return;
+  std::vector<double> mean = x->ColSums();
+  for (double& m : mean) m /= x->rows();
+  for (int i = 0; i < x->rows(); ++i) {
+    double* row = x->row(i);
+    for (int j = 0; j < x->cols(); ++j) row[j] -= mean[j];
+  }
+}
+
+}  // namespace least

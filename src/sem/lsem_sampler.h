@@ -1,0 +1,49 @@
+/// \file lsem_sampler.h
+/// \brief Linear structural equation model (LSEM) sampling.
+///
+/// The paper's data model (Section II): X_i = w_i^T X + n_i with W[j,i] != 0
+/// iff X_j is a parent of X_i, i.e. in matrix form X = X W + N over samples.
+/// Samples are generated in topological order of G(W) so every parent value
+/// exists before its children. Noise is Gaussian, Exponential or Gumbel —
+/// the three benchmark families of Fig. 4.
+
+#pragma once
+
+#include "linalg/dense_matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace least {
+
+/// Additive-noise families used by the paper's benchmark (Fig. 4).
+enum class NoiseType {
+  kGaussian,     ///< "GS"
+  kExponential,  ///< "EX"
+  kGumbel,       ///< "GB"
+};
+
+const char* NoiseTypeName(NoiseType type);
+
+/// \brief Options for `SampleLsem`.
+struct LsemOptions {
+  NoiseType noise = NoiseType::kGaussian;
+  double noise_scale = 1.0;
+  /// Center exponential/Gumbel noise to zero mean (the Gaussian is already
+  /// centered). Keeps all noise families comparable, as in the NOTEARS
+  /// generator where only the linear part carries signal.
+  bool center_noise = true;
+};
+
+/// Draws n i.i.d. samples from the LSEM defined by weighted DAG `w`
+/// (w(i,j) = weight of edge i -> j). Returns an n x d matrix.
+/// Fails with `kInvalidArgument` when `w` is not square or its support is
+/// cyclic.
+Result<DenseMatrix> SampleLsem(const DenseMatrix& w, int n,
+                               const LsemOptions& options, Rng& rng);
+
+/// Subtracts each column's mean in place (used before structure learning on
+/// raw observational data; ratings data is centered per *user* instead, see
+/// `data/ratings_generator.h`).
+void CenterColumns(DenseMatrix* x);
+
+}  // namespace least

@@ -1,0 +1,36 @@
+/// \file check.h
+/// \brief Invariant-checking macros for programming errors.
+///
+/// `LEAST_CHECK` is always on and aborts with a message; `LEAST_DCHECK` is
+/// compiled out in release (NDEBUG) builds. These are for bugs inside the
+/// library, not for user-facing error handling (use `Status` for that).
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace least::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "LEAST_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace least::internal
+
+#define LEAST_CHECK(cond)                                      \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::least::internal::CheckFailed(#cond, __FILE__, __LINE__); \
+    }                                                          \
+  } while (false)
+
+#ifdef NDEBUG
+#define LEAST_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define LEAST_DCHECK(cond) LEAST_CHECK(cond)
+#endif

@@ -1,0 +1,92 @@
+#include "util/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace least {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+}  // namespace
+
+Result<CsvTable> ReadCsv(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  CsvTable table;
+  std::string line;
+  size_t expected_cols = 0;
+  bool first = true;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> cells = SplitLine(line);
+    if (first && has_header) {
+      table.header = std::move(cells);
+      expected_cols = table.header.size();
+      first = false;
+      continue;
+    }
+    if (first) {
+      expected_cols = cells.size();
+      first = false;
+    } else if (cells.size() != expected_cols) {
+      return Status::InvalidArgument(
+          "ragged CSV row at line " + std::to_string(line_no) + " in '" +
+          path + "'");
+    }
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const std::string& c : cells) {
+      errno = 0;
+      char* end = nullptr;
+      double v = std::strtod(c.c_str(), &end);
+      if (end == c.c_str() || errno == ERANGE) {
+        return Status::InvalidArgument(
+            "non-numeric CSV cell '" + c + "' at line " +
+            std::to_string(line_no) + " in '" + path + "'");
+      }
+      row.push_back(v);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<double>>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  if (!header.empty()) {
+    for (size_t i = 0; i < header.size(); ++i) {
+      out << header[i] << (i + 1 == header.size() ? "\n" : ",");
+    }
+  }
+  out.precision(17);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << row[i] << (i + 1 == row.size() ? "\n" : ",");
+    }
+  }
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+}  // namespace least

@@ -1,0 +1,35 @@
+/// \file csv.h
+/// \brief Minimal CSV reading/writing for numeric tables.
+///
+/// Data matrices and learned edge lists can be exported for inspection or
+/// imported from user files (e.g. a real MovieLens export). Values are
+/// doubles; no quoting/escaping is supported (numeric payloads only, with an
+/// optional header line of column names).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace least {
+
+/// \brief A parsed CSV file: optional header plus a dense row-major table.
+struct CsvTable {
+  std::vector<std::string> header;        ///< empty if `has_header` was false
+  std::vector<std::vector<double>> rows;  ///< each inner vector is one line
+};
+
+/// Reads a numeric CSV file. When `has_header` is true the first line is
+/// returned in `CsvTable::header` instead of being parsed as numbers.
+/// Fails with `kIoError` when the file cannot be opened and
+/// `kInvalidArgument` on ragged rows or non-numeric cells.
+Result<CsvTable> ReadCsv(const std::string& path, bool has_header);
+
+/// Writes a numeric table (with optional header) to `path`.
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<double>>& rows);
+
+}  // namespace least

@@ -1,0 +1,32 @@
+/// \file env.h
+/// \brief Environment-variable helpers used by the benchmark harnesses to
+/// scale workload sizes (`LEAST_BENCH_SCALE`, `LEAST_BENCH_FULL`).
+
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace least {
+
+/// Reads a double from the environment, or `fallback` when unset/invalid.
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  return end == v ? fallback : parsed;
+}
+
+/// Reads an int from the environment, or `fallback` when unset/invalid.
+inline int EnvInt(const char* name, int fallback) {
+  return static_cast<int>(EnvDouble(name, fallback));
+}
+
+/// True when the variable is set to a non-empty, non-"0" value.
+inline bool EnvFlag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+}  // namespace least

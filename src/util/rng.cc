@@ -1,0 +1,40 @@
+#include "util/rng.h"
+
+#include <numeric>
+#include <unordered_set>
+
+namespace least {
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  LEAST_CHECK(k >= 0 && k <= n);
+  if (k == 0) return {};
+  // Dense sampling when k is a large fraction of n; otherwise hash-based
+  // rejection (Floyd's algorithm) to stay O(k).
+  if (k * 3 >= n) {
+    std::vector<int> all = Permutation(n);
+    all.resize(k);
+    return all;
+  }
+  std::unordered_set<int> chosen;
+  std::vector<int> out;
+  out.reserve(k);
+  for (int j = n - k; j < n; ++j) {
+    int t = UniformInt(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+std::vector<int> Rng::Permutation(int n) {
+  std::vector<int> p(n);
+  std::iota(p.begin(), p.end(), 0);
+  Shuffle(p);
+  return p;
+}
+
+}  // namespace least

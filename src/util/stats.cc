@@ -1,0 +1,71 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+namespace least {
+
+double Mean(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double StdDev(std::span<const double> v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+double PearsonCorrelation(std::span<const double> a,
+                          std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double TwoProportionZTestPValue(long long successes1, long long total1,
+                                long long successes2, long long total2) {
+  if (total1 <= 0 || total2 <= 0) return 1.0;
+  const double p1 = static_cast<double>(successes1) / total1;
+  const double p2 = static_cast<double>(successes2) / total2;
+  const double pooled =
+      static_cast<double>(successes1 + successes2) / (total1 + total2);
+  const double var =
+      pooled * (1.0 - pooled) * (1.0 / total1 + 1.0 / total2);
+  if (var <= 0.0) return 1.0;
+  const double z = (p1 - p2) / std::sqrt(var);
+  return 1.0 - NormalCdf(z);
+}
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace least

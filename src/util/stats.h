@@ -1,0 +1,57 @@
+/// \file stats.h
+/// \brief Small statistics toolkit: moments, correlation, hypothesis tests.
+///
+/// Used by the root-cause-analysis subsystem (two-proportion z-test on path
+/// support counts, Section VI-A of the paper) and by the evaluation harness
+/// (Pearson correlation between the spectral bound and the NOTEARS
+/// constraint, Fig. 4 row 3).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace least {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(std::span<const double> v);
+
+/// Unbiased sample standard deviation; 0 for fewer than two elements.
+double StdDev(std::span<const double> v);
+
+/// Pearson correlation coefficient of two equal-length series.
+/// Returns 0 when either series is constant or the series are empty.
+double PearsonCorrelation(std::span<const double> a,
+                          std::span<const double> b);
+
+/// Standard normal cumulative distribution function.
+double NormalCdf(double x);
+
+/// \brief Two-proportion z-test.
+///
+/// Tests whether the success proportion in sample 1 (successes1/total1)
+/// exceeds the proportion in sample 2, using the pooled-variance z statistic.
+/// Returns the one-sided p-value P(Z >= z); small values indicate the rate
+/// increased significantly. Degenerate inputs (zero totals, zero pooled
+/// variance) return 1.0, i.e. "not significant".
+double TwoProportionZTestPValue(long long successes1, long long total1,
+                                long long successes2, long long total2);
+
+/// \brief Welford-style streaming accumulator for mean/variance.
+class RunningStats {
+ public:
+  void Add(double x);
+  long long count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  long long count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace least

@@ -1,0 +1,134 @@
+/// \file status.h
+/// \brief Error propagation primitives for the LEAST library.
+///
+/// Fallible public APIs return `Status` (or `Result<T>` when they produce a
+/// value). This mirrors the Arrow/RocksDB idiom: no exceptions cross library
+/// boundaries; internal invariant violations use `LEAST_DCHECK`.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace least {
+
+/// Machine-readable error category carried by a `Status`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kIoError,
+  kNotConverged,
+  kInternal,
+};
+
+/// \brief Returns a human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Success-or-error outcome of an operation.
+///
+/// A default-constructed `Status` is OK. Error statuses carry a code and a
+/// message. The class is cheap to copy in the error-free fast path (OK holds
+/// no allocation).
+class Status {
+ public:
+  Status() = default;
+
+  /// Creates an OK status.
+  static Status Ok() { return Status(); }
+  /// Creates an error with `StatusCode::kInvalidArgument`.
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  /// Creates an error with `StatusCode::kOutOfRange`.
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  /// Creates an error with `StatusCode::kIoError`.
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  /// Creates an error with `StatusCode::kNotConverged`.
+  static Status NotConverged(std::string message) {
+    return Status(StatusCode::kNotConverged, std::move(message));
+  }
+  /// Creates an error with `StatusCode::kInternal`.
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The error category (kOk on success).
+  StatusCode code() const { return code_; }
+  /// The error message (empty on success).
+  const std::string& message() const { return message_; }
+
+  /// Formats as e.g. "InvalidArgument: negative node count".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Value-or-error union returned by fallible value-producing APIs.
+///
+/// Either holds a `T` (and an OK status) or an error `Status`. Accessing the
+/// value of an errored result aborts in debug builds and is undefined in
+/// release builds; callers must check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Borrows the contained value. Requires `ok()`.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  /// Moves the contained value out. Requires `ok()`.
+  T&& value() && { return *std::move(value_); }
+
+  /// Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace least
+
+/// Propagates an error `Status` to the caller; no-op on OK.
+#define LEAST_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::least::Status _least_status = (expr);           \
+    if (!_least_status.ok()) return _least_status;    \
+  } while (false)
+
+/// Evaluates a `Result<T>` expression, propagating errors, otherwise binding
+/// the value to `lhs`.
+#define LEAST_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto LEAST_CONCAT_(_least_res, __LINE__) = (expr);              \
+  if (!LEAST_CONCAT_(_least_res, __LINE__).ok())                  \
+    return LEAST_CONCAT_(_least_res, __LINE__).status();          \
+  lhs = std::move(LEAST_CONCAT_(_least_res, __LINE__)).value()
+
+#define LEAST_CONCAT_IMPL_(a, b) a##b
+#define LEAST_CONCAT_(a, b) LEAST_CONCAT_IMPL_(a, b)

@@ -1,0 +1,31 @@
+/// \file stopwatch.h
+/// \brief Wall-clock timing for the benchmark harnesses and learner traces.
+
+#pragma once
+
+#include <chrono>
+
+namespace least {
+
+/// \brief Monotonic wall-clock stopwatch. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last `Reset()`.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace least

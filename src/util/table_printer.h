@@ -1,0 +1,45 @@
+/// \file table_printer.h
+/// \brief Fixed-width ASCII table output used by every benchmark harness to
+/// print paper-style result tables.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace least {
+
+/// \brief Accumulates rows of string cells and renders an aligned table.
+///
+/// Example output:
+/// ```
+///  d    | graph | noise | F1 (LEAST) | F1 (NOTEARS)
+/// ------+-------+-------+------------+-------------
+///  10   | ER-2  | GS    | 0.91       | 0.92
+/// ```
+class TablePrinter {
+ public:
+  /// Sets the header row and fixes the column count.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; missing cells are padded, extra cells dropped.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats a double with `precision` significant decimals.
+  static std::string Fmt(double v, int precision = 3);
+  /// Convenience: formats an integer.
+  static std::string Fmt(long long v);
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+  /// Renders to the given stream.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace least

@@ -1,0 +1,173 @@
+// Tests for linalg/csr_matrix.h.
+
+#include "linalg/csr_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace least {
+namespace {
+
+CsrMatrix SmallExample() {
+  // [ 0 1 0 ]
+  // [ 2 0 3 ]
+  // [ 0 0 4 ]
+  return CsrMatrix::FromTriplets(
+      3, 3, {{0, 1, 1.0}, {1, 0, 2.0}, {1, 2, 3.0}, {2, 2, 4.0}});
+}
+
+TEST(CsrMatrix, FromTripletsBasic) {
+  CsrMatrix m = SmallExample();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 2), 4.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(CsrMatrix, TripletsOutOfOrderAreSorted) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 3, {{1, 2, 3.0}, {0, 1, 1.0}, {1, 0, 2.0}});
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 2.0);
+  // Columns sorted within each row.
+  EXPECT_LE(m.col_idx()[1], m.col_idx()[2]);
+}
+
+TEST(CsrMatrix, DuplicateTripletsCoalesce) {
+  CsrMatrix m =
+      CsrMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {0, 0, 2.5}, {1, 1, 1.0}});
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 3.5);
+}
+
+TEST(CsrMatrix, EmptyRowsHandled) {
+  CsrMatrix m = CsrMatrix::FromTriplets(4, 4, {{0, 1, 1.0}, {3, 0, 2.0}});
+  EXPECT_EQ(m.row_ptr()[1], 1);
+  EXPECT_EQ(m.row_ptr()[2], 1);  // row 1 empty
+  EXPECT_EQ(m.row_ptr()[3], 1);  // row 2 empty
+  EXPECT_EQ(m.row_ptr()[4], 2);
+}
+
+TEST(CsrMatrix, DenseRoundTrip) {
+  DenseMatrix d(2, 3, {0, 1.5, 0, -2, 0, 4});
+  CsrMatrix s = CsrMatrix::FromDense(d);
+  EXPECT_EQ(s.nnz(), 3);
+  DenseMatrix back = s.ToDense();
+  EXPECT_LT(MaxAbsDiff(d, back), 1e-15);
+}
+
+TEST(CsrMatrix, FromDenseRespectsTolerance) {
+  DenseMatrix d(1, 3, {0.05, -0.5, 0.0});
+  EXPECT_EQ(CsrMatrix::FromDense(d, 0.1).nnz(), 1);
+}
+
+TEST(CsrMatrix, EntryRow) {
+  CsrMatrix m = SmallExample();
+  EXPECT_EQ(m.EntryRow(0), 0);
+  EXPECT_EQ(m.EntryRow(1), 1);
+  EXPECT_EQ(m.EntryRow(2), 1);
+  EXPECT_EQ(m.EntryRow(3), 2);
+}
+
+TEST(CsrMatrix, RowColSums) {
+  CsrMatrix m = SmallExample();
+  auto r = m.RowSums();
+  auto c = m.ColSums();
+  EXPECT_DOUBLE_EQ(r[0], 1);
+  EXPECT_DOUBLE_EQ(r[1], 5);
+  EXPECT_DOUBLE_EQ(r[2], 4);
+  EXPECT_DOUBLE_EQ(c[0], 2);
+  EXPECT_DOUBLE_EQ(c[1], 1);
+  EXPECT_DOUBLE_EQ(c[2], 7);
+}
+
+TEST(CsrMatrix, Norms) {
+  CsrMatrix m = CsrMatrix::FromTriplets(2, 2, {{0, 0, -3.0}, {1, 1, 2.0}});
+  EXPECT_DOUBLE_EQ(m.L1Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 3.0);
+  EXPECT_EQ(m.CountNonZeros(), 2);
+  EXPECT_EQ(m.CountNonZeros(2.5), 1);
+}
+
+TEST(CsrMatrix, ThresholdValuesKeepsPattern) {
+  CsrMatrix m = CsrMatrix::FromTriplets(2, 2, {{0, 0, 0.05}, {1, 1, 2.0}});
+  EXPECT_EQ(m.ThresholdValues(0.1), 1);
+  EXPECT_EQ(m.nnz(), 2);  // pattern unchanged
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 2.0);
+}
+
+TEST(CsrMatrix, CompactDropsZeros) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 3, {{0, 0, 0.05}, {0, 2, 1.0}, {1, 1, 0.01}});
+  m.ThresholdValues(0.1);
+  std::vector<int64_t> kept;
+  m.Compact(&kept);
+  EXPECT_EQ(m.nnz(), 1);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0], 1);  // old flat position of the surviving entry
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 1.0);
+  EXPECT_EQ(m.row_ptr()[2], 1);
+}
+
+TEST(CsrMatrix, CompactOnCleanMatrixIsNoOp) {
+  CsrMatrix m = SmallExample();
+  std::vector<int64_t> kept;
+  m.Compact(&kept);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_EQ(kept.size(), 4u);
+}
+
+TEST(CsrMatrix, Matvec) {
+  CsrMatrix m = SmallExample();
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y(3);
+  m.MatvecInto(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2);   // 1*x1
+  EXPECT_DOUBLE_EQ(y[1], 11);  // 2*x0 + 3*x2
+  EXPECT_DOUBLE_EQ(y[2], 12);  // 4*x2
+}
+
+TEST(CsrMatrix, MatvecTranspose) {
+  CsrMatrix m = SmallExample();
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y(3);
+  m.MatvecTransposeInto(x, y);
+  // A^T x: col sums weighted by x of the row.
+  EXPECT_DOUBLE_EQ(y[0], 4);   // 2*x1
+  EXPECT_DOUBLE_EQ(y[1], 1);   // 1*x0
+  EXPECT_DOUBLE_EQ(y[2], 18);  // 3*x1 + 4*x2
+}
+
+TEST(CsrMatrix, MatvecMatchesDense) {
+  Rng rng(9);
+  DenseMatrix d = DenseMatrix::RandomUniform(6, 6, -1, 1, rng);
+  d.ApplyThreshold(0.4);  // sparsify
+  CsrMatrix s = CsrMatrix::FromDense(d);
+  std::vector<double> x(6), y_dense(6), y_sparse(6);
+  for (double& v : x) v = rng.Uniform(-1, 1);
+  MatvecInto(d, x, y_dense);
+  s.MatvecInto(x, y_sparse);
+  for (int i = 0; i < 6; ++i) EXPECT_NEAR(y_dense[i], y_sparse[i], 1e-14);
+}
+
+TEST(CsrMatrix, SamePattern) {
+  CsrMatrix a = SmallExample();
+  CsrMatrix b = SmallExample();
+  for (double& v : b.values()) v *= 2;
+  EXPECT_TRUE(a.SamePattern(b));
+  CsrMatrix c = CsrMatrix::FromTriplets(3, 3, {{0, 1, 1.0}});
+  EXPECT_FALSE(a.SamePattern(c));
+}
+
+TEST(CsrMatrix, EmptyMatrix) {
+  CsrMatrix m(0, 0);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_DOUBLE_EQ(m.L1Norm(), 0.0);
+}
+
+}  // namespace
+}  // namespace least

@@ -1,0 +1,108 @@
+// Tests for util/csv.h: round-trips, headers, and malformed input.
+
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace least {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "least_csv_test.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteRaw(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, RoundTripWithHeader) {
+  std::vector<std::vector<double>> rows = {{1.5, -2.0}, {3.0, 4.25}};
+  ASSERT_TRUE(WriteCsv(path_, {"a", "b"}, rows).ok());
+  auto result = ReadCsv(path_, /*has_header=*/true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(result.value().rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.value().rows[0][0], 1.5);
+  EXPECT_DOUBLE_EQ(result.value().rows[1][1], 4.25);
+}
+
+TEST_F(CsvTest, RoundTripWithoutHeader) {
+  std::vector<std::vector<double>> rows = {{1, 2, 3}};
+  ASSERT_TRUE(WriteCsv(path_, {}, rows).ok());
+  auto result = ReadCsv(path_, /*has_header=*/false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().header.empty());
+  ASSERT_EQ(result.value().rows.size(), 1u);
+  EXPECT_EQ(result.value().rows[0].size(), 3u);
+}
+
+TEST_F(CsvTest, PrecisionSurvivesRoundTrip) {
+  const double v = 0.123456789012345678;
+  ASSERT_TRUE(WriteCsv(path_, {}, {{v}}).ok());
+  auto result = ReadCsv(path_, false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().rows[0][0], v);
+}
+
+TEST_F(CsvTest, MissingFileIsIoError) {
+  auto result = ReadCsv("/nonexistent/definitely/not/here.csv", false);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, RaggedRowsRejected) {
+  WriteRaw("1,2,3\n4,5\n");
+  auto result = ReadCsv(path_, false);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, NonNumericCellRejected) {
+  WriteRaw("1,banana\n");
+  auto result = ReadCsv(path_, false);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, EmptyLinesSkipped) {
+  WriteRaw("1,2\n\n3,4\n");
+  auto result = ReadCsv(path_, false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows.size(), 2u);
+}
+
+TEST_F(CsvTest, WindowsLineEndingsHandled) {
+  WriteRaw("h1,h2\r\n1,2\r\n");
+  auto result = ReadCsv(path_, true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().header[1], "h2");
+  EXPECT_DOUBLE_EQ(result.value().rows[0][1], 2.0);
+}
+
+TEST_F(CsvTest, NegativeAndScientificNotation) {
+  WriteRaw("-1.5,2e-3,1E5\n");
+  auto result = ReadCsv(path_, false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().rows[0][0], -1.5);
+  EXPECT_DOUBLE_EQ(result.value().rows[0][1], 2e-3);
+  EXPECT_DOUBLE_EQ(result.value().rows[0][2], 1e5);
+}
+
+TEST_F(CsvTest, UnwritablePathIsIoError) {
+  Status s = WriteCsv("/nonexistent/dir/file.csv", {}, {{1.0}});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace least

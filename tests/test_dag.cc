@@ -1,0 +1,169 @@
+// Tests for graph/dag.h: topological sort, acyclicity, paths, neighborhoods.
+
+#include "graph/dag.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace least {
+namespace {
+
+AdjacencyList Diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+  return {{1, 2}, {3}, {3}, {}};
+}
+
+TEST(TopologicalSort, OrdersDiamond) {
+  auto order = TopologicalSort(Diamond());
+  ASSERT_TRUE(order.ok());
+  const auto& o = order.value();
+  ASSERT_EQ(o.size(), 4u);
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[o[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(TopologicalSort, DetectsCycle) {
+  AdjacencyList cyc = {{1}, {2}, {0}};
+  auto order = TopologicalSort(cyc);
+  EXPECT_FALSE(order.ok());
+  EXPECT_EQ(order.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TopologicalSort, SelfLoopIsCycle) {
+  AdjacencyList g = {{0}};
+  EXPECT_FALSE(TopologicalSort(g).ok());
+}
+
+TEST(TopologicalSort, EmptyGraph) {
+  auto order = TopologicalSort({});
+  ASSERT_TRUE(order.ok());
+  EXPECT_TRUE(order.value().empty());
+}
+
+TEST(IsDag, Basics) {
+  EXPECT_TRUE(IsDag(Diamond()));
+  EXPECT_FALSE(IsDag(AdjacencyList{{1}, {0}}));
+  EXPECT_TRUE(IsDag(AdjacencyList{{}, {}, {}}));
+}
+
+TEST(IsDag, DenseMatrixOverload) {
+  DenseMatrix w(3, 3);
+  w(0, 1) = 1.0;
+  w(1, 2) = -0.5;
+  EXPECT_TRUE(IsDag(w));
+  w(2, 0) = 0.1;
+  EXPECT_FALSE(IsDag(w));
+  // With tolerance above the closing weight the cycle disappears.
+  EXPECT_TRUE(IsDag(w, 0.2));
+}
+
+TEST(AdjacencyFromDense, IgnoresDiagonalAndTolerance) {
+  DenseMatrix w(2, 2);
+  w(0, 0) = 5.0;  // diagonal ignored
+  w(0, 1) = 0.05;
+  AdjacencyList adj = AdjacencyFromDense(w, 0.1);
+  EXPECT_TRUE(adj[0].empty());
+  adj = AdjacencyFromDense(w, 0.01);
+  ASSERT_EQ(adj[0].size(), 1u);
+  EXPECT_EQ(adj[0][0], 1);
+}
+
+TEST(AdjacencyFromCsr, MatchesDense) {
+  DenseMatrix w(3, 3);
+  w(0, 1) = 1.0;
+  w(2, 0) = -2.0;
+  CsrMatrix s = CsrMatrix::FromDense(w);
+  EXPECT_EQ(AdjacencyFromCsr(s), AdjacencyFromDense(w));
+}
+
+TEST(EdgesFromDense, ExtractsWeights) {
+  DenseMatrix w(2, 2);
+  w(0, 1) = 0.7;
+  w(1, 0) = -0.3;
+  auto edges = EdgesFromDense(w);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].from, 0);
+  EXPECT_EQ(edges[0].to, 1);
+  EXPECT_DOUBLE_EQ(edges[0].weight, 0.7);
+}
+
+TEST(LongestPath, ChainAndDiamond) {
+  AdjacencyList chain = {{1}, {2}, {3}, {}};
+  EXPECT_EQ(LongestPathLength(chain), 3);
+  EXPECT_EQ(LongestPathLength(Diamond()), 2);
+  EXPECT_EQ(LongestPathLength(AdjacencyList{{}, {}}), 0);
+}
+
+TEST(Degrees, CountsBothDirections) {
+  DegreeSummary deg = Degrees(Diamond());
+  EXPECT_EQ(deg.out[0], 2);
+  EXPECT_EQ(deg.in[0], 0);
+  EXPECT_EQ(deg.in[3], 2);
+  EXPECT_EQ(deg.out[3], 0);
+}
+
+TEST(Neighborhood, RadiusLimits) {
+  // Chain 0 -> 1 -> 2 -> 3 -> 4.
+  AdjacencyList chain = {{1}, {2}, {3}, {4}, {}};
+  auto r0 = NeighborhoodNodes(chain, 2, 0);
+  EXPECT_EQ(r0, (std::vector<int>{2}));
+  auto r1 = NeighborhoodNodes(chain, 2, 1);
+  EXPECT_EQ(r1, (std::vector<int>{1, 2, 3}));
+  auto r2 = NeighborhoodNodes(chain, 2, 2);
+  EXPECT_EQ(r2, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Neighborhood, FollowsBothDirections) {
+  // Star into 0: 1 -> 0 <- 2; and 0 -> 3.
+  AdjacencyList star = {{3}, {0}, {0}, {}};
+  auto n = NeighborhoodNodes(star, 0, 1);
+  EXPECT_EQ(n, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(PathsInto, EnumeratesDiamond) {
+  auto paths = PathsInto(Diamond(), 3, /*max_len=*/3, /*max_paths=*/100);
+  // Expect: [1,3], [2,3], [0,1,3], [0,2,3].
+  EXPECT_EQ(paths.size(), 4u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.back(), 3);
+    EXPECT_GE(p.size(), 2u);
+  }
+  const std::vector<int> full1 = {0, 1, 3};
+  EXPECT_NE(std::find(paths.begin(), paths.end(), full1), paths.end());
+}
+
+TEST(PathsInto, RespectsMaxLength) {
+  AdjacencyList chain = {{1}, {2}, {3}, {}};
+  auto paths = PathsInto(chain, 3, /*max_len=*/1, /*max_paths=*/100);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<int>{2, 3}));
+}
+
+TEST(PathsInto, RespectsMaxPaths) {
+  // Star: many parents of node 0.
+  AdjacencyList star(10);
+  for (int i = 1; i < 10; ++i) star[i] = {0};
+  auto paths = PathsInto(star, 0, 2, /*max_paths=*/4);
+  EXPECT_EQ(paths.size(), 4u);
+}
+
+TEST(PathsInto, NoIncomingEdgesNoPaths) {
+  auto paths = PathsInto(Diamond(), 0, 3, 100);
+  EXPECT_TRUE(paths.empty());
+}
+
+TEST(PathsInto, HandlesCyclicInputWithoutLooping) {
+  // 0 -> 1 -> 0 cycle plus 1 -> 2; paths into 2 must stay simple.
+  AdjacencyList g = {{1}, {0, 2}, {}};
+  auto paths = PathsInto(g, 2, 5, 100);
+  ASSERT_EQ(paths.size(), 2u);  // [1,2] and [0,1,2]
+  for (const auto& p : paths) EXPECT_EQ(p.back(), 2);
+}
+
+}  // namespace
+}  // namespace least

@@ -1,0 +1,306 @@
+// Tests for the workload generators in src/data: shapes, ground-truth
+// integrity, and the domain-specific structure each one promises.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/benchmark_data.h"
+#include "data/booking_simulator.h"
+#include "data/gene_network.h"
+#include "data/ratings_generator.h"
+#include "graph/dag.h"
+
+namespace least {
+namespace {
+
+// ---------- benchmark_data ----------
+
+TEST(BenchmarkData, DefaultsFollowPaper) {
+  BenchmarkConfig cfg;
+  cfg.d = 30;
+  BenchmarkInstance inst = MakeBenchmarkInstance(cfg);
+  EXPECT_EQ(inst.n, 300);  // n = 10 d
+  EXPECT_EQ(inst.x.rows(), 300);
+  EXPECT_EQ(inst.x.cols(), 30);
+  EXPECT_TRUE(IsDag(inst.w_true));
+}
+
+TEST(BenchmarkData, SfDefaultDegreeIsFour) {
+  BenchmarkConfig er, sf;
+  er.d = sf.d = 100;
+  er.seed = sf.seed = 5;
+  sf.graph_type = GraphType::kScaleFree;
+  const auto er_edges = MakeBenchmarkInstance(er).w_true.CountNonZeros();
+  const auto sf_edges = MakeBenchmarkInstance(sf).w_true.CountNonZeros();
+  EXPECT_GT(sf_edges, er_edges);  // degree 4 vs 2
+}
+
+TEST(BenchmarkData, Deterministic) {
+  BenchmarkConfig cfg;
+  cfg.d = 20;
+  cfg.seed = 42;
+  BenchmarkInstance a = MakeBenchmarkInstance(cfg);
+  BenchmarkInstance b = MakeBenchmarkInstance(cfg);
+  EXPECT_LT(MaxAbsDiff(a.x, b.x), 1e-15);
+  EXPECT_LT(MaxAbsDiff(a.w_true, b.w_true), 1e-15);
+}
+
+// ---------- gene_network ----------
+
+TEST(GeneNetwork, ProfilesMatchPaperTable) {
+  GeneNetworkConfig sachs = GeneConfigForProfile(GeneProfile::kSachs);
+  EXPECT_EQ(sachs.num_genes, 11);
+  EXPECT_EQ(sachs.num_edges, 17);
+  EXPECT_EQ(sachs.num_samples, 1000);
+  GeneNetworkConfig ecoli = GeneConfigForProfile(GeneProfile::kEcoli);
+  EXPECT_EQ(ecoli.num_genes, 1565);
+  EXPECT_EQ(ecoli.num_edges, 3648);
+  GeneNetworkConfig yeast = GeneConfigForProfile(GeneProfile::kYeast);
+  EXPECT_EQ(yeast.num_genes, 4441);
+  EXPECT_EQ(yeast.num_edges, 12873);
+}
+
+TEST(GeneNetwork, ScalingShrinksProfiles) {
+  GeneNetworkConfig full = GeneConfigForProfile(GeneProfile::kEcoli, 1.0);
+  GeneNetworkConfig quarter = GeneConfigForProfile(GeneProfile::kEcoli, 0.25);
+  EXPECT_LT(quarter.num_genes, full.num_genes);
+  EXPECT_LT(quarter.num_edges, full.num_edges);
+  // Sachs never shrinks.
+  EXPECT_EQ(GeneConfigForProfile(GeneProfile::kSachs, 0.1).num_genes, 11);
+}
+
+TEST(GeneNetwork, GeneratesRequestedShape) {
+  GeneNetworkConfig cfg;
+  cfg.num_genes = 120;
+  cfg.num_edges = 300;
+  cfg.num_samples = 80;
+  cfg.seed = 7;
+  GeneNetworkInstance inst = MakeGeneNetwork(cfg);
+  EXPECT_EQ(inst.w_true.rows(), 120);
+  EXPECT_EQ(inst.x.rows(), 80);
+  EXPECT_EQ(inst.x.cols(), 120);
+  EXPECT_TRUE(IsDag(inst.w_true));
+  EXPECT_NEAR(inst.actual_edges, 300, 60);
+  EXPECT_EQ(inst.w_true.CountNonZeros(), inst.actual_edges);
+}
+
+TEST(GeneNetwork, HasHubRegulators) {
+  GeneNetworkConfig cfg;
+  cfg.num_genes = 200;
+  cfg.num_edges = 500;
+  cfg.num_samples = 10;
+  cfg.seed = 9;
+  GeneNetworkInstance inst = MakeGeneNetwork(cfg);
+  DegreeSummary deg = Degrees(AdjacencyFromDense(inst.w_true));
+  const int max_out = *std::max_element(deg.out.begin(), deg.out.end());
+  // Hubby: some regulator drives many genes.
+  EXPECT_GE(max_out, 8);
+}
+
+TEST(GeneNetwork, SamplesAreColumnCentered) {
+  GeneNetworkConfig cfg;
+  cfg.num_genes = 50;
+  cfg.num_edges = 100;
+  cfg.num_samples = 500;
+  GeneNetworkInstance inst = MakeGeneNetwork(cfg);
+  auto sums = inst.x.ColSums();
+  for (double s : sums) EXPECT_NEAR(s, 0.0, 1e-9);
+}
+
+TEST(GeneNetwork, ProfileNames) {
+  EXPECT_STREQ(GeneProfileName(GeneProfile::kSachs), "Sachs");
+  EXPECT_STREQ(GeneProfileName(GeneProfile::kEcoli), "E. coli");
+  EXPECT_STREQ(GeneProfileName(GeneProfile::kYeast), "Yeast");
+}
+
+// ---------- ratings_generator ----------
+
+RatingsConfig SmallRatings() {
+  RatingsConfig cfg;
+  cfg.num_items = 60;
+  cfg.num_users = 800;
+  cfg.num_series = 10;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(Ratings, GroundTruthIsDag) {
+  RatingsInstance inst = MakeRatings(SmallRatings());
+  EXPECT_TRUE(IsDag(inst.w_true));
+  EXPECT_EQ(static_cast<int>(inst.items.size()), 60);
+}
+
+TEST(Ratings, SequelEdgesPointAtPredecessors) {
+  RatingsInstance inst = MakeRatings(SmallRatings());
+  int series_edges = 0;
+  for (int i = 0; i < inst.w_true.rows(); ++i) {
+    const ItemInfo& item = inst.items[i];
+    if (item.series >= 0 && item.part > 1) {
+      EXPECT_GT(inst.w_true(i, i - 1), 0.0)
+          << "missing sequel edge for " << item.name;
+      ++series_edges;
+    }
+  }
+  EXPECT_GT(series_edges, 5);
+}
+
+TEST(Ratings, BlockbustersHaveNoOutgoingEdges) {
+  RatingsInstance inst = MakeRatings(SmallRatings());
+  DegreeSummary deg = Degrees(AdjacencyFromDense(inst.w_true));
+  for (int i = 0; i < inst.w_true.rows(); ++i) {
+    if (inst.items[i].blockbuster) {
+      EXPECT_EQ(deg.out[i], 0) << inst.items[i].name;
+    }
+    if (inst.items[i].niche) {
+      EXPECT_EQ(deg.in[i], 0) << inst.items[i].name;
+    }
+  }
+}
+
+TEST(Ratings, BlockbustersAreRatedMore) {
+  RatingsInstance inst = MakeRatings(SmallRatings());
+  std::vector<long long> counts(inst.w_true.rows(), 0);
+  for (int64_t e = 0; e < inst.ratings.nnz(); ++e) {
+    ++counts[inst.ratings.col_idx()[e]];
+  }
+  double blockbuster_mean = 0.0, other_mean = 0.0;
+  int nb = 0, no = 0;
+  for (int i = 0; i < inst.w_true.rows(); ++i) {
+    if (inst.items[i].blockbuster) {
+      blockbuster_mean += counts[i];
+      ++nb;
+    } else {
+      other_mean += counts[i];
+      ++no;
+    }
+  }
+  ASSERT_GT(nb, 0);
+  blockbuster_mean /= nb;
+  other_mean /= no;
+  EXPECT_GT(blockbuster_mean, 2.0 * other_mean);
+}
+
+TEST(Ratings, RowsAreUserCentered) {
+  RatingsInstance inst = MakeRatings(SmallRatings());
+  // Every user's stored ratings sum to ~0 (mean-centering).
+  const auto& r = inst.ratings;
+  for (int u = 0; u < r.rows(); ++u) {
+    double sum = 0.0;
+    for (int64_t e = r.row_ptr()[u]; e < r.row_ptr()[u + 1]; ++e) {
+      sum += r.values()[e];
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-9) << "user " << u;
+  }
+}
+
+TEST(Ratings, ItemNamesAreInformative) {
+  RatingsInstance inst = MakeRatings(SmallRatings());
+  int named_series = 0;
+  for (const ItemInfo& item : inst.items) {
+    EXPECT_FALSE(item.name.empty());
+    if (item.series >= 0) {
+      EXPECT_NE(item.name.find("Series"), std::string::npos);
+      ++named_series;
+    }
+  }
+  EXPECT_GT(named_series, 0);
+}
+
+// ---------- booking_simulator ----------
+
+BookingConfig SmallBooking() {
+  BookingConfig cfg;
+  cfg.records_previous = 4000;
+  cfg.records_current = 4000;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Booking, LayoutAndNames) {
+  BookingDataset ds = SimulateBookingLogs(SmallBooking());
+  EXPECT_EQ(ds.error_nodes.size(), 4u);
+  EXPECT_EQ(ds.num_nodes(), 4 + 12 + 18 + 15 + 10);
+  EXPECT_EQ(ds.previous.cols(), ds.num_nodes());
+  EXPECT_EQ(ds.current.rows(), 4000);
+  EXPECT_NE(ds.node_names[0].find("Error:"), std::string::npos);
+  EXPECT_NE(ds.node_names[4].find("Airline:"), std::string::npos);
+}
+
+TEST(Booking, RecordsAreOneHotPerCategory) {
+  BookingConfig cfg = SmallBooking();
+  BookingDataset ds = SimulateBookingLogs(cfg);
+  const int airline0 = 4;
+  const int fare0 = airline0 + cfg.num_airlines;
+  const int city0 = fare0 + cfg.num_fare_sources;
+  const int agent0 = city0 + cfg.num_cities;
+  for (int r = 0; r < 100; ++r) {
+    const double* row = ds.current.row(r);
+    auto count = [&](int lo, int hi) {
+      int c = 0;
+      for (int i = lo; i < hi; ++i) c += row[i] != 0.0;
+      return c;
+    };
+    EXPECT_EQ(count(airline0, fare0), 1);
+    EXPECT_EQ(count(fare0, city0), 1);
+    EXPECT_EQ(count(city0, agent0), 2);  // departure + arrival
+    EXPECT_EQ(count(agent0, ds.num_nodes()), 1);
+  }
+}
+
+TEST(Booking, InjectedScenariosRaiseErrorRates) {
+  BookingDataset ds = SimulateBookingLogs(SmallBooking());
+  ASSERT_GE(ds.injected.size(), 1u);
+  for (const AnomalyScenario& sc : ds.injected) {
+    auto rate_when_triggered = [&](const DenseMatrix& win) {
+      long long hits = 0, total = 0;
+      for (int r = 0; r < win.rows(); ++r) {
+        bool triggered = true;
+        for (int node : sc.condition_nodes) {
+          if (win(r, node) == 0.0) {
+            triggered = false;
+            break;
+          }
+        }
+        if (!triggered) continue;
+        ++total;
+        hits += win(r, sc.error_step) != 0.0;
+      }
+      return total > 0 ? static_cast<double>(hits) / total : 0.0;
+    };
+    const double cur = rate_when_triggered(ds.current);
+    const double prev = rate_when_triggered(ds.previous);
+    EXPECT_GT(cur, prev + 0.15) << sc.description;
+  }
+}
+
+TEST(Booking, BaselineWindowHasLowErrorRates) {
+  BookingConfig cfg = SmallBooking();
+  BookingDataset ds = SimulateBookingLogs(cfg);
+  for (int s = 0; s < 4; ++s) {
+    long long errors = 0;
+    for (int r = 0; r < ds.previous.rows(); ++r) {
+      errors += ds.previous(r, s) != 0.0;
+    }
+    const double rate = static_cast<double>(errors) / ds.previous.rows();
+    EXPECT_LT(rate, 3.0 * cfg.base_error_rate);
+  }
+}
+
+TEST(Booking, AnomalyCountConfigurable) {
+  BookingConfig cfg = SmallBooking();
+  cfg.num_anomalies = 5;
+  BookingDataset ds = SimulateBookingLogs(cfg);
+  EXPECT_EQ(ds.injected.size(), 5u);
+  cfg.num_anomalies = 0;
+  EXPECT_TRUE(SimulateBookingLogs(cfg).injected.empty());
+}
+
+TEST(Booking, StepNames) {
+  EXPECT_STREQ(BookingStepName(0), "Step1:QuerySeat");
+  EXPECT_STREQ(BookingStepName(3), "Step4:Payment");
+}
+
+}  // namespace
+}  // namespace least

@@ -1,0 +1,181 @@
+// Tests for linalg/dense_matrix.h.
+
+#include "linalg/dense_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace least {
+namespace {
+
+DenseMatrix Make2x2(double a, double b, double c, double d) {
+  return DenseMatrix(2, 2, {a, b, c, d});
+}
+
+TEST(DenseMatrix, ZeroInitialized) {
+  DenseMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (double v : m.data()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(DenseMatrix, ElementAccessRowMajor) {
+  DenseMatrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(0, 2), 3);
+  EXPECT_DOUBLE_EQ(m(1, 0), 4);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6);
+  m(1, 1) = 42;
+  EXPECT_DOUBLE_EQ(m.row(1)[1], 42);
+}
+
+TEST(DenseMatrix, Identity) {
+  DenseMatrix id = DenseMatrix::Identity(3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrix, FillAndFillDiagonal) {
+  DenseMatrix m(2, 2);
+  m.Fill(3.0);
+  m.FillDiagonal(1.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+}
+
+TEST(DenseMatrix, AddScaled) {
+  DenseMatrix a = Make2x2(1, 2, 3, 4);
+  DenseMatrix b = Make2x2(10, 20, 30, 40);
+  a.AddScaled(b, 0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 6);
+  EXPECT_DOUBLE_EQ(a(1, 1), 24);
+}
+
+TEST(DenseMatrix, Scale) {
+  DenseMatrix a = Make2x2(1, -2, 3, -4);
+  a.Scale(-2.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 4);
+  EXPECT_DOUBLE_EQ(a(1, 1), 8);
+}
+
+TEST(DenseMatrix, HadamardAndSquare) {
+  DenseMatrix a = Make2x2(1, 2, 3, -4);
+  DenseMatrix b = Make2x2(2, 3, 4, 5);
+  DenseMatrix h = a.Hadamard(b);
+  EXPECT_DOUBLE_EQ(h(0, 1), 6);
+  EXPECT_DOUBLE_EQ(h(1, 1), -20);
+  DenseMatrix s = a.HadamardSquare();
+  EXPECT_DOUBLE_EQ(s(1, 1), 16);
+  EXPECT_DOUBLE_EQ(s(0, 0), 1);
+}
+
+TEST(DenseMatrix, Transpose) {
+  DenseMatrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  DenseMatrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4);
+}
+
+TEST(DenseMatrix, TraceAndSum) {
+  DenseMatrix m = Make2x2(1, 2, 3, 4);
+  EXPECT_DOUBLE_EQ(m.Trace(), 5);
+  EXPECT_DOUBLE_EQ(m.Sum(), 10);
+}
+
+TEST(DenseMatrix, Norms) {
+  DenseMatrix m = Make2x2(3, -4, 0, 0);
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 4.0);
+  // 1-norm: max column abs sum = max(3, 4).
+  EXPECT_DOUBLE_EQ(m.OneNorm(), 4.0);
+}
+
+TEST(DenseMatrix, CountNonZerosAndThreshold) {
+  DenseMatrix m = Make2x2(0.05, -0.2, 0.0, 1.0);
+  EXPECT_EQ(m.CountNonZeros(), 3);
+  EXPECT_EQ(m.CountNonZeros(0.1), 2);
+  m.ApplyThreshold(0.1);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), -0.2);
+  EXPECT_DOUBLE_EQ(m(1, 1), 1.0);
+}
+
+TEST(DenseMatrix, ThresholdZeroIsNoOp) {
+  DenseMatrix m = Make2x2(0.01, 0, 0, -0.01);
+  m.ApplyThreshold(0.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.01);
+}
+
+TEST(DenseMatrix, RowColSums) {
+  DenseMatrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  auto r = m.RowSums();
+  auto c = m.ColSums();
+  EXPECT_DOUBLE_EQ(r[0], 6);
+  EXPECT_DOUBLE_EQ(r[1], 15);
+  EXPECT_DOUBLE_EQ(c[0], 5);
+  EXPECT_DOUBLE_EQ(c[2], 9);
+}
+
+TEST(DenseMatrix, MatmulKnownProduct) {
+  DenseMatrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  DenseMatrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  DenseMatrix c = Matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(DenseMatrix, MatmulWithIdentity) {
+  Rng rng(3);
+  DenseMatrix a = DenseMatrix::RandomUniform(4, 4, -1, 1, rng);
+  DenseMatrix id = DenseMatrix::Identity(4);
+  EXPECT_LT(MaxAbsDiff(Matmul(a, id), a), 1e-15);
+  EXPECT_LT(MaxAbsDiff(Matmul(id, a), a), 1e-15);
+}
+
+TEST(DenseMatrix, AddSubtract) {
+  DenseMatrix a = Make2x2(1, 2, 3, 4);
+  DenseMatrix b = Make2x2(5, 6, 7, 8);
+  EXPECT_DOUBLE_EQ(Add(a, b)(1, 1), 12);
+  EXPECT_DOUBLE_EQ(Subtract(b, a)(0, 0), 4);
+}
+
+TEST(DenseMatrix, MaxAbsDiff) {
+  DenseMatrix a = Make2x2(1, 2, 3, 4);
+  DenseMatrix b = Make2x2(1, 2.5, 3, 3);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, b), 1.0);
+}
+
+TEST(DenseMatrix, Matvec) {
+  DenseMatrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  std::vector<double> x = {1, 0, -1};
+  std::vector<double> y(2);
+  MatvecInto(a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], -2);
+  EXPECT_DOUBLE_EQ(y[1], -2);
+}
+
+TEST(DenseMatrix, RandomUniformInRange) {
+  Rng rng(5);
+  DenseMatrix m = DenseMatrix::RandomUniform(10, 10, -0.5, 0.5, rng);
+  EXPECT_LE(m.MaxAbs(), 0.5);
+  EXPECT_GT(m.FrobeniusNorm(), 0.0);
+}
+
+TEST(DenseMatrix, EmptyMatrixOperations) {
+  DenseMatrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 0.0);
+  EXPECT_EQ(m.CountNonZeros(), 0);
+}
+
+}  // namespace
+}  // namespace least

@@ -1,0 +1,117 @@
+// Tests for linalg/expm.h: agreement with closed forms, the Taylor
+// reference, and scaling behaviour across magnitudes.
+
+#include "linalg/expm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace least {
+namespace {
+
+TEST(Expm, ZeroMatrixGivesIdentity) {
+  DenseMatrix z(4, 4);
+  EXPECT_LT(MaxAbsDiff(Expm(z), DenseMatrix::Identity(4)), 1e-15);
+}
+
+TEST(Expm, DiagonalMatrix) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = -2.0;
+  a(2, 2) = 0.5;
+  DenseMatrix e = Expm(a);
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-13);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-13);
+  EXPECT_NEAR(e(2, 2), std::exp(0.5), 1e-13);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-14);
+}
+
+TEST(Expm, OneByOne) {
+  DenseMatrix a(1, 1, {3.0});
+  EXPECT_NEAR(Expm(a)(0, 0), std::exp(3.0), 1e-12);
+}
+
+TEST(Expm, NilpotentClosedForm) {
+  // N = [0 1; 0 0] -> e^N = I + N.
+  DenseMatrix n(2, 2, {0, 1, 0, 0});
+  DenseMatrix e = Expm(n);
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-14);
+  EXPECT_NEAR(e(0, 1), 1.0, 1e-14);
+  EXPECT_NEAR(e(1, 0), 0.0, 1e-14);
+  EXPECT_NEAR(e(1, 1), 1.0, 1e-14);
+}
+
+TEST(Expm, RotationMatrixClosedForm) {
+  // A = [0 -t; t 0] -> e^A = [cos t, -sin t; sin t, cos t].
+  const double t = 1.3;
+  DenseMatrix a(2, 2, {0, -t, t, 0});
+  DenseMatrix e = Expm(a);
+  EXPECT_NEAR(e(0, 0), std::cos(t), 1e-13);
+  EXPECT_NEAR(e(0, 1), -std::sin(t), 1e-13);
+  EXPECT_NEAR(e(1, 0), std::sin(t), 1e-13);
+  EXPECT_NEAR(e(1, 1), std::cos(t), 1e-13);
+}
+
+TEST(Expm, TwoCycleTraceFormula) {
+  // S = [0 a; b 0] (a,b >= 0): Tr(e^S) = 2 cosh(sqrt(ab)).
+  DenseMatrix s(2, 2, {0, 2.0, 0.5, 0});
+  const double expected = 2.0 * std::cosh(std::sqrt(1.0));
+  EXPECT_NEAR(Expm(s).Trace(), expected, 1e-12);
+}
+
+// Across norm regimes (exercising each Padé order and the squaring path),
+// Expm must match the brute-force Taylor reference.
+class ExpmScaleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExpmScaleTest, MatchesTaylorReference) {
+  const double scale = GetParam();
+  Rng rng(101);
+  DenseMatrix a = DenseMatrix::RandomUniform(6, 6, -scale, scale, rng);
+  DenseMatrix fast = Expm(a);
+  DenseMatrix ref = ExpmTaylor(a);
+  const double tol = 1e-11 * std::max(1.0, ref.MaxAbs());
+  EXPECT_LT(MaxAbsDiff(fast, ref), tol) << "scale = " << scale;
+}
+
+INSTANTIATE_TEST_SUITE_P(NormSweep, ExpmScaleTest,
+                         ::testing::Values(0.001, 0.01, 0.05, 0.15, 0.3, 0.8,
+                                           2.0, 5.0));
+
+TEST(Expm, LargeNormUsesSquaringAccurately) {
+  // Norm far above theta_13 exercises repeated squaring.
+  DenseMatrix a(2, 2, {0, 20.0, 0.0, 0});
+  DenseMatrix e = Expm(a);
+  // Nilpotent: e^A = I + A regardless of norm.
+  EXPECT_NEAR(e(0, 1), 20.0, 1e-9);
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-10);
+}
+
+TEST(Expm, DagPatternTraceEqualsDimension) {
+  // Strictly triangular (DAG) S: all Tr(S^k) = 0 for k >= 1, so
+  // Tr(e^S) = d. This is the NOTEARS h(W) = 0 characterization.
+  Rng rng(7);
+  const int d = 8;
+  DenseMatrix s(d, d);
+  for (int i = 0; i < d; ++i) {
+    for (int j = i + 1; j < d; ++j) {
+      if (rng.Bernoulli(0.4)) s(i, j) = rng.Uniform(0.1, 2.0);
+    }
+  }
+  EXPECT_NEAR(Expm(s).Trace(), static_cast<double>(d), 1e-9);
+}
+
+TEST(Expm, EmptyMatrix) {
+  DenseMatrix e = Expm(DenseMatrix());
+  EXPECT_EQ(e.rows(), 0);
+}
+
+TEST(ExpmTaylor, MatchesScalarSeries) {
+  DenseMatrix a(1, 1, {0.7});
+  EXPECT_NEAR(ExpmTaylor(a)(0, 0), std::exp(0.7), 1e-12);
+}
+
+}  // namespace
+}  // namespace least

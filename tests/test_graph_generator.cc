@@ -1,0 +1,135 @@
+// Tests for graph/graph_generator.h: acyclicity, edge-count targets, hub
+// structure, and weight ranges — the properties Fig. 4's workloads rely on.
+
+#include "graph/graph_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/dag.h"
+
+namespace least {
+namespace {
+
+struct GenCase {
+  GraphType type;
+  int d;
+  double degree;
+};
+
+class GeneratorSweep : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorSweep, ProducesDag) {
+  const GenCase c = GetParam();
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    DenseMatrix support = RandomDagSupport(c.type, c.d, c.degree, rng);
+    EXPECT_TRUE(IsDag(support))
+        << GraphTypeName(c.type) << " d=" << c.d << " seed=" << seed;
+  }
+}
+
+TEST_P(GeneratorSweep, EdgeCountNearTarget) {
+  const GenCase c = GetParam();
+  if (c.d < 20) return;  // too small for concentration
+  double total = 0.0;
+  const int reps = 5;
+  for (uint64_t seed = 1; seed <= reps; ++seed) {
+    Rng rng(seed);
+    total += RandomDagSupport(c.type, c.d, c.degree, rng).CountNonZeros();
+  }
+  const double mean_edges = total / reps;
+  const double target = c.degree * c.d / 2.0;  // degree counts in+out
+  EXPECT_NEAR(mean_edges, target, 0.35 * target)
+      << GraphTypeName(c.type) << " d=" << c.d;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorSweep,
+    ::testing::Values(GenCase{GraphType::kErdosRenyi, 10, 2.0},
+                      GenCase{GraphType::kErdosRenyi, 50, 2.0},
+                      GenCase{GraphType::kErdosRenyi, 100, 2.0},
+                      GenCase{GraphType::kErdosRenyi, 50, 4.0},
+                      GenCase{GraphType::kScaleFree, 10, 4.0},
+                      GenCase{GraphType::kScaleFree, 50, 4.0},
+                      GenCase{GraphType::kScaleFree, 100, 4.0},
+                      GenCase{GraphType::kScaleFree, 100, 2.0}));
+
+TEST(Generator, ScaleFreeHasHubs) {
+  // The max total degree in SF graphs should exceed ER's at equal density.
+  Rng rng1(5), rng2(5);
+  const int d = 200;
+  DenseMatrix sf = RandomDagSupport(GraphType::kScaleFree, d, 4.0, rng1);
+  DenseMatrix er = RandomDagSupport(GraphType::kErdosRenyi, d, 4.0, rng2);
+  auto max_degree = [](const DenseMatrix& support) {
+    DegreeSummary deg = Degrees(AdjacencyFromDense(support));
+    int best = 0;
+    for (int i = 0; i < support.rows(); ++i) {
+      best = std::max(best, deg.in[i] + deg.out[i]);
+    }
+    return best;
+  };
+  EXPECT_GT(max_degree(sf), max_degree(er));
+}
+
+TEST(Generator, WeightsInBand) {
+  Rng rng(9);
+  DenseMatrix support = RandomDagSupport(GraphType::kErdosRenyi, 60, 3.0, rng);
+  DenseMatrix w = AssignEdgeWeights(support, rng, 0.5, 2.0);
+  int positive = 0, negative = 0;
+  for (int i = 0; i < 60; ++i) {
+    for (int j = 0; j < 60; ++j) {
+      if (support(i, j) == 0.0) {
+        EXPECT_DOUBLE_EQ(w(i, j), 0.0);
+        continue;
+      }
+      const double a = std::fabs(w(i, j));
+      EXPECT_GE(a, 0.5);
+      EXPECT_LE(a, 2.0);
+      (w(i, j) > 0 ? positive : negative)++;
+    }
+  }
+  // Signs are roughly balanced.
+  EXPECT_GT(positive, 0);
+  EXPECT_GT(negative, 0);
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  Rng a(77), b(77);
+  DenseMatrix g1 = RandomDagWeights(GraphType::kScaleFree, 40, 4.0, a);
+  DenseMatrix g2 = RandomDagWeights(GraphType::kScaleFree, 40, 4.0, b);
+  EXPECT_LT(MaxAbsDiff(g1, g2), 1e-15);
+}
+
+TEST(Generator, TinyGraphs) {
+  Rng rng(1);
+  EXPECT_EQ(RandomDagSupport(GraphType::kErdosRenyi, 0, 2.0, rng).rows(), 0);
+  EXPECT_EQ(RandomDagSupport(GraphType::kErdosRenyi, 1, 2.0, rng)
+                .CountNonZeros(),
+            0);
+  EXPECT_EQ(RandomDagSupport(GraphType::kScaleFree, 1, 4.0, rng)
+                .CountNonZeros(),
+            0);
+  // d = 2 can have at most one edge.
+  DenseMatrix two = RandomDagSupport(GraphType::kScaleFree, 2, 4.0, rng);
+  EXPECT_LE(two.CountNonZeros(), 1);
+}
+
+TEST(Generator, ErProbabilityClampedAtOne) {
+  // Absurd degree request on a small graph: complete DAG, still acyclic.
+  Rng rng(2);
+  DenseMatrix support =
+      RandomDagSupport(GraphType::kErdosRenyi, 10, 100.0, rng);
+  EXPECT_EQ(support.CountNonZeros(), 45);  // d(d-1)/2
+  EXPECT_TRUE(IsDag(support));
+}
+
+TEST(Generator, GraphTypeNames) {
+  EXPECT_STREQ(GraphTypeName(GraphType::kErdosRenyi), "ER");
+  EXPECT_STREQ(GraphTypeName(GraphType::kScaleFree), "SF");
+}
+
+}  // namespace
+}  // namespace least

@@ -1,0 +1,146 @@
+// Edge-case and failure-mode tests for the augmented-Lagrangian learners:
+// divergence guards, option interplay, and contract details not covered by
+// the recovery-focused suites.
+
+#include <gtest/gtest.h>
+
+#include "core/least.h"
+#include "core/least_sparse.h"
+#include "data/benchmark_data.h"
+
+namespace least {
+namespace {
+
+TEST(LearnerEdgeCases, DivergenceReturnsNotConvergedWithBestEffort) {
+  // An absurd learning rate makes the objective blow up; the learner must
+  // report kNotConverged and still hand back a usable (finite-size) W.
+  BenchmarkConfig cfg;
+  cfg.d = 8;
+  BenchmarkInstance inst = MakeBenchmarkInstance(cfg);
+  LearnOptions opt;
+  opt.learning_rate = 1e6;
+  opt.lr_decay = 1.0;
+  opt.max_outer_iterations = 5;
+  opt.max_inner_iterations = 50;
+  opt.filter_threshold = 0.0;
+  LearnResult r = FitLeastDense(inst.x, opt);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kNotConverged);
+  EXPECT_EQ(r.weights.rows(), 8);
+}
+
+TEST(LearnerEdgeCases, SingleColumnData) {
+  // d = 1: no possible edges; must converge immediately to an empty graph.
+  Rng rng(3);
+  DenseMatrix x(50, 1);
+  for (int i = 0; i < 50; ++i) x(i, 0) = rng.Gaussian();
+  LearnOptions opt;
+  opt.max_outer_iterations = 3;
+  LearnResult r = FitLeastDense(x, opt);
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.weights.CountNonZeros(), 0);
+}
+
+TEST(LearnerEdgeCases, SingleSampleDoesNotCrash) {
+  DenseMatrix x(1, 4);
+  x(0, 0) = 1.0;
+  x(0, 2) = -1.0;
+  LearnOptions opt;
+  opt.max_outer_iterations = 3;
+  opt.max_inner_iterations = 20;
+  LearnResult r = FitLeastDense(x, opt);
+  EXPECT_EQ(r.weights.rows(), 4);  // whatever it learned, shapes hold
+}
+
+TEST(LearnerEdgeCases, TerminateOnHWithoutTrackingFallsBackToBound) {
+  // terminate_on_h without track_exact_h must not dereference missing h
+  // values: the learner falls back to bound-based termination.
+  BenchmarkConfig cfg;
+  cfg.d = 6;
+  BenchmarkInstance inst = MakeBenchmarkInstance(cfg);
+  LearnOptions opt;
+  opt.terminate_on_h = true;
+  opt.track_exact_h = false;
+  opt.tolerance = 1e-6;
+  opt.filter_threshold = 0.05;
+  opt.max_outer_iterations = 20;
+  LearnResult r = FitLeastDense(inst.x, opt);
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+}
+
+TEST(LearnerEdgeCases, ZeroOuterBudgetReportsNotConverged) {
+  BenchmarkConfig cfg;
+  cfg.d = 6;
+  BenchmarkInstance inst = MakeBenchmarkInstance(cfg);
+  LearnOptions opt;
+  opt.max_outer_iterations = 0;
+  LearnResult r = FitLeastDense(inst.x, opt);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(r.outer_iterations, 0);
+}
+
+TEST(LearnerEdgeCases, ResultTimingAndCountsAreConsistent) {
+  BenchmarkConfig cfg;
+  cfg.d = 10;
+  BenchmarkInstance inst = MakeBenchmarkInstance(cfg);
+  LearnOptions opt;
+  opt.max_outer_iterations = 10;
+  opt.max_inner_iterations = 50;
+  LearnResult r = FitLeastDense(inst.x, opt);
+  EXPECT_GE(r.seconds, 0.0);
+  EXPECT_EQ(static_cast<int>(r.trace.size()), r.outer_iterations);
+  EXPECT_LE(r.inner_iterations,
+            static_cast<long long>(r.outer_iterations) * 50);
+  EXPECT_GE(r.inner_iterations, r.outer_iterations);  // >= 1 step per round
+}
+
+TEST(LearnerEdgeCases, SparseDuplicateCandidatesCoalesce) {
+  DenseMatrix w_true(3, 3);
+  w_true(0, 1) = 1.5;
+  Rng rng(5);
+  auto x = SampleLsem(w_true, 300, {}, rng);
+  LearnOptions opt;
+  opt.filter_threshold = 0.05;
+  opt.init_density = 0.0;
+  opt.batch_size = 64;
+  opt.max_outer_iterations = 15;
+  LeastSparseLearner learner(opt);
+  // The same edge offered three times plus a self-loop, which must be
+  // ignored outright.
+  learner.set_candidate_edges({{0, 1}, {0, 1}, {0, 1}, {1, 2}});
+  DenseDataSource src(&x.value());
+  SparseLearnResult r = learner.Fit(src);
+  ASSERT_GE(r.trace.size(), 1u);
+  EXPECT_LE(r.trace.front().nnz, 2);  // deduplicated pattern
+  EXPECT_GT(r.weights.At(0, 1), 0.5);
+}
+
+TEST(LearnerEdgeCases, SparseAllZeroDataConvergesEmpty) {
+  DenseMatrix x(100, 5);  // all-zero data: nothing to learn
+  LearnOptions opt;
+  opt.filter_threshold = 0.05;
+  opt.init_density = 0.3;
+  opt.batch_size = 32;
+  opt.max_outer_iterations = 10;
+  SparseLearnResult r = FitLeastSparse(x, opt);
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.weights.CountNonZeros(), 0);
+}
+
+TEST(LearnerEdgeCases, LrDecayDisabledStillWorksOnEasyProblem) {
+  DenseMatrix w_true(3, 3);
+  w_true(0, 1) = 1.5;
+  w_true(1, 2) = 1.5;
+  Rng rng(7);
+  auto x = SampleLsem(w_true, 400, {}, rng);
+  LearnOptions opt;
+  opt.lr_decay = 1.0;  // constant learning rate
+  opt.filter_threshold = 0.05;
+  opt.max_outer_iterations = 20;
+  LearnResult r = FitLeastDense(x.value(), opt);
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_GT(r.weights(0, 1), 0.5);
+}
+
+}  // namespace
+}  // namespace least

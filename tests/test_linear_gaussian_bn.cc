@@ -1,0 +1,191 @@
+// Tests for bn/linear_gaussian_bn.h: CPD refitting, density evaluation,
+// BIC model comparison, ancestral sampling and bootstrap confidence.
+
+#include "bn/linear_gaussian_bn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/least.h"
+#include "data/benchmark_data.h"
+#include "sem/lsem_sampler.h"
+#include "util/stats.h"
+
+namespace least {
+namespace {
+
+// x0 ~ N(0,1); x1 = 2 x0 + N(0, 0.25).
+DenseMatrix ChainData(int n, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix x(n, 2);
+  for (int s = 0; s < n; ++s) {
+    x(s, 0) = rng.Gaussian();
+    x(s, 1) = 2.0 * x(s, 0) + rng.Gaussian(0.0, 0.5);
+  }
+  return x;
+}
+
+DenseMatrix ChainStructure() {
+  DenseMatrix w(2, 2);
+  w(0, 1) = 1.0;  // only the support matters; values are refit
+  return w;
+}
+
+TEST(LinearGaussianBn, RefitsWeightsAndVariances) {
+  DenseMatrix x = ChainData(20000, 3);
+  auto bn = LinearGaussianBn::Fit(ChainStructure(), x);
+  ASSERT_TRUE(bn.ok()) << bn.status().ToString();
+  EXPECT_NEAR(bn.value().weights()(0, 1), 2.0, 0.05);
+  EXPECT_NEAR(bn.value().intercepts()[1], 0.0, 0.05);
+  EXPECT_NEAR(bn.value().noise_variances()[0], 1.0, 0.05);
+  EXPECT_NEAR(bn.value().noise_variances()[1], 0.25, 0.02);
+}
+
+TEST(LinearGaussianBn, InterceptRecovered) {
+  Rng rng(5);
+  DenseMatrix x(5000, 1);
+  for (int s = 0; s < 5000; ++s) x(s, 0) = 3.5 + rng.Gaussian();
+  auto bn = LinearGaussianBn::Fit(DenseMatrix(1, 1), x);
+  ASSERT_TRUE(bn.ok());
+  EXPECT_NEAR(bn.value().intercepts()[0], 3.5, 0.06);
+}
+
+TEST(LinearGaussianBn, RejectsCyclicStructure) {
+  DenseMatrix w(2, 2);
+  w(0, 1) = w(1, 0) = 1.0;
+  auto bn = LinearGaussianBn::Fit(w, ChainData(100, 7));
+  EXPECT_FALSE(bn.ok());
+  EXPECT_EQ(bn.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LinearGaussianBn, RejectsShapeMismatchAndTinyData) {
+  EXPECT_FALSE(LinearGaussianBn::Fit(DenseMatrix(2, 3), ChainData(10, 1)).ok());
+  // Two samples cannot fit a node with one parent (needs n > k + 1).
+  EXPECT_FALSE(
+      LinearGaussianBn::Fit(ChainStructure(), DenseMatrix(2, 2)).ok());
+  EXPECT_FALSE(
+      LinearGaussianBn::Fit(ChainStructure(), DenseMatrix(1, 2)).ok());
+}
+
+TEST(LinearGaussianBn, LogLikelihoodMatchesClosedForm) {
+  // Single node N(0,1): logp(0) = -0.5 log(2π).
+  Rng rng(9);
+  DenseMatrix x(50000, 1);
+  for (int s = 0; s < 50000; ++s) x(s, 0) = rng.Gaussian();
+  auto bn = LinearGaussianBn::Fit(DenseMatrix(1, 1), x);
+  ASSERT_TRUE(bn.ok());
+  std::vector<double> at_zero = {0.0};
+  EXPECT_NEAR(bn.value().LogLikelihood(at_zero),
+              -0.5 * std::log(2 * M_PI), 0.02);
+}
+
+TEST(LinearGaussianBn, TrueStructureBeatsEmptyOnBic) {
+  DenseMatrix x = ChainData(2000, 11);
+  auto chain = LinearGaussianBn::Fit(ChainStructure(), x);
+  auto empty = LinearGaussianBn::Fit(DenseMatrix(2, 2), x);
+  ASSERT_TRUE(chain.ok());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_LT(chain.value().Bic(x), empty.value().Bic(x));
+  EXPECT_GT(chain.value().MeanLogLikelihood(x),
+            empty.value().MeanLogLikelihood(x));
+}
+
+TEST(LinearGaussianBn, BicPenalizesSpuriousEdges) {
+  // Independent noise columns: the empty model must win on BIC against a
+  // fully connected DAG.
+  Rng rng(13);
+  DenseMatrix x(800, 4);
+  for (double& v : x.data()) v = rng.Gaussian();
+  DenseMatrix full(4, 4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) full(i, j) = 1.0;
+  }
+  auto dense_model = LinearGaussianBn::Fit(full, x);
+  auto empty_model = LinearGaussianBn::Fit(DenseMatrix(4, 4), x);
+  ASSERT_TRUE(dense_model.ok());
+  ASSERT_TRUE(empty_model.ok());
+  EXPECT_LT(empty_model.value().Bic(x), dense_model.value().Bic(x));
+}
+
+TEST(LinearGaussianBn, SamplingRoundTripsParameters) {
+  DenseMatrix x = ChainData(20000, 17);
+  auto bn = LinearGaussianBn::Fit(ChainStructure(), x);
+  ASSERT_TRUE(bn.ok());
+  Rng rng(19);
+  DenseMatrix fresh = bn.value().Sample(20000, rng);
+  auto refit = LinearGaussianBn::Fit(ChainStructure(), fresh);
+  ASSERT_TRUE(refit.ok());
+  EXPECT_NEAR(refit.value().weights()(0, 1), 2.0, 0.1);
+  EXPECT_NEAR(refit.value().noise_variances()[1], 0.25, 0.03);
+}
+
+TEST(LinearGaussianBn, PredictMeanUsesParents) {
+  DenseMatrix x = ChainData(5000, 21);
+  auto bn = LinearGaussianBn::Fit(ChainStructure(), x);
+  ASSERT_TRUE(bn.ok());
+  std::vector<double> sample = {1.5, 0.0};  // x1 value ignored for target 1
+  EXPECT_NEAR(bn.value().PredictMean(1, sample), 3.0, 0.1);
+  // Root prediction is just the intercept.
+  EXPECT_NEAR(bn.value().PredictMean(0, sample), 0.0, 0.1);
+}
+
+TEST(LinearGaussianBn, EndToEndWithLeastStructure) {
+  // Learn structure with LEAST, refit CPDs, and verify held-out density
+  // beats the empty model — the full pipeline a downstream user runs.
+  BenchmarkConfig cfg;
+  cfg.d = 10;
+  cfg.n = 600;
+  cfg.seed = 23;
+  BenchmarkInstance inst = MakeBenchmarkInstance(cfg);
+  LearnOptions opt;
+  opt.max_outer_iterations = 20;
+  opt.max_inner_iterations = 150;
+  opt.lambda1 = 0.1;
+  opt.learning_rate = 0.02;
+  LearnResult learned = FitLeastDense(inst.x, opt);
+
+  Rng rng(29);
+  LsemOptions sem;
+  auto holdout = SampleLsem(inst.w_true, 400, sem, rng);
+  ASSERT_TRUE(holdout.ok());
+
+  auto fitted = LinearGaussianBn::Fit(learned.weights, inst.x);
+  ASSERT_TRUE(fitted.ok()) << fitted.status().ToString();
+  auto empty = LinearGaussianBn::Fit(DenseMatrix(10, 10), inst.x);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_GT(fitted.value().MeanLogLikelihood(holdout.value()),
+            empty.value().MeanLogLikelihood(holdout.value()) + 0.5);
+}
+
+TEST(Bootstrap, TrueEdgeIsStableNoiseEdgeIsNot) {
+  DenseMatrix x = ChainData(400, 31);
+  Rng rng(37);
+  auto learn = [](const DenseMatrix& data) {
+    LearnOptions opt;
+    opt.max_outer_iterations = 15;
+    opt.max_inner_iterations = 100;
+    opt.lambda1 = 0.1;
+    opt.learning_rate = 0.03;
+    return FitLeastDense(data, opt).weights;
+  };
+  DenseMatrix confidence = BootstrapEdgeConfidence(x, 8, learn, rng);
+  EXPECT_GE(confidence(0, 1), 0.9);  // the true edge appears ~always
+  EXPECT_LE(confidence(1, 0), 0.4);  // its reversal rarely does
+}
+
+TEST(Bootstrap, ConfidenceBoundedByOne) {
+  DenseMatrix x = ChainData(200, 41);
+  Rng rng(43);
+  auto learn = [](const DenseMatrix&) {
+    DenseMatrix w(2, 2);
+    w(0, 1) = 1.0;  // constant learner
+    return w;
+  };
+  DenseMatrix confidence = BootstrapEdgeConfidence(x, 5, learn, rng);
+  EXPECT_DOUBLE_EQ(confidence(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(confidence(1, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace least

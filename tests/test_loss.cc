@@ -1,0 +1,159 @@
+// Tests for core/least_squares_loss.h: the Gram-trick full-batch path must
+// agree with direct evaluation, gradients must match finite differences,
+// and mini-batching must be an unbiased estimate.
+
+#include "core/least_squares_loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace least {
+namespace {
+
+double DirectLoss(const DenseMatrix& x, const DenseMatrix& w,
+                  double lambda1) {
+  // (1/n)||X - XW||² + λ||W||₁ computed the naive way.
+  DenseMatrix xw = Matmul(x, w);
+  double smooth = 0.0;
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) {
+      const double r = x(i, j) - xw(i, j);
+      smooth += r * r;
+    }
+  }
+  smooth /= x.rows();
+  double l1 = 0.0;
+  for (double v : w.data()) l1 += std::fabs(v);
+  return smooth + lambda1 * l1;
+}
+
+TEST(Loss, FullBatchMatchesDirectComputation) {
+  Rng rng(3);
+  DenseMatrix x = DenseMatrix::RandomUniform(50, 6, -1, 1, rng);
+  DenseMatrix w = DenseMatrix::RandomUniform(6, 6, -0.5, 0.5, rng);
+  LeastSquaresLoss loss(&x, 0.25, 0);
+  Rng dummy(1);
+  const double got = loss.ValueAndGradient(w, nullptr, dummy);
+  EXPECT_NEAR(got, DirectLoss(x, w, 0.25), 1e-10);
+}
+
+TEST(Loss, ZeroWeightsGiveDataEnergy) {
+  Rng rng(5);
+  DenseMatrix x = DenseMatrix::RandomUniform(30, 4, -1, 1, rng);
+  DenseMatrix w(4, 4);
+  LeastSquaresLoss loss(&x, 0.5, 0);
+  Rng dummy(1);
+  double expected = 0.0;
+  for (double v : x.data()) expected += v * v;
+  expected /= x.rows();
+  EXPECT_NEAR(loss.ValueAndGradient(w, nullptr, dummy), expected, 1e-10);
+}
+
+TEST(Loss, PerfectWeightsForDeterministicChain) {
+  // x1 = 2 x0 exactly: W with w(0,1) = 2 zeroes the residual of column 1.
+  const int n = 20;
+  DenseMatrix x(n, 2);
+  Rng rng(7);
+  for (int s = 0; s < n; ++s) {
+    x(s, 0) = rng.Uniform(-1, 1);
+    x(s, 1) = 2.0 * x(s, 0);
+  }
+  DenseMatrix w(2, 2);
+  w(0, 1) = 2.0;
+  LeastSquaresLoss loss(&x, 0.0, 0);
+  Rng dummy(1);
+  // Residual: column 0 keeps its energy (w col 0 is empty), column 1 = 0.
+  double col0 = 0.0;
+  for (int s = 0; s < n; ++s) col0 += x(s, 0) * x(s, 0);
+  EXPECT_NEAR(loss.ValueAndGradient(w, nullptr, dummy), col0 / n, 1e-10);
+}
+
+TEST(Loss, FullBatchGradientMatchesFiniteDifferences) {
+  Rng rng(11);
+  DenseMatrix x = DenseMatrix::RandomUniform(40, 5, -1, 1, rng);
+  DenseMatrix w = DenseMatrix::RandomUniform(5, 5, 0.1, 0.6, rng);
+  LeastSquaresLoss loss(&x, 0.3, 0);
+  Rng dummy(1);
+  DenseMatrix grad(5, 5);
+  loss.ValueAndGradient(w, &grad, dummy);
+  const double eps = 1e-6;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      DenseMatrix wp = w, wm = w;
+      wp(i, j) += eps;
+      wm(i, j) -= eps;
+      const double numeric = (loss.ValueAndGradient(wp, nullptr, dummy) -
+                              loss.ValueAndGradient(wm, nullptr, dummy)) /
+                             (2 * eps);
+      EXPECT_NEAR(grad(i, j), numeric, 1e-5 * std::max(1.0, std::fabs(numeric)));
+    }
+  }
+}
+
+TEST(Loss, MiniBatchIsUnbiasedEstimate) {
+  Rng rng(13);
+  DenseMatrix x = DenseMatrix::RandomUniform(200, 4, -1, 1, rng);
+  DenseMatrix w = DenseMatrix::RandomUniform(4, 4, -0.3, 0.3, rng);
+  LeastSquaresLoss full(&x, 0.0, 0);
+  LeastSquaresLoss mini(&x, 0.0, 32);
+  Rng dummy(1);
+  const double exact = full.ValueAndGradient(w, nullptr, dummy);
+  Rng batch_rng(17);
+  double sum = 0.0;
+  const int reps = 300;
+  for (int r = 0; r < reps; ++r) {
+    sum += mini.ValueAndGradient(w, nullptr, batch_rng);
+  }
+  EXPECT_NEAR(sum / reps, exact, 0.05 * exact);
+}
+
+TEST(Loss, MiniBatchGradientMatchesItsOwnBatch) {
+  // With batch == n (sampling with replacement aside), fixing the rng seed
+  // makes value and gradient mutually consistent via finite differences.
+  Rng rng(19);
+  DenseMatrix x = DenseMatrix::RandomUniform(30, 3, -1, 1, rng);
+  DenseMatrix w = DenseMatrix::RandomUniform(3, 3, 0.1, 0.4, rng);
+  LeastSquaresLoss loss(&x, 0.2, 8);
+  DenseMatrix grad(3, 3);
+  Rng r1(99);
+  loss.ValueAndGradient(w, &grad, r1);
+  const double eps = 1e-6;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      DenseMatrix wp = w, wm = w;
+      wp(i, j) += eps;
+      wm(i, j) -= eps;
+      Rng rp(99), rm(99);  // identical batch draw
+      const double numeric = (loss.ValueAndGradient(wp, nullptr, rp) -
+                              loss.ValueAndGradient(wm, nullptr, rm)) /
+                             (2 * eps);
+      EXPECT_NEAR(grad(i, j), numeric,
+                  1e-5 * std::max(1.0, std::fabs(numeric)));
+    }
+  }
+}
+
+TEST(Loss, BatchLargerThanNFallsBackToFullBatch) {
+  Rng rng(23);
+  DenseMatrix x = DenseMatrix::RandomUniform(10, 3, -1, 1, rng);
+  LeastSquaresLoss loss(&x, 0.0, 50);
+  EXPECT_TRUE(loss.full_batch());
+}
+
+TEST(Loss, L1SubgradientSignConvention) {
+  DenseMatrix w(2, 2);
+  w(0, 1) = 0.5;
+  w(1, 0) = -0.5;
+  DenseMatrix grad(2, 2);
+  const double l1 = AddL1Subgradient(w, 2.0, &grad);
+  EXPECT_DOUBLE_EQ(l1, 2.0);  // λ * (0.5 + 0.5)
+  EXPECT_DOUBLE_EQ(grad(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(grad(1, 0), -2.0);
+  EXPECT_DOUBLE_EQ(grad(0, 0), 0.0);  // sign(0) = 0
+}
+
+}  // namespace
+}  // namespace least

@@ -1,0 +1,153 @@
+// Tests for sem/lsem_sampler.h: the structural equations must actually hold
+// in the generated data, for every noise family.
+
+#include "sem/lsem_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace least {
+namespace {
+
+TEST(Lsem, RejectsNonSquare) {
+  Rng rng(1);
+  auto r = SampleLsem(DenseMatrix(2, 3), 10, {}, rng);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Lsem, RejectsCyclicSupport) {
+  DenseMatrix w(2, 2);
+  w(0, 1) = 1.0;
+  w(1, 0) = 0.5;
+  Rng rng(1);
+  auto r = SampleLsem(w, 10, {}, rng);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Lsem, RejectsNegativeN) {
+  Rng rng(1);
+  auto r = SampleLsem(DenseMatrix(2, 2), -1, {}, rng);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Lsem, ShapeAndDeterminism) {
+  DenseMatrix w(3, 3);
+  w(0, 1) = 1.0;
+  Rng a(5), b(5);
+  auto x1 = SampleLsem(w, 20, {}, a);
+  auto x2 = SampleLsem(w, 20, {}, b);
+  ASSERT_TRUE(x1.ok());
+  EXPECT_EQ(x1.value().rows(), 20);
+  EXPECT_EQ(x1.value().cols(), 3);
+  EXPECT_LT(MaxAbsDiff(x1.value(), x2.value()), 1e-15);
+}
+
+TEST(Lsem, ChildEqualsWeightedParentsPlusNoise) {
+  // x1 = 2*x0 + n: regression slope over many samples must approach 2.
+  DenseMatrix w(2, 2);
+  w(0, 1) = 2.0;
+  Rng rng(7);
+  auto xr = SampleLsem(w, 20000, {}, rng);
+  ASSERT_TRUE(xr.ok());
+  const DenseMatrix& x = xr.value();
+  double sxx = 0, sxy = 0;
+  for (int s = 0; s < x.rows(); ++s) {
+    sxx += x(s, 0) * x(s, 0);
+    sxy += x(s, 0) * x(s, 1);
+  }
+  EXPECT_NEAR(sxy / sxx, 2.0, 0.05);
+}
+
+TEST(Lsem, ChainVarianceAccumulates) {
+  // Chain 0 -> 1 with weight 1: Var(x1) = Var(x0) + 1 = 2.
+  DenseMatrix w(2, 2);
+  w(0, 1) = 1.0;
+  Rng rng(11);
+  auto xr = SampleLsem(w, 30000, {}, rng);
+  ASSERT_TRUE(xr.ok());
+  RunningStats v0, v1;
+  for (int s = 0; s < xr.value().rows(); ++s) {
+    v0.Add(xr.value()(s, 0));
+    v1.Add(xr.value()(s, 1));
+  }
+  EXPECT_NEAR(v0.variance(), 1.0, 0.05);
+  EXPECT_NEAR(v1.variance(), 2.0, 0.1);
+}
+
+class NoiseSweep : public ::testing::TestWithParam<NoiseType> {};
+
+TEST_P(NoiseSweep, RootsAreCenteredUnitScaleNoise) {
+  LsemOptions opt;
+  opt.noise = GetParam();
+  DenseMatrix w(2, 2);  // no edges: both columns are pure noise
+  Rng rng(13);
+  auto xr = SampleLsem(w, 30000, opt, rng);
+  ASSERT_TRUE(xr.ok());
+  RunningStats stats;
+  for (int s = 0; s < xr.value().rows(); ++s) stats.Add(xr.value()(s, 0));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05) << NoiseTypeName(opt.noise);
+  EXPECT_GT(stats.variance(), 0.3);
+}
+
+TEST_P(NoiseSweep, NoiseScaleScalesSpread) {
+  LsemOptions small, large;
+  small.noise = large.noise = GetParam();
+  small.noise_scale = 0.5;
+  large.noise_scale = 2.0;
+  DenseMatrix w(1, 1);
+  Rng r1(17), r2(17);
+  auto xs = SampleLsem(w, 20000, small, r1);
+  auto xl = SampleLsem(w, 20000, large, r2);
+  RunningStats ss, sl;
+  for (int s = 0; s < 20000; ++s) {
+    ss.Add(xs.value()(s, 0));
+    sl.Add(xl.value()(s, 0));
+  }
+  EXPECT_GT(sl.stddev(), 2.5 * ss.stddev());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNoise, NoiseSweep,
+                         ::testing::Values(NoiseType::kGaussian,
+                                           NoiseType::kExponential,
+                                           NoiseType::kGumbel));
+
+TEST(Lsem, UncenteredExponentialShiftsMean) {
+  LsemOptions opt;
+  opt.noise = NoiseType::kExponential;
+  opt.center_noise = false;
+  DenseMatrix w(1, 1);
+  Rng rng(19);
+  auto xr = SampleLsem(w, 20000, opt, rng);
+  RunningStats stats;
+  for (int s = 0; s < 20000; ++s) stats.Add(xr.value()(s, 0));
+  EXPECT_NEAR(stats.mean(), 1.0, 0.05);  // Exp(1) mean
+}
+
+TEST(CenterColumns, RemovesMeans) {
+  DenseMatrix x(3, 2, {1, 10, 2, 20, 3, 30});
+  CenterColumns(&x);
+  EXPECT_NEAR(x(0, 0), -1.0, 1e-12);
+  EXPECT_NEAR(x(2, 1), 10.0, 1e-12);
+  auto sums = x.ColSums();
+  EXPECT_NEAR(sums[0], 0.0, 1e-12);
+  EXPECT_NEAR(sums[1], 0.0, 1e-12);
+}
+
+TEST(CenterColumns, EmptyIsNoOp) {
+  DenseMatrix x(0, 3);
+  CenterColumns(&x);  // must not crash
+  EXPECT_EQ(x.rows(), 0);
+}
+
+TEST(Lsem, NoiseTypeNames) {
+  EXPECT_STREQ(NoiseTypeName(NoiseType::kGaussian), "Gaussian");
+  EXPECT_STREQ(NoiseTypeName(NoiseType::kExponential), "Exponential");
+  EXPECT_STREQ(NoiseTypeName(NoiseType::kGumbel), "Gumbel");
+}
+
+}  // namespace
+}  // namespace least

@@ -1,0 +1,72 @@
+// Tests for linalg/lu.h: factorization, solving, and singularity detection.
+
+#include "linalg/lu.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace least {
+namespace {
+
+TEST(Lu, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [3; 5] -> x = [0.8, 1.4].
+  DenseMatrix a(2, 2, {2, 1, 1, 3});
+  auto lu = LuFactorization::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  std::vector<double> b = {3, 5};
+  auto x = lu.value().Solve(b);
+  EXPECT_NEAR(x[0], 0.8, 1e-14);
+  EXPECT_NEAR(x[1], 1.4, 1e-14);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero leading pivot; without partial pivoting this fails.
+  DenseMatrix a(2, 2, {0, 1, 1, 0});
+  auto lu = LuFactorization::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  std::vector<double> b = {2, 3};
+  auto x = lu.value().Solve(b);
+  EXPECT_NEAR(x[0], 3, 1e-14);
+  EXPECT_NEAR(x[1], 2, 1e-14);
+}
+
+TEST(Lu, RejectsNonSquare) {
+  DenseMatrix a(2, 3);
+  auto lu = LuFactorization::Factor(a);
+  EXPECT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Lu, DetectsSingular) {
+  DenseMatrix a(2, 2, {1, 2, 2, 4});
+  auto lu = LuFactorization::Factor(a);
+  EXPECT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), StatusCode::kInternal);
+}
+
+TEST(Lu, MatrixSolveReconstructs) {
+  Rng rng(17);
+  const int n = 12;
+  DenseMatrix a = DenseMatrix::RandomUniform(n, n, -1, 1, rng);
+  for (int i = 0; i < n; ++i) a(i, i) += n;  // well-conditioned
+  DenseMatrix b = DenseMatrix::RandomUniform(n, 3, -1, 1, rng);
+  auto lu = LuFactorization::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  DenseMatrix x = lu.value().Solve(b);
+  EXPECT_LT(MaxAbsDiff(Matmul(a, x), b), 1e-10);
+}
+
+TEST(Lu, InverseViaIdentitySolve) {
+  Rng rng(19);
+  const int n = 5;
+  DenseMatrix a = DenseMatrix::RandomUniform(n, n, -1, 1, rng);
+  for (int i = 0; i < n; ++i) a(i, i) += n;
+  auto lu = LuFactorization::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  DenseMatrix inv = lu.value().Solve(DenseMatrix::Identity(n));
+  EXPECT_LT(MaxAbsDiff(Matmul(a, inv), DenseMatrix::Identity(n)), 1e-12);
+}
+
+}  // namespace
+}  // namespace least

@@ -1,0 +1,183 @@
+// Tests for metrics/structure_metrics.h against hand-worked examples that
+// pin down the NOTEARS count_accuracy conventions.
+
+#include "metrics/structure_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace least {
+namespace {
+
+DenseMatrix WithEdges(int d, std::initializer_list<std::pair<int, int>> edges) {
+  DenseMatrix w(d, d);
+  for (const auto& [i, j] : edges) w(i, j) = 1.0;
+  return w;
+}
+
+TEST(Metrics, PerfectRecovery) {
+  DenseMatrix truth = WithEdges(4, {{0, 1}, {1, 2}, {0, 3}});
+  StructureMetrics m = EvaluateStructure(truth, truth);
+  EXPECT_EQ(m.true_positive, 3);
+  EXPECT_EQ(m.false_positive, 0);
+  EXPECT_EQ(m.reversed, 0);
+  EXPECT_EQ(m.missing, 0);
+  EXPECT_EQ(m.shd, 0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.tpr, 1.0);
+  EXPECT_DOUBLE_EQ(m.fdr, 0.0);
+  EXPECT_DOUBLE_EQ(m.fpr, 0.0);
+}
+
+TEST(Metrics, EmptyEstimate) {
+  DenseMatrix truth = WithEdges(4, {{0, 1}, {1, 2}});
+  DenseMatrix est(4, 4);
+  StructureMetrics m = EvaluateStructure(truth, est);
+  EXPECT_EQ(m.true_positive, 0);
+  EXPECT_EQ(m.missing, 2);
+  EXPECT_EQ(m.shd, 2);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+  EXPECT_DOUBLE_EQ(m.fdr, 0.0);  // no predictions -> no false discoveries
+}
+
+TEST(Metrics, SingleReversedEdge) {
+  DenseMatrix truth = WithEdges(3, {{0, 1}});
+  DenseMatrix est = WithEdges(3, {{1, 0}});
+  StructureMetrics m = EvaluateStructure(truth, est);
+  EXPECT_EQ(m.true_positive, 0);
+  EXPECT_EQ(m.reversed, 1);
+  EXPECT_EQ(m.false_positive, 0);
+  EXPECT_EQ(m.missing, 0);  // skeleton intact
+  EXPECT_EQ(m.shd, 1);      // one reversal
+  EXPECT_DOUBLE_EQ(m.fdr, 1.0);
+  EXPECT_DOUBLE_EQ(m.tpr, 0.0);
+}
+
+TEST(Metrics, ExtraEdge) {
+  DenseMatrix truth = WithEdges(3, {{0, 1}});
+  DenseMatrix est = WithEdges(3, {{0, 1}, {1, 2}});
+  StructureMetrics m = EvaluateStructure(truth, est);
+  EXPECT_EQ(m.true_positive, 1);
+  EXPECT_EQ(m.false_positive, 1);
+  EXPECT_EQ(m.shd, 1);
+  EXPECT_DOUBLE_EQ(m.fdr, 0.5);
+  // FPR denominator: d(d-1)/2 - true = 3 - 1 = 2.
+  EXPECT_DOUBLE_EQ(m.fpr, 0.5);
+}
+
+TEST(Metrics, MixedCase) {
+  // Truth: 0->1, 1->2, 2->3. Estimate: 0->1 (hit), 2->1 (reversed),
+  // 0->3 (extra); 2->3 missing.
+  DenseMatrix truth = WithEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  DenseMatrix est = WithEdges(4, {{0, 1}, {2, 1}, {0, 3}});
+  StructureMetrics m = EvaluateStructure(truth, est);
+  EXPECT_EQ(m.true_positive, 1);
+  EXPECT_EQ(m.reversed, 1);
+  EXPECT_EQ(m.false_positive, 1);
+  EXPECT_EQ(m.missing, 1);
+  EXPECT_EQ(m.shd, 3);  // 1 extra + 1 missing + 1 reversed
+  EXPECT_NEAR(m.fdr, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.tpr, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.f1, 2.0 * (1.0 / 3) * (1.0 / 3) / (2.0 / 3), 1e-12);
+}
+
+TEST(Metrics, TwoCyclePredictionOverSingleTrueEdge) {
+  // Estimate has both 0->1 and 1->0; truth has 0->1. The hit counts, the
+  // reverse is FDR-penalized, but SHD sees an intact skeleton.
+  DenseMatrix truth = WithEdges(2, {{0, 1}});
+  DenseMatrix est = WithEdges(2, {{0, 1}, {1, 0}});
+  StructureMetrics m = EvaluateStructure(truth, est);
+  EXPECT_EQ(m.true_positive, 1);
+  EXPECT_EQ(m.reversed, 1);
+  EXPECT_EQ(m.shd, 0);
+  EXPECT_DOUBLE_EQ(m.fdr, 0.5);
+}
+
+TEST(Metrics, ToleranceFiltersWeakEdges) {
+  DenseMatrix truth = WithEdges(2, {{0, 1}});
+  DenseMatrix est(2, 2);
+  est(0, 1) = 0.05;
+  StructureMetrics strict = EvaluateStructure(truth, est, 0.1);
+  EXPECT_EQ(strict.true_positive, 0);
+  StructureMetrics loose = EvaluateStructure(truth, est, 0.01);
+  EXPECT_EQ(loose.true_positive, 1);
+}
+
+TEST(Metrics, NegativeWeightsCountAsEdges) {
+  DenseMatrix truth(2, 2);
+  truth(0, 1) = -1.5;
+  DenseMatrix est(2, 2);
+  est(0, 1) = -0.7;
+  StructureMetrics m = EvaluateStructure(truth, est);
+  EXPECT_EQ(m.true_positive, 1);
+  EXPECT_EQ(m.shd, 0);
+}
+
+TEST(Metrics, EmptyTruthEmptyEstimate) {
+  DenseMatrix truth(3, 3), est(3, 3);
+  StructureMetrics m = EvaluateStructure(truth, est);
+  EXPECT_EQ(m.shd, 0);
+  EXPECT_DOUBLE_EQ(m.tpr, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(Auc, PerfectScoresGiveOne) {
+  DenseMatrix truth = WithEdges(3, {{0, 1}, {1, 2}});
+  DenseMatrix est(3, 3);
+  est(0, 1) = 0.9;
+  est(1, 2) = 0.8;
+  est(2, 0) = 0.1;  // non-edge scored below every edge
+  EXPECT_DOUBLE_EQ(EdgeAucRoc(truth, est), 1.0);
+}
+
+TEST(Auc, InvertedScoresGiveZero) {
+  DenseMatrix truth = WithEdges(3, {{0, 1}});
+  DenseMatrix est(3, 3);
+  // Every non-edge outscored the only true edge.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (i != j) est(i, j) = 0.5;
+    }
+  }
+  est(0, 1) = 0.0;
+  EXPECT_DOUBLE_EQ(EdgeAucRoc(truth, est), 0.0);
+}
+
+TEST(Auc, AllTiedScoresGiveHalf) {
+  DenseMatrix truth = WithEdges(3, {{0, 1}});
+  DenseMatrix est(3, 3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (i != j) est(i, j) = 0.5;
+    }
+  }
+  EXPECT_DOUBLE_EQ(EdgeAucRoc(truth, est), 0.5);
+}
+
+TEST(Auc, DegenerateClassesGiveHalf) {
+  DenseMatrix none(3, 3), est(3, 3);
+  EXPECT_DOUBLE_EQ(EdgeAucRoc(none, est), 0.5);  // no positives
+  DenseMatrix all(2, 2);
+  all(0, 1) = all(1, 0) = 1.0;
+  EXPECT_DOUBLE_EQ(EdgeAucRoc(all, DenseMatrix(2, 2)), 0.5);  // no negatives
+}
+
+TEST(Auc, HandComputedMidrank) {
+  // d = 2: instances (0,1) positive score 0.7, (1,0) negative score 0.7.
+  // Tied -> AUC = 0.5.
+  DenseMatrix truth = WithEdges(2, {{0, 1}});
+  DenseMatrix est(2, 2);
+  est(0, 1) = 0.7;
+  est(1, 0) = 0.7;
+  EXPECT_DOUBLE_EQ(EdgeAucRoc(truth, est), 0.5);
+}
+
+TEST(Auc, UsesAbsoluteScores) {
+  DenseMatrix truth = WithEdges(2, {{0, 1}});
+  DenseMatrix est(2, 2);
+  est(0, 1) = -0.9;  // strong negative weight is still a strong edge score
+  est(1, 0) = 0.1;
+  EXPECT_DOUBLE_EQ(EdgeAucRoc(truth, est), 1.0);
+}
+
+}  // namespace
+}  // namespace least

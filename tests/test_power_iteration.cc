@@ -1,0 +1,70 @@
+// Tests for linalg/power_iteration.h.
+
+#include "linalg/power_iteration.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace least {
+namespace {
+
+TEST(PowerIteration, DiagonalDominantEigenvalue) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 5.0;
+  a(2, 2) = 3.0;
+  EXPECT_NEAR(SpectralRadius(a), 5.0, 1e-8);
+}
+
+TEST(PowerIteration, TwoCycleRadius) {
+  // [0 a; b 0] has eigenvalues ±sqrt(ab).
+  DenseMatrix a(2, 2, {0, 4.0, 1.0, 0});
+  EXPECT_NEAR(SpectralRadius(a), 2.0, 1e-8);
+}
+
+TEST(PowerIteration, NilpotentIsZero) {
+  DenseMatrix a(3, 3);
+  a(0, 1) = 2.0;
+  a(1, 2) = 3.0;
+  EXPECT_NEAR(SpectralRadius(a), 0.0, 1e-9);
+}
+
+TEST(PowerIteration, RankOnePositiveMatrix) {
+  // uv^T with u = v = ones: radius = d.
+  const int d = 5;
+  DenseMatrix a(d, d);
+  a.Fill(1.0);
+  EXPECT_NEAR(SpectralRadius(a), static_cast<double>(d), 1e-8);
+}
+
+TEST(PowerIteration, StochasticMatrixHasRadiusOne) {
+  // Row-stochastic non-negative matrix: Perron root is exactly 1.
+  Rng rng(3);
+  const int d = 8;
+  DenseMatrix a = DenseMatrix::RandomUniform(d, d, 0.1, 1.0, rng);
+  auto rows = a.RowSums();
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < d; ++j) a(i, j) /= rows[i];
+  }
+  EXPECT_NEAR(SpectralRadius(a), 1.0, 1e-7);
+}
+
+TEST(PowerIteration, SparseMatchesDense) {
+  Rng rng(11);
+  DenseMatrix a = DenseMatrix::RandomUniform(10, 10, 0.0, 1.0, rng);
+  a.ApplyThreshold(0.6);  // sparsify, keep non-negative
+  CsrMatrix s = CsrMatrix::FromDense(a);
+  EXPECT_NEAR(SpectralRadius(a), SpectralRadius(s), 1e-7);
+}
+
+TEST(PowerIteration, EmptyMatrixIsZero) {
+  EXPECT_DOUBLE_EQ(SpectralRadius(DenseMatrix()), 0.0);
+}
+
+TEST(PowerIteration, ZeroMatrixIsZero) {
+  EXPECT_DOUBLE_EQ(SpectralRadius(DenseMatrix(4, 4)), 0.0);
+}
+
+}  // namespace
+}  // namespace least

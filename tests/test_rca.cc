@@ -1,0 +1,228 @@
+// Tests for rca/root_cause.h: support counting, significance testing, and
+// end-to-end detection of injected anomalies on a hand-built graph.
+
+#include "rca/root_cause.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace least {
+namespace {
+
+// Hand-built world: node 0 = error, node 1 = cause indicator, node 2 =
+// innocent indicator. Learned graph: 1 -> 0 and 2 -> 0.
+struct TinyWorld {
+  DenseMatrix w{3, 3};
+  DenseMatrix current{1000, 3};
+  DenseMatrix previous{1000, 3};
+  std::vector<int> error_nodes{0};
+};
+
+TinyWorld MakeTinyWorld(double cause_error_rate_current) {
+  TinyWorld world;
+  world.w(1, 0) = 0.8;
+  world.w(2, 0) = 0.4;
+  Rng rng(5);
+  auto fill = [&](DenseMatrix& win, double cause_rate) {
+    for (int r = 0; r < win.rows(); ++r) {
+      const bool cause = rng.Bernoulli(0.3);
+      const bool innocent = rng.Bernoulli(0.3);
+      win(r, 1) = cause;
+      win(r, 2) = innocent;
+      double p_err = 0.01;
+      if (cause) p_err = cause_rate;
+      win(r, 0) = rng.Bernoulli(p_err) ? 1.0 : 0.0;
+    }
+  };
+  fill(world.previous, 0.01);  // baseline: cause is harmless
+  fill(world.current, cause_error_rate_current);
+  return world;
+}
+
+TEST(Rca, DetectsInjectedCause) {
+  TinyWorld world = MakeTinyWorld(0.5);
+  RcaOptions opt;
+  opt.p_value_threshold = 1e-4;
+  auto reports = DetectAnomalies(world.w, world.error_nodes, world.current,
+                                 world.previous, opt);
+  ASSERT_FALSE(reports.empty());
+  // The top report should be the path 1 -> 0.
+  EXPECT_EQ(reports[0].path, (std::vector<int>{1, 0}));
+  EXPECT_LT(reports[0].p_value, 1e-8);
+  EXPECT_GT(reports[0].support_current, reports[0].support_previous);
+}
+
+TEST(Rca, QuietWindowYieldsNoReports) {
+  TinyWorld world = MakeTinyWorld(0.01);  // nothing changed
+  RcaOptions opt;
+  auto reports = DetectAnomalies(world.w, world.error_nodes, world.current,
+                                 world.previous, opt);
+  EXPECT_TRUE(reports.empty());
+}
+
+TEST(Rca, InnocentIndicatorNotReported) {
+  TinyWorld world = MakeTinyWorld(0.5);
+  RcaOptions opt;
+  auto reports = DetectAnomalies(world.w, world.error_nodes, world.current,
+                                 world.previous, opt);
+  for (const auto& report : reports) {
+    EXPECT_EQ(report.path.front(), 1)
+        << "innocent node 2 reported: " << report.Format({"E", "C", "I"});
+  }
+}
+
+TEST(Rca, MinSupportFiltersRarePaths) {
+  TinyWorld world = MakeTinyWorld(0.5);
+  RcaOptions opt;
+  opt.min_support = 1000000;  // absurd: filters everything
+  auto reports = DetectAnomalies(world.w, world.error_nodes, world.current,
+                                 world.previous, opt);
+  EXPECT_TRUE(reports.empty());
+}
+
+TEST(Rca, EdgeToleranceRemovesWeakEdges) {
+  TinyWorld world = MakeTinyWorld(0.5);
+  RcaOptions opt;
+  opt.edge_tolerance = 0.9;  // above both edge weights: no graph edges
+  auto reports = DetectAnomalies(world.w, world.error_nodes, world.current,
+                                 world.previous, opt);
+  EXPECT_TRUE(reports.empty());
+}
+
+TEST(Rca, MultiHopPathReported) {
+  // Chain: 2 -> 1 -> 0(error); indicator 2 drives 1 which drives errors.
+  DenseMatrix w(3, 3);
+  w(1, 0) = 0.9;
+  w(2, 1) = 0.9;
+  DenseMatrix current(2000, 3), previous(2000, 3);
+  Rng rng(7);
+  auto fill = [&](DenseMatrix& win, double err_rate) {
+    for (int r = 0; r < win.rows(); ++r) {
+      const bool root = rng.Bernoulli(0.4);
+      const bool mid = root && rng.Bernoulli(0.9);
+      win(r, 2) = root;
+      win(r, 1) = mid;
+      // Background errors are independent of the chain; the anomaly makes
+      // errors concentrate on records passing through `mid`.
+      const bool background = rng.Bernoulli(0.01);
+      win(r, 0) = (background || (mid && rng.Bernoulli(err_rate))) ? 1.0 : 0.0;
+    }
+  };
+  fill(previous, 0.0);
+  fill(current, 0.6);
+  RcaOptions opt;
+  auto reports = DetectAnomalies(w, {0}, current, previous, opt);
+  ASSERT_FALSE(reports.empty());
+  bool saw_full_chain = false;
+  for (const auto& report : reports) {
+    if (report.path == std::vector<int>{2, 1, 0}) saw_full_chain = true;
+  }
+  EXPECT_TRUE(saw_full_chain);
+}
+
+TEST(Rca, PathsThroughOtherErrorNodesSkipped) {
+  // error0 <- error1 <- cause: the path into error0 runs through error1
+  // and must be skipped; the path cause -> error1 itself is fine.
+  DenseMatrix w(3, 3);
+  w(1, 0) = 0.9;  // error1 -> error0
+  w(2, 1) = 0.9;  // cause -> error1
+  DenseMatrix current(500, 3), previous(500, 3);
+  Rng rng(9);
+  for (int r = 0; r < 500; ++r) {
+    const bool cause = rng.Bernoulli(0.5);
+    current(r, 2) = cause;
+    previous(r, 2) = rng.Bernoulli(0.5);
+    current(r, 1) = cause && rng.Bernoulli(0.8);
+    current(r, 0) = current(r, 1) != 0.0 && rng.Bernoulli(0.8);
+  }
+  RcaOptions opt;
+  opt.p_value_threshold = 0.5;  // lenient: we only inspect path shapes
+  auto reports = DetectAnomalies(w, {0, 1}, current, previous, opt);
+  for (const auto& report : reports) {
+    if (report.path.back() == 0) {
+      // Any reported path into error0 must not contain error1.
+      EXPECT_EQ(std::find(report.path.begin(), report.path.end() - 1, 1),
+                report.path.end() - 1);
+    }
+  }
+}
+
+
+TEST(Rca, SkeletonModeFollowsReversedEdges) {
+  // The cause edge is learned with the wrong orientation (error -> cause),
+  // which happens on one-hot monitoring data; skeleton mode must still
+  // surface the path, strict mode must not.
+  DenseMatrix w(3, 3);
+  w(0, 1) = 0.8;  // error(0) -> cause(1): reversed orientation
+  DenseMatrix current(1000, 3), previous(1000, 3);
+  Rng rng(21);
+  auto fill = [&](DenseMatrix& win, double cause_rate) {
+    for (int r = 0; r < win.rows(); ++r) {
+      const bool cause = rng.Bernoulli(0.3);
+      win(r, 1) = cause;
+      double p_err = 0.01;
+      if (cause) p_err = cause_rate;
+      win(r, 0) = rng.Bernoulli(p_err) ? 1.0 : 0.0;
+    }
+  };
+  fill(previous, 0.01);
+  fill(current, 0.5);
+
+  RcaOptions strict;
+  strict.use_skeleton = false;
+  EXPECT_TRUE(DetectAnomalies(w, {0}, current, previous, strict).empty());
+
+  RcaOptions skeleton;
+  skeleton.use_skeleton = true;
+  auto reports = DetectAnomalies(w, {0}, current, previous, skeleton);
+  ASSERT_FALSE(reports.empty());
+  EXPECT_EQ(reports[0].path, (std::vector<int>{1, 0}));
+}
+
+TEST(Rca, ReportCarriesErrorTotals) {
+  TinyWorld world = MakeTinyWorld(0.5);
+  RcaOptions opt;
+  auto reports = DetectAnomalies(world.w, world.error_nodes, world.current,
+                                 world.previous, opt);
+  ASSERT_FALSE(reports.empty());
+  EXPECT_GT(reports[0].errors_current, reports[0].errors_previous);
+  EXPECT_GE(reports[0].errors_current, reports[0].support_current);
+}
+
+TEST(Rca, FormatRendersPaperStyle) {
+  AnomalyReport report;
+  report.path = {2, 1, 0};
+  const std::string s = report.Format({"Error3", "FareSource5", "AirlineMU"});
+  EXPECT_EQ(s, "Error3 <- FareSource5 <- AirlineMU");
+}
+
+TEST(Rca, EvaluateReportsMatchesScenarios) {
+  AnomalyScenario scenario;
+  scenario.error_step = 0;
+  scenario.condition_nodes = {5};
+  AnomalyReport hit;
+  hit.path = {5, 0};
+  AnomalyReport miss;
+  miss.path = {7, 0};
+  RcaEvaluation eval = EvaluateReports({hit, miss}, {scenario});
+  EXPECT_EQ(eval.true_positives, 1);
+  EXPECT_EQ(eval.false_positives, 1);
+  EXPECT_EQ(eval.scenarios_found, 1);
+  EXPECT_EQ(eval.scenarios_total, 1);
+}
+
+TEST(Rca, EvaluateReportsRequiresMatchingErrorStep) {
+  AnomalyScenario scenario;
+  scenario.error_step = 2;
+  scenario.condition_nodes = {5};
+  AnomalyReport wrong_step;
+  wrong_step.path = {5, 0};  // right cause, wrong error node
+  RcaEvaluation eval = EvaluateReports({wrong_step}, {scenario});
+  EXPECT_EQ(eval.true_positives, 0);
+  EXPECT_EQ(eval.false_positives, 1);
+  EXPECT_EQ(eval.scenarios_found, 0);
+}
+
+}  // namespace
+}  // namespace least

@@ -1,0 +1,152 @@
+// Tests for util/rng.h: determinism, ranges and first moments of the
+// distributions used by the workload generators.
+
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace least {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.Uniform() == b.Uniform();
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.5, 3.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(7);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const int v = rng.UniformInt(10);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 10);
+    ++seen[v];
+  }
+  // Every bucket hit: crude uniformity check.
+  for (int count : seen) EXPECT_GT(count, 300);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(1.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialMeanAndCentering) {
+  Rng rng(13);
+  const int n = 40000;
+  double raw = 0.0, centered = 0.0;
+  for (int i = 0; i < n; ++i) raw += rng.Exponential(2.0);
+  for (int i = 0; i < n; ++i) centered += rng.Exponential(2.0, true);
+  EXPECT_NEAR(raw / n, 0.5, 0.02);       // mean = 1/rate
+  EXPECT_NEAR(centered / n, 0.0, 0.02);  // centered to zero
+}
+
+TEST(Rng, ExponentialIsNonNegativeWhenUncentered) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.Exponential(1.0), 0.0);
+}
+
+TEST(Rng, GumbelMeanAndCentering) {
+  Rng rng(19);
+  const int n = 40000;
+  constexpr double kEulerGamma = 0.5772156649015329;
+  double raw = 0.0, centered = 0.0;
+  for (int i = 0; i < n; ++i) raw += rng.Gumbel(1.0);
+  for (int i = 0; i < n; ++i) centered += rng.Gumbel(1.0, true);
+  EXPECT_NEAR(raw / n, kEulerGamma, 0.03);
+  EXPECT_NEAR(centered / n, 0.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GlorotUniformBound) {
+  Rng rng(29);
+  const double limit = std::sqrt(6.0 / (100 + 100));
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.GlorotUniform(100, 100);
+    EXPECT_GE(v, -limit);
+    EXPECT_LE(v, limit);
+  }
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(31);
+  std::vector<int> p = rng.Permutation(50);
+  std::vector<int> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  for (int k : {0, 1, 5, 20, 100}) {
+    std::vector<int> s = rng.SampleWithoutReplacement(100, k);
+    ASSERT_EQ(static_cast<int>(s.size()), k);
+    std::sort(s.begin(), s.end());
+    EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+    if (!s.empty()) {
+      EXPECT_GE(s.front(), 0);
+      EXPECT_LT(s.back(), 100);
+    }
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementCoversSmallPath) {
+  // k near n triggers the dense path; all elements must appear for k = n.
+  Rng rng(41);
+  std::vector<int> s = rng.SampleWithoutReplacement(10, 10);
+  std::sort(s.begin(), s.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(43);
+  std::vector<int> v = {1, 2, 2, 3, 5, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  std::sort(original.begin(), original.end());
+  EXPECT_EQ(v, original);
+}
+
+}  // namespace
+}  // namespace least

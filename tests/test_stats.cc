@@ -1,0 +1,122 @@
+// Tests for util/stats.h: moments, Pearson correlation, normal CDF, and the
+// two-proportion z-test used by the RCA subsystem.
+
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace least {
+namespace {
+
+TEST(Mean, Basic) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+}
+
+TEST(Mean, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(StdDev, KnownValue) {
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  // Sample stddev with n-1 denominator.
+  EXPECT_NEAR(StdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StdDev, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  std::vector<double> one = {5.0};
+  EXPECT_DOUBLE_EQ(StdDev(one), 0.0);
+}
+
+TEST(Pearson, PerfectPositive) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(a, b), -1.0, 1e-12);
+}
+
+TEST(Pearson, UncorrelatedOrthogonal) {
+  std::vector<double> a = {1, -1, 1, -1};
+  std::vector<double> b = {1, 1, -1, -1};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 0.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesReturnsZero) {
+  std::vector<double> a = {1, 1, 1};
+  std::vector<double> b = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, b), 0.0);
+}
+
+TEST(Pearson, MismatchedLengthsReturnZero) {
+  std::vector<double> a = {1, 2};
+  std::vector<double> b = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, b), 0.0);
+}
+
+TEST(NormalCdf, KnownQuantiles) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.959963984540054), 0.025, 1e-9);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-9);
+}
+
+TEST(ZTest, LargeIncreaseIsSignificant) {
+  // 5% -> 20% over 10k records each: overwhelmingly significant.
+  const double p = TwoProportionZTestPValue(2000, 10000, 500, 10000);
+  EXPECT_LT(p, 1e-10);
+}
+
+TEST(ZTest, NoChangeIsInsignificant) {
+  const double p = TwoProportionZTestPValue(500, 10000, 500, 10000);
+  EXPECT_GT(p, 0.45);
+}
+
+TEST(ZTest, DecreaseIsInsignificantOneSided) {
+  // One-sided test for increase: decreases give large p-values.
+  const double p = TwoProportionZTestPValue(100, 10000, 500, 10000);
+  EXPECT_GT(p, 0.99);
+}
+
+TEST(ZTest, DegenerateInputsReturnOne) {
+  EXPECT_DOUBLE_EQ(TwoProportionZTestPValue(0, 0, 5, 10), 1.0);
+  EXPECT_DOUBLE_EQ(TwoProportionZTestPValue(5, 10, 0, 0), 1.0);
+  // Zero pooled variance (all successes).
+  EXPECT_DOUBLE_EQ(TwoProportionZTestPValue(10, 10, 10, 10), 1.0);
+  // Zero pooled variance (no successes).
+  EXPECT_DOUBLE_EQ(TwoProportionZTestPValue(0, 10, 0, 10), 1.0);
+}
+
+TEST(ZTest, MatchesHandComputedZ) {
+  // p1 = 0.3 (30/100), p2 = 0.2 (20/100); pooled = 0.25.
+  // z = 0.1 / sqrt(0.25*0.75*(2/100)) = 1.632993.
+  const double p = TwoProportionZTestPValue(30, 100, 20, 100);
+  EXPECT_NEAR(p, 1.0 - NormalCdf(1.6329931618554525), 1e-12);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  std::vector<double> v = {1.5, -2.0, 3.25, 0.0, 7.5, -1.25};
+  RunningStats rs;
+  for (double x : v) rs.Add(x);
+  EXPECT_EQ(rs.count(), 6);
+  EXPECT_NEAR(rs.mean(), Mean(v), 1e-12);
+  EXPECT_NEAR(rs.stddev(), StdDev(v), 1e-12);
+}
+
+TEST(RunningStats, SingleObservation) {
+  RunningStats rs;
+  rs.Add(4.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace least

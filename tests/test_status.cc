@@ -1,0 +1,128 @@
+// Tests for util/status.h: Status, Result, and the propagation macros.
+
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace least {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoryOk) {
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(Status, InvalidArgumentCarriesMessage) {
+  Status s = Status::InvalidArgument("bad d");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad d");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad d");
+}
+
+TEST(Status, AllErrorFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotConverged("x").code(), StatusCode::kNotConverged);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::IoError("a"), Status::IoError("a"));
+  EXPECT_FALSE(Status::IoError("a") == Status::IoError("b"));
+  EXPECT_FALSE(Status::IoError("a") == Status::Internal("a"));
+}
+
+TEST(Status, CodeToStringCoversAllCodes) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "InvalidArgument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotConverged), "NotConverged");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Result, ValueOrFallsBack) {
+  Result<int> good(7);
+  Result<int> bad(Status::Internal("x"));
+  EXPECT_EQ(good.ValueOr(0), 7);
+  EXPECT_EQ(bad.ValueOr(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(Result, MutableValueAccess) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2});
+  r.value().push_back(3);
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+namespace macros {
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::Ok();
+}
+
+Status Chain(int x) {
+  LEAST_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::Ok();
+}
+
+Result<int> Doubled(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return 2 * x;
+}
+
+Status UseAssign(int x, int* out) {
+  LEAST_ASSIGN_OR_RETURN(int doubled, Doubled(x));
+  *out = doubled;
+  return Status::Ok();
+}
+
+}  // namespace macros
+
+TEST(StatusMacros, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(macros::Chain(1).ok());
+  EXPECT_EQ(macros::Chain(-1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusMacros, AssignOrReturnBindsValue) {
+  int out = 0;
+  ASSERT_TRUE(macros::UseAssign(21, &out).ok());
+  EXPECT_EQ(out, 42);
+}
+
+TEST(StatusMacros, AssignOrReturnPropagatesError) {
+  int out = 123;
+  EXPECT_EQ(macros::UseAssign(-1, &out).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(out, 123);  // untouched on failure
+}
+
+}  // namespace
+}  // namespace least

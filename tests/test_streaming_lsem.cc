@@ -1,0 +1,153 @@
+// Tests for data/streaming_lsem.h and the sparse DAG generator — the
+// substrates behind the Fig. 5 large-scale workloads.
+
+#include "data/streaming_lsem.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dag.h"
+#include "graph/graph_generator.h"
+#include "util/stats.h"
+
+namespace least {
+namespace {
+
+TEST(SparseRandomDag, ErIsAcyclicWithTargetEdges) {
+  Rng rng(3);
+  const int d = 500;
+  CsrMatrix w = SparseRandomDagWeights(GraphType::kErdosRenyi, d, 4.0, rng);
+  EXPECT_TRUE(IsDag(AdjacencyFromCsr(w)));
+  // ~ d * degree / 2 edges.
+  EXPECT_NEAR(static_cast<double>(w.nnz()), d * 2.0, d * 0.6);
+}
+
+TEST(SparseRandomDag, SfIsAcyclicWithHubs) {
+  Rng rng(5);
+  const int d = 500;
+  CsrMatrix w = SparseRandomDagWeights(GraphType::kScaleFree, d, 4.0, rng);
+  AdjacencyList adj = AdjacencyFromCsr(w);
+  EXPECT_TRUE(IsDag(adj));
+  DegreeSummary deg = Degrees(adj);
+  int max_total = 0;
+  for (int i = 0; i < d; ++i) {
+    max_total = std::max(max_total, deg.in[i] + deg.out[i]);
+  }
+  EXPECT_GE(max_total, 15);  // hubs emerge under preferential attachment
+}
+
+TEST(SparseRandomDag, MatchesDenseGeneratorStatistics) {
+  Rng rng1(7), rng2(7);
+  const int d = 200;
+  CsrMatrix sparse =
+      SparseRandomDagWeights(GraphType::kScaleFree, d, 4.0, rng1);
+  DenseMatrix dense = RandomDagWeights(GraphType::kScaleFree, d, 4.0, rng2);
+  // Not bit-identical (different sampling order), but same edge volume.
+  EXPECT_NEAR(static_cast<double>(sparse.nnz()),
+              static_cast<double>(dense.CountNonZeros()),
+              0.25 * static_cast<double>(dense.CountNonZeros()));
+}
+
+TEST(SparseRandomDag, WeightsInBand) {
+  Rng rng(9);
+  CsrMatrix w = SparseRandomDagWeights(GraphType::kErdosRenyi, 300, 3.0, rng);
+  for (double v : w.values()) {
+    EXPECT_GE(std::fabs(v), 0.5);
+    EXPECT_LE(std::fabs(v), 2.0);
+  }
+}
+
+TEST(SparseRandomDag, TinyGraphs) {
+  Rng rng(1);
+  EXPECT_EQ(SparseRandomDagWeights(GraphType::kErdosRenyi, 0, 2, rng).nnz(), 0);
+  EXPECT_EQ(SparseRandomDagWeights(GraphType::kErdosRenyi, 1, 2, rng).nnz(), 0);
+  EXPECT_EQ(SparseRandomDagWeights(GraphType::kScaleFree, 1, 2, rng).nnz(), 0);
+}
+
+// ---------- StreamingLsemSource ----------
+
+CsrMatrix ChainCsr() {
+  // 0 -> 1 (2.0), 1 -> 2 (-1.0).
+  return CsrMatrix::FromTriplets(3, 3, {{0, 1, 2.0}, {1, 2, -1.0}});
+}
+
+TEST(StreamingLsem, ShapeAndDeterminism) {
+  CsrMatrix w = ChainCsr();
+  StreamingLsemSource src(w, 100, {}, 42);
+  EXPECT_EQ(src.num_rows(), 100);
+  EXPECT_EQ(src.num_cols(), 3);
+  DenseMatrix a(3, 4), b(3, 4);
+  std::vector<int> rows = {0, 7, 7, 99};
+  src.GatherTransposed(rows, &a);
+  src.GatherTransposed(rows, &b);
+  EXPECT_LT(MaxAbsDiff(a, b), 1e-15);
+  // Identical row index -> identical sample regardless of batch position.
+  for (int v = 0; v < 3; ++v) EXPECT_DOUBLE_EQ(a(v, 1), a(v, 2));
+}
+
+TEST(StreamingLsem, DifferentRowsDiffer) {
+  StreamingLsemSource src(ChainCsr(), 100, {}, 42);
+  DenseMatrix out(3, 2);
+  std::vector<int> rows = {3, 4};
+  src.GatherTransposed(rows, &out);
+  EXPECT_NE(out(0, 0), out(0, 1));
+}
+
+TEST(StreamingLsem, DifferentSeedsDiffer) {
+  StreamingLsemSource a(ChainCsr(), 10, {}, 1);
+  StreamingLsemSource b(ChainCsr(), 10, {}, 2);
+  DenseMatrix xa(3, 1), xb(3, 1);
+  std::vector<int> rows = {0};
+  a.GatherTransposed(rows, &xa);
+  b.GatherTransposed(rows, &xb);
+  EXPECT_NE(xa(0, 0), xb(0, 0));
+}
+
+TEST(StreamingLsem, StructuralEquationsHold) {
+  // Regression slope of x1 on x0 over many streamed rows approaches the
+  // edge weight 2.0 — the streamed samples follow the LSEM.
+  StreamingLsemSource src(ChainCsr(), 20000, {}, 11);
+  const int batch = 500;
+  DenseMatrix out(3, batch);
+  double sxx = 0.0, sxy = 0.0;
+  for (int start = 0; start < 20000; start += batch) {
+    std::vector<int> rows(batch);
+    for (int b = 0; b < batch; ++b) rows[b] = start + b;
+    src.GatherTransposed(rows, &out);
+    for (int b = 0; b < batch; ++b) {
+      sxx += out(0, b) * out(0, b);
+      sxy += out(0, b) * out(1, b);
+    }
+  }
+  EXPECT_NEAR(sxy / sxx, 2.0, 0.05);
+}
+
+TEST(StreamingLsem, NoiseFamiliesSupported) {
+  for (NoiseType noise : {NoiseType::kGaussian, NoiseType::kExponential,
+                          NoiseType::kGumbel}) {
+    LsemOptions opts;
+    opts.noise = noise;
+    StreamingLsemSource src(ChainCsr(), 4000, opts, 13);
+    DenseMatrix out(3, 1000);
+    std::vector<int> rows(1000);
+    for (int b = 0; b < 1000; ++b) rows[b] = b;
+    src.GatherTransposed(rows, &out);
+    RunningStats root;  // node 0 is exogenous: pure centered noise
+    for (int b = 0; b < 1000; ++b) root.Add(out(0, b));
+    EXPECT_NEAR(root.mean(), 0.0, 0.15) << NoiseTypeName(noise);
+    EXPECT_GT(root.variance(), 0.3) << NoiseTypeName(noise);
+  }
+}
+
+TEST(StreamingLsem, LargeGraphSmoke) {
+  Rng rng(17);
+  CsrMatrix w =
+      SparseRandomDagWeights(GraphType::kScaleFree, 20000, 4.0, rng);
+  StreamingLsemSource src(w, 1 << 20, {}, 19);
+  DenseMatrix out(20000, 8);
+  std::vector<int> rows = {0, 1000, 500000, 1048575, 3, 77, 12345, 999999};
+  src.GatherTransposed(rows, &out);  // must be fast and bounded-memory
+  EXPECT_GT(out.FrobeniusNorm(), 0.0);
+}
+
+}  // namespace
+}  // namespace least

@@ -1,0 +1,71 @@
+// Tests for util/table_printer.h.
+
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace least {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "2"});
+  const std::string out = t.ToString();
+  // Header, separator, two rows.
+  int lines = 0;
+  for (char c : out) lines += c == '\n';
+  EXPECT_EQ(lines, 4);
+  // Every line has the same width.
+  std::istringstream ss(out);
+  std::string line;
+  size_t width = 0;
+  while (std::getline(ss, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinter, PadsMissingCells) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(TablePrinter, DropsExtraCells) {
+  TablePrinter t({"a"});
+  t.AddRow({"1", "SHOULD_NOT_APPEAR"});
+  EXPECT_EQ(t.ToString().find("SHOULD_NOT_APPEAR"), std::string::npos);
+}
+
+TEST(TablePrinter, FmtDouble) {
+  EXPECT_EQ(TablePrinter::Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Fmt(1.0, 3), "1.000");
+  EXPECT_EQ(TablePrinter::Fmt(-0.5, 1), "-0.5");
+}
+
+TEST(TablePrinter, FmtInt) {
+  EXPECT_EQ(TablePrinter::Fmt(12345LL), "12345");
+  EXPECT_EQ(TablePrinter::Fmt(-3LL), "-3");
+}
+
+TEST(TablePrinter, PrintWritesToStream) {
+  TablePrinter t({"h"});
+  t.AddRow({"row"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_EQ(os.str(), t.ToString());
+}
+
+TEST(TablePrinter, SeparatorUsesPlusAtColumnBoundaries) {
+  TablePrinter t({"a", "b"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find('+'), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace least
