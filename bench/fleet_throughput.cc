@@ -1,0 +1,119 @@
+/// \file fleet_throughput.cc
+/// \brief Fleet-runtime throughput: jobs/second vs. thread-pool size.
+///
+/// The paper's production claim is fleet scale ("tens of thousands of BN
+/// instances daily"); this harness measures the runtime half of that claim.
+/// The same queue of small gene-network learning jobs is replayed through
+/// `FleetScheduler` on pools of 1, 2, 4, ... threads, and the table reports
+/// wall time, throughput, speedup vs. 1 thread, and latency percentiles.
+/// Job results are verified bitwise-identical across pool sizes (the fleet
+/// determinism contract), so the speedup column measures pure scheduling
+/// gain, not numerical drift.
+///
+/// Sizes follow the standard harness envs:
+///   LEAST_BENCH_SCALE=<double>  fraction of the default 400-job queue
+///   LEAST_FLEET_MAX_THREADS     cap on the largest pool (default: hardware)
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/gene_network.h"
+#include "runtime/fleet_scheduler.h"
+#include "util/table_printer.h"
+
+namespace {
+
+struct RunResult {
+  least::FleetReport report;
+  least::DenseMatrix probe_weights;  ///< job 0's model, for determinism check
+};
+
+RunResult RunFleet(const std::vector<least::LearnJob>& jobs, int threads) {
+  least::ThreadPool pool(threads);
+  least::FleetScheduler scheduler(&pool, {.seed = 7});
+  for (const least::LearnJob& job : jobs) {
+    scheduler.Enqueue(job);  // copies: each run replays the identical queue
+  }
+  RunResult result;
+  result.report = scheduler.Wait();
+  result.probe_weights = scheduler.record(0).outcome.weights;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = least::bench::Scale(0.25);
+  least::bench::PrintBanner("fleet throughput vs. thread-pool size", scale);
+
+  const int num_jobs = std::max(20, static_cast<int>(400 * scale));
+  const int hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+  const int max_threads =
+      std::max(1, least::EnvInt("LEAST_FLEET_MAX_THREADS", hardware));
+
+  // One queue of small hub-topology gene networks (Sachs-like scale), the
+  // fleet workload of paper Section VI-B.
+  std::vector<least::LearnJob> jobs;
+  jobs.reserve(num_jobs);
+  for (int j = 0; j < num_jobs; ++j) {
+    least::GeneNetworkConfig config;
+    config.num_genes = 12;
+    config.num_edges = 20;
+    config.num_samples = 120;
+    config.seed = 1000 + static_cast<uint64_t>(j);
+    least::GeneNetworkInstance instance = least::MakeGeneNetwork(config);
+    least::LearnJob job;
+    job.name = "gene-" + std::to_string(j);
+    job.algorithm = least::Algorithm::kLeastDense;
+    job.data =
+        std::make_shared<const least::DenseMatrix>(std::move(instance.x));
+    job.options.max_outer_iterations = 12;
+    job.options.max_inner_iterations = 80;
+    job.options.tolerance = 1e-6;
+    jobs.push_back(std::move(job));
+  }
+  std::printf("queue: %d jobs (12-gene networks, 120 samples each)\n\n",
+              num_jobs);
+
+  least::TablePrinter table({"threads", "wall s", "jobs/s", "speedup",
+                             "p50 ms", "p99 ms", "ok", "deterministic"});
+  double baseline_throughput = 0.0;
+  RunResult baseline;
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    RunResult run = RunFleet(jobs, threads);
+    const least::FleetReport& r = run.report;
+    bool deterministic = true;
+    if (threads == 1) {
+      baseline = run;
+      baseline_throughput = r.throughput_jobs_per_sec;
+    } else {
+      deterministic =
+          run.probe_weights.SameShape(baseline.probe_weights) &&
+          least::MaxAbsDiff(run.probe_weights, baseline.probe_weights) == 0.0;
+    }
+    table.AddRow({std::to_string(threads),
+                  least::TablePrinter::Fmt(r.wall_seconds, 2),
+                  least::TablePrinter::Fmt(r.throughput_jobs_per_sec, 1),
+                  least::TablePrinter::Fmt(
+                      baseline_throughput > 0
+                          ? r.throughput_jobs_per_sec / baseline_throughput
+                          : 1.0,
+                      2),
+                  least::TablePrinter::Fmt(r.p50_latency_ms, 1),
+                  least::TablePrinter::Fmt(r.p99_latency_ms, 1),
+                  least::TablePrinter::Fmt(
+                      static_cast<long long>(r.succeeded)),
+                  deterministic ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  if (max_threads == 1) {
+    std::printf("note: only 1 hardware thread available; rerun on a "
+                "multi-core host (or set LEAST_FLEET_MAX_THREADS) to see "
+                "scheduling speedup.\n");
+  }
+  return 0;
+}

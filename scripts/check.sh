@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build (library carries -Wall -Wextra),
+# and run the full ctest suite. Run from anywhere; operates on the repo root.
+#
+#   scripts/check.sh            # incremental
+#   CLEAN=1 scripts/check.sh    # wipe build/ first
+#   BUILD_DIR=out scripts/check.sh
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-build}"
+
+cd "$repo_root"
+if [[ "${CLEAN:-0}" != "0" ]]; then
+  rm -rf "$build_dir"
+fi
+
+cmake -B "$build_dir" -S .
+cmake --build "$build_dir" -j
+cd "$build_dir"
+ctest --output-on-failure -j
+
+echo "check.sh: all green"

@@ -54,7 +54,23 @@ LearnResult ContinuousLearner::Fit(const DenseMatrix& x) const {
   const bool use_h_termination = opt.terminate_on_h && opt.track_exact_h;
   bool converged = false;
 
+  // Cooperative cancellation: polled between rounds and at the inner
+  // convergence-check cadence, so a fleet Cancel() interrupts within a few
+  // optimizer steps instead of after a full Fit.
+  auto stop_requested = [this]() { return stop_ != nullptr && stop_(); };
+  auto cancelled_result = [&](int outer) {
+    result.status = Status::Cancelled("stop requested at outer round " +
+                                      std::to_string(outer));
+    result.raw_weights = w;
+    result.weights = w;
+    result.weights.ApplyThreshold(opt.prune_threshold);
+    result.constraint_value = constraint_value;
+    result.seconds = watch.Seconds();
+    return std::move(result);
+  };
+
   for (int outer = 1; outer <= opt.max_outer_iterations; ++outer) {
+    if (stop_requested()) return cancelled_result(outer);
     const double lr = std::max(
         opt.learning_rate * std::pow(opt.lr_decay, outer - 1),
         0.05 * opt.learning_rate);
@@ -88,6 +104,7 @@ LearnResult ContinuousLearner::Fit(const DenseMatrix& x) const {
       last_loss = loss_value;
       ++inner_done;
       if (inner % opt.inner_check_every == 0) {
+        if (stop_requested()) return cancelled_result(outer);
         const double rel = std::fabs(objective - prev_objective) /
                            std::max(1.0, std::fabs(prev_objective));
         if (rel < opt.inner_rtol) break;

@@ -28,6 +28,16 @@
 namespace least {
 
 /// \brief Augmented-Lagrangian driver over a dense W.
+///
+/// Thread safety: `Fit` is `const` and reentrant. All per-run mutable state
+/// (the optimizer's Adam moments, the RNG, the loss scratch buffers, W
+/// itself) lives on the `Fit` stack, and `AcyclicityConstraint::Evaluate`
+/// implementations are stateless, so one learner may serve concurrent `Fit`
+/// calls from multiple fleet-scheduler threads; identical options + data
+/// yield bitwise-identical results regardless of interleaving. The
+/// setters (`set_snapshot_callback`, `set_stop_predicate`) are NOT
+/// synchronized — configure the learner before sharing it, and make the
+/// callbacks themselves thread-safe when `Fit` runs concurrently.
 class ContinuousLearner {
  public:
   /// Called at the end of every outer round with the current raw W and the
@@ -35,6 +45,11 @@ class ContinuousLearner {
   /// tolerance crossings (the paper's ε grid search).
   using SnapshotCallback =
       std::function<void(int outer, const DenseMatrix& w, double constraint)>;
+
+  /// Polled between optimization rounds; returning true makes `Fit` stop
+  /// early with `kCancelled`. Used by the fleet runtime for cooperative
+  /// job cancellation.
+  using StopPredicate = std::function<bool()>;
 
   /// Takes ownership of `constraint`.
   ContinuousLearner(std::unique_ptr<AcyclicityConstraint> constraint,
@@ -44,10 +59,13 @@ class ContinuousLearner {
     snapshot_ = std::move(cb);
   }
 
+  void set_stop_predicate(StopPredicate stop) { stop_ = std::move(stop); }
+
   /// Learns a weighted DAG from the n x d sample matrix.
   /// Fails with `kInvalidArgument` on shape errors; returns
   /// `kNotConverged` (with the best W found) when the constraint never
-  /// reaches the tolerance within the outer-iteration budget.
+  /// reaches the tolerance within the outer-iteration budget, and
+  /// `kCancelled` (again with the current W) when the stop predicate fires.
   LearnResult Fit(const DenseMatrix& x) const;
 
   const AcyclicityConstraint& constraint() const { return *constraint_; }
@@ -57,6 +75,7 @@ class ContinuousLearner {
   std::unique_ptr<AcyclicityConstraint> constraint_;
   LearnOptions options_;
   SnapshotCallback snapshot_;
+  StopPredicate stop_;
 };
 
 }  // namespace least

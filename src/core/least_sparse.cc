@@ -84,6 +84,17 @@ SparseLearnResult LeastSparseLearner::Fit(const DataSource& data) const {
   bool converged = false;
 
   for (int outer = 1; outer <= opt.max_outer_iterations; ++outer) {
+    if (stop_ != nullptr && stop_()) {
+      result.status = Status::Cancelled("stop requested at outer round " +
+                                        std::to_string(outer));
+      result.raw_weights = w;
+      w.ThresholdValues(opt.prune_threshold);
+      w.Compact(nullptr);
+      result.weights = std::move(w);
+      result.constraint_value = constraint_value;
+      result.seconds = watch.Seconds();
+      return result;
+    }
     const double lr = std::max(
         opt.learning_rate * std::pow(opt.lr_decay, outer - 1),
         0.05 * opt.learning_rate);

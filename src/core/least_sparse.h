@@ -15,6 +15,7 @@
 
 #pragma once
 
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -38,8 +39,16 @@ struct SparseLearnResult {
 };
 
 /// \brief Sparse LEAST learner.
+///
+/// Thread safety: `Fit` is `const` and reentrant (all mutable state is
+/// per-call); one learner may serve concurrent `Fit` calls. Configure via
+/// the setters before sharing across threads.
 class LeastSparseLearner {
  public:
+  /// Polled at outer-round boundaries; returning true stops `Fit` early
+  /// with `kCancelled` (see `ContinuousLearner::StopPredicate`).
+  using StopPredicate = std::function<bool()>;
+
   explicit LeastSparseLearner(const LearnOptions& options);
 
   /// Extra (from, to) entries merged into the random initial pattern.
@@ -50,6 +59,8 @@ class LeastSparseLearner {
     candidate_edges_ = std::move(edges);
   }
 
+  void set_stop_predicate(StopPredicate stop) { stop_ = std::move(stop); }
+
   /// Learns a sparse weighted DAG from the data source.
   SparseLearnResult Fit(const DataSource& data) const;
 
@@ -58,6 +69,7 @@ class LeastSparseLearner {
  private:
   LearnOptions options_;
   std::vector<std::pair<int, int>> candidate_edges_;
+  StopPredicate stop_;
 };
 
 /// Convenience: runs LEAST-SP over an in-memory dense sample matrix.

@@ -1,6 +1,9 @@
 #include "core/least_squares_loss.h"
 
 #include <cmath>
+#include <cstdint>
+
+#include "linalg/parallel.h"
 
 namespace least {
 
@@ -66,10 +69,17 @@ double LeastSquaresLoss::FullBatch(const DenseMatrix& w,
   const double smooth = (trace_gram_ - 2.0 * dot_gw + dot_w_gw) * inv_n;
   if (grad_out != nullptr) {
     LEAST_CHECK(grad_out->SameShape(w));
-    for (size_t i = 0; i < w.data().size(); ++i) {
-      grad_out->data()[i] =
-          2.0 * inv_n * (gw_.data()[i] - gram_.data()[i]);
-    }
+    // Pure elementwise map — safe for the optional parallel executor.
+    std::span<double> grad = grad_out->data();
+    std::span<const double> gw = gw_.data();
+    std::span<const double> gram = gram_.data();
+    MaybeParallelFor(
+        0, static_cast<int64_t>(grad.size()), /*grain=*/-1,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            grad[i] = 2.0 * inv_n * (gw[i] - gram[i]);
+          }
+        });
   }
   return smooth;
 }
@@ -94,19 +104,24 @@ double LeastSquaresLoss::MiniBatch(const DenseMatrix& w,
   smooth *= inv_b;
   if (grad_out != nullptr) {
     LEAST_CHECK(grad_out->SameShape(w));
-    // grad = (2/B) X_Bᵀ residual: accumulate rank-1 row contributions.
-    grad_out->Fill(0.0);
-    for (int b = 0; b < batch; ++b) {
-      const double* xrow = xb_.row(b);
-      const double* rrow = residual_.row(b);
-      for (int i = 0; i < d; ++i) {
-        const double xi = xrow[i];
-        if (xi == 0.0) continue;
-        double* g_row = grad_out->row(i);
-        for (int j = 0; j < d; ++j) g_row[j] += xi * rrow[j];
+    // grad = (2/B) X_Bᵀ residual. Output rows are disjoint across i, and
+    // each element accumulates its batch terms in the same b order as a
+    // serial sweep, so the optional parallel split stays bitwise-identical.
+    auto rows_kernel = [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        double* g_row = grad_out->row(static_cast<int>(i));
+        for (int j = 0; j < d; ++j) g_row[j] = 0.0;
+        for (int b = 0; b < batch; ++b) {
+          const double xi = xb_(b, static_cast<int>(i));
+          if (xi == 0.0) continue;
+          const double* rrow = residual_.row(b);
+          for (int j = 0; j < d; ++j) g_row[j] += xi * rrow[j];
+        }
+        for (int j = 0; j < d; ++j) g_row[j] *= 2.0 * inv_b;
       }
-    }
-    grad_out->Scale(2.0 * inv_b);
+    };
+    const int64_t flops = static_cast<int64_t>(d) * d * batch;
+    MaybeParallelForFlops(flops, 0, d, /*grain=*/-1, rows_kernel);
   }
   return smooth;
 }

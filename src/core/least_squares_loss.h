@@ -7,6 +7,10 @@
 /// Mini-batch evaluation (B rows drawn fresh each step, paper Fig. 3 INNER
 /// line 5) computes R = X_B W − X_B directly. The L1 term contributes the
 /// subgradient λ·sign(W) with sign(0) = 0.
+///
+/// Both gradient kernels split across the optional global `ParallelExecutor`
+/// (see `linalg/parallel.h`) on large problems; results are bitwise
+/// identical with and without an executor.
 
 #pragma once
 

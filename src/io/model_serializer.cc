@@ -1,0 +1,371 @@
+#include "io/model_serializer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace least {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'B', 'N', 'M'};
+constexpr size_t kHeaderBytes = 16;  // magic + version + checksum
+
+uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t hash = 0xCBF29CE484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+// ---------------------------------------------------------------- writing ---
+
+class Writer {
+ public:
+  void Raw(const void* p, size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+  template <typename T>
+  void Pod(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Raw(&v, sizeof v);
+  }
+  void Str(const std::string& s) {
+    Pod<uint64_t>(s.size());
+    Raw(s.data(), s.size());
+  }
+  std::string Finish() && { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+// ---------------------------------------------------------------- reading ---
+
+/// Bounds-checked cursor with a sticky error: after the first failure every
+/// read is a no-op, so parse code can run straight-line and check once.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  void Raw(void* p, size_t n) {
+    if (!status_.ok()) return;
+    if (n > data_.size() - pos_) {
+      Fail("truncated model blob");
+      return;
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+  template <typename T>
+  void Pod(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Raw(v, sizeof *v);
+  }
+  void Str(std::string* s) {
+    uint64_t len = 0;
+    Pod(&len);
+    if (!status_.ok()) return;
+    if (len > remaining()) {
+      Fail("string length exceeds blob size");
+      return;
+    }
+    s->assign(data_.data() + pos_, static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  const Status& status() const { return status_; }
+  void Fail(std::string message) {
+    if (status_.ok()) status_ = Status::InvalidArgument(std::move(message));
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+// ------------------------------------------------- field-order archiving ---
+
+// One field list shared by the writer and the reader so the two can never
+// drift. Adding/removing/reordering LearnOptions fields requires bumping
+// `kModelFormatVersion`.
+struct WriteArchive {
+  Writer& w;
+  void operator()(int v) { w.Pod<int32_t>(v); }
+  void operator()(long long v) { w.Pod<int64_t>(v); }
+  void operator()(double v) { w.Pod<double>(v); }
+  void operator()(uint64_t v) { w.Pod<uint64_t>(v); }
+  void operator()(bool v) { w.Pod<uint8_t>(v ? 1 : 0); }
+};
+
+struct ReadArchive {
+  Reader& r;
+  void operator()(int& v) {
+    int32_t t = 0;
+    r.Pod(&t);
+    v = t;
+  }
+  void operator()(long long& v) {
+    int64_t t = 0;
+    r.Pod(&t);
+    v = t;
+  }
+  void operator()(double& v) { r.Pod(&v); }
+  void operator()(uint64_t& v) { r.Pod(&v); }
+  void operator()(bool& v) {
+    uint8_t t = 0;
+    r.Pod(&t);
+    v = t != 0;
+  }
+};
+
+template <typename Archive, typename Options>
+void ArchiveOptions(Archive& a, Options& o) {
+  a(o.k);
+  a(o.alpha);
+  a(o.lambda1);
+  a(o.learning_rate);
+  a(o.lr_decay);
+  a(o.batch_size);
+  a(o.rho_init);
+  a(o.eta_init);
+  a(o.rho_growth);
+  a(o.rho_progress_ratio);
+  a(o.rho_max);
+  a(o.max_outer_iterations);
+  a(o.max_inner_iterations);
+  a(o.tolerance);
+  a(o.inner_rtol);
+  a(o.inner_check_every);
+  a(o.filter_threshold);
+  a(o.threshold_warmup_rounds);
+  a(o.prune_threshold);
+  a(o.init_density);
+  a(o.seed);
+  a(o.verbose);
+  a(o.track_exact_h);
+  a(o.terminate_on_h);
+  a(o.track_estimated_h);
+}
+
+// ---------------------------------------------------------------- matrices ---
+
+void WriteDense(Writer& w, const DenseMatrix& m) {
+  w.Pod<int32_t>(m.rows());
+  w.Pod<int32_t>(m.cols());
+  w.Raw(m.data().data(), m.size() * sizeof(double));
+}
+
+DenseMatrix ReadDense(Reader& r) {
+  int32_t rows = 0, cols = 0;
+  r.Pod(&rows);
+  r.Pod(&cols);
+  if (!r.status().ok()) return {};
+  if (rows < 0 || cols < 0) {
+    r.Fail("negative dense matrix dimension");
+    return {};
+  }
+  const uint64_t cells = static_cast<uint64_t>(rows) * static_cast<uint64_t>(cols);
+  if (cells > r.remaining() / sizeof(double)) {
+    r.Fail("dense payload exceeds blob size");  // pre-allocation sanity
+    return {};
+  }
+  DenseMatrix m(rows, cols);
+  r.Raw(m.data().data(), static_cast<size_t>(cells) * sizeof(double));
+  return m;
+}
+
+void WriteSparse(Writer& w, const CsrMatrix& m) {
+  w.Pod<int32_t>(m.rows());
+  w.Pod<int32_t>(m.cols());
+  w.Pod<int64_t>(m.nnz());
+  // Entry triplets in CSR order; `FromTriplets` on sorted unique
+  // coordinates rebuilds the identical pattern and values.
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int64_t e = m.row_ptr()[i]; e < m.row_ptr()[i + 1]; ++e) {
+      w.Pod<int32_t>(i);
+      w.Pod<int32_t>(m.col_idx()[e]);
+      w.Pod<double>(m.values()[e]);
+    }
+  }
+}
+
+CsrMatrix ReadSparse(Reader& r) {
+  int32_t rows = 0, cols = 0;
+  int64_t nnz = 0;
+  r.Pod(&rows);
+  r.Pod(&cols);
+  r.Pod(&nnz);
+  if (!r.status().ok()) return {};
+  constexpr size_t kEntryBytes = 2 * sizeof(int32_t) + sizeof(double);
+  if (rows < 0 || cols < 0 || nnz < 0 ||
+      static_cast<uint64_t>(nnz) > r.remaining() / kEntryBytes) {
+    r.Fail("sparse payload exceeds blob size");
+    return {};
+  }
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(nnz));
+  for (int64_t e = 0; e < nnz; ++e) {
+    int32_t row = 0, col = 0;
+    double value = 0;
+    r.Pod(&row);
+    r.Pod(&col);
+    r.Pod(&value);
+    if (!r.status().ok()) return {};
+    if (row < 0 || row >= rows || col < 0 || col >= cols) {
+      r.Fail("sparse entry coordinate out of range");
+      return {};
+    }
+    triplets.push_back({row, col, value});
+  }
+  return CsrMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+}  // namespace
+
+ModelArtifact ModelArtifact::FromOutcome(std::string name,
+                                         Algorithm algorithm,
+                                         const LearnOptions& options,
+                                         const FitOutcome& outcome) {
+  ModelArtifact artifact;
+  artifact.name = std::move(name);
+  artifact.algorithm = algorithm;
+  artifact.options = options;
+  artifact.sparse = outcome.sparse;
+  if (outcome.sparse) {
+    artifact.sparse_weights = outcome.sparse_weights;
+    artifact.sparse_raw_weights = outcome.sparse_raw_weights;
+  } else {
+    artifact.weights = outcome.weights;
+    artifact.raw_weights = outcome.raw_weights;
+  }
+  artifact.constraint_value = outcome.constraint_value;
+  artifact.outer_iterations = outcome.outer_iterations;
+  artifact.inner_iterations = outcome.inner_iterations;
+  artifact.seconds = outcome.seconds;
+  return artifact;
+}
+
+std::string SerializeModel(const ModelArtifact& artifact) {
+  Writer body;
+  body.Pod<uint8_t>(static_cast<uint8_t>(artifact.algorithm));
+  body.Pod<uint8_t>(artifact.sparse ? 1 : 0);
+  body.Str(artifact.name);
+  WriteArchive options_archive{body};
+  ArchiveOptions(options_archive, artifact.options);
+  body.Pod<double>(artifact.constraint_value);
+  body.Pod<int32_t>(artifact.outer_iterations);
+  body.Pod<int64_t>(artifact.inner_iterations);
+  body.Pod<double>(artifact.seconds);
+  if (artifact.sparse) {
+    WriteSparse(body, artifact.sparse_weights);
+    WriteSparse(body, artifact.sparse_raw_weights);
+  } else {
+    WriteDense(body, artifact.weights);
+    WriteDense(body, artifact.raw_weights);
+  }
+  const std::string payload = std::move(body).Finish();
+
+  Writer out;
+  out.Raw(kMagic, sizeof kMagic);
+  out.Pod<uint32_t>(kModelFormatVersion);
+  out.Pod<uint64_t>(Fnv1a(payload));
+  out.Raw(payload.data(), payload.size());
+  return std::move(out).Finish();
+}
+
+Result<ModelArtifact> DeserializeModel(std::string_view bytes) {
+  if (bytes.size() < kHeaderBytes) {
+    return Status::InvalidArgument("model blob shorter than header");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+    return Status::InvalidArgument("bad magic: not a LEAST model blob");
+  }
+  uint32_t version = 0;
+  uint64_t checksum = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof version);
+  std::memcpy(&checksum, bytes.data() + 8, sizeof checksum);
+  if (version != kModelFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported model format version " + std::to_string(version) +
+        " (this reader supports version " +
+        std::to_string(kModelFormatVersion) + ")");
+  }
+  const std::string_view payload = bytes.substr(kHeaderBytes);
+  if (Fnv1a(payload) != checksum) {
+    return Status::InvalidArgument("model blob checksum mismatch");
+  }
+
+  Reader r(payload);
+  ModelArtifact artifact;
+  uint8_t algorithm = 0, sparse = 0;
+  r.Pod(&algorithm);
+  r.Pod(&sparse);
+  if (r.status().ok() && algorithm > static_cast<uint8_t>(Algorithm::kNotears)) {
+    r.Fail("unknown algorithm id " + std::to_string(algorithm));
+  }
+  artifact.algorithm = static_cast<Algorithm>(algorithm);
+  artifact.sparse = sparse != 0;
+  r.Str(&artifact.name);
+  ReadArchive options_archive{r};
+  ArchiveOptions(options_archive, artifact.options);
+  r.Pod(&artifact.constraint_value);
+  int32_t outer = 0;
+  r.Pod(&outer);
+  artifact.outer_iterations = outer;
+  int64_t inner = 0;
+  r.Pod(&inner);
+  artifact.inner_iterations = inner;
+  r.Pod(&artifact.seconds);
+  if (artifact.sparse) {
+    artifact.sparse_weights = ReadSparse(r);
+    artifact.sparse_raw_weights = ReadSparse(r);
+  } else {
+    artifact.weights = ReadDense(r);
+    artifact.raw_weights = ReadDense(r);
+  }
+  if (!r.status().ok()) return r.status();
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes after model payload");
+  }
+  return artifact;
+}
+
+Status SaveModel(const std::string& path, const ModelArtifact& artifact) {
+  const std::string blob = SerializeModel(artifact);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  const size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != blob.size() || !close_ok) {
+    return Status::IoError("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Result<ModelArtifact> LoadModel(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::string blob;
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+    blob.append(buffer, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IoError("read error on '" + path + "'");
+  }
+  return DeserializeModel(blob);
+}
+
+}  // namespace least

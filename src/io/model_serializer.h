@@ -1,0 +1,79 @@
+/// \file model_serializer.h
+/// \brief Versioned binary persistence for learned BN models.
+///
+/// A fleet run that learns thousands of models is only a system if those
+/// models survive the process: this layer round-trips a `ModelArtifact`
+/// (weights — dense or CSR — plus the `LearnOptions` that produced them and
+/// run metadata) to a checkpoint blob or file and back, bit-identically.
+///
+/// Format ("LBNM", version 1), all integers/doubles in native byte order:
+///
+///   [0..4)   magic "LBNM"
+///   [4..8)   u32 format version
+///   [8..16)  u64 FNV-1a checksum of the body
+///   [16.. )  body: algorithm, weights kind, name, LearnOptions (every
+///            field, declaration order), run metadata, weight payloads
+///            (final + raw; dense = row-major f64, sparse = entry triplets)
+///
+/// Error contract: any structural problem — wrong magic, short buffer,
+/// truncated body, trailing bytes, checksum mismatch, or an unsupported
+/// version — fails with `kInvalidArgument` and a precise message; only
+/// filesystem failures map to `kIoError`. Checkpoints are an on-disk
+/// contract: readers must never crash on corrupt input, so every read is
+/// bounds-checked before it dereferences.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/learn_options.h"
+#include "linalg/csr_matrix.h"
+#include "runtime/learner_factory.h"
+#include "util/status.h"
+
+namespace least {
+
+/// Current writer version. Readers accept exactly this version; older
+/// readers seeing a newer file fail loudly instead of misparsing.
+inline constexpr uint32_t kModelFormatVersion = 1;
+
+/// \brief A learned model plus everything needed to reproduce or resume it.
+struct ModelArtifact {
+  std::string name;  ///< free-form model/job label
+  Algorithm algorithm = Algorithm::kLeastDense;
+  LearnOptions options;  ///< hyper-parameters the run used (incl. seed)
+  bool sparse = false;   ///< selects dense vs. sparse weight fields
+  DenseMatrix weights;
+  DenseMatrix raw_weights;  ///< pre-pruning W (re-prunable at other τ)
+  CsrMatrix sparse_weights;
+  CsrMatrix sparse_raw_weights;
+  // Run metadata.
+  double constraint_value = 0.0;
+  int outer_iterations = 0;
+  long long inner_iterations = 0;
+  double seconds = 0.0;
+
+  /// Builds an artifact from a fleet/factory outcome (weights are copied so
+  /// the outcome remains usable).
+  static ModelArtifact FromOutcome(std::string name, Algorithm algorithm,
+                                   const LearnOptions& options,
+                                   const FitOutcome& outcome);
+};
+
+/// Serializes to an in-memory checkpoint blob.
+std::string SerializeModel(const ModelArtifact& artifact);
+
+/// Parses a checkpoint blob. Structural errors → `kInvalidArgument` (see
+/// file comment).
+Result<ModelArtifact> DeserializeModel(std::string_view bytes);
+
+/// Writes a checkpoint file (atomic-ish: fails with `kIoError` on any
+/// filesystem error; partial files are possible only on IO failure).
+Status SaveModel(const std::string& path, const ModelArtifact& artifact);
+
+/// Reads a checkpoint file. Missing/unreadable file → `kIoError`; corrupt
+/// contents → `kInvalidArgument`.
+Result<ModelArtifact> LoadModel(const std::string& path);
+
+}  // namespace least

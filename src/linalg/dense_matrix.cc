@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+
+#include "linalg/parallel.h"
 
 namespace least {
 
@@ -139,19 +142,26 @@ void MatmulInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out) {
   LEAST_CHECK(out != nullptr);
   LEAST_CHECK(out->rows() == a.rows() && out->cols() == b.cols());
   LEAST_CHECK(out != &a && out != &b);
-  out->Fill(0.0);
   const int n = a.rows(), k = a.cols(), m = b.cols();
-  // ikj ordering: streams over contiguous rows of b and out.
-  for (int i = 0; i < n; ++i) {
-    double* out_row = out->row(i);
-    const double* a_row = a.row(i);
-    for (int p = 0; p < k; ++p) {
-      const double av = a_row[p];
-      if (av == 0.0) continue;
-      const double* b_row = b.row(p);
-      for (int j = 0; j < m; ++j) out_row[j] += av * b_row[j];
+  // ikj ordering: streams over contiguous rows of b and out. Each output
+  // row is produced by exactly one chunk with serial-identical operation
+  // order, so the parallel split is bitwise-deterministic (see
+  // linalg/parallel.h).
+  auto rows_kernel = [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      double* out_row = out->row(static_cast<int>(i));
+      const double* a_row = a.row(static_cast<int>(i));
+      for (int j = 0; j < m; ++j) out_row[j] = 0.0;
+      for (int p = 0; p < k; ++p) {
+        const double av = a_row[p];
+        if (av == 0.0) continue;
+        const double* b_row = b.row(p);
+        for (int j = 0; j < m; ++j) out_row[j] += av * b_row[j];
+      }
     }
-  }
+  };
+  const int64_t flops = static_cast<int64_t>(n) * k * m;
+  MaybeParallelForFlops(flops, 0, n, /*grain=*/-1, rows_kernel);
 }
 
 DenseMatrix Matmul(const DenseMatrix& a, const DenseMatrix& b) {

@@ -4,7 +4,9 @@
 /// This is the workhorse of the dense (LEAST-TF analog) code path and the
 /// NOTEARS baseline. It is deliberately simple — contiguous storage, blocked
 /// multiplication, no expression templates — and allocation-free in hot loops
-/// via the `*Into` variants.
+/// via the `*Into` variants. `MatmulInto` splits across the optional global
+/// `ParallelExecutor` (see `linalg/parallel.h`) for large products, with
+/// bitwise-identical results.
 
 #pragma once
 

@@ -1,0 +1,47 @@
+#include "linalg/parallel.h"
+
+#include <atomic>
+
+namespace least {
+
+namespace {
+std::atomic<ParallelExecutor*> g_executor{nullptr};
+}  // namespace
+
+void SetParallelExecutor(ParallelExecutor* executor) {
+  g_executor.store(executor, std::memory_order_release);
+}
+
+ParallelExecutor* GetParallelExecutor() {
+  return g_executor.load(std::memory_order_acquire);
+}
+
+namespace {
+
+void GatedParallelFor(int64_t work, int64_t min_work, int64_t begin,
+                      int64_t end, int64_t grain,
+                      const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  ParallelExecutor* executor = GetParallelExecutor();
+  if (executor == nullptr || executor->concurrency() <= 1 ||
+      work < min_work || end - begin < 2) {
+    fn(begin, end);
+    return;
+  }
+  executor->ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace
+
+void MaybeParallelFor(int64_t begin, int64_t end, int64_t grain,
+                      const std::function<void(int64_t, int64_t)>& fn) {
+  GatedParallelFor(end - begin, kParallelMinWork, begin, end, grain, fn);
+}
+
+void MaybeParallelForFlops(int64_t flops, int64_t begin, int64_t end,
+                           int64_t grain,
+                           const std::function<void(int64_t, int64_t)>& fn) {
+  GatedParallelFor(flops, kParallelMinFlops, begin, end, grain, fn);
+}
+
+}  // namespace least

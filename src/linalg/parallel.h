@@ -1,0 +1,84 @@
+/// \file parallel.h
+/// \brief Executor seam between the linear-algebra kernels and the runtime
+/// thread pool.
+///
+/// Layering is `util → linalg → core → runtime/io`: the kernels in this
+/// directory must not depend on `runtime/`. They instead call
+/// `MaybeParallelFor`, which splits a loop across a process-global
+/// `ParallelExecutor` when one has been installed (normally the fleet
+/// runtime's `ThreadPool`, see `runtime/thread_pool.h`) and falls back to a
+/// serial loop otherwise. Installing an executor is strictly optional; all
+/// kernels remain correct — and allocation patterns unchanged — without one.
+///
+/// Determinism contract: every kernel in this library parallelizes as a pure
+/// partition of its output — each output element is written by exactly one
+/// chunk, computed with the same operation order as the serial loop, and no
+/// kernel performs a cross-chunk floating-point reduction. Results are
+/// therefore bitwise identical with and without an executor and across any
+/// thread count, which the fleet runtime relies on for reproducible,
+/// checkpointable models.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace least {
+
+/// \brief Abstract range-splitting executor (implemented by
+/// `runtime::ThreadPool`). Implementations must invoke `fn` on disjoint
+/// subranges covering exactly [begin, end), may run subranges concurrently,
+/// and must not return before every subrange has completed.
+class ParallelExecutor {
+ public:
+  virtual ~ParallelExecutor() = default;
+
+  /// Number of worker threads available (>= 1 means parallelism exists).
+  virtual int concurrency() const = 0;
+
+  /// Runs `fn(lo, hi)` over disjoint chunks of [begin, end) of at most
+  /// `grain` elements each (`grain` < 1 lets the executor choose). Blocks
+  /// until all chunks are done. The calling thread participates, so this is
+  /// safe to invoke from a worker thread of the executor itself (nested
+  /// parallelism degrades to serial execution rather than deadlocking).
+  virtual void ParallelFor(
+      int64_t begin, int64_t end, int64_t grain,
+      const std::function<void(int64_t, int64_t)>& fn) = 0;
+};
+
+/// Installs (or, with nullptr, removes) the process-global executor used by
+/// the dense kernels. The executor is borrowed, not owned: the caller must
+/// keep it alive until it is uninstalled. Thread-safe; typically called once
+/// at startup by whoever owns the runtime pool.
+void SetParallelExecutor(ParallelExecutor* executor);
+
+/// Returns the installed executor, or nullptr when kernels run serially.
+ParallelExecutor* GetParallelExecutor();
+
+/// Minimum element count below which `MaybeParallelFor` always runs serially
+/// (fan-out overhead would dominate tiny loops, and the fleet scheduler
+/// saturates the pool with whole jobs anyway).
+inline constexpr int64_t kParallelMinWork = 1 << 14;
+
+/// Minimum flop estimate below which `MaybeParallelForFlops` runs serially
+/// (~a 100x100x100 gemm; below that, fan-out overhead dominates).
+inline constexpr int64_t kParallelMinFlops = int64_t{1} << 20;
+
+/// Splits [begin, end) into chunks of `grain` (< 1 = executor-chosen) and
+/// runs them on the global executor when one is installed and the range
+/// holds at least `kParallelMinWork` elements; otherwise runs
+/// `fn(begin, end)` inline. Safe for pure output partitions only — see the
+/// determinism contract in the file comment.
+void MaybeParallelFor(int64_t begin, int64_t end, int64_t grain,
+                      const std::function<void(int64_t, int64_t)>& fn);
+
+/// As `MaybeParallelFor`, but gated on a caller-supplied flop estimate
+/// instead of the range length — for kernels whose per-element cost is much
+/// larger than one operation (gemm rows, batched gradient rows).
+/// Parallelizes when an executor is installed and `flops` is at least
+/// `kParallelMinFlops`.
+void MaybeParallelForFlops(int64_t flops, int64_t begin, int64_t end,
+                           int64_t grain,
+                           const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace least

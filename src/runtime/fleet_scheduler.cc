@@ -1,0 +1,295 @@
+#include "runtime/fleet_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace least {
+
+namespace {
+
+double MillisBetween(std::chrono::steady_clock::time_point a,
+                     std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+// SplitMix64 finalizer (Steele et al.); full-avalanche, so consecutive job
+// ids and attempt numbers land in statistically unrelated seed space.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Nearest-rank percentile of an ascending-sorted sample.
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<int64_t>(sorted.size());
+  int64_t rank = static_cast<int64_t>(std::ceil(q * static_cast<double>(n)));
+  rank = std::clamp<int64_t>(rank, 1, n);
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+std::string_view JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kPending:
+      return "pending";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kSucceeded:
+      return "succeeded";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+std::string FleetReport::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%lld jobs: %lld ok, %lld failed, %lld cancelled, %lld "
+                "retries | %.2fs wall, %.1f jobs/s | latency ms p50=%.1f "
+                "p90=%.1f p99=%.1f max=%.1f",
+                static_cast<long long>(total_jobs),
+                static_cast<long long>(succeeded),
+                static_cast<long long>(failed),
+                static_cast<long long>(cancelled), retries, wall_seconds,
+                throughput_jobs_per_sec, p50_latency_ms, p90_latency_ms,
+                p99_latency_ms, max_latency_ms);
+  return buf;
+}
+
+uint64_t FleetScheduler::JobSeed(uint64_t fleet_seed, int64_t job_id,
+                                 int attempt) {
+  return SplitMix64(fleet_seed ^
+                    SplitMix64(static_cast<uint64_t>(job_id) * 0x100000001B3ull +
+                               static_cast<uint64_t>(attempt)));
+}
+
+FleetScheduler::FleetScheduler(ThreadPool* pool, FleetOptions options)
+    : pool_(pool), options_(options) {
+  LEAST_CHECK(pool_ != nullptr);
+  LEAST_CHECK(options_.max_attempts >= 1);
+}
+
+FleetScheduler::~FleetScheduler() { Wait(); }
+
+int64_t FleetScheduler::Enqueue(LearnJob job) {
+  LEAST_CHECK(job.data != nullptr);
+  JobSlot* slot = nullptr;
+  int64_t id = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = static_cast<int64_t>(slots_.size());
+    slots_.push_back(std::make_unique<JobSlot>());
+    slot = slots_.back().get();
+    slot->job = std::move(job);
+    slot->enqueue_time = Clock::now();
+    slot->record.job_id = id;
+    slot->record.name = slot->job.name;
+    slot->record.algorithm = slot->job.algorithm;
+    if (!have_window_) {
+      have_window_ = true;
+      first_enqueue_ = slot->enqueue_time;
+    }
+  }
+  if (!pool_->Schedule([this, slot]() { RunJob(slot); })) {
+    // Pool already shut down: settle the job here so Wait() terminates.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      slot->record.state = JobState::kFailed;
+      slot->record.status =
+          Status::Internal("thread pool is shut down; job never ran");
+    }
+    NotifyProgress(slot->record);
+    Settle();
+  }
+  return id;
+}
+
+bool FleetScheduler::Cancel(int64_t job_id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (job_id < 0 || job_id >= static_cast<int64_t>(slots_.size())) {
+    return false;
+  }
+  JobSlot* slot = slots_[static_cast<size_t>(job_id)].get();
+  const JobState state = slot->record.state;
+  if (state != JobState::kPending && state != JobState::kRunning) {
+    return false;  // already terminal
+  }
+  slot->cancel.store(true, std::memory_order_release);
+  return true;
+}
+
+int64_t FleetScheduler::CancelAll() {
+  int64_t requested = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& slot : slots_) {
+    const JobState state = slot->record.state;
+    if (state == JobState::kPending || state == JobState::kRunning) {
+      slot->cancel.store(true, std::memory_order_release);
+      ++requested;
+    }
+  }
+  return requested;
+}
+
+void FleetScheduler::NotifyProgress(const JobRecord& record) {
+  if (progress_ != nullptr) progress_(record);
+}
+
+void FleetScheduler::Settle() {
+  // The settle count is the very last member access of a job task: once the
+  // final job's increment is visible, Wait() may return and the scheduler
+  // may be destroyed, so the notify happens under the same lock and nothing
+  // touches `this` afterwards.
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++settled_;
+  last_settle_ = Clock::now();
+  settled_cv_.notify_all();
+}
+
+void FleetScheduler::RunJob(JobSlot* slot) {
+  const int max_attempts =
+      slot->job.max_attempts > 0 ? slot->job.max_attempts
+                                 : options_.max_attempts;
+  // Claim the job (or settle immediately if cancelled while queued).
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (slot->cancel.load(std::memory_order_acquire)) {
+      slot->record.state = JobState::kCancelled;
+      slot->record.status = Status::Cancelled("cancelled while queued");
+    } else {
+      slot->record.state = JobState::kRunning;
+      slot->start_time = Clock::now();
+      slot->record.queue_ms =
+          MillisBetween(slot->enqueue_time, slot->start_time);
+    }
+  }
+  if (slot->record.state == JobState::kCancelled) {
+    NotifyProgress(slot->record);
+    Settle();
+    return;
+  }
+
+  FitOutcome outcome;
+  JobState terminal = JobState::kFailed;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    LearnOptions options = slot->job.options;
+    options.seed = options_.reseed_jobs
+                       ? JobSeed(options_.seed, slot->record.job_id, attempt)
+                       : slot->job.options.seed +
+                             static_cast<uint64_t>(attempt - 1);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      slot->record.attempts = attempt;
+      slot->record.seed = options.seed;
+      slot->record.options = options;
+      if (attempt > 1) ++retries_;
+    }
+    NotifyProgress(slot->record);  // attempt starting (kRunning)
+
+    outcome = RunAlgorithm(
+        slot->job.algorithm, *slot->job.data, options,
+        slot->job.candidate_edges, [slot]() {
+          return slot->cancel.load(std::memory_order_acquire);
+        });
+
+    if (outcome.status.ok()) {
+      terminal = JobState::kSucceeded;
+      break;
+    }
+    if (outcome.status.code() == StatusCode::kCancelled) {
+      terminal = JobState::kCancelled;
+      break;
+    }
+    const bool retryable =
+        outcome.status.code() == StatusCode::kNotConverged &&
+        attempt < max_attempts;
+    if (!retryable) {
+      terminal = JobState::kFailed;
+      break;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slot->record.state = terminal;
+    slot->record.status = outcome.status;
+    slot->record.outcome = std::move(outcome);
+    slot->record.run_ms = MillisBetween(slot->start_time, Clock::now());
+  }
+  NotifyProgress(slot->record);
+  Settle();
+}
+
+FleetReport FleetScheduler::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  settled_cv_.wait(lock, [this]() {
+    return settled_ == static_cast<int64_t>(slots_.size());
+  });
+
+  FleetReport report;
+  report.total_jobs = static_cast<int64_t>(slots_.size());
+  report.retries = retries_;
+  std::vector<double> latencies;
+  latencies.reserve(slots_.size());
+  double latency_sum = 0.0;
+  for (const auto& slot : slots_) {
+    switch (slot->record.state) {
+      case JobState::kSucceeded:
+        ++report.succeeded;
+        break;
+      case JobState::kCancelled:
+        ++report.cancelled;
+        break;
+      default:
+        ++report.failed;
+        break;
+    }
+    // Latency statistics cover only jobs that actually ran; jobs settled
+    // without an attempt (cancelled while queued, pool shut down) would
+    // contribute fake 0 ms samples.
+    if (slot->record.attempts > 0) {
+      latencies.push_back(slot->record.run_ms);
+      latency_sum += slot->record.run_ms;
+      report.max_latency_ms =
+          std::max(report.max_latency_ms, slot->record.run_ms);
+    }
+  }
+  if (have_window_) {
+    report.wall_seconds =
+        MillisBetween(first_enqueue_, last_settle_) / 1000.0;
+  }
+  if (report.wall_seconds > 0) {
+    report.throughput_jobs_per_sec =
+        static_cast<double>(report.total_jobs - report.cancelled) /
+        report.wall_seconds;
+  }
+  if (!latencies.empty()) {
+    report.mean_latency_ms = latency_sum / static_cast<double>(latencies.size());
+    std::sort(latencies.begin(), latencies.end());
+    report.p50_latency_ms = Percentile(latencies, 0.50);
+    report.p90_latency_ms = Percentile(latencies, 0.90);
+    report.p99_latency_ms = Percentile(latencies, 0.99);
+  }
+  return report;
+}
+
+const JobRecord& FleetScheduler::record(int64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LEAST_CHECK(job_id >= 0 && job_id < static_cast<int64_t>(slots_.size()));
+  return slots_[static_cast<size_t>(job_id)]->record;
+}
+
+int64_t FleetScheduler::num_jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(slots_.size());
+}
+
+}  // namespace least

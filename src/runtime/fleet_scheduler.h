@@ -1,0 +1,200 @@
+/// \file fleet_scheduler.h
+/// \brief Concurrent multi-BN learning: a queue of learning jobs executed on
+/// a shared thread pool.
+///
+/// This is the runtime analog of the paper's production claim — LEAST
+/// "learning tens of thousands of BN instances daily" — scaled to one
+/// process: jobs (dataset + options + algorithm name) are data, the
+/// scheduler runs them concurrently, retries non-converged runs with a fresh
+/// deterministic seed, supports cooperative cancellation, and aggregates
+/// fleet statistics (latency percentiles, throughput).
+///
+/// Determinism: every attempt's RNG seed is derived as
+/// `JobSeed(fleet_seed, job_id, attempt)` via SplitMix64, so a fleet run's
+/// learned weights depend only on (fleet seed, enqueue order, data) — never
+/// on thread count or completion interleaving. Re-running the same queue on
+/// a bigger pool reproduces every model bit-for-bit.
+///
+/// Lifecycle: `Enqueue` schedules immediately; `Wait` blocks until every
+/// job enqueued so far has settled and returns the aggregate `FleetReport`;
+/// the destructor waits too, so records outlive all job tasks. One
+/// scheduler may be reused for multiple waves of jobs.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/learn_options.h"
+#include "runtime/learner_factory.h"
+#include "runtime/thread_pool.h"
+
+namespace least {
+
+/// \brief One unit of fleet work: learn one BN from one dataset.
+struct LearnJob {
+  std::string name;  ///< free-form label carried into records/checkpoints
+  Algorithm algorithm = Algorithm::kLeastDense;
+  /// The n x d sample matrix. Shared so the job can outlive the enqueueing
+  /// scope; must be non-null and is never mutated.
+  std::shared_ptr<const DenseMatrix> data;
+  LearnOptions options;
+  /// Extra pattern entries for the sparse learner (see
+  /// `LeastSparseLearner::set_candidate_edges`); ignored by dense jobs.
+  std::vector<std::pair<int, int>> candidate_edges;
+  /// Attempt budget for this job (retries trigger on `kNotConverged`).
+  /// 0 means "use `FleetOptions::max_attempts`".
+  int max_attempts = 0;
+};
+
+enum class JobState {
+  kPending = 0,   ///< enqueued, no attempt started
+  kRunning = 1,   ///< an attempt is executing
+  kSucceeded = 2,
+  kFailed = 3,    ///< terminal non-OK status other than cancellation
+  kCancelled = 4,
+};
+
+std::string_view JobStateName(JobState state);
+
+/// \brief Everything the scheduler knows about one job. Stable storage: a
+/// reference from `record()` stays valid for the scheduler's lifetime.
+struct JobRecord {
+  int64_t job_id = -1;
+  std::string name;
+  Algorithm algorithm = Algorithm::kLeastDense;
+  JobState state = JobState::kPending;
+  Status status;        ///< terminal status of the last attempt
+  int attempts = 0;     ///< attempts started so far
+  uint64_t seed = 0;    ///< derived seed of the latest attempt
+  /// Exact options of the latest attempt (job options with the derived
+  /// seed applied) — serialize these to make a checkpoint reproducible.
+  LearnOptions options;
+  double queue_ms = 0;  ///< enqueue → first attempt start
+  double run_ms = 0;    ///< first attempt start → settle (fleet latency)
+  /// Learned model (populated at settle; partial weights on cancellation).
+  FitOutcome outcome;
+};
+
+/// \brief Aggregate statistics over every settled job of a `Wait` call.
+struct FleetReport {
+  int64_t total_jobs = 0;
+  int64_t succeeded = 0;
+  int64_t failed = 0;
+  int64_t cancelled = 0;
+  long long retries = 0;  ///< extra attempts beyond each job's first
+  double wall_seconds = 0;  ///< first enqueue → last settle
+  double throughput_jobs_per_sec = 0;
+  double mean_latency_ms = 0;
+  double p50_latency_ms = 0;
+  double p90_latency_ms = 0;
+  double p99_latency_ms = 0;
+  double max_latency_ms = 0;
+
+  /// One-line human summary.
+  std::string ToString() const;
+};
+
+/// \brief Fleet-wide configuration.
+struct FleetOptions {
+  uint64_t seed = 1;     ///< master seed for per-job seed derivation
+  int max_attempts = 1;  ///< default attempt budget per job (>= 1)
+  /// When true (default), each attempt's `LearnOptions::seed` is replaced
+  /// by `JobSeed(seed, job_id, attempt)`. When false, attempt a uses the
+  /// job's own seed + (a - 1) — still deterministic, caller-controlled.
+  bool reseed_jobs = true;
+};
+
+/// \brief Runs learning jobs concurrently on a borrowed `ThreadPool`.
+///
+/// Thread safety: all public methods may be called from any thread. The
+/// progress callback is invoked from worker threads (set it before the
+/// first `Enqueue`; it must be thread-safe).
+class FleetScheduler {
+ public:
+  /// Invoked on every job state transition (start, retry, settle) with the
+  /// job's record. The record reference is only guaranteed stable for the
+  /// duration of the call while the job is non-terminal.
+  using ProgressCallback = std::function<void(const JobRecord&)>;
+
+  /// `pool` is borrowed and must outlive the scheduler.
+  explicit FleetScheduler(ThreadPool* pool, FleetOptions options = {});
+
+  /// Waits for outstanding jobs before destruction.
+  ~FleetScheduler();
+
+  FleetScheduler(const FleetScheduler&) = delete;
+  FleetScheduler& operator=(const FleetScheduler&) = delete;
+
+  void set_progress_callback(ProgressCallback callback) {
+    progress_ = std::move(callback);
+  }
+
+  /// Schedules a job and returns its id (dense, starting at 0 in enqueue
+  /// order — the id that seeds the job's RNG).
+  int64_t Enqueue(LearnJob job);
+
+  /// Requests cancellation. Pending jobs settle as `kCancelled` without
+  /// running; running jobs stop cooperatively within a few optimizer
+  /// rounds. Returns false when the job is unknown or already terminal.
+  bool Cancel(int64_t job_id);
+
+  /// Cancels every job that has not yet settled; returns how many
+  /// cancellation requests were issued.
+  int64_t CancelAll();
+
+  /// Blocks until all jobs enqueued so far have settled; returns aggregate
+  /// statistics over every settled job.
+  FleetReport Wait();
+
+  /// Record of a job (valid id only). Safe to read concurrently once the
+  /// job is terminal; while it runs, fields may be mid-update.
+  const JobRecord& record(int64_t job_id) const;
+
+  int64_t num_jobs() const;
+
+  /// Deterministic per-attempt seed derivation (SplitMix64 mixing of the
+  /// fleet seed, job id, and 1-based attempt number). Exposed so tests and
+  /// external tooling can predict/verify fleet seeding.
+  static uint64_t JobSeed(uint64_t fleet_seed, int64_t job_id, int attempt);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct JobSlot {
+    LearnJob job;
+    JobRecord record;
+    std::atomic<bool> cancel{false};
+    Clock::time_point enqueue_time;
+    Clock::time_point start_time;
+  };
+
+  void RunJob(JobSlot* slot);
+  void NotifyProgress(const JobRecord& record);
+  /// Counts one job as settled and wakes waiters; must be the last member
+  /// access a job task performs (see comment in the implementation).
+  void Settle();
+
+  ThreadPool* pool_;
+  FleetOptions options_;
+  ProgressCallback progress_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable settled_cv_;
+  std::deque<std::unique_ptr<JobSlot>> slots_;  // stable addresses
+  int64_t settled_ = 0;
+  long long retries_ = 0;
+  bool have_window_ = false;
+  Clock::time_point first_enqueue_;
+  Clock::time_point last_settle_;
+};
+
+}  // namespace least

@@ -1,0 +1,98 @@
+#include "runtime/learner_factory.h"
+
+#include <string>
+
+#include "core/least.h"
+#include "core/least_sparse.h"
+
+namespace least {
+
+std::string_view AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kLeastDense:
+      return "least-dense";
+    case Algorithm::kLeastSparse:
+      return "least-sparse";
+    case Algorithm::kNotears:
+      return "notears";
+  }
+  return "unknown";
+}
+
+Result<Algorithm> ParseAlgorithm(std::string_view name) {
+  if (name == "least-dense" || name == "least") return Algorithm::kLeastDense;
+  if (name == "least-sparse" || name == "least-sp") {
+    return Algorithm::kLeastSparse;
+  }
+  if (name == "notears") return Algorithm::kNotears;
+  return Status::InvalidArgument("unknown algorithm '" + std::string(name) +
+                                 "' (expected least-dense, least-sparse, or "
+                                 "notears)");
+}
+
+long long FitOutcome::EdgeCount() const {
+  return sparse ? static_cast<long long>(sparse_weights.CountNonZeros())
+                : weights.CountNonZeros();
+}
+
+namespace {
+
+FitOutcome FromDense(LearnResult result) {
+  FitOutcome out;
+  out.status = std::move(result.status);
+  out.sparse = false;
+  out.weights = std::move(result.weights);
+  out.raw_weights = std::move(result.raw_weights);
+  out.constraint_value = result.constraint_value;
+  out.outer_iterations = result.outer_iterations;
+  out.inner_iterations = result.inner_iterations;
+  out.seconds = result.seconds;
+  out.trace = std::move(result.trace);
+  return out;
+}
+
+FitOutcome FromSparse(SparseLearnResult result) {
+  FitOutcome out;
+  out.status = std::move(result.status);
+  out.sparse = true;
+  out.sparse_weights = std::move(result.weights);
+  out.sparse_raw_weights = std::move(result.raw_weights);
+  out.constraint_value = result.constraint_value;
+  out.outer_iterations = result.outer_iterations;
+  out.inner_iterations = result.inner_iterations;
+  out.seconds = result.seconds;
+  out.trace = std::move(result.trace);
+  return out;
+}
+
+}  // namespace
+
+FitOutcome RunAlgorithm(Algorithm algorithm, const DenseMatrix& x,
+                        const LearnOptions& options,
+                        const std::vector<std::pair<int, int>>& candidate_edges,
+                        std::function<bool()> stop) {
+  switch (algorithm) {
+    case Algorithm::kLeastDense: {
+      ContinuousLearner learner = MakeLeastDenseLearner(options);
+      learner.set_stop_predicate(std::move(stop));
+      return FromDense(learner.Fit(x));
+    }
+    case Algorithm::kNotears: {
+      ContinuousLearner learner = MakeNotearsLearner(options);
+      learner.set_stop_predicate(std::move(stop));
+      return FromDense(learner.Fit(x));
+    }
+    case Algorithm::kLeastSparse: {
+      LeastSparseLearner learner(options);
+      learner.set_candidate_edges(candidate_edges);
+      learner.set_stop_predicate(std::move(stop));
+      DenseDataSource source(&x);
+      return FromSparse(learner.Fit(source));
+    }
+  }
+  FitOutcome out;
+  out.status = Status::InvalidArgument("unknown algorithm enumerator");
+  return out;
+}
+
+}  // namespace least

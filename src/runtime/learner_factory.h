@@ -1,0 +1,67 @@
+/// \file learner_factory.h
+/// \brief String-configurable algorithm selection for the fleet runtime.
+///
+/// The fleet scheduler treats jobs as data: a job names its algorithm
+/// (`"least-dense"`, `"least-sparse"`, `"notears"`) instead of constructing
+/// a learner, so job queues can come from config files, RPCs, or checkpoint
+/// metadata. `RunAlgorithm` normalizes the three learners' entry points and
+/// result types behind one `FitOutcome`, which is also what the model
+/// serializer persists (`io/model_serializer.h`).
+
+#pragma once
+
+#include <functional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/learn_options.h"
+#include "linalg/csr_matrix.h"
+#include "util/status.h"
+
+namespace least {
+
+/// \brief The structure-learning algorithms the runtime can dispatch.
+enum class Algorithm {
+  kLeastDense = 0,  ///< LEAST, dense spectral bound (core/least.h)
+  kLeastSparse = 1, ///< LEAST-SP, CSR weights (core/least_sparse.h)
+  kNotears = 2,     ///< NOTEARS baseline, expm-trace constraint
+};
+
+/// Canonical name ("least-dense", "least-sparse", "notears").
+std::string_view AlgorithmName(Algorithm algorithm);
+
+/// Parses a canonical name (plus the aliases "least" → dense and
+/// "least-sp" → sparse). Unknown names fail with `kInvalidArgument`.
+Result<Algorithm> ParseAlgorithm(std::string_view name);
+
+/// \brief Algorithm-independent view of a learning run: the union of
+/// `LearnResult` (dense) and `SparseLearnResult` (sparse) that fleet
+/// records and model checkpoints carry.
+struct FitOutcome {
+  Status status;
+  bool sparse = false;         ///< which pair of weight fields is populated
+  DenseMatrix weights;         ///< dense W after final τ-pruning
+  DenseMatrix raw_weights;     ///< dense W before pruning
+  CsrMatrix sparse_weights;      ///< sparse W after pruning + compaction
+  CsrMatrix sparse_raw_weights;  ///< sparse W before pruning
+  double constraint_value = 0.0;
+  int outer_iterations = 0;
+  long long inner_iterations = 0;
+  double seconds = 0.0;
+  std::vector<TracePoint> trace;
+
+  /// Edge count of the learned (pruned) structure.
+  long long EdgeCount() const;
+};
+
+/// Runs `algorithm` on an n x d sample matrix. `candidate_edges` seeds the
+/// sparse learner's pattern (ignored by the dense algorithms); `stop` is
+/// the cooperative cancellation hook polled between optimization rounds.
+FitOutcome RunAlgorithm(Algorithm algorithm, const DenseMatrix& x,
+                        const LearnOptions& options,
+                        const std::vector<std::pair<int, int>>&
+                            candidate_edges = {},
+                        std::function<bool()> stop = nullptr);
+
+}  // namespace least

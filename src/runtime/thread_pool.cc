@@ -1,0 +1,160 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace least {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Threads start only after every Worker exists: a worker scans all deques.
+  for (int i = 0; i < n; ++i) {
+    workers_[i]->thread = std::thread([this, i]() { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Schedule(std::function<void()> task) {
+  LEAST_CHECK(task != nullptr);
+  const size_t target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  {
+    // The accept check, deque push, and queued count all happen under the
+    // wake mutex: a Schedule racing Shutdown() either loses (returns false)
+    // or wins with its task published before workers can observe
+    // `stopping_ && queued_ == 0` and exit — an accepted task always runs.
+    // (Safe lock order: no thread acquires wake_mutex_ while holding a
+    // worker mutex.)
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (!accepting_.load(std::memory_order_acquire)) return false;
+    {
+      std::lock_guard<std::mutex> queue_lock(workers_[target]->mutex);
+      workers_[target]->queue.push_back(std::move(task));
+    }
+    queued_.fetch_add(1, std::memory_order_release);
+  }
+  wake_cv_.notify_one();
+  return true;
+}
+
+bool ThreadPool::RunOneTask(int self) {
+  std::function<void()> task;
+  const int n = num_threads();
+  // Own queue first (back = most recently pushed, cache-warm) ...
+  {
+    Worker& own = *workers_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.queue.empty()) {
+      task = std::move(own.queue.back());
+      own.queue.pop_back();
+    }
+  }
+  // ... then steal the oldest task from someone else.
+  if (task == nullptr) {
+    for (int hop = 1; hop < n && task == nullptr; ++hop) {
+      Worker& victim = *workers_[(self + hop) % n];
+      std::unique_lock<std::mutex> lock(victim.mutex, std::try_to_lock);
+      if (!lock.owns_lock()) {
+        lock.lock();  // contended victim: wait rather than skip real work
+      }
+      if (!victim.queue.empty()) {
+        task = std::move(victim.queue.front());
+        victim.queue.pop_front();
+        stolen_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (task == nullptr) return false;
+  }
+  queued_.fetch_sub(1, std::memory_order_acq_rel);
+  task();
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ThreadPool::WorkerLoop(int self) {
+  for (;;) {
+    if (RunOneTask(self)) continue;
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [this]() {
+      return queued_.load(std::memory_order_acquire) > 0 ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    // Drain-then-exit: leave only once stopping AND nothing left to claim.
+    if (stopping_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    accepting_.store(false, std::memory_order_release);
+    stopping_.store(true, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t total = end - begin;
+  if (total <= 0) return;
+  if (grain < 1) {
+    grain = std::max<int64_t>(1, total / (4 * num_threads()));
+  }
+  const int64_t num_chunks = (total + grain - 1) / grain;
+  if (num_chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  struct LoopState {
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<LoopState>();
+  // Claims chunks until the cursor is exhausted. Runs concurrently on the
+  // caller and on helper tasks; `fn` is only dereferenced for a claimed
+  // chunk, and all claims finish before the caller returns, so borrowing
+  // the caller's `fn` by reference is safe.
+  auto drain = [state, &fn, begin, end, grain, num_chunks]() {
+    for (;;) {
+      const int64_t c = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const int64_t lo = begin + c * grain;
+      const int64_t hi = std::min(end, lo + grain);
+      fn(lo, hi);
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          num_chunks) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  // Helpers are best-effort: if the pool is saturated or shutting down the
+  // caller simply claims every chunk itself.
+  const int64_t helpers =
+      std::min<int64_t>(num_threads(), num_chunks - 1);
+  for (int64_t h = 0; h < helpers; ++h) {
+    if (!Schedule(drain)) break;
+  }
+  drain();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&]() {
+    return state->done.load(std::memory_order_acquire) == num_chunks;
+  });
+}
+
+}  // namespace least

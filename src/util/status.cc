@@ -16,6 +16,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "NotConverged";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

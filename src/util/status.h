@@ -22,6 +22,7 @@ enum class StatusCode {
   kIoError,
   kNotConverged,
   kInternal,
+  kCancelled,
 };
 
 /// \brief Returns a human-readable name for a status code.
@@ -57,6 +58,11 @@ class Status {
   /// Creates an error with `StatusCode::kInternal`.
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  /// Creates an error with `StatusCode::kCancelled` (cooperative
+  /// cancellation observed by a long-running operation).
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
   }
 
   /// True iff the operation succeeded.

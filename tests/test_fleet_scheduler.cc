@@ -1,0 +1,308 @@
+// Tests for runtime/fleet_scheduler.h + runtime/learner_factory.h:
+// concurrent job execution, deterministic per-job seeding, cancellation of
+// queued and running jobs, retry-on-kNotConverged, and report statistics.
+
+#include "runtime/fleet_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "data/benchmark_data.h"
+#include "runtime/learner_factory.h"
+
+namespace least {
+namespace {
+
+LearnOptions FastOptions() {
+  LearnOptions opt;
+  opt.max_outer_iterations = 30;
+  opt.max_inner_iterations = 150;
+  opt.tolerance = 1e-4;
+  opt.track_exact_h = true;
+  opt.terminate_on_h = true;
+  opt.lambda1 = 0.05;
+  opt.learning_rate = 0.03;
+  return opt;
+}
+
+std::shared_ptr<const DenseMatrix> SmallDataset(uint64_t seed, int d = 6) {
+  BenchmarkConfig cfg;
+  cfg.d = d;
+  cfg.n = 20 * d;
+  cfg.seed = seed;
+  return std::make_shared<const DenseMatrix>(
+      MakeBenchmarkInstance(cfg).x);
+}
+
+LearnJob SmallJob(uint64_t seed, const std::string& name) {
+  LearnJob job;
+  job.name = name;
+  job.algorithm = Algorithm::kLeastDense;
+  job.data = SmallDataset(seed);
+  job.options = FastOptions();
+  return job;
+}
+
+// --- LearnerFactory ---
+
+TEST(LearnerFactory, ParsesCanonicalNamesAndAliases) {
+  EXPECT_EQ(ParseAlgorithm("least-dense").value(), Algorithm::kLeastDense);
+  EXPECT_EQ(ParseAlgorithm("least").value(), Algorithm::kLeastDense);
+  EXPECT_EQ(ParseAlgorithm("least-sparse").value(), Algorithm::kLeastSparse);
+  EXPECT_EQ(ParseAlgorithm("least-sp").value(), Algorithm::kLeastSparse);
+  EXPECT_EQ(ParseAlgorithm("notears").value(), Algorithm::kNotears);
+}
+
+TEST(LearnerFactory, RejectsUnknownAlgorithm) {
+  Result<Algorithm> r = ParseAlgorithm("exact-dp");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LearnerFactory, NameRoundTripsThroughParse) {
+  for (Algorithm a : {Algorithm::kLeastDense, Algorithm::kLeastSparse,
+                      Algorithm::kNotears}) {
+    EXPECT_EQ(ParseAlgorithm(AlgorithmName(a)).value(), a);
+  }
+}
+
+TEST(LearnerFactory, RunAlgorithmLearnsDenseModel) {
+  auto data = SmallDataset(7);
+  FitOutcome outcome =
+      RunAlgorithm(Algorithm::kLeastDense, *data, FastOptions());
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_FALSE(outcome.sparse);
+  EXPECT_EQ(outcome.weights.rows(), 6);
+  EXPECT_GT(outcome.outer_iterations, 0);
+}
+
+// --- FleetScheduler ---
+
+TEST(FleetScheduler, RunsAllJobsAndAggregatesReport) {
+  ThreadPool pool(3);
+  FleetScheduler scheduler(&pool, {.seed = 11});
+  constexpr int kJobs = 8;
+  for (int j = 0; j < kJobs; ++j) {
+    scheduler.Enqueue(SmallJob(100 + j, "job-" + std::to_string(j)));
+  }
+  FleetReport report = scheduler.Wait();
+  EXPECT_EQ(report.total_jobs, kJobs);
+  EXPECT_EQ(report.succeeded + report.failed, kJobs);
+  EXPECT_GT(report.succeeded, 0);
+  EXPECT_EQ(report.cancelled, 0);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.throughput_jobs_per_sec, 0.0);
+  EXPECT_GE(report.p99_latency_ms, report.p50_latency_ms);
+  EXPECT_GE(report.max_latency_ms, report.p99_latency_ms);
+  for (int j = 0; j < kJobs; ++j) {
+    const JobRecord& record = scheduler.record(j);
+    EXPECT_EQ(record.job_id, j);
+    EXPECT_EQ(record.attempts, 1);
+    if (record.state == JobState::kSucceeded) {
+      EXPECT_EQ(record.outcome.weights.rows(), 6);
+    }
+  }
+}
+
+TEST(FleetScheduler, SeedsAreDeterministicAndPerJob) {
+  // The derivation is a pure function of (fleet seed, job id, attempt) ...
+  const uint64_t s1 = FleetScheduler::JobSeed(1, 0, 1);
+  EXPECT_EQ(FleetScheduler::JobSeed(1, 0, 1), s1);
+  // ... and distinct across jobs, attempts, and fleet seeds.
+  EXPECT_NE(FleetScheduler::JobSeed(1, 1, 1), s1);
+  EXPECT_NE(FleetScheduler::JobSeed(1, 0, 2), s1);
+  EXPECT_NE(FleetScheduler::JobSeed(2, 0, 1), s1);
+}
+
+TEST(FleetScheduler, ResultsAreIdenticalAcrossPoolSizes) {
+  // The acid test of fleet determinism: identical job queues on pools of 1
+  // and 4 threads must learn bitwise-identical weights.
+  constexpr int kJobs = 6;
+  std::vector<DenseMatrix> learned_1thread;
+  std::vector<uint64_t> seeds_1thread;
+  {
+    ThreadPool pool(1);
+    FleetScheduler scheduler(&pool, {.seed = 42});
+    for (int j = 0; j < kJobs; ++j) {
+      scheduler.Enqueue(SmallJob(500 + j, "det"));
+    }
+    scheduler.Wait();
+    for (int j = 0; j < kJobs; ++j) {
+      learned_1thread.push_back(scheduler.record(j).outcome.weights);
+      seeds_1thread.push_back(scheduler.record(j).seed);
+    }
+  }
+  ThreadPool pool(4);
+  FleetScheduler scheduler(&pool, {.seed = 42});
+  for (int j = 0; j < kJobs; ++j) {
+    scheduler.Enqueue(SmallJob(500 + j, "det"));
+  }
+  scheduler.Wait();
+  for (int j = 0; j < kJobs; ++j) {
+    const JobRecord& record = scheduler.record(j);
+    EXPECT_EQ(record.seed, seeds_1thread[j]);
+    EXPECT_EQ(record.seed, FleetScheduler::JobSeed(42, j, record.attempts));
+    const DenseMatrix& a = learned_1thread[j];
+    const DenseMatrix& b = record.outcome.weights;
+    ASSERT_TRUE(a.SameShape(b));
+    for (size_t i = 0; i < a.data().size(); ++i) {
+      ASSERT_EQ(a.data()[i], b.data()[i]) << "job " << j << " entry " << i;
+    }
+  }
+}
+
+TEST(FleetScheduler, CancelsQueuedJobsWithoutRunningThem) {
+  ThreadPool pool(1);
+  FleetScheduler scheduler(&pool, {});
+  // Occupy the single worker so enqueued jobs stay pending.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  pool.Schedule([gate]() { gate.wait(); });
+
+  const int64_t a = scheduler.Enqueue(SmallJob(1, "queued-a"));
+  const int64_t b = scheduler.Enqueue(SmallJob(2, "queued-b"));
+  EXPECT_TRUE(scheduler.Cancel(a));
+  EXPECT_TRUE(scheduler.Cancel(b));
+  EXPECT_FALSE(scheduler.Cancel(99));  // unknown id
+  release.set_value();
+
+  FleetReport report = scheduler.Wait();
+  EXPECT_EQ(report.cancelled, 2);
+  for (int64_t id : {a, b}) {
+    const JobRecord& record = scheduler.record(id);
+    EXPECT_EQ(record.state, JobState::kCancelled);
+    EXPECT_EQ(record.status.code(), StatusCode::kCancelled);
+    EXPECT_EQ(record.attempts, 0);  // never started
+  }
+  EXPECT_FALSE(scheduler.Cancel(a));  // already terminal
+}
+
+TEST(FleetScheduler, CancelsRunningJobCooperatively) {
+  ThreadPool pool(1);
+  FleetScheduler scheduler(&pool, {});
+  // A job that cannot finish on its own: zero tolerance, no inner early
+  // exit, and a huge outer budget. Cancellation must interrupt it.
+  LearnJob job = SmallJob(3, "long-runner");
+  job.data = SmallDataset(3, /*d=*/40);
+  job.options = LearnOptions{};
+  job.options.tolerance = 0.0;
+  job.options.inner_rtol = 0.0;
+  job.options.max_outer_iterations = 100000;
+  job.options.max_inner_iterations = 200;
+  const int64_t id = scheduler.Enqueue(std::move(job));
+
+  while (scheduler.record(id).state == JobState::kPending) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(scheduler.Cancel(id));
+  FleetReport report = scheduler.Wait();
+
+  const JobRecord& record = scheduler.record(id);
+  EXPECT_EQ(record.state, JobState::kCancelled);
+  EXPECT_EQ(record.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(record.attempts, 1);
+  EXPECT_EQ(report.cancelled, 1);
+  // Partial weights of the interrupted run are preserved.
+  EXPECT_EQ(record.outcome.raw_weights.rows(), 40);
+}
+
+TEST(FleetScheduler, RetriesNotConvergedJobsWithFreshSeeds) {
+  ThreadPool pool(2);
+  FleetScheduler scheduler(&pool, {.seed = 9, .max_attempts = 3});
+  LearnJob job = SmallJob(4, "never-converges");
+  job.options.max_outer_iterations = 2;
+  job.options.max_inner_iterations = 5;
+  job.options.tolerance = 0.0;  // unreachable: every attempt kNotConverged
+  const int64_t id = scheduler.Enqueue(std::move(job));
+  FleetReport report = scheduler.Wait();
+
+  const JobRecord& record = scheduler.record(id);
+  EXPECT_EQ(record.state, JobState::kFailed);
+  EXPECT_EQ(record.status.code(), StatusCode::kNotConverged);
+  EXPECT_EQ(record.attempts, 3);
+  EXPECT_EQ(record.seed, FleetScheduler::JobSeed(9, id, 3));
+  EXPECT_EQ(report.retries, 2);
+  EXPECT_EQ(report.failed, 1);
+}
+
+TEST(FleetScheduler, ProgressCallbackSeesTerminalStates) {
+  ThreadPool pool(2);
+  FleetScheduler scheduler(&pool, {});
+  std::mutex mu;
+  std::vector<JobState> terminal_states;
+  scheduler.set_progress_callback([&](const JobRecord& record) {
+    if (record.state != JobState::kRunning) {
+      std::lock_guard<std::mutex> lock(mu);
+      terminal_states.push_back(record.state);
+    }
+  });
+  for (int j = 0; j < 4; ++j) {
+    scheduler.Enqueue(SmallJob(200 + j, "cb"));
+  }
+  scheduler.Wait();
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(terminal_states.size(), 4u);
+}
+
+TEST(FleetScheduler, LearnerIsBitwiseIdenticalUnderParallelKernels) {
+  // End-to-end version of the determinism contract: a dense Fit whose gemm
+  // and gradient kernels run on the pool must reproduce the serial run
+  // exactly. d = 160 clears both kernels' parallelization thresholds.
+  BenchmarkConfig cfg;
+  cfg.d = 160;
+  cfg.n = 320;
+  cfg.seed = 23;
+  const DenseMatrix x = MakeBenchmarkInstance(cfg).x;
+  LearnOptions opt;
+  opt.max_outer_iterations = 2;
+  opt.max_inner_iterations = 10;
+  ASSERT_EQ(GetParallelExecutor(), nullptr);
+  FitOutcome serial = RunAlgorithm(Algorithm::kLeastDense, x, opt);
+  {
+    ThreadPool pool(4);
+    SetParallelExecutor(&pool);
+    FitOutcome parallel = RunAlgorithm(Algorithm::kLeastDense, x, opt);
+    SetParallelExecutor(nullptr);
+    ASSERT_TRUE(serial.raw_weights.SameShape(parallel.raw_weights));
+    EXPECT_EQ(MaxAbsDiff(serial.raw_weights, parallel.raw_weights), 0.0);
+  }
+}
+
+TEST(FleetScheduler, RunsSparseJobs) {
+  ThreadPool pool(2);
+  FleetScheduler scheduler(&pool, {});
+  BenchmarkConfig cfg;
+  cfg.d = 10;
+  cfg.n = 200;
+  cfg.seed = 17;
+  BenchmarkInstance instance = MakeBenchmarkInstance(cfg);
+  LearnJob job;
+  job.name = "sparse";
+  job.algorithm = Algorithm::kLeastSparse;
+  job.data = std::make_shared<const DenseMatrix>(instance.x);
+  job.options = FastOptions();
+  job.options.track_exact_h = false;
+  job.options.terminate_on_h = false;
+  // Make the tiny problem identifiable: give the learner the true support.
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      if (instance.w_true(i, j) != 0.0) {
+        job.candidate_edges.push_back({i, j});
+      }
+    }
+  }
+  const int64_t id = scheduler.Enqueue(std::move(job));
+  scheduler.Wait();
+  const JobRecord& record = scheduler.record(id);
+  EXPECT_TRUE(record.outcome.sparse);
+  EXPECT_EQ(record.outcome.sparse_weights.rows(), 10);
+}
+
+}  // namespace
+}  // namespace least

@@ -1,0 +1,194 @@
+// Tests for io/model_serializer.h: bit-identical round-trips (dense and
+// sparse weights), corrupted-header rejection, version-mismatch handling,
+// and the file-level Save/Load paths.
+
+#include "io/model_serializer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/rng.h"
+
+namespace least {
+namespace {
+
+ModelArtifact DenseArtifact() {
+  Rng rng(31);
+  ModelArtifact artifact;
+  artifact.name = "gene-net-042";
+  artifact.algorithm = Algorithm::kLeastDense;
+  artifact.options.k = 7;
+  artifact.options.alpha = 0.85;
+  artifact.options.lambda1 = 0.123456789;
+  artifact.options.seed = 0xDEADBEEFCAFEull;
+  artifact.options.terminate_on_h = true;
+  artifact.sparse = false;
+  artifact.weights = DenseMatrix::RandomUniform(9, 9, -2.0, 2.0, rng);
+  artifact.raw_weights = DenseMatrix::RandomUniform(9, 9, -2.0, 2.0, rng);
+  artifact.constraint_value = 3.14159e-9;
+  artifact.outer_iterations = 17;
+  artifact.inner_iterations = 12345678901LL;
+  artifact.seconds = 2.75;
+  return artifact;
+}
+
+ModelArtifact SparseArtifact() {
+  ModelArtifact artifact;
+  artifact.name = "yeast-shard-7";
+  artifact.algorithm = Algorithm::kLeastSparse;
+  artifact.sparse = true;
+  // Pattern with an empty row, an explicit zero value, and negatives: the
+  // exact cases where a sloppy round-trip would diverge.
+  artifact.sparse_weights = CsrMatrix::FromTriplets(
+      5, 5,
+      {{0, 1, 1.25}, {0, 4, -0.75}, {2, 3, 0.0}, {4, 0, 1e-300}});
+  artifact.sparse_raw_weights = CsrMatrix::FromTriplets(
+      5, 5, {{1, 2, 0.5}, {3, 3, -2.0}});
+  return artifact;
+}
+
+void ExpectDenseEqual(const DenseMatrix& a, const DenseMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                        a.size() * sizeof(double)),
+            0);
+}
+
+void ExpectSparseEqual(const CsrMatrix& a, const CsrMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_TRUE(a.SamePattern(b));
+  ASSERT_EQ(a.values(), b.values());  // exact, including explicit zeros
+}
+
+TEST(ModelSerializer, DenseRoundTripIsBitIdentical) {
+  const ModelArtifact original = DenseArtifact();
+  Result<ModelArtifact> restored = DeserializeModel(SerializeModel(original));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const ModelArtifact& r = restored.value();
+  EXPECT_EQ(r.name, original.name);
+  EXPECT_EQ(r.algorithm, original.algorithm);
+  EXPECT_FALSE(r.sparse);
+  ExpectDenseEqual(r.weights, original.weights);
+  ExpectDenseEqual(r.raw_weights, original.raw_weights);
+  EXPECT_EQ(r.options.k, original.options.k);
+  EXPECT_EQ(r.options.alpha, original.options.alpha);
+  EXPECT_EQ(r.options.lambda1, original.options.lambda1);
+  EXPECT_EQ(r.options.seed, original.options.seed);
+  EXPECT_EQ(r.options.terminate_on_h, original.options.terminate_on_h);
+  EXPECT_EQ(r.constraint_value, original.constraint_value);
+  EXPECT_EQ(r.outer_iterations, original.outer_iterations);
+  EXPECT_EQ(r.inner_iterations, original.inner_iterations);
+  EXPECT_EQ(r.seconds, original.seconds);
+}
+
+TEST(ModelSerializer, SparseRoundTripPreservesPatternAndValues) {
+  const ModelArtifact original = SparseArtifact();
+  Result<ModelArtifact> restored = DeserializeModel(SerializeModel(original));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const ModelArtifact& r = restored.value();
+  EXPECT_TRUE(r.sparse);
+  EXPECT_EQ(r.algorithm, Algorithm::kLeastSparse);
+  ExpectSparseEqual(r.sparse_weights, original.sparse_weights);
+  ExpectSparseEqual(r.sparse_raw_weights, original.sparse_raw_weights);
+}
+
+TEST(ModelSerializer, SecondSerializationIsByteStable) {
+  const ModelArtifact original = DenseArtifact();
+  const std::string blob = SerializeModel(original);
+  Result<ModelArtifact> restored = DeserializeModel(blob);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(SerializeModel(restored.value()), blob);
+}
+
+TEST(ModelSerializer, RejectsBlobShorterThanHeader) {
+  Result<ModelArtifact> r = DeserializeModel("LBN");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModelSerializer, RejectsCorruptedMagic) {
+  std::string blob = SerializeModel(DenseArtifact());
+  blob[0] = 'X';
+  Result<ModelArtifact> r = DeserializeModel(blob);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("magic"), std::string::npos);
+}
+
+TEST(ModelSerializer, RejectsVersionMismatch) {
+  std::string blob = SerializeModel(DenseArtifact());
+  const uint32_t future_version = kModelFormatVersion + 41;
+  std::memcpy(blob.data() + 4, &future_version, sizeof future_version);
+  Result<ModelArtifact> r = DeserializeModel(blob);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
+}
+
+TEST(ModelSerializer, RejectsFlippedPayloadByteViaChecksum) {
+  std::string blob = SerializeModel(DenseArtifact());
+  blob[blob.size() - 3] ^= 0x40;
+  Result<ModelArtifact> r = DeserializeModel(blob);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(ModelSerializer, RejectsTruncatedPayload) {
+  const std::string blob = SerializeModel(DenseArtifact());
+  // Every truncation point must fail cleanly (never crash or misparse);
+  // step a few bytes at a time to keep the test fast.
+  for (size_t cut = 0; cut < blob.size(); cut += 13) {
+    Result<ModelArtifact> r = DeserializeModel(blob.substr(0, cut));
+    ASSERT_FALSE(r.ok()) << "cut at " << cut;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ModelSerializer, RejectsTrailingBytes) {
+  // Re-stamp the checksum so ONLY the trailing-bytes check can object.
+  const ModelArtifact original = DenseArtifact();
+  std::string blob = SerializeModel(original);
+  std::string grown = blob + std::string(8, '\0');
+  // Recompute FNV-1a over the extended payload, mirroring the writer.
+  uint64_t hash = 0xCBF29CE484222325ull;
+  for (size_t i = 16; i < grown.size(); ++i) {
+    hash ^= static_cast<unsigned char>(grown[i]);
+    hash *= 0x100000001B3ull;
+  }
+  std::memcpy(grown.data() + 8, &hash, sizeof hash);
+  Result<ModelArtifact> r = DeserializeModel(grown);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(ModelSerializer, FileRoundTrip) {
+  const std::string path =
+      testing::TempDir() + "/least_model_roundtrip.lbnm";
+  const ModelArtifact original = SparseArtifact();
+  ASSERT_TRUE(SaveModel(path, original).ok());
+  Result<ModelArtifact> restored = LoadModel(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectSparseEqual(restored.value().sparse_weights,
+                    original.sparse_weights);
+  std::remove(path.c_str());
+}
+
+TEST(ModelSerializer, LoadMissingFileIsIoError) {
+  Result<ModelArtifact> r = LoadModel("/nonexistent/dir/model.lbnm");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(ModelSerializer, SaveToUnwritablePathIsIoError) {
+  EXPECT_EQ(SaveModel("/nonexistent/dir/model.lbnm", DenseArtifact()).code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace least

@@ -32,6 +32,7 @@ TEST(Status, AllErrorFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::NotConverged("x").code(), StatusCode::kNotConverged);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
 }
 
 TEST(Status, EqualityComparesCodeAndMessage) {
@@ -48,6 +49,7 @@ TEST(Status, CodeToStringCoversAllCodes) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kNotConverged), "NotConverged");
   EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
 }
 
 TEST(Result, HoldsValue) {

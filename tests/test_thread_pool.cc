@@ -1,0 +1,205 @@
+// Tests for runtime/thread_pool.h: task execution, futures, graceful
+// shutdown with pending jobs, and the caller-participating ParallelFor.
+
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "util/rng.h"
+
+namespace least {
+namespace {
+
+TEST(ThreadPool, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  EXPECT_EQ(pool.concurrency(), 1);
+}
+
+TEST(ThreadPool, ExecutesScheduledTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Schedule([&counter]() { ++counter; }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(pool.tasks_executed(), 100);
+}
+
+TEST(ThreadPool, SubmitReturnsFutureWithResult) {
+  ThreadPool pool(2);
+  std::future<int> sum = pool.Submit([]() { return 19 + 23; });
+  std::future<std::string> text =
+      pool.Submit([]() { return std::string("fleet"); });
+  EXPECT_EQ(sum.get(), 42);
+  EXPECT_EQ(text.get(), "fleet");
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingJobs) {
+  std::atomic<int> counter{0};
+  constexpr int kTasks = 200;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      ASSERT_TRUE(pool.Schedule([&counter]() {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++counter;
+      }));
+    }
+    // Most tasks are still queued here; graceful shutdown must run them
+    // all rather than dropping the backlog.
+    pool.Shutdown();
+    EXPECT_EQ(counter.load(), kTasks);
+  }
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPool, AcceptedTasksAlwaysRunEvenWhenRacingShutdown) {
+  // Schedule returning true is a promise the task will execute; hammer the
+  // Schedule/Shutdown race to check no accepted task is ever dropped.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(2);
+    std::atomic<int> accepted{0};
+    std::atomic<int> ran{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 3; ++t) {
+      submitters.emplace_back([&]() {
+        while (pool.Schedule([&ran]() { ++ran; })) {
+          ++accepted;
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    pool.Shutdown();
+    for (std::thread& t : submitters) t.join();
+    EXPECT_EQ(ran.load(), accepted.load()) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, ScheduleAfterShutdownIsRejected) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Schedule([]() {}));
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  ASSERT_TRUE(pool.Schedule([]() {}));
+  pool.Shutdown();
+  pool.Shutdown();  // second call must be a no-op, not a crash/hang
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(0, kN, /*grain=*/7, [&](int64_t lo, int64_t hi) {
+    ASSERT_LT(lo, hi);
+    for (int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "element " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForRespectsGrainBoundaries) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  pool.ParallelFor(0, 100, /*grain=*/33, [&](int64_t lo, int64_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.push_back({lo, hi});
+  });
+  ASSERT_EQ(chunks.size(), 4u);  // 33 + 33 + 33 + 1
+  int64_t covered = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo % 33, 0);
+    covered += hi - lo;
+  }
+  EXPECT_EQ(covered, 100);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, NestedParallelForFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> total{0};
+  auto outer = pool.Submit([&]() {
+    pool.ParallelFor(0, 1000, /*grain=*/-1, [&](int64_t lo, int64_t hi) {
+      total.fetch_add(hi - lo);
+    });
+    return true;
+  });
+  ASSERT_EQ(outer.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_TRUE(outer.get());
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(ThreadPool, ParallelForMatchesSerialSum) {
+  // Each element is written by exactly one chunk; the parallel result must
+  // equal the serial loop exactly (the determinism contract the dense
+  // kernels rely on).
+  ThreadPool pool(3);
+  std::vector<double> out(5000, 0.0);
+  pool.ParallelFor(0, 5000, /*grain=*/-1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      out[i] = 0.5 * static_cast<double>(i) + 1.25;
+    }
+  });
+  for (int64_t i = 0; i < 5000; ++i) {
+    ASSERT_EQ(out[i], 0.5 * static_cast<double>(i) + 1.25);
+  }
+}
+
+TEST(ThreadPool, InstalledExecutorKeepsMatmulBitwiseIdentical) {
+  // d = 160 clears the gemm parallelization threshold (~1M flops), so this
+  // exercises the actual parallel branch of MatmulInto and checks the
+  // bitwise-determinism contract of linalg/parallel.h.
+  Rng rng(71);
+  const DenseMatrix a = DenseMatrix::RandomUniform(160, 160, -1.0, 1.0, rng);
+  const DenseMatrix b = DenseMatrix::RandomUniform(160, 160, -1.0, 1.0, rng);
+  ASSERT_EQ(GetParallelExecutor(), nullptr);
+  const DenseMatrix serial = Matmul(a, b);
+  {
+    ThreadPool pool(4);
+    SetParallelExecutor(&pool);
+    const DenseMatrix parallel = Matmul(a, b);
+    SetParallelExecutor(nullptr);
+    ASSERT_TRUE(serial.SameShape(parallel));
+    EXPECT_EQ(MaxAbsDiff(serial, parallel), 0.0);
+  }
+}
+
+TEST(ThreadPool, ManyConcurrentSubmittersAreSafe) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &counter]() {
+      for (int i = 0; i < 250; ++i) {
+        while (!pool.Schedule([&counter]() { ++counter; })) {
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+}  // namespace
+}  // namespace least
