@@ -21,4 +21,10 @@ cmake --build "$build_dir" -j
 cd "$build_dir"
 ctest --output-on-failure -j
 
+# The thread-pool and fleet-scheduler tests exercise real concurrency
+# (work stealing, cancellation races, shutdown); a scheduling-dependent bug
+# can pass a single run. Re-run them a few times and fail on any flake.
+ctest --output-on-failure -R '^(test_thread_pool|test_fleet_scheduler)$' \
+      --repeat until-fail:3 --no-tests=error
+
 echo "check.sh: all green"

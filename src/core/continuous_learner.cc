@@ -17,6 +17,38 @@ ContinuousLearner::ContinuousLearner(
 }
 
 LearnResult ContinuousLearner::Fit(const DenseMatrix& x) const {
+  return FitInternal(x, nullptr);
+}
+
+LearnResult ContinuousLearner::ResumeFit(const TrainState& state,
+                                         const DenseMatrix& x) const {
+  LearnResult result;
+  if (state.sparse) {
+    result.status = Status::InvalidArgument(
+        "cannot resume a dense learner from a sparse train state");
+    return result;
+  }
+  if (state.dense_w.rows() != x.cols() || state.dense_w.cols() != x.cols()) {
+    result.status = Status::InvalidArgument(
+        "train state shape does not match the sample matrix");
+    return result;
+  }
+  if (state.outer < 1 || state.inner_steps < 0) {
+    result.status = Status::InvalidArgument("corrupt train state indices");
+    return result;
+  }
+  if (state.inner_steps > 0 &&
+      (state.adam_m.size() != state.dense_w.size() ||
+       state.adam_m.size() != state.adam_v.size())) {
+    result.status = Status::InvalidArgument(
+        "train state Adam moments do not match the weight matrix");
+    return result;
+  }
+  return FitInternal(x, &state);
+}
+
+LearnResult ContinuousLearner::FitInternal(const DenseMatrix& x,
+                                           const TrainState* resume) const {
   LearnResult result;
   if (x.rows() == 0 || x.cols() == 0) {
     result.status = Status::InvalidArgument("empty sample matrix");
@@ -31,16 +63,18 @@ LearnResult ContinuousLearner::Fit(const DenseMatrix& x) const {
   ExpmTraceConstraint exact_h;  // optional tracker (small d only)
 
   DenseMatrix w(d, d);
-  if (opt.init_density > 0.0 && opt.init_density < 1.0) {
-    // Glorot-uniform values on a random sparse support (paper Fig. 3
-    // INNER line 1); the mass vanishes for tiny ζ·d², which reduces to the
-    // standard zero start used by NOTEARS.
-    const long long cells = static_cast<long long>(d) * (d - 1);
-    long long want = static_cast<long long>(opt.init_density * cells);
-    for (long long t = 0; t < want; ++t) {
-      const int i = rng.UniformInt(d);
-      const int j = rng.UniformInt(d);
-      if (i != j) w(i, j) = rng.GlorotUniform(d, d);
+  if (resume == nullptr) {
+    if (opt.init_density > 0.0 && opt.init_density < 1.0) {
+      // Glorot-uniform values on a random sparse support (paper Fig. 3
+      // INNER line 1); the mass vanishes for tiny ζ·d², which reduces to the
+      // standard zero start used by NOTEARS.
+      const long long cells = static_cast<long long>(d) * (d - 1);
+      long long want = static_cast<long long>(opt.init_density * cells);
+      for (long long t = 0; t < want; ++t) {
+        const int i = rng.UniformInt(d);
+        const int j = rng.UniformInt(d);
+        if (i != j) w(i, j) = rng.GlorotUniform(d, d);
+      }
     }
   }
 
@@ -51,26 +85,78 @@ LearnResult ContinuousLearner::Fit(const DenseMatrix& x) const {
   double eta = opt.eta_init;
   double constraint_value = 0.0;
   double prev_round_constraint = std::numeric_limits<double>::infinity();
+  int start_outer = 1;
+  double time_offset = 0.0;
+  bool resume_mid_round = false;
+
+  if (resume != nullptr) {
+    // The RNG state is the linchpin: it encodes the init draws and every
+    // mini-batch drawn so far, so the continuation consumes the exact
+    // stream the uninterrupted run would have.
+    if (!rng.LoadState(resume->rng_state)) {
+      result.status = Status::InvalidArgument(
+          "train state carries an unparsable RNG state");
+      return result;
+    }
+    w = resume->dense_w;
+    rho = resume->rho;
+    eta = resume->eta;
+    prev_round_constraint = resume->prev_round_constraint;
+    constraint_value = resume->constraint_value;
+    start_outer = resume->outer;
+    resume_mid_round = resume->inner_steps > 0;
+    time_offset = resume->elapsed_seconds;
+    result.trace = resume->trace;
+    result.inner_iterations = resume->total_inner;
+    result.outer_iterations = resume->outer - 1;
+  }
+
   const bool use_h_termination = opt.terminate_on_h && opt.track_exact_h;
   bool converged = false;
 
   // Cooperative cancellation: polled between rounds and at the inner
   // convergence-check cadence, so a fleet Cancel() interrupts within a few
-  // optimizer steps instead of after a full Fit.
+  // optimizer steps instead of after a full Fit. Every poll site is also a
+  // snapshot site: the returned result carries a TrainState from which
+  // ResumeFit continues bit-identically.
   auto stop_requested = [this]() { return stop_ != nullptr && stop_(); };
-  auto cancelled_result = [&](int outer) {
+  auto make_state = [&](int outer, int inner_steps, const Adam* adam,
+                        double prev_objective, double last_loss) {
+    auto state = CaptureTrainState(
+        adam, rho, eta, prev_round_constraint, outer, inner_steps,
+        prev_objective, last_loss, constraint_value, result.inner_iterations,
+        result.trace, time_offset + watch.Seconds(), rng);
+    state->sparse = false;
+    state->dense_w = w;
+    return state;
+  };
+  auto cancelled_result = [&](int outer,
+                              std::shared_ptr<const TrainState> state) {
     result.status = Status::Cancelled("stop requested at outer round " +
                                       std::to_string(outer));
+    result.train_state = std::move(state);
     result.raw_weights = w;
     result.weights = w;
     result.weights.ApplyThreshold(opt.prune_threshold);
     result.constraint_value = constraint_value;
-    result.seconds = watch.Seconds();
+    result.seconds = time_offset + watch.Seconds();
     return std::move(result);
   };
 
-  for (int outer = 1; outer <= opt.max_outer_iterations; ++outer) {
-    if (stop_requested()) return cancelled_result(outer);
+  for (int outer = start_outer; outer <= opt.max_outer_iterations; ++outer) {
+    const bool resuming_here = resume_mid_round && outer == start_outer;
+    if (!resuming_here) {
+      if (stop_requested()) {
+        return cancelled_result(
+            outer, make_state(outer, 0, nullptr,
+                              std::numeric_limits<double>::infinity(), 0.0));
+      }
+      if (checkpoint_ != nullptr && outer > 1 &&
+          (outer - 1) % checkpoint_every_ == 0) {
+        checkpoint_(*make_state(outer, 0, nullptr,
+                                std::numeric_limits<double>::infinity(), 0.0));
+      }
+    }
     const double lr = std::max(
         opt.learning_rate * std::pow(opt.lr_decay, outer - 1),
         0.05 * opt.learning_rate);
@@ -78,7 +164,15 @@ LearnResult ContinuousLearner::Fit(const DenseMatrix& x) const {
     double prev_objective = std::numeric_limits<double>::infinity();
     double last_loss = 0.0;
     int inner_done = 0;
-    for (int inner = 1; inner <= opt.max_inner_iterations; ++inner) {
+    int inner_start = 1;
+    if (resuming_here) {
+      adam.Restore({resume->adam_m, resume->adam_v, resume->adam_t});
+      prev_objective = resume->prev_objective;
+      last_loss = resume->last_loss;
+      inner_done = resume->inner_steps;
+      inner_start = resume->inner_steps + 1;
+    }
+    for (int inner = inner_start; inner <= opt.max_inner_iterations; ++inner) {
       constraint_value = constraint_->Evaluate(w, &constraint_grad);
       const double loss_value = loss.ValueAndGradient(w, &loss_grad, rng);
       const double objective = loss_value +
@@ -91,7 +185,7 @@ LearnResult ContinuousLearner::Fit(const DenseMatrix& x) const {
         result.raw_weights = w;
         result.weights = w;
         result.weights.ApplyThreshold(opt.prune_threshold);
-        result.seconds = watch.Seconds();
+        result.seconds = time_offset + watch.Seconds();
         return result;
       }
       // ∇ℓ = ∇L + (ρ·δ + η)·∇δ   (see header note on the Fig. 3 typo).
@@ -104,11 +198,17 @@ LearnResult ContinuousLearner::Fit(const DenseMatrix& x) const {
       last_loss = loss_value;
       ++inner_done;
       if (inner % opt.inner_check_every == 0) {
-        if (stop_requested()) return cancelled_result(outer);
         const double rel = std::fabs(objective - prev_objective) /
                            std::max(1.0, std::fabs(prev_objective));
         if (rel < opt.inner_rtol) break;
         prev_objective = objective;
+        // Polled after the convergence bookkeeping so a snapshot taken here
+        // re-enters the loop at inner + 1 with no replayed work.
+        if (stop_requested()) {
+          return cancelled_result(
+              outer, make_state(outer, inner, &adam, prev_objective,
+                                last_loss));
+        }
       }
     }
     result.inner_iterations += inner_done;
@@ -119,7 +219,7 @@ LearnResult ContinuousLearner::Fit(const DenseMatrix& x) const {
 
     TracePoint tp;
     tp.outer = outer;
-    tp.seconds = watch.Seconds();
+    tp.seconds = time_offset + watch.Seconds();
     tp.constraint_value = constraint_value;
     tp.loss = last_loss;
     tp.nnz = w.CountNonZeros();
@@ -160,7 +260,7 @@ LearnResult ContinuousLearner::Fit(const DenseMatrix& x) const {
   w.ApplyThreshold(opt.prune_threshold);
   result.weights = std::move(w);
   result.constraint_value = constraint_value;
-  result.seconds = watch.Seconds();
+  result.seconds = time_offset + watch.Seconds();
   if (converged) {
     result.status = Status::Ok();
   } else {

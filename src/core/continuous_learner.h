@@ -24,6 +24,7 @@
 #include "constraint/acyclicity_constraint.h"
 #include "core/learn_options.h"
 #include "core/least_squares_loss.h"
+#include "core/train_state.h"
 
 namespace least {
 
@@ -35,9 +36,10 @@ namespace least {
 /// implementations are stateless, so one learner may serve concurrent `Fit`
 /// calls from multiple fleet-scheduler threads; identical options + data
 /// yield bitwise-identical results regardless of interleaving. The
-/// setters (`set_snapshot_callback`, `set_stop_predicate`) are NOT
-/// synchronized — configure the learner before sharing it, and make the
-/// callbacks themselves thread-safe when `Fit` runs concurrently.
+/// setters (`set_snapshot_callback`, `set_stop_predicate`,
+/// `set_checkpoint_callback`) are NOT synchronized — configure the learner
+/// before sharing it, and make the callbacks themselves thread-safe when
+/// `Fit` runs concurrently.
 class ContinuousLearner {
  public:
   /// Called at the end of every outer round with the current raw W and the
@@ -51,6 +53,11 @@ class ContinuousLearner {
   /// job cancellation.
   using StopPredicate = std::function<bool()>;
 
+  /// Receives a resumable `TrainState` at outer-round boundaries (see
+  /// `set_checkpoint_callback`); the state may be serialized and later fed
+  /// to `ResumeFit` — in this or another process.
+  using CheckpointCallback = std::function<void(const TrainState&)>;
+
   /// Takes ownership of `constraint`.
   ContinuousLearner(std::unique_ptr<AcyclicityConstraint> constraint,
                     const LearnOptions& options);
@@ -61,21 +68,43 @@ class ContinuousLearner {
 
   void set_stop_predicate(StopPredicate stop) { stop_ = std::move(stop); }
 
+  /// Installs a periodic checkpoint sink: invoked at the top of an outer
+  /// round whenever `every_n_outer` rounds have completed since the last
+  /// snapshot point. The callback runs on the `Fit` thread.
+  void set_checkpoint_callback(CheckpointCallback cb, int every_n_outer = 1) {
+    LEAST_CHECK(every_n_outer >= 1);
+    checkpoint_ = std::move(cb);
+    checkpoint_every_ = every_n_outer;
+  }
+
   /// Learns a weighted DAG from the n x d sample matrix.
   /// Fails with `kInvalidArgument` on shape errors; returns
   /// `kNotConverged` (with the best W found) when the constraint never
   /// reaches the tolerance within the outer-iteration budget, and
-  /// `kCancelled` (again with the current W) when the stop predicate fires.
+  /// `kCancelled` (again with the current W, plus a resumable
+  /// `LearnResult::train_state`) when the stop predicate fires.
   LearnResult Fit(const DenseMatrix& x) const;
+
+  /// Continues an interrupted run from `state` (a `train_state` captured by
+  /// a cancelled `Fit`, or a periodic checkpoint). Given the same options
+  /// and the same `x` the original run saw, the continuation is
+  /// bit-identical to the uninterrupted run — same final weights, counts,
+  /// and status. A state of the wrong kind or shape fails with
+  /// `kInvalidArgument`.
+  LearnResult ResumeFit(const TrainState& state, const DenseMatrix& x) const;
 
   const AcyclicityConstraint& constraint() const { return *constraint_; }
   const LearnOptions& options() const { return options_; }
 
  private:
+  LearnResult FitInternal(const DenseMatrix& x, const TrainState* resume) const;
+
   std::unique_ptr<AcyclicityConstraint> constraint_;
   LearnOptions options_;
   SnapshotCallback snapshot_;
   StopPredicate stop_;
+  CheckpointCallback checkpoint_;
+  int checkpoint_every_ = 1;
 };
 
 }  // namespace least

@@ -5,12 +5,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "linalg/dense_matrix.h"
 #include "util/status.h"
 
 namespace least {
+
+struct TrainState;  // core/train_state.h — mid-run checkpoint payload
 
 /// \brief Hyper-parameters of the augmented-Lagrangian learner (Fig. 3 of
 /// the paper). Defaults follow the paper's Section V settings.
@@ -119,6 +122,9 @@ struct LearnResult {
   long long inner_iterations = 0;
   double seconds = 0.0;
   std::vector<TracePoint> trace;
+  /// Set on `kCancelled`: resumable snapshot of the interrupted run (see
+  /// `core/train_state.h`); null on every other status.
+  std::shared_ptr<const TrainState> train_state;
 };
 
 }  // namespace least

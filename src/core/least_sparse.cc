@@ -52,6 +52,39 @@ LeastSparseLearner::LeastSparseLearner(const LearnOptions& options)
     : options_(options) {}
 
 SparseLearnResult LeastSparseLearner::Fit(const DataSource& data) const {
+  return FitInternal(data, nullptr);
+}
+
+SparseLearnResult LeastSparseLearner::ResumeFit(const TrainState& state,
+                                                const DataSource& data) const {
+  SparseLearnResult result;
+  if (!state.sparse) {
+    result.status = Status::InvalidArgument(
+        "cannot resume the sparse learner from a dense train state");
+    return result;
+  }
+  if (state.sparse_w.rows() != data.num_cols() ||
+      state.sparse_w.cols() != data.num_cols()) {
+    result.status = Status::InvalidArgument(
+        "train state shape does not match the data source");
+    return result;
+  }
+  if (state.outer < 1 || state.inner_steps < 0) {
+    result.status = Status::InvalidArgument("corrupt train state indices");
+    return result;
+  }
+  if (state.inner_steps > 0 &&
+      (state.adam_m.size() != static_cast<size_t>(state.sparse_w.nnz()) ||
+       state.adam_m.size() != state.adam_v.size())) {
+    result.status = Status::InvalidArgument(
+        "train state Adam moments do not match the stored pattern");
+    return result;
+  }
+  return FitInternal(data, &state);
+}
+
+SparseLearnResult LeastSparseLearner::FitInternal(
+    const DataSource& data, const TrainState* resume) const {
   SparseLearnResult result;
   const int d = data.num_cols();
   const int n = data.num_rows();
@@ -66,7 +99,36 @@ SparseLearnResult LeastSparseLearner::Fit(const DataSource& data) const {
   const int batch =
       opt.batch_size > 0 ? std::min(opt.batch_size, n) : std::min(n, 1000);
 
-  CsrMatrix w = InitialPattern(d, opt.init_density, candidate_edges_, rng);
+  CsrMatrix w;
+  double rho = opt.rho_init;
+  double eta = opt.eta_init;
+  double constraint_value = 0.0;
+  double prev_round_constraint = std::numeric_limits<double>::infinity();
+  int start_outer = 1;
+  double time_offset = 0.0;
+  bool resume_mid_round = false;
+
+  if (resume == nullptr) {
+    w = InitialPattern(d, opt.init_density, candidate_edges_, rng);
+  } else {
+    if (!rng.LoadState(resume->rng_state)) {
+      result.status = Status::InvalidArgument(
+          "train state carries an unparsable RNG state");
+      return result;
+    }
+    w = resume->sparse_w;
+    rho = resume->rho;
+    eta = resume->eta;
+    prev_round_constraint = resume->prev_round_constraint;
+    constraint_value = resume->constraint_value;
+    start_outer = resume->outer;
+    resume_mid_round = resume->inner_steps > 0;
+    time_offset = resume->elapsed_seconds;
+    result.trace = resume->trace;
+    result.inner_iterations = resume->total_inner;
+    result.outer_iterations = resume->outer - 1;
+  }
+
   SpectralBoundOptions bound{.k = opt.k, .alpha = opt.alpha};
   SparseBoundWorkspace bound_ws;
 
@@ -77,23 +139,46 @@ SparseLearnResult LeastSparseLearner::Fit(const DataSource& data) const {
   std::vector<double> total_grad;
   std::vector<int64_t> kept;
 
-  double rho = opt.rho_init;
-  double eta = opt.eta_init;
-  double constraint_value = 0.0;
-  double prev_round_constraint = std::numeric_limits<double>::infinity();
   bool converged = false;
 
-  for (int outer = 1; outer <= opt.max_outer_iterations; ++outer) {
-    if (stop_ != nullptr && stop_()) {
-      result.status = Status::Cancelled("stop requested at outer round " +
-                                        std::to_string(outer));
-      result.raw_weights = w;
-      w.ThresholdValues(opt.prune_threshold);
-      w.Compact(nullptr);
-      result.weights = std::move(w);
-      result.constraint_value = constraint_value;
-      result.seconds = watch.Seconds();
-      return result;
+  auto stop_requested = [this]() { return stop_ != nullptr && stop_(); };
+  auto make_state = [&](int outer, int inner_steps, const Adam* adam,
+                        double prev_objective, double last_loss) {
+    auto state = CaptureTrainState(
+        adam, rho, eta, prev_round_constraint, outer, inner_steps,
+        prev_objective, last_loss, constraint_value, result.inner_iterations,
+        result.trace, time_offset + watch.Seconds(), rng);
+    state->sparse = true;
+    state->sparse_w = w;
+    return state;
+  };
+  auto cancelled_result = [&](int outer,
+                              std::shared_ptr<const TrainState> state) {
+    result.status = Status::Cancelled("stop requested at outer round " +
+                                      std::to_string(outer));
+    result.train_state = std::move(state);
+    result.raw_weights = w;
+    w.ThresholdValues(opt.prune_threshold);
+    w.Compact(nullptr);
+    result.weights = std::move(w);
+    result.constraint_value = constraint_value;
+    result.seconds = time_offset + watch.Seconds();
+    return std::move(result);
+  };
+
+  for (int outer = start_outer; outer <= opt.max_outer_iterations; ++outer) {
+    const bool resuming_here = resume_mid_round && outer == start_outer;
+    if (!resuming_here) {
+      if (stop_requested()) {
+        return cancelled_result(
+            outer, make_state(outer, 0, nullptr,
+                              std::numeric_limits<double>::infinity(), 0.0));
+      }
+      if (checkpoint_ != nullptr && outer > 1 &&
+          (outer - 1) % checkpoint_every_ == 0) {
+        checkpoint_(*make_state(outer, 0, nullptr,
+                                std::numeric_limits<double>::infinity(), 0.0));
+      }
     }
     const double lr = std::max(
         opt.learning_rate * std::pow(opt.lr_decay, outer - 1),
@@ -102,8 +187,16 @@ SparseLearnResult LeastSparseLearner::Fit(const DataSource& data) const {
     double prev_objective = std::numeric_limits<double>::infinity();
     double last_loss = 0.0;
     int inner_done = 0;
+    int inner_start = 1;
+    if (resuming_here) {
+      adam.Restore({resume->adam_m, resume->adam_v, resume->adam_t});
+      prev_objective = resume->prev_objective;
+      last_loss = resume->last_loss;
+      inner_done = resume->inner_steps;
+      inner_start = resume->inner_steps + 1;
+    }
 
-    for (int inner = 1; inner <= opt.max_inner_iterations; ++inner) {
+    for (int inner = inner_start; inner <= opt.max_inner_iterations; ++inner) {
       const int64_t nnz = w.nnz();
       if (nnz == 0) break;  // everything thresholded away: trivially acyclic
       constraint_value =
@@ -160,7 +253,7 @@ SparseLearnResult LeastSparseLearner::Fit(const DataSource& data) const {
         w.ThresholdValues(opt.prune_threshold);
         w.Compact(nullptr);
         result.weights = std::move(w);
-        result.seconds = watch.Seconds();
+        result.seconds = time_offset + watch.Seconds();
         return result;
       }
 
@@ -175,6 +268,13 @@ SparseLearnResult LeastSparseLearner::Fit(const DataSource& data) const {
                            std::max(1.0, std::fabs(prev_objective));
         if (rel < opt.inner_rtol) break;
         prev_objective = objective;
+        // Polled after the convergence bookkeeping so a snapshot taken here
+        // re-enters the loop at inner + 1 with no replayed work.
+        if (stop_requested()) {
+          return cancelled_result(
+              outer, make_state(outer, inner, &adam, prev_objective,
+                                last_loss));
+        }
       }
     }
     result.inner_iterations += inner_done;
@@ -188,7 +288,7 @@ SparseLearnResult LeastSparseLearner::Fit(const DataSource& data) const {
 
     TracePoint tp;
     tp.outer = outer;
-    tp.seconds = watch.Seconds();
+    tp.seconds = time_offset + watch.Seconds();
     tp.constraint_value = constraint_value;
     tp.loss = last_loss;
     tp.nnz = w.nnz();
@@ -220,7 +320,7 @@ SparseLearnResult LeastSparseLearner::Fit(const DataSource& data) const {
   w.Compact(nullptr);
   result.weights = std::move(w);
   result.constraint_value = constraint_value;
-  result.seconds = watch.Seconds();
+  result.seconds = time_offset + watch.Seconds();
   if (converged) {
     result.status = Status::Ok();
   } else {

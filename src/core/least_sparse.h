@@ -21,6 +21,7 @@
 
 #include "core/data_source.h"
 #include "core/learn_options.h"
+#include "core/train_state.h"
 #include "linalg/csr_matrix.h"
 #include "util/status.h"
 
@@ -36,6 +37,9 @@ struct SparseLearnResult {
   long long inner_iterations = 0;
   double seconds = 0.0;
   std::vector<TracePoint> trace;
+  /// Set on `kCancelled`: resumable snapshot of the interrupted run (see
+  /// `core/train_state.h`); null on every other status.
+  std::shared_ptr<const TrainState> train_state;
 };
 
 /// \brief Sparse LEAST learner.
@@ -45,9 +49,15 @@ struct SparseLearnResult {
 /// the setters before sharing across threads.
 class LeastSparseLearner {
  public:
-  /// Polled at outer-round boundaries; returning true stops `Fit` early
-  /// with `kCancelled` (see `ContinuousLearner::StopPredicate`).
+  /// Polled at outer-round boundaries and at the inner convergence-check
+  /// cadence; returning true stops `Fit` early with `kCancelled` and a
+  /// resumable `SparseLearnResult::train_state` (see
+  /// `ContinuousLearner::StopPredicate`).
   using StopPredicate = std::function<bool()>;
+
+  /// Receives a resumable `TrainState` at outer-round boundaries (see
+  /// `set_checkpoint_callback`).
+  using CheckpointCallback = std::function<void(const TrainState&)>;
 
   explicit LeastSparseLearner(const LearnOptions& options);
 
@@ -61,15 +71,36 @@ class LeastSparseLearner {
 
   void set_stop_predicate(StopPredicate stop) { stop_ = std::move(stop); }
 
+  /// Installs a periodic checkpoint sink invoked at the top of an outer
+  /// round whenever `every_n_outer` rounds have completed since the last
+  /// snapshot point. The callback runs on the `Fit` thread.
+  void set_checkpoint_callback(CheckpointCallback cb, int every_n_outer = 1) {
+    LEAST_CHECK(every_n_outer >= 1);
+    checkpoint_ = std::move(cb);
+    checkpoint_every_ = every_n_outer;
+  }
+
   /// Learns a sparse weighted DAG from the data source.
   SparseLearnResult Fit(const DataSource& data) const;
+
+  /// Continues an interrupted run from `state`. Given the same options,
+  /// candidate edges, and data the original run saw, the continuation is
+  /// bit-identical to the uninterrupted run. Wrong-kind or wrong-shape
+  /// states fail with `kInvalidArgument`.
+  SparseLearnResult ResumeFit(const TrainState& state,
+                              const DataSource& data) const;
 
   const LearnOptions& options() const { return options_; }
 
  private:
+  SparseLearnResult FitInternal(const DataSource& data,
+                                const TrainState* resume) const;
+
   LearnOptions options_;
   std::vector<std::pair<int, int>> candidate_edges_;
   StopPredicate stop_;
+  CheckpointCallback checkpoint_;
+  int checkpoint_every_ = 1;
 };
 
 /// Convenience: runs LEAST-SP over an in-memory dense sample matrix.

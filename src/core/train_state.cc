@@ -1,0 +1,36 @@
+#include "core/train_state.h"
+
+#include "opt/adam.h"
+#include "util/rng.h"
+
+namespace least {
+
+std::shared_ptr<TrainState> CaptureTrainState(
+    const Adam* adam, double rho, double eta, double prev_round_constraint,
+    int outer, int inner_steps, double prev_objective, double last_loss,
+    double constraint_value, long long total_inner,
+    const std::vector<TracePoint>& trace, double elapsed_seconds,
+    const Rng& rng) {
+  auto state = std::make_shared<TrainState>();
+  if (adam != nullptr) {
+    AdamState a = adam->Snapshot();
+    state->adam_m = std::move(a.m);
+    state->adam_v = std::move(a.v);
+    state->adam_t = a.t;
+  }
+  state->rho = rho;
+  state->eta = eta;
+  state->prev_round_constraint = prev_round_constraint;
+  state->outer = outer;
+  state->inner_steps = inner_steps;
+  state->prev_objective = prev_objective;
+  state->last_loss = last_loss;
+  state->constraint_value = constraint_value;
+  state->total_inner = total_inner;
+  state->trace = trace;
+  state->elapsed_seconds = elapsed_seconds;
+  state->rng_state = rng.SaveState();
+  return state;
+}
+
+}  // namespace least

@@ -1,0 +1,80 @@
+/// \file train_state.h
+/// \brief Mid-run optimizer state for checkpoint/resume of the learners.
+///
+/// A `TrainState` is everything a learner needs to continue an interrupted
+/// `Fit` and reach a final W that is **bit-identical** to the uninterrupted
+/// run: the working weights (dense or CSR), the Adam moments and step
+/// counter, the augmented-Lagrangian ρ/η schedule, the loop position, the
+/// accumulated trace, and the exact RNG stream position. States are captured
+/// at the cooperative cancellation points (outer-round boundaries and the
+/// inner convergence-check cadence), so resuming re-enters the optimization
+/// at precisely the step where the stop predicate fired.
+///
+/// Contract: `ResumeFit` must be given the same `LearnOptions` and the same
+/// data the original run used — the state stores *position*, not inputs.
+/// States round-trip through `io/model_serializer.h` (format v2) so a
+/// cancelled fleet job can resume in another process.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/learn_options.h"
+#include "linalg/csr_matrix.h"
+#include "linalg/dense_matrix.h"
+
+namespace least {
+
+class Adam;  // opt/adam.h
+class Rng;   // util/rng.h
+
+/// \brief Serializable snapshot of an in-flight structure-learning run.
+struct TrainState {
+  /// Which learner family produced the state (selects the W field below).
+  bool sparse = false;
+  DenseMatrix dense_w;  ///< working W of the dense learners
+  CsrMatrix sparse_w;   ///< working W (pattern + values) of LEAST-SP
+
+  // Adam state of the current outer round (empty when the state was taken
+  // at a round boundary, where the uninterrupted run builds a fresh Adam).
+  std::vector<double> adam_m;
+  std::vector<double> adam_v;
+  int64_t adam_t = 0;
+
+  // Augmented-Lagrangian schedule.
+  double rho = 0.0;
+  double eta = 0.0;
+  double prev_round_constraint = std::numeric_limits<double>::infinity();
+
+  // Loop position: `outer` is the round being executed (1-based);
+  // `inner_steps` counts optimizer steps already taken inside it, 0 meaning
+  // the state was captured at the top of the round.
+  int outer = 1;
+  int inner_steps = 0;
+  double prev_objective = std::numeric_limits<double>::infinity();
+  double last_loss = 0.0;
+  double constraint_value = 0.0;
+  long long total_inner = 0;  ///< inner steps accumulated by completed rounds
+
+  std::vector<TracePoint> trace;  ///< per-round trace up to the snapshot
+  double elapsed_seconds = 0.0;   ///< wall time consumed before the snapshot
+  std::string rng_state;          ///< textual mt19937_64 state (Rng::SaveState)
+};
+
+/// Fills every learner-agnostic field of a snapshot — Adam moments (when a
+/// round is in flight), schedule scalars, loop position, accumulated trace,
+/// elapsed time, and the RNG stream. Both learners' capture paths go
+/// through this so the common fields can never drift; the caller sets only
+/// the W field (`dense_w` or `sparse_w`) and the `sparse` flag.
+std::shared_ptr<TrainState> CaptureTrainState(
+    const Adam* adam, double rho, double eta, double prev_round_constraint,
+    int outer, int inner_steps, double prev_objective, double last_loss,
+    double constraint_value, long long total_inner,
+    const std::vector<TracePoint>& trace, double elapsed_seconds,
+    const Rng& rng);
+
+}  // namespace least

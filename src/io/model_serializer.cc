@@ -225,6 +225,124 @@ CsrMatrix ReadSparse(Reader& r) {
   return CsrMatrix::FromTriplets(rows, cols, std::move(triplets));
 }
 
+// ------------------------------------------------------------ train state ---
+
+void WriteDoubles(Writer& w, const std::vector<double>& v) {
+  w.Pod<uint64_t>(v.size());
+  w.Raw(v.data(), v.size() * sizeof(double));
+}
+
+bool ReadDoubles(Reader& r, std::vector<double>* out) {
+  uint64_t count = 0;
+  r.Pod(&count);
+  if (!r.status().ok()) return false;
+  if (count > r.remaining() / sizeof(double)) {
+    r.Fail("double array exceeds blob size");
+    return false;
+  }
+  out->resize(static_cast<size_t>(count));
+  r.Raw(out->data(), out->size() * sizeof(double));
+  return r.status().ok();
+}
+
+void WriteTrainState(Writer& w, const TrainState& s) {
+  w.Pod<uint8_t>(s.sparse ? 1 : 0);
+  if (s.sparse) {
+    WriteSparse(w, s.sparse_w);
+  } else {
+    WriteDense(w, s.dense_w);
+  }
+  WriteDoubles(w, s.adam_m);
+  WriteDoubles(w, s.adam_v);
+  w.Pod<int64_t>(s.adam_t);
+  w.Pod<double>(s.rho);
+  w.Pod<double>(s.eta);
+  w.Pod<double>(s.prev_round_constraint);
+  w.Pod<int32_t>(s.outer);
+  w.Pod<int32_t>(s.inner_steps);
+  w.Pod<double>(s.prev_objective);
+  w.Pod<double>(s.last_loss);
+  w.Pod<double>(s.constraint_value);
+  w.Pod<int64_t>(s.total_inner);
+  w.Pod<uint64_t>(s.trace.size());
+  for (const TracePoint& tp : s.trace) {
+    w.Pod<int32_t>(tp.outer);
+    w.Pod<double>(tp.seconds);
+    w.Pod<double>(tp.constraint_value);
+    w.Pod<double>(tp.loss);
+    w.Pod<double>(tp.h_value);
+    w.Pod<int64_t>(tp.nnz);
+  }
+  w.Pod<double>(s.elapsed_seconds);
+  w.Str(s.rng_state);
+}
+
+std::shared_ptr<const TrainState> ReadTrainState(Reader& r) {
+  auto s = std::make_shared<TrainState>();
+  uint8_t sparse = 0;
+  r.Pod(&sparse);
+  if (!r.status().ok()) return nullptr;
+  s->sparse = sparse != 0;
+  if (s->sparse) {
+    s->sparse_w = ReadSparse(r);
+  } else {
+    s->dense_w = ReadDense(r);
+  }
+  if (!ReadDoubles(r, &s->adam_m) || !ReadDoubles(r, &s->adam_v)) {
+    return nullptr;
+  }
+  if (s->adam_m.size() != s->adam_v.size()) {
+    r.Fail("train state Adam moment arrays differ in length");
+    return nullptr;
+  }
+  r.Pod(&s->adam_t);
+  r.Pod(&s->rho);
+  r.Pod(&s->eta);
+  r.Pod(&s->prev_round_constraint);
+  int32_t outer = 0, inner_steps = 0;
+  r.Pod(&outer);
+  r.Pod(&inner_steps);
+  s->outer = outer;
+  s->inner_steps = inner_steps;
+  r.Pod(&s->prev_objective);
+  r.Pod(&s->last_loss);
+  r.Pod(&s->constraint_value);
+  int64_t total_inner = 0;
+  r.Pod(&total_inner);
+  s->total_inner = total_inner;
+  uint64_t trace_count = 0;
+  r.Pod(&trace_count);
+  if (!r.status().ok()) return nullptr;
+  constexpr size_t kTracePointBytes = sizeof(int32_t) + 4 * sizeof(double) +
+                                      sizeof(int64_t);
+  if (trace_count > r.remaining() / kTracePointBytes) {
+    r.Fail("train state trace exceeds blob size");
+    return nullptr;
+  }
+  s->trace.resize(static_cast<size_t>(trace_count));
+  for (TracePoint& tp : s->trace) {
+    int32_t tp_outer = 0;
+    r.Pod(&tp_outer);
+    tp.outer = tp_outer;
+    r.Pod(&tp.seconds);
+    r.Pod(&tp.constraint_value);
+    r.Pod(&tp.loss);
+    r.Pod(&tp.h_value);
+    int64_t nnz = 0;
+    r.Pod(&nnz);
+    tp.nnz = nnz;
+  }
+  r.Pod(&s->elapsed_seconds);
+  r.Str(&s->rng_state);
+  if (!r.status().ok()) return nullptr;
+  if (s->outer < 1 || s->inner_steps < 0 || s->adam_t < 0 ||
+      s->total_inner < 0) {
+    r.Fail("train state indices out of range");
+    return nullptr;
+  }
+  return s;
+}
+
 }  // namespace
 
 ModelArtifact ModelArtifact::FromOutcome(std::string name,
@@ -247,10 +365,19 @@ ModelArtifact ModelArtifact::FromOutcome(std::string name,
   artifact.outer_iterations = outcome.outer_iterations;
   artifact.inner_iterations = outcome.inner_iterations;
   artifact.seconds = outcome.seconds;
+  artifact.train_state = outcome.train_state;
   return artifact;
 }
 
 std::string SerializeModel(const ModelArtifact& artifact) {
+  return SerializeModelForVersion(artifact, kModelFormatVersion);
+}
+
+std::string SerializeModelForVersion(const ModelArtifact& artifact,
+                                     uint32_t version) {
+  LEAST_CHECK(version >= kMinModelFormatVersion &&
+              version <= kModelFormatVersion);
+  LEAST_CHECK(version >= 2 || artifact.train_state == nullptr);
   Writer body;
   body.Pod<uint8_t>(static_cast<uint8_t>(artifact.algorithm));
   body.Pod<uint8_t>(artifact.sparse ? 1 : 0);
@@ -268,11 +395,17 @@ std::string SerializeModel(const ModelArtifact& artifact) {
     WriteDense(body, artifact.weights);
     WriteDense(body, artifact.raw_weights);
   }
+  if (version >= 2) {
+    body.Pod<uint8_t>(artifact.train_state != nullptr ? 1 : 0);
+    if (artifact.train_state != nullptr) {
+      WriteTrainState(body, *artifact.train_state);
+    }
+  }
   const std::string payload = std::move(body).Finish();
 
   Writer out;
   out.Raw(kMagic, sizeof kMagic);
-  out.Pod<uint32_t>(kModelFormatVersion);
+  out.Pod<uint32_t>(version);
   out.Pod<uint64_t>(Fnv1a(payload));
   out.Raw(payload.data(), payload.size());
   return std::move(out).Finish();
@@ -289,10 +422,11 @@ Result<ModelArtifact> DeserializeModel(std::string_view bytes) {
   uint64_t checksum = 0;
   std::memcpy(&version, bytes.data() + 4, sizeof version);
   std::memcpy(&checksum, bytes.data() + 8, sizeof checksum);
-  if (version != kModelFormatVersion) {
+  if (version < kMinModelFormatVersion || version > kModelFormatVersion) {
     return Status::InvalidArgument(
         "unsupported model format version " + std::to_string(version) +
-        " (this reader supports version " +
+        " (this reader supports versions " +
+        std::to_string(kMinModelFormatVersion) + ".." +
         std::to_string(kModelFormatVersion) + ")");
   }
   const std::string_view payload = bytes.substr(kHeaderBytes);
@@ -327,6 +461,16 @@ Result<ModelArtifact> DeserializeModel(std::string_view bytes) {
   } else {
     artifact.weights = ReadDense(r);
     artifact.raw_weights = ReadDense(r);
+  }
+  if (version >= 2) {
+    uint8_t has_state = 0;
+    r.Pod(&has_state);
+    if (r.status().ok() && has_state > 1) {
+      r.Fail("train state marker is neither 0 nor 1");
+    }
+    if (r.status().ok() && has_state == 1) {
+      artifact.train_state = ReadTrainState(r);
+    }
   }
   if (!r.status().ok()) return r.status();
   if (r.remaining() != 0) {

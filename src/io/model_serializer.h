@@ -6,7 +6,7 @@
 /// (weights — dense or CSR — plus the `LearnOptions` that produced them and
 /// run metadata) to a checkpoint blob or file and back, bit-identically.
 ///
-/// Format ("LBNM", version 1), all integers/doubles in native byte order:
+/// Format ("LBNM", version 2), all integers/doubles in native byte order:
 ///
 ///   [0..4)   magic "LBNM"
 ///   [4..8)   u32 format version
@@ -14,6 +14,20 @@
 ///   [16.. )  body: algorithm, weights kind, name, LearnOptions (every
 ///            field, declaration order), run metadata, weight payloads
 ///            (final + raw; dense = row-major f64, sparse = entry triplets)
+///   v2 only, appended after the weight payloads:
+///            u8 has_train_state; when 1, a `TrainState` section —
+///            u8 sparse kind, working W (dense payload or sparse triplets),
+///            Adam moments (u64 count + f64 m[] + f64 v[] + i64 t),
+///            ρ/η/prev-round-constraint f64s, loop position (i32 outer,
+///            i32 inner_steps, f64 prev_objective, f64 last_loss,
+///            f64 constraint_value, i64 total_inner), the trace
+///            (u64 count + per-point fields), f64 elapsed seconds, and the
+///            length-prefixed textual RNG state.
+///
+/// Version policy: the writer emits version 2 by default (version 1 on
+/// request, for states-free artifacts). Readers accept versions 1 and 2 —
+/// a v1 blob simply has no optimizer-state section — and reject anything
+/// newer loudly instead of misparsing.
 ///
 /// Error contract: any structural problem — wrong magic, short buffer,
 /// truncated body, trailing bytes, checksum mismatch, or an unsupported
@@ -24,19 +38,24 @@
 
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "core/learn_options.h"
+#include "core/train_state.h"
 #include "linalg/csr_matrix.h"
 #include "runtime/learner_factory.h"
 #include "util/status.h"
 
 namespace least {
 
-/// Current writer version. Readers accept exactly this version; older
-/// readers seeing a newer file fail loudly instead of misparsing.
-inline constexpr uint32_t kModelFormatVersion = 1;
+/// Current writer version. Readers accept `kMinModelFormatVersion` through
+/// this version; older readers seeing a newer file fail loudly instead of
+/// misparsing.
+inline constexpr uint32_t kModelFormatVersion = 2;
+/// Oldest version readers still accept (v1: no optimizer-state section).
+inline constexpr uint32_t kMinModelFormatVersion = 1;
 
 /// \brief A learned model plus everything needed to reproduce or resume it.
 struct ModelArtifact {
@@ -53,16 +72,27 @@ struct ModelArtifact {
   int outer_iterations = 0;
   long long inner_iterations = 0;
   double seconds = 0.0;
+  /// Mid-run optimizer state (v2 section). Null for completed runs and for
+  /// v1 blobs; set when checkpointing a cancelled or in-flight job so the
+  /// loaded artifact can `ResumeFit` bit-identically.
+  std::shared_ptr<const TrainState> train_state;
 
   /// Builds an artifact from a fleet/factory outcome (weights are copied so
-  /// the outcome remains usable).
+  /// the outcome remains usable; the train state, if any, is shared).
   static ModelArtifact FromOutcome(std::string name, Algorithm algorithm,
                                    const LearnOptions& options,
                                    const FitOutcome& outcome);
 };
 
-/// Serializes to an in-memory checkpoint blob.
+/// Serializes to an in-memory checkpoint blob (current format version).
 std::string SerializeModel(const ModelArtifact& artifact);
+
+/// Serializes targeting an explicit format version in
+/// [`kMinModelFormatVersion`, `kModelFormatVersion`] — the back-compat seam
+/// that keeps old readers loadable and lets tests cover every on-disk
+/// layout. Version 1 cannot carry a train state (checked).
+std::string SerializeModelForVersion(const ModelArtifact& artifact,
+                                     uint32_t version);
 
 /// Parses a checkpoint blob. Structural errors → `kInvalidArgument` (see
 /// file comment).

@@ -43,4 +43,15 @@ void Adam::Reset() {
   t_ = 0;
 }
 
+AdamState Adam::Snapshot() const { return {m_, v_, t_}; }
+
+void Adam::Restore(const AdamState& state) {
+  LEAST_CHECK(state.m.size() == state.v.size());
+  LEAST_CHECK(state.m.size() == m_.size());
+  LEAST_CHECK(state.t >= 0);
+  m_ = state.m;
+  v_ = state.v;
+  t_ = state.t;
+}
+
 }  // namespace least

@@ -27,6 +27,16 @@ struct AdamOptions {
   double epsilon = 1e-8;
 };
 
+/// \brief Portable snapshot of an `Adam`'s mutable state (moments + step
+/// counter). Hyper-parameters are deliberately excluded: a restore target is
+/// constructed with its own (deterministically recomputed) options, so the
+/// snapshot only has to carry what the schedule cannot rederive.
+struct AdamState {
+  std::vector<double> m;
+  std::vector<double> v;
+  int64_t t = 0;
+};
+
 /// \brief Stateful Adam optimizer for a fixed-size parameter vector.
 class Adam {
  public:
@@ -44,6 +54,14 @@ class Adam {
 
   /// Resets moments and the step counter, keeping the size.
   void Reset();
+
+  /// Copies out the mutable state. Valid at any point, including after
+  /// `Compact()` (the snapshot is then exactly as sparse as the parameters).
+  AdamState Snapshot() const;
+
+  /// Restores a snapshot. The snapshot's size must match the current size
+  /// (i.e. the parameter vector it will drive), and m/v must be parallel.
+  void Restore(const AdamState& state);
 
   size_t size() const { return m_.size(); }
   int64_t step_count() const { return t_; }

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "core/train_state.h"
+#include "io/model_serializer.h"
+
 namespace least {
 
 namespace {
@@ -71,10 +74,16 @@ uint64_t FleetScheduler::JobSeed(uint64_t fleet_seed, int64_t job_id,
                                static_cast<uint64_t>(attempt)));
 }
 
+std::string FleetScheduler::CheckpointPath(const std::string& checkpoint_dir,
+                                           int64_t job_id) {
+  return checkpoint_dir + "/job-" + std::to_string(job_id) + ".lbnm";
+}
+
 FleetScheduler::FleetScheduler(ThreadPool* pool, FleetOptions options)
     : pool_(pool), options_(options) {
   LEAST_CHECK(pool_ != nullptr);
   LEAST_CHECK(options_.max_attempts >= 1);
+  LEAST_CHECK(options_.checkpoint_every_outer >= 1);
 }
 
 FleetScheduler::~FleetScheduler() { Wait(); }
@@ -143,6 +152,25 @@ void FleetScheduler::NotifyProgress(const JobRecord& record) {
   if (progress_ != nullptr) progress_(record);
 }
 
+void FleetScheduler::WriteCheckpoint(const JobSlot& slot,
+                                     const LearnOptions& options,
+                                     const TrainState& state) const {
+  ModelArtifact artifact;
+  artifact.name = slot.job.name;
+  artifact.algorithm = slot.job.algorithm;
+  artifact.options = options;
+  artifact.sparse = state.sparse;
+  artifact.train_state = std::make_shared<TrainState>(state);
+  const std::string path =
+      CheckpointPath(options_.checkpoint_dir, slot.record.job_id);
+  const Status status = SaveModel(path, artifact);
+  if (!status.ok()) {
+    std::fprintf(stderr, "[fleet] checkpoint write failed for job %lld: %s\n",
+                 static_cast<long long>(slot.record.job_id),
+                 status.ToString().c_str());
+  }
+}
+
 void FleetScheduler::Settle() {
   // The settle count is the very last member access of a job task: once the
   // final job's increment is visible, Wait() may return and the scheduler
@@ -181,10 +209,16 @@ void FleetScheduler::RunJob(JobSlot* slot) {
   JobState terminal = JobState::kFailed;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     LearnOptions options = slot->job.options;
-    options.seed = options_.reseed_jobs
-                       ? JobSeed(options_.seed, slot->record.job_id, attempt)
-                       : slot->job.options.seed +
-                             static_cast<uint64_t>(attempt - 1);
+    // A resumed first attempt keeps the job's recorded options verbatim:
+    // the checkpointed trajectory is only reproducible under them.
+    const TrainState* resume =
+        attempt == 1 ? slot->job.resume_state.get() : nullptr;
+    if (resume == nullptr) {
+      options.seed = options_.reseed_jobs
+                         ? JobSeed(options_.seed, slot->record.job_id, attempt)
+                         : slot->job.options.seed +
+                               static_cast<uint64_t>(attempt - 1);
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       slot->record.attempts = attempt;
@@ -194,11 +228,19 @@ void FleetScheduler::RunJob(JobSlot* slot) {
     }
     NotifyProgress(slot->record);  // attempt starting (kRunning)
 
-    outcome = RunAlgorithm(
-        slot->job.algorithm, *slot->job.data, options,
-        slot->job.candidate_edges, [slot]() {
-          return slot->cancel.load(std::memory_order_acquire);
-        });
+    RunHooks hooks;
+    hooks.stop = [slot]() {
+      return slot->cancel.load(std::memory_order_acquire);
+    };
+    hooks.resume = resume;
+    if (!options_.checkpoint_dir.empty()) {
+      hooks.checkpoint_every_outer = options_.checkpoint_every_outer;
+      hooks.checkpoint = [this, slot, options](const TrainState& state) {
+        WriteCheckpoint(*slot, options, state);
+      };
+    }
+    outcome = RunAlgorithm(slot->job.algorithm, *slot->job.data, options,
+                           slot->job.candidate_edges, std::move(hooks));
 
     if (outcome.status.ok()) {
       terminal = JobState::kSucceeded;
@@ -215,6 +257,13 @@ void FleetScheduler::RunJob(JobSlot* slot) {
       terminal = JobState::kFailed;
       break;
     }
+  }
+
+  // A cancelled job leaves a final resumable checkpoint so the run can be
+  // continued later via LearnJobFromCheckpoint.
+  if (terminal == JobState::kCancelled && outcome.train_state != nullptr &&
+      !options_.checkpoint_dir.empty()) {
+    WriteCheckpoint(*slot, slot->record.options, *outcome.train_state);
   }
 
   {
@@ -290,6 +339,30 @@ const JobRecord& FleetScheduler::record(int64_t job_id) const {
 int64_t FleetScheduler::num_jobs() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return static_cast<int64_t>(slots_.size());
+}
+
+Result<LearnJob> LearnJobFromCheckpoint(
+    const std::string& path, std::shared_ptr<const DenseMatrix> data) {
+  if (data == nullptr) {
+    return Status::InvalidArgument(
+        "resume-from-checkpoint jobs need the original dataset");
+  }
+  Result<ModelArtifact> loaded = LoadModel(path);
+  if (!loaded.ok()) return loaded.status();
+  ModelArtifact artifact = std::move(loaded).value();
+  if (artifact.train_state != nullptr &&
+      artifact.train_state->sparse !=
+          (artifact.algorithm == Algorithm::kLeastSparse)) {
+    return Status::InvalidArgument(
+        "checkpoint train state kind does not match its algorithm");
+  }
+  LearnJob job;
+  job.name = std::move(artifact.name);
+  job.algorithm = artifact.algorithm;
+  job.data = std::move(data);
+  job.options = artifact.options;
+  job.resume_state = std::move(artifact.train_state);
+  return job;
 }
 
 }  // namespace least

@@ -53,6 +53,13 @@ struct LearnJob {
   /// Attempt budget for this job (retries trigger on `kNotConverged`).
   /// 0 means "use `FleetOptions::max_attempts`".
   int max_attempts = 0;
+  /// Resume-from-checkpoint mode: when non-null, the job's first attempt
+  /// continues from this mid-run state instead of starting fresh (see
+  /// `LearnJobFromCheckpoint`). For a bit-identical continuation the job
+  /// must carry the exact options of the original attempt — enqueue it on a
+  /// scheduler with `reseed_jobs = false` so the fleet does not rewrite the
+  /// seed. Retry attempts (on `kNotConverged`) fall back to fresh fits.
+  std::shared_ptr<const TrainState> resume_state;
 };
 
 enum class JobState {
@@ -111,6 +118,14 @@ struct FleetOptions {
   /// by `JobSeed(seed, job_id, attempt)`. When false, attempt a uses the
   /// job's own seed + (a - 1) — still deterministic, caller-controlled.
   bool reseed_jobs = true;
+  /// Periodic checkpoint sink: when non-empty, every running job writes a
+  /// resumable format-v2 model checkpoint to
+  /// `<checkpoint_dir>/job-<id>.lbnm` each `checkpoint_every_outer`
+  /// completed outer rounds, and a final one when it settles as cancelled.
+  /// The directory must exist; checkpointing is best-effort — a failed
+  /// write warns on stderr and never fails the job.
+  std::string checkpoint_dir;
+  int checkpoint_every_outer = 5;  ///< sink cadence in outer rounds (>= 1)
 };
 
 /// \brief Runs learning jobs concurrently on a borrowed `ThreadPool`.
@@ -166,6 +181,10 @@ class FleetScheduler {
   /// external tooling can predict/verify fleet seeding.
   static uint64_t JobSeed(uint64_t fleet_seed, int64_t job_id, int attempt);
 
+  /// Path of the checkpoint file the periodic sink writes for `job_id`.
+  static std::string CheckpointPath(const std::string& checkpoint_dir,
+                                    int64_t job_id);
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -178,6 +197,10 @@ class FleetScheduler {
   };
 
   void RunJob(JobSlot* slot);
+  /// Best-effort resumable checkpoint write for the periodic sink and the
+  /// final cancelled-job snapshot; warns on stderr when the write fails.
+  void WriteCheckpoint(const JobSlot& slot, const LearnOptions& options,
+                       const TrainState& state) const;
   void NotifyProgress(const JobRecord& record);
   /// Counts one job as settled and wakes waiters; must be the last member
   /// access a job task performs (see comment in the implementation).
@@ -196,5 +219,16 @@ class FleetScheduler {
   Clock::time_point first_enqueue_;
   Clock::time_point last_settle_;
 };
+
+/// Rebuilds a `LearnJob` from a model checkpoint file (the resume-from-
+/// checkpoint job mode): algorithm, name, and options come from the
+/// artifact; `resume_state` is set when the checkpoint carries a mid-run
+/// optimizer state (format v2), so enqueueing the job continues the
+/// interrupted run instead of restarting it. The caller supplies the
+/// dataset — checkpoints store learner position, not data. Enqueue resumed
+/// jobs on a scheduler with `reseed_jobs = false` to keep the recorded
+/// options authoritative.
+Result<LearnJob> LearnJobFromCheckpoint(
+    const std::string& path, std::shared_ptr<const DenseMatrix> data);
 
 }  // namespace least

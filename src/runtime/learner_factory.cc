@@ -48,6 +48,7 @@ FitOutcome FromDense(LearnResult result) {
   out.inner_iterations = result.inner_iterations;
   out.seconds = result.seconds;
   out.trace = std::move(result.trace);
+  out.train_state = std::move(result.train_state);
   return out;
 }
 
@@ -62,7 +63,19 @@ FitOutcome FromSparse(SparseLearnResult result) {
   out.inner_iterations = result.inner_iterations;
   out.seconds = result.seconds;
   out.trace = std::move(result.trace);
+  out.train_state = std::move(result.train_state);
   return out;
+}
+
+FitOutcome RunDense(ContinuousLearner learner, const DenseMatrix& x,
+                    RunHooks& hooks) {
+  learner.set_stop_predicate(std::move(hooks.stop));
+  if (hooks.checkpoint != nullptr) {
+    learner.set_checkpoint_callback(std::move(hooks.checkpoint),
+                                    hooks.checkpoint_every_outer);
+  }
+  return FromDense(hooks.resume != nullptr ? learner.ResumeFit(*hooks.resume, x)
+                                           : learner.Fit(x));
 }
 
 }  // namespace
@@ -70,29 +83,39 @@ FitOutcome FromSparse(SparseLearnResult result) {
 FitOutcome RunAlgorithm(Algorithm algorithm, const DenseMatrix& x,
                         const LearnOptions& options,
                         const std::vector<std::pair<int, int>>& candidate_edges,
-                        std::function<bool()> stop) {
+                        RunHooks hooks) {
   switch (algorithm) {
-    case Algorithm::kLeastDense: {
-      ContinuousLearner learner = MakeLeastDenseLearner(options);
-      learner.set_stop_predicate(std::move(stop));
-      return FromDense(learner.Fit(x));
-    }
-    case Algorithm::kNotears: {
-      ContinuousLearner learner = MakeNotearsLearner(options);
-      learner.set_stop_predicate(std::move(stop));
-      return FromDense(learner.Fit(x));
-    }
+    case Algorithm::kLeastDense:
+      return RunDense(MakeLeastDenseLearner(options), x, hooks);
+    case Algorithm::kNotears:
+      return RunDense(MakeNotearsLearner(options), x, hooks);
     case Algorithm::kLeastSparse: {
       LeastSparseLearner learner(options);
       learner.set_candidate_edges(candidate_edges);
-      learner.set_stop_predicate(std::move(stop));
+      learner.set_stop_predicate(std::move(hooks.stop));
+      if (hooks.checkpoint != nullptr) {
+        learner.set_checkpoint_callback(std::move(hooks.checkpoint),
+                                        hooks.checkpoint_every_outer);
+      }
       DenseDataSource source(&x);
-      return FromSparse(learner.Fit(source));
+      return FromSparse(hooks.resume != nullptr
+                            ? learner.ResumeFit(*hooks.resume, source)
+                            : learner.Fit(source));
     }
   }
   FitOutcome out;
   out.status = Status::InvalidArgument("unknown algorithm enumerator");
   return out;
+}
+
+FitOutcome RunAlgorithm(Algorithm algorithm, const DenseMatrix& x,
+                        const LearnOptions& options,
+                        const std::vector<std::pair<int, int>>& candidate_edges,
+                        std::function<bool()> stop) {
+  RunHooks hooks;
+  hooks.stop = std::move(stop);
+  return RunAlgorithm(algorithm, x, options, candidate_edges,
+                      std::move(hooks));
 }
 
 }  // namespace least

@@ -11,11 +11,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "core/learn_options.h"
+#include "core/train_state.h"
 #include "linalg/csr_matrix.h"
 #include "util/status.h"
 
@@ -50,18 +52,42 @@ struct FitOutcome {
   long long inner_iterations = 0;
   double seconds = 0.0;
   std::vector<TracePoint> trace;
+  /// Set on `kCancelled`: resumable mid-run snapshot (`core/train_state.h`).
+  std::shared_ptr<const TrainState> train_state;
 
   /// Edge count of the learned (pruned) structure.
   long long EdgeCount() const;
 };
 
+/// \brief Optional control hooks for `RunAlgorithm`.
+struct RunHooks {
+  /// Cooperative cancellation, polled between optimization rounds and at
+  /// the inner convergence-check cadence.
+  std::function<bool()> stop;
+  /// Periodic checkpoint sink, invoked with a resumable state every
+  /// `checkpoint_every_outer` completed outer rounds.
+  std::function<void(const TrainState&)> checkpoint;
+  int checkpoint_every_outer = 1;
+  /// When non-null, the run continues from this state (same options and
+  /// data as the original run required for bit-identical continuation)
+  /// instead of starting fresh. Borrowed for the duration of the call.
+  const TrainState* resume = nullptr;
+};
+
 /// Runs `algorithm` on an n x d sample matrix. `candidate_edges` seeds the
-/// sparse learner's pattern (ignored by the dense algorithms); `stop` is
-/// the cooperative cancellation hook polled between optimization rounds.
+/// sparse learner's pattern (ignored by the dense algorithms); `hooks`
+/// carries cancellation/checkpoint/resume wiring.
 FitOutcome RunAlgorithm(Algorithm algorithm, const DenseMatrix& x,
                         const LearnOptions& options,
                         const std::vector<std::pair<int, int>>&
                             candidate_edges = {},
-                        std::function<bool()> stop = nullptr);
+                        RunHooks hooks = {});
+
+/// Back-compat overload: stop predicate only.
+FitOutcome RunAlgorithm(Algorithm algorithm, const DenseMatrix& x,
+                        const LearnOptions& options,
+                        const std::vector<std::pair<int, int>>&
+                            candidate_edges,
+                        std::function<bool()> stop);
 
 }  // namespace least

@@ -1,9 +1,27 @@
 #include "util/rng.h"
 
 #include <numeric>
+#include <sstream>
 #include <unordered_set>
 
 namespace least {
+
+std::string Rng::SaveState() const {
+  // The standard guarantees operator<< / operator>> round-trip the engine
+  // exactly (decimal words, space separated) — no precision concerns.
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+bool Rng::LoadState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) return false;
+  engine_ = restored;
+  return true;
+}
 
 std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
   LEAST_CHECK(k >= 0 && k <= n);

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "util/check.h"
@@ -85,6 +86,15 @@ class Rng {
 
   /// Returns a random permutation of [0, n).
   std::vector<int> Permutation(int n);
+
+  /// Serializes the exact engine state (stream position included) to a
+  /// portable text form. `LoadState` on the returned string reproduces the
+  /// same draw sequence bit-for-bit — the basis of checkpoint/resume.
+  std::string SaveState() const;
+
+  /// Restores a state produced by `SaveState`. Returns false (leaving the
+  /// engine untouched) when the string does not parse as an engine state.
+  bool LoadState(const std::string& state);
 
   /// The underlying engine, for std distributions not wrapped here.
   std::mt19937_64& engine() { return engine_; }

@@ -127,6 +127,76 @@ TEST(LearnerEdgeCases, SparseAllZeroDataConvergesEmpty) {
   EXPECT_EQ(r.weights.CountNonZeros(), 0);
 }
 
+// --- LeastSparseLearner stop-predicate contract (the dense learner's
+// --- cancellation behavior is covered by the checkpoint-resume sweep).
+
+TEST(LearnerEdgeCases, SparseCancelBeforeFirstStepReturnsCancelled) {
+  DenseMatrix x(80, 6);
+  Rng rng(11);
+  for (double& v : x.data()) v = rng.Gaussian();
+  LearnOptions opt;
+  opt.init_density = 0.3;
+  opt.batch_size = 16;
+  LeastSparseLearner learner(opt);
+  learner.set_stop_predicate([]() { return true; });
+  DenseDataSource src(&x);
+  SparseLearnResult r = learner.Fit(src);
+  EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(r.outer_iterations, 0);
+  EXPECT_EQ(r.inner_iterations, 0);
+  EXPECT_EQ(r.weights.rows(), 6);  // best-effort W still handed back
+  ASSERT_NE(r.train_state, nullptr);
+  EXPECT_TRUE(r.train_state->sparse);
+  EXPECT_EQ(r.train_state->outer, 1);
+  EXPECT_EQ(r.train_state->inner_steps, 0);
+}
+
+TEST(LearnerEdgeCases, SparseCancelMidOuterLoopReturnsCancelled) {
+  DenseMatrix w_true(5, 5);
+  w_true(0, 1) = 1.5;
+  w_true(1, 2) = 1.2;
+  Rng rng(13);
+  auto x = SampleLsem(w_true, 200, {}, rng);
+  LearnOptions opt;
+  opt.init_density = 0.0;
+  opt.batch_size = 32;
+  opt.max_outer_iterations = 30;
+  opt.inner_check_every = 5;
+  LeastSparseLearner learner(opt);
+  learner.set_candidate_edges({{0, 1}, {1, 2}, {2, 3}});
+  int polls = 0;
+  learner.set_stop_predicate([&polls]() { return ++polls > 4; });
+  DenseDataSource src(&x.value());
+  SparseLearnResult r = learner.Fit(src);
+  EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
+  ASSERT_NE(r.train_state, nullptr);
+  // Poll 5 lands mid-run: either inside a round (inner_steps > 0) or at a
+  // later round boundary, never back at the very start.
+  EXPECT_TRUE(r.train_state->outer > 1 || r.train_state->inner_steps > 0);
+}
+
+TEST(LearnerEdgeCases, SparseStopAfterConvergenceStillReturnsOk) {
+  DenseMatrix w_true(4, 4);
+  w_true(0, 1) = 1.5;
+  Rng rng(17);
+  auto x = SampleLsem(w_true, 300, {}, rng);
+  LearnOptions opt;
+  opt.init_density = 0.0;
+  opt.batch_size = 64;
+  opt.filter_threshold = 0.05;
+  opt.max_outer_iterations = 20;
+  LeastSparseLearner learner(opt);
+  learner.set_candidate_edges({{0, 1}, {1, 2}});
+  // Would fire eventually — but the run converges first, and a converged
+  // run reports kOk, not kCancelled.
+  int polls = 0;
+  learner.set_stop_predicate([&polls]() { return ++polls > 1000000; });
+  DenseDataSource src(&x.value());
+  SparseLearnResult r = learner.Fit(src);
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.train_state, nullptr);
+}
+
 TEST(LearnerEdgeCases, LrDecayDisabledStillWorksOnEasyProblem) {
   DenseMatrix w_true(3, 3);
   w_true(0, 1) = 1.5;

@@ -1,0 +1,169 @@
+// Corruption fuzz for io/model_serializer.h: checkpoints are an on-disk
+// contract, so EVERY truncation prefix and EVERY single-byte flip of a
+// valid blob — v1 (no optimizer-state section) and v2 (dense and sparse
+// train states included) — must come back as kInvalidArgument: never OK,
+// never a crash, never a silent misparse.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "io/model_serializer.h"
+#include "util/rng.h"
+
+namespace least {
+namespace {
+
+ModelArtifact BaseArtifact() {
+  Rng rng(41);
+  ModelArtifact artifact;
+  artifact.name = "fuzz-target";
+  artifact.algorithm = Algorithm::kLeastDense;
+  artifact.options.seed = 0xFEEDu;
+  artifact.weights = DenseMatrix::RandomUniform(4, 4, -1.0, 1.0, rng);
+  artifact.raw_weights = DenseMatrix::RandomUniform(4, 4, -1.0, 1.0, rng);
+  artifact.constraint_value = 1.5e-7;
+  artifact.outer_iterations = 4;
+  return artifact;
+}
+
+std::shared_ptr<TrainState> MakeTrainState(bool sparse) {
+  Rng rng(43);
+  auto state = std::make_shared<TrainState>();
+  state->sparse = sparse;
+  if (sparse) {
+    state->sparse_w = CsrMatrix::FromTriplets(
+        4, 4, {{0, 1, 0.5}, {1, 2, -0.25}, {3, 0, 0.0}});
+    state->adam_m.assign(3, 0.125);
+    state->adam_v.assign(3, 0.5);
+  } else {
+    state->dense_w = DenseMatrix::RandomUniform(4, 4, -1.0, 1.0, rng);
+    state->adam_m.assign(16, -0.5);
+    state->adam_v.assign(16, 0.75);
+  }
+  state->adam_t = 17;
+  state->rho = 100.0;
+  state->eta = 3.5;
+  state->outer = 3;
+  state->inner_steps = 10;
+  state->total_inner = 55;
+  state->trace.push_back({1, 0.5, 2.0, 1.0, -1.0, 9});
+  state->trace.push_back({2, 1.0, 0.5, 0.8, -1.0, 7});
+  state->rng_state = Rng(7).SaveState();
+  return state;
+}
+
+// Every fuzzed mutation must yield kInvalidArgument — the whole point of
+// the magic/version/checksum/bounds-check layering.
+void ExpectRejected(std::string_view blob, const std::string& what) {
+  Result<ModelArtifact> r = DeserializeModel(blob);
+  ASSERT_FALSE(r.ok()) << what;
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << what;
+}
+
+void FuzzBlob(const std::string& blob, const std::string& label) {
+  ASSERT_TRUE(DeserializeModel(blob).ok()) << label << ": seed blob invalid";
+  // Every truncation prefix.
+  for (size_t cut = 0; cut < blob.size(); ++cut) {
+    ExpectRejected(blob.substr(0, cut),
+                   label + ": truncated to " + std::to_string(cut));
+  }
+  // Every single-byte flip, under two patterns: 0xFF (all bits) and 0x01
+  // (a minimal flip, e.g. version 2 -> 3).
+  for (const unsigned char pattern : {0xFFu, 0x01u}) {
+    std::string mutated = blob;
+    for (size_t pos = 0; pos < blob.size(); ++pos) {
+      mutated[pos] = static_cast<char>(mutated[pos] ^ pattern);
+      ExpectRejected(mutated, label + ": flipped byte " +
+                                  std::to_string(pos) + " with pattern " +
+                                  std::to_string(pattern));
+      mutated[pos] = blob[pos];  // restore for the next position
+    }
+  }
+}
+
+TEST(ModelSerializerFuzz, V1DenseBlobSurvivesFuzzing) {
+  FuzzBlob(SerializeModelForVersion(BaseArtifact(), 1), "v1-dense");
+}
+
+TEST(ModelSerializerFuzz, V2BlobWithoutStateSurvivesFuzzing) {
+  FuzzBlob(SerializeModel(BaseArtifact()), "v2-no-state");
+}
+
+TEST(ModelSerializerFuzz, V2DenseTrainStateBlobSurvivesFuzzing) {
+  ModelArtifact artifact = BaseArtifact();
+  artifact.train_state = MakeTrainState(/*sparse=*/false);
+  FuzzBlob(SerializeModel(artifact), "v2-dense-state");
+}
+
+TEST(ModelSerializerFuzz, V2SparseTrainStateBlobSurvivesFuzzing) {
+  ModelArtifact artifact = BaseArtifact();
+  artifact.name = "fuzz-sparse";
+  artifact.algorithm = Algorithm::kLeastSparse;
+  artifact.sparse = true;
+  artifact.sparse_weights =
+      CsrMatrix::FromTriplets(4, 4, {{0, 2, 1.0}, {2, 3, -1.0}});
+  artifact.sparse_raw_weights = CsrMatrix::FromTriplets(4, 4, {{1, 1, 0.5}});
+  artifact.weights = DenseMatrix();
+  artifact.raw_weights = DenseMatrix();
+  artifact.train_state = MakeTrainState(/*sparse=*/true);
+  FuzzBlob(SerializeModel(artifact), "v2-sparse-state");
+}
+
+TEST(ModelSerializerFuzz, TrainStateRoundTripsExactly) {
+  ModelArtifact artifact = BaseArtifact();
+  artifact.train_state = MakeTrainState(/*sparse=*/false);
+  Result<ModelArtifact> restored = DeserializeModel(SerializeModel(artifact));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const TrainState& a = *artifact.train_state;
+  const TrainState& b = *restored.value().train_state;
+  EXPECT_EQ(a.sparse, b.sparse);
+  EXPECT_EQ(a.dense_w.data().size(), b.dense_w.data().size());
+  EXPECT_EQ(std::vector<double>(a.dense_w.data().begin(),
+                                a.dense_w.data().end()),
+            std::vector<double>(b.dense_w.data().begin(),
+                                b.dense_w.data().end()));
+  EXPECT_EQ(a.adam_m, b.adam_m);
+  EXPECT_EQ(a.adam_v, b.adam_v);
+  EXPECT_EQ(a.adam_t, b.adam_t);
+  EXPECT_EQ(a.rho, b.rho);
+  EXPECT_EQ(a.eta, b.eta);
+  EXPECT_EQ(a.prev_round_constraint, b.prev_round_constraint);  // +inf
+  EXPECT_EQ(a.outer, b.outer);
+  EXPECT_EQ(a.inner_steps, b.inner_steps);
+  EXPECT_EQ(a.total_inner, b.total_inner);
+  EXPECT_EQ(a.trace.size(), b.trace.size());
+  EXPECT_EQ(a.rng_state, b.rng_state);
+}
+
+TEST(ModelSerializerFuzz, V1BlobFromOldWriterStillLoads) {
+  // Byte-level guard for backward compatibility: this is the exact layout
+  // the version-1 writer produced before the optimizer-state section
+  // existed (header with version 1, body ending at the weight payloads).
+  const ModelArtifact artifact = BaseArtifact();
+  const std::string v1 = SerializeModelForVersion(artifact, 1);
+  uint32_t version = 0;
+  std::memcpy(&version, v1.data() + 4, sizeof version);
+  EXPECT_EQ(version, 1u);
+  Result<ModelArtifact> loaded = DeserializeModel(v1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().name, artifact.name);
+  EXPECT_EQ(loaded.value().train_state, nullptr);
+  // And a v2 re-serialization of the loaded artifact is readable again.
+  EXPECT_TRUE(DeserializeModel(SerializeModel(loaded.value())).ok());
+}
+
+TEST(ModelSerializerFuzz, RejectsFutureVersion3Loudly) {
+  std::string blob = SerializeModel(BaseArtifact());
+  const uint32_t v3 = 3;
+  std::memcpy(blob.data() + 4, &v3, sizeof v3);
+  Result<ModelArtifact> r = DeserializeModel(blob);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace least
