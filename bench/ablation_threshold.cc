@@ -75,7 +75,7 @@ int Run() {
     opt.max_inner_iterations = 150;
     opt.seed = 31;
     LeastSparseLearner learner(opt);
-    DenseDataSource src(&sparse_inst.x);
+    OwningDenseDataSource src(sparse_inst.x);
 
     // Count how many true edges the random ζ pattern could even contain:
     // rerun the same pattern construction statistically via the learner's

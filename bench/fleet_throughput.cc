@@ -10,18 +10,27 @@
 /// determinism contract), so the speedup column measures pure scheduling
 /// gain, not numerical drift.
 ///
+/// A second section measures the disk-backed data plane: the same queue as
+/// CSV jobs loaded lazily through a `DatasetCache` at several byte budgets,
+/// against the all-in-RAM baseline — throughput cost of cache churn, hit
+/// rates, evictions, and the bit-identical-results guarantee. A machine-
+/// readable snapshot of both sections lands in `BENCH_fleet.json`.
+///
 /// Sizes follow the standard harness envs:
 ///   LEAST_BENCH_SCALE=<double>  fraction of the default 400-job queue
 ///   LEAST_FLEET_MAX_THREADS     cap on the largest pool (default: hardware)
 
 #include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "data/gene_network.h"
 #include "runtime/fleet_scheduler.h"
+#include "util/csv.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -69,8 +78,7 @@ int main() {
     least::LearnJob job;
     job.name = "gene-" + std::to_string(j);
     job.algorithm = least::Algorithm::kLeastDense;
-    job.data =
-        std::make_shared<const least::DenseMatrix>(std::move(instance.x));
+    job.data = least::MakeDenseSource(std::move(instance.x), job.name);
     job.options.max_outer_iterations = 12;
     job.options.max_inner_iterations = 80;
     job.options.tolerance = 1e-6;
@@ -114,6 +122,126 @@ int main() {
     std::printf("note: only 1 hardware thread available; rerun on a "
                 "multi-core host (or set LEAST_FLEET_MAX_THREADS) to see "
                 "scheduling speedup.\n");
+  }
+
+  // ---- Disk-backed data plane: CSV jobs through the DatasetCache. ----
+  const int disk_threads = std::min(max_threads, 2);
+  namespace fs = std::filesystem;
+  const std::string csv_dir =
+      (fs::temp_directory_path() / "least_bench_fleet_csv").string();
+  fs::remove_all(csv_dir);
+  fs::create_directories(csv_dir);
+  size_t dataset_bytes = 0;
+  std::vector<std::string> csv_paths;
+  for (int j = 0; j < num_jobs; ++j) {
+    auto dense = jobs[j].data->Dense();
+    const least::DenseMatrix& x = *dense.value();
+    dataset_bytes = x.size() * sizeof(double);
+    std::vector<std::vector<double>> rows;
+    rows.reserve(x.rows());
+    for (int i = 0; i < x.rows(); ++i) {
+      rows.emplace_back(x.row(i), x.row(i) + x.cols());
+    }
+    const std::string path = csv_dir + "/ds-" + std::to_string(j) + ".csv";
+    (void)least::WriteCsv(path, {}, rows);
+    csv_paths.push_back(path);
+  }
+
+  struct DiskRun {
+    std::string label;
+    size_t budget_datasets = 0;  // 0 = all in RAM
+    least::FleetReport report;
+    least::DatasetCache::Stats cache;
+    bool deterministic = true;
+  };
+  std::vector<DiskRun> disk_runs;
+  // One baseline run serves as both the in-RAM table row and the
+  // determinism probe for every cache budget.
+  const RunResult ram_run = RunFleet(jobs, disk_threads);
+  const least::DenseMatrix& ram_probe = ram_run.probe_weights;
+  for (const size_t budget_datasets : {size_t{0}, size_t{64}, size_t{16},
+                                       size_t{4}}) {
+    DiskRun run;
+    run.budget_datasets = budget_datasets;
+    if (budget_datasets == 0) {
+      run.label = "in-RAM";
+      run.report = ram_run.report;
+      run.deterministic = true;
+      disk_runs.push_back(run);
+      continue;
+    }
+    run.label = std::to_string(budget_datasets) + "-dataset cache";
+    least::DatasetCache cache(budget_datasets * dataset_bytes);
+    least::ThreadPool pool(disk_threads);
+    least::FleetScheduler scheduler(&pool, {.seed = 7});
+    for (int j = 0; j < num_jobs; ++j) {
+      least::LearnJob job;
+      job.name = jobs[j].name;
+      job.algorithm = jobs[j].algorithm;
+      job.options = jobs[j].options;
+      least::CsvSourceOptions opt;
+      opt.has_header = false;
+      opt.cache = &cache;
+      job.data = least::MakeCsvSource(csv_paths[j], opt);
+      scheduler.Enqueue(std::move(job));
+    }
+    run.report = scheduler.Wait();
+    run.cache = cache.stats();
+    const least::DenseMatrix& probe = scheduler.record(0).outcome.weights;
+    run.deterministic = probe.SameShape(ram_probe) &&
+                        least::MaxAbsDiff(probe, ram_probe) == 0.0;
+    disk_runs.push_back(run);
+  }
+  fs::remove_all(csv_dir);
+
+  std::printf("disk-backed fleet (%d threads, %d CSV jobs of %zu bytes "
+              "each):\n",
+              disk_threads, num_jobs, dataset_bytes);
+  least::TablePrinter disk_table({"data plane", "wall s", "jobs/s", "hits",
+                                  "loads", "evicted", "peak KiB",
+                                  "deterministic"});
+  for (const DiskRun& run : disk_runs) {
+    disk_table.AddRow(
+        {run.label, least::TablePrinter::Fmt(run.report.wall_seconds, 2),
+         least::TablePrinter::Fmt(run.report.throughput_jobs_per_sec, 1),
+         least::TablePrinter::Fmt(static_cast<long long>(run.cache.hits)),
+         least::TablePrinter::Fmt(static_cast<long long>(run.cache.misses)),
+         least::TablePrinter::Fmt(
+             static_cast<long long>(run.cache.evictions)),
+         least::TablePrinter::Fmt(
+             static_cast<double>(run.cache.peak_resident_bytes) / 1024.0, 1),
+         run.deterministic ? "yes" : "NO"});
+  }
+  std::printf("%s\n", disk_table.ToString().c_str());
+
+  // ---- Machine-readable snapshot. ----
+  std::FILE* json = std::fopen("BENCH_fleet.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"jobs\": %d,\n  \"dataset_bytes\": %zu,\n"
+                 "  \"disk_backed\": [\n",
+                 num_jobs, dataset_bytes);
+    for (size_t i = 0; i < disk_runs.size(); ++i) {
+      const DiskRun& run = disk_runs[i];
+      std::fprintf(
+          json,
+          "    {\"mode\": \"%s\", \"budget_datasets\": %zu, "
+          "\"wall_seconds\": %.4f, \"jobs_per_sec\": %.2f, "
+          "\"cache_hits\": %lld, \"cache_loads\": %lld, "
+          "\"cache_evictions\": %lld, \"peak_resident_bytes\": %zu, "
+          "\"deterministic\": %s}%s\n",
+          run.label.c_str(), run.budget_datasets, run.report.wall_seconds,
+          run.report.throughput_jobs_per_sec,
+          static_cast<long long>(run.cache.hits),
+          static_cast<long long>(run.cache.misses),
+          static_cast<long long>(run.cache.evictions),
+          run.cache.peak_resident_bytes,
+          run.deterministic ? "true" : "false",
+          i + 1 < disk_runs.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("snapshot written to BENCH_fleet.json\n");
   }
   return 0;
 }

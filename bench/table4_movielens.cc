@@ -55,7 +55,7 @@ int Run() {
     }
   }
   learner.set_candidate_edges(std::move(pairs));
-  CsrDataSource src(&inst.ratings);
+  OwningCsrDataSource src(inst.ratings);
   SparseLearnResult r = learner.Fit(src);
   DenseMatrix learned = r.weights.ToDense();
 

@@ -1,7 +1,9 @@
-// CSV workflow: the "bring your own data" path. Reads an n x d sample
-// matrix from a CSV file (one column per variable, optional header), learns
-// a structure with LEAST, and writes the learned edge list back as CSV —
-// demonstrating the library's Status-based error handling along the way.
+// CSV workflow: the "bring your own data" path, on the fleet data plane.
+// The input CSV becomes a lazy `CsvDataSource` — nothing is read until the
+// learner's first touch, the payload lives in the fleet-wide `DatasetCache`
+// (byte-budgeted, LRU), and the source self-describes with a spec (shape +
+// content hash) that model checkpoints stamp for resume. The learned edge
+// list is written back as CSV.
 //
 // Usage:  ./build/examples/csv_workflow [input.csv [edges_out.csv]]
 // Without arguments a demo CSV is generated into the working directory.
@@ -51,35 +53,30 @@ int main(int argc, char** argv) {
     std::printf("wrote demo dataset to %s\n", input.c_str());
   }
 
-  // --- Read. Errors (missing file, ragged rows, non-numeric cells) come
-  // back as Status values, never exceptions.
-  least::Result<least::CsvTable> table = least::ReadCsv(input, true);
-  if (!table.ok()) {
-    std::fprintf(stderr, "read failed: %s\n",
-                 table.status().ToString().c_str());
+  // --- Attach lazily. Errors (missing file, ragged rows, non-numeric or
+  // non-finite cells) come back as Status values from Prepare — never
+  // exceptions, never a crash.
+  std::shared_ptr<least::DataSource> source = least::MakeCsvSource(input);
+  least::Status prepared = source->Prepare();
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "cannot use %s: %s\n", input.c_str(),
+                 prepared.ToString().c_str());
     return 1;
   }
-  const auto& rows = table.value().rows;
-  if (rows.empty()) {
-    std::fprintf(stderr, "no data rows in %s\n", input.c_str());
-    return 1;
-  }
-  const int n = static_cast<int>(rows.size());
-  const int d = static_cast<int>(rows[0].size());
-  least::DenseMatrix x(n, d);
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < d; ++j) x(i, j) = rows[i][j];
-  }
-  std::printf("loaded %d samples over %d variables from %s\n", n, d,
-              input.c_str());
+  const least::DatasetSpec spec = source->spec();
+  std::printf(
+      "attached %s: %d samples over %d variables (content hash %016llx)\n",
+      spec.path.c_str(), spec.rows, spec.cols,
+      static_cast<unsigned long long>(spec.content_hash));
 
-  // --- Learn.
+  // --- Learn straight from the source.
   least::LearnOptions options;
   options.lambda1 = 0.1;
   options.learning_rate = 0.02;
   options.max_outer_iterations = 25;
   options.max_inner_iterations = 200;
-  least::LearnResult result = least::FitLeastDense(x, options);
+  least::LearnResult result =
+      least::MakeLeastDenseLearner(options).Fit(*source);
   if (!result.status.ok()) {
     std::printf("note: %s (returning best W found)\n",
                 result.status.ToString().c_str());
@@ -97,8 +94,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "write failed: %s\n", written.ToString().c_str());
     return 1;
   }
+  const least::DatasetCache::Stats cache = least::GlobalDatasetCache().stats();
   std::printf("learned %zu edges -> %s (graph is %s)\n", edge_rows.size(),
               output.c_str(),
               least::IsDag(result.weights) ? "a DAG" : "NOT a DAG");
+  std::printf("dataset cache: %lld miss(es), %lld hit(s), %zu bytes resident\n",
+              static_cast<long long>(cache.misses),
+              static_cast<long long>(cache.hits), cache.resident_bytes);
   return 0;
 }

@@ -7,10 +7,12 @@
 //   2. enqueue one learning job per dataset on a FleetScheduler backed by a
 //      work-stealing thread pool (algorithm chosen by *name*, as a job
 //      queue fed from config/RPC would);
-//   3. wait for the fleet report: success counts, throughput, latency
-//      percentiles;
-//   4. checkpoint one learned model with the binary model serializer,
-//      reload it, and verify the weights round-tripped bit-identically.
+//   3. stream every settled model through a ResultSink — one checkpoint
+//      file per model plus an append-only index.tsv — the way a fleet that
+//      cannot hold all its models in RAM persists its output;
+//   4. wait for the fleet report (success counts, throughput, latency
+//      percentiles), then reload one streamed model and verify the weights
+//      round-tripped bit-identically.
 //
 // Build & run:  ./build/examples/fleet_learning
 //   env: LEAST_FLEET_JOBS (default 1000), LEAST_FLEET_THREADS (default
@@ -18,11 +20,12 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <thread>
 
 #include "data/gene_network.h"
-#include "io/model_serializer.h"
+#include "io/result_sink.h"
 #include "runtime/fleet_scheduler.h"
 #include "util/env.h"
 
@@ -34,8 +37,20 @@ int main() {
   std::printf("fleet: %d gene-network BN jobs on %d worker thread(s)\n",
               num_jobs, num_threads);
 
+  const std::string sink_dir = "fleet_models";
+  std::filesystem::remove_all(sink_dir);
+  std::filesystem::create_directories(sink_dir);
+  least::Result<std::unique_ptr<least::ResultSink>> sink =
+      least::ResultSink::Open(sink_dir);
+  if (!sink.ok()) {
+    std::fprintf(stderr, "cannot open result sink: %s\n",
+                 sink.status().ToString().c_str());
+    return 1;
+  }
+
   least::ThreadPool pool(num_threads);
   least::FleetScheduler scheduler(&pool, {.seed = 2024, .max_attempts = 2});
+  scheduler.set_result_sink(sink.value().get());
 
   std::atomic<int> done{0};
   scheduler.set_progress_callback([&](const least::JobRecord& record) {
@@ -59,8 +74,7 @@ int main() {
     least::LearnJob job;
     job.name = "gene-bn-" + std::to_string(j);
     job.algorithm = algorithm;
-    job.data =
-        std::make_shared<const least::DenseMatrix>(std::move(instance.x));
+    job.data = least::MakeDenseSource(std::move(instance.x), job.name);
     job.options.max_outer_iterations = 12;
     job.options.max_inner_iterations = 80;
     job.options.tolerance = 1e-6;
@@ -69,42 +83,36 @@ int main() {
 
   least::FleetReport report = scheduler.Wait();
   std::printf("\nfleet report: %s\n", report.ToString().c_str());
+  std::printf("result sink: %lld models streamed to %s/ (+ index.tsv)\n",
+              static_cast<long long>(sink.value()->written()),
+              sink_dir.c_str());
 
-  // --- Checkpoint one model and prove the round trip is bit-identical. ---
-  int64_t model_id = -1;
-  for (int64_t j = 0; j < scheduler.num_jobs(); ++j) {
-    if (scheduler.record(j).state == least::JobState::kSucceeded) {
-      model_id = j;
-      break;
-    }
-  }
-  if (model_id < 0) {
-    std::printf("no job succeeded; nothing to checkpoint\n");
+  // --- Every settled model was streamed as it landed; prove one round trip
+  // is bit-identical by comparing the streamed file against the in-memory
+  // record. (Fleets too large to keep records can set
+  // FleetOptions::keep_settled_outcomes = false instead.)
+  least::Result<std::vector<least::ResultIndexEntry>> index =
+      least::ReadResultIndex(sink_dir);
+  if (!index.ok() || index.value().empty()) {
+    std::printf("no streamed results to verify\n");
     return 1;
   }
-  const least::JobRecord& record = scheduler.record(model_id);
-  // record.options carries the exact options of the winning attempt
-  // (including the derived seed), so the checkpoint is reproducible.
-  least::ModelArtifact artifact = least::ModelArtifact::FromOutcome(
-      record.name, record.algorithm, record.options, record.outcome);
-
-  const std::string path = "/tmp/least_fleet_model.lbnm";
-  least::Status saved = least::SaveModel(path, artifact);
-  if (!saved.ok()) {
-    std::printf("checkpoint failed: %s\n", saved.ToString().c_str());
-    return 1;
-  }
-  least::Result<least::ModelArtifact> reloaded = least::LoadModel(path);
+  const least::ResultIndexEntry& entry = index.value().front();
+  least::Result<least::ModelArtifact> reloaded =
+      least::LoadModel(sink_dir + "/" + entry.file);
   if (!reloaded.ok()) {
     std::printf("reload failed: %s\n", reloaded.status().ToString().c_str());
     return 1;
   }
-  const least::DenseMatrix& before = artifact.weights;
+  const least::DenseMatrix& before =
+      scheduler.record(entry.job_id).outcome.weights;
   const least::DenseMatrix& after = reloaded.value().weights;
   const bool identical = before.SameShape(after) &&
                          least::MaxAbsDiff(before, after) == 0.0;
-  std::printf("checkpointed '%s' (%lld edges) -> %s -> reload: %s\n",
-              record.name.c_str(), record.outcome.EdgeCount(), path.c_str(),
-              identical ? "bit-identical" : "MISMATCH");
+  std::printf("streamed '%s' (%lld edges, dataset %s/%016llx) -> %s -> "
+              "reload: %s\n",
+              entry.name.c_str(), entry.edges, entry.dataset_kind.c_str(),
+              static_cast<unsigned long long>(entry.dataset_hash),
+              entry.file.c_str(), identical ? "bit-identical" : "MISMATCH");
   return identical ? 0 : 1;
 }

@@ -43,7 +43,7 @@ int main() {
     }
   }
   learner.set_candidate_edges(std::move(candidates));
-  least::CsrDataSource source(&data.ratings);
+  least::OwningCsrDataSource source(data.ratings, "movielens-ratings");
   least::SparseLearnResult result = learner.Fit(source);
   least::DenseMatrix learned = result.weights.ToDense();
   std::printf("learned item graph: %lld edges in %.1fs\n\n",

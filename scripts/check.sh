@@ -2,29 +2,58 @@
 # Tier-1 verification: configure, build (library carries -Wall -Wextra),
 # and run the full ctest suite. Run from anywhere; operates on the repo root.
 #
-#   scripts/check.sh            # incremental
-#   CLEAN=1 scripts/check.sh    # wipe build/ first
+#   scripts/check.sh                 # incremental
+#   CLEAN=1 scripts/check.sh         # wipe build/ first
 #   BUILD_DIR=out scripts/check.sh
+#   LEAST_SANITIZE=1 scripts/check.sh       # add the ASan+UBSan pass
+#   LEAST_SANITIZE_ONLY=1 scripts/check.sh  # just the sanitizer pass (CI)
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BUILD_DIR:-build}"
 
-cd "$repo_root"
-if [[ "${CLEAN:-0}" != "0" ]]; then
-  rm -rf "$build_dir"
+if [[ "${LEAST_SANITIZE_ONLY:-0}" != "0" ]]; then
+  LEAST_SANITIZE=1
 fi
 
-cmake -B "$build_dir" -S .
-cmake --build "$build_dir" -j
-cd "$build_dir"
-ctest --output-on-failure -j
+if [[ "${LEAST_SANITIZE_ONLY:-0}" == "0" ]]; then
+  cd "$repo_root"
+  if [[ "${CLEAN:-0}" != "0" ]]; then
+    rm -rf "$build_dir"
+  fi
 
-# The thread-pool and fleet-scheduler tests exercise real concurrency
-# (work stealing, cancellation races, shutdown); a scheduling-dependent bug
-# can pass a single run. Re-run them a few times and fail on any flake.
-ctest --output-on-failure -R '^(test_thread_pool|test_fleet_scheduler)$' \
-      --repeat until-fail:3 --no-tests=error
+  cmake -B "$build_dir" -S .
+  cmake --build "$build_dir" -j
+  cd "$build_dir"
+  ctest --output-on-failure -j
 
-echo "check.sh: all green"
+  # The thread-pool and fleet-scheduler tests exercise real concurrency
+  # (work stealing, cancellation races, shutdown); a scheduling-dependent
+  # bug can pass a single run. Re-run them a few times and fail on a flake.
+  ctest --output-on-failure -R '^(test_thread_pool|test_fleet_scheduler)$' \
+        --repeat until-fail:3 --no-tests=error
+
+  echo "check.sh: all green"
+fi
+
+# Optional sanitizer pass over the data-plane tests: LEAST_SANITIZE=1
+# configures a second build tree with ASan+UBSan and runs the tests that
+# exercise cache eviction lifetimes, CSV parsing, checkpoint parsing, and
+# scheduler concurrency. Kept separate from the main tree so incremental
+# builds stay fast.
+if [[ "${LEAST_SANITIZE:-0}" != "0" ]]; then
+  san_dir="${SANITIZE_BUILD_DIR:-build-sanitize}"
+  cd "$repo_root"
+  cmake -B "$san_dir" -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake --build "$san_dir" -j --target \
+        test_data_source test_csv test_fleet_data_plane \
+        test_fleet_scheduler test_model_serializer test_serializer_fuzz \
+        test_checkpoint_resume
+  cd "$san_dir"
+  ctest --output-on-failure --no-tests=error -R \
+        '^(test_data_source|test_csv|test_fleet_data_plane|test_fleet_scheduler|test_model_serializer|test_serializer_fuzz|test_checkpoint_resume)$'
+  echo "check.sh: sanitizer pass green"
+fi

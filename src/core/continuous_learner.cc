@@ -20,6 +20,42 @@ LearnResult ContinuousLearner::Fit(const DenseMatrix& x) const {
   return FitInternal(x, nullptr);
 }
 
+namespace {
+
+// Prepares a source and materializes its dense view; on failure fills
+// `result` with the error and returns null.
+std::shared_ptr<const DenseMatrix> MaterializeDense(const DataSource& data,
+                                                    LearnResult* result) {
+  const Status prepared = data.Prepare();
+  if (!prepared.ok()) {
+    result->status = prepared;
+    return nullptr;
+  }
+  Result<std::shared_ptr<const DenseMatrix>> dense = data.Dense();
+  if (!dense.ok()) {
+    result->status = dense.status();
+    return nullptr;
+  }
+  return std::move(dense).value();
+}
+
+}  // namespace
+
+LearnResult ContinuousLearner::Fit(const DataSource& data) const {
+  LearnResult result;
+  std::shared_ptr<const DenseMatrix> x = MaterializeDense(data, &result);
+  if (x == nullptr) return result;
+  return FitInternal(*x, nullptr);
+}
+
+LearnResult ContinuousLearner::ResumeFit(const TrainState& state,
+                                         const DataSource& data) const {
+  LearnResult result;
+  std::shared_ptr<const DenseMatrix> x = MaterializeDense(data, &result);
+  if (x == nullptr) return result;
+  return ResumeFit(state, *x);
+}
+
 LearnResult ContinuousLearner::ResumeFit(const TrainState& state,
                                          const DenseMatrix& x) const {
   LearnResult result;

@@ -22,6 +22,7 @@
 #include <memory>
 
 #include "constraint/acyclicity_constraint.h"
+#include "core/data_source.h"
 #include "core/learn_options.h"
 #include "core/least_squares_loss.h"
 #include "core/train_state.h"
@@ -85,6 +86,12 @@ class ContinuousLearner {
   /// `LearnResult::train_state`) when the stop predicate fires.
   LearnResult Fit(const DenseMatrix& x) const;
 
+  /// Learns from a `DataSource`: the source is `Prepare()`d and its dense
+  /// materialization fitted. Preparation/materialization failures (an
+  /// unreadable or malformed lazy dataset) surface as the result's status.
+  /// The dense handle is held for the duration of the fit.
+  LearnResult Fit(const DataSource& data) const;
+
   /// Continues an interrupted run from `state` (a `train_state` captured by
   /// a cancelled `Fit`, or a periodic checkpoint). Given the same options
   /// and the same `x` the original run saw, the continuation is
@@ -92,6 +99,9 @@ class ContinuousLearner {
   /// and status. A state of the wrong kind or shape fails with
   /// `kInvalidArgument`.
   LearnResult ResumeFit(const TrainState& state, const DenseMatrix& x) const;
+
+  /// `ResumeFit` over a `DataSource` (see the `Fit` overload above).
+  LearnResult ResumeFit(const TrainState& state, const DataSource& data) const;
 
   const AcyclicityConstraint& constraint() const { return *constraint_; }
   const LearnOptions& options() const { return options_; }

@@ -1,35 +1,474 @@
 #include "core/data_source.h"
 
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "linalg/parallel.h"
+#include "util/csv.h"
+#include "util/fnv.h"
+
 namespace least {
 
-void DenseDataSource::GatherTransposed(std::span<const int> rows,
-                                       DenseMatrix* out) const {
+namespace {
+
+void GatherFromDense(const DenseMatrix& x, std::span<const int> rows,
+                     DenseMatrix* out) {
   LEAST_CHECK(out != nullptr);
   const int batch = static_cast<int>(rows.size());
-  LEAST_CHECK(out->rows() == x_->cols() && out->cols() == batch);
-  for (int b = 0; b < batch; ++b) {
-    const int r = rows[b];
-    LEAST_DCHECK(r >= 0 && r < x_->rows());
-    const double* src = x_->row(r);
-    for (int v = 0; v < x_->cols(); ++v) {
-      (*out)(v, b) = src[v];
+  const int d = x.cols();
+  LEAST_CHECK(out->rows() == d && out->cols() == batch);
+  const int64_t flops = static_cast<int64_t>(batch) * d;
+  MaybeParallelForFlops(flops, 0, batch, /*grain=*/-1,
+                        [&](int64_t b_lo, int64_t b_hi) {
+    for (int64_t b = b_lo; b < b_hi; ++b) {
+      const int r = rows[static_cast<size_t>(b)];
+      LEAST_DCHECK(r >= 0 && r < x.rows());
+      const double* src = x.row(r);
+      for (int v = 0; v < d; ++v) {
+        (*out)(v, static_cast<int>(b)) = src[v];
+      }
     }
+  });
+}
+
+void GatherFromCsr(const CsrMatrix& x, std::span<const int> rows,
+                   DenseMatrix* out) {
+  LEAST_CHECK(out != nullptr);
+  const int batch = static_cast<int>(rows.size());
+  LEAST_CHECK(out->rows() == x.cols() && out->cols() == batch);
+  out->Fill(0.0);
+  const int64_t avg_row_nnz =
+      x.rows() > 0 ? std::max<int64_t>(1, x.nnz() / x.rows()) : 1;
+  const int64_t flops = static_cast<int64_t>(batch) * avg_row_nnz;
+  MaybeParallelForFlops(flops, 0, batch, /*grain=*/-1,
+                        [&](int64_t b_lo, int64_t b_hi) {
+    for (int64_t b = b_lo; b < b_hi; ++b) {
+      const int r = rows[static_cast<size_t>(b)];
+      LEAST_DCHECK(r >= 0 && r < x.rows());
+      for (int64_t e = x.row_ptr()[r]; e < x.row_ptr()[r + 1]; ++e) {
+        (*out)(x.col_idx()[e], static_cast<int>(b)) = x.values()[e];
+      }
+    }
+  });
+}
+
+}  // namespace
+
+std::string_view DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kDense:
+      return "dense";
+    case DatasetKind::kCsr:
+      return "csr";
+    case DatasetKind::kCsv:
+      return "csv";
+    case DatasetKind::kVirtual:
+      return "virtual";
+  }
+  return "unknown";
+}
+
+uint64_t HashDenseContent(const DenseMatrix& x) {
+  uint64_t hash = kFnv1aOffset;
+  hash = Fnv1aFold(hash, static_cast<uint64_t>(x.rows()));
+  hash = Fnv1aFold(hash, static_cast<uint64_t>(x.cols()));
+  return Fnv1aFold(hash, x.data().data(), x.size() * sizeof(double));
+}
+
+uint64_t HashCsrContent(const CsrMatrix& x) {
+  uint64_t hash = kFnv1aOffset;
+  hash = Fnv1aFold(hash, static_cast<uint64_t>(x.rows()));
+  hash = Fnv1aFold(hash, static_cast<uint64_t>(x.cols()));
+  hash = Fnv1aFold(hash, static_cast<uint64_t>(x.nnz()));
+  hash = Fnv1aFold(hash, x.row_ptr().data(),
+                   x.row_ptr().size() * sizeof(int64_t));
+  hash = Fnv1aFold(hash, x.col_idx().data(), x.col_idx().size() * sizeof(int));
+  return Fnv1aFold(hash, x.values().data(),
+                   x.values().size() * sizeof(double));
+}
+
+// ------------------------------------------------ OwningDenseDataSource ---
+
+OwningDenseDataSource::OwningDenseDataSource(DenseMatrix x, std::string name)
+    : OwningDenseDataSource(
+          std::make_shared<const DenseMatrix>(std::move(x)), std::move(name)) {}
+
+OwningDenseDataSource::OwningDenseDataSource(
+    std::shared_ptr<const DenseMatrix> x, std::string name)
+    : x_(std::move(x)) {
+  LEAST_CHECK(x_ != nullptr);
+  spec_.kind = DatasetKind::kDense;
+  spec_.name = name.empty() ? std::string(DatasetKindName(spec_.kind))
+                            : std::move(name);
+  spec_.rows = x_->rows();
+  spec_.cols = x_->cols();
+}
+
+DatasetSpec OwningDenseDataSource::spec() const {
+  std::call_once(hash_once_, [this]() { hash_ = HashDenseContent(*x_); });
+  DatasetSpec spec = spec_;
+  spec.content_hash = hash_;
+  return spec;
+}
+
+Result<std::shared_ptr<const CsrMatrix>> OwningDenseDataSource::Csr() const {
+  return std::make_shared<const CsrMatrix>(CsrMatrix::FromDense(*x_));
+}
+
+Status OwningDenseDataSource::GatherTransposed(std::span<const int> rows,
+                                               DenseMatrix* out) const {
+  GatherFromDense(*x_, rows, out);
+  return Status::Ok();
+}
+
+// -------------------------------------------------- OwningCsrDataSource ---
+
+OwningCsrDataSource::OwningCsrDataSource(CsrMatrix x, std::string name)
+    : OwningCsrDataSource(std::make_shared<const CsrMatrix>(std::move(x)),
+                          std::move(name)) {}
+
+OwningCsrDataSource::OwningCsrDataSource(std::shared_ptr<const CsrMatrix> x,
+                                         std::string name)
+    : x_(std::move(x)) {
+  LEAST_CHECK(x_ != nullptr);
+  spec_.kind = DatasetKind::kCsr;
+  spec_.name = name.empty() ? std::string(DatasetKindName(spec_.kind))
+                            : std::move(name);
+  spec_.rows = x_->rows();
+  spec_.cols = x_->cols();
+}
+
+DatasetSpec OwningCsrDataSource::spec() const {
+  std::call_once(hash_once_, [this]() { hash_ = HashCsrContent(*x_); });
+  DatasetSpec spec = spec_;
+  spec.content_hash = hash_;
+  return spec;
+}
+
+Result<std::shared_ptr<const DenseMatrix>> OwningCsrDataSource::Dense() const {
+  return std::make_shared<const DenseMatrix>(x_->ToDense());
+}
+
+Status OwningCsrDataSource::GatherTransposed(std::span<const int> rows,
+                                             DenseMatrix* out) const {
+  GatherFromCsr(*x_, rows, out);
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------ DatasetCache ---
+
+DatasetCache::DatasetCache(size_t byte_budget)
+    : accounting_(std::make_shared<Accounting>()), byte_budget_(byte_budget) {}
+
+DatasetCache::~DatasetCache() = default;
+
+std::shared_ptr<const DenseMatrix> DatasetCache::LookupLocked(
+    const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  if (it->second.cached != nullptr) {
+    it->second.last_used = ++tick_;
+    return it->second.cached;
+  }
+  // Evicted but possibly still pinned by a running job: re-promote (the
+  // bytes are already charged, so this never changes residency).
+  if (auto handle = it->second.alive.lock()) {
+    it->second.cached = handle;
+    it->second.last_used = ++tick_;
+    return handle;
+  }
+  entries_.erase(it);  // fully released since eviction
+  return nullptr;
+}
+
+void DatasetCache::EvictForLocked(size_t incoming) {
+  while (true) {
+    size_t resident = 0;
+    {
+      std::lock_guard<std::mutex> alock(accounting_->mu);
+      resident = accounting_->resident;
+    }
+    if (resident + incoming <= byte_budget_) return;
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.cached == nullptr) continue;
+      if (victim == entries_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // everything left is pinned
+    victim->second.cached.reset();  // may free inline when unpinned
+    ++evictions_;
+    if (victim->second.alive.expired()) entries_.erase(victim);
   }
 }
 
-void CsrDataSource::GatherTransposed(std::span<const int> rows,
-                                     DenseMatrix* out) const {
-  LEAST_CHECK(out != nullptr);
-  const int batch = static_cast<int>(rows.size());
-  LEAST_CHECK(out->rows() == x_->cols() && out->cols() == batch);
-  out->Fill(0.0);
-  for (int b = 0; b < batch; ++b) {
-    const int r = rows[b];
-    LEAST_DCHECK(r >= 0 && r < x_->rows());
-    for (int64_t e = x_->row_ptr()[r]; e < x_->row_ptr()[r + 1]; ++e) {
-      (*out)(x_->col_idx()[e], b) = x_->values()[e];
+Result<std::shared_ptr<const DenseMatrix>> DatasetCache::GetOrLoad(
+    const std::string& key, const Loader& loader) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto handle = LookupLocked(key)) {
+      ++hits_;
+      return handle;
     }
   }
+  // Single-flight: misses serialize so concurrent jobs never parse the same
+  // file twice nor overshoot the budget with duplicate payloads.
+  std::lock_guard<std::mutex> load_lock(load_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto handle = LookupLocked(key)) {
+      ++hits_;
+      return handle;
+    }
+  }
+  Result<DenseMatrix> loaded = loader();
+  if (!loaded.ok()) return loaded.status();
+  DenseMatrix matrix = std::move(loaded).value();
+  const size_t bytes = matrix.size() * sizeof(double);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  EvictForLocked(bytes);  // make room before charging the newcomer
+  std::shared_ptr<Accounting> acct = accounting_;
+  auto* raw = new DenseMatrix(std::move(matrix));
+  std::shared_ptr<const DenseMatrix> handle(
+      raw, [acct, bytes](const DenseMatrix* p) {
+        delete p;
+        std::lock_guard<std::mutex> alock(acct->mu);
+        acct->resident -= bytes;
+      });
+  {
+    std::lock_guard<std::mutex> alock(acct->mu);
+    acct->resident += bytes;
+    acct->peak = std::max(acct->peak, acct->resident);
+  }
+  Entry& entry = entries_[key];
+  entry.cached = handle;
+  entry.alive = handle;
+  entry.bytes = bytes;
+  entry.last_used = ++tick_;
+  ++misses_;
+  return handle;
+}
+
+void DatasetCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : entries_) {
+    if (entry.cached != nullptr) {
+      entry.cached.reset();
+      ++evictions_;
+    }
+  }
+  entries_.clear();
+}
+
+void DatasetCache::set_byte_budget(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  byte_budget_ = bytes;
+  EvictForLocked(0);
+}
+
+size_t DatasetCache::byte_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return byte_budget_;
+}
+
+DatasetCache::Stats DatasetCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.byte_budget = byte_budget_;
+  {
+    std::lock_guard<std::mutex> alock(accounting_->mu);
+    s.resident_bytes = accounting_->resident;
+    s.peak_resident_bytes = accounting_->peak;
+  }
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = static_cast<int64_t>(entries_.size());
+  return s;
+}
+
+size_t DatasetCache::resident_bytes() const {
+  std::lock_guard<std::mutex> alock(accounting_->mu);
+  return accounting_->resident;
+}
+
+DatasetCache& GlobalDatasetCache() {
+  static DatasetCache* cache = new DatasetCache();
+  return *cache;
+}
+
+// ----------------------------------------------------------- CsvDataSource ---
+
+CsvDataSource::CsvDataSource(std::string path, CsvSourceOptions options)
+    : cache_(options.cache != nullptr ? options.cache
+                                      : &GlobalDatasetCache()) {
+  LEAST_CHECK(!path.empty());
+  spec_.kind = DatasetKind::kCsv;
+  spec_.path = std::move(path);
+  spec_.name = options.name.empty() ? spec_.path : std::move(options.name);
+  spec_.csv_has_header = options.has_header;
+  spec_.rows = options.expected_rows;
+  spec_.cols = options.expected_cols;
+  spec_.content_hash = options.expected_hash;
+  // Parse options are part of the payload identity: two sources reading
+  // the same file with and without a header must not share cache entries.
+  cache_key_ = spec_.path + (options.has_header ? "#header" : "#noheader");
+}
+
+Result<DenseMatrix> CsvDataSource::Load() const {
+  bool has_header = false;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    has_header = spec_.csv_has_header;
+    path = spec_.path;
+  }
+  Result<CsvTable> table = ReadCsv(path, has_header);
+  if (!table.ok()) return table.status();
+  const auto& rows = table.value().rows;
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV dataset '" + path +
+                                   "' contains no data rows");
+  }
+  const int n = static_cast<int>(rows.size());
+  const int d = static_cast<int>(rows[0].size());
+  if (d == 0) {
+    return Status::InvalidArgument("CSV dataset '" + path +
+                                   "' has zero columns");
+  }
+  DenseMatrix x(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) x(i, j) = rows[i][j];
+  }
+  return x;
+}
+
+Result<std::shared_ptr<const DenseMatrix>> CsvDataSource::AcquireVerified()
+    const {
+  Result<std::shared_ptr<const DenseMatrix>> acquired =
+      cache_->GetOrLoad(cache_key_, [this]() { return Load(); });
+  if (!acquired.ok()) return acquired;
+  const std::shared_ptr<const DenseMatrix>& handle = acquired.value();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (handle == verified_.lock()) return acquired;  // same payload object
+  // The payload changed since we last checked — first touch, a reload
+  // after eviction, or another source repopulating the shared entry.
+  // Expectations (from a checkpointed spec) and the shape/hash recorded at
+  // first touch must match: a file mutated mid-run would silently corrupt
+  // a deterministic fleet, so refuse it instead. This runs on cache hits
+  // of unseen payload objects too, never on the per-batch fast path.
+  const int n = handle->rows();
+  const int d = handle->cols();
+  if ((spec_.rows != 0 && spec_.rows != n) ||
+      (spec_.cols != 0 && spec_.cols != d)) {
+    return Status::InvalidArgument(
+        "CSV dataset '" + spec_.path + "' is " + std::to_string(n) + "x" +
+        std::to_string(d) + " but " + std::to_string(spec_.rows) + "x" +
+        std::to_string(spec_.cols) + " was expected");
+  }
+  const uint64_t hash = HashDenseContent(*handle);
+  if (spec_.content_hash != 0 && spec_.content_hash != hash) {
+    return Status::InvalidArgument(
+        "CSV dataset '" + spec_.path +
+        "' content hash mismatch (file changed since it was recorded)");
+  }
+  spec_.rows = n;
+  spec_.cols = d;
+  spec_.content_hash = hash;
+  verified_ = handle;
+  return acquired;
+}
+
+Status CsvDataSource::Prepare() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (prepared_) return Status::Ok();
+  }
+  Result<std::shared_ptr<const DenseMatrix>> handle = AcquireVerified();
+  if (!handle.ok()) return handle.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  prepared_ = true;
+  return Status::Ok();
+}
+
+DatasetSpec CsvDataSource::spec() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spec_;
+}
+
+Result<std::shared_ptr<const DenseMatrix>> CsvDataSource::Dense() const {
+  return AcquireVerified();
+}
+
+Result<std::shared_ptr<const CsrMatrix>> CsvDataSource::Csr() const {
+  Result<std::shared_ptr<const DenseMatrix>> dense = AcquireVerified();
+  if (!dense.ok()) return dense.status();
+  return std::make_shared<const CsrMatrix>(CsrMatrix::FromDense(*dense.value()));
+}
+
+Status CsvDataSource::GatherTransposed(std::span<const int> rows,
+                                       DenseMatrix* out) const {
+  // Re-acquired per batch on purpose: holding the handle across the whole
+  // fit would pin the dataset and defeat the cache budget. Verification is
+  // pointer-identity-gated, so the steady-state cost is one cache lookup.
+  Result<std::shared_ptr<const DenseMatrix>> dense = AcquireVerified();
+  if (!dense.ok()) return dense.status();
+  GatherFromDense(*dense.value(), rows, out);
+  return Status::Ok();
+}
+
+// -------------------------------------------------------------- factories ---
+
+std::shared_ptr<DataSource> MakeDenseSource(DenseMatrix x, std::string name) {
+  return std::make_shared<OwningDenseDataSource>(std::move(x),
+                                                 std::move(name));
+}
+
+std::shared_ptr<DataSource> MakeDenseSource(
+    std::shared_ptr<const DenseMatrix> x, std::string name) {
+  return std::make_shared<OwningDenseDataSource>(std::move(x),
+                                                 std::move(name));
+}
+
+std::shared_ptr<DataSource> MakeCsrSource(CsrMatrix x, std::string name) {
+  return std::make_shared<OwningCsrDataSource>(std::move(x), std::move(name));
+}
+
+std::shared_ptr<DataSource> MakeCsrSource(std::shared_ptr<const CsrMatrix> x,
+                                          std::string name) {
+  return std::make_shared<OwningCsrDataSource>(std::move(x), std::move(name));
+}
+
+std::shared_ptr<DataSource> MakeCsvSource(std::string path,
+                                          CsvSourceOptions options) {
+  return std::make_shared<CsvDataSource>(std::move(path), std::move(options));
+}
+
+Result<std::shared_ptr<const DataSource>> AttachDataset(
+    const DatasetSpec& spec, DatasetCache* cache) {
+  if (spec.kind == DatasetKind::kCsv) {
+    if (spec.path.empty()) {
+      return Status::InvalidArgument(
+          "CSV dataset spec carries no path to re-attach from");
+    }
+    CsvSourceOptions options;
+    options.has_header = spec.csv_has_header;
+    options.name = spec.name;
+    options.cache = cache;
+    options.expected_rows = spec.rows;
+    options.expected_cols = spec.cols;
+    options.expected_hash = spec.content_hash;
+    return std::static_pointer_cast<const DataSource>(
+        MakeCsvSource(spec.path, std::move(options)));
+  }
+  return Status::InvalidArgument(
+      "in-memory dataset '" + spec.name + "' (kind " +
+      std::string(DatasetKindName(spec.kind)) +
+      ") cannot be re-attached from its spec; supply a data resolver");
 }
 
 }  // namespace least

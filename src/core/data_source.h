@@ -1,66 +1,345 @@
 /// \file data_source.h
-/// \brief Batch access to training data for the sparse learner.
+/// \brief Owning, self-describing dataset access for the fleet data plane.
 ///
-/// LEAST-SP only ever touches mini-batches of rows (paper Fig. 3, INNER
-/// line 5), so the full sample matrix never needs to exist densely. A
-/// `DataSource` serves transposed batches: `GatherTransposed` fills a
-/// (d x B) matrix whose row v holds variable v's values over the batch —
-/// the layout the pattern-restricted gradient kernel wants (contiguous
-/// per-variable vectors).
+/// A fleet job references a *dataset*, not a matrix. `DataSource` is the
+/// abstraction behind that: it owns (or knows how to load) its samples,
+/// describes itself with a `DatasetSpec` (kind + path/name + shape +
+/// content hash — what checkpoints stamp so an interrupted fleet can
+/// re-attach data on resume), and serves the three access shapes the
+/// learners use:
+///
+///  * `Dense()` — the full n x d matrix (dense learners);
+///  * `Csr()`   — sparse samples (e.g. mean-centered ratings);
+///  * `GatherTransposed()` — transposed mini-batches for LEAST-SP, which
+///    only ever touches B rows at a time (paper Fig. 3, INNER line 5): the
+///    output's row v holds variable v's values over the batch, the layout
+///    the pattern-restricted gradient kernel wants.
+///
+/// Ownership model: sources are shared (`std::shared_ptr<const DataSource>`)
+/// so asynchronous fleet jobs can never dangle — the borrowed-pointer
+/// adapters this file used to export are gone. In-memory sources
+/// (`OwningDenseDataSource`, `OwningCsrDataSource`) hold their payload;
+/// `CsvDataSource` is lazy: it loads from disk on first touch through a
+/// fleet-wide `DatasetCache` with a byte budget and LRU eviction, and an
+/// evicted dataset reloads bit-identically on the next touch, so a fleet of
+/// thousands of CSV jobs never materializes every dataset in RAM at once.
 
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
 
 #include "linalg/csr_matrix.h"
 #include "linalg/dense_matrix.h"
+#include "util/status.h"
 
 namespace least {
 
-/// \brief Abstract provider of transposed row batches.
+/// \brief What kind of storage backs a dataset (stable on-disk ids — these
+/// values are stamped into format-v3 model checkpoints).
+enum class DatasetKind : uint8_t {
+  kDense = 0,    ///< in-memory dense matrix
+  kCsr = 1,      ///< in-memory CSR samples
+  kCsv = 2,      ///< numeric CSV file on disk, loaded lazily
+  kVirtual = 3,  ///< synthesized on demand (e.g. `StreamingLsemSource`)
+};
+
+/// Canonical lowercase name ("dense", "csr", "csv", "virtual").
+std::string_view DatasetKindName(DatasetKind kind);
+
+/// \brief Self-description of a dataset: enough to re-attach (for on-disk
+/// kinds) or at least verify (shape + content hash) the data a checkpointed
+/// job was learning from.
+struct DatasetSpec {
+  DatasetKind kind = DatasetKind::kDense;
+  std::string name;  ///< free-form label (defaults to the kind / CSV path)
+  std::string path;  ///< on-disk path for `kCsv`; empty for in-memory kinds
+  int rows = 0;      ///< n (0 until a lazy source is prepared)
+  int cols = 0;      ///< d (0 until a lazy source is prepared)
+  /// FNV-1a content hash (see `HashDenseContent`/`HashCsrContent`); 0 means
+  /// "not computed yet" and disables verification on re-attach.
+  uint64_t content_hash = 0;
+  bool csv_has_header = false;  ///< only meaningful for `kCsv`
+};
+
+/// FNV-1a over shape + row-major values of a dense matrix.
+uint64_t HashDenseContent(const DenseMatrix& x);
+/// FNV-1a over shape + CSR arrays of a sparse matrix.
+uint64_t HashCsrContent(const CsrMatrix& x);
+
+/// \brief Abstract owning dataset.
+///
+/// Thread safety: all methods are const and safe to call concurrently.
+/// Lifecycle: call `Prepare()` (idempotent) and check its status before any
+/// other accessor — for lazy sources it performs the first disk load and
+/// fills the spec's shape and content hash; for in-memory sources it is a
+/// no-op. `num_rows`/`num_cols`/`GatherTransposed` are only meaningful
+/// after a successful `Prepare`.
 class DataSource {
  public:
   virtual ~DataSource() = default;
 
-  /// Number of samples n.
-  virtual int num_rows() const = 0;
-  /// Number of variables d.
-  virtual int num_cols() const = 0;
+  /// Validates the dataset and (for lazy sources) performs the first-touch
+  /// load, filling shape + content hash in `spec()`. Idempotent and cheap
+  /// after the first success. Errors: `kIoError` (unreadable file) or
+  /// `kInvalidArgument` (malformed/empty data) — never a crash.
+  virtual Status Prepare() const = 0;
+
+  /// Current self-description (copied; lazy sources complete it during
+  /// `Prepare`, in-memory sources compute the content hash lazily on the
+  /// first call). Always safe to call — before `Prepare` a lazy source
+  /// reports its path/name with zero shape and hash.
+  virtual DatasetSpec spec() const = 0;
+
+  /// Number of samples n. Requires a successful `Prepare`. (Virtual so
+  /// in-memory sources can answer without computing their content hash.)
+  virtual int num_rows() const { return spec().rows; }
+  /// Number of variables d. Requires a successful `Prepare`.
+  virtual int num_cols() const { return spec().cols; }
+
+  /// Full dense materialization, shared and immutable. Lazy sources route
+  /// through their `DatasetCache`: hold the handle only as long as needed —
+  /// a held handle keeps the bytes resident regardless of cache eviction.
+  virtual Result<std::shared_ptr<const DenseMatrix>> Dense() const = 0;
+
+  /// Sparse (CSR) materialization. Dense-backed sources convert on demand
+  /// (O(n·d)); CSR-backed sources return their payload.
+  virtual Result<std::shared_ptr<const CsrMatrix>> Csr() const = 0;
 
   /// Fills `out` (must be d x rows.size()) with out(v, b) = X(rows[b], v).
-  virtual void GatherTransposed(std::span<const int> rows,
-                                DenseMatrix* out) const = 0;
+  /// Splits the batch across the optional global `ParallelExecutor` with
+  /// bitwise-identical results (pure output-column partition). For lazy
+  /// sources this re-acquires the dataset from the cache per call, so an
+  /// eviction between batches is transparent (the reload is bit-identical);
+  /// a failed reload surfaces here as a non-OK status.
+  virtual Status GatherTransposed(std::span<const int> rows,
+                                  DenseMatrix* out) const = 0;
 };
 
-/// \brief Adapter over an in-memory dense matrix (borrowed, not owned).
-class DenseDataSource final : public DataSource {
+/// \brief In-memory dense dataset, owning (or sharing) its matrix.
+class OwningDenseDataSource final : public DataSource {
  public:
-  explicit DenseDataSource(const DenseMatrix* x) : x_(x) {
-    LEAST_CHECK(x != nullptr);
-  }
+  /// Takes ownership of `x` by value.
+  explicit OwningDenseDataSource(DenseMatrix x, std::string name = {});
+  /// Shares an existing immutable matrix (must be non-null).
+  explicit OwningDenseDataSource(std::shared_ptr<const DenseMatrix> x,
+                                 std::string name = {});
+
+  Status Prepare() const override { return Status::Ok(); }
+  /// Computes the content hash on first call (synchronous uses of an
+  /// in-memory source never pay the O(n·d) hash unless a spec is wanted).
+  DatasetSpec spec() const override;
   int num_rows() const override { return x_->rows(); }
   int num_cols() const override { return x_->cols(); }
-  void GatherTransposed(std::span<const int> rows,
-                        DenseMatrix* out) const override;
+  Result<std::shared_ptr<const DenseMatrix>> Dense() const override {
+    return x_;
+  }
+  Result<std::shared_ptr<const CsrMatrix>> Csr() const override;
+  Status GatherTransposed(std::span<const int> rows,
+                          DenseMatrix* out) const override;
 
  private:
-  const DenseMatrix* x_;
+  std::shared_ptr<const DenseMatrix> x_;
+  DatasetSpec spec_;  ///< content_hash filled lazily under hash_once_
+  mutable std::once_flag hash_once_;
+  mutable uint64_t hash_ = 0;
 };
 
-/// \brief Adapter over sparse samples (e.g. mean-centered ratings where
-/// unrated items are zero). Borrowed, not owned.
-class CsrDataSource final : public DataSource {
+/// \brief In-memory sparse dataset (e.g. mean-centered ratings where
+/// unrated items are zero), owning (or sharing) its CSR matrix.
+class OwningCsrDataSource final : public DataSource {
  public:
-  explicit CsrDataSource(const CsrMatrix* x) : x_(x) {
-    LEAST_CHECK(x != nullptr);
-  }
+  explicit OwningCsrDataSource(CsrMatrix x, std::string name = {});
+  explicit OwningCsrDataSource(std::shared_ptr<const CsrMatrix> x,
+                               std::string name = {});
+
+  Status Prepare() const override { return Status::Ok(); }
+  /// Content hash computed on first call (see `OwningDenseDataSource`).
+  DatasetSpec spec() const override;
   int num_rows() const override { return x_->rows(); }
   int num_cols() const override { return x_->cols(); }
-  void GatherTransposed(std::span<const int> rows,
-                        DenseMatrix* out) const override;
+  Result<std::shared_ptr<const DenseMatrix>> Dense() const override;
+  Result<std::shared_ptr<const CsrMatrix>> Csr() const override { return x_; }
+  Status GatherTransposed(std::span<const int> rows,
+                          DenseMatrix* out) const override;
 
  private:
-  const CsrMatrix* x_;
+  std::shared_ptr<const CsrMatrix> x_;
+  DatasetSpec spec_;  ///< content_hash filled lazily under hash_once_
+  mutable std::once_flag hash_once_;
+  mutable uint64_t hash_ = 0;
 };
+
+/// \brief Fleet-wide LRU cache of loaded datasets with a byte budget.
+///
+/// Lazy sources (`CsvDataSource`) load through a cache so a fleet of
+/// thousands of disk-backed jobs keeps only its working set in RAM. The
+/// cache hands out `shared_ptr` handles whose bytes stay *charged* against
+/// the resident counter until the last handle dies — eviction drops the
+/// cache's own reference (an unpinned dataset frees immediately; a dataset
+/// pinned by a running job frees when that job releases it), so
+/// `resident_bytes` is an honest account of dataset RAM, not just of what
+/// the map holds. Admission evicts least-recently-used entries first until
+/// `resident + incoming <= budget`; when everything else is pinned the new
+/// dataset is still admitted (jobs must run), so the budget binds whenever
+/// it exceeds the concurrently-pinned working set.
+///
+/// Thread safety: all methods are safe to call concurrently. Loads are
+/// single-flight: concurrent misses serialize, so one file is never parsed
+/// twice in parallel and the budget is never overshot by duplicate loads.
+class DatasetCache {
+ public:
+  /// Default budget used by `GlobalDatasetCache` (256 MiB).
+  static constexpr size_t kDefaultByteBudget = size_t{256} << 20;
+
+  explicit DatasetCache(size_t byte_budget = kDefaultByteBudget);
+  ~DatasetCache();
+
+  DatasetCache(const DatasetCache&) = delete;
+  DatasetCache& operator=(const DatasetCache&) = delete;
+
+  /// Produces a dense matrix on a cache miss. May fail (IO, parse errors);
+  /// failures are returned to the caller and nothing is cached.
+  using Loader = std::function<Result<DenseMatrix>()>;
+
+  /// Returns the cached dataset for `key`, invoking `loader` on a miss.
+  /// The charged size of an entry is its payload bytes
+  /// (`matrix.size() * sizeof(double)`).
+  Result<std::shared_ptr<const DenseMatrix>> GetOrLoad(const std::string& key,
+                                                       const Loader& loader);
+
+  /// Drops every cached reference (pinned handles stay alive until their
+  /// holders release them).
+  void Clear();
+
+  /// Adjusts the budget and evicts down to it.
+  void set_byte_budget(size_t bytes);
+  size_t byte_budget() const;
+
+  struct Stats {
+    size_t byte_budget = 0;
+    size_t resident_bytes = 0;       ///< bytes alive via cache-issued handles
+    size_t peak_resident_bytes = 0;  ///< high-water mark of the above
+    int64_t hits = 0;
+    int64_t misses = 0;    ///< loads performed (first touches + reloads)
+    int64_t evictions = 0; ///< cache references dropped to make room
+    int64_t entries = 0;   ///< keys currently tracked
+  };
+  Stats stats() const;
+  size_t resident_bytes() const;
+
+ private:
+  // Shared with handle deleters so accounting survives cache destruction.
+  struct Accounting {
+    std::mutex mu;
+    size_t resident = 0;
+    size_t peak = 0;
+  };
+  struct Entry {
+    std::shared_ptr<const DenseMatrix> cached;  ///< null once evicted
+    std::weak_ptr<const DenseMatrix> alive;     ///< observes pinned handles
+    size_t bytes = 0;
+    uint64_t last_used = 0;
+  };
+
+  std::shared_ptr<const DenseMatrix> LookupLocked(const std::string& key);
+  /// Drops LRU cache references until `resident + incoming <= budget` or
+  /// nothing evictable remains. Requires `mu_`.
+  void EvictForLocked(size_t incoming);
+
+  mutable std::mutex mu_;   ///< guards entries_ and counters
+  std::mutex load_mu_;      ///< single-flight for misses
+  std::shared_ptr<Accounting> accounting_;
+  std::unordered_map<std::string, Entry> entries_;
+  size_t byte_budget_;
+  uint64_t tick_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+/// The process-wide cache lazy sources use by default.
+DatasetCache& GlobalDatasetCache();
+
+/// \brief Options for `CsvDataSource` / `MakeCsvSource`.
+struct CsvSourceOptions {
+  bool has_header = true;
+  std::string name;             ///< label; defaults to the path
+  DatasetCache* cache = nullptr;  ///< defaults to `GlobalDatasetCache()`
+  /// Expected shape/hash from a checkpointed `DatasetSpec`: when non-zero,
+  /// `Prepare` fails with `kInvalidArgument` if the file on disk does not
+  /// match (the file changed since the checkpoint was written).
+  int expected_rows = 0;
+  int expected_cols = 0;
+  uint64_t expected_hash = 0;
+};
+
+/// \brief Lazy numeric-CSV dataset: nothing is read until first touch, and
+/// the payload lives in a `DatasetCache` (evictions reload bit-identically).
+///
+/// Robustness contract: malformed input — ragged rows, non-numeric or
+/// non-finite cells, header/shape mismatches, empty files — surfaces as
+/// `kInvalidArgument` from `Prepare` (or from a mid-run reload), never as a
+/// crash. A reload whose content differs from the first load (file mutated
+/// mid-run) is also refused.
+class CsvDataSource final : public DataSource {
+ public:
+  explicit CsvDataSource(std::string path, CsvSourceOptions options = {});
+
+  Status Prepare() const override;
+  DatasetSpec spec() const override;
+  Result<std::shared_ptr<const DenseMatrix>> Dense() const override;
+  Result<std::shared_ptr<const CsrMatrix>> Csr() const override;
+  Status GatherTransposed(std::span<const int> rows,
+                          DenseMatrix* out) const override;
+
+ private:
+  /// Parses + structurally validates the file (the cache loader).
+  Result<DenseMatrix> Load() const;
+  /// Acquires the payload from the cache and verifies it against the
+  /// expected/recorded shape + content hash. Verification runs whenever the
+  /// underlying payload object changed since the last check (first touch,
+  /// reload after eviction, or a different source repopulating the shared
+  /// cache entry), so a cache *hit* on mutated content is refused too.
+  Result<std::shared_ptr<const DenseMatrix>> AcquireVerified() const;
+
+  DatasetCache* cache_;
+  std::string cache_key_;  ///< path + parse options (header flag)
+  mutable std::mutex mu_;  // guards spec_ shape/hash, prepared_, verified_
+  mutable DatasetSpec spec_;
+  mutable bool prepared_ = false;
+  mutable std::weak_ptr<const DenseMatrix> verified_;
+};
+
+// ------------------------------------------------------------- factories ---
+
+/// Wraps an in-memory dense matrix into a shareable source.
+std::shared_ptr<DataSource> MakeDenseSource(DenseMatrix x,
+                                            std::string name = {});
+std::shared_ptr<DataSource> MakeDenseSource(
+    std::shared_ptr<const DenseMatrix> x, std::string name = {});
+
+/// Wraps in-memory CSR samples into a shareable source.
+std::shared_ptr<DataSource> MakeCsrSource(CsrMatrix x, std::string name = {});
+std::shared_ptr<DataSource> MakeCsrSource(std::shared_ptr<const CsrMatrix> x,
+                                          std::string name = {});
+
+/// Lazy CSV-backed source (see `CsvDataSource`).
+std::shared_ptr<DataSource> MakeCsvSource(std::string path,
+                                          CsvSourceOptions options = {});
+
+/// Re-attaches the dataset described by a checkpointed spec. Today only
+/// `kCsv` specs are re-attachable from the spec alone (shape and hash are
+/// verified on load when recorded); in-memory kinds fail with
+/// `kInvalidArgument` — supply them through a resolver (see
+/// `FleetScheduler::ScanAndResume`).
+Result<std::shared_ptr<const DataSource>> AttachDataset(
+    const DatasetSpec& spec, DatasetCache* cache = nullptr);
 
 }  // namespace least

@@ -7,6 +7,7 @@
 
 #include "constraint/spectral_bound.h"
 #include "linalg/hutchinson.h"
+#include "linalg/parallel.h"
 #include "opt/adam.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -86,6 +87,11 @@ SparseLearnResult LeastSparseLearner::ResumeFit(const TrainState& state,
 SparseLearnResult LeastSparseLearner::FitInternal(
     const DataSource& data, const TrainState* resume) const {
   SparseLearnResult result;
+  const Status prepared = data.Prepare();
+  if (!prepared.ok()) {
+    result.status = prepared;
+    return result;
+  }
   const int d = data.num_cols();
   const int n = data.num_rows();
   if (d == 0 || n == 0) {
@@ -204,43 +210,71 @@ SparseLearnResult LeastSparseLearner::FitInternal(
 
       // --- Mini-batch residual Rt = (X_B W − X_B)ᵀ, kept transposed. ---
       for (int b = 0; b < batch; ++b) batch_rows[b] = rng.UniformInt(n);
-      data.GatherTransposed(batch_rows, &xt);
+      const Status gathered = data.GatherTransposed(batch_rows, &xt);
+      if (!gathered.ok()) {
+        // A lazy source lost its backing mid-run (file deleted/mutated):
+        // fail the run cleanly with the best weights so far, never crash.
+        result.status = gathered;
+        result.raw_weights = w;
+        w.ThresholdValues(opt.prune_threshold);
+        w.Compact(nullptr);
+        result.weights = std::move(w);
+        result.constraint_value = constraint_value;
+        result.seconds = time_offset + watch.Seconds();
+        return result;
+      }
       rt = xt;
       rt.Scale(-1.0);
       const auto& row_ptr = w.row_ptr();
       const auto& col = w.col_idx();
       const auto& values = w.values();
-      for (int i = 0; i < d; ++i) {
-        const double* x_row = xt.row(i);
-        for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
-          const double wv = values[e];
-          if (wv == 0.0) continue;
-          double* r_row = rt.row(col[e]);
-          for (int b = 0; b < batch; ++b) r_row[b] += wv * x_row[b];
+      const int64_t batch_flops = nnz * batch;
+      // O(B·nnz) accumulation, split over batch columns: each output column
+      // rt(:, b) is written by exactly one chunk, in the same (i, e) order
+      // as the serial loop, so results are bitwise identical with and
+      // without an installed executor.
+      MaybeParallelForFlops(batch_flops, 0, batch, /*grain=*/-1,
+                            [&](int64_t b_lo, int64_t b_hi) {
+        for (int i = 0; i < d; ++i) {
+          const double* x_row = xt.row(i);
+          for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+            const double wv = values[e];
+            if (wv == 0.0) continue;
+            double* r_row = rt.row(col[e]);
+            for (int64_t b = b_lo; b < b_hi; ++b) r_row[b] += wv * x_row[b];
+          }
         }
-      }
+      });
       const double inv_b = 1.0 / batch;
       double smooth = 0.0;
       for (double v : rt.data()) smooth += v * v;
       smooth *= inv_b;
-      double l1 = 0.0;
 
-      // --- Pattern-restricted gradient. ---
+      // --- Pattern-restricted gradient, split over pattern rows (each
+      // total_grad[e] belongs to exactly one row i; per-edge dots reduce
+      // serially within their chunk, so the partition is pure).
       total_grad.resize(nnz);
       const double lagrange = rho * constraint_value + eta;
-      for (int i = 0; i < d; ++i) {
-        const double* x_row = xt.row(i);
-        for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
-          const double* r_row = rt.row(col[e]);
-          double dot = 0.0;
-          for (int b = 0; b < batch; ++b) dot += x_row[b] * r_row[b];
-          const double wv = values[e];
-          l1 += std::fabs(wv);
-          double g = 2.0 * inv_b * dot + lagrange * constraint_grad[e];
-          if (wv != 0.0) g += wv > 0.0 ? opt.lambda1 : -opt.lambda1;
-          total_grad[e] = g;
+      MaybeParallelForFlops(batch_flops, 0, d, /*grain=*/-1,
+                            [&](int64_t i_lo, int64_t i_hi) {
+        for (int64_t i = i_lo; i < i_hi; ++i) {
+          const double* x_row = xt.row(static_cast<int>(i));
+          for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+            const double* r_row = rt.row(col[e]);
+            double dot = 0.0;
+            for (int b = 0; b < batch; ++b) dot += x_row[b] * r_row[b];
+            const double wv = values[e];
+            double g = 2.0 * inv_b * dot + lagrange * constraint_grad[e];
+            if (wv != 0.0) g += wv > 0.0 ? opt.lambda1 : -opt.lambda1;
+            total_grad[e] = g;
+          }
         }
-      }
+      });
+      // L1 term, hoisted out of the parallel loop: a serial pass in storage
+      // order — the exact order the fused serial loop used — keeps the sum
+      // bit-identical across thread counts.
+      double l1 = 0.0;
+      for (const double v : values) l1 += std::fabs(v);
       const double loss_value = smooth + opt.lambda1 * l1;
       const double objective =
           loss_value + 0.5 * rho * constraint_value * constraint_value +
@@ -335,7 +369,11 @@ SparseLearnResult LeastSparseLearner::FitInternal(
 
 SparseLearnResult FitLeastSparse(const DenseMatrix& x,
                                  const LearnOptions& options) {
-  DenseDataSource source(&x);
+  // Strictly synchronous call, so a non-owning alias of `x` is safe here —
+  // the source never outlives this frame.
+  OwningDenseDataSource source(
+      std::shared_ptr<const DenseMatrix>(std::shared_ptr<const DenseMatrix>(),
+                                         &x));
   return LeastSparseLearner(options).Fit(source);
 }
 

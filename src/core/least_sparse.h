@@ -9,6 +9,10 @@
 ///   O(k·nnz)            spectral-bound value + gradient,
 ///   O(B·nnz + B·d)      mini-batch loss value + pattern gradient,
 /// and memory never exceeds O(k·nnz + B·d): no d x d object is ever formed.
+/// The O(B·nnz) batch loops (residual accumulation, pattern gradient) split
+/// across the optional global `ParallelExecutor` (see `linalg/parallel.h`)
+/// as pure output partitions, so results are bitwise identical with and
+/// without an installed executor.
 /// Thresholded entries are physically removed (pattern compaction) at outer
 /// round boundaries, which keeps later rounds proportionally cheaper — the
 /// "W remains sparse throughout the optimization" property of Section IV.
@@ -80,7 +84,9 @@ class LeastSparseLearner {
     checkpoint_every_ = every_n_outer;
   }
 
-  /// Learns a sparse weighted DAG from the data source.
+  /// Learns a sparse weighted DAG from the data source. The source is
+  /// `Prepare()`d first; preparation failures (unreadable/malformed lazy
+  /// datasets) surface as the result's status.
   SparseLearnResult Fit(const DataSource& data) const;
 
   /// Continues an interrupted run from `state`. Given the same options,

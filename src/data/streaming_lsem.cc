@@ -1,6 +1,8 @@
 #include "data/streaming_lsem.h"
 
 #include "graph/dag.h"
+#include "linalg/parallel.h"
+#include "util/fnv.h"
 
 namespace least {
 
@@ -46,43 +48,84 @@ StreamingLsemSource::StreamingLsemSource(const CsrMatrix& w_true,
       parents_flat_[cursor[child]++] = {i, w_true.values()[e]};
     }
   }
+
+  spec_.kind = DatasetKind::kVirtual;
+  spec_.name = "streaming-lsem(d=" + std::to_string(dim_) +
+               ",seed=" + std::to_string(base_seed_) + ")";
+  spec_.rows = num_rows_;
+  spec_.cols = dim_;
+  // Identity of a virtual dataset = its full set of generation parameters
+  // (family AND scale/centering: same seed with different noise magnitudes
+  // is different data).
+  uint64_t hash = kFnv1aOffset;
+  hash = Fnv1aFold(hash, base_seed_);
+  hash = Fnv1aFold(hash, static_cast<uint64_t>(dim_));
+  hash = Fnv1aFold(hash, static_cast<uint64_t>(num_rows_));
+  hash = Fnv1aFold(hash, static_cast<uint64_t>(options_.noise));
+  hash = Fnv1aFold(hash, &options_.noise_scale, sizeof options_.noise_scale);
+  hash = Fnv1aFold(hash, &options_.center_noise,
+                   sizeof options_.center_noise);
+  spec_.content_hash = hash;
 }
 
-void StreamingLsemSource::GatherTransposed(std::span<const int> rows,
-                                           DenseMatrix* out) const {
+Result<std::shared_ptr<const DenseMatrix>> StreamingLsemSource::Dense() const {
+  return Status::InvalidArgument(
+      "streaming LSEM source is virtual and never densely materialized; "
+      "use GatherTransposed (sparse learner) instead");
+}
+
+Result<std::shared_ptr<const CsrMatrix>> StreamingLsemSource::Csr() const {
+  return Status::InvalidArgument(
+      "streaming LSEM source is virtual and never materialized as CSR; "
+      "use GatherTransposed (sparse learner) instead");
+}
+
+Status StreamingLsemSource::GatherTransposed(std::span<const int> rows,
+                                             DenseMatrix* out) const {
   LEAST_CHECK(out != nullptr);
   const int d = dim_;
   const int batch = static_cast<int>(rows.size());
   LEAST_CHECK(out->rows() == d && out->cols() == batch);
 
-  std::vector<double> sample(d);
-  for (int b = 0; b < batch; ++b) {
-    const int r = rows[b];
-    LEAST_DCHECK(r >= 0 && r < num_rows_);
-    Rng rng(MixSeed(base_seed_ ^ static_cast<uint64_t>(r)));
-    for (int node : topo_order_) {
-      double v;
-      switch (options_.noise) {
-        case NoiseType::kGaussian:
-          v = rng.Gaussian(0.0, options_.noise_scale);
-          break;
-        case NoiseType::kExponential:
-          v = options_.noise_scale *
-              rng.Exponential(1.0, options_.center_noise);
-          break;
-        case NoiseType::kGumbel:
-          v = rng.Gumbel(options_.noise_scale, options_.center_noise);
-          break;
-        default:
-          v = 0.0;
+  // Row generation cost ~ d + parents; rows are independent and each chunk
+  // owns a disjoint set of output columns, so the split is a pure output
+  // partition (per-chunk scratch, per-row seeding) — bitwise identical at
+  // any thread count.
+  const int64_t flops =
+      static_cast<int64_t>(batch) *
+      (d + static_cast<int64_t>(parents_flat_.size()));
+  MaybeParallelForFlops(flops, 0, batch, /*grain=*/-1,
+                        [&](int64_t b_lo, int64_t b_hi) {
+    std::vector<double> sample(d);
+    for (int64_t b = b_lo; b < b_hi; ++b) {
+      const int r = rows[static_cast<size_t>(b)];
+      LEAST_DCHECK(r >= 0 && r < num_rows_);
+      Rng rng(MixSeed(base_seed_ ^ static_cast<uint64_t>(r)));
+      for (int node : topo_order_) {
+        double v;
+        switch (options_.noise) {
+          case NoiseType::kGaussian:
+            v = rng.Gaussian(0.0, options_.noise_scale);
+            break;
+          case NoiseType::kExponential:
+            v = options_.noise_scale *
+                rng.Exponential(1.0, options_.center_noise);
+            break;
+          case NoiseType::kGumbel:
+            v = rng.Gumbel(options_.noise_scale, options_.center_noise);
+            break;
+          default:
+            v = 0.0;
+        }
+        for (int64_t e = parent_ptr_[node]; e < parent_ptr_[node + 1]; ++e) {
+          v += parents_flat_[e].second * sample[parents_flat_[e].first];
+        }
+        sample[node] = v;
       }
-      for (int64_t e = parent_ptr_[node]; e < parent_ptr_[node + 1]; ++e) {
-        v += parents_flat_[e].second * sample[parents_flat_[e].first];
-      }
-      sample[node] = v;
+      for (int i = 0; i < d; ++i) (*out)(i, static_cast<int>(b)) = sample[i];
     }
-    for (int i = 0; i < d; ++i) (*out)(i, b) = sample[i];
-  }
+  });
+  return Status::Ok();
 }
 
 }  // namespace least

@@ -28,12 +28,25 @@ class StreamingLsemSource final : public DataSource {
   StreamingLsemSource(const CsrMatrix& w_true, int num_rows,
                       const LsemOptions& options, uint64_t base_seed);
 
-  int num_rows() const override { return num_rows_; }
-  int num_cols() const override { return dim_; }
-  void GatherTransposed(std::span<const int> rows,
-                        DenseMatrix* out) const override;
+  Status Prepare() const override { return Status::Ok(); }
+  /// `kVirtual` spec: identified by its generation parameters (the content
+  /// hash folds base seed, shape, and noise family), not by bytes on disk —
+  /// re-attachment after a restart needs a resolver that rebuilds the
+  /// source from the same ground truth.
+  DatasetSpec spec() const override { return spec_; }
+  /// Virtual datasets are deliberately never materialized (the Fig. 5
+  /// workloads would need hundreds of gigabytes): dense learners fail with
+  /// `kInvalidArgument`; use the sparse learner's batched access instead.
+  Result<std::shared_ptr<const DenseMatrix>> Dense() const override;
+  Result<std::shared_ptr<const CsrMatrix>> Csr() const override;
+  /// Synthesizes the requested rows; splits the batch across the optional
+  /// global `ParallelExecutor` (per-row generation is independent and
+  /// seeded per row, so results are bitwise identical at any thread count).
+  Status GatherTransposed(std::span<const int> rows,
+                          DenseMatrix* out) const override;
 
  private:
+  DatasetSpec spec_;
   int dim_;
   int num_rows_;
   LsemOptions options_;

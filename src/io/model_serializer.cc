@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "util/fnv.h"
+
 namespace least {
 
 namespace {
@@ -11,21 +13,14 @@ namespace {
 constexpr char kMagic[4] = {'L', 'B', 'N', 'M'};
 constexpr size_t kHeaderBytes = 16;  // magic + version + checksum
 
-uint64_t Fnv1a(std::string_view bytes) {
-  uint64_t hash = 0xCBF29CE484222325ull;
-  for (const char c : bytes) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 0x100000001B3ull;
-  }
-  return hash;
-}
-
 // ---------------------------------------------------------------- writing ---
 
 class Writer {
  public:
   void Raw(const void* p, size_t n) {
-    out_.append(static_cast<const char*>(p), n);
+    // Empty payloads (0x0 matrices, empty moment arrays) come with a null
+    // data pointer; appending nothing must not touch it (UB otherwise).
+    if (n > 0) out_.append(static_cast<const char*>(p), n);
   }
   template <typename T>
   void Pod(T v) {
@@ -56,7 +51,9 @@ class Reader {
       Fail("truncated model blob");
       return;
     }
-    std::memcpy(p, data_.data() + pos_, n);
+    // p may be null for empty payloads; memcpy requires non-null even for
+    // n == 0.
+    if (n > 0) std::memcpy(p, data_.data() + pos_, n);
     pos_ += n;
   }
   template <typename T>
@@ -343,6 +340,86 @@ std::shared_ptr<const TrainState> ReadTrainState(Reader& r) {
   return s;
 }
 
+// ------------------------------------------------------------ dataset spec ---
+
+void WriteDatasetSpec(Writer& w, const DatasetSpec& spec) {
+  w.Pod<uint8_t>(static_cast<uint8_t>(spec.kind));
+  w.Str(spec.name);
+  w.Str(spec.path);
+  w.Pod<int32_t>(spec.rows);
+  w.Pod<int32_t>(spec.cols);
+  w.Pod<uint64_t>(spec.content_hash);
+  w.Pod<uint8_t>(spec.csv_has_header ? 1 : 0);
+}
+
+std::optional<DatasetSpec> ReadDatasetSpec(Reader& r) {
+  DatasetSpec spec;
+  uint8_t kind = 0;
+  r.Pod(&kind);
+  if (!r.status().ok()) return std::nullopt;
+  if (kind > static_cast<uint8_t>(DatasetKind::kVirtual)) {
+    r.Fail("unknown dataset kind id " + std::to_string(kind));
+    return std::nullopt;
+  }
+  spec.kind = static_cast<DatasetKind>(kind);
+  r.Str(&spec.name);
+  r.Str(&spec.path);
+  int32_t rows = 0, cols = 0;
+  r.Pod(&rows);
+  r.Pod(&cols);
+  if (!r.status().ok()) return std::nullopt;
+  if (rows < 0 || cols < 0) {
+    r.Fail("negative dataset dimension");
+    return std::nullopt;
+  }
+  spec.rows = rows;
+  spec.cols = cols;
+  r.Pod(&spec.content_hash);
+  uint8_t has_header = 0;
+  r.Pod(&has_header);
+  if (!r.status().ok()) return std::nullopt;
+  if (has_header > 1) {
+    r.Fail("dataset header marker is neither 0 nor 1");
+    return std::nullopt;
+  }
+  spec.csv_has_header = has_header != 0;
+  return spec;
+}
+
+void WriteCandidateEdges(Writer& w,
+                         const std::vector<std::pair<int, int>>& edges) {
+  w.Pod<uint64_t>(edges.size());
+  for (const auto& [from, to] : edges) {
+    w.Pod<int32_t>(from);
+    w.Pod<int32_t>(to);
+  }
+}
+
+bool ReadCandidateEdges(Reader& r, std::vector<std::pair<int, int>>* out) {
+  uint64_t count = 0;
+  r.Pod(&count);
+  if (!r.status().ok()) return false;
+  constexpr size_t kEdgeBytes = 2 * sizeof(int32_t);
+  if (count > r.remaining() / kEdgeBytes) {
+    r.Fail("candidate edge list exceeds blob size");
+    return false;
+  }
+  out->clear();
+  out->reserve(static_cast<size_t>(count));
+  for (uint64_t e = 0; e < count; ++e) {
+    int32_t from = 0, to = 0;
+    r.Pod(&from);
+    r.Pod(&to);
+    if (!r.status().ok()) return false;
+    if (from < 0 || to < 0) {
+      r.Fail("negative candidate edge endpoint");
+      return false;
+    }
+    out->push_back({from, to});
+  }
+  return true;
+}
+
 }  // namespace
 
 ModelArtifact ModelArtifact::FromOutcome(std::string name,
@@ -378,6 +455,8 @@ std::string SerializeModelForVersion(const ModelArtifact& artifact,
   LEAST_CHECK(version >= kMinModelFormatVersion &&
               version <= kModelFormatVersion);
   LEAST_CHECK(version >= 2 || artifact.train_state == nullptr);
+  LEAST_CHECK(version >= 3 || (!artifact.dataset.has_value() &&
+                               artifact.candidate_edges.empty()));
   Writer body;
   body.Pod<uint8_t>(static_cast<uint8_t>(artifact.algorithm));
   body.Pod<uint8_t>(artifact.sparse ? 1 : 0);
@@ -400,6 +479,13 @@ std::string SerializeModelForVersion(const ModelArtifact& artifact,
     if (artifact.train_state != nullptr) {
       WriteTrainState(body, *artifact.train_state);
     }
+  }
+  if (version >= 3) {
+    body.Pod<uint8_t>(artifact.dataset.has_value() ? 1 : 0);
+    if (artifact.dataset.has_value()) {
+      WriteDatasetSpec(body, *artifact.dataset);
+    }
+    WriteCandidateEdges(body, artifact.candidate_edges);
   }
   const std::string payload = std::move(body).Finish();
 
@@ -470,6 +556,19 @@ Result<ModelArtifact> DeserializeModel(std::string_view bytes) {
     }
     if (r.status().ok() && has_state == 1) {
       artifact.train_state = ReadTrainState(r);
+    }
+  }
+  if (version >= 3) {
+    uint8_t has_dataset = 0;
+    r.Pod(&has_dataset);
+    if (r.status().ok() && has_dataset > 1) {
+      r.Fail("dataset marker is neither 0 nor 1");
+    }
+    if (r.status().ok() && has_dataset == 1) {
+      artifact.dataset = ReadDatasetSpec(r);
+    }
+    if (r.status().ok()) {
+      ReadCandidateEdges(r, &artifact.candidate_edges);
     }
   }
   if (!r.status().ok()) return r.status();

@@ -6,7 +6,7 @@
 /// (weights — dense or CSR — plus the `LearnOptions` that produced them and
 /// run metadata) to a checkpoint blob or file and back, bit-identically.
 ///
-/// Format ("LBNM", version 2), all integers/doubles in native byte order:
+/// Format ("LBNM", version 3), all integers/doubles in native byte order:
 ///
 ///   [0..4)   magic "LBNM"
 ///   [4..8)   u32 format version
@@ -14,7 +14,7 @@
 ///   [16.. )  body: algorithm, weights kind, name, LearnOptions (every
 ///            field, declaration order), run metadata, weight payloads
 ///            (final + raw; dense = row-major f64, sparse = entry triplets)
-///   v2 only, appended after the weight payloads:
+///   v2+, appended after the weight payloads:
 ///            u8 has_train_state; when 1, a `TrainState` section —
 ///            u8 sparse kind, working W (dense payload or sparse triplets),
 ///            Adam moments (u64 count + f64 m[] + f64 v[] + i64 t),
@@ -23,11 +23,19 @@
 ///            f64 constraint_value, i64 total_inner), the trace
 ///            (u64 count + per-point fields), f64 elapsed seconds, and the
 ///            length-prefixed textual RNG state.
+///   v3 only, appended after the optimizer-state section:
+///            u8 has_dataset; when 1, a `DatasetSpec` section — u8 kind,
+///            length-prefixed name and path, i32 rows, i32 cols, u64
+///            content hash, u8 csv_has_header — the dataset the job was
+///            learning from, so a resumed fleet can re-attach (and verify)
+///            its data; then u64 candidate-edge count + (i32 from, i32 to)
+///            pairs, the sparse learner's injected pattern.
 ///
-/// Version policy: the writer emits version 2 by default (version 1 on
-/// request, for states-free artifacts). Readers accept versions 1 and 2 —
-/// a v1 blob simply has no optimizer-state section — and reject anything
-/// newer loudly instead of misparsing.
+/// Version policy: the writer emits version 3 by default (versions 1 and 2
+/// on request via `SerializeModelForVersion`, for artifacts without the
+/// newer sections). Readers accept versions 1 through 3 — a v1 blob simply
+/// has no optimizer-state section, a v2 blob no dataset section — and
+/// reject anything newer loudly instead of misparsing.
 ///
 /// Error contract: any structural problem — wrong magic, short buffer,
 /// truncated body, trailing bytes, checksum mismatch, or an unsupported
@@ -39,9 +47,13 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
+#include "core/data_source.h"
 #include "core/learn_options.h"
 #include "core/train_state.h"
 #include "linalg/csr_matrix.h"
@@ -53,8 +65,9 @@ namespace least {
 /// Current writer version. Readers accept `kMinModelFormatVersion` through
 /// this version; older readers seeing a newer file fail loudly instead of
 /// misparsing.
-inline constexpr uint32_t kModelFormatVersion = 2;
-/// Oldest version readers still accept (v1: no optimizer-state section).
+inline constexpr uint32_t kModelFormatVersion = 3;
+/// Oldest version readers still accept (v1: no optimizer-state section;
+/// v2: no dataset-spec / candidate-edge section).
 inline constexpr uint32_t kMinModelFormatVersion = 1;
 
 /// \brief A learned model plus everything needed to reproduce or resume it.
@@ -76,6 +89,15 @@ struct ModelArtifact {
   /// v1 blobs; set when checkpointing a cancelled or in-flight job so the
   /// loaded artifact can `ResumeFit` bit-identically.
   std::shared_ptr<const TrainState> train_state;
+  /// The dataset the model was learned from (v3 section): kind +
+  /// path/name + shape + content hash. Absent for v1/v2 blobs; when
+  /// present, `FleetScheduler::ScanAndResume` uses it to re-attach (and
+  /// verify) the data of an unfinished job.
+  std::optional<DatasetSpec> dataset;
+  /// The sparse learner's injected candidate pattern (v3 section; empty
+  /// for dense algorithms and older blobs). Required for a faithful
+  /// fresh restart of a sparse job.
+  std::vector<std::pair<int, int>> candidate_edges;
 
   /// Builds an artifact from a fleet/factory outcome (weights are copied so
   /// the outcome remains usable; the train state, if any, is shared).
@@ -90,7 +112,8 @@ std::string SerializeModel(const ModelArtifact& artifact);
 /// Serializes targeting an explicit format version in
 /// [`kMinModelFormatVersion`, `kModelFormatVersion`] — the back-compat seam
 /// that keeps old readers loadable and lets tests cover every on-disk
-/// layout. Version 1 cannot carry a train state (checked).
+/// layout. Version 1 cannot carry a train state, and versions below 3
+/// cannot carry a dataset spec or candidate edges (checked).
 std::string SerializeModelForVersion(const ModelArtifact& artifact,
                                      uint32_t version);
 

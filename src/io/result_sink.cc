@@ -1,0 +1,153 @@
+#include "io/result_sink.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace least {
+
+namespace {
+
+constexpr char kIndexHeader[] =
+    "job_id\tname\talgorithm\tstate\tstatus\tattempts\tseed\tedges\tfile\t"
+    "dataset_kind\tdataset_ref\tdataset_hash\n";
+
+// Index cells are tab-separated: free-form labels must not smuggle
+// separators or line breaks into the table.
+std::string Sanitize(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+// Counts existing data rows so model numbering continues across scheduler
+// generations (the index is append-only).
+int64_t CountDataLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  int64_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++lines;
+  }
+  return lines > 0 ? lines - 1 : 0;  // minus the header line
+}
+
+}  // namespace
+
+ResultSink::ResultSink(std::string dir, std::FILE* index, int64_t next_seq)
+    : dir_(std::move(dir)), index_(index), next_seq_(next_seq) {}
+
+Result<std::unique_ptr<ResultSink>> ResultSink::Open(const std::string& dir) {
+  const std::string index_path = IndexPath(dir);
+  const int64_t existing = CountDataLines(index_path);
+  std::FILE* index = std::fopen(index_path.c_str(), "ab");
+  if (index == nullptr) {
+    return Status::IoError("cannot open '" + index_path + "' for appending");
+  }
+  if (existing == 0 && std::ftell(index) == 0) {
+    std::fputs(kIndexHeader, index);
+    std::fflush(index);
+  }
+  return std::unique_ptr<ResultSink>(
+      new ResultSink(dir, index, existing));
+}
+
+ResultSink::~ResultSink() {
+  if (index_ != nullptr) std::fclose(index_);
+}
+
+Status ResultSink::Write(const ResultRow& row, const ModelArtifact& artifact) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string file = "model-" + std::to_string(next_seq_) + ".lbnm";
+  LEAST_RETURN_IF_ERROR(SaveModel(dir_ + "/" + file, artifact));
+
+  long long edges = 0;
+  if (artifact.sparse) {
+    edges = artifact.sparse_weights.CountNonZeros();
+  } else {
+    edges = artifact.weights.CountNonZeros();
+  }
+  std::string dataset_kind = "-";
+  std::string dataset_ref = "-";
+  uint64_t dataset_hash = 0;
+  if (artifact.dataset.has_value()) {
+    dataset_kind = std::string(DatasetKindName(artifact.dataset->kind));
+    dataset_ref = artifact.dataset->path.empty() ? artifact.dataset->name
+                                                 : artifact.dataset->path;
+    dataset_hash = artifact.dataset->content_hash;
+  }
+  const int printed = std::fprintf(
+      index_, "%lld\t%s\t%s\t%s\t%s\t%d\t%" PRIu64 "\t%lld\t%s\t%s\t%s\t%016" PRIx64 "\n",
+      static_cast<long long>(row.job_id), Sanitize(artifact.name).c_str(),
+      std::string(AlgorithmName(artifact.algorithm)).c_str(),
+      Sanitize(row.state).c_str(),
+      std::string(StatusCodeToString(row.status)).c_str(), row.attempts,
+      row.seed, edges, file.c_str(), dataset_kind.c_str(),
+      Sanitize(dataset_ref).c_str(), dataset_hash);
+  if (printed < 0 || std::fflush(index_) != 0) {
+    return Status::IoError("append to '" + IndexPath(dir_) + "' failed");
+  }
+  ++next_seq_;
+  ++written_;
+  return Status::Ok();
+}
+
+int64_t ResultSink::written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return written_;
+}
+
+Result<std::vector<ResultIndexEntry>> ReadResultIndex(const std::string& dir) {
+  const std::string path = ResultSink::IndexPath(dir);
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::vector<ResultIndexEntry> entries;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line_no == 1) continue;  // header
+    std::vector<std::string> cells;
+    std::istringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, '\t')) cells.push_back(cell);
+    if (cells.size() != 12) {
+      return Status::InvalidArgument("malformed index row at line " +
+                                     std::to_string(line_no) + " in '" +
+                                     path + "'");
+    }
+    ResultIndexEntry e;
+    errno = 0;
+    char* end = nullptr;
+    e.job_id = std::strtoll(cells[0].c_str(), &end, 10);
+    if (end == cells[0].c_str() || errno == ERANGE) {
+      return Status::InvalidArgument("bad job id at line " +
+                                     std::to_string(line_no) + " in '" +
+                                     path + "'");
+    }
+    e.name = cells[1];
+    e.algorithm = cells[2];
+    e.state = cells[3];
+    e.status = cells[4];
+    e.attempts = std::atoi(cells[5].c_str());
+    e.seed = std::strtoull(cells[6].c_str(), nullptr, 10);
+    e.edges = std::strtoll(cells[7].c_str(), nullptr, 10);
+    e.file = cells[8];
+    e.dataset_kind = cells[9];
+    e.dataset_ref = cells[10];
+    e.dataset_hash = std::strtoull(cells[11].c_str(), nullptr, 16);
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace least

@@ -1,0 +1,99 @@
+/// \file result_sink.h
+/// \brief Streaming persistence for settled fleet jobs.
+///
+/// A fleet learning tens of thousands of BNs cannot keep every learned
+/// model in RAM until `Wait()` returns. A `ResultSink` streams each settled
+/// job's final model to a directory as it lands — one `model-<seq>.lbnm`
+/// checkpoint per job plus one row in an append-only `index.tsv` — so the
+/// scheduler can release the in-memory weights immediately
+/// (`FleetOptions::keep_settled_outcomes = false`) and downstream tooling
+/// can enumerate a fleet's output without loading any model.
+///
+/// `index.tsv` columns (tab-separated, one header line):
+///   job_id  name  algorithm  state  status  attempts  seed  edges  file
+///   dataset_kind  dataset_ref  dataset_hash
+/// The file is append-only across scheduler generations: resuming a killed
+/// fleet into the same directory appends its settled jobs after the rows
+/// the previous run left behind.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/model_serializer.h"
+
+namespace least {
+
+/// \brief Summary of one settled job, written as an index row alongside its
+/// model file (mirrors the scheduler's `JobRecord` without depending on it).
+struct ResultRow {
+  int64_t job_id = -1;
+  std::string state;  ///< "succeeded" / "failed"
+  StatusCode status = StatusCode::kOk;
+  int attempts = 0;
+  uint64_t seed = 0;
+};
+
+/// \brief One parsed `index.tsv` row.
+struct ResultIndexEntry {
+  int64_t job_id = -1;
+  std::string name;
+  std::string algorithm;
+  std::string state;
+  std::string status;
+  int attempts = 0;
+  uint64_t seed = 0;
+  long long edges = 0;
+  std::string file;  ///< model file name, relative to the sink directory
+  std::string dataset_kind;
+  std::string dataset_ref;  ///< dataset path (on-disk kinds) or name
+  uint64_t dataset_hash = 0;
+};
+
+/// \brief Appends settled models + index rows to a directory. Thread-safe:
+/// fleet worker threads write concurrently through one sink.
+class ResultSink {
+ public:
+  /// Opens (creating if absent) `<dir>/index.tsv` in append mode. The
+  /// directory must exist. Model file numbering continues after any rows a
+  /// previous generation already wrote.
+  static Result<std::unique_ptr<ResultSink>> Open(const std::string& dir);
+
+  ~ResultSink();
+
+  ResultSink(const ResultSink&) = delete;
+  ResultSink& operator=(const ResultSink&) = delete;
+
+  /// Writes the artifact to the next `model-<seq>.lbnm` and appends (and
+  /// flushes) its index row. The artifact's name/algorithm/dataset fields
+  /// fill the non-summary columns.
+  Status Write(const ResultRow& row, const ModelArtifact& artifact);
+
+  const std::string& dir() const { return dir_; }
+  static std::string IndexPath(const std::string& dir) {
+    return dir + "/index.tsv";
+  }
+
+  /// Models written through this sink instance.
+  int64_t written() const;
+
+ private:
+  ResultSink(std::string dir, std::FILE* index, int64_t next_seq);
+
+  std::string dir_;
+  std::FILE* index_ = nullptr;
+  mutable std::mutex mu_;
+  int64_t next_seq_ = 0;
+  int64_t written_ = 0;
+};
+
+/// Parses `<dir>/index.tsv`. Missing file → `kIoError`; malformed rows →
+/// `kInvalidArgument`.
+Result<std::vector<ResultIndexEntry>> ReadResultIndex(const std::string& dir);
+
+}  // namespace least

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 
 #include "core/train_state.h"
 #include "io/model_serializer.h"
+#include "io/result_sink.h"
 
 namespace least {
 
@@ -107,6 +110,11 @@ int64_t FleetScheduler::Enqueue(LearnJob job) {
       first_enqueue_ = slot->enqueue_time;
     }
   }
+  // The stub lands before the job can run: the directory then always holds
+  // a restartable artifact for every live job, even one that never starts.
+  if (!options_.checkpoint_dir.empty()) {
+    WriteEnqueueStub(*slot);
+  }
   if (!pool_->Schedule([this, slot]() { RunJob(slot); })) {
     // Pool already shut down: settle the job here so Wait() terminates.
     {
@@ -161,6 +169,8 @@ void FleetScheduler::WriteCheckpoint(const JobSlot& slot,
   artifact.options = options;
   artifact.sparse = state.sparse;
   artifact.train_state = std::make_shared<TrainState>(state);
+  artifact.dataset = slot.job.data->spec();
+  artifact.candidate_edges = slot.job.candidate_edges;
   const std::string path =
       CheckpointPath(options_.checkpoint_dir, slot.record.job_id);
   const Status status = SaveModel(path, artifact);
@@ -168,6 +178,74 @@ void FleetScheduler::WriteCheckpoint(const JobSlot& slot,
     std::fprintf(stderr, "[fleet] checkpoint write failed for job %lld: %s\n",
                  static_cast<long long>(slot.record.job_id),
                  status.ToString().c_str());
+  }
+}
+
+void FleetScheduler::WriteEnqueueStub(const JobSlot& slot) const {
+  ModelArtifact artifact;
+  artifact.name = slot.job.name;
+  artifact.algorithm = slot.job.algorithm;
+  artifact.options = slot.job.options;
+  if (slot.job.resume_state == nullptr) {
+    // Freeze the attempt-1 seed the scheduler will derive, so a fresh
+    // restart from this stub replays the exact same trajectory.
+    artifact.options.seed =
+        options_.reseed_jobs
+            ? JobSeed(options_.seed, slot.record.job_id, 1)
+            : slot.job.options.seed;
+  }
+  artifact.sparse = slot.job.algorithm == Algorithm::kLeastSparse;
+  artifact.train_state = slot.job.resume_state;
+  artifact.dataset = slot.job.data->spec();
+  artifact.candidate_edges = slot.job.candidate_edges;
+  const std::string path =
+      CheckpointPath(options_.checkpoint_dir, slot.record.job_id);
+  const Status status = SaveModel(path, artifact);
+  if (!status.ok()) {
+    std::fprintf(stderr, "[fleet] stub checkpoint failed for job %lld: %s\n",
+                 static_cast<long long>(slot.record.job_id),
+                 status.ToString().c_str());
+  }
+}
+
+void FleetScheduler::StreamSettled(JobSlot* slot, JobState terminal,
+                                   FitOutcome* outcome) {
+  bool streamed = false;
+  if (sink_ != nullptr) {
+    ModelArtifact artifact = ModelArtifact::FromOutcome(
+        slot->job.name, slot->job.algorithm, slot->record.options, *outcome);
+    artifact.train_state = nullptr;  // final models are not resumable states
+    artifact.dataset = slot->job.data->spec();
+    artifact.candidate_edges = slot->job.candidate_edges;
+    ResultRow row;
+    row.job_id = slot->record.job_id;
+    row.state = std::string(JobStateName(terminal));
+    row.status = outcome->status.code();
+    row.attempts = slot->record.attempts;
+    row.seed = slot->record.seed;
+    const Status written = sink_->Write(row, artifact);
+    if (!written.ok()) {
+      std::fprintf(stderr, "[fleet] result sink write failed for job %lld: %s\n",
+                   static_cast<long long>(slot->record.job_id),
+                   written.ToString().c_str());
+    } else {
+      streamed = true;
+    }
+  }
+  // Settled means finished: the job's work-in-progress checkpoint no longer
+  // marks an unfinished job, so `ScanAndResume` must not see it.
+  if (!options_.checkpoint_dir.empty()) {
+    std::remove(
+        CheckpointPath(options_.checkpoint_dir, slot->record.job_id).c_str());
+  }
+  if (streamed && !options_.keep_settled_outcomes) {
+    // The model lives on disk now; release the heavy parts of the record.
+    outcome->weights = DenseMatrix();
+    outcome->raw_weights = DenseMatrix();
+    outcome->sparse_weights = CsrMatrix();
+    outcome->sparse_raw_weights = CsrMatrix();
+    outcome->trace.clear();
+    outcome->trace.shrink_to_fit();
   }
 }
 
@@ -207,7 +285,13 @@ void FleetScheduler::RunJob(JobSlot* slot) {
 
   FitOutcome outcome;
   JobState terminal = JobState::kFailed;
-  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+  // First touch of the dataset: a lazy source loads (and validates) here,
+  // so a malformed or missing file fails the job with a clean status.
+  const Status prepared = slot->job.data->Prepare();
+  if (!prepared.ok()) {
+    outcome.status = prepared;
+  }
+  for (int attempt = 1; prepared.ok() && attempt <= max_attempts; ++attempt) {
     LearnOptions options = slot->job.options;
     // A resumed first attempt keeps the job's recorded options verbatim:
     // the checkpointed trajectory is only reproducible under them.
@@ -260,10 +344,14 @@ void FleetScheduler::RunJob(JobSlot* slot) {
   }
 
   // A cancelled job leaves a final resumable checkpoint so the run can be
-  // continued later via LearnJobFromCheckpoint.
+  // continued later via LearnJobFromCheckpoint / ScanAndResume; a finished
+  // one streams its model to the sink and retires its checkpoint file.
   if (terminal == JobState::kCancelled && outcome.train_state != nullptr &&
       !options_.checkpoint_dir.empty()) {
     WriteCheckpoint(*slot, slot->record.options, *outcome.train_state);
+  } else if (terminal == JobState::kSucceeded ||
+             terminal == JobState::kFailed) {
+    StreamSettled(slot, terminal, &outcome);
   }
 
   {
@@ -341,15 +429,11 @@ int64_t FleetScheduler::num_jobs() const {
   return static_cast<int64_t>(slots_.size());
 }
 
-Result<LearnJob> LearnJobFromCheckpoint(
-    const std::string& path, std::shared_ptr<const DenseMatrix> data) {
-  if (data == nullptr) {
-    return Status::InvalidArgument(
-        "resume-from-checkpoint jobs need the original dataset");
-  }
-  Result<ModelArtifact> loaded = LoadModel(path);
-  if (!loaded.ok()) return loaded.status();
-  ModelArtifact artifact = std::move(loaded).value();
+namespace {
+
+// Rebuilds a job from a loaded artifact (shared by LearnJobFromCheckpoint
+// and ScanAndResume). The caller attaches the data.
+Result<LearnJob> JobFromArtifact(ModelArtifact artifact) {
   if (artifact.train_state != nullptr &&
       artifact.train_state->sparse !=
           (artifact.algorithm == Algorithm::kLeastSparse)) {
@@ -359,9 +443,132 @@ Result<LearnJob> LearnJobFromCheckpoint(
   LearnJob job;
   job.name = std::move(artifact.name);
   job.algorithm = artifact.algorithm;
-  job.data = std::move(data);
   job.options = artifact.options;
+  job.candidate_edges = std::move(artifact.candidate_edges);
   job.resume_state = std::move(artifact.train_state);
+  return job;
+}
+
+}  // namespace
+
+Result<ResumeScan> FleetScheduler::ScanAndResume(
+    const std::string& checkpoint_dir, const DataResolver& resolver) {
+  if (options_.reseed_jobs) {
+    return Status::InvalidArgument(
+        "ScanAndResume requires a scheduler with reseed_jobs = false: the "
+        "options recorded in the checkpoints are authoritative");
+  }
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<std::pair<int64_t, std::string>> files;  // (old id, path)
+  for (const auto& entry : fs::directory_iterator(checkpoint_dir, ec)) {
+    const std::string filename = entry.path().filename().string();
+    constexpr std::string_view kPrefix = "job-";
+    constexpr std::string_view kSuffix = ".lbnm";
+    if (filename.size() <= kPrefix.size() + kSuffix.size() ||
+        filename.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        filename.compare(filename.size() - kSuffix.size(), kSuffix.size(),
+                         kSuffix) != 0) {
+      continue;
+    }
+    const std::string id_text = filename.substr(
+        kPrefix.size(), filename.size() - kPrefix.size() - kSuffix.size());
+    char* end = nullptr;
+    const long long old_id = std::strtoll(id_text.c_str(), &end, 10);
+    if (end == id_text.c_str() || *end != '\0' || old_id < 0) continue;
+    files.push_back({old_id, entry.path().string()});
+  }
+  if (ec) {
+    return Status::IoError("cannot scan checkpoint directory '" +
+                           checkpoint_dir + "': " + ec.message());
+  }
+  // Ascending old-id order keeps the re-enqueued fleet's job order (and so
+  // any reseeded retries) deterministic.
+  std::sort(files.begin(), files.end());
+
+  ResumeScan scan;
+  scan.files_seen = static_cast<int64_t>(files.size());
+  // Load everything before enqueueing anything: Enqueue writes new stub
+  // checkpoints into this same directory and must never clobber a file the
+  // scan has not read yet.
+  struct PendingResume {
+    std::string path;
+    LearnJob job;
+    bool mid_run = false;
+  };
+  std::vector<PendingResume> pending;
+  for (const auto& [old_id, path] : files) {
+    Result<ModelArtifact> loaded = LoadModel(path);
+    if (!loaded.ok()) {
+      ++scan.failed;
+      scan.errors.push_back(path + ": " + loaded.status().ToString());
+      continue;
+    }
+    ModelArtifact artifact = std::move(loaded).value();
+    Result<std::shared_ptr<const DataSource>> data =
+        Status::InvalidArgument("no dataset spec and no resolver");
+    if (resolver != nullptr) {
+      DatasetSpec spec;
+      if (artifact.dataset.has_value()) {
+        spec = *artifact.dataset;
+      } else {
+        spec.name = artifact.name;  // v2 checkpoint: name is all we have
+      }
+      data = resolver(spec);
+    } else if (artifact.dataset.has_value()) {
+      data = AttachDataset(*artifact.dataset);
+    }
+    if (!data.ok()) {
+      ++scan.failed;
+      scan.errors.push_back(path + ": " + data.status().ToString());
+      continue;
+    }
+    Result<LearnJob> job = JobFromArtifact(std::move(artifact));
+    if (!job.ok()) {
+      ++scan.failed;
+      scan.errors.push_back(path + ": " + job.status().ToString());
+      continue;
+    }
+    PendingResume item;
+    item.path = path;
+    item.job = std::move(job).value();
+    item.job.data = std::move(data).value();
+    item.mid_run = item.job.resume_state != nullptr;
+    pending.push_back(std::move(item));
+  }
+  for (PendingResume& item : pending) {
+    const bool mid_run = item.mid_run;
+    const std::string old_path = item.path;
+    const int64_t id = Enqueue(std::move(item.job));
+    scan.job_ids.push_back(id);
+    if (mid_run) {
+      ++scan.resumed;
+    } else {
+      ++scan.restarted;
+    }
+    // The job now lives under its new id (with a fresh stub when this
+    // scheduler checkpoints); retire the old file so a second scan cannot
+    // double-enqueue it. Without re-armed checkpointing keep it — it is the
+    // only restartable artifact should this process also die.
+    if (!options_.checkpoint_dir.empty()) {
+      const std::string new_path = CheckpointPath(options_.checkpoint_dir, id);
+      if (new_path != old_path) std::remove(old_path.c_str());
+    }
+  }
+  return scan;
+}
+
+Result<LearnJob> LearnJobFromCheckpoint(
+    const std::string& path, std::shared_ptr<const DataSource> data) {
+  if (data == nullptr) {
+    return Status::InvalidArgument(
+        "resume-from-checkpoint jobs need the original dataset");
+  }
+  Result<ModelArtifact> loaded = LoadModel(path);
+  if (!loaded.ok()) return loaded.status();
+  Result<LearnJob> job = JobFromArtifact(std::move(loaded).value());
+  if (!job.ok()) return job.status();
+  job.value().data = std::move(data);
   return job;
 }
 

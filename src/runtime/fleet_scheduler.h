@@ -43,9 +43,13 @@ namespace least {
 struct LearnJob {
   std::string name;  ///< free-form label carried into records/checkpoints
   Algorithm algorithm = Algorithm::kLeastDense;
-  /// The n x d sample matrix. Shared so the job can outlive the enqueueing
-  /// scope; must be non-null and is never mutated.
-  std::shared_ptr<const DenseMatrix> data;
+  /// The dataset. Owning/shared (`core/data_source.h`) so the job can never
+  /// dangle when it outlives the enqueueing scope; must be non-null and is
+  /// never mutated. In-memory datasets wrap via `MakeDenseSource` /
+  /// `MakeCsrSource`; disk-backed jobs use `MakeCsvSource`, which loads
+  /// lazily through the fleet-wide `DatasetCache` — a thousand-job CSV
+  /// fleet materializes only its working set.
+  std::shared_ptr<const DataSource> data;
   LearnOptions options;
   /// Extra pattern entries for the sparse learner (see
   /// `LeastSparseLearner::set_candidate_edges`); ignored by dense jobs.
@@ -118,14 +122,25 @@ struct FleetOptions {
   /// by `JobSeed(seed, job_id, attempt)`. When false, attempt a uses the
   /// job's own seed + (a - 1) — still deterministic, caller-controlled.
   bool reseed_jobs = true;
-  /// Periodic checkpoint sink: when non-empty, every running job writes a
-  /// resumable format-v2 model checkpoint to
-  /// `<checkpoint_dir>/job-<id>.lbnm` each `checkpoint_every_outer`
-  /// completed outer rounds, and a final one when it settles as cancelled.
-  /// The directory must exist; checkpointing is best-effort — a failed
-  /// write warns on stderr and never fails the job.
+  /// Periodic checkpoint sink: when non-empty, every job writes resumable
+  /// format-v3 model checkpoints (stamped with the job's dataset spec and
+  /// candidate edges) to `<checkpoint_dir>/job-<id>.lbnm` — a stub at
+  /// enqueue time (so even never-started jobs survive a crash), one each
+  /// `checkpoint_every_outer` completed outer rounds, and a final one when
+  /// the job settles as cancelled. Jobs that settle succeeded/failed remove
+  /// their file, so `job-*.lbnm` files in the directory are exactly the
+  /// unfinished jobs (`ScanAndResume` relies on this). The directory must
+  /// exist; checkpointing is best-effort — a failed write warns on stderr
+  /// and never fails the job.
   std::string checkpoint_dir;
   int checkpoint_every_outer = 5;  ///< sink cadence in outer rounds (>= 1)
+  /// When false, a settled job's weight payloads and trace are released
+  /// right after its model is streamed to the result sink, keeping fleet
+  /// RAM proportional to the running set instead of the job count.
+  /// Requires a sink (`set_result_sink`); records whose sink write failed
+  /// keep their outcome. Cancelled jobs always keep theirs (the in-memory
+  /// resume path needs the train state).
+  bool keep_settled_outcomes = true;
 };
 
 /// \brief Runs learning jobs concurrently on a borrowed `ThreadPool`.
@@ -133,12 +148,33 @@ struct FleetOptions {
 /// Thread safety: all public methods may be called from any thread. The
 /// progress callback is invoked from worker threads (set it before the
 /// first `Enqueue`; it must be thread-safe).
+class ResultSink;
+
+/// \brief Outcome of a `ScanAndResume` pass over a checkpoint directory.
+struct ResumeScan {
+  int64_t files_seen = 0;    ///< job checkpoints found in the directory
+  int64_t resumed = 0;       ///< re-enqueued with a mid-run train state
+  int64_t restarted = 0;     ///< re-enqueued fresh (stub / boundary file)
+  int64_t failed = 0;        ///< unreadable checkpoint or unattachable data
+  std::vector<int64_t> job_ids;     ///< new ids of re-enqueued jobs
+  std::vector<std::string> errors;  ///< one message per failure
+};
+
 class FleetScheduler {
  public:
   /// Invoked on every job state transition (start, retry, settle) with the
   /// job's record. The record reference is only guaranteed stable for the
   /// duration of the call while the job is non-terminal.
   using ProgressCallback = std::function<void(const JobRecord&)>;
+
+  /// Maps a checkpointed dataset spec to a live data source when
+  /// `ScanAndResume` cannot re-attach it by itself (in-memory kinds, or a
+  /// CSV whose file moved). Receives the spec recorded in the checkpoint
+  /// (default-constructed with only `name` set for v2 checkpoints that
+  /// predate dataset stamping).
+  using DataResolver =
+      std::function<Result<std::shared_ptr<const DataSource>>(
+          const DatasetSpec&)>;
 
   /// `pool` is borrowed and must outlive the scheduler.
   explicit FleetScheduler(ThreadPool* pool, FleetOptions options = {});
@@ -152,6 +188,13 @@ class FleetScheduler {
   void set_progress_callback(ProgressCallback callback) {
     progress_ = std::move(callback);
   }
+
+  /// Installs a streaming sink (`io/result_sink.h`) that persists every
+  /// job settling as succeeded or failed — final model checkpoint plus an
+  /// `index.tsv` row — as it lands. Borrowed; must outlive the scheduler.
+  /// Set before the first `Enqueue`. Combine with
+  /// `FleetOptions::keep_settled_outcomes = false` to keep fleet RAM flat.
+  void set_result_sink(ResultSink* sink) { sink_ = sink; }
 
   /// Schedules a job and returns its id (dense, starting at 0 in enqueue
   /// order — the id that seeds the job's RNG).
@@ -169,6 +212,27 @@ class FleetScheduler {
   /// Blocks until all jobs enqueued so far have settled; returns aggregate
   /// statistics over every settled job.
   FleetReport Wait();
+
+  /// Auto-resume: scans `checkpoint_dir` for `job-*.lbnm` checkpoints (the
+  /// unfinished jobs of a previous, killed or cancelled, fleet run) and
+  /// re-enqueues each — continuing mid-run where the file carries a train
+  /// state, restarting fresh (with the recorded attempt-1 options) where it
+  /// is an enqueue stub. Data is re-attached from the stamped dataset spec
+  /// (`AttachDataset`: CSV datasets reload from their recorded path, with
+  /// shape/hash verification) unless `resolver` is supplied, in which case
+  /// it is consulted for every job. Files are processed in ascending old
+  /// job-id order and each is removed once its replacement checkpoint
+  /// exists under the new id. Unreadable checkpoints (v4+ blobs fail
+  /// loudly at load) and unattachable datasets are collected in the
+  /// returned report's `errors` — they never abort the scan.
+  ///
+  /// Requires `reseed_jobs = false` (the recorded options are
+  /// authoritative; a reseeding scheduler would break the bit-identical
+  /// continuation guarantee) — violating this fails with
+  /// `kInvalidArgument`. Call before enqueueing new work so re-enqueued
+  /// jobs keep dense checkpoint file ids.
+  Result<ResumeScan> ScanAndResume(const std::string& checkpoint_dir,
+                                   const DataResolver& resolver = {});
 
   /// Record of a job (valid id only). Safe to read concurrently once the
   /// job is terminal; while it runs, fields may be mid-update.
@@ -201,6 +265,14 @@ class FleetScheduler {
   /// final cancelled-job snapshot; warns on stderr when the write fails.
   void WriteCheckpoint(const JobSlot& slot, const LearnOptions& options,
                        const TrainState& state) const;
+  /// Best-effort enqueue-time stub checkpoint: freezes the job's attempt-1
+  /// options, dataset spec, and candidate edges (plus any resume state) so
+  /// a killed fleet can restart the job even if it never ran.
+  void WriteEnqueueStub(const JobSlot& slot) const;
+  /// Streams a succeeded/failed job to the result sink and removes its
+  /// `job-<id>.lbnm` checkpoint; optionally releases the record's weight
+  /// payloads (see `FleetOptions::keep_settled_outcomes`).
+  void StreamSettled(JobSlot* slot, JobState terminal, FitOutcome* outcome);
   void NotifyProgress(const JobRecord& record);
   /// Counts one job as settled and wakes waiters; must be the last member
   /// access a job task performs (see comment in the implementation).
@@ -209,6 +281,7 @@ class FleetScheduler {
   ThreadPool* pool_;
   FleetOptions options_;
   ProgressCallback progress_;
+  ResultSink* sink_ = nullptr;
 
   mutable std::mutex mutex_;
   std::condition_variable settled_cv_;
@@ -221,14 +294,16 @@ class FleetScheduler {
 };
 
 /// Rebuilds a `LearnJob` from a model checkpoint file (the resume-from-
-/// checkpoint job mode): algorithm, name, and options come from the
-/// artifact; `resume_state` is set when the checkpoint carries a mid-run
-/// optimizer state (format v2), so enqueueing the job continues the
-/// interrupted run instead of restarting it. The caller supplies the
-/// dataset — checkpoints store learner position, not data. Enqueue resumed
-/// jobs on a scheduler with `reseed_jobs = false` to keep the recorded
-/// options authoritative.
+/// checkpoint job mode): algorithm, name, options, and candidate edges come
+/// from the artifact; `resume_state` is set when the checkpoint carries a
+/// mid-run optimizer state (format v2+), so enqueueing the job continues
+/// the interrupted run instead of restarting it. The caller supplies the
+/// dataset (checkpoints store the dataset *spec*, not the data — pass
+/// `AttachDataset(artifact.dataset)` for disk-backed kinds, or see
+/// `FleetScheduler::ScanAndResume` for the whole-directory version).
+/// Enqueue resumed jobs on a scheduler with `reseed_jobs = false` to keep
+/// the recorded options authoritative.
 Result<LearnJob> LearnJobFromCheckpoint(
-    const std::string& path, std::shared_ptr<const DenseMatrix> data);
+    const std::string& path, std::shared_ptr<const DataSource> data);
 
 }  // namespace least

@@ -80,15 +80,29 @@ FitOutcome RunDense(ContinuousLearner learner, const DenseMatrix& x,
 
 }  // namespace
 
-FitOutcome RunAlgorithm(Algorithm algorithm, const DenseMatrix& x,
+FitOutcome RunAlgorithm(Algorithm algorithm, const DataSource& data,
                         const LearnOptions& options,
                         const std::vector<std::pair<int, int>>& candidate_edges,
                         RunHooks hooks) {
   switch (algorithm) {
     case Algorithm::kLeastDense:
-      return RunDense(MakeLeastDenseLearner(options), x, hooks);
-    case Algorithm::kNotears:
-      return RunDense(MakeNotearsLearner(options), x, hooks);
+    case Algorithm::kNotears: {
+      const Status prepared = data.Prepare();
+      FitOutcome out;
+      if (!prepared.ok()) {
+        out.status = prepared;
+        return out;
+      }
+      Result<std::shared_ptr<const DenseMatrix>> dense = data.Dense();
+      if (!dense.ok()) {
+        out.status = dense.status();
+        return out;
+      }
+      ContinuousLearner learner = algorithm == Algorithm::kNotears
+                                      ? MakeNotearsLearner(options)
+                                      : MakeLeastDenseLearner(options);
+      return RunDense(std::move(learner), *dense.value(), hooks);
+    }
     case Algorithm::kLeastSparse: {
       LeastSparseLearner learner(options);
       learner.set_candidate_edges(candidate_edges);
@@ -97,15 +111,26 @@ FitOutcome RunAlgorithm(Algorithm algorithm, const DenseMatrix& x,
         learner.set_checkpoint_callback(std::move(hooks.checkpoint),
                                         hooks.checkpoint_every_outer);
       }
-      DenseDataSource source(&x);
       return FromSparse(hooks.resume != nullptr
-                            ? learner.ResumeFit(*hooks.resume, source)
-                            : learner.Fit(source));
+                            ? learner.ResumeFit(*hooks.resume, data)
+                            : learner.Fit(data));
     }
   }
   FitOutcome out;
   out.status = Status::InvalidArgument("unknown algorithm enumerator");
   return out;
+}
+
+FitOutcome RunAlgorithm(Algorithm algorithm, const DenseMatrix& x,
+                        const LearnOptions& options,
+                        const std::vector<std::pair<int, int>>& candidate_edges,
+                        RunHooks hooks) {
+  // Strictly synchronous: a non-owning alias of `x` never escapes the call.
+  OwningDenseDataSource source(
+      std::shared_ptr<const DenseMatrix>(std::shared_ptr<const DenseMatrix>(),
+                                         &x));
+  return RunAlgorithm(algorithm, source, options, candidate_edges,
+                      std::move(hooks));
 }
 
 FitOutcome RunAlgorithm(Algorithm algorithm, const DenseMatrix& x,

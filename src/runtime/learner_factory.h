@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/data_source.h"
 #include "core/learn_options.h"
 #include "core/train_state.h"
 #include "linalg/csr_matrix.h"
@@ -74,9 +75,22 @@ struct RunHooks {
   const TrainState* resume = nullptr;
 };
 
-/// Runs `algorithm` on an n x d sample matrix. `candidate_edges` seeds the
-/// sparse learner's pattern (ignored by the dense algorithms); `hooks`
-/// carries cancellation/checkpoint/resume wiring.
+/// Runs `algorithm` over a dataset. The source is `Prepare()`d first —
+/// failures (unreadable/malformed lazy datasets) come back as the outcome's
+/// status, never a crash. Dense algorithms hold the source's dense
+/// materialization for the duration of the fit; the sparse learner gathers
+/// mini-batches through the source (lazy datasets stay cache-resident
+/// only). `candidate_edges` seeds the sparse learner's pattern (ignored by
+/// the dense algorithms); `hooks` carries cancellation/checkpoint/resume
+/// wiring.
+FitOutcome RunAlgorithm(Algorithm algorithm, const DataSource& data,
+                        const LearnOptions& options,
+                        const std::vector<std::pair<int, int>>&
+                            candidate_edges = {},
+                        RunHooks hooks = {});
+
+/// Convenience overload over an in-memory sample matrix (borrowed only for
+/// the duration of the call).
 FitOutcome RunAlgorithm(Algorithm algorithm, const DenseMatrix& x,
                         const LearnOptions& options,
                         const std::vector<std::pair<int, int>>&

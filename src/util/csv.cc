@@ -1,6 +1,7 @@
 #include "util/csv.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -58,6 +59,13 @@ Result<CsvTable> ReadCsv(const std::string& path, bool has_header) {
       if (end == c.c_str() || errno == ERANGE) {
         return Status::InvalidArgument(
             "non-numeric CSV cell '" + c + "' at line " +
+            std::to_string(line_no) + " in '" + path + "'");
+      }
+      // Learning data must be finite: strtod happily parses "nan"/"inf",
+      // which would silently poison every downstream objective.
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(
+            "non-finite CSV cell '" + c + "' at line " +
             std::to_string(line_no) + " in '" + path + "'");
       }
       row.push_back(v);

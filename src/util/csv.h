@@ -24,7 +24,9 @@ struct CsvTable {
 /// Reads a numeric CSV file. When `has_header` is true the first line is
 /// returned in `CsvTable::header` instead of being parsed as numbers.
 /// Fails with `kIoError` when the file cannot be opened and
-/// `kInvalidArgument` on ragged rows or non-numeric cells.
+/// `kInvalidArgument` on ragged rows (including rows disagreeing with the
+/// header's column count) or non-numeric / non-finite cells — learning
+/// data must be finite, so "nan"/"inf" are rejected rather than parsed.
 Result<CsvTable> ReadCsv(const std::string& path, bool has_header);
 
 /// Writes a numeric table (with optional header) to `path`.

@@ -1,0 +1,38 @@
+/// \file fnv.h
+/// \brief Incremental 64-bit FNV-1a — the one hashing primitive shared by
+/// model-blob checksums (`io/model_serializer`), dataset content hashes
+/// (`core/data_source`), and virtual-dataset identities
+/// (`data/streaming_lsem`), so the constants can never drift apart.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace least {
+
+inline constexpr uint64_t kFnv1aOffset = 0xCBF29CE484222325ull;
+inline constexpr uint64_t kFnv1aPrime = 0x100000001B3ull;
+
+/// Folds `bytes` into a running FNV-1a hash.
+inline uint64_t Fnv1aFold(uint64_t hash, const void* data, size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+/// Folds a 64-bit value (e.g. a dimension or seed) into a running hash.
+inline uint64_t Fnv1aFold(uint64_t hash, uint64_t v) {
+  return Fnv1aFold(hash, &v, sizeof v);
+}
+
+/// One-shot hash of a byte string.
+inline uint64_t Fnv1a(std::string_view bytes) {
+  return Fnv1aFold(kFnv1aOffset, bytes.data(), bytes.size());
+}
+
+}  // namespace least

@@ -8,8 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "core/least.h"
 #include "core/least_sparse.h"
@@ -192,7 +195,7 @@ TEST(CheckpointResume, SparseSweepIsBitIdentical) {
     learner.set_candidate_edges(candidates);
     return learner;
   };
-  DenseDataSource source(&x);
+  OwningDenseDataSource source(x);
   const SparseLearnResult baseline = make().Fit(source);
   EXPECT_EQ(baseline.train_state, nullptr);
 
@@ -259,7 +262,7 @@ TEST(CheckpointResume, ResumeRejectsWrongKindAndShape) {
   TrainState dense_state;
   dense_state.sparse = false;
   dense_state.dense_w = DenseMatrix(5, 5);
-  DenseDataSource source(&inst.x);
+  OwningDenseDataSource source(inst.x);
   const SparseLearnResult r3 =
       LeastSparseLearner(opt).ResumeFit(dense_state, source);
   EXPECT_EQ(r3.status.code(), StatusCode::kInvalidArgument);
@@ -311,26 +314,33 @@ TEST(CheckpointResume, PeriodicCheckpointCallbackStatesAreResumable) {
 }
 
 TEST(CheckpointResume, FleetCheckpointSinkAndResumeJobMode) {
+  // A settled job retires its job-<id>.lbnm file (ScanAndResume's invariant
+  // is "files in the directory = unfinished jobs"), so the resumable
+  // artifact is captured by cancelling the job after the periodic sink has
+  // written at least once.
   BenchmarkConfig cfg;
   cfg.d = 8;
   cfg.seed = 27;
   const BenchmarkInstance inst = MakeBenchmarkInstance(cfg);
-  auto data = std::make_shared<DenseMatrix>(inst.x);
+  auto data = MakeDenseSource(inst.x);
 
   LearnJob job;
   job.name = "resume-mode";
   job.algorithm = Algorithm::kLeastDense;
   job.data = data;
-  job.options.max_outer_iterations = 8;
+  job.options.max_outer_iterations = 60;
   job.options.max_inner_iterations = 20;
   job.options.batch_size = 16;
   job.options.tolerance = 0.0;  // never converges: runs the full budget
 
   const std::string dir = testing::TempDir() + "/least_fleet_ckpt";
-  std::remove(FleetScheduler::CheckpointPath(dir, 0).c_str());
+  const std::string path = FleetScheduler::CheckpointPath(dir, 0);
+  std::remove(path.c_str());
   (void)std::system(("mkdir -p " + dir).c_str());
 
-  FitOutcome full_outcome;
+  LearnOptions used_options;
+  JobState settled_state = JobState::kPending;
+  FitOutcome fleet_outcome;
   {
     ThreadPool pool(2);
     FleetOptions fleet;
@@ -338,14 +348,46 @@ TEST(CheckpointResume, FleetCheckpointSinkAndResumeJobMode) {
     fleet.checkpoint_dir = dir;
     fleet.checkpoint_every_outer = 3;
     FleetScheduler scheduler(&pool, fleet);
+    // Records of running jobs may be mid-update (see JobRecord's docs), so
+    // the loop watches an atomic fed by the progress callback instead.
+    std::atomic<bool> settled{false};
+    scheduler.set_progress_callback([&settled](const JobRecord& record) {
+      if (record.state != JobState::kPending &&
+          record.state != JobState::kRunning) {
+        settled.store(true);
+      }
+    });
     const int64_t id = scheduler.Enqueue(job);
+    // Cancel once a periodic checkpoint landed (the enqueue stub is
+    // overwritten by states with outer > 1); if the job wins the race the
+    // test degenerates to a determinism check below, which must also hold.
+    while (!settled.load()) {
+      Result<ModelArtifact> peek = LoadModel(path);
+      if (peek.ok() && peek.value().train_state != nullptr &&
+          peek.value().train_state->outer > 1) {
+        scheduler.Cancel(id);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     scheduler.Wait();
-    full_outcome = scheduler.record(id).outcome;
+    settled_state = scheduler.record(id).state;
+    used_options = scheduler.record(id).options;
+    fleet_outcome = scheduler.record(id).outcome;
   }
-  ASSERT_GT(full_outcome.weights.rows(), 0);
 
-  // The periodic sink must have left a loadable, resumable checkpoint.
-  const std::string path = FleetScheduler::CheckpointPath(dir, 0);
+  const FitOutcome uninterrupted =
+      RunAlgorithm(Algorithm::kLeastDense, inst.x, used_options);
+  if (settled_state != JobState::kCancelled) {
+    // The job settled before the cancel landed; its checkpoint is retired
+    // and its result must simply reproduce the uninterrupted run.
+    ExpectBitIdenticalDense(fleet_outcome.raw_weights,
+                            uninterrupted.raw_weights);
+    return;
+  }
+
+  // The cancelled job left a loadable, resumable checkpoint carrying the
+  // dataset spec and a mid-run state.
   Result<LearnJob> resumed_job = LearnJobFromCheckpoint(path, data);
   ASSERT_TRUE(resumed_job.ok()) << resumed_job.status().ToString();
   ASSERT_NE(resumed_job.value().resume_state, nullptr);
@@ -362,11 +404,12 @@ TEST(CheckpointResume, FleetCheckpointSinkAndResumeJobMode) {
     scheduler.Wait();
     resumed_outcome = scheduler.record(id).outcome;
   }
-  EXPECT_EQ(resumed_outcome.status.code(), full_outcome.status.code());
+  EXPECT_EQ(resumed_outcome.status.code(), uninterrupted.status.code());
   ExpectBitIdenticalDense(resumed_outcome.raw_weights,
-                          full_outcome.raw_weights);
-  ExpectBitIdenticalDense(resumed_outcome.weights, full_outcome.weights);
-  EXPECT_EQ(resumed_outcome.inner_iterations, full_outcome.inner_iterations);
+                          uninterrupted.raw_weights);
+  ExpectBitIdenticalDense(resumed_outcome.weights, uninterrupted.weights);
+  EXPECT_EQ(resumed_outcome.inner_iterations,
+            uninterrupted.inner_iterations);
 
   std::remove(path.c_str());
 }
@@ -380,7 +423,7 @@ TEST(CheckpointResume, CancelledFleetJobResumesBitIdentically) {
   cfg.d = 20;
   cfg.seed = 31;
   const BenchmarkInstance inst = MakeBenchmarkInstance(cfg);
-  auto data = std::make_shared<DenseMatrix>(inst.x);
+  auto data = MakeDenseSource(inst.x);
 
   LearnJob job;
   job.name = "cancel-resume";

@@ -104,5 +104,50 @@ TEST_F(CsvTest, UnwritablePathIsIoError) {
   EXPECT_EQ(s.code(), StatusCode::kIoError);
 }
 
+TEST_F(CsvTest, NonFiniteCellsRejected) {
+  // strtod parses all of these successfully; the reader must still refuse
+  // them — learning data has to be finite.
+  for (const char* bad : {"nan", "NaN", "inf", "-inf", "INF", "1e999"}) {
+    WriteRaw(std::string("1.0,") + bad + "\n");
+    auto result = ReadCsv(path_, false);
+    ASSERT_FALSE(result.ok()) << bad;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST_F(CsvTest, HeaderColumnCountMismatchRejected) {
+  // Three header names but two-value rows: shape mismatch, not data.
+  WriteRaw("a,b,c\n1,2\n");
+  auto result = ReadCsv(path_, /*has_header=*/true);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, EmptyFileYieldsNoRows) {
+  // An empty file is not an IO error at this layer; rejecting empty
+  // datasets is CsvDataSource's job (kInvalidArgument there).
+  WriteRaw("");
+  auto result = ReadCsv(path_, false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().rows.empty());
+}
+
+TEST_F(CsvTest, LoneCommaRejected) {
+  // "," splits into two empty cells — empty cells are not numbers.
+  WriteRaw(",\n");
+  auto result = ReadCsv(path_, false);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, TrailingGarbageAfterNumberAccepted) {
+  // strtod semantics: leading numeric prefix parses ("1.5x" -> 1.5). This
+  // is intentional leniency, documented by pinning it here.
+  WriteRaw("1.5x,2\n");
+  auto result = ReadCsv(path_, false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().rows[0][0], 1.5);
+}
+
 }  // namespace
 }  // namespace least

@@ -1,0 +1,477 @@
+// Acceptance tests for the fleet data plane (runtime + io + core):
+//
+//  * a 200-job CSV-backed fleet running under a DatasetCache budget far
+//    smaller than the total dataset bytes — peak resident dataset bytes
+//    never exceed the budget, evictions occur, and every learned model is
+//    bit-identical to the same fleet run fully in RAM;
+//  * kill-and-restart: cancel a checkpointing fleet mid-run, build a fresh
+//    scheduler, ScanAndResume(checkpoint_dir), and the union of settled
+//    models is bit-identical to the uninterrupted run;
+//  * the ResultSink streams settled models + index rows so records need not
+//    stay in RAM;
+//  * v2 checkpoints (no dataset spec) still load — resumable through a
+//    resolver — while v4+ blobs are rejected loudly.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/least.h"
+#include "data/benchmark_data.h"
+#include "io/result_sink.h"
+#include "runtime/fleet_scheduler.h"
+#include "util/csv.h"
+
+namespace least {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+DenseMatrix FleetDataset(int index, int n, int d) {
+  BenchmarkConfig cfg;
+  cfg.d = d;
+  cfg.n = n;
+  cfg.seed = 9000 + static_cast<uint64_t>(index);
+  return MakeBenchmarkInstance(cfg).x;
+}
+
+LearnOptions QuickOptions() {
+  LearnOptions opt;
+  opt.max_outer_iterations = 6;
+  opt.max_inner_iterations = 40;
+  opt.tolerance = 1e-6;
+  opt.lambda1 = 0.05;
+  opt.learning_rate = 0.03;
+  return opt;
+}
+
+void ExpectBitIdenticalDense(const DenseMatrix& a, const DenseMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                        a.size() * sizeof(double)),
+            0);
+}
+
+TEST(FleetDataPlane, CsvFleetUnderCacheBudgetMatchesInRamFleet) {
+  constexpr int kJobs = 200;
+  constexpr int kRows = 60;
+  constexpr int kCols = 8;
+  const std::string dir = FreshDir("least_csv_fleet");
+
+  // Materialize the datasets once, both as matrices (the in-RAM fleet) and
+  // as CSV files (the disk-backed fleet).
+  std::vector<DenseMatrix> datasets;
+  std::vector<std::string> paths;
+  for (int j = 0; j < kJobs; ++j) {
+    datasets.push_back(FleetDataset(j, kRows, kCols));
+    const std::string path = dir + "/ds-" + std::to_string(j) + ".csv";
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < kRows; ++i) {
+      rows.emplace_back(datasets[j].row(i), datasets[j].row(i) + kCols);
+    }
+    ASSERT_TRUE(WriteCsv(path, {}, rows).ok());
+    paths.push_back(path);
+  }
+
+  auto enqueue_all = [&](FleetScheduler& scheduler, bool from_disk,
+                         DatasetCache* cache) {
+    for (int j = 0; j < kJobs; ++j) {
+      LearnJob job;
+      job.name = "csv-fleet-" + std::to_string(j);
+      job.algorithm = Algorithm::kLeastDense;
+      job.options = QuickOptions();
+      if (from_disk) {
+        CsvSourceOptions opt;
+        opt.has_header = false;
+        opt.cache = cache;
+        job.data = MakeCsvSource(paths[j], opt);
+      } else {
+        job.data = MakeDenseSource(datasets[j], job.name);
+      }
+      scheduler.Enqueue(std::move(job));
+    }
+  };
+
+  // Reference: everything in RAM.
+  std::vector<DenseMatrix> ram_weights;
+  {
+    ThreadPool pool(2);
+    FleetScheduler scheduler(&pool, {.seed = 404});
+    enqueue_all(scheduler, /*from_disk=*/false, nullptr);
+    FleetReport report = scheduler.Wait();
+    ASSERT_EQ(report.total_jobs, kJobs);
+    for (int j = 0; j < kJobs; ++j) {
+      ram_weights.push_back(scheduler.record(j).outcome.weights);
+    }
+  }
+
+  // Disk-backed: a budget of 6 datasets against 200 on disk. Two worker
+  // threads pin at most 2 datasets plus 1 being loaded, so the budget binds
+  // the cache and never the jobs.
+  const size_t dataset_bytes = size_t{kRows} * kCols * sizeof(double);
+  const size_t budget = 6 * dataset_bytes;
+  DatasetCache cache(budget);
+  {
+    ThreadPool pool(2);
+    FleetScheduler scheduler(&pool, {.seed = 404});
+    enqueue_all(scheduler, /*from_disk=*/true, &cache);
+    FleetReport report = scheduler.Wait();
+    ASSERT_EQ(report.total_jobs, kJobs);
+    EXPECT_EQ(report.succeeded + report.failed, kJobs);
+    for (int j = 0; j < kJobs; ++j) {
+      // (c) every learned model bit-identical to the all-in-RAM fleet.
+      ExpectBitIdenticalDense(scheduler.record(j).outcome.weights,
+                              ram_weights[j]);
+    }
+  }
+  const DatasetCache::Stats stats = cache.stats();
+  // (a) peak resident dataset bytes never exceeded the budget;
+  EXPECT_LE(stats.peak_resident_bytes, budget);
+  EXPECT_GT(stats.peak_resident_bytes, 0u);
+  // (b) the fleet could not have fit in the cache: evictions occurred and
+  //     far more loads than 200 first-touches would not be needed if all
+  //     200 datasets were resident at once.
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_GE(stats.misses, kJobs);  // every dataset loaded at least once
+  EXPECT_LE(stats.resident_bytes, budget);
+
+  fs::remove_all(dir);
+}
+
+TEST(FleetDataPlane, MalformedCsvJobFailsCleanly) {
+  const std::string dir = FreshDir("least_csv_bad_job");
+  const std::string path = dir + "/bad.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("1,2\n3,banana\n", f);
+    std::fclose(f);
+  }
+  DatasetCache cache;
+  ThreadPool pool(1);
+  FleetScheduler scheduler(&pool, {});
+  LearnJob job;
+  job.name = "bad-csv";
+  CsvSourceOptions opt;
+  opt.has_header = false;
+  opt.cache = &cache;
+  job.data = MakeCsvSource(path, opt);
+  job.options = QuickOptions();
+  const int64_t id = scheduler.Enqueue(std::move(job));
+  scheduler.Wait();
+  const JobRecord& record = scheduler.record(id);
+  EXPECT_EQ(record.state, JobState::kFailed);
+  EXPECT_EQ(record.status.code(), StatusCode::kInvalidArgument);
+  fs::remove_all(dir);
+}
+
+TEST(FleetDataPlane, ResultSinkStreamsModelsAndReleasesOutcomes) {
+  constexpr int kJobs = 6;
+  const std::string dir = FreshDir("least_sink");
+
+  // Expected weights from a plain in-RAM fleet with identical seeding.
+  std::vector<DenseMatrix> expected;
+  {
+    ThreadPool pool(2);
+    FleetScheduler scheduler(&pool, {.seed = 17});
+    for (int j = 0; j < kJobs; ++j) {
+      LearnJob job;
+      job.name = "sink-" + std::to_string(j);
+      job.data = MakeDenseSource(FleetDataset(j, 80, 6), job.name);
+      job.options = QuickOptions();
+      scheduler.Enqueue(std::move(job));
+    }
+    scheduler.Wait();
+    for (int j = 0; j < kJobs; ++j) {
+      expected.push_back(scheduler.record(j).outcome.weights);
+    }
+  }
+
+  Result<std::unique_ptr<ResultSink>> sink = ResultSink::Open(dir);
+  ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+  {
+    ThreadPool pool(2);
+    FleetOptions options;
+    options.seed = 17;
+    options.keep_settled_outcomes = false;
+    FleetScheduler scheduler(&pool, options);
+    scheduler.set_result_sink(sink.value().get());
+    for (int j = 0; j < kJobs; ++j) {
+      LearnJob job;
+      job.name = "sink-" + std::to_string(j);
+      job.data = MakeDenseSource(FleetDataset(j, 80, 6), job.name);
+      job.options = QuickOptions();
+      scheduler.Enqueue(std::move(job));
+    }
+    FleetReport report = scheduler.Wait();
+    EXPECT_EQ(report.total_jobs, kJobs);
+    // Outcomes were released after streaming: no weights left in RAM.
+    for (int j = 0; j < kJobs; ++j) {
+      EXPECT_EQ(scheduler.record(j).outcome.weights.size(), 0u);
+      EXPECT_EQ(scheduler.record(j).outcome.raw_weights.size(), 0u);
+    }
+  }
+  EXPECT_EQ(sink.value()->written(), kJobs);
+
+  // The index enumerates every settled job; its model files reload
+  // bit-identically to the in-RAM reference fleet.
+  Result<std::vector<ResultIndexEntry>> index = ReadResultIndex(dir);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  ASSERT_EQ(index.value().size(), static_cast<size_t>(kJobs));
+  for (const ResultIndexEntry& entry : index.value()) {
+    Result<ModelArtifact> model = LoadModel(dir + "/" + entry.file);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    const int j = std::stoi(entry.name.substr(entry.name.rfind('-') + 1));
+    ExpectBitIdenticalDense(model.value().weights, expected[j]);
+    EXPECT_EQ(entry.dataset_kind, "dense");
+    EXPECT_NE(entry.dataset_hash, 0u);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(FleetDataPlane, KillAndRestartResumesBitIdentically) {
+  constexpr int kJobs = 12;
+  constexpr int kRows = 80;
+  constexpr int kCols = 8;
+  const std::string data_dir = FreshDir("least_resume_data");
+  const std::string ckpt_dir = FreshDir("least_resume_ckpt");
+
+  std::vector<std::string> paths;
+  for (int j = 0; j < kJobs; ++j) {
+    const DenseMatrix x = FleetDataset(j, kRows, kCols);
+    const std::string path = data_dir + "/ds-" + std::to_string(j) + ".csv";
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < kRows; ++i) {
+      rows.emplace_back(x.row(i), x.row(i) + kCols);
+    }
+    ASSERT_TRUE(WriteCsv(path, {}, rows).ok());
+    paths.push_back(path);
+  }
+
+  auto make_job = [&](int j, DatasetCache* cache) {
+    LearnJob job;
+    job.name = "resume-" + std::to_string(j);
+    job.algorithm = Algorithm::kLeastDense;
+    CsvSourceOptions opt;
+    opt.has_header = false;
+    opt.cache = cache;
+    job.data = MakeCsvSource(paths[j], opt);
+    job.options = QuickOptions();
+    job.options.max_outer_iterations = 14;
+    job.options.tolerance = 0.0;  // deterministic full-budget runs
+    return job;
+  };
+
+  // Uninterrupted reference run.
+  std::map<std::string, DenseMatrix> reference;
+  DatasetCache ref_cache;
+  {
+    ThreadPool pool(2);
+    FleetScheduler scheduler(&pool, {.seed = 777});
+    for (int j = 0; j < kJobs; ++j) {
+      scheduler.Enqueue(make_job(j, &ref_cache));
+    }
+    scheduler.Wait();
+    for (int j = 0; j < kJobs; ++j) {
+      reference[scheduler.record(j).name] =
+          scheduler.record(j).outcome.raw_weights;
+    }
+  }
+
+  // Generation B: same fleet, checkpointing + streaming results; killed
+  // mid-run once a few jobs have settled.
+  DatasetCache gen_b_cache;
+  int64_t settled_before_kill = 0;
+  {
+    Result<std::unique_ptr<ResultSink>> sink = ResultSink::Open(ckpt_dir);
+    ASSERT_TRUE(sink.ok());
+    ThreadPool pool(2);
+    FleetOptions options;
+    options.seed = 777;
+    options.checkpoint_dir = ckpt_dir;
+    options.checkpoint_every_outer = 3;
+    FleetScheduler scheduler(&pool, options);
+    scheduler.set_result_sink(sink.value().get());
+    std::atomic<int> settled{0};
+    scheduler.set_progress_callback([&](const JobRecord& record) {
+      if (record.state != JobState::kPending &&
+          record.state != JobState::kRunning) {
+        ++settled;
+      }
+    });
+    for (int j = 0; j < kJobs; ++j) {
+      scheduler.Enqueue(make_job(j, &gen_b_cache));
+    }
+    while (settled.load() < 3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    scheduler.CancelAll();
+    scheduler.Wait();
+    settled_before_kill = sink.value()->written();
+  }
+  ASSERT_GE(settled_before_kill, 3);
+  ASSERT_LT(settled_before_kill, kJobs);  // the kill landed mid-fleet
+
+  // Generation C: fresh scheduler, auto-resume from the directory.
+  DatasetCache gen_c_cache;
+  {
+    Result<std::unique_ptr<ResultSink>> sink = ResultSink::Open(ckpt_dir);
+    ASSERT_TRUE(sink.ok());
+    ThreadPool pool(2);
+    FleetOptions options;
+    options.seed = 777;
+    options.reseed_jobs = false;  // recorded options are authoritative
+    options.checkpoint_dir = ckpt_dir;
+    options.checkpoint_every_outer = 3;
+    FleetScheduler scheduler(&pool, options);
+    scheduler.set_result_sink(sink.value().get());
+
+    Result<ResumeScan> scan = scheduler.ScanAndResume(ckpt_dir);
+    ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+    EXPECT_EQ(scan.value().failed, 0)
+        << (scan.value().errors.empty() ? "" : scan.value().errors[0]);
+    EXPECT_EQ(scan.value().files_seen, kJobs - settled_before_kill);
+    EXPECT_EQ(scan.value().resumed + scan.value().restarted,
+              scan.value().files_seen);
+    scheduler.Wait();
+  }
+
+  // Union of both generations' streamed models = the whole fleet, each
+  // bit-identical to the uninterrupted run.
+  Result<std::vector<ResultIndexEntry>> index = ReadResultIndex(ckpt_dir);
+  ASSERT_TRUE(index.ok());
+  std::map<std::string, DenseMatrix> settled_models;
+  for (const ResultIndexEntry& entry : index.value()) {
+    Result<ModelArtifact> model = LoadModel(ckpt_dir + "/" + entry.file);
+    ASSERT_TRUE(model.ok()) << entry.file << ": "
+                            << model.status().ToString();
+    settled_models[model.value().name] = model.value().raw_weights;
+  }
+  ASSERT_EQ(settled_models.size(), static_cast<size_t>(kJobs));
+  for (const auto& [name, weights] : reference) {
+    ASSERT_TRUE(settled_models.count(name)) << name;
+    ExpectBitIdenticalDense(settled_models.at(name), weights);
+  }
+  // Every job settled: no unfinished checkpoints remain.
+  int64_t leftover = 0;
+  for (const auto& entry : fs::directory_iterator(ckpt_dir)) {
+    if (entry.path().filename().string().rfind("job-", 0) == 0) ++leftover;
+  }
+  EXPECT_EQ(leftover, 0);
+
+  fs::remove_all(data_dir);
+  fs::remove_all(ckpt_dir);
+}
+
+TEST(FleetDataPlane, ScanAndResumeRequiresRecordedOptionsAuthority) {
+  ThreadPool pool(1);
+  FleetScheduler scheduler(&pool, {.seed = 5});  // reseed_jobs = true
+  Result<ResumeScan> scan = scheduler.ScanAndResume(testing::TempDir());
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FleetDataPlane, V2CheckpointResumesThroughResolverAndV4RejectsLoudly) {
+  const std::string dir = FreshDir("least_v2_resume");
+  const DenseMatrix x = FleetDataset(1, 100, 6);
+
+  // Author a v2-era checkpoint by hand: options + a mid-run state, no
+  // dataset section (the pre-data-plane layout).
+  LearnOptions options = QuickOptions();
+  options.tolerance = 0.0;
+  options.max_outer_iterations = 8;
+  options.seed = FleetScheduler::JobSeed(99, 0, 1);
+  std::shared_ptr<const TrainState> mid_state;
+  {
+    ContinuousLearner learner = MakeLeastDenseLearner(options);
+    int polls = 0;
+    learner.set_stop_predicate([&polls]() { return polls++ >= 3; });
+    LearnResult cancelled = learner.Fit(x);
+    ASSERT_EQ(cancelled.status.code(), StatusCode::kCancelled);
+    mid_state = cancelled.train_state;
+  }
+  ModelArtifact v2_artifact;
+  v2_artifact.name = "legacy-job";
+  v2_artifact.algorithm = Algorithm::kLeastDense;
+  v2_artifact.options = options;
+  v2_artifact.train_state = mid_state;
+  const std::string v2_blob = SerializeModelForVersion(v2_artifact, 2);
+  {
+    std::FILE* f = std::fopen((dir + "/job-0.lbnm").c_str(), "wb");
+    std::fwrite(v2_blob.data(), 1, v2_blob.size(), f);
+    std::fclose(f);
+  }
+  // And a future-versioned blob that must be rejected, not misparsed.
+  {
+    std::string v4_blob = v2_blob;
+    const uint32_t v4 = 4;
+    std::memcpy(v4_blob.data() + 4, &v4, sizeof v4);
+    std::FILE* f = std::fopen((dir + "/job-1.lbnm").c_str(), "wb");
+    std::fwrite(v4_blob.data(), 1, v4_blob.size(), f);
+    std::fclose(f);
+  }
+
+  // Without a resolver, the v2 checkpoint cannot re-attach its data (no
+  // spec recorded) and the v4 blob fails to load; both are reported, not
+  // fatal.
+  {
+    ThreadPool pool(1);
+    FleetOptions fleet;
+    fleet.reseed_jobs = false;
+    FleetScheduler scheduler(&pool, fleet);
+    Result<ResumeScan> scan = scheduler.ScanAndResume(dir);
+    ASSERT_TRUE(scan.ok());
+    EXPECT_EQ(scan.value().files_seen, 2);
+    EXPECT_EQ(scan.value().failed, 2);
+    ASSERT_EQ(scan.value().errors.size(), 2u);
+    bool version_error = false;
+    for (const std::string& error : scan.value().errors) {
+      if (error.find("version") != std::string::npos) version_error = true;
+    }
+    EXPECT_TRUE(version_error);  // the v4 rejection is loud and precise
+  }
+
+  // With a resolver supplying the dataset, the v2 checkpoint resumes and
+  // lands exactly where the uninterrupted run does.
+  const FitOutcome uninterrupted =
+      RunAlgorithm(Algorithm::kLeastDense, x, options);
+  {
+    ThreadPool pool(1);
+    FleetOptions fleet;
+    fleet.reseed_jobs = false;
+    FleetScheduler scheduler(&pool, fleet);
+    Result<ResumeScan> scan = scheduler.ScanAndResume(
+        dir, [&](const DatasetSpec& spec)
+                 -> Result<std::shared_ptr<const DataSource>> {
+          EXPECT_EQ(spec.name, "legacy-job");  // v2: name is all we have
+          return std::static_pointer_cast<const DataSource>(
+              MakeDenseSource(x, spec.name));
+        });
+    ASSERT_TRUE(scan.ok());
+    EXPECT_EQ(scan.value().resumed, 1);
+    EXPECT_EQ(scan.value().failed, 1);  // the v4 blob again
+    scheduler.Wait();
+    ASSERT_EQ(scan.value().job_ids.size(), 1u);
+    const JobRecord& record = scheduler.record(scan.value().job_ids[0]);
+    ExpectBitIdenticalDense(record.outcome.raw_weights,
+                            uninterrupted.raw_weights);
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace least

@@ -30,13 +30,12 @@ LearnOptions FastOptions() {
   return opt;
 }
 
-std::shared_ptr<const DenseMatrix> SmallDataset(uint64_t seed, int d = 6) {
+std::shared_ptr<const DataSource> SmallDataset(uint64_t seed, int d = 6) {
   BenchmarkConfig cfg;
   cfg.d = d;
   cfg.n = 20 * d;
   cfg.seed = seed;
-  return std::make_shared<const DenseMatrix>(
-      MakeBenchmarkInstance(cfg).x);
+  return MakeDenseSource(MakeBenchmarkInstance(cfg).x);
 }
 
 LearnJob SmallJob(uint64_t seed, const std::string& name) {
@@ -285,7 +284,7 @@ TEST(FleetScheduler, RunsSparseJobs) {
   LearnJob job;
   job.name = "sparse";
   job.algorithm = Algorithm::kLeastSparse;
-  job.data = std::make_shared<const DenseMatrix>(instance.x);
+  job.data = MakeDenseSource(instance.x);
   job.options = FastOptions();
   job.options.track_exact_h = false;
   job.options.terminate_on_h = false;

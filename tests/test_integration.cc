@@ -96,7 +96,7 @@ TEST(Integration, RecommendationPipelineFindsSeriesEdges) {
     }
   }
   learner.set_candidate_edges(all_pairs);
-  CsrDataSource src(&inst.ratings);
+  OwningCsrDataSource src(inst.ratings);
   SparseLearnResult r = learner.Fit(src);
 
   // Rank learned edges by signed weight like the paper's Table IV (its
@@ -138,7 +138,7 @@ TEST(Integration, DenseAndSparseLearnersAgreeOnGeneData) {
     }
   }
   learner.set_candidate_edges(pairs);
-  DenseDataSource src(&inst.x);
+  OwningDenseDataSource src(inst.x);
   SparseLearnResult sparse = learner.Fit(src);
 
   StructureMetrics md = EvaluateStructure(inst.w_true, dense.weights);

@@ -108,7 +108,7 @@ TEST(LearnerEdgeCases, SparseDuplicateCandidatesCoalesce) {
   // The same edge offered three times plus a self-loop, which must be
   // ignored outright.
   learner.set_candidate_edges({{0, 1}, {0, 1}, {0, 1}, {1, 2}});
-  DenseDataSource src(&x.value());
+  OwningDenseDataSource src(x.value());
   SparseLearnResult r = learner.Fit(src);
   ASSERT_GE(r.trace.size(), 1u);
   EXPECT_LE(r.trace.front().nnz, 2);  // deduplicated pattern
@@ -139,7 +139,7 @@ TEST(LearnerEdgeCases, SparseCancelBeforeFirstStepReturnsCancelled) {
   opt.batch_size = 16;
   LeastSparseLearner learner(opt);
   learner.set_stop_predicate([]() { return true; });
-  DenseDataSource src(&x);
+  OwningDenseDataSource src(x);
   SparseLearnResult r = learner.Fit(src);
   EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
   EXPECT_EQ(r.outer_iterations, 0);
@@ -166,7 +166,7 @@ TEST(LearnerEdgeCases, SparseCancelMidOuterLoopReturnsCancelled) {
   learner.set_candidate_edges({{0, 1}, {1, 2}, {2, 3}});
   int polls = 0;
   learner.set_stop_predicate([&polls]() { return ++polls > 4; });
-  DenseDataSource src(&x.value());
+  OwningDenseDataSource src(x.value());
   SparseLearnResult r = learner.Fit(src);
   EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
   ASSERT_NE(r.train_state, nullptr);
@@ -191,7 +191,7 @@ TEST(LearnerEdgeCases, SparseStopAfterConvergenceStillReturnsOk) {
   // run reports kOk, not kCancelled.
   int polls = 0;
   learner.set_stop_predicate([&polls]() { return ++polls > 1000000; });
-  DenseDataSource src(&x.value());
+  OwningDenseDataSource src(x.value());
   SparseLearnResult r = learner.Fit(src);
   EXPECT_TRUE(r.status.ok()) << r.status.ToString();
   EXPECT_EQ(r.train_state, nullptr);

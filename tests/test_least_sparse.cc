@@ -9,6 +9,7 @@
 #include "data/benchmark_data.h"
 #include "graph/dag.h"
 #include "metrics/structure_metrics.h"
+#include "runtime/thread_pool.h"
 
 namespace least {
 namespace {
@@ -41,7 +42,7 @@ std::vector<std::pair<int, int>> AllPairs(int d) {
 TEST(LeastSparse, RejectsEmptyData) {
   LeastSparseLearner learner(FastSparseOptions());
   DenseMatrix empty;
-  DenseDataSource src(&empty);
+  OwningDenseDataSource src(empty);
   SparseLearnResult r = learner.Fit(src);
   EXPECT_FALSE(r.status.ok());
 }
@@ -58,7 +59,7 @@ TEST(LeastSparse, RecoversChainWithFullCandidates) {
   learner.set_candidate_edges(AllPairs(4));
   SparseLearnResult r = FitLeastSparse(x.value(), FastSparseOptions());
   // FitLeastSparse has no candidates; do the real run via the learner:
-  DenseDataSource src(&x.value());
+  OwningDenseDataSource src(x.value());
   r = learner.Fit(src);
   ASSERT_TRUE(r.status.ok()) << r.status.ToString();
   StructureMetrics m = EvaluateStructure(w_true, r.weights.ToDense());
@@ -76,7 +77,7 @@ TEST(LeastSparse, CandidatePatternRestrictsSupport) {
   LeastSparseLearner learner(FastSparseOptions());
   std::vector<std::pair<int, int>> candidates = {{0, 1}, {2, 3}, {1, 4}};
   learner.set_candidate_edges(candidates);
-  DenseDataSource src(&x.value());
+  OwningDenseDataSource src(x.value());
   SparseLearnResult r = learner.Fit(src);
   DenseMatrix learned = r.weights.ToDense();
   for (int i = 0; i < 5; ++i) {
@@ -99,7 +100,7 @@ TEST(LeastSparse, LearnedGraphIsDag) {
   BenchmarkInstance inst = MakeBenchmarkInstance(cfg);
   LeastSparseLearner learner(FastSparseOptions());
   learner.set_candidate_edges(AllPairs(12));
-  DenseDataSource src(&inst.x);
+  OwningDenseDataSource src(inst.x);
   SparseLearnResult r = learner.Fit(src);
   EXPECT_TRUE(IsDag(AdjacencyFromCsr(r.weights)));
 }
@@ -117,7 +118,7 @@ TEST(LeastSparse, AgreesWithDenseLearnerOnSmallProblem) {
   LearnResult dense = FitLeastDense(x.value(), opt);
   LeastSparseLearner learner(FastSparseOptions());
   learner.set_candidate_edges(AllPairs(6));
-  DenseDataSource src(&x.value());
+  OwningDenseDataSource src(x.value());
   SparseLearnResult sparse = learner.Fit(src);
   StructureMetrics md = EvaluateStructure(w_true, dense.weights);
   StructureMetrics ms = EvaluateStructure(w_true, sparse.weights.ToDense());
@@ -135,7 +136,7 @@ TEST(LeastSparse, CompactionShrinksPattern) {
   LearnOptions opt = FastSparseOptions();
   LeastSparseLearner learner(opt);
   learner.set_candidate_edges(AllPairs(15));
-  DenseDataSource src(&inst.x);
+  OwningDenseDataSource src(inst.x);
   SparseLearnResult r = learner.Fit(src);
   ASSERT_GE(r.trace.size(), 1u);
   // The traced nnz after the final round is far below the 15*14 candidates.
@@ -157,7 +158,7 @@ TEST(LeastSparse, RandomDensityInitialization) {
   LearnOptions opt = FastSparseOptions();
   opt.init_density = 0.5;  // dense-ish random pattern
   LeastSparseLearner learner(opt);
-  DenseDataSource src(&inst.x);
+  OwningDenseDataSource src(inst.x);
   SparseLearnResult r = learner.Fit(src);
   EXPECT_TRUE(r.status.ok()) << r.status.ToString();
   StructureMetrics m = EvaluateStructure(inst.w_true, r.weights.ToDense());
@@ -172,7 +173,7 @@ TEST(LeastSparse, HutchinsonTraceTracking) {
   opt.track_estimated_h = true;
   LeastSparseLearner learner(opt);
   learner.set_candidate_edges(AllPairs(10));
-  DenseDataSource src(&inst.x);
+  OwningDenseDataSource src(inst.x);
   SparseLearnResult r = learner.Fit(src);
   ASSERT_FALSE(r.trace.empty());
   int populated = 0;
@@ -190,14 +191,47 @@ TEST(LeastSparse, CsrDataSourceEquivalentToDense) {
   LearnOptions opt = FastSparseOptions();
   LeastSparseLearner learner(opt);
   learner.set_candidate_edges(AllPairs(4));
-  DenseDataSource dense_src(&x.value());
-  CsrDataSource sparse_src(&x_sparse);
+  OwningDenseDataSource dense_src(x.value());
+  OwningCsrDataSource sparse_src(x_sparse);
   SparseLearnResult rd = learner.Fit(dense_src);
   SparseLearnResult rs = learner.Fit(sparse_src);
   // Same seed, same batches, identical data: identical results.
   ASSERT_EQ(rd.weights.nnz(), rs.weights.nnz());
   for (int64_t e = 0; e < rd.weights.nnz(); ++e) {
     EXPECT_NEAR(rd.weights.values()[e], rs.weights.values()[e], 1e-12);
+  }
+}
+
+TEST(LeastSparse, BitwiseIdenticalUnderParallelExecutor) {
+  // The sparse learner's O(B·nnz) residual/gradient loops and the batch
+  // gathers run on the pool when one is installed; the contract is bitwise
+  // identity with the serial run. d = 100 with all-pairs candidates and
+  // batch 128 clears kParallelMinFlops (~1.27M flops per inner step).
+  BenchmarkConfig cfg;
+  cfg.d = 100;
+  cfg.n = 300;
+  cfg.seed = 21;
+  BenchmarkInstance inst = MakeBenchmarkInstance(cfg);
+  LearnOptions opt = FastSparseOptions();
+  opt.max_outer_iterations = 3;
+  opt.max_inner_iterations = 15;
+  LeastSparseLearner learner(opt);
+  learner.set_candidate_edges(AllPairs(100));
+  OwningDenseDataSource src(inst.x);
+
+  ASSERT_EQ(GetParallelExecutor(), nullptr);
+  const SparseLearnResult serial = learner.Fit(src);
+  {
+    ThreadPool pool(4);
+    SetParallelExecutor(&pool);
+    const SparseLearnResult parallel = learner.Fit(src);
+    SetParallelExecutor(nullptr);
+    ASSERT_EQ(serial.status.code(), parallel.status.code());
+    ASSERT_TRUE(serial.raw_weights.SamePattern(parallel.raw_weights));
+    EXPECT_EQ(serial.raw_weights.values(), parallel.raw_weights.values());
+    ASSERT_TRUE(serial.weights.SamePattern(parallel.weights));
+    EXPECT_EQ(serial.weights.values(), parallel.weights.values());
+    EXPECT_EQ(serial.inner_iterations, parallel.inner_iterations);
   }
 }
 
@@ -228,7 +262,7 @@ TEST(LeastSparse, ScalesTo2000NodesQuickly) {
   opt.max_outer_iterations = 20;
   LeastSparseLearner learner(opt);
   learner.set_candidate_edges(candidates);
-  DenseDataSource src(&x.value());
+  OwningDenseDataSource src(x.value());
   SparseLearnResult r = learner.Fit(src);
   EXPECT_LE(r.constraint_value, 1e-6);
   StructureMetrics m = EvaluateStructure(w_true, r.weights.ToDense());

@@ -1,8 +1,9 @@
 // Corruption fuzz for io/model_serializer.h: checkpoints are an on-disk
 // contract, so EVERY truncation prefix and EVERY single-byte flip of a
-// valid blob — v1 (no optimizer-state section) and v2 (dense and sparse
-// train states included) — must come back as kInvalidArgument: never OK,
-// never a crash, never a silent misparse.
+// valid blob — v1 (no optimizer-state section), v2 (dense and sparse train
+// states included), and v3 (dataset spec + candidate edges) — must come
+// back as kInvalidArgument: never OK, never a crash, never a silent
+// misparse.
 
 #include <gtest/gtest.h>
 
@@ -84,18 +85,30 @@ void FuzzBlob(const std::string& blob, const std::string& label) {
   }
 }
 
+DatasetSpec FuzzSpec() {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kCsv;
+  spec.name = "fuzz-dataset";
+  spec.path = "/tmp/fuzz-dataset.csv";
+  spec.rows = 128;
+  spec.cols = 4;
+  spec.content_hash = 0xABCDEF0123456789ull;
+  spec.csv_has_header = true;
+  return spec;
+}
+
 TEST(ModelSerializerFuzz, V1DenseBlobSurvivesFuzzing) {
   FuzzBlob(SerializeModelForVersion(BaseArtifact(), 1), "v1-dense");
 }
 
 TEST(ModelSerializerFuzz, V2BlobWithoutStateSurvivesFuzzing) {
-  FuzzBlob(SerializeModel(BaseArtifact()), "v2-no-state");
+  FuzzBlob(SerializeModelForVersion(BaseArtifact(), 2), "v2-no-state");
 }
 
 TEST(ModelSerializerFuzz, V2DenseTrainStateBlobSurvivesFuzzing) {
   ModelArtifact artifact = BaseArtifact();
   artifact.train_state = MakeTrainState(/*sparse=*/false);
-  FuzzBlob(SerializeModel(artifact), "v2-dense-state");
+  FuzzBlob(SerializeModelForVersion(artifact, 2), "v2-dense-state");
 }
 
 TEST(ModelSerializerFuzz, V2SparseTrainStateBlobSurvivesFuzzing) {
@@ -109,7 +122,38 @@ TEST(ModelSerializerFuzz, V2SparseTrainStateBlobSurvivesFuzzing) {
   artifact.weights = DenseMatrix();
   artifact.raw_weights = DenseMatrix();
   artifact.train_state = MakeTrainState(/*sparse=*/true);
-  FuzzBlob(SerializeModel(artifact), "v2-sparse-state");
+  FuzzBlob(SerializeModelForVersion(artifact, 2), "v2-sparse-state");
+}
+
+TEST(ModelSerializerFuzz, V3BlobWithoutNewSectionsSurvivesFuzzing) {
+  FuzzBlob(SerializeModel(BaseArtifact()), "v3-bare");
+}
+
+TEST(ModelSerializerFuzz, V3DatasetAndEdgesBlobSurvivesFuzzing) {
+  ModelArtifact artifact = BaseArtifact();
+  artifact.train_state = MakeTrainState(/*sparse=*/false);
+  artifact.dataset = FuzzSpec();
+  artifact.candidate_edges = {{0, 1}, {1, 2}, {3, 0}};
+  FuzzBlob(SerializeModel(artifact), "v3-dataset-edges");
+}
+
+TEST(ModelSerializerFuzz, V3DatasetSpecRoundTripsExactly) {
+  ModelArtifact artifact = BaseArtifact();
+  artifact.dataset = FuzzSpec();
+  artifact.candidate_edges = {{2, 3}, {0, 2}};
+  Result<ModelArtifact> restored = DeserializeModel(SerializeModel(artifact));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_TRUE(restored.value().dataset.has_value());
+  const DatasetSpec& a = *artifact.dataset;
+  const DatasetSpec& b = *restored.value().dataset;
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.path, b.path);
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.cols, b.cols);
+  EXPECT_EQ(a.content_hash, b.content_hash);
+  EXPECT_EQ(a.csv_has_header, b.csv_has_header);
+  EXPECT_EQ(restored.value().candidate_edges, artifact.candidate_edges);
 }
 
 TEST(ModelSerializerFuzz, TrainStateRoundTripsExactly) {
@@ -151,14 +195,30 @@ TEST(ModelSerializerFuzz, V1BlobFromOldWriterStillLoads) {
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded.value().name, artifact.name);
   EXPECT_EQ(loaded.value().train_state, nullptr);
-  // And a v2 re-serialization of the loaded artifact is readable again.
+  // And a v3 re-serialization of the loaded artifact is readable again.
   EXPECT_TRUE(DeserializeModel(SerializeModel(loaded.value())).ok());
 }
 
-TEST(ModelSerializerFuzz, RejectsFutureVersion3Loudly) {
+TEST(ModelSerializerFuzz, V2BlobFromOldWriterStillLoads) {
+  // v2 checkpoints (pre-dataset-spec) keep loading: the optimizer state is
+  // preserved, the dataset field is simply absent.
+  ModelArtifact artifact = BaseArtifact();
+  artifact.train_state = MakeTrainState(/*sparse=*/false);
+  const std::string v2 = SerializeModelForVersion(artifact, 2);
+  uint32_t version = 0;
+  std::memcpy(&version, v2.data() + 4, sizeof version);
+  EXPECT_EQ(version, 2u);
+  Result<ModelArtifact> loaded = DeserializeModel(v2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_NE(loaded.value().train_state, nullptr);
+  EXPECT_FALSE(loaded.value().dataset.has_value());
+  EXPECT_TRUE(loaded.value().candidate_edges.empty());
+}
+
+TEST(ModelSerializerFuzz, RejectsFutureVersion4Loudly) {
   std::string blob = SerializeModel(BaseArtifact());
-  const uint32_t v3 = 3;
-  std::memcpy(blob.data() + 4, &v3, sizeof v3);
+  const uint32_t v4 = 4;
+  std::memcpy(blob.data() + 4, &v4, sizeof v4);
   Result<ModelArtifact> r = DeserializeModel(blob);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
