@@ -7,11 +7,48 @@
 #   BUILD_DIR=out scripts/check.sh
 #   LEAST_SANITIZE=1 scripts/check.sh       # add the ASan+UBSan pass
 #   LEAST_SANITIZE_ONLY=1 scripts/check.sh  # just the sanitizer pass (CI)
+#   scripts/check.sh --bench-smoke          # build + run kernel_micro small;
+#                                           # writes build/BENCH_kernels.json
+#                                           # (CI uploads it as an artifact).
+#                                           # The repo-root BENCH_kernels.json
+#                                           # is the committed paper-scale
+#                                           # record — refresh it by running
+#                                           # build/bench/kernel_micro from
+#                                           # the repo root at scale 1.
+#   LEAST_NATIVE=1 scripts/check.sh         # -march=native kernels (local
+#                                           # perf runs; off in CI)
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BUILD_DIR:-build}"
+
+bench_smoke=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) bench_smoke=1 ;;
+    *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
+  esac
+done
+
+native_flags=()
+if [[ "${LEAST_NATIVE:-0}" != "0" ]]; then
+  native_flags+=(-DLEAST_NATIVE=ON)
+fi
+
+if [[ "$bench_smoke" != "0" ]]; then
+  # Kernel microbenchmark smoke: small sizes, single-threaded, proves the
+  # blocked gemm / workspace layer still reports sane numbers. The snapshot
+  # lands in the build tree so it can never clobber the committed
+  # paper-scale BENCH_kernels.json at the repo root.
+  cd "$repo_root"
+  cmake -B "$build_dir" -S . "${native_flags[@]}"
+  cmake --build "$build_dir" -j --target bench_kernel_micro
+  (cd "$build_dir" &&
+   LEAST_BENCH_SCALE="${LEAST_BENCH_SCALE:-0.2}" bench/kernel_micro)
+  echo "check.sh: bench smoke done ($build_dir/BENCH_kernels.json written)"
+  exit 0
+fi
 
 if [[ "${LEAST_SANITIZE_ONLY:-0}" != "0" ]]; then
   LEAST_SANITIZE=1
@@ -23,7 +60,7 @@ if [[ "${LEAST_SANITIZE_ONLY:-0}" == "0" ]]; then
     rm -rf "$build_dir"
   fi
 
-  cmake -B "$build_dir" -S .
+  cmake -B "$build_dir" -S . "${native_flags[@]}"
   cmake --build "$build_dir" -j
   cd "$build_dir"
   ctest --output-on-failure -j

@@ -7,12 +7,21 @@
 /// (exactly, for NOTEARS' h and DAG-GNN's g) or that upper-bounds a quantity
 /// which vanishes iff acyclic (LEAST's spectral bound). All implementations
 /// evaluate on S = W ∘ W internally and report gradients with respect to W.
+///
+/// Evaluation is called once per optimizer step, so every implementation
+/// draws its temporaries from the caller's `Workspace` — the learners pass
+/// one per `Fit`, making steady-state iterations allocation-free. Passing
+/// `ws == nullptr` (or the two-argument overload) falls back to call-local
+/// scratch. Implementations stay reentrant: they hold no mutable state, so a
+/// shared constraint instance may serve concurrent `Fit`s, each with its own
+/// workspace.
 
 #pragma once
 
 #include <string_view>
 
 #include "linalg/dense_matrix.h"
+#include "linalg/workspace.h"
 
 namespace least {
 
@@ -27,9 +36,15 @@ class AcyclicityConstraint {
 
   /// Returns the constraint value for a square weight matrix. When
   /// `grad_out` is non-null it must have the same shape as `w` and is
-  /// overwritten with the gradient d(value)/dW.
-  virtual double Evaluate(const DenseMatrix& w,
-                          DenseMatrix* grad_out) const = 0;
+  /// overwritten with the gradient d(value)/dW. Temporaries come from `ws`
+  /// when non-null (scoped: the caller's earlier checkouts are preserved).
+  virtual double Evaluate(const DenseMatrix& w, DenseMatrix* grad_out,
+                          Workspace* ws) const = 0;
+
+  /// Convenience overload with call-local scratch.
+  double Evaluate(const DenseMatrix& w, DenseMatrix* grad_out) const {
+    return Evaluate(w, grad_out, nullptr);
+  }
 };
 
 }  // namespace least

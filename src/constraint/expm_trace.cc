@@ -5,11 +5,17 @@
 namespace least {
 
 double ExpmTraceConstraint::Evaluate(const DenseMatrix& w,
-                                     DenseMatrix* grad_out) const {
+                                     DenseMatrix* grad_out,
+                                     Workspace* ws_opt) const {
   LEAST_CHECK(w.rows() == w.cols());
   const int d = w.rows();
-  DenseMatrix s = w.HadamardSquare();
-  DenseMatrix e = Expm(s);
+  Workspace local;
+  Workspace& ws = ws_opt != nullptr ? *ws_opt : local;
+  WorkspaceScope scope(ws);
+  DenseMatrix& s = ws.Matrix(d, d);
+  w.HadamardSquareInto(&s);
+  DenseMatrix& e = ws.Matrix(d, d);
+  ExpmInto(s, &e, &ws);
   const double h = e.Trace() - d;
   if (grad_out != nullptr) {
     LEAST_CHECK(grad_out->SameShape(w));

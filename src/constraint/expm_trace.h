@@ -15,8 +15,11 @@ namespace least {
 /// \brief Matrix-exponential trace constraint (the NOTEARS baseline).
 class ExpmTraceConstraint final : public AcyclicityConstraint {
  public:
+  using AcyclicityConstraint::Evaluate;
+
   std::string_view name() const override { return "expm-trace"; }
-  double Evaluate(const DenseMatrix& w, DenseMatrix* grad_out) const override;
+  double Evaluate(const DenseMatrix& w, DenseMatrix* grad_out,
+                  Workspace* ws) const override;
 };
 
 }  // namespace least

@@ -4,40 +4,54 @@ namespace least {
 
 namespace {
 
-// Binary powering: returns base^exp for square `base`.
-DenseMatrix MatrixPower(DenseMatrix base, int exp) {
+// Binary powering into `result`: result = base^exp for square `base`.
+// `base` is clobbered (used as the squaring accumulator); all matrices must
+// be distinct objects.
+void MatrixPowerInto(DenseMatrix* base, int exp, DenseMatrix* result,
+                     DenseMatrix* tmp) {
   LEAST_CHECK(exp >= 0);
-  const int d = base.rows();
-  DenseMatrix result = DenseMatrix::Identity(d);
-  DenseMatrix tmp(d, d);
+  const int d = base->rows();
+  result->Reshape(d, d);
+  result->Fill(0.0);
+  result->FillDiagonal(1.0);
   while (exp > 0) {
     if (exp & 1) {
-      MatmulInto(result, base, &tmp);
-      std::swap(result, tmp);
+      MatmulInto(*result, *base, tmp);
+      std::swap(*result, *tmp);
     }
     exp >>= 1;
     if (exp > 0) {
-      MatmulInto(base, base, &tmp);
-      std::swap(base, tmp);
+      MatmulInto(*base, *base, tmp);
+      std::swap(*base, *tmp);
     }
   }
-  return result;
 }
 
 }  // namespace
 
 double PolyTraceConstraint::Evaluate(const DenseMatrix& w,
-                                     DenseMatrix* grad_out) const {
+                                     DenseMatrix* grad_out,
+                                     Workspace* ws_opt) const {
   LEAST_CHECK(w.rows() == w.cols());
   const int d = w.rows();
   if (d == 0) return 0.0;
-  DenseMatrix m = w.HadamardSquare();
+  Workspace local;
+  Workspace& ws = ws_opt != nullptr ? *ws_opt : local;
+  WorkspaceScope scope(ws);
+  DenseMatrix& m = ws.Matrix(d, d);
+  w.HadamardSquareInto(&m);
   m.Scale(1.0 / d);
   for (int i = 0; i < d; ++i) m(i, i) += 1.0;  // M = I + S/d
 
   // Need M^{d-1} for the gradient and M^d = M^{d-1} * M for the value.
-  DenseMatrix m_pow = MatrixPower(m, d - 1);
-  DenseMatrix m_full = Matmul(m_pow, m);
+  // The powering clobbers its base, so it runs on a copy of M.
+  DenseMatrix& m_base = ws.Matrix(d, d);
+  m_base.CopyFrom(m);
+  DenseMatrix& m_pow = ws.Matrix(d, d);
+  DenseMatrix& tmp = ws.Matrix(d, d);
+  MatrixPowerInto(&m_base, d - 1, &m_pow, &tmp);
+  DenseMatrix& m_full = ws.Matrix(d, d);
+  MatmulInto(m_pow, m, &m_full);
   const double g = m_full.Trace() - d;
   if (grad_out != nullptr) {
     LEAST_CHECK(grad_out->SameShape(w));

@@ -19,8 +19,11 @@ namespace least {
 /// \brief Matrix-power trace constraint (DAG-GNN-style baseline).
 class PolyTraceConstraint final : public AcyclicityConstraint {
  public:
+  using AcyclicityConstraint::Evaluate;
+
   std::string_view name() const override { return "poly-trace"; }
-  double Evaluate(const DenseMatrix& w, DenseMatrix* grad_out) const override;
+  double Evaluate(const DenseMatrix& w, DenseMatrix* grad_out,
+                  Workspace* ws) const override;
 };
 
 }  // namespace least

@@ -10,14 +10,24 @@ PowerIterationConstraint::PowerIterationConstraint(int iterations)
 }
 
 double PowerIterationConstraint::Evaluate(const DenseMatrix& w,
-                                          DenseMatrix* grad_out) const {
+                                          DenseMatrix* grad_out,
+                                          Workspace* ws_opt) const {
   LEAST_CHECK(w.rows() == w.cols());
   const int d = w.rows();
   if (d == 0) return 0.0;
-  DenseMatrix s = w.HadamardSquare();
-  DenseMatrix st = s.Transpose();
+  Workspace local;
+  Workspace& ws = ws_opt != nullptr ? *ws_opt : local;
+  WorkspaceScope scope(ws);
+  DenseMatrix& s = ws.Matrix(d, d);
+  w.HadamardSquareInto(&s);
+  DenseMatrix& st = ws.Matrix(d, d);
+  s.TransposeInto(&st);
 
-  std::vector<double> v(d, 1.0), u(d, 1.0), tmp(d);
+  std::vector<double>& v = ws.Vector(d);
+  std::vector<double>& u = ws.Vector(d);
+  std::vector<double>& tmp = ws.Vector(d);
+  std::fill(v.begin(), v.end(), 1.0);
+  std::fill(u.begin(), u.end(), 1.0);
   bool collapsed = false;
   auto normalize = [&](std::vector<double>& vec) {
     double norm = 0.0;

@@ -19,11 +19,14 @@ namespace least {
 /// \brief Power-iteration spectral radius estimate (NO-BEARS baseline).
 class PowerIterationConstraint final : public AcyclicityConstraint {
  public:
+  using AcyclicityConstraint::Evaluate;
+
   /// `iterations` power steps are unrolled per evaluation.
   explicit PowerIterationConstraint(int iterations = 8);
 
   std::string_view name() const override { return "power-iteration"; }
-  double Evaluate(const DenseMatrix& w, DenseMatrix* grad_out) const override;
+  double Evaluate(const DenseMatrix& w, DenseMatrix* grad_out,
+                  Workspace* ws) const override;
 
  private:
   int iterations_;

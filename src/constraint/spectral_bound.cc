@@ -38,69 +38,94 @@ SpectralBoundConstraint::SpectralBoundConstraint(
 }
 
 double SpectralBoundConstraint::Evaluate(const DenseMatrix& w,
-                                         DenseMatrix* grad_out) const {
+                                         DenseMatrix* grad_out,
+                                         Workspace* ws_opt) const {
   LEAST_CHECK(w.rows() == w.cols());
   const int d = w.rows();
   const int k = options_.k;
   const double alpha = options_.alpha;
+  Workspace local;
+  Workspace& ws = ws_opt != nullptr ? *ws_opt : local;
+  WorkspaceScope scope(ws);
 
   // ---- Forward pass: levels S(0)..S(k), keeping all of them for backward.
-  std::vector<DenseMatrix> s_levels;
-  s_levels.reserve(k + 1);
-  s_levels.push_back(w.HadamardSquare());
-  std::vector<std::vector<double>> r_levels(k + 1), c_levels(k + 1),
-      b_levels(k + 1);
+  // All k + 1 levels live in one tall workspace matrix — level j is the
+  // contiguous d x d block starting at row j*d — so the whole forward state
+  // is two checkouts, not O(k) allocations per evaluation.
+  DenseMatrix& s_all = ws.Matrix((k + 1) * d, d);
+  std::vector<double>& r_all = ws.Vector(static_cast<size_t>(k + 1) * d);
+  std::vector<double>& c_all = ws.Vector(static_cast<size_t>(k + 1) * d);
+  std::vector<double>& b_all = ws.Vector(static_cast<size_t>(k + 1) * d);
+  auto s_level = [&](int j) { return s_all.row(j * d); };
+  {
+    const double* src = w.data().data();
+    double* dst = s_level(0);
+    const size_t nn = static_cast<size_t>(d) * d;
+    for (size_t e = 0; e < nn; ++e) dst[e] = src[e] * src[e];
+  }
   for (int j = 0; j <= k; ++j) {
-    const DenseMatrix& s = s_levels[j];
-    r_levels[j] = s.RowSums();
-    c_levels[j] = s.ColSums();
-    b_levels[j].resize(d);
+    const double* s = s_level(j);
+    double* r = r_all.data() + static_cast<size_t>(j) * d;
+    double* c = c_all.data() + static_cast<size_t>(j) * d;
+    double* b = b_all.data() + static_cast<size_t>(j) * d;
+    std::fill(c, c + d, 0.0);
     for (int i = 0; i < d; ++i) {
-      b_levels[j][i] = BalancedBound(r_levels[j][i], c_levels[j][i], alpha);
+      const double* s_row = s + static_cast<size_t>(i) * d;
+      double row_sum = 0.0;
+      for (int l = 0; l < d; ++l) {
+        row_sum += s_row[l];
+        c[l] += s_row[l];
+      }
+      r[i] = row_sum;
     }
+    for (int i = 0; i < d; ++i) b[i] = BalancedBound(r[i], c[i], alpha);
     if (j < k) {
-      DenseMatrix next(d, d);
-      const std::vector<double>& b = b_levels[j];
+      double* next = s_level(j + 1);
       for (int i = 0; i < d; ++i) {
         const double bi = b[i];
-        const double* src = s.row(i);
-        double* dst = next.row(i);
-        if (bi <= 0.0) continue;  // paper convention: (D^{-1})[i,i] = 0
+        const double* src = s + static_cast<size_t>(i) * d;
+        double* dst = next + static_cast<size_t>(i) * d;
+        if (bi <= 0.0) {
+          // paper convention: (D^{-1})[i,i] = 0 zeroes the whole row
+          std::fill(dst, dst + d, 0.0);
+          continue;
+        }
         const double inv_bi = 1.0 / bi;
         for (int l = 0; l < d; ++l) dst[l] = src[l] * b[l] * inv_bi;
       }
-      s_levels.push_back(std::move(next));
     }
   }
+  const double* b_top = b_all.data() + static_cast<size_t>(k) * d;
   double bound = 0.0;
-  for (double v : b_levels[k]) bound += v;
+  for (int i = 0; i < d; ++i) bound += b_top[i];
 
   if (grad_out == nullptr) return bound;
 
   // ---- Backward pass.
   LEAST_CHECK(grad_out->SameShape(w));
-  auto make_xy = [&](int j, std::vector<double>& x, std::vector<double>& y) {
-    x.resize(d);
-    y.resize(d);
+  std::vector<double>& x = ws.Vector(d);
+  std::vector<double>& y = ws.Vector(d);
+  auto make_xy = [&](int j) {
+    const double* r = r_all.data() + static_cast<size_t>(j) * d;
+    const double* c = c_all.data() + static_cast<size_t>(j) * d;
     for (int i = 0; i < d; ++i) {
-      x[i] = DbDr(r_levels[j][i], c_levels[j][i], alpha);
-      y[i] = DbDc(r_levels[j][i], c_levels[j][i], alpha);
+      x[i] = DbDr(r[i], c[i], alpha);
+      y[i] = DbDc(r[i], c[i], alpha);
     }
   };
 
-  std::vector<double> x, y;
-  make_xy(k, x, y);
+  make_xy(k);
   // Seed: G(k)[i,l] = x[i] + y[l].
-  DenseMatrix g(d, d);
+  DenseMatrix& g = ws.Matrix(d, d);
   for (int i = 0; i < d; ++i) {
     double* row = g.row(i);
     for (int l = 0; l < d; ++l) row[l] = x[i] + y[l];
   }
 
-  std::vector<double> z(d);
+  std::vector<double>& z = ws.Vector(d);
   for (int j = k - 1; j >= 0; --j) {
-    const DenseMatrix& s = s_levels[j];
-    const std::vector<double>& b = b_levels[j];
+    const double* s_j = s_level(j);
+    const double* b = b_all.data() + static_cast<size_t>(j) * d;
     // z[m] = Σ_i G[i,m] S[i,m]/b[i]  −  Σ_l G[m,l] S[m,l] b[l]/b[m]².
     std::fill(z.begin(), z.end(), 0.0);
     for (int i = 0; i < d; ++i) {
@@ -109,7 +134,7 @@ double SpectralBoundConstraint::Evaluate(const DenseMatrix& w,
       const double inv_bi = 1.0 / bi;
       const double inv_bi2 = inv_bi * inv_bi;
       const double* g_row = g.row(i);
-      const double* s_row = s.row(i);
+      const double* s_row = s_j + static_cast<size_t>(i) * d;
       double z_i_dec = 0.0;
       for (int l = 0; l < d; ++l) {
         const double gs = g_row[l] * s_row[l];
@@ -118,7 +143,7 @@ double SpectralBoundConstraint::Evaluate(const DenseMatrix& w,
       }
       z[i] -= z_i_dec;
     }
-    make_xy(j, x, y);
+    make_xy(j);
     // G(j)[i,l] = G(j+1)[i,l]·b[l]/b[i] + x[i]z[i] + y[l]z[l].
     for (int i = 0; i < d; ++i) {
       const double bi = b[i];
@@ -214,7 +239,10 @@ double SpectralBoundSparse(const CsrMatrix& w,
   // ---- Backward over the pattern (Lemma 5 masking; exact).
   std::vector<double>& g = ws.grad_entries;
   g.resize(nnz);
-  std::vector<double> x(d), y(d);
+  ws.x.resize(d);
+  ws.y.resize(d);
+  std::vector<double>& x = ws.x;
+  std::vector<double>& y = ws.y;
   auto make_xy = [&](int j) {
     const std::vector<double>& r = ws.level_r[j];
     const std::vector<double>& c = ws.level_c[j];

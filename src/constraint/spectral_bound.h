@@ -55,10 +55,13 @@ struct SpectralBoundOptions {
 /// \brief Dense implementation (the LEAST-TF analog).
 class SpectralBoundConstraint final : public AcyclicityConstraint {
  public:
+  using AcyclicityConstraint::Evaluate;
+
   explicit SpectralBoundConstraint(const SpectralBoundOptions& options = {});
 
   std::string_view name() const override { return "spectral-bound"; }
-  double Evaluate(const DenseMatrix& w, DenseMatrix* grad_out) const override;
+  double Evaluate(const DenseMatrix& w, DenseMatrix* grad_out,
+                  Workspace* ws) const override;
 
   const SpectralBoundOptions& options() const { return options_; }
 
@@ -75,6 +78,8 @@ struct SparseBoundWorkspace {
   std::vector<std::vector<double>> level_c;       ///< col sums per level
   std::vector<double> grad_entries;               ///< G over the pattern
   std::vector<double> z;                          ///< adjoint of b
+  std::vector<double> x;                          ///< ∂b/∂r per node
+  std::vector<double> y;                          ///< ∂b/∂c per node
   std::vector<int> entry_row;                     ///< row index per entry
 };
 

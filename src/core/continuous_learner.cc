@@ -95,7 +95,13 @@ LearnResult ContinuousLearner::FitInternal(const DenseMatrix& x,
   Stopwatch watch;
   Rng rng(opt.seed);
 
-  LeastSquaresLoss loss(&x, opt.lambda1, opt.batch_size);
+  // Per-Fit scratch arena: the loss checks its persistent buffers out here,
+  // and every constraint evaluation draws its temporaries from scoped
+  // checkouts above them — steady-state iterations allocate nothing (the
+  // zero-allocation proof lives in tests/test_workspace.cc). Local to the
+  // call, so Fit stays const + reentrant.
+  Workspace ws;
+  LeastSquaresLoss loss(&x, opt.lambda1, opt.batch_size, &ws);
   ExpmTraceConstraint exact_h;  // optional tracker (small d only)
 
   DenseMatrix w(d, d);
@@ -150,6 +156,11 @@ LearnResult ContinuousLearner::FitInternal(const DenseMatrix& x,
   const bool use_h_termination = opt.terminate_on_h && opt.track_exact_h;
   bool converged = false;
 
+  // One optimizer hoisted out of the round loop; each round re-initializes
+  // it in place (same semantics as a fresh Adam, without the per-round
+  // moment-buffer allocation).
+  Adam adam(0);
+
   // Cooperative cancellation: polled between rounds and at the inner
   // convergence-check cadence, so a fleet Cancel() interrupts within a few
   // optimizer steps instead of after a full Fit. Every poll site is also a
@@ -196,7 +207,7 @@ LearnResult ContinuousLearner::FitInternal(const DenseMatrix& x,
     const double lr = std::max(
         opt.learning_rate * std::pow(opt.lr_decay, outer - 1),
         0.05 * opt.learning_rate);
-    Adam adam(w.size(), {.learning_rate = lr});
+    adam.Reinitialize(w.size(), {.learning_rate = lr});
     double prev_objective = std::numeric_limits<double>::infinity();
     double last_loss = 0.0;
     int inner_done = 0;
@@ -209,7 +220,7 @@ LearnResult ContinuousLearner::FitInternal(const DenseMatrix& x,
       inner_start = resume->inner_steps + 1;
     }
     for (int inner = inner_start; inner <= opt.max_inner_iterations; ++inner) {
-      constraint_value = constraint_->Evaluate(w, &constraint_grad);
+      constraint_value = constraint_->Evaluate(w, &constraint_grad, &ws);
       const double loss_value = loss.ValueAndGradient(w, &loss_grad, rng);
       const double objective = loss_value +
                                0.5 * rho * constraint_value * constraint_value +
@@ -251,7 +262,7 @@ LearnResult ContinuousLearner::FitInternal(const DenseMatrix& x,
     result.outer_iterations = outer;
 
     // Re-evaluate the constraint after the final inner step.
-    constraint_value = constraint_->Evaluate(w, nullptr);
+    constraint_value = constraint_->Evaluate(w, nullptr, &ws);
 
     TracePoint tp;
     tp.outer = outer;
@@ -260,7 +271,7 @@ LearnResult ContinuousLearner::FitInternal(const DenseMatrix& x,
     tp.loss = last_loss;
     tp.nnz = w.CountNonZeros();
     if (opt.track_exact_h) {
-      tp.h_value = exact_h.Evaluate(w, nullptr);
+      tp.h_value = exact_h.Evaluate(w, nullptr, &ws);
     }
     result.trace.push_back(tp);
     if (snapshot_) snapshot_(outer, w, constraint_value);

@@ -147,6 +147,11 @@ SparseLearnResult LeastSparseLearner::FitInternal(
 
   bool converged = false;
 
+  // One optimizer hoisted out of the round loop; rounds re-initialize it in
+  // place for the current nnz (the pattern only shrinks after Compact, so
+  // the moment buffers reach their high-water size in round one).
+  Adam adam(0);
+
   auto stop_requested = [this]() { return stop_ != nullptr && stop_(); };
   auto make_state = [&](int outer, int inner_steps, const Adam* adam,
                         double prev_objective, double last_loss) {
@@ -189,7 +194,7 @@ SparseLearnResult LeastSparseLearner::FitInternal(
     const double lr = std::max(
         opt.learning_rate * std::pow(opt.lr_decay, outer - 1),
         0.05 * opt.learning_rate);
-    Adam adam(static_cast<size_t>(w.nnz()), {.learning_rate = lr});
+    adam.Reinitialize(static_cast<size_t>(w.nnz()), {.learning_rate = lr});
     double prev_objective = std::numeric_limits<double>::infinity();
     double last_loss = 0.0;
     int inner_done = 0;
@@ -246,8 +251,8 @@ SparseLearnResult LeastSparseLearner::FitInternal(
         }
       });
       const double inv_b = 1.0 / batch;
-      double smooth = 0.0;
-      for (double v : rt.data()) smooth += v * v;
+      double smooth = DeterministicSumSquares(
+          rt.data().data(), static_cast<int64_t>(rt.data().size()));
       smooth *= inv_b;
 
       // --- Pattern-restricted gradient, split over pattern rows (each
@@ -270,11 +275,15 @@ SparseLearnResult LeastSparseLearner::FitInternal(
           }
         }
       });
-      // L1 term, hoisted out of the parallel loop: a serial pass in storage
-      // order — the exact order the fused serial loop used — keeps the sum
-      // bit-identical across thread counts.
-      double l1 = 0.0;
-      for (const double v : values) l1 += std::fabs(v);
+      // L1 term, hoisted out of the parallel loop: a deterministic chunked
+      // reduction in storage order — the chunk layout depends only on nnz,
+      // so the sum is bit-identical across thread counts.
+      const double* vp = values.data();
+      const double l1 = DeterministicSum(0, nnz, [vp](int64_t lo, int64_t hi) {
+        double s = 0.0;
+        for (int64_t i = lo; i < hi; ++i) s += std::fabs(vp[i]);
+        return s;
+      });
       const double loss_value = smooth + opt.lambda1 * l1;
       const double objective =
           loss_value + 0.5 * rho * constraint_value * constraint_value +

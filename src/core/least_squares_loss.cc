@@ -9,42 +9,51 @@ namespace least {
 
 double AddL1Subgradient(const DenseMatrix& w, double lambda1,
                         DenseMatrix* grad) {
-  double l1 = 0.0;
-  for (size_t i = 0; i < w.data().size(); ++i) {
-    const double v = w.data()[i];
-    l1 += std::fabs(v);
-    if (grad != nullptr && v != 0.0) {
-      grad->data()[i] += v > 0.0 ? lambda1 : -lambda1;
-    }
-  }
+  const double* wp = w.data().data();
+  double* gp = grad != nullptr ? grad->data().data() : nullptr;
+  const double l1 = DeterministicSum(
+      0, static_cast<int64_t>(w.data().size()),
+      [wp, gp, lambda1](int64_t lo, int64_t hi) {
+        double s = 0.0;
+        for (int64_t i = lo; i < hi; ++i) {
+          const double v = wp[i];
+          s += std::fabs(v);
+          if (gp != nullptr && v != 0.0) {
+            gp[i] += v > 0.0 ? lambda1 : -lambda1;
+          }
+        }
+        return s;
+      });
   return lambda1 * l1;
 }
 
 LeastSquaresLoss::LeastSquaresLoss(const DenseMatrix* x, double lambda1,
-                                   int batch_size)
+                                   int batch_size, Workspace* ws_opt)
     : x_(x), lambda1_(lambda1), batch_size_(batch_size) {
   LEAST_CHECK(x_ != nullptr);
+  Workspace& ws = ws_opt != nullptr ? *ws_opt : own_ws_;
   if (batch_size_ >= x_->rows()) batch_size_ = 0;  // full batch
   const int d = x_->cols();
   if (batch_size_ <= 0) {
     // Gram precomputation: G = XᵀX, O(n d²) once.
-    gram_ = DenseMatrix(d, d);
+    gram_ = &ws.Matrix(d, d);
+    gram_->Fill(0.0);
     const int n = x_->rows();
     for (int s = 0; s < n; ++s) {
       const double* row = x_->row(s);
       for (int i = 0; i < d; ++i) {
         const double xi = row[i];
         if (xi == 0.0) continue;
-        double* g_row = gram_.row(i);
+        double* g_row = gram_->row(i);
         for (int j = 0; j < d; ++j) g_row[j] += xi * row[j];
       }
     }
-    trace_gram_ = gram_.Trace();
-    gw_ = DenseMatrix(d, d);
+    trace_gram_ = gram_->Trace();
+    gw_ = &ws.Matrix(d, d);
   } else {
-    xb_ = DenseMatrix(batch_size_, d);
-    residual_ = DenseMatrix(batch_size_, d);
-    batch_rows_.resize(batch_size_);
+    xb_ = &ws.Matrix(batch_size_, d);
+    residual_ = &ws.Matrix(batch_size_, d);
+    batch_rows_ = &ws.IntVector(batch_size_);
   }
 }
 
@@ -59,25 +68,39 @@ double LeastSquaresLoss::ValueAndGradient(const DenseMatrix& w,
 double LeastSquaresLoss::FullBatch(const DenseMatrix& w,
                                    DenseMatrix* grad_out) {
   const double inv_n = 1.0 / std::max(1, x_->rows());
-  MatmulInto(gram_, w, &gw_);
-  // smooth = (Tr G − 2⟨G, W⟩ + ⟨W, GW⟩) / n.
-  double dot_gw = 0.0, dot_w_gw = 0.0;
-  for (size_t i = 0; i < w.data().size(); ++i) {
-    dot_gw += gram_.data()[i] * w.data()[i];
-    dot_w_gw += w.data()[i] * gw_.data()[i];
-  }
-  const double smooth = (trace_gram_ - 2.0 * dot_gw + dot_w_gw) * inv_n;
+  MatmulInto(*gram_, w, gw_);
+  // smooth = (Tr G − 2⟨G, W⟩ + ⟨W, GW⟩) / n. Both dots in one deterministic
+  // chunked pass.
+  struct Dots {
+    double gw;
+    double w_gw;
+  };
+  const double* gram = gram_->data().data();
+  const double* wp = w.data().data();
+  const double* gwp = gw_->data().data();
+  const Dots dots = DeterministicReduce(
+      0, static_cast<int64_t>(w.data().size()), Dots{0.0, 0.0},
+      [gram, wp, gwp](int64_t lo, int64_t hi) {
+        Dots d{0.0, 0.0};
+        for (int64_t i = lo; i < hi; ++i) {
+          d.gw += gram[i] * wp[i];
+          d.w_gw += wp[i] * gwp[i];
+        }
+        return d;
+      },
+      [](const Dots& a, const Dots& b) {
+        return Dots{a.gw + b.gw, a.w_gw + b.w_gw};
+      });
+  const double smooth = (trace_gram_ - 2.0 * dots.gw + dots.w_gw) * inv_n;
   if (grad_out != nullptr) {
     LEAST_CHECK(grad_out->SameShape(w));
     // Pure elementwise map — safe for the optional parallel executor.
-    std::span<double> grad = grad_out->data();
-    std::span<const double> gw = gw_.data();
-    std::span<const double> gram = gram_.data();
+    double* grad = grad_out->data().data();
     MaybeParallelFor(
-        0, static_cast<int64_t>(grad.size()), /*grain=*/-1,
-        [&](int64_t lo, int64_t hi) {
+        0, static_cast<int64_t>(grad_out->data().size()), /*grain=*/-1,
+        [grad, gwp, gram, inv_n](int64_t lo, int64_t hi) {
           for (int64_t i = lo; i < hi; ++i) {
-            grad[i] = 2.0 * inv_n * (gw[i] - gram[i]);
+            grad[i] = 2.0 * inv_n * (gwp[i] - gram[i]);
           }
         });
   }
@@ -89,18 +112,22 @@ double LeastSquaresLoss::MiniBatch(const DenseMatrix& w,
   const int d = w.rows();
   const int n = x_->rows();
   const int batch = batch_size_;
-  for (int b = 0; b < batch; ++b) batch_rows_[b] = rng.UniformInt(n);
+  std::vector<int>& batch_rows = *batch_rows_;
+  DenseMatrix& xb = *xb_;
+  DenseMatrix& residual = *residual_;
+  for (int b = 0; b < batch; ++b) batch_rows[b] = rng.UniformInt(n);
   for (int b = 0; b < batch; ++b) {
-    const double* src = x_->row(batch_rows_[b]);
-    double* dst = xb_.row(b);
+    const double* src = x_->row(batch_rows[b]);
+    double* dst = xb.row(b);
     for (int j = 0; j < d; ++j) dst[j] = src[j];
   }
   // residual = X_B W − X_B.
-  MatmulInto(xb_, w, &residual_);
-  residual_.AddScaled(xb_, -1.0);
+  MatmulInto(xb, w, &residual);
+  residual.AddScaled(xb, -1.0);
   const double inv_b = 1.0 / batch;
-  double smooth = 0.0;
-  for (double v : residual_.data()) smooth += v * v;
+  double smooth =
+      DeterministicSumSquares(residual.data().data(),
+                              static_cast<int64_t>(residual.data().size()));
   smooth *= inv_b;
   if (grad_out != nullptr) {
     LEAST_CHECK(grad_out->SameShape(w));
@@ -112,9 +139,9 @@ double LeastSquaresLoss::MiniBatch(const DenseMatrix& w,
         double* g_row = grad_out->row(static_cast<int>(i));
         for (int j = 0; j < d; ++j) g_row[j] = 0.0;
         for (int b = 0; b < batch; ++b) {
-          const double xi = xb_(b, static_cast<int>(i));
+          const double xi = xb(b, static_cast<int>(i));
           if (xi == 0.0) continue;
-          const double* rrow = residual_.row(b);
+          const double* rrow = residual.row(b);
           for (int j = 0; j < d; ++j) g_row[j] += xi * rrow[j];
         }
         for (int j = 0; j < d; ++j) g_row[j] *= 2.0 * inv_b;

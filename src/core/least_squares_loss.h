@@ -9,13 +9,20 @@
 /// subgradient λ·sign(W) with sign(0) = 0.
 ///
 /// Both gradient kernels split across the optional global `ParallelExecutor`
-/// (see `linalg/parallel.h`) on large problems; results are bitwise
-/// identical with and without an executor.
+/// (see `linalg/parallel.h`) on large problems, and the ⟨G,W⟩ / ⟨W,GW⟩ and
+/// ‖R‖² dots run through the deterministic chunk-tree reductions; results
+/// are bitwise identical with and without an executor.
+///
+/// All persistent buffers (Gram, GW, batch slab, residual) come from the
+/// caller's `Workspace` when one is provided, so constructing a loss inside
+/// a `Fit` adds nothing to the iteration-time allocation count and reuses
+/// the learner's arena across rounds.
 
 #pragma once
 
 #include "core/learn_options.h"
 #include "linalg/dense_matrix.h"
+#include "linalg/workspace.h"
 #include "util/rng.h"
 
 namespace least {
@@ -23,11 +30,15 @@ namespace least {
 /// \brief Dense least-squares loss with optional mini-batching.
 ///
 /// Borrows the sample matrix; the caller keeps it alive for the lifetime of
-/// the loss object.
+/// the loss object. When `ws` is given, the loss checks its buffers out of
+/// it for its whole lifetime — the caller must keep the workspace alive and
+/// must not `Reset()` it while the loss lives (scoped checkouts opened
+/// *after* construction are fine).
 class LeastSquaresLoss {
  public:
   /// `batch_size` 0 (or >= n) selects the full-batch Gram path.
-  LeastSquaresLoss(const DenseMatrix* x, double lambda1, int batch_size);
+  LeastSquaresLoss(const DenseMatrix* x, double lambda1, int batch_size,
+                   Workspace* ws = nullptr);
 
   /// Returns the loss at `w` and, when `grad_out` is non-null (same shape
   /// as w), writes the (sub)gradient. Mini-batch mode draws a fresh batch
@@ -47,17 +58,21 @@ class LeastSquaresLoss {
   double lambda1_;
   int batch_size_;
 
-  // Full-batch cache.
-  DenseMatrix gram_;       // XᵀX
-  double trace_gram_ = 0;  // Tr(XᵀX)
+  Workspace own_ws_;  // used when the caller does not supply a workspace
+
+  // Full-batch cache (workspace checkouts, held for the loss's lifetime).
+  DenseMatrix* gram_ = nullptr;  // XᵀX
+  double trace_gram_ = 0;        // Tr(XᵀX)
   // Scratch (kept across calls to avoid reallocation).
-  DenseMatrix gw_;         // G * W
-  DenseMatrix xb_;         // batch rows (B x d)
-  DenseMatrix residual_;   // X_B W − X_B
-  std::vector<int> batch_rows_;
+  DenseMatrix* gw_ = nullptr;        // G * W
+  DenseMatrix* xb_ = nullptr;        // batch rows (B x d)
+  DenseMatrix* residual_ = nullptr;  // X_B W − X_B
+  std::vector<int>* batch_rows_ = nullptr;
 };
 
 /// Adds λ·sign(w) into `grad` and returns λ‖w‖₁ (shared by both paths).
+/// Runs as a deterministic chunked reduction whose chunks also write the
+/// disjoint `grad` ranges (pure partition).
 double AddL1Subgradient(const DenseMatrix& w, double lambda1,
                         DenseMatrix* grad);
 

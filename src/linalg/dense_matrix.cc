@@ -1,8 +1,10 @@
 #include "linalg/dense_matrix.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 
 #include "linalg/parallel.h"
 
@@ -26,6 +28,19 @@ DenseMatrix DenseMatrix::RandomUniform(int rows, int cols, double lo,
   return m;
 }
 
+void DenseMatrix::Reshape(int rows, int cols) {
+  LEAST_CHECK(rows >= 0 && cols >= 0);
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(static_cast<size_t>(rows) * cols);
+}
+
+void DenseMatrix::CopyFrom(const DenseMatrix& other) {
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_ = other.data_;  // vector assignment reuses capacity when sufficient
+}
+
 void DenseMatrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
 void DenseMatrix::FillDiagonal(double v) {
@@ -35,7 +50,15 @@ void DenseMatrix::FillDiagonal(double v) {
 
 void DenseMatrix::AddScaled(const DenseMatrix& other, double alpha) {
   LEAST_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  double* dst = data_.data();
+  const double* src = other.data_.data();
+  // Pure elementwise partition; grain-guarded so small matrices stay serial.
+  MaybeParallelFor(0, static_cast<int64_t>(data_.size()), /*grain=*/-1,
+                   [dst, src, alpha](int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) {
+                       dst[i] += alpha * src[i];
+                     }
+                   });
 }
 
 void DenseMatrix::Scale(double alpha) {
@@ -43,28 +66,55 @@ void DenseMatrix::Scale(double alpha) {
 }
 
 DenseMatrix DenseMatrix::Hadamard(const DenseMatrix& other) const {
-  LEAST_CHECK(SameShape(other));
-  DenseMatrix out(rows_, cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    out.data_[i] = data_[i] * other.data_[i];
-  }
+  DenseMatrix out;
+  HadamardInto(other, &out);
   return out;
+}
+
+void DenseMatrix::HadamardInto(const DenseMatrix& other,
+                               DenseMatrix* out) const {
+  LEAST_CHECK(SameShape(other));
+  LEAST_CHECK(out != this && out != &other);
+  out->Reshape(rows_, cols_);
+  const double* a = data_.data();
+  const double* b = other.data_.data();
+  double* dst = out->data_.data();
+  MaybeParallelFor(0, static_cast<int64_t>(data_.size()), /*grain=*/-1,
+                   [a, b, dst](int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) dst[i] = a[i] * b[i];
+                   });
 }
 
 DenseMatrix DenseMatrix::HadamardSquare() const {
-  DenseMatrix out(rows_, cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    out.data_[i] = data_[i] * data_[i];
-  }
+  DenseMatrix out;
+  HadamardSquareInto(&out);
   return out;
 }
 
+void DenseMatrix::HadamardSquareInto(DenseMatrix* out) const {
+  LEAST_CHECK(out != this);
+  out->Reshape(rows_, cols_);
+  const double* a = data_.data();
+  double* dst = out->data_.data();
+  MaybeParallelFor(0, static_cast<int64_t>(data_.size()), /*grain=*/-1,
+                   [a, dst](int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) dst[i] = a[i] * a[i];
+                   });
+}
+
 DenseMatrix DenseMatrix::Transpose() const {
-  DenseMatrix out(cols_, rows_);
-  for (int i = 0; i < rows_; ++i) {
-    for (int j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
-  }
+  DenseMatrix out;
+  TransposeInto(&out);
   return out;
+}
+
+void DenseMatrix::TransposeInto(DenseMatrix* out) const {
+  LEAST_CHECK(out != this);
+  out->Reshape(cols_, rows_);
+  for (int i = 0; i < rows_; ++i) {
+    const double* src = row(i);
+    for (int j = 0; j < cols_; ++j) (*out)(j, i) = src[j];
+  }
 }
 
 double DenseMatrix::Trace() const {
@@ -75,31 +125,49 @@ double DenseMatrix::Trace() const {
 }
 
 double DenseMatrix::FrobeniusNorm() const {
-  double s = 0.0;
-  for (double v : data_) s += v * v;
-  return std::sqrt(s);
+  return std::sqrt(DeterministicSumSquares(data_.data(),
+                                           static_cast<int64_t>(data_.size())));
 }
 
 double DenseMatrix::MaxAbs() const {
-  double m = 0.0;
-  for (double v : data_) m = std::max(m, std::fabs(v));
-  return m;
+  const double* p = data_.data();
+  return DeterministicMax(
+      0, static_cast<int64_t>(data_.size()), 0.0, [p](int64_t lo, int64_t hi) {
+        double m = 0.0;
+        for (int64_t i = lo; i < hi; ++i) m = std::max(m, std::fabs(p[i]));
+        return m;
+      });
 }
 
 double DenseMatrix::OneNorm() const {
+  // Row-streaming pass over column blocks: each block's |column| sums live in
+  // a small stack buffer while whole rows stream through the cache, instead
+  // of the cache-hostile one-column-at-a-time walk (stride = row length).
+  // Per-column accumulation order (i increasing) is unchanged, so the result
+  // is bitwise identical to the naive traversal.
+  constexpr int kColChunk = 128;
+  double sums[kColChunk];
   double best = 0.0;
-  for (int j = 0; j < cols_; ++j) {
-    double s = 0.0;
-    for (int i = 0; i < rows_; ++i) s += std::fabs((*this)(i, j));
-    best = std::max(best, s);
+  for (int j0 = 0; j0 < cols_; j0 += kColChunk) {
+    const int jw = std::min(kColChunk, cols_ - j0);
+    std::fill(sums, sums + jw, 0.0);
+    for (int i = 0; i < rows_; ++i) {
+      const double* p = row(i) + j0;
+      for (int j = 0; j < jw; ++j) sums[j] += std::fabs(p[j]);
+    }
+    for (int j = 0; j < jw; ++j) best = std::max(best, sums[j]);
   }
   return best;
 }
 
 double DenseMatrix::Sum() const {
-  double s = 0.0;
-  for (double v : data_) s += v;
-  return s;
+  const double* p = data_.data();
+  return DeterministicSum(0, static_cast<int64_t>(data_.size()),
+                          [p](int64_t lo, int64_t hi) {
+                            double s = 0.0;
+                            for (int64_t i = lo; i < hi; ++i) s += p[i];
+                            return s;
+                          });
 }
 
 long long DenseMatrix::CountNonZeros(double tol) const {
@@ -112,29 +180,258 @@ long long DenseMatrix::CountNonZeros(double tol) const {
 
 void DenseMatrix::ApplyThreshold(double threshold) {
   if (threshold <= 0.0) return;
-  for (double& v : data_) {
-    if (std::fabs(v) < threshold) v = 0.0;
-  }
+  double* p = data_.data();
+  MaybeParallelFor(0, static_cast<int64_t>(data_.size()), /*grain=*/-1,
+                   [p, threshold](int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) {
+                       if (std::fabs(p[i]) < threshold) p[i] = 0.0;
+                     }
+                   });
 }
 
 std::vector<double> DenseMatrix::RowSums() const {
-  std::vector<double> r(rows_, 0.0);
+  std::vector<double> r(rows_);
+  RowSumsInto(r);
+  return r;
+}
+
+void DenseMatrix::RowSumsInto(std::span<double> out) const {
+  LEAST_CHECK(static_cast<int>(out.size()) == rows_);
   for (int i = 0; i < rows_; ++i) {
     const double* p = row(i);
     double s = 0.0;
     for (int j = 0; j < cols_; ++j) s += p[j];
-    r[i] = s;
+    out[i] = s;
   }
-  return r;
 }
 
 std::vector<double> DenseMatrix::ColSums() const {
-  std::vector<double> c(cols_, 0.0);
+  std::vector<double> c(cols_);
+  ColSumsInto(c);
+  return c;
+}
+
+void DenseMatrix::ColSumsInto(std::span<double> out) const {
+  LEAST_CHECK(static_cast<int>(out.size()) == cols_);
+  std::fill(out.begin(), out.end(), 0.0);
   for (int i = 0; i < rows_; ++i) {
     const double* p = row(i);
-    for (int j = 0; j < cols_; ++j) c[j] += p[j];
+    for (int j = 0; j < cols_; ++j) out[j] += p[j];
   }
-  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Gemm.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Default packed-panel shape: kc * jc doubles = 256 KiB, sized to sit in L2
+// while each packed micro-panel strip (kc x 8 = 16 KiB) streams through L1.
+// Swept by bench/kernel_micro; any shape gives bitwise-identical results.
+constexpr int kDefaultGemmKc = 256;
+constexpr int kDefaultGemmJc = 128;
+
+// Register tile: kGemmMr output rows x kGemmNr output columns accumulate in
+// registers across a whole k-block — B is the only per-multiply memory
+// operand, read once per kGemmMr rows. Fixed trip counts let the compiler
+// unroll and vectorize the tile.
+constexpr int kGemmNr = 8;
+constexpr int kGemmMr = 4;
+
+std::atomic<int> g_gemm_kc{kDefaultGemmKc};
+std::atomic<int> g_gemm_jc{kDefaultGemmJc};
+
+// Packed B panel, one per thread: calls from concurrent Fits (the fleet
+// runtime) never share it, and it grows to the blocking's high-water size
+// once, keeping steady-state gemm allocation-free.
+thread_local std::vector<double> t_gemm_panel;
+
+// ---- Micro-kernels -------------------------------------------------------
+//
+// The panel stores B in strip-major layout: strip s holds columns
+// [8s, 8s + 8) of the k-block, p-contiguous (`panel[(s * pw + p) * 8 + r]`),
+// so every tile walks memory with unit stride. `first` selects whether the
+// accumulators start from zero (first k-block) or from the stored partials —
+// continuing the fixed increasing-k accumulation order per output element.
+//
+// Each kernel exists in two clones: the portable baseline, and an AVX2 copy
+// picked once at startup via `__builtin_cpu_supports`. The AVX2 target does
+// NOT enable the FMA ISA, so the compiler cannot contract the mul + add
+// pairs — both clones, at any vector width, round every operation exactly
+// like the scalar reference kernel. Lane-parallelism across columns/rows
+// never reorders any single element's accumulation, which is what keeps
+// `MatmulInto` bitwise equal to `MatmulReferenceInto` everywhere.
+
+// GCC warns that returning a 32-byte vector from a function compiled
+// without AVX would change the ABI across translation units; every helper
+// here is always_inline within this file, so no such call boundary exists.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpsabi"
+
+// Explicit 4-lane vectors (GCC/Clang vector extensions) pin the
+// vectorization shape: lanes run across output *columns*, multiplies and
+// adds stay separate instructions, and the compiler never gets the chance
+// to "helpfully" restructure the reduction across p (which -O3
+// auto-vectorization does with a storm of shuffles). On targets without
+// 256-bit units each vector lowers to two 128-bit halves — same math,
+// same rounding.
+typedef double v4df __attribute__((vector_size(32), aligned(8)));
+
+__attribute__((always_inline)) inline v4df LoadV4(const double* p) {
+  v4df v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+__attribute__((always_inline)) inline void StoreV4(double* p, v4df v) {
+  __builtin_memcpy(p, &v, sizeof(v));
+}
+
+// 4 rows x 8 columns against one full-width strip.
+__attribute__((always_inline)) inline void Tile4x8Impl(
+    const double* a0, const double* a1, const double* a2, const double* a3,
+    const double* strip, int pw, double* o0, double* o1, double* o2,
+    double* o3, bool first) {
+  v4df acc0l, acc0h, acc1l, acc1h, acc2l, acc2h, acc3l, acc3h;
+  if (first) {
+    acc0l = acc0h = acc1l = acc1h = v4df{0.0, 0.0, 0.0, 0.0};
+    acc2l = acc2h = acc3l = acc3h = v4df{0.0, 0.0, 0.0, 0.0};
+  } else {
+    acc0l = LoadV4(o0);
+    acc0h = LoadV4(o0 + 4);
+    acc1l = LoadV4(o1);
+    acc1h = LoadV4(o1 + 4);
+    acc2l = LoadV4(o2);
+    acc2h = LoadV4(o2 + 4);
+    acc3l = LoadV4(o3);
+    acc3h = LoadV4(o3 + 4);
+  }
+  const double* bp = strip;
+  for (int p = 0; p < pw; ++p, bp += kGemmNr) {
+    const v4df bl = LoadV4(bp);
+    const v4df bh = LoadV4(bp + 4);
+    const v4df av0 = v4df{a0[p], a0[p], a0[p], a0[p]};
+    const v4df av1 = v4df{a1[p], a1[p], a1[p], a1[p]};
+    const v4df av2 = v4df{a2[p], a2[p], a2[p], a2[p]};
+    const v4df av3 = v4df{a3[p], a3[p], a3[p], a3[p]};
+    acc0l += av0 * bl;
+    acc0h += av0 * bh;
+    acc1l += av1 * bl;
+    acc1h += av1 * bh;
+    acc2l += av2 * bl;
+    acc2h += av2 * bh;
+    acc3l += av3 * bl;
+    acc3h += av3 * bh;
+  }
+  StoreV4(o0, acc0l);
+  StoreV4(o0 + 4, acc0h);
+  StoreV4(o1, acc1l);
+  StoreV4(o1 + 4, acc1h);
+  StoreV4(o2, acc2l);
+  StoreV4(o2 + 4, acc2h);
+  StoreV4(o3, acc3l);
+  StoreV4(o3 + 4, acc3h);
+}
+
+// 1 row x 8 columns (row remainder).
+__attribute__((always_inline)) inline void Tile1x8Impl(const double* a0,
+                                                       const double* strip,
+                                                       int pw, double* o0,
+                                                       bool first) {
+  v4df accl, acch;
+  if (first) {
+    accl = acch = v4df{0.0, 0.0, 0.0, 0.0};
+  } else {
+    accl = LoadV4(o0);
+    acch = LoadV4(o0 + 4);
+  }
+  const double* bp = strip;
+  for (int p = 0; p < pw; ++p, bp += kGemmNr) {
+    const v4df av = v4df{a0[p], a0[p], a0[p], a0[p]};
+    accl += av * LoadV4(bp);
+    acch += av * LoadV4(bp + 4);
+  }
+  StoreV4(o0, accl);
+  StoreV4(o0 + 4, acch);
+}
+
+using Tile4x8Fn = void (*)(const double*, const double*, const double*,
+                           const double*, const double*, int, double*,
+                           double*, double*, double*, bool);
+using Tile1x8Fn = void (*)(const double*, const double*, int, double*, bool);
+
+void Tile4x8Base(const double* a0, const double* a1, const double* a2,
+                 const double* a3, const double* strip, int pw, double* o0,
+                 double* o1, double* o2, double* o3, bool first) {
+  Tile4x8Impl(a0, a1, a2, a3, strip, pw, o0, o1, o2, o3, first);
+}
+
+void Tile1x8Base(const double* a0, const double* strip, int pw, double* o0,
+                 bool first) {
+  Tile1x8Impl(a0, strip, pw, o0, first);
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+__attribute__((target("avx2"))) void Tile4x8Avx2(
+    const double* a0, const double* a1, const double* a2, const double* a3,
+    const double* strip, int pw, double* o0, double* o1, double* o2,
+    double* o3, bool first) {
+  Tile4x8Impl(a0, a1, a2, a3, strip, pw, o0, o1, o2, o3, first);
+}
+
+__attribute__((target("avx2"))) void Tile1x8Avx2(const double* a0,
+                                                 const double* strip, int pw,
+                                                 double* o0, bool first) {
+  Tile1x8Impl(a0, strip, pw, o0, first);
+}
+#endif
+
+Tile4x8Fn ResolveTile4x8() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return Tile4x8Avx2;
+#endif
+  return Tile4x8Base;
+}
+
+Tile1x8Fn ResolveTile1x8() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return Tile1x8Avx2;
+#endif
+  return Tile1x8Base;
+}
+
+const Tile4x8Fn g_tile4x8 = ResolveTile4x8();
+const Tile1x8Fn g_tile1x8 = ResolveTile1x8();
+
+#pragma GCC diagnostic pop
+
+// Column-remainder tile (last strip when jw % 8 != 0): scalar over the
+// `cols` real columns of a zero-padded strip, any row count.
+void TileTail(const double* const* a_rows, int mr, const double* strip,
+              int pw, double* const* out_rows, int cols, bool first) {
+  for (int m = 0; m < mr; ++m) {
+    const double* a_row = a_rows[m];
+    double* out_row = out_rows[m];
+    for (int c = 0; c < cols; ++c) {
+      double acc = first ? 0.0 : out_row[c];
+      const double* bp = strip + c;
+      for (int p = 0; p < pw; ++p, bp += kGemmNr) acc += a_row[p] * *bp;
+      out_row[c] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+void SetGemmBlocking(int kc, int jc) {
+  g_gemm_kc.store(kc >= 1 ? kc : kDefaultGemmKc, std::memory_order_relaxed);
+  g_gemm_jc.store(jc >= 1 ? jc : kDefaultGemmJc, std::memory_order_relaxed);
+}
+
+GemmBlocking GetGemmBlocking() {
+  return {g_gemm_kc.load(std::memory_order_relaxed),
+          g_gemm_jc.load(std::memory_order_relaxed)};
 }
 
 void MatmulInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out) {
@@ -143,25 +440,114 @@ void MatmulInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out) {
   LEAST_CHECK(out->rows() == a.rows() && out->cols() == b.cols());
   LEAST_CHECK(out != &a && out != &b);
   const int n = a.rows(), k = a.cols(), m = b.cols();
-  // ikj ordering: streams over contiguous rows of b and out. Each output
-  // row is produced by exactly one chunk with serial-identical operation
-  // order, so the parallel split is bitwise-deterministic (see
-  // linalg/parallel.h).
-  auto rows_kernel = [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      double* out_row = out->row(static_cast<int>(i));
-      const double* a_row = a.row(static_cast<int>(i));
-      for (int j = 0; j < m; ++j) out_row[j] = 0.0;
-      for (int p = 0; p < k; ++p) {
-        const double av = a_row[p];
-        if (av == 0.0) continue;
-        const double* b_row = b.row(p);
-        for (int j = 0; j < m; ++j) out_row[j] += av * b_row[j];
+  if (n == 0 || m == 0) return;
+  if (k == 0) {
+    out->Fill(0.0);
+    return;
+  }
+  const GemmBlocking blk = GetGemmBlocking();
+  const int kc = blk.kc, jc = blk.jc;
+  const int max_strips = (jc + kGemmNr - 1) / kGemmNr;
+  std::vector<double>& panel = t_gemm_panel;
+  const size_t panel_elems =
+      static_cast<size_t>(max_strips) * kc * kGemmNr;
+  if (panel.size() < panel_elems) panel.resize(panel_elems);
+  for (int j0 = 0; j0 < m; j0 += jc) {
+    const int jw = std::min(jc, m - j0);
+    const int strips = (jw + kGemmNr - 1) / kGemmNr;
+    for (int p0 = 0; p0 < k; p0 += kc) {
+      const int pw = std::min(kc, k - p0);
+      // Pack the k-block of B into strip-major micro-panels: strip s holds
+      // columns [8s, 8s + 8) p-contiguously (zero-padded on the ragged
+      // edge), so the micro-kernels stream it with unit stride.
+      for (int s = 0; s < strips; ++s) {
+        const int c0 = s * kGemmNr;
+        const int cols = std::min(kGemmNr, jw - c0);
+        double* dst = panel.data() + static_cast<size_t>(s) * pw * kGemmNr;
+        for (int p = 0; p < pw; ++p, dst += kGemmNr) {
+          const double* src = b.row(p0 + p) + j0 + c0;
+          for (int c = 0; c < cols; ++c) dst[c] = src[c];
+          for (int c = cols; c < kGemmNr; ++c) dst[c] = 0.0;
+        }
       }
+      const double* panel_ptr = panel.data();
+      const bool first = p0 == 0;
+      // Rows are a pure output partition: each out(i, j) is written by
+      // exactly one chunk, accumulating k-terms in the same order as the
+      // serial loop — bitwise identical at any thread count (the 4-row
+      // grouping below never mixes state between rows, so chunk boundaries
+      // cannot change any element's value).
+      const int64_t flops = 2LL * n * pw * jw;
+      MaybeParallelForFlops(
+          flops, 0, n, /*grain=*/-1,
+          [&, panel_ptr, first, pw, jw, strips, j0, p0](int64_t i0,
+                                                        int64_t i1) {
+            int64_t i = i0;
+            for (; i + kGemmMr <= i1; i += kGemmMr) {
+              const int ii = static_cast<int>(i);
+              const double* a0 = a.row(ii) + p0;
+              const double* a1 = a.row(ii + 1) + p0;
+              const double* a2 = a.row(ii + 2) + p0;
+              const double* a3 = a.row(ii + 3) + p0;
+              double* o0 = out->row(ii) + j0;
+              double* o1 = out->row(ii + 1) + j0;
+              double* o2 = out->row(ii + 2) + j0;
+              double* o3 = out->row(ii + 3) + j0;
+              for (int s = 0; s < strips; ++s) {
+                const int c0 = s * kGemmNr;
+                const double* strip =
+                    panel_ptr + static_cast<size_t>(s) * pw * kGemmNr;
+                if (jw - c0 >= kGemmNr) {
+                  g_tile4x8(a0, a1, a2, a3, strip, pw, o0 + c0, o1 + c0,
+                            o2 + c0, o3 + c0, first);
+                } else {
+                  const double* a_rows[kGemmMr] = {a0, a1, a2, a3};
+                  double* out_rows[kGemmMr] = {o0 + c0, o1 + c0, o2 + c0,
+                                               o3 + c0};
+                  TileTail(a_rows, kGemmMr, strip, pw, out_rows, jw - c0,
+                           first);
+                }
+              }
+            }
+            for (; i < i1; ++i) {
+              const int ii = static_cast<int>(i);
+              const double* a0 = a.row(ii) + p0;
+              double* o0 = out->row(ii) + j0;
+              for (int s = 0; s < strips; ++s) {
+                const int c0 = s * kGemmNr;
+                const double* strip =
+                    panel_ptr + static_cast<size_t>(s) * pw * kGemmNr;
+                if (jw - c0 >= kGemmNr) {
+                  g_tile1x8(a0, strip, pw, o0 + c0, first);
+                } else {
+                  const double* a_rows[1] = {a0};
+                  double* out_rows[1] = {o0 + c0};
+                  TileTail(a_rows, 1, strip, pw, out_rows, jw - c0, first);
+                }
+              }
+            }
+          });
     }
-  };
-  const int64_t flops = static_cast<int64_t>(n) * k * m;
-  MaybeParallelForFlops(flops, 0, n, /*grain=*/-1, rows_kernel);
+  }
+}
+
+void MatmulReferenceInto(const DenseMatrix& a, const DenseMatrix& b,
+                         DenseMatrix* out) {
+  LEAST_CHECK(a.cols() == b.rows());
+  LEAST_CHECK(out != nullptr);
+  LEAST_CHECK(out->rows() == a.rows() && out->cols() == b.cols());
+  LEAST_CHECK(out != &a && out != &b);
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  for (int i = 0; i < n; ++i) {
+    double* out_row = out->row(i);
+    const double* a_row = a.row(i);
+    for (int j = 0; j < m; ++j) out_row[j] = 0.0;
+    for (int p = 0; p < k; ++p) {
+      const double av = a_row[p];
+      const double* b_row = b.row(p);
+      for (int j = 0; j < m; ++j) out_row[j] += av * b_row[j];
+    }
+  }
 }
 
 DenseMatrix Matmul(const DenseMatrix& a, const DenseMatrix& b) {
@@ -195,12 +581,19 @@ void MatvecInto(const DenseMatrix& a, std::span<const double> x,
                 std::span<double> y) {
   LEAST_CHECK(static_cast<int>(x.size()) == a.cols());
   LEAST_CHECK(static_cast<int>(y.size()) == a.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    const double* p = a.row(i);
-    double s = 0.0;
-    for (int j = 0; j < a.cols(); ++j) s += p[j] * x[j];
-    y[i] = s;
-  }
+  const int cols = a.cols();
+  // Pure output partition over rows, same per-row dot order as the serial
+  // loop — the power-iteration constraint gets the pool for free.
+  const int64_t flops = 2LL * a.rows() * cols;
+  MaybeParallelForFlops(flops, 0, a.rows(), /*grain=*/-1,
+                        [&](int64_t i0, int64_t i1) {
+                          for (int64_t i = i0; i < i1; ++i) {
+                            const double* p = a.row(static_cast<int>(i));
+                            double s = 0.0;
+                            for (int j = 0; j < cols; ++j) s += p[j] * x[j];
+                            y[i] = s;
+                          }
+                        });
 }
 
 }  // namespace least

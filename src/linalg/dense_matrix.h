@@ -2,11 +2,14 @@
 /// \brief Row-major dense matrix of doubles.
 ///
 /// This is the workhorse of the dense (LEAST-TF analog) code path and the
-/// NOTEARS baseline. It is deliberately simple — contiguous storage, blocked
-/// multiplication, no expression templates — and allocation-free in hot loops
-/// via the `*Into` variants. `MatmulInto` splits across the optional global
-/// `ParallelExecutor` (see `linalg/parallel.h`) for large products, with
-/// bitwise-identical results.
+/// NOTEARS baseline. It is deliberately simple — contiguous storage, no
+/// expression templates — and allocation-free in hot loops via the `*Into`
+/// variants. `MatmulInto` is a cache-blocked, B-packing kernel whose inner
+/// loops the compiler vectorizes; it splits rows across the optional global
+/// `ParallelExecutor` (see `linalg/parallel.h`) for large products. All
+/// kernels are bitwise deterministic: results are identical at any thread
+/// count, for any grain, and for any gemm blocking (each output element
+/// always accumulates its k-terms in the same fixed order).
 
 #pragma once
 
@@ -46,6 +49,17 @@ class DenseMatrix {
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   size_t size() const { return data_.size(); }
+  /// Element capacity of the underlying storage (for workspace accounting).
+  size_t capacity() const { return data_.capacity(); }
+
+  /// Reshapes to rows x cols, reusing storage where capacity allows.
+  /// Contents are unspecified afterwards (scratch-buffer semantics; the
+  /// `Workspace` pool is the intended caller).
+  void Reshape(int rows, int cols);
+
+  /// Copies shape and contents from `other`, reusing storage where capacity
+  /// allows.
+  void CopyFrom(const DenseMatrix& other);
 
   double& operator()(int i, int j) {
     LEAST_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
@@ -77,18 +91,25 @@ class DenseMatrix {
 
   /// Entry-wise (Hadamard) product, out-of-place.
   DenseMatrix Hadamard(const DenseMatrix& other) const;
+  /// out = this ∘ other (out must not alias either operand's storage).
+  void HadamardInto(const DenseMatrix& other, DenseMatrix* out) const;
   /// Entry-wise square: S = this ∘ this.
   DenseMatrix HadamardSquare() const;
+  /// out = this ∘ this (allocation-free; out is reshaped).
+  void HadamardSquareInto(DenseMatrix* out) const;
 
   DenseMatrix Transpose() const;
+  /// out = thisᵀ (allocation-free; out is reshaped, must not alias this).
+  void TransposeInto(DenseMatrix* out) const;
 
   /// Sum of diagonal entries (square only).
   double Trace() const;
-  /// Frobenius norm.
+  /// Frobenius norm (deterministic chunked reduction, see parallel.h).
   double FrobeniusNorm() const;
-  /// Maximum absolute entry.
+  /// Maximum absolute entry (deterministic chunked reduction).
   double MaxAbs() const;
-  /// Induced 1-norm (max absolute column sum).
+  /// Induced 1-norm (max absolute column sum). Single row-streaming pass
+  /// over column blocks — never the cache-hostile column-major walk.
   double OneNorm() const;
   /// Sum of all entries.
   double Sum() const;
@@ -100,8 +121,13 @@ class DenseMatrix {
 
   /// Vector of row sums (length rows()).
   std::vector<double> RowSums() const;
+  /// Row sums into a caller buffer of length rows() (allocation-free).
+  void RowSumsInto(std::span<double> out) const;
   /// Vector of column sums (length cols()).
   std::vector<double> ColSums() const;
+  /// Column sums into a caller buffer of length cols() (allocation-free,
+  /// row-streaming pass).
+  void ColSumsInto(std::span<double> out) const;
 
   bool SameShape(const DenseMatrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
@@ -113,8 +139,35 @@ class DenseMatrix {
   std::vector<double> data_;
 };
 
-/// out = a * b. Blocked ikj loop; `out` must not alias `a` or `b`.
+/// \brief Cache-blocking parameters for `MatmulInto`: the packed B panel
+/// covers `kc` k-rows by `jc` columns. Results are bitwise independent of
+/// the blocking (the k-accumulation order per output element is fixed);
+/// only throughput changes. Exposed so tests can sweep it and benches can
+/// compare shapes.
+struct GemmBlocking {
+  int kc;  ///< k-extent of the packed B panel
+  int jc;  ///< column extent of the packed B panel
+};
+
+/// Overrides the global gemm blocking (values < 1 restore the defaults).
+/// Intended for tests/benches; thread-safe.
+void SetGemmBlocking(int kc, int jc);
+
+/// Currently active blocking.
+GemmBlocking GetGemmBlocking();
+
+/// out = a * b. Cache-blocked, B-packing kernel; `out` must not alias `a`
+/// or `b`. Rows split across the optional global executor; each output
+/// element accumulates its k-terms in increasing-k order regardless of
+/// blocking, grain, or thread count, so results are bitwise identical to
+/// `MatmulReferenceInto` in every configuration.
 void MatmulInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out);
+
+/// Reference textbook ikj kernel (serial, unblocked). Kept as the bitwise
+/// golden for the blocked kernel and as the "naive" column of
+/// `bench/kernel_micro`.
+void MatmulReferenceInto(const DenseMatrix& a, const DenseMatrix& b,
+                         DenseMatrix* out);
 
 /// Returns a * b.
 DenseMatrix Matmul(const DenseMatrix& a, const DenseMatrix& b);
@@ -128,7 +181,8 @@ DenseMatrix Subtract(const DenseMatrix& a, const DenseMatrix& b);
 /// Returns max |a_ij - b_ij|; matrices must share shape.
 double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b);
 
-/// y = A x (matrix-vector). `x` has length cols, `y` length rows.
+/// y = A x (matrix-vector). `x` has length cols, `y` length rows. Rows
+/// split across the optional global executor (pure output partition).
 void MatvecInto(const DenseMatrix& a, std::span<const double> x,
                 std::span<double> y);
 

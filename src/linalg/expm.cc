@@ -33,76 +33,102 @@ constexpr double kTheta7 = 9.504178996162932e-1;
 constexpr double kTheta9 = 2.097847961257068e0;
 constexpr double kTheta13 = 5.371920351148152e0;
 
-// Evaluates the order-m Padé approximant r_m(A) = [q_m(A)]^{-1} p_m(A),
-// given precomputed even powers of A. For odd/even coefficient split:
+// Evaluates the order-m Padé approximant r_m(A) = [q_m(A)]^{-1} p_m(A) into
+// `out`, given precomputed even powers of A (even[p] = A^{2p} for p >= 1).
+// For odd/even coefficient split:
 // p = A * (sum over odd i of c_i A^{i-1}) + (sum over even i of c_i A^i),
-// q mirrors p with signs flipped on odd terms.
+// q mirrors p with signs flipped on odd terms. All scratch comes from `ws`.
 template <size_t N>
-DenseMatrix PadeApprox(const DenseMatrix& a,
-                       const std::vector<DenseMatrix>& even_powers,
-                       const std::array<double, N>& c) {
+void PadeApproxInto(const DenseMatrix& a, DenseMatrix* const* even,
+                    const std::array<double, N>& c, DenseMatrix* out,
+                    Workspace& ws) {
   const int d = a.rows();
-  DenseMatrix u_inner(d, d);  // sum over odd coefficients (before A *)
-  DenseMatrix v(d, d);        // sum over even coefficients
+  WorkspaceScope scope(ws);
+  DenseMatrix& u_inner = ws.Matrix(d, d);  // sum over odd coefs (before A *)
+  DenseMatrix& v = ws.Matrix(d, d);        // sum over even coefficients
+  u_inner.Fill(0.0);
+  v.Fill(0.0);
   for (int i = 0; i < d; ++i) {
     u_inner(i, i) = c[1];
     v(i, i) = c[0];
   }
-  // even_powers[p] = A^{2p} for p >= 1.
   for (size_t i = 2; i < N; ++i) {
-    const DenseMatrix& pow = even_powers[i / 2];
+    const DenseMatrix& pow = *even[i / 2];
     if (i % 2 == 1) {
       u_inner.AddScaled(pow, c[i]);
     } else {
       v.AddScaled(pow, c[i]);
     }
   }
-  DenseMatrix u = Matmul(a, u_inner);
+  DenseMatrix& u = ws.Matrix(d, d);
+  MatmulInto(a, u_inner, &u);
   // Solve (v - u) r = (v + u).
-  DenseMatrix num = Add(v, u);
-  DenseMatrix den = Subtract(v, u);
-  auto lu = LuFactorization::Factor(den);
-  LEAST_CHECK(lu.ok());
-  return lu.value().Solve(num);
+  DenseMatrix& num = ws.Matrix(d, d);
+  num.CopyFrom(v);
+  num.AddScaled(u, 1.0);
+  DenseMatrix& den = ws.Matrix(d, d);
+  den.CopyFrom(v);
+  den.AddScaled(u, -1.0);
+  std::vector<int>& perm = ws.IntVector(d);
+  const Status factored = LuFactorInPlace(&den, &perm);
+  LEAST_CHECK(factored.ok());
+  LuSolveInPlace(den, perm, &num, ws.Vector(d));
+  out->CopyFrom(num);
 }
 
 }  // namespace
 
-DenseMatrix Expm(const DenseMatrix& a) {
+void ExpmInto(const DenseMatrix& a, DenseMatrix* out, Workspace* ws_opt) {
   LEAST_CHECK(a.rows() == a.cols());
+  LEAST_CHECK(out != nullptr && out != &a);
   const int d = a.rows();
-  if (d == 0) return DenseMatrix();
-  if (d == 1) {
-    DenseMatrix r(1, 1);
-    r(0, 0) = std::exp(a(0, 0));
-    return r;
+  if (d == 0) {
+    out->Reshape(0, 0);
+    return;
   }
+  if (d == 1) {
+    out->Reshape(1, 1);
+    (*out)(0, 0) = std::exp(a(0, 0));
+    return;
+  }
+  Workspace local;
+  Workspace& ws = ws_opt != nullptr ? *ws_opt : local;
+  WorkspaceScope scope(ws);
 
   const double norm = a.OneNorm();
-  // Precompute A^2; higher even powers are formed lazily as needed.
-  std::vector<DenseMatrix> even;  // even[p] = A^{2p}
-  even.emplace_back(DenseMatrix::Identity(d));
-  even.push_back(Matmul(a, a));
-  auto ensure_even = [&](size_t p) {
-    while (even.size() <= p) {
-      even.push_back(Matmul(even[1], even.back()));
+  // Even powers even[p] = A^{2p}; higher ones are formed lazily as needed
+  // (Padé-9 needs up to A^8). Formed as A² * A^{2(p-1)} in increasing p.
+  DenseMatrix* even[5] = {nullptr, nullptr, nullptr, nullptr, nullptr};
+  even[1] = &ws.Matrix(d, d);
+  MatmulInto(a, a, even[1]);
+  int have = 1;
+  auto ensure_even = [&](int p) {
+    while (have < p) {
+      DenseMatrix& next = ws.Matrix(d, d);
+      MatmulInto(*even[1], *even[have], &next);
+      even[have + 1] = &next;
+      ++have;
     }
   };
 
   if (norm <= kTheta3) {
-    return PadeApprox(a, even, kPade3);
+    PadeApproxInto(a, even, kPade3, out, ws);
+    return;
   }
   if (norm <= kTheta5) {
     ensure_even(2);
-    return PadeApprox(a, even, kPade5);
+    PadeApproxInto(a, even, kPade5, out, ws);
+    return;
   }
   if (norm <= kTheta7) {
     ensure_even(3);
-    return PadeApprox(a, even, kPade7);
+    PadeApproxInto(a, even, kPade7, out, ws);
+    return;
   }
   if (norm <= kTheta9) {
     ensure_even(4);
-    return PadeApprox(a, even, kPade9);
+    PadeApproxInto(a, even, kPade9, out, ws);
+    return;
   }
 
   // Scaling and squaring with Padé-13.
@@ -112,23 +138,23 @@ DenseMatrix Expm(const DenseMatrix& a) {
     scaled_norm *= 0.5;
     ++squarings;
   }
-  DenseMatrix scaled = a;
+  DenseMatrix& scaled = ws.Matrix(d, d);
+  scaled.CopyFrom(a);
   scaled.Scale(std::ldexp(1.0, -squarings));
-  std::vector<DenseMatrix> scaled_even;
-  scaled_even.emplace_back(DenseMatrix::Identity(d));
-  scaled_even.push_back(Matmul(scaled, scaled));
-  scaled_even.push_back(Matmul(scaled_even[1], scaled_even[1]));
-  scaled_even.push_back(Matmul(scaled_even[1], scaled_even[2]));
+  DenseMatrix& a2 = ws.Matrix(d, d);
+  DenseMatrix& a4 = ws.Matrix(d, d);
+  DenseMatrix& a6 = ws.Matrix(d, d);
+  MatmulInto(scaled, scaled, &a2);
+  MatmulInto(a2, a2, &a4);
+  MatmulInto(a2, a4, &a6);
   // Higham's efficient p13 evaluation groups terms; the straightforward
   // grouped form below uses A^2, A^4, A^6 only.
   const auto& c = kPade13;
-  const DenseMatrix& a2 = scaled_even[1];
-  const DenseMatrix& a4 = scaled_even[2];
-  const DenseMatrix& a6 = scaled_even[3];
 
-  DenseMatrix tmp(d, d);
+  DenseMatrix& tmp = ws.Matrix(d, d);
   // u = A * (a6*(c13 a6 + c11 a4 + c9 a2) + c7 a6 + c5 a4 + c3 a2 + c1 I)
-  DenseMatrix inner(d, d);
+  DenseMatrix& inner = ws.Matrix(d, d);
+  inner.Fill(0.0);
   inner.AddScaled(a6, c[13]);
   inner.AddScaled(a4, c[11]);
   inner.AddScaled(a2, c[9]);
@@ -137,30 +163,43 @@ DenseMatrix Expm(const DenseMatrix& a) {
   tmp.AddScaled(a4, c[5]);
   tmp.AddScaled(a2, c[3]);
   for (int i = 0; i < d; ++i) tmp(i, i) += c[1];
-  DenseMatrix u = Matmul(scaled, tmp);
+  DenseMatrix& u = ws.Matrix(d, d);
+  MatmulInto(scaled, tmp, &u);
   // v = a6*(c12 a6 + c10 a4 + c8 a2) + c6 a6 + c4 a4 + c2 a2 + c0 I
   inner.Fill(0.0);
   inner.AddScaled(a6, c[12]);
   inner.AddScaled(a4, c[10]);
   inner.AddScaled(a2, c[8]);
-  DenseMatrix v(d, d);
+  DenseMatrix& v = ws.Matrix(d, d);
   MatmulInto(a6, inner, &v);
   v.AddScaled(a6, c[6]);
   v.AddScaled(a4, c[4]);
   v.AddScaled(a2, c[2]);
   for (int i = 0; i < d; ++i) v(i, i) += c[0];
 
-  DenseMatrix num = Add(v, u);
-  DenseMatrix den = Subtract(v, u);
-  auto lu = LuFactorization::Factor(den);
-  LEAST_CHECK(lu.ok());
-  DenseMatrix r = lu.value().Solve(num);
-  DenseMatrix r2(d, d);
+  DenseMatrix& num = ws.Matrix(d, d);
+  num.CopyFrom(v);
+  num.AddScaled(u, 1.0);
+  DenseMatrix& den = ws.Matrix(d, d);
+  den.CopyFrom(v);
+  den.AddScaled(u, -1.0);
+  std::vector<int>& perm = ws.IntVector(d);
+  const Status factored = LuFactorInPlace(&den, &perm);
+  LEAST_CHECK(factored.ok());
+  LuSolveInPlace(den, perm, &num, ws.Vector(d));
+  DenseMatrix* r = &num;
+  DenseMatrix* r2 = &ws.Matrix(d, d);
   for (int s = 0; s < squarings; ++s) {
-    MatmulInto(r, r, &r2);
+    MatmulInto(*r, *r, r2);
     std::swap(r, r2);
   }
-  return r;
+  out->CopyFrom(*r);
+}
+
+DenseMatrix Expm(const DenseMatrix& a) {
+  DenseMatrix out;
+  ExpmInto(a, &out, nullptr);
+  return out;
 }
 
 DenseMatrix ExpmTaylor(const DenseMatrix& a, double tol, int max_terms) {

@@ -8,14 +8,26 @@
 /// behind `scipy.linalg.expm`, which the paper's reference NOTEARS
 /// implementation uses. Cost is O(d^3) time and O(d^2) space, which is
 /// exactly the bottleneck LEAST removes.
+///
+/// `ExpmInto` is the hot-path form: every temporary (even powers, Padé
+/// numerator/denominator, LU pivots, squaring buffers) comes from the
+/// caller's `Workspace`, so a steady-state NOTEARS iteration performs zero
+/// heap allocations.
 
 #pragma once
 
 #include "linalg/dense_matrix.h"
+#include "linalg/workspace.h"
 
 namespace least {
 
-/// Computes e^A for a square matrix.
+/// Computes e^A into `out` (reshaped to A's shape). All scratch comes from
+/// `ws`; with `ws == nullptr` a call-local workspace is used (allocating).
+/// `out` must not be a live checkout drawn from `ws` after this call opens
+/// its scope — pass a caller-owned matrix or an earlier checkout.
+void ExpmInto(const DenseMatrix& a, DenseMatrix* out, Workspace* ws);
+
+/// Computes e^A for a square matrix (allocating convenience wrapper).
 DenseMatrix Expm(const DenseMatrix& a);
 
 /// Reference Taylor-series exponential (for testing Expm on small inputs).

@@ -5,14 +5,15 @@
 
 namespace least {
 
-Result<LuFactorization> LuFactorization::Factor(const DenseMatrix& a) {
-  if (a.rows() != a.cols()) {
+Status LuFactorInPlace(DenseMatrix* a, std::vector<int>* perm) {
+  LEAST_CHECK(a != nullptr && perm != nullptr);
+  if (a->rows() != a->cols()) {
     return Status::InvalidArgument("LU requires a square matrix");
   }
-  const int n = a.rows();
-  DenseMatrix lu = a;
-  std::vector<int> perm(n);
-  std::iota(perm.begin(), perm.end(), 0);
+  const int n = a->rows();
+  DenseMatrix& lu = *a;
+  perm->resize(n);
+  std::iota(perm->begin(), perm->end(), 0);
 
   for (int k = 0; k < n; ++k) {
     // Partial pivoting: largest |entry| in column k at/below the diagonal.
@@ -29,7 +30,7 @@ Result<LuFactorization> LuFactorization::Factor(const DenseMatrix& a) {
       return Status::Internal("singular matrix in LU factorization");
     }
     if (pivot != k) {
-      std::swap(perm[k], perm[pivot]);
+      std::swap((*perm)[k], (*perm)[pivot]);
       for (int j = 0; j < n; ++j) std::swap(lu(k, j), lu(pivot, j));
     }
     const double inv_pivot = 1.0 / lu(k, k);
@@ -42,6 +43,40 @@ Result<LuFactorization> LuFactorization::Factor(const DenseMatrix& a) {
       for (int j = k + 1; j < n; ++j) ui[j] -= factor * uk[j];
     }
   }
+  return Status::Ok();
+}
+
+void LuSolveInPlace(const DenseMatrix& lu, const std::vector<int>& perm,
+                    DenseMatrix* b, std::span<double> scratch) {
+  const int n = lu.rows();
+  LEAST_CHECK(b != nullptr && b->rows() == n);
+  LEAST_CHECK(static_cast<int>(perm.size()) == n);
+  LEAST_CHECK(static_cast<int>(scratch.size()) >= n);
+  DenseMatrix& x = *b;
+  for (int c = 0; c < x.cols(); ++c) {
+    // Forward substitution with permuted RHS (L has implicit unit diagonal).
+    for (int i = 0; i < n; ++i) {
+      double s = x(perm[i], c);
+      const double* li = lu.row(i);
+      for (int j = 0; j < i; ++j) s -= li[j] * scratch[j];
+      scratch[i] = s;
+    }
+    // Back substitution with U.
+    for (int i = n - 1; i >= 0; --i) {
+      const double* ui = lu.row(i);
+      double s = scratch[i];
+      for (int j = i + 1; j < n; ++j) s -= ui[j] * scratch[j];
+      scratch[i] = s / ui[i];
+    }
+    for (int i = 0; i < n; ++i) x(i, c) = scratch[i];
+  }
+}
+
+Result<LuFactorization> LuFactorization::Factor(const DenseMatrix& a) {
+  DenseMatrix lu = a;
+  std::vector<int> perm;
+  Status st = LuFactorInPlace(&lu, &perm);
+  if (!st.ok()) return st;
   return LuFactorization(std::move(lu), std::move(perm));
 }
 
@@ -67,15 +102,9 @@ std::vector<double> LuFactorization::Solve(std::span<const double> b) const {
 }
 
 DenseMatrix LuFactorization::Solve(const DenseMatrix& b) const {
-  const int n = dim();
-  LEAST_CHECK(b.rows() == n);
-  DenseMatrix x(n, b.cols());
-  std::vector<double> col(n), sol(n);
-  for (int c = 0; c < b.cols(); ++c) {
-    for (int i = 0; i < n; ++i) col[i] = b(i, c);
-    sol = Solve(col);
-    for (int i = 0; i < n; ++i) x(i, c) = sol[i];
-  }
+  DenseMatrix x = b;
+  std::vector<double> scratch(dim());
+  LuSolveInPlace(lu_, perm_, &x, scratch);
   return x;
 }
 

@@ -2,7 +2,10 @@
 /// \brief Dense LU factorization with partial pivoting.
 ///
 /// Substrate for the Padé rational approximation inside `Expm` (the NOTEARS
-/// baseline needs to solve (D - N) X = (D + N) style systems).
+/// baseline needs to solve (D - N) X = (D + N) style systems). The in-place
+/// entry points (`LuFactorInPlace` / `LuSolveInPlace`) exist for the
+/// workspace-backed hot path: they factor and solve entirely in caller
+/// storage, so a steady-state `Expm` performs no heap allocation.
 
 #pragma once
 
@@ -11,7 +14,21 @@
 
 namespace least {
 
-/// \brief LU factorization (PA = LU) of a square matrix.
+/// Factors the square matrix in `a` in place (PA = LU; `a` is overwritten
+/// with packed L — unit diagonal, below — and U — on/above). `perm` is
+/// resized to the dimension and filled with the row permutation. Fails with
+/// `kInvalidArgument` for non-square input and `kInternal` when a zero pivot
+/// makes the matrix numerically singular.
+Status LuFactorInPlace(DenseMatrix* a, std::vector<int>* perm);
+
+/// Solves A X = B in place given a packed LU and its permutation: `b` is
+/// overwritten with X, one column at a time. `scratch` must have length
+/// >= dim. Allocation-free.
+void LuSolveInPlace(const DenseMatrix& lu, const std::vector<int>& perm,
+                    DenseMatrix* b, std::span<double> scratch);
+
+/// \brief LU factorization (PA = LU) of a square matrix (owning wrapper
+/// around the in-place kernels).
 class LuFactorization {
  public:
   /// Factors `a`. Fails with `kInvalidArgument` for non-square input and

@@ -16,32 +16,24 @@ ParallelExecutor* GetParallelExecutor() {
   return g_executor.load(std::memory_order_acquire);
 }
 
-namespace {
+namespace parallel_detail {
 
-void GatedParallelFor(int64_t work, int64_t min_work, int64_t begin,
-                      int64_t end, int64_t grain,
-                      const std::function<void(int64_t, int64_t)>& fn) {
-  if (end <= begin) return;
+bool ShouldParallelize(int64_t work, int64_t min_work, int64_t span) {
+  if (work < min_work || span < 2) return false;
   ParallelExecutor* executor = GetParallelExecutor();
-  if (executor == nullptr || executor->concurrency() <= 1 ||
-      work < min_work || end - begin < 2) {
+  return executor != nullptr && executor->concurrency() > 1;
+}
+
+void Dispatch(int64_t begin, int64_t end, int64_t grain,
+              const std::function<void(int64_t, int64_t)>& fn) {
+  ParallelExecutor* executor = GetParallelExecutor();
+  if (executor == nullptr) {  // raced with uninstall: run serially
     fn(begin, end);
     return;
   }
   executor->ParallelFor(begin, end, grain, fn);
 }
 
-}  // namespace
-
-void MaybeParallelFor(int64_t begin, int64_t end, int64_t grain,
-                      const std::function<void(int64_t, int64_t)>& fn) {
-  GatedParallelFor(end - begin, kParallelMinWork, begin, end, grain, fn);
-}
-
-void MaybeParallelForFlops(int64_t flops, int64_t begin, int64_t end,
-                           int64_t grain,
-                           const std::function<void(int64_t, int64_t)>& fn) {
-  GatedParallelFor(flops, kParallelMinFlops, begin, end, grain, fn);
-}
+}  // namespace parallel_detail
 
 }  // namespace least

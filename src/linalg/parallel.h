@@ -1,6 +1,6 @@
 /// \file parallel.h
 /// \brief Executor seam between the linear-algebra kernels and the runtime
-/// thread pool.
+/// thread pool, plus deterministic parallel reductions.
 ///
 /// Layering is `util → linalg → core → runtime/io`: the kernels in this
 /// directory must not depend on `runtime/`. They instead call
@@ -10,18 +10,33 @@
 /// serial loop otherwise. Installing an executor is strictly optional; all
 /// kernels remain correct — and allocation patterns unchanged — without one.
 ///
-/// Determinism contract: every kernel in this library parallelizes as a pure
-/// partition of its output — each output element is written by exactly one
-/// chunk, computed with the same operation order as the serial loop, and no
-/// kernel performs a cross-chunk floating-point reduction. Results are
-/// therefore bitwise identical with and without an executor and across any
-/// thread count, which the fleet runtime relies on for reproducible,
-/// checkpointable models.
+/// Determinism contract: every kernel in this library parallelizes in one of
+/// two shapes, both bitwise identical with and without an executor and across
+/// any thread count:
+///   1. *Pure output partitions* — each output element is written by exactly
+///      one chunk, computed with the same operation order as the serial loop,
+///      and no cross-chunk floating-point state is shared.
+///   2. *Fixed-shape chunk-tree reductions* (`DeterministicReduce`) — the
+///      range is cut into chunks whose boundaries depend only on the range
+///      length (never on thread count or grain), each chunk reduces serially
+///      in index order, and the per-chunk partials are combined by a fixed
+///      pairwise tree. The schedule decides only *when* a chunk runs, never
+///      what it computes or how partials combine.
+/// The fleet runtime relies on this for reproducible, checkpointable models.
+///
+/// Allocation contract: the serial fallback path of `MaybeParallelFor*` and
+/// all of `DeterministicReduce` are heap-allocation-free (the reduction keeps
+/// its partials in a fixed-size stack array). Dispatching onto an installed
+/// executor may allocate O(1) bookkeeping per fan-out; the zero-allocation
+/// steady-state guarantee of the learners is stated for serial execution and
+/// verified by `tests/test_workspace.cc`.
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 namespace least {
 
@@ -64,21 +79,161 @@ inline constexpr int64_t kParallelMinWork = 1 << 14;
 /// (~a 100x100x100 gemm; below that, fan-out overhead dominates).
 inline constexpr int64_t kParallelMinFlops = int64_t{1} << 20;
 
+namespace parallel_detail {
+
+/// True when an executor is installed, has real parallelism, and the work
+/// estimate clears `min_work`. Lives in the .cc so the header stays free of
+/// the atomic load.
+bool ShouldParallelize(int64_t work, int64_t min_work, int64_t span);
+
+/// Type-erased dispatch onto the installed executor (which the caller has
+/// already checked exists via `ShouldParallelize`).
+void Dispatch(int64_t begin, int64_t end, int64_t grain,
+              const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace parallel_detail
+
 /// Splits [begin, end) into chunks of `grain` (< 1 = executor-chosen) and
 /// runs them on the global executor when one is installed and the range
 /// holds at least `kParallelMinWork` elements; otherwise runs
-/// `fn(begin, end)` inline. Safe for pure output partitions only — see the
-/// determinism contract in the file comment.
-void MaybeParallelFor(int64_t begin, int64_t end, int64_t grain,
-                      const std::function<void(int64_t, int64_t)>& fn);
+/// `fn(begin, end)` inline — with no type erasure and no allocation. Safe
+/// for pure output partitions only — see the determinism contract in the
+/// file comment.
+template <typename Fn>
+void MaybeParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  if (end <= begin) return;
+  if (!parallel_detail::ShouldParallelize(end - begin, kParallelMinWork,
+                                          end - begin)) {
+    fn(begin, end);
+    return;
+  }
+  parallel_detail::Dispatch(begin, end, grain,
+                            std::function<void(int64_t, int64_t)>(fn));
+}
 
 /// As `MaybeParallelFor`, but gated on a caller-supplied flop estimate
 /// instead of the range length — for kernels whose per-element cost is much
 /// larger than one operation (gemm rows, batched gradient rows).
 /// Parallelizes when an executor is installed and `flops` is at least
 /// `kParallelMinFlops`.
+template <typename Fn>
 void MaybeParallelForFlops(int64_t flops, int64_t begin, int64_t end,
-                           int64_t grain,
-                           const std::function<void(int64_t, int64_t)>& fn);
+                           int64_t grain, Fn&& fn) {
+  if (end <= begin) return;
+  if (!parallel_detail::ShouldParallelize(flops, kParallelMinFlops,
+                                          end - begin)) {
+    fn(begin, end);
+    return;
+  }
+  parallel_detail::Dispatch(begin, end, grain,
+                            std::function<void(int64_t, int64_t)>(fn));
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic reductions.
+// ---------------------------------------------------------------------------
+
+/// Elements per reduction chunk (lower bound). The chunk layout is a pure
+/// function of the range length, never of the executor, so reductions are
+/// bitwise reproducible at any thread count — including zero.
+inline constexpr int64_t kReduceChunk = 8192;
+
+/// Upper bound on the number of reduction chunks; keeps the partials in a
+/// fixed-size stack array (no allocation) and bounds combine-tree depth.
+inline constexpr int kReduceMaxChunks = 64;
+
+namespace parallel_detail {
+
+/// Chunk size for a range of `n` elements: at least `kReduceChunk`, grown so
+/// that at most `kReduceMaxChunks` chunks cover the range.
+inline int64_t ReduceChunkSize(int64_t n) {
+  const int64_t for_cap = (n + kReduceMaxChunks - 1) / kReduceMaxChunks;
+  return for_cap > kReduceChunk ? for_cap : kReduceChunk;
+}
+
+}  // namespace parallel_detail
+
+/// \brief Deterministic parallel reduction over [begin, end).
+///
+/// `chunk_fn(lo, hi)` must return the serial reduction of [lo, hi); chunks
+/// are laid out by `ReduceChunkSize(end - begin)` — a pure function of the
+/// range length — and evaluated independently (possibly concurrently, each
+/// serially in index order). Partials are then combined with `combine` in a
+/// fixed pairwise tree: (p0⊕p1)⊕(p2⊕p3)…, identical for every thread count.
+/// The result is therefore bitwise reproducible with or without an executor,
+/// for any grain, at any pool size.
+///
+/// `chunk_fn` may also write side outputs, provided they form a pure
+/// partition of the range (used by `AddL1Subgradient`).
+///
+/// Note: the chunked combine order intentionally differs from a plain
+/// left-to-right serial sum — it is the *new* canonical order, used
+/// identically everywhere, and is at least as accurate (pairwise summation).
+template <typename T, typename ChunkFn, typename CombineFn>
+T DeterministicReduce(int64_t begin, int64_t end, T identity,
+                      ChunkFn&& chunk_fn, CombineFn&& combine) {
+  const int64_t n = end - begin;
+  if (n <= 0) return identity;
+  const int64_t chunk = parallel_detail::ReduceChunkSize(n);
+  const int num_chunks = static_cast<int>((n + chunk - 1) / chunk);
+  std::array<T, kReduceMaxChunks> partials;
+  auto run_chunks = [&](int64_t c0, int64_t c1) {
+    for (int64_t c = c0; c < c1; ++c) {
+      const int64_t lo = begin + c * chunk;
+      const int64_t hi = lo + chunk < end ? lo + chunk : end;
+      partials[static_cast<size_t>(c)] = chunk_fn(lo, hi);
+    }
+  };
+  // Gate on the element count like the elementwise kernels do
+  // (kParallelMinWork, not the gemm flop threshold): a reduction's
+  // per-element cost matches an elementwise map, and n >= kParallelMinWork
+  // guarantees at least two chunks to hand out.
+  if (!parallel_detail::ShouldParallelize(n, kParallelMinWork, num_chunks)) {
+    run_chunks(0, num_chunks);
+  } else {
+    parallel_detail::Dispatch(0, num_chunks, /*grain=*/1,
+                              std::function<void(int64_t, int64_t)>(
+                                  run_chunks));
+  }
+  // Fixed-shape pairwise combine tree (shape depends only on num_chunks).
+  for (int width = num_chunks; width > 1;) {
+    const int half = width / 2;
+    for (int i = 0; i < half; ++i) {
+      partials[i] = combine(partials[2 * i], partials[2 * i + 1]);
+    }
+    if (width % 2 == 1) partials[half] = partials[width - 1];
+    width = half + width % 2;
+  }
+  return partials[0];
+}
+
+/// Deterministic sum: `chunk_fn(lo, hi)` returns the serial sum of its chunk.
+template <typename ChunkFn>
+double DeterministicSum(int64_t begin, int64_t end, ChunkFn&& chunk_fn) {
+  return DeterministicReduce(begin, end, 0.0,
+                             std::forward<ChunkFn>(chunk_fn),
+                             [](double a, double b) { return a + b; });
+}
+
+/// Deterministic Σ p[i]² over p[0, n) — the ‖·‖² shape shared by the dense
+/// loss, the sparse learner's residual, and `FrobeniusNorm`.
+inline double DeterministicSumSquares(const double* p, int64_t n) {
+  return DeterministicSum(0, n, [p](int64_t lo, int64_t hi) {
+    double s = 0.0;
+    for (int64_t i = lo; i < hi; ++i) s += p[i] * p[i];
+    return s;
+  });
+}
+
+/// Deterministic max: `chunk_fn(lo, hi)` returns the serial max of its chunk.
+/// (Max is order-insensitive for non-NaN doubles, but routing it through the
+/// same machinery keeps one code path and one set of tests.)
+template <typename ChunkFn>
+double DeterministicMax(int64_t begin, int64_t end, double identity,
+                        ChunkFn&& chunk_fn) {
+  return DeterministicReduce(begin, end, identity,
+                             std::forward<ChunkFn>(chunk_fn),
+                             [](double a, double b) { return a > b ? a : b; });
+}
 
 }  // namespace least

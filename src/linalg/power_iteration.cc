@@ -17,10 +17,15 @@ namespace {
 // ||A^p x|| / ||x|| ~ rho^p). We therefore return the plain estimate when
 // it converges and the tail geometric mean otherwise.
 template <typename Matvec>
-double PowerIterate(int d, Matvec&& matvec, const PowerIterationOptions& opts) {
+double PowerIterate(int d, Matvec&& matvec, const PowerIterationOptions& opts,
+                    Workspace* ws_opt) {
   if (d == 0) return 0.0;
+  Workspace local;
+  Workspace& ws = ws_opt != nullptr ? *ws_opt : local;
+  WorkspaceScope scope(ws);
   Rng rng(opts.seed);
-  std::vector<double> x(d), y(d);
+  std::vector<double>& x = ws.Vector(d);
+  std::vector<double>& y = ws.Vector(d);
   for (double& v : x) v = rng.Uniform(0.5, 1.0);
 
   const int burn_in = std::min(opts.max_iters / 2, 32);
@@ -50,24 +55,26 @@ double PowerIterate(int d, Matvec&& matvec, const PowerIterationOptions& opts) {
 
 }  // namespace
 
-double SpectralRadius(const DenseMatrix& a, const PowerIterationOptions& opts) {
+double SpectralRadius(const DenseMatrix& a, const PowerIterationOptions& opts,
+                      Workspace* ws) {
   LEAST_CHECK(a.rows() == a.cols());
   return PowerIterate(
       a.rows(),
       [&](const std::vector<double>& x, std::vector<double>& y) {
         MatvecInto(a, x, y);
       },
-      opts);
+      opts, ws);
 }
 
-double SpectralRadius(const CsrMatrix& a, const PowerIterationOptions& opts) {
+double SpectralRadius(const CsrMatrix& a, const PowerIterationOptions& opts,
+                      Workspace* ws) {
   LEAST_CHECK(a.rows() == a.cols());
   return PowerIterate(
       a.rows(),
       [&](const std::vector<double>& x, std::vector<double>& y) {
         a.MatvecInto(x, y);
       },
-      opts);
+      opts, ws);
 }
 
 }  // namespace least

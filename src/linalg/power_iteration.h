@@ -9,6 +9,7 @@
 
 #include "linalg/csr_matrix.h"
 #include "linalg/dense_matrix.h"
+#include "linalg/workspace.h"
 
 namespace least {
 
@@ -24,9 +25,14 @@ struct PowerIterationOptions {
 /// matrices the dominant eigenvalue equals the spectral radius
 /// (Perron–Frobenius), so convergence is monotone in practice; nilpotent
 /// (DAG-patterned) matrices drive the iterate to zero and return 0.
-double SpectralRadius(const DenseMatrix& a, const PowerIterationOptions& opts = {});
+/// Iterate vectors come from `ws` when given (allocation-free steady state).
+double SpectralRadius(const DenseMatrix& a,
+                      const PowerIterationOptions& opts = {},
+                      Workspace* ws = nullptr);
 
 /// Sparse overload.
-double SpectralRadius(const CsrMatrix& a, const PowerIterationOptions& opts = {});
+double SpectralRadius(const CsrMatrix& a,
+                      const PowerIterationOptions& opts = {},
+                      Workspace* ws = nullptr);
 
 }  // namespace least

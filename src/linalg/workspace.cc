@@ -1,0 +1,53 @@
+#include "linalg/workspace.h"
+
+namespace least {
+
+DenseMatrix& Workspace::Matrix(int rows, int cols) {
+  if (matrix_top_ == matrices_.size()) {
+    matrices_.push_back(std::make_unique<DenseMatrix>());
+    ++grow_events_;
+  }
+  DenseMatrix& m = *matrices_[matrix_top_++];
+  const size_t need = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  if (need > m.capacity()) ++grow_events_;
+  m.Reshape(rows, cols);
+  return m;
+}
+
+std::vector<double>& Workspace::Vector(size_t n) {
+  if (vector_top_ == vectors_.size()) {
+    vectors_.push_back(std::make_unique<std::vector<double>>());
+    ++grow_events_;
+  }
+  std::vector<double>& v = *vectors_[vector_top_++];
+  if (n > v.capacity()) ++grow_events_;
+  v.resize(n);
+  return v;
+}
+
+std::vector<int>& Workspace::IntVector(size_t n) {
+  if (int_vector_top_ == int_vectors_.size()) {
+    int_vectors_.push_back(std::make_unique<std::vector<int>>());
+    ++grow_events_;
+  }
+  std::vector<int>& v = *int_vectors_[int_vector_top_++];
+  if (n > v.capacity()) ++grow_events_;
+  v.resize(n);
+  return v;
+}
+
+void Workspace::Reset() {
+  matrix_top_ = 0;
+  vector_top_ = 0;
+  int_vector_top_ = 0;
+}
+
+size_t Workspace::retained_bytes() const {
+  size_t bytes = 0;
+  for (const auto& m : matrices_) bytes += m->capacity() * sizeof(double);
+  for (const auto& v : vectors_) bytes += v->capacity() * sizeof(double);
+  for (const auto& v : int_vectors_) bytes += v->capacity() * sizeof(int);
+  return bytes;
+}
+
+}  // namespace least

@@ -7,6 +7,13 @@ namespace least {
 Adam::Adam(size_t num_params, const AdamOptions& options)
     : options_(options), m_(num_params, 0.0), v_(num_params, 0.0) {}
 
+void Adam::Reinitialize(size_t num_params, const AdamOptions& options) {
+  options_ = options;
+  m_.assign(num_params, 0.0);
+  v_.assign(num_params, 0.0);
+  t_ = 0;
+}
+
 void Adam::Step(std::span<double> params, std::span<const double> grad) {
   LEAST_CHECK(params.size() == m_.size());
   LEAST_CHECK(grad.size() == m_.size());

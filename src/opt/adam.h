@@ -43,6 +43,13 @@ class Adam {
   /// Creates state for `num_params` parameters.
   explicit Adam(size_t num_params, const AdamOptions& options = {});
 
+  /// Re-initializes for `num_params` parameters with fresh options, reusing
+  /// storage — equivalent to constructing a new `Adam`, minus the heap
+  /// allocation once the high-water capacity has been reached. The learners
+  /// call this once per outer round instead of constructing a fresh
+  /// optimizer.
+  void Reinitialize(size_t num_params, const AdamOptions& options);
+
   /// Applies one Adam update: params -= lr * m_hat / (sqrt(v_hat) + eps).
   /// `params` and `grad` must both have the state's current size.
   void Step(std::span<double> params, std::span<const double> grad);

@@ -1,0 +1,256 @@
+/// \file test_kernel_determinism.cc
+/// \brief The kernel layer's bitwise-determinism contract, swept hard.
+///
+/// Every configuration axis that may only change *scheduling*, never
+/// *values*, is swept against a serial golden:
+///   - gemm blocking (kc x jc), including degenerate shapes
+///   - executor grain (forced through a wrapping executor)
+///   - executor threads (none, 1, 2, 4, 8)
+/// for the blocked gemm (against the reference ikj kernel bit-for-bit),
+/// matvec, the deterministic reductions, Expm, and the loss. The
+/// checkpoint-resume and fleet bit-identity guarantees on top of these
+/// kernels are covered by test_checkpoint_resume.cc / test_fleet_data_plane.cc.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/least_squares_loss.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/expm.h"
+#include "linalg/parallel.h"
+#include "linalg/workspace.h"
+#include "runtime/thread_pool.h"
+#include "util/rng.h"
+
+namespace least {
+namespace {
+
+// Restores default blocking / no executor even when a test fails out.
+struct KernelEnvGuard {
+  ~KernelEnvGuard() {
+    SetParallelExecutor(nullptr);
+    SetGemmBlocking(0, 0);
+  }
+};
+
+// Forwards to a wrapped executor with a fixed grain, so tests can sweep the
+// chunk layout the pool would otherwise choose on its own.
+class GrainForcingExecutor final : public ParallelExecutor {
+ public:
+  GrainForcingExecutor(ParallelExecutor* inner, int64_t grain)
+      : inner_(inner), grain_(grain) {}
+  int concurrency() const override { return inner_->concurrency(); }
+  void ParallelFor(int64_t begin, int64_t end, int64_t /*grain*/,
+                   const std::function<void(int64_t, int64_t)>& fn) override {
+    inner_->ParallelFor(begin, end, grain_, fn);
+  }
+
+ private:
+  ParallelExecutor* inner_;
+  int64_t grain_;
+};
+
+bool BitwiseEqual(const DenseMatrix& a, const DenseMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    if (a.data()[i] != b.data()[i]) return false;
+    if (std::signbit(a.data()[i]) != std::signbit(b.data()[i])) return false;
+  }
+  return true;
+}
+
+const std::vector<GemmBlocking> kBlockings = {
+    {1, 8}, {7, 8}, {8, 16}, {32, 64}, {64, 24}, {256, 128}, {1024, 1024}};
+const std::vector<int> kThreadCounts = {1, 2, 4, 8};
+const std::vector<int64_t> kGrains = {1, 3, 17, 1000};
+
+TEST(KernelDeterminism, BlockedGemmMatchesReferenceBitwise) {
+  KernelEnvGuard guard;
+  Rng rng(11);
+  for (const auto [n, k, m] : {std::tuple{37, 53, 29}, std::tuple{128, 128, 128},
+                               std::tuple{200, 64, 111}, std::tuple{1, 300, 7},
+                               std::tuple{63, 1, 63}}) {
+    DenseMatrix a = DenseMatrix::RandomUniform(n, k, -1.0, 1.0, rng);
+    DenseMatrix b = DenseMatrix::RandomUniform(k, m, -1.0, 1.0, rng);
+    DenseMatrix golden(n, m);
+    MatmulReferenceInto(a, b, &golden);
+    for (const GemmBlocking& blk : kBlockings) {
+      SetGemmBlocking(blk.kc, blk.jc);
+      DenseMatrix out(n, m);
+      MatmulInto(a, b, &out);
+      EXPECT_TRUE(BitwiseEqual(golden, out))
+          << "kc=" << blk.kc << " jc=" << blk.jc << " n=" << n << " k=" << k
+          << " m=" << m;
+    }
+    SetGemmBlocking(0, 0);
+  }
+}
+
+TEST(KernelDeterminism, GemmSweepBlockingGrainThreads) {
+  KernelEnvGuard guard;
+  Rng rng(12);
+  // Big enough to clear the parallel-dispatch flop gate.
+  const int d = 160;
+  DenseMatrix a = DenseMatrix::RandomUniform(d, d, -1.0, 1.0, rng);
+  DenseMatrix b = DenseMatrix::RandomUniform(d, d, -1.0, 1.0, rng);
+  DenseMatrix golden(d, d);
+  MatmulReferenceInto(a, b, &golden);
+
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    for (int64_t grain : kGrains) {
+      GrainForcingExecutor forced(&pool, grain);
+      SetParallelExecutor(&forced);
+      for (const GemmBlocking& blk : kBlockings) {
+        SetGemmBlocking(blk.kc, blk.jc);
+        DenseMatrix out(d, d);
+        MatmulInto(a, b, &out);
+        EXPECT_TRUE(BitwiseEqual(golden, out))
+            << "threads=" << threads << " grain=" << grain
+            << " kc=" << blk.kc << " jc=" << blk.jc;
+      }
+      SetGemmBlocking(0, 0);
+    }
+    SetParallelExecutor(nullptr);
+  }
+}
+
+TEST(KernelDeterminism, MatvecAcrossThreads) {
+  KernelEnvGuard guard;
+  Rng rng(13);
+  const int d = 1300;  // d^2 clears the flop gate
+  DenseMatrix a = DenseMatrix::RandomUniform(d, d, -1.0, 1.0, rng);
+  std::vector<double> x(d), golden(d), y(d);
+  for (double& v : x) v = rng.Uniform(-1.0, 1.0);
+  MatvecInto(a, x, golden);
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    for (int64_t grain : kGrains) {
+      GrainForcingExecutor forced(&pool, grain);
+      SetParallelExecutor(&forced);
+      MatvecInto(a, x, y);
+      SetParallelExecutor(nullptr);
+      EXPECT_EQ(golden, y) << "threads=" << threads << " grain=" << grain;
+    }
+  }
+}
+
+TEST(KernelDeterminism, ReductionsAcrossThreadsAndGrains) {
+  KernelEnvGuard guard;
+  Rng rng(14);
+  // > kReduceChunk * several so multiple chunks exist; odd size exercises
+  // the ragged tail chunk and the odd-width combine-tree levels.
+  const int rows = 423, cols = 311;
+  DenseMatrix m = DenseMatrix::RandomUniform(rows, cols, -2.0, 2.0, rng);
+  const double frob = m.FrobeniusNorm();
+  const double maxabs = m.MaxAbs();
+  const double sum = m.Sum();
+  DenseMatrix grad_golden(rows, cols);
+  const double l1 = AddL1Subgradient(m, 0.37, &grad_golden);
+
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    for (int64_t grain : kGrains) {
+      GrainForcingExecutor forced(&pool, grain);
+      SetParallelExecutor(&forced);
+      EXPECT_EQ(frob, m.FrobeniusNorm());
+      EXPECT_EQ(maxabs, m.MaxAbs());
+      EXPECT_EQ(sum, m.Sum());
+      DenseMatrix grad(rows, cols);
+      EXPECT_EQ(l1, AddL1Subgradient(m, 0.37, &grad));
+      EXPECT_TRUE(BitwiseEqual(grad_golden, grad));
+      SetParallelExecutor(nullptr);
+    }
+  }
+}
+
+TEST(KernelDeterminism, DeterministicReduceMatchesManualChunking) {
+  // The chunk layout must be a pure function of the range length.
+  const int64_t n = 3 * kReduceChunk + 1234;
+  std::vector<double> v(n);
+  Rng rng(15);
+  for (double& x : v) x = rng.Uniform(-1.0, 1.0);
+  auto chunk_sum = [&](int64_t lo, int64_t hi) {
+    double s = 0.0;
+    for (int64_t i = lo; i < hi; ++i) s += v[i];
+    return s;
+  };
+  const double serial = DeterministicSum(0, n, chunk_sum);
+  // Manual fixed-shape evaluation.
+  std::vector<double> partials;
+  for (int64_t lo = 0; lo < n; lo += kReduceChunk) {
+    partials.push_back(chunk_sum(lo, std::min(n, lo + kReduceChunk)));
+  }
+  while (partials.size() > 1) {
+    std::vector<double> next;
+    for (size_t i = 0; i + 1 < partials.size(); i += 2) {
+      next.push_back(partials[i] + partials[i + 1]);
+    }
+    if (partials.size() % 2 == 1) next.push_back(partials.back());
+    partials = std::move(next);
+  }
+  EXPECT_EQ(serial, partials[0]);
+}
+
+TEST(KernelDeterminism, ExpmAcrossThreadsAndBlockings) {
+  KernelEnvGuard guard;
+  Rng rng(16);
+  const int d = 120;
+  // Norm well past theta13 so scaling-and-squaring (the heaviest path) runs.
+  DenseMatrix a = DenseMatrix::RandomUniform(d, d, 0.0, 0.15, rng);
+  const DenseMatrix golden = Expm(a);
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    SetParallelExecutor(&pool);
+    for (const GemmBlocking& blk : kBlockings) {
+      SetGemmBlocking(blk.kc, blk.jc);
+      Workspace ws;
+      DenseMatrix e;
+      ExpmInto(a, &e, &ws);
+      EXPECT_TRUE(BitwiseEqual(golden, e))
+          << "threads=" << threads << " kc=" << blk.kc << " jc=" << blk.jc;
+    }
+    SetGemmBlocking(0, 0);
+    SetParallelExecutor(nullptr);
+  }
+}
+
+TEST(KernelDeterminism, LossValueAndGradientAcrossThreads) {
+  KernelEnvGuard guard;
+  Rng rng(17);
+  const int n = 300, d = 130;
+  DenseMatrix x = DenseMatrix::RandomUniform(n, d, -1.0, 1.0, rng);
+  DenseMatrix w = DenseMatrix::RandomUniform(d, d, -0.5, 0.5, rng);
+
+  for (int batch : {0, 64}) {
+    Rng golden_rng(99);
+    LeastSquaresLoss golden_loss(&x, 0.1, batch);
+    DenseMatrix golden_grad(d, d);
+    const double golden_value =
+        golden_loss.ValueAndGradient(w, &golden_grad, golden_rng);
+
+    for (int threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      for (int64_t grain : kGrains) {
+        GrainForcingExecutor forced(&pool, grain);
+        SetParallelExecutor(&forced);
+        Rng run_rng(99);
+        Workspace ws;
+        LeastSquaresLoss loss(&x, 0.1, batch, &ws);
+        DenseMatrix grad(d, d);
+        const double value = loss.ValueAndGradient(w, &grad, run_rng);
+        SetParallelExecutor(nullptr);
+        EXPECT_EQ(golden_value, value)
+            << "batch=" << batch << " threads=" << threads
+            << " grain=" << grain;
+        EXPECT_TRUE(BitwiseEqual(golden_grad, grad));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace least

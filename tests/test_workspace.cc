@@ -1,0 +1,198 @@
+/// \file test_workspace.cc
+/// \brief Workspace pool semantics plus the zero-allocation steady-state
+/// proof for the optimizer hot loops.
+///
+/// The allocation proof instruments the global allocator (this TU overrides
+/// `operator new`/`delete` with counting versions — safe because each test
+/// target is its own binary) and runs each learner twice with the only
+/// difference being the number of inner iterations. If steady-state
+/// iterations allocate nothing, the two runs perform *exactly* the same
+/// number of allocations; any per-iteration allocation shows up amplified
+/// by the iteration delta.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "constraint/expm_trace.h"
+#include "constraint/spectral_bound.h"
+#include "core/data_source.h"
+#include "core/least.h"
+#include "core/least_sparse.h"
+#include "linalg/expm.h"
+#include "linalg/workspace.h"
+#include "util/rng.h"
+
+namespace {
+std::atomic<long long> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace least {
+namespace {
+
+long long AllocationCount() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Pool semantics.
+// ---------------------------------------------------------------------------
+
+TEST(Workspace, CheckoutShapesAndScopes) {
+  Workspace ws;
+  DenseMatrix& a = ws.Matrix(3, 4);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 4);
+  a.Fill(1.0);
+  {
+    WorkspaceScope scope(ws);
+    DenseMatrix& b = ws.Matrix(5, 5);
+    EXPECT_NE(&a, &b);  // caller's checkout survives the nested scope
+    b.Fill(2.0);
+    std::vector<double>& v = ws.Vector(7);
+    EXPECT_EQ(v.size(), 7u);
+  }
+  // `a` untouched by the scope's checkouts.
+  EXPECT_EQ(a(2, 3), 1.0);
+  // After the scope closed, its slot is reusable...
+  DenseMatrix& c = ws.Matrix(2, 2);
+  EXPECT_NE(&a, &c);
+  ws.Reset();
+  // ...and after Reset the first slot comes back first.
+  DenseMatrix& again = ws.Matrix(6, 6);
+  EXPECT_EQ(&a, &again);
+}
+
+TEST(Workspace, GrowEventsGoFlatOnRepeatedUse) {
+  Workspace ws;
+  Rng rng(3);
+  DenseMatrix a = DenseMatrix::RandomUniform(40, 40, 0.0, 0.1, rng);
+  DenseMatrix e;
+  ExpmInto(a, &e, &ws);
+  const int64_t after_first = ws.grow_events();
+  EXPECT_GT(after_first, 0);
+  for (int i = 0; i < 5; ++i) ExpmInto(a, &e, &ws);
+  EXPECT_EQ(ws.grow_events(), after_first);
+
+  // Same for a constraint evaluation drawing scoped scratch on top.
+  SpectralBoundConstraint bound;
+  DenseMatrix grad(40, 40);
+  bound.Evaluate(a, &grad, &ws);
+  const int64_t after_bound = ws.grow_events();
+  for (int i = 0; i < 5; ++i) bound.Evaluate(a, &grad, &ws);
+  EXPECT_EQ(ws.grow_events(), after_bound);
+  EXPECT_GT(ws.retained_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Zero allocations per steady-state iteration.
+// ---------------------------------------------------------------------------
+
+// Runs `fit` (which must perform `inner` inner iterations and exactly one
+// outer round) and returns the number of heap allocations it performed.
+template <typename Fn>
+long long CountAllocations(Fn&& fit) {
+  const long long before = AllocationCount();
+  fit();
+  return AllocationCount() - before;
+}
+
+LearnOptions StepOptions(int inner, int batch) {
+  LearnOptions opt;
+  opt.max_outer_iterations = 1;
+  opt.max_inner_iterations = inner;
+  opt.inner_rtol = 0.0;  // never converge early: run exactly `inner` steps
+  opt.inner_check_every = inner + 1;
+  opt.batch_size = batch;
+  opt.track_exact_h = false;
+  opt.init_density = 0.05;
+  opt.seed = 5;
+  return opt;
+}
+
+void ExpectIterationsAllocationFree(const DenseMatrix& x, bool notears,
+                                    int batch) {
+  auto run = [&](int inner) {
+    LearnOptions opt = StepOptions(inner, batch);
+    return CountAllocations([&] {
+      LearnResult r = notears ? FitNotears(x, opt) : FitLeastDense(x, opt);
+      ASSERT_EQ(r.outer_iterations, 1);
+      ASSERT_EQ(r.inner_iterations, inner);
+    });
+  };
+  run(8);  // warmup: thread-local gemm panel, lazy statics
+  const long long short_run = run(8);
+  const long long long_run = run(48);
+  EXPECT_EQ(short_run, long_run)
+      << (long_run - short_run) << " extra allocations over 40 extra "
+      << "iterations (notears=" << notears << " batch=" << batch << ")";
+}
+
+TEST(ZeroAllocation, DenseLearnerFullBatch) {
+  Rng rng(21);
+  DenseMatrix x = DenseMatrix::RandomUniform(80, 40, -1.0, 1.0, rng);
+  ExpectIterationsAllocationFree(x, /*notears=*/false, /*batch=*/0);
+}
+
+TEST(ZeroAllocation, DenseLearnerMiniBatch) {
+  Rng rng(22);
+  DenseMatrix x = DenseMatrix::RandomUniform(120, 40, -1.0, 1.0, rng);
+  ExpectIterationsAllocationFree(x, /*notears=*/false, /*batch=*/32);
+}
+
+TEST(ZeroAllocation, NotearsExpmPath) {
+  Rng rng(23);
+  DenseMatrix x = DenseMatrix::RandomUniform(80, 36, -1.0, 1.0, rng);
+  ExpectIterationsAllocationFree(x, /*notears=*/true, /*batch=*/0);
+}
+
+TEST(ZeroAllocation, SparseLearner) {
+  Rng rng(24);
+  DenseMatrix x = DenseMatrix::RandomUniform(200, 60, -1.0, 1.0, rng);
+  auto source = std::make_shared<OwningDenseDataSource>(x, "zero-alloc");
+  auto run = [&](int inner) {
+    LearnOptions opt = StepOptions(inner, 64);
+    opt.init_density = 0.02;
+    // Keep the pattern fixed across the run: no thresholding, so nnz (and
+    // with it every buffer size) is identical in both runs.
+    opt.filter_threshold = 0.0;
+    opt.threshold_warmup_rounds = 100;
+    LeastSparseLearner learner(opt);
+    return CountAllocations([&] {
+      SparseLearnResult r = learner.Fit(*source);
+      ASSERT_EQ(r.outer_iterations, 1);
+      ASSERT_EQ(r.inner_iterations, inner);
+    });
+  };
+  run(8);  // warmup
+  const long long short_run = run(8);
+  const long long long_run = run(48);
+  EXPECT_EQ(short_run, long_run)
+      << (long_run - short_run)
+      << " extra allocations over 40 extra sparse iterations";
+}
+
+}  // namespace
+}  // namespace least
