@@ -13,8 +13,13 @@
 /// A second section measures the disk-backed data plane: the same queue as
 /// CSV jobs loaded lazily through a `DatasetCache` at several byte budgets,
 /// against the all-in-RAM baseline — throughput cost of cache churn, hit
-/// rates, evictions, and the bit-identical-results guarantee. A machine-
-/// readable snapshot of both sections lands in `BENCH_fleet.json`.
+/// rates, evictions, and the bit-identical-results guarantee.
+///
+/// A third section measures the sharded data plane on a single dataset 4x
+/// larger than its cache budget: `least-sparse` streams it in row-range
+/// shards (peak resident <= budget) and must land bitwise on the all-in-RAM
+/// model. A machine-readable snapshot of all sections lands in
+/// `BENCH_fleet.json`.
 ///
 /// Sizes follow the standard harness envs:
 ///   LEAST_BENCH_SCALE=<double>  fraction of the default 400-job queue
@@ -28,9 +33,12 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/least_sparse.h"
+#include "data/benchmark_data.h"
 #include "data/gene_network.h"
 #include "runtime/fleet_scheduler.h"
 #include "util/csv.h"
+#include "util/stopwatch.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -137,13 +145,8 @@ int main() {
     auto dense = jobs[j].data->Dense();
     const least::DenseMatrix& x = *dense.value();
     dataset_bytes = x.size() * sizeof(double);
-    std::vector<std::vector<double>> rows;
-    rows.reserve(x.rows());
-    for (int i = 0; i < x.rows(); ++i) {
-      rows.emplace_back(x.row(i), x.row(i) + x.cols());
-    }
     const std::string path = csv_dir + "/ds-" + std::to_string(j) + ".csv";
-    (void)least::WriteCsv(path, {}, rows);
+    (void)least::WriteMatrixCsv(path, x);
     csv_paths.push_back(path);
   }
 
@@ -214,6 +217,85 @@ int main() {
   }
   std::printf("%s\n", disk_table.ToString().c_str());
 
+  // ---- Over-budget single dataset: sharded streaming via least-sparse. ----
+  // One dataset 4x larger than its cache budget; only the row-range-sharded
+  // CsvDataSource can run it under the budget at all. Reported against the
+  // all-in-RAM learner run, with the bitwise-identity check.
+  const int big_n = std::max(800, static_cast<int>(6000 * scale));
+  const int big_d = 16;
+  const int shard_rows_count = std::max(1, big_n / 16);
+  least::BenchmarkConfig big_cfg;
+  big_cfg.d = big_d;
+  big_cfg.n = big_n;
+  big_cfg.seed = 20260729;
+  const least::DenseMatrix big_x = least::MakeBenchmarkInstance(big_cfg).x;
+  const size_t big_bytes = big_x.size() * sizeof(double);
+  const size_t shard_budget = big_bytes / 4;
+  const std::string big_csv =
+      (fs::temp_directory_path() / "least_bench_overbudget.csv").string();
+  (void)least::WriteMatrixCsv(big_csv, big_x);
+  least::LearnOptions sparse_opt;
+  sparse_opt.max_outer_iterations = 6;
+  sparse_opt.max_inner_iterations = 60;
+  sparse_opt.batch_size = 256;
+  sparse_opt.lambda1 = 0.05;
+  sparse_opt.learning_rate = 0.03;
+  sparse_opt.filter_threshold = 0.05;
+  sparse_opt.init_density = 0.0;
+  sparse_opt.seed = 7;
+  least::LeastSparseLearner sparse_learner(sparse_opt);
+  std::vector<std::pair<int, int>> all_pairs;
+  for (int i = 0; i < big_d; ++i) {
+    for (int j = 0; j < big_d; ++j) {
+      if (i != j) all_pairs.push_back({i, j});
+    }
+  }
+  sparse_learner.set_candidate_edges(all_pairs);
+
+  least::Stopwatch ram_watch;
+  least::OwningDenseDataSource big_ram(big_x, "over-budget");
+  const least::SparseLearnResult ram_result = sparse_learner.Fit(big_ram);
+  const double ram_seconds = ram_watch.Seconds();
+
+  least::DatasetCache shard_cache(shard_budget);
+  least::CsvSourceOptions shard_csv_opt;
+  shard_csv_opt.has_header = false;
+  shard_csv_opt.cache = &shard_cache;
+  shard_csv_opt.shard_rows = shard_rows_count;
+  least::CsvDataSource big_disk(big_csv, shard_csv_opt);
+  least::Stopwatch shard_watch;
+  const least::SparseLearnResult shard_result = sparse_learner.Fit(big_disk);
+  const double shard_seconds = shard_watch.Seconds();
+  fs::remove(big_csv);
+
+  const least::DatasetCache::Stats shard_stats = shard_cache.stats();
+  const bool shard_deterministic =
+      shard_result.raw_weights.rows() == ram_result.raw_weights.rows() &&
+      shard_result.raw_weights.cols() == ram_result.raw_weights.cols() &&
+      shard_result.raw_weights.row_ptr() == ram_result.raw_weights.row_ptr() &&
+      shard_result.raw_weights.col_idx() == ram_result.raw_weights.col_idx() &&
+      shard_result.raw_weights.values() == ram_result.raw_weights.values();
+  std::printf("over-budget single dataset (%dx%d = %zu bytes, budget %zu "
+              "bytes = 4x smaller, %d-row shards):\n",
+              big_n, big_d, big_bytes, shard_budget, shard_rows_count);
+  least::TablePrinter shard_table({"data plane", "fit s", "loads", "evicted",
+                                   "peak KiB", "budget KiB", "deterministic"});
+  shard_table.AddRow({"in-RAM", least::TablePrinter::Fmt(ram_seconds, 2), "0",
+                      "0", least::TablePrinter::Fmt(
+                               static_cast<double>(big_bytes) / 1024.0, 1),
+                      "-", "yes"});
+  shard_table.AddRow(
+      {"sharded CSV", least::TablePrinter::Fmt(shard_seconds, 2),
+       least::TablePrinter::Fmt(static_cast<long long>(shard_stats.misses)),
+       least::TablePrinter::Fmt(
+           static_cast<long long>(shard_stats.evictions)),
+       least::TablePrinter::Fmt(
+           static_cast<double>(shard_stats.peak_resident_bytes) / 1024.0, 1),
+       least::TablePrinter::Fmt(static_cast<double>(shard_budget) / 1024.0,
+                                1),
+       shard_deterministic ? "yes" : "NO"});
+  std::printf("%s\n", shard_table.ToString().c_str());
+
   // ---- Machine-readable snapshot. ----
   std::FILE* json = std::fopen("BENCH_fleet.json", "w");
   if (json != nullptr) {
@@ -239,7 +321,19 @@ int main() {
           run.deterministic ? "true" : "false",
           i + 1 < disk_runs.size() ? "," : "");
     }
-    std::fprintf(json, "  ]\n}\n");
+    std::fprintf(
+        json,
+        "  ],\n  \"single_dataset_over_budget\": {\n"
+        "    \"rows\": %d, \"cols\": %d, \"dataset_bytes\": %zu,\n"
+        "    \"budget_bytes\": %zu, \"shard_rows\": %d,\n"
+        "    \"in_ram_fit_seconds\": %.4f, \"sharded_fit_seconds\": %.4f,\n"
+        "    \"shard_loads\": %lld, \"shard_evictions\": %lld,\n"
+        "    \"peak_resident_bytes\": %zu, \"deterministic\": %s\n  }\n}\n",
+        big_n, big_d, big_bytes, shard_budget, shard_rows_count, ram_seconds,
+        shard_seconds, static_cast<long long>(shard_stats.misses),
+        static_cast<long long>(shard_stats.evictions),
+        shard_stats.peak_resident_bytes,
+        shard_deterministic ? "true" : "false");
     std::fclose(json);
     std::printf("snapshot written to BENCH_fleet.json\n");
   }

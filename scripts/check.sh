@@ -65,10 +65,12 @@ if [[ "${LEAST_SANITIZE_ONLY:-0}" == "0" ]]; then
   cd "$build_dir"
   ctest --output-on-failure -j
 
-  # The thread-pool and fleet-scheduler tests exercise real concurrency
-  # (work stealing, cancellation races, shutdown); a scheduling-dependent
-  # bug can pass a single run. Re-run them a few times and fail on a flake.
-  ctest --output-on-failure -R '^(test_thread_pool|test_fleet_scheduler)$' \
+  # The thread-pool, fleet-scheduler, and sharded-cache tests exercise real
+  # concurrency (work stealing, cancellation races, shutdown, single-flight
+  # shard loads); a scheduling-dependent bug can pass a single run. Re-run
+  # them a few times and fail on a flake.
+  ctest --output-on-failure \
+        -R '^(test_thread_pool|test_fleet_scheduler|test_sharded_cache)$' \
         --repeat until-fail:3 --no-tests=error
 
   echo "check.sh: all green"
@@ -87,10 +89,11 @@ if [[ "${LEAST_SANITIZE:-0}" != "0" ]]; then
         -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
   cmake --build "$san_dir" -j --target \
         test_data_source test_csv test_fleet_data_plane \
+        test_sharded_cache \
         test_fleet_scheduler test_model_serializer test_serializer_fuzz \
         test_checkpoint_resume
   cd "$san_dir"
   ctest --output-on-failure --no-tests=error -R \
-        '^(test_data_source|test_csv|test_fleet_data_plane|test_fleet_scheduler|test_model_serializer|test_serializer_fuzz|test_checkpoint_resume)$'
+        '^(test_data_source|test_csv|test_fleet_data_plane|test_sharded_cache|test_fleet_scheduler|test_model_serializer|test_serializer_fuzz|test_checkpoint_resume)$'
   echo "check.sh: sanitizer pass green"
 fi

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <fstream>
 #include <utility>
 
 #include "linalg/parallel.h"
@@ -53,6 +55,186 @@ void GatherFromCsr(const CsrMatrix& x, std::span<const int> rows,
   });
 }
 
+// ----------------------------------------------------- CSV shard scanning ---
+
+/// Reads one shard's byte extent from an already-open stream (seeks, so
+/// extents need not be contiguous — blank lines between shards belong to
+/// neither). A short read means the file shrank since it was scanned.
+Status ReadShardBytes(std::ifstream& in, const std::string& path,
+                      uint64_t byte_offset, uint64_t byte_size,
+                      std::string* buffer) {
+  buffer->assign(static_cast<size_t>(byte_size), '\0');
+  in.clear();
+  in.seekg(static_cast<std::streamoff>(byte_offset));
+  in.read(buffer->data(), static_cast<std::streamsize>(byte_size));
+  if (static_cast<uint64_t>(in.gcount()) != byte_size) {
+    return Status::InvalidArgument(
+        "CSV dataset '" + path +
+        "' is shorter than its recorded shard extents (file changed)");
+  }
+  return Status::Ok();
+}
+
+/// Parses the data lines of one shard's byte extent into an
+/// `expect_rows` x `cols` matrix. Every cell goes through the same
+/// `SplitCsvLine`/`ParseCsvCells` pair as `ReadCsv`, so a value parsed from
+/// a shard is bit-identical to the whole-file parse. Any structural
+/// surprise — ragged/extra/missing lines — is `kInvalidArgument` (the file
+/// changed since it was scanned).
+Result<DenseMatrix> ParseShardBuffer(const std::string& buffer,
+                                     const std::string& path, int expect_rows,
+                                     int cols) {
+  DenseMatrix x(expect_rows, cols);
+  std::vector<std::string> cells;
+  std::vector<double> row;
+  int filled = 0;
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos < buffer.size()) {
+    size_t eol = buffer.find('\n', pos);
+    if (eol == std::string::npos) eol = buffer.size();
+    std::string line = buffer.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    cells = SplitCsvLine(line);
+    if (filled >= expect_rows ||
+        cells.size() != static_cast<size_t>(cols)) {
+      return Status::InvalidArgument(
+          "CSV dataset '" + path +
+          "' shard layout mismatch at shard-relative line " +
+          std::to_string(line_no) + " (file changed)");
+    }
+    const Status parsed = ParseCsvCells(cells, line_no, path, &row);
+    if (!parsed.ok()) return parsed;
+    std::memcpy(x.row(filled), row.data(),
+                static_cast<size_t>(cols) * sizeof(double));
+    ++filled;
+  }
+  if (filled != expect_rows) {
+    return Status::InvalidArgument(
+        "CSV dataset '" + path + "' shard holds " + std::to_string(filled) +
+        " rows where " + std::to_string(expect_rows) +
+        " were recorded (file changed)");
+  }
+  return x;
+}
+
+/// Self-contained open + read + parse of one shard (the cache loader).
+Result<DenseMatrix> ParseShardExtent(const std::string& path,
+                                     uint64_t byte_offset, uint64_t byte_size,
+                                     int expect_rows, int cols) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::string buffer;
+  const Status read = ReadShardBytes(in, path, byte_offset, byte_size, &buffer);
+  if (!read.ok()) return read;
+  return ParseShardBuffer(buffer, path, expect_rows, cols);
+}
+
+struct ShardScanResult {
+  int rows = 0;
+  int cols = 0;
+  /// Whole-dataset hash, identical to `HashDenseContent` of the fully
+  /// materialized matrix (the row-major value stream is the concatenation
+  /// of the shard value streams).
+  uint64_t content_hash = 0;
+  std::vector<DatasetShard> shards;
+};
+
+/// Two-pass scan of a CSV file into fixed `shard_rows`-row shards with
+/// bounded memory (one line in pass one, one shard of values in pass two).
+/// Pass one establishes structure: shape, raggedness, and each shard's byte
+/// extent. Pass two re-parses shard by shard to compute per-shard value
+/// hashes and the whole-dataset content hash.
+Result<ShardScanResult> ScanCsvShards(const std::string& path,
+                                      bool has_header, int shard_rows) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  ShardScanResult scan;
+  uint64_t offset = 0;
+  std::string line;
+  size_t expected_cols = 0;
+  bool first = true;
+  size_t line_no = 0;
+  int data_rows = 0;
+  while (std::getline(in, line)) {
+    const uint64_t line_begin = offset;
+    // getline consumed line.size() chars plus one '\n' — except when it
+    // stopped at EOF (a final unterminated line), where eofbit is set. The
+    // '\r' of a CRLF line stays in `line` here (stripped below), so offsets
+    // are exact for CRLF and missing-trailing-newline files alike.
+    offset += static_cast<uint64_t>(line.size()) + (in.eof() ? 0 : 1);
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const size_t cells = SplitCsvLine(line).size();
+    if (first && has_header) {
+      expected_cols = cells;
+      first = false;
+      continue;
+    }
+    if (first) {
+      expected_cols = cells;
+      first = false;
+    } else if (cells != expected_cols) {
+      return Status::InvalidArgument(
+          "ragged CSV row at line " + std::to_string(line_no) + " in '" +
+          path + "'");
+    }
+    if (data_rows % shard_rows == 0) {
+      DatasetShard shard;
+      shard.row_begin = data_rows;
+      shard.byte_offset = line_begin;
+      scan.shards.push_back(shard);
+    }
+    DatasetShard& shard = scan.shards.back();
+    shard.row_end = data_rows + 1;
+    shard.byte_size = offset - shard.byte_offset;
+    ++data_rows;
+  }
+  if (data_rows == 0) {
+    return Status::InvalidArgument("CSV dataset '" + path +
+                                   "' contains no data rows");
+  }
+  if (expected_cols == 0) {
+    return Status::InvalidArgument("CSV dataset '" + path +
+                                   "' has zero columns");
+  }
+  scan.rows = data_rows;
+  scan.cols = static_cast<int>(expected_cols);
+  // Pass two: value hashes. The whole-dataset chain is exactly
+  // `HashDenseContent`'s — (rows, cols, then all values row-major) — folded
+  // one shard at a time, streaming through a single reopened handle (one
+  // seek per shard, not one open: a large dataset has many shards).
+  std::ifstream values_in(path, std::ios::binary);
+  if (!values_in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  uint64_t whole = kFnv1aOffset;
+  whole = Fnv1aFold(whole, static_cast<uint64_t>(scan.rows));
+  whole = Fnv1aFold(whole, static_cast<uint64_t>(scan.cols));
+  std::string buffer;
+  for (DatasetShard& shard : scan.shards) {
+    const Status read = ReadShardBytes(values_in, path, shard.byte_offset,
+                                       shard.byte_size, &buffer);
+    if (!read.ok()) return read;
+    Result<DenseMatrix> values = ParseShardBuffer(
+        buffer, path, shard.row_end - shard.row_begin, scan.cols);
+    if (!values.ok()) return values.status();
+    const DenseMatrix& x = values.value();
+    shard.content_hash = HashShardContent(shard.row_begin, shard.row_end, x);
+    whole = Fnv1aFold(whole, x.data().data(), x.size() * sizeof(double));
+  }
+  scan.content_hash = whole;
+  return scan;
+}
+
 }  // namespace
 
 std::string_view DatasetKindName(DatasetKind kind) {
@@ -86,6 +268,14 @@ uint64_t HashCsrContent(const CsrMatrix& x) {
   hash = Fnv1aFold(hash, x.col_idx().data(), x.col_idx().size() * sizeof(int));
   return Fnv1aFold(hash, x.values().data(),
                    x.values().size() * sizeof(double));
+}
+
+uint64_t HashShardContent(int row_begin, int row_end, const DenseMatrix& x) {
+  uint64_t hash = kFnv1aOffset;
+  hash = Fnv1aFold(hash, static_cast<uint64_t>(row_begin));
+  hash = Fnv1aFold(hash, static_cast<uint64_t>(row_end));
+  hash = Fnv1aFold(hash, static_cast<uint64_t>(x.cols()));
+  return Fnv1aFold(hash, x.data().data(), x.size() * sizeof(double));
 }
 
 // ------------------------------------------------ OwningDenseDataSource ---
@@ -207,29 +397,39 @@ void DatasetCache::EvictForLocked(size_t incoming) {
 
 Result<std::shared_ptr<const DenseMatrix>> DatasetCache::GetOrLoad(
     const std::string& key, const Loader& loader) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
     if (auto handle = LookupLocked(key)) {
       ++hits_;
       return handle;
     }
+    // Single-flight per key: claim the load, or wait for whoever owns it
+    // and re-check (their load may have failed, in which case we claim).
+    // Misses on *different* keys — e.g. distinct shards of one dataset, or
+    // distinct fleet datasets — load concurrently.
+    if (inflight_.insert(key).second) break;
+    inflight_cv_.wait(lock);
   }
-  // Single-flight: misses serialize so concurrent jobs never parse the same
-  // file twice nor overshoot the budget with duplicate payloads.
-  std::lock_guard<std::mutex> load_lock(load_mu_);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (auto handle = LookupLocked(key)) {
-      ++hits_;
-      return handle;
-    }
+  lock.unlock();
+  // The in-flight claim must be released even if the loader throws (e.g.
+  // bad_alloc materializing a large shard) — a leaked key would deadlock
+  // every future miss on it.
+  Result<DenseMatrix> loaded = Status::Internal("loader did not run");
+  try {
+    loaded = loader();
+  } catch (...) {
+    lock.lock();
+    inflight_.erase(key);
+    inflight_cv_.notify_all();
+    throw;
   }
-  Result<DenseMatrix> loaded = loader();
+  lock.lock();
+  inflight_.erase(key);
+  inflight_cv_.notify_all();
   if (!loaded.ok()) return loaded.status();
   DenseMatrix matrix = std::move(loaded).value();
   const size_t bytes = matrix.size() * sizeof(double);
 
-  std::lock_guard<std::mutex> lock(mu_);
   EvictForLocked(bytes);  // make room before charging the newcomer
   std::shared_ptr<Accounting> acct = accounting_;
   auto* raw = new DenseMatrix(std::move(matrix));
@@ -262,6 +462,17 @@ void DatasetCache::Clear() {
     }
   }
   entries_.clear();
+}
+
+void DatasetCache::Drop(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  if (it->second.cached != nullptr) {
+    it->second.cached.reset();
+    ++evictions_;
+  }
+  if (it->second.alive.expired()) entries_.erase(it);
 }
 
 void DatasetCache::set_byte_budget(size_t bytes) {
@@ -305,8 +516,12 @@ DatasetCache& GlobalDatasetCache() {
 
 CsvDataSource::CsvDataSource(std::string path, CsvSourceOptions options)
     : cache_(options.cache != nullptr ? options.cache
-                                      : &GlobalDatasetCache()) {
+                                      : &GlobalDatasetCache()),
+      shard_rows_(options.shard_rows),
+      expected_shards_(std::move(options.expected_shards)) {
   LEAST_CHECK(!path.empty());
+  LEAST_CHECK(shard_rows_ >= 0);
+  LEAST_CHECK(expected_shards_.empty() || shard_rows_ > 0);
   spec_.kind = DatasetKind::kCsv;
   spec_.path = std::move(path);
   spec_.name = options.name.empty() ? spec_.path : std::move(options.name);
@@ -314,9 +529,16 @@ CsvDataSource::CsvDataSource(std::string path, CsvSourceOptions options)
   spec_.rows = options.expected_rows;
   spec_.cols = options.expected_cols;
   spec_.content_hash = options.expected_hash;
+  spec_.shard_rows = shard_rows_;
   // Parse options are part of the payload identity: two sources reading
-  // the same file with and without a header must not share cache entries.
+  // the same file with and without a header (or with different shard
+  // geometry) must not share cache entries.
   cache_key_ = spec_.path + (options.has_header ? "#header" : "#noheader");
+  if (shard_rows_ > 0) cache_key_ += "#rows" + std::to_string(shard_rows_);
+}
+
+std::string CsvDataSource::ShardKey(int index) const {
+  return cache_key_ + "#shard" + std::to_string(index);
 }
 
 Result<DenseMatrix> CsvDataSource::Load() const {
@@ -365,6 +587,10 @@ Result<std::shared_ptr<const DenseMatrix>> CsvDataSource::AcquireVerified()
   const int d = handle->cols();
   if ((spec_.rows != 0 && spec_.rows != n) ||
       (spec_.cols != 0 && spec_.cols != d)) {
+    // Release the refused payload's cache reservation: a dataset no job can
+    // use must not stay charged against the budget until LRU pressure
+    // happens to evict it.
+    cache_->Drop(cache_key_);
     return Status::InvalidArgument(
         "CSV dataset '" + spec_.path + "' is " + std::to_string(n) + "x" +
         std::to_string(d) + " but " + std::to_string(spec_.rows) + "x" +
@@ -372,6 +598,7 @@ Result<std::shared_ptr<const DenseMatrix>> CsvDataSource::AcquireVerified()
   }
   const uint64_t hash = HashDenseContent(*handle);
   if (spec_.content_hash != 0 && spec_.content_hash != hash) {
+    cache_->Drop(cache_key_);
     return Status::InvalidArgument(
         "CSV dataset '" + spec_.path +
         "' content hash mismatch (file changed since it was recorded)");
@@ -383,7 +610,71 @@ Result<std::shared_ptr<const DenseMatrix>> CsvDataSource::AcquireVerified()
   return acquired;
 }
 
+Status CsvDataSource::PrepareSharded() const {
+  std::string path;
+  bool has_header = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (prepared_) return Status::Ok();
+    path = spec_.path;
+    has_header = spec_.csv_has_header;
+  }
+  Result<ShardScanResult> scanned =
+      ScanCsvShards(path, has_header, shard_rows_);
+  if (!scanned.ok()) return scanned.status();
+  const ShardScanResult& scan = scanned.value();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (prepared_) return Status::Ok();  // a racing Prepare finished first
+  if ((spec_.rows != 0 && spec_.rows != scan.rows) ||
+      (spec_.cols != 0 && spec_.cols != scan.cols)) {
+    return Status::InvalidArgument(
+        "CSV dataset '" + spec_.path + "' is " + std::to_string(scan.rows) +
+        "x" + std::to_string(scan.cols) + " but " +
+        std::to_string(spec_.rows) + "x" + std::to_string(spec_.cols) +
+        " was expected");
+  }
+  if (spec_.content_hash != 0 && spec_.content_hash != scan.content_hash) {
+    return Status::InvalidArgument(
+        "CSV dataset '" + spec_.path +
+        "' content hash mismatch (file changed since it was recorded)");
+  }
+  // A checkpointed shard layout is verified by *content* — row ranges and
+  // value hashes. Byte extents are a local materialization detail (a
+  // rewrite that parses to identical doubles is the same dataset), so the
+  // fresh scan's extents are authoritative.
+  if (!expected_shards_.empty()) {
+    if (expected_shards_.size() != scan.shards.size()) {
+      return Status::InvalidArgument(
+          "CSV dataset '" + spec_.path + "' scans into " +
+          std::to_string(scan.shards.size()) + " shards where " +
+          std::to_string(expected_shards_.size()) +
+          " were recorded (file changed since the checkpoint)");
+    }
+    for (size_t i = 0; i < expected_shards_.size(); ++i) {
+      const DatasetShard& want = expected_shards_[i];
+      const DatasetShard& got = scan.shards[i];
+      if (want.row_begin != got.row_begin || want.row_end != got.row_end ||
+          (want.content_hash != 0 &&
+           want.content_hash != got.content_hash)) {
+        return Status::InvalidArgument(
+            "CSV dataset '" + spec_.path + "' shard " + std::to_string(i) +
+            " does not match its recorded layout (file changed since the "
+            "checkpoint)");
+      }
+    }
+  }
+  spec_.rows = scan.rows;
+  spec_.cols = scan.cols;
+  spec_.content_hash = scan.content_hash;
+  spec_.shards = scan.shards;
+  verified_shards_.assign(scan.shards.size(),
+                          std::weak_ptr<const DenseMatrix>());
+  prepared_ = true;
+  return Status::Ok();
+}
+
 Status CsvDataSource::Prepare() const {
+  if (shard_rows_ > 0) return PrepareSharded();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (prepared_) return Status::Ok();
@@ -400,18 +691,157 @@ DatasetSpec CsvDataSource::spec() const {
   return spec_;
 }
 
+Result<DenseMatrix> CsvDataSource::LoadShard(int index) const {
+  std::string path;
+  DatasetShard shard;
+  int cols = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LEAST_CHECK(prepared_ && index >= 0 &&
+                index < static_cast<int>(spec_.shards.size()));
+    path = spec_.path;
+    shard = spec_.shards[static_cast<size_t>(index)];
+    cols = spec_.cols;
+  }
+  return ParseShardExtent(path, shard.byte_offset, shard.byte_size,
+                          shard.row_end - shard.row_begin, cols);
+}
+
+Result<std::shared_ptr<const DenseMatrix>> CsvDataSource::AcquireShard(
+    int index) const {
+  const std::string key = ShardKey(index);
+  Result<std::shared_ptr<const DenseMatrix>> acquired =
+      cache_->GetOrLoad(key, [this, index]() { return LoadShard(index); });
+  if (!acquired.ok()) return acquired;
+  const std::shared_ptr<const DenseMatrix>& handle = acquired.value();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::weak_ptr<const DenseMatrix>& seen =
+      verified_shards_[static_cast<size_t>(index)];
+  if (handle == seen.lock()) return acquired;  // same payload object
+  // First touch of this payload object (load, reload after eviction, or a
+  // foreign source repopulating the shared entry): verify it against the
+  // layout recorded at Prepare before letting a single value through.
+  const DatasetShard& shard = spec_.shards[static_cast<size_t>(index)];
+  const int rows = shard.row_end - shard.row_begin;
+  if (handle->rows() != rows || handle->cols() != spec_.cols ||
+      HashShardContent(shard.row_begin, shard.row_end, *handle) !=
+          shard.content_hash) {
+    // Release the refused payload's reservation (see `AcquireVerified`).
+    cache_->Drop(key);
+    return Status::InvalidArgument(
+        "CSV dataset '" + spec_.path + "' shard " + std::to_string(index) +
+        " content mismatch (file changed since it was recorded)");
+  }
+  seen = handle;
+  return acquired;
+}
+
 Result<std::shared_ptr<const DenseMatrix>> CsvDataSource::Dense() const {
-  return AcquireVerified();
+  if (shard_rows_ == 0) return AcquireVerified();
+  const Status prepared = Prepare();
+  if (!prepared.ok()) return prepared;
+  int n = 0, d = 0, num_shards = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n = spec_.rows;
+    d = spec_.cols;
+    num_shards = static_cast<int>(spec_.shards.size());
+  }
+  // Whole-matrix materialization of a sharded dataset is caller-owned and
+  // deliberately outside the cache budget: it is the explicit opt-out of
+  // streaming (dense learners). Shards are pinned one at a time, so the
+  // transient overhead above the result itself is a single shard.
+  auto full = std::make_shared<DenseMatrix>(n, d);
+  for (int s = 0; s < num_shards; ++s) {
+    Result<std::shared_ptr<const DenseMatrix>> shard = AcquireShard(s);
+    if (!shard.ok()) return shard.status();
+    const DenseMatrix& m = *shard.value();
+    std::memcpy(full->row(s * shard_rows_), m.data().data(),
+                m.size() * sizeof(double));
+  }
+  return std::static_pointer_cast<const DenseMatrix>(full);
 }
 
 Result<std::shared_ptr<const CsrMatrix>> CsvDataSource::Csr() const {
-  Result<std::shared_ptr<const DenseMatrix>> dense = AcquireVerified();
+  Result<std::shared_ptr<const DenseMatrix>> dense = Dense();
   if (!dense.ok()) return dense.status();
   return std::make_shared<const CsrMatrix>(CsrMatrix::FromDense(*dense.value()));
 }
 
+Status CsvDataSource::GatherSharded(std::span<const int> rows,
+                                    DenseMatrix* out,
+                                    GatherScratch* scratch) const {
+  const Status prepared = Prepare();
+  if (!prepared.ok()) return prepared;
+  int n = 0, d = 0, num_shards = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n = spec_.rows;
+    d = spec_.cols;
+    num_shards = static_cast<int>(spec_.shards.size());
+  }
+  const int batch = static_cast<int>(rows.size());
+  LEAST_CHECK(out != nullptr && out->rows() == d && out->cols() == batch);
+  GatherScratch local;
+  if (scratch == nullptr) scratch = &local;
+  // Counting sort of batch indices by shard, so each shard is materialized
+  // exactly once per batch and pinned only while its columns are copied —
+  // peak residency is one shard above whatever the cache retains.
+  std::vector<int>& bucket = scratch->bucket;
+  std::vector<int>& order = scratch->order;
+  bucket.assign(static_cast<size_t>(num_shards) + 1, 0);
+  for (int b = 0; b < batch; ++b) {
+    const int r = rows[static_cast<size_t>(b)];
+    // Hard check (not DCHECK): an out-of-range row would make the counting
+    // sort below *write* past bucket's end in release builds — a heap
+    // corruption, unlike the bounded garbage read of the in-memory gathers.
+    LEAST_CHECK(r >= 0 && r < n);
+    ++bucket[static_cast<size_t>(r / shard_rows_) + 1];
+  }
+  for (int s = 0; s < num_shards; ++s) bucket[s + 1] += bucket[s];
+  order.resize(static_cast<size_t>(batch));
+  for (int b = 0; b < batch; ++b) {
+    order[static_cast<size_t>(
+        bucket[rows[static_cast<size_t>(b)] / shard_rows_]++)] = b;
+  }
+  // bucket[s] is now the end offset of shard s's group.
+  for (int s = 0; s < num_shards; ++s) {
+    const int begin = s == 0 ? 0 : bucket[s - 1];
+    const int end = bucket[s];
+    if (begin == end) continue;
+    Result<std::shared_ptr<const DenseMatrix>> shard = AcquireShard(s);
+    if (!shard.ok()) return shard.status();
+    const DenseMatrix& m = *shard.value();
+    const int* group = order.data() + begin;
+    const int count = end - begin;
+    const int64_t flops = static_cast<int64_t>(count) * d;
+    // Pure output-column partition (each column written by exactly one
+    // chunk, values copied verbatim): bitwise identical at any thread
+    // count, with or without an executor.
+    MaybeParallelForFlops(flops, 0, count, /*grain=*/-1,
+                          [&](int64_t g_lo, int64_t g_hi) {
+      for (int64_t g = g_lo; g < g_hi; ++g) {
+        const int b = group[g];
+        const double* src =
+            m.row(rows[static_cast<size_t>(b)] - s * shard_rows_);
+        for (int v = 0; v < d; ++v) (*out)(v, b) = src[v];
+      }
+    });
+    // The shard handle dies here, so the next admission may evict it: any
+    // budget that admits one shard streams a dataset of unbounded size.
+  }
+  return Status::Ok();
+}
+
 Status CsvDataSource::GatherTransposed(std::span<const int> rows,
                                        DenseMatrix* out) const {
+  return GatherTransposed(rows, out, nullptr);
+}
+
+Status CsvDataSource::GatherTransposed(std::span<const int> rows,
+                                       DenseMatrix* out,
+                                       GatherScratch* scratch) const {
+  if (shard_rows_ > 0) return GatherSharded(rows, out, scratch);
   // Re-acquired per batch on purpose: holding the handle across the whole
   // fit would pin the dataset and defeat the cache budget. Verification is
   // pointer-identity-gated, so the steady-state cost is one cache lookup.
@@ -448,12 +878,29 @@ std::shared_ptr<DataSource> MakeCsvSource(std::string path,
   return std::make_shared<CsvDataSource>(std::move(path), std::move(options));
 }
 
+Status WriteMatrixCsv(const std::string& path, const DenseMatrix& x,
+                      const std::vector<std::string>& header) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(static_cast<size_t>(x.rows()));
+  for (int i = 0; i < x.rows(); ++i) {
+    rows.emplace_back(x.row(i), x.row(i) + x.cols());
+  }
+  return WriteCsv(path, header, rows);
+}
+
 Result<std::shared_ptr<const DataSource>> AttachDataset(
     const DatasetSpec& spec, DatasetCache* cache) {
   if (spec.kind == DatasetKind::kCsv) {
     if (spec.path.empty()) {
       return Status::InvalidArgument(
           "CSV dataset spec carries no path to re-attach from");
+    }
+    // A shard table requires its geometry; the reverse is fine — a spec
+    // from an enqueue-time stub records shard_rows before the first scan
+    // fills the table (re-attach then scans the layout fresh).
+    if (spec.shard_rows < 0 || (!spec.shards.empty() && spec.shard_rows == 0)) {
+      return Status::InvalidArgument(
+          "CSV dataset spec carries an inconsistent shard layout");
     }
     CsvSourceOptions options;
     options.has_header = spec.csv_has_header;
@@ -462,6 +909,11 @@ Result<std::shared_ptr<const DataSource>> AttachDataset(
     options.expected_rows = spec.rows;
     options.expected_cols = spec.cols;
     options.expected_hash = spec.content_hash;
+    // A sharded spec re-attaches in chunked mode: the recorded layout
+    // becomes the expectation, so `Prepare` refuses a file whose shard row
+    // ranges or value hashes drifted since the checkpoint.
+    options.shard_rows = spec.shard_rows;
+    options.expected_shards = spec.shards;
     return std::static_pointer_cast<const DataSource>(
         MakeCsvSource(spec.path, std::move(options)));
   }

@@ -26,14 +26,17 @@
 
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "linalg/csr_matrix.h"
 #include "linalg/dense_matrix.h"
@@ -53,6 +56,20 @@ enum class DatasetKind : uint8_t {
 /// Canonical lowercase name ("dense", "csr", "csv", "virtual").
 std::string_view DatasetKindName(DatasetKind kind);
 
+/// \brief One row-range chunk of a sharded on-disk dataset: the logical row
+/// range it covers, the byte extent of its data lines in the source file,
+/// and an FNV-1a hash of its parsed values (see `HashShardContent`). The
+/// layout is recorded in the spec (and stamped into format-v4 checkpoints)
+/// so a resumed fleet can re-attach a sharded dataset and refuse a mutated
+/// file shard by shard.
+struct DatasetShard {
+  int row_begin = 0;         ///< first logical data row (inclusive)
+  int row_end = 0;           ///< one past the last logical data row
+  uint64_t byte_offset = 0;  ///< file offset of the first data line
+  uint64_t byte_size = 0;    ///< bytes through the end of the last data line
+  uint64_t content_hash = 0; ///< FNV-1a over (row range, cols, values)
+};
+
 /// \brief Self-description of a dataset: enough to re-attach (for on-disk
 /// kinds) or at least verify (shape + content hash) the data a checkpointed
 /// job was learning from.
@@ -63,15 +80,39 @@ struct DatasetSpec {
   int rows = 0;      ///< n (0 until a lazy source is prepared)
   int cols = 0;      ///< d (0 until a lazy source is prepared)
   /// FNV-1a content hash (see `HashDenseContent`/`HashCsrContent`); 0 means
-  /// "not computed yet" and disables verification on re-attach.
+  /// "not computed yet" and disables verification on re-attach. For sharded
+  /// CSV sources this is the *whole-dataset* hash — identical to what the
+  /// unsharded source reports for the same file, so sharding is invisible
+  /// to spec comparison.
   uint64_t content_hash = 0;
   bool csv_has_header = false;  ///< only meaningful for `kCsv`
+  /// Row-range residency granularity: 0 = unsharded (whole-dataset cache
+  /// entries); > 0 = fixed row-chunk size, with one `shards` entry per
+  /// chunk (the last may be partial). Only meaningful for `kCsv`.
+  int shard_rows = 0;
+  /// Per-chunk byte extents + hashes (empty iff `shard_rows == 0`; filled
+  /// by `Prepare` for sharded sources).
+  std::vector<DatasetShard> shards;
 };
 
 /// FNV-1a over shape + row-major values of a dense matrix.
 uint64_t HashDenseContent(const DenseMatrix& x);
 /// FNV-1a over shape + CSR arrays of a sparse matrix.
 uint64_t HashCsrContent(const CsrMatrix& x);
+/// FNV-1a over a shard's identity: (row_begin, row_end, cols) + the shard's
+/// values row-major. What `DatasetShard::content_hash` records and what
+/// every shard load is verified against.
+uint64_t HashShardContent(int row_begin, int row_end, const DenseMatrix& x);
+
+/// \brief Reusable scratch for shard-aware gathers. Callers that gather in
+/// a loop (the sparse learner's batch loop) pass one in so the per-batch
+/// shard grouping performs no steady-state heap allocations; passing
+/// nullptr makes the source use a transient local. Unsharded sources ignore
+/// it entirely.
+struct GatherScratch {
+  std::vector<int> bucket;  ///< per-shard counting-sort offsets
+  std::vector<int> order;   ///< batch indices grouped by shard
+};
 
 /// \brief Abstract owning dataset.
 ///
@@ -117,9 +158,20 @@ class DataSource {
   /// bitwise-identical results (pure output-column partition). For lazy
   /// sources this re-acquires the dataset from the cache per call, so an
   /// eviction between batches is transparent (the reload is bit-identical);
-  /// a failed reload surfaces here as a non-OK status.
+  /// a failed reload surfaces here as a non-OK status. Sharded sources
+  /// materialize only the row-range shards the batch touches, one at a
+  /// time, so a dataset larger than its cache budget streams through.
   virtual Status GatherTransposed(std::span<const int> rows,
                                   DenseMatrix* out) const = 0;
+
+  /// As above, with a caller-owned scratch so per-batch shard grouping does
+  /// not allocate in steady state. The default forwards to the two-argument
+  /// overload (in-memory sources need no grouping).
+  virtual Status GatherTransposed(std::span<const int> rows, DenseMatrix* out,
+                                  GatherScratch* scratch) const {
+    (void)scratch;
+    return GatherTransposed(rows, out);
+  }
 };
 
 /// \brief In-memory dense dataset, owning (or sharing) its matrix.
@@ -141,6 +193,7 @@ class OwningDenseDataSource final : public DataSource {
     return x_;
   }
   Result<std::shared_ptr<const CsrMatrix>> Csr() const override;
+  using DataSource::GatherTransposed;
   Status GatherTransposed(std::span<const int> rows,
                           DenseMatrix* out) const override;
 
@@ -166,6 +219,7 @@ class OwningCsrDataSource final : public DataSource {
   int num_cols() const override { return x_->cols(); }
   Result<std::shared_ptr<const DenseMatrix>> Dense() const override;
   Result<std::shared_ptr<const CsrMatrix>> Csr() const override { return x_; }
+  using DataSource::GatherTransposed;
   Status GatherTransposed(std::span<const int> rows,
                           DenseMatrix* out) const override;
 
@@ -176,7 +230,8 @@ class OwningCsrDataSource final : public DataSource {
   mutable uint64_t hash_ = 0;
 };
 
-/// \brief Fleet-wide LRU cache of loaded datasets with a byte budget.
+/// \brief Fleet-wide LRU cache of loaded datasets — or, for sharded
+/// sources, of individual row-range shards — with a byte budget.
 ///
 /// Lazy sources (`CsvDataSource`) load through a cache so a fleet of
 /// thousands of disk-backed jobs keeps only its working set in RAM. The
@@ -188,11 +243,16 @@ class OwningCsrDataSource final : public DataSource {
 /// the map holds. Admission evicts least-recently-used entries first until
 /// `resident + incoming <= budget`; when everything else is pinned the new
 /// dataset is still admitted (jobs must run), so the budget binds whenever
-/// it exceeds the concurrently-pinned working set.
+/// it exceeds the concurrently-pinned working set. A sharded dataset maps
+/// to one entry per row-range shard, so eviction granularity is a shard:
+/// one dataset larger than the whole budget can still stream through as
+/// long as the budget admits a single shard.
 ///
 /// Thread safety: all methods are safe to call concurrently. Loads are
-/// single-flight: concurrent misses serialize, so one file is never parsed
-/// twice in parallel and the budget is never overshot by duplicate loads.
+/// single-flight *per key*: concurrent misses on the same key wait for the
+/// one in-flight load (a file or shard is never parsed twice in parallel
+/// and the budget is never overshot by duplicate payloads), while misses on
+/// different keys load concurrently.
 class DatasetCache {
  public:
   /// Default budget used by `GlobalDatasetCache` (256 MiB).
@@ -217,6 +277,12 @@ class DatasetCache {
   /// Drops every cached reference (pinned handles stay alive until their
   /// holders release them).
   void Clear();
+
+  /// Drops the cache's reference for one key (counts as an eviction when a
+  /// payload was cached). Sources call this when a loaded payload fails
+  /// verification: a refused dataset must not keep charging the budget
+  /// until LRU pressure happens to reach it.
+  void Drop(const std::string& key);
 
   /// Adjusts the budget and evicts down to it.
   void set_byte_budget(size_t bytes);
@@ -253,8 +319,11 @@ class DatasetCache {
   /// nothing evictable remains. Requires `mu_`.
   void EvictForLocked(size_t incoming);
 
-  mutable std::mutex mu_;   ///< guards entries_ and counters
-  std::mutex load_mu_;      ///< single-flight for misses
+  mutable std::mutex mu_;   ///< guards entries_, inflight_, and counters
+  /// Keys with a load in flight; misses on the same key wait on
+  /// `inflight_cv_` instead of starting a duplicate load.
+  std::set<std::string> inflight_;
+  std::condition_variable inflight_cv_;
   std::shared_ptr<Accounting> accounting_;
   std::unordered_map<std::string, Entry> entries_;
   size_t byte_budget_;
@@ -278,6 +347,16 @@ struct CsvSourceOptions {
   int expected_rows = 0;
   int expected_cols = 0;
   uint64_t expected_hash = 0;
+  /// Row-range residency granularity: 0 = whole-dataset cache entries
+  /// (the default); > 0 = chunked mode, where `Prepare` scans the file into
+  /// fixed `shard_rows`-row shards and every access materializes only the
+  /// shards it touches — a dataset larger than the cache budget streams
+  /// through `GatherTransposed` without ever being held whole.
+  int shard_rows = 0;
+  /// Expected shard layout from a checkpointed `DatasetSpec` (requires a
+  /// matching `shard_rows`). When non-empty, `Prepare` refuses a file whose
+  /// scanned layout — row ranges or per-shard hashes — differs.
+  std::vector<DatasetShard> expected_shards;
 };
 
 /// \brief Lazy numeric-CSV dataset: nothing is read until first touch, and
@@ -287,34 +366,68 @@ struct CsvSourceOptions {
 /// non-finite cells, header/shape mismatches, empty files — surfaces as
 /// `kInvalidArgument` from `Prepare` (or from a mid-run reload), never as a
 /// crash. A reload whose content differs from the first load (file mutated
-/// mid-run) is also refused.
+/// mid-run) is also refused, and the refused payload's cache reservation is
+/// released (`DatasetCache::Drop`) instead of lingering charged.
+///
+/// Chunked mode (`CsvSourceOptions::shard_rows > 0`): `Prepare` scans the
+/// file into fixed row-range shards (recording per-shard byte extents and
+/// value hashes in the spec); each shard is its own cache entry, and
+/// `GatherTransposed` pins exactly one shard at a time, so any cache budget
+/// that admits a single shard streams a dataset of unbounded size with
+/// bit-identical results to the all-in-RAM path.
 class CsvDataSource final : public DataSource {
  public:
   explicit CsvDataSource(std::string path, CsvSourceOptions options = {});
 
   Status Prepare() const override;
   DatasetSpec spec() const override;
+  /// Sharded sources assemble the full matrix shard by shard; the result is
+  /// caller-owned (NOT budget-tracked) — dense learners genuinely need the
+  /// whole matrix, and asking for it is an explicit opt-out of streaming.
   Result<std::shared_ptr<const DenseMatrix>> Dense() const override;
   Result<std::shared_ptr<const CsrMatrix>> Csr() const override;
+  using DataSource::GatherTransposed;
   Status GatherTransposed(std::span<const int> rows,
                           DenseMatrix* out) const override;
+  Status GatherTransposed(std::span<const int> rows, DenseMatrix* out,
+                          GatherScratch* scratch) const override;
 
  private:
-  /// Parses + structurally validates the file (the cache loader).
+  /// Parses + structurally validates the whole file (the unsharded cache
+  /// loader).
   Result<DenseMatrix> Load() const;
-  /// Acquires the payload from the cache and verifies it against the
-  /// expected/recorded shape + content hash. Verification runs whenever the
-  /// underlying payload object changed since the last check (first touch,
-  /// reload after eviction, or a different source repopulating the shared
-  /// cache entry), so a cache *hit* on mutated content is refused too.
+  /// Parses + structurally validates one shard's byte extent (the sharded
+  /// cache loader for shard `index`).
+  Result<DenseMatrix> LoadShard(int index) const;
+  /// Acquires the whole-dataset payload from the cache and verifies it
+  /// against the expected/recorded shape + content hash. Verification runs
+  /// whenever the underlying payload object changed since the last check
+  /// (first touch, reload after eviction, or a different source
+  /// repopulating the shared cache entry), so a cache *hit* on mutated
+  /// content is refused too. Unsharded mode only.
   Result<std::shared_ptr<const DenseMatrix>> AcquireVerified() const;
+  /// Sharded analog of `AcquireVerified` for one shard: acquisition through
+  /// the cache plus payload-identity-gated verification against the
+  /// recorded shard hash; a refused payload is dropped from the cache.
+  Result<std::shared_ptr<const DenseMatrix>> AcquireShard(int index) const;
+  /// First-touch scan for chunked mode: validates the file, fills the
+  /// spec's shape, whole-content hash, and shard table, and verifies any
+  /// expectations from a checkpointed spec.
+  Status PrepareSharded() const;
+  Status GatherSharded(std::span<const int> rows, DenseMatrix* out,
+                       GatherScratch* scratch) const;
+  std::string ShardKey(int index) const;
 
   DatasetCache* cache_;
-  std::string cache_key_;  ///< path + parse options (header flag)
-  mutable std::mutex mu_;  // guards spec_ shape/hash, prepared_, verified_
+  std::string cache_key_;  ///< path + parse options (header flag + sharding)
+  const int shard_rows_;   ///< 0 = whole-dataset residency
+  std::vector<DatasetShard> expected_shards_;  ///< from a checkpointed spec
+  mutable std::mutex mu_;  // guards spec_ shape/hash/shards, prepared_,
+                           // verified_, verified_shards_
   mutable DatasetSpec spec_;
   mutable bool prepared_ = false;
   mutable std::weak_ptr<const DenseMatrix> verified_;
+  mutable std::vector<std::weak_ptr<const DenseMatrix>> verified_shards_;
 };
 
 // ------------------------------------------------------------- factories ---
@@ -334,11 +447,19 @@ std::shared_ptr<DataSource> MakeCsrSource(std::shared_ptr<const CsrMatrix> x,
 std::shared_ptr<DataSource> MakeCsvSource(std::string path,
                                           CsvSourceOptions options = {});
 
+/// Writes a dense matrix as a numeric CSV with round-trip-exact value
+/// precision — the write-side inverse of `CsvDataSource`, shared by tests
+/// and benches that materialize disk-backed datasets.
+Status WriteMatrixCsv(const std::string& path, const DenseMatrix& x,
+                      const std::vector<std::string>& header = {});
+
 /// Re-attaches the dataset described by a checkpointed spec. Today only
 /// `kCsv` specs are re-attachable from the spec alone (shape and hash are
-/// verified on load when recorded); in-memory kinds fail with
-/// `kInvalidArgument` — supply them through a resolver (see
-/// `FleetScheduler::ScanAndResume`).
+/// verified on load when recorded; a sharded spec re-attaches in chunked
+/// mode and additionally verifies every shard's row range and value hash,
+/// so a file mutated since the checkpoint is refused shard by shard); in-
+/// memory kinds fail with `kInvalidArgument` — supply them through a
+/// resolver (see `FleetScheduler::ScanAndResume`).
 Result<std::shared_ptr<const DataSource>> AttachDataset(
     const DatasetSpec& spec, DatasetCache* cache = nullptr);
 

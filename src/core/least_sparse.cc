@@ -141,6 +141,9 @@ SparseLearnResult LeastSparseLearner::FitInternal(
   DenseMatrix xt(d, batch);        // batch, transposed: row v = variable v
   DenseMatrix rt(d, batch);        // residual, transposed
   std::vector<int> batch_rows(batch);
+  // One scratch for the whole fit: sharded sources group each batch by
+  // row-range shard in here, so steady-state gathers allocate nothing.
+  GatherScratch gather_scratch;
   std::vector<double> constraint_grad;
   std::vector<double> total_grad;
   std::vector<int64_t> kept;
@@ -214,8 +217,12 @@ SparseLearnResult LeastSparseLearner::FitInternal(
           SpectralBoundSparse(w, bound, &constraint_grad, &bound_ws);
 
       // --- Mini-batch residual Rt = (X_B W − X_B)ᵀ, kept transposed. ---
+      // An unsharded lazy source materializes the whole dataset here; a
+      // sharded one streams only the row-range shards this batch touches,
+      // so a dataset larger than its cache budget still fits the run.
       for (int b = 0; b < batch; ++b) batch_rows[b] = rng.UniformInt(n);
-      const Status gathered = data.GatherTransposed(batch_rows, &xt);
+      const Status gathered =
+          data.GatherTransposed(batch_rows, &xt, &gather_scratch);
       if (!gathered.ok()) {
         // A lazy source lost its backing mid-run (file deleted/mutated):
         // fail the run cleanly with the best weights so far, never crash.

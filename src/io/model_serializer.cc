@@ -342,7 +342,7 @@ std::shared_ptr<const TrainState> ReadTrainState(Reader& r) {
 
 // ------------------------------------------------------------ dataset spec ---
 
-void WriteDatasetSpec(Writer& w, const DatasetSpec& spec) {
+void WriteDatasetSpec(Writer& w, const DatasetSpec& spec, uint32_t version) {
   w.Pod<uint8_t>(static_cast<uint8_t>(spec.kind));
   w.Str(spec.name);
   w.Str(spec.path);
@@ -350,9 +350,20 @@ void WriteDatasetSpec(Writer& w, const DatasetSpec& spec) {
   w.Pod<int32_t>(spec.cols);
   w.Pod<uint64_t>(spec.content_hash);
   w.Pod<uint8_t>(spec.csv_has_header ? 1 : 0);
+  if (version >= 4) {
+    w.Pod<int32_t>(spec.shard_rows);
+    w.Pod<uint64_t>(spec.shards.size());
+    for (const DatasetShard& shard : spec.shards) {
+      w.Pod<int32_t>(shard.row_begin);
+      w.Pod<int32_t>(shard.row_end);
+      w.Pod<uint64_t>(shard.byte_offset);
+      w.Pod<uint64_t>(shard.byte_size);
+      w.Pod<uint64_t>(shard.content_hash);
+    }
+  }
 }
 
-std::optional<DatasetSpec> ReadDatasetSpec(Reader& r) {
+std::optional<DatasetSpec> ReadDatasetSpec(Reader& r, uint32_t version) {
   DatasetSpec spec;
   uint8_t kind = 0;
   r.Pod(&kind);
@@ -383,6 +394,55 @@ std::optional<DatasetSpec> ReadDatasetSpec(Reader& r) {
     return std::nullopt;
   }
   spec.csv_has_header = has_header != 0;
+  if (version >= 4) {
+    int32_t shard_rows = 0;
+    uint64_t shard_count = 0;
+    r.Pod(&shard_rows);
+    r.Pod(&shard_count);
+    if (!r.status().ok()) return std::nullopt;
+    constexpr size_t kShardBytes = 2 * sizeof(int32_t) + 3 * sizeof(uint64_t);
+    if (shard_rows < 0 || shard_count > r.remaining() / kShardBytes) {
+      r.Fail("dataset shard table exceeds blob size");
+      return std::nullopt;
+    }
+    // shard_rows > 0 with an empty table is legal: an enqueue-time stub
+    // records the sharding intent before the first scan fills the layout.
+    // A table without shard_rows is not.
+    if (shard_count > 0 && shard_rows == 0) {
+      r.Fail("dataset shard table disagrees with its shard_rows marker");
+      return std::nullopt;
+    }
+    spec.shard_rows = shard_rows;
+    spec.shards.reserve(static_cast<size_t>(shard_count));
+    int expect_begin = 0;
+    for (uint64_t i = 0; i < shard_count; ++i) {
+      DatasetShard shard;
+      int32_t row_begin = 0, row_end = 0;
+      r.Pod(&row_begin);
+      r.Pod(&row_end);
+      r.Pod(&shard.byte_offset);
+      r.Pod(&shard.byte_size);
+      r.Pod(&shard.content_hash);
+      if (!r.status().ok()) return std::nullopt;
+      // The table must tile [0, rows) in order with chunks of at most
+      // shard_rows rows — anything else is a corrupt or hand-tampered
+      // layout that could alias shards onto the wrong row ranges.
+      if (row_begin != expect_begin || row_end <= row_begin ||
+          row_end - row_begin > shard_rows || row_end > spec.rows) {
+        r.Fail("dataset shard " + std::to_string(i) +
+               " does not tile the dataset's row range");
+        return std::nullopt;
+      }
+      shard.row_begin = row_begin;
+      shard.row_end = row_end;
+      expect_begin = row_end;
+      spec.shards.push_back(shard);
+    }
+    if (shard_count > 0 && expect_begin != spec.rows) {
+      r.Fail("dataset shard table does not cover every row");
+      return std::nullopt;
+    }
+  }
   return spec;
 }
 
@@ -457,6 +517,9 @@ std::string SerializeModelForVersion(const ModelArtifact& artifact,
   LEAST_CHECK(version >= 2 || artifact.train_state == nullptr);
   LEAST_CHECK(version >= 3 || (!artifact.dataset.has_value() &&
                                artifact.candidate_edges.empty()));
+  LEAST_CHECK(version >= 4 || !artifact.dataset.has_value() ||
+              (artifact.dataset->shard_rows == 0 &&
+               artifact.dataset->shards.empty()));
   Writer body;
   body.Pod<uint8_t>(static_cast<uint8_t>(artifact.algorithm));
   body.Pod<uint8_t>(artifact.sparse ? 1 : 0);
@@ -483,7 +546,7 @@ std::string SerializeModelForVersion(const ModelArtifact& artifact,
   if (version >= 3) {
     body.Pod<uint8_t>(artifact.dataset.has_value() ? 1 : 0);
     if (artifact.dataset.has_value()) {
-      WriteDatasetSpec(body, *artifact.dataset);
+      WriteDatasetSpec(body, *artifact.dataset, version);
     }
     WriteCandidateEdges(body, artifact.candidate_edges);
   }
@@ -565,7 +628,7 @@ Result<ModelArtifact> DeserializeModel(std::string_view bytes) {
       r.Fail("dataset marker is neither 0 nor 1");
     }
     if (r.status().ok() && has_dataset == 1) {
-      artifact.dataset = ReadDatasetSpec(r);
+      artifact.dataset = ReadDatasetSpec(r, version);
     }
     if (r.status().ok()) {
       ReadCandidateEdges(r, &artifact.candidate_edges);

@@ -6,7 +6,7 @@
 /// (weights — dense or CSR — plus the `LearnOptions` that produced them and
 /// run metadata) to a checkpoint blob or file and back, bit-identically.
 ///
-/// Format ("LBNM", version 3), all integers/doubles in native byte order:
+/// Format ("LBNM", version 4), all integers/doubles in native byte order:
 ///
 ///   [0..4)   magic "LBNM"
 ///   [4..8)   u32 format version
@@ -23,19 +23,27 @@
 ///            f64 constraint_value, i64 total_inner), the trace
 ///            (u64 count + per-point fields), f64 elapsed seconds, and the
 ///            length-prefixed textual RNG state.
-///   v3 only, appended after the optimizer-state section:
+///   v3+, appended after the optimizer-state section:
 ///            u8 has_dataset; when 1, a `DatasetSpec` section — u8 kind,
 ///            length-prefixed name and path, i32 rows, i32 cols, u64
 ///            content hash, u8 csv_has_header — the dataset the job was
 ///            learning from, so a resumed fleet can re-attach (and verify)
 ///            its data; then u64 candidate-edge count + (i32 from, i32 to)
 ///            pairs, the sparse learner's injected pattern.
+///   v4 only, inside the dataset-spec section (after csv_has_header):
+///            the shard layout — i32 shard_rows (0 = unsharded) and a u64
+///            shard count followed by per-shard (i32 row_begin,
+///            i32 row_end, u64 byte_offset, u64 byte_size,
+///            u64 content_hash) entries. The table must tile [0, rows) in
+///            order with chunks of at most shard_rows rows, so a resumed
+///            fleet re-attaches a sharded dataset at the same granularity
+///            and refuses a mutated file shard by shard.
 ///
-/// Version policy: the writer emits version 3 by default (versions 1 and 2
-/// on request via `SerializeModelForVersion`, for artifacts without the
-/// newer sections). Readers accept versions 1 through 3 — a v1 blob simply
-/// has no optimizer-state section, a v2 blob no dataset section — and
-/// reject anything newer loudly instead of misparsing.
+/// Version policy: the writer emits version 4 by default (versions 1-3 on
+/// request via `SerializeModelForVersion`, for artifacts without the newer
+/// sections). Readers accept versions 1 through 4 — a v1 blob simply has no
+/// optimizer-state section, a v2 blob no dataset section, a v3 blob no
+/// shard layout — and reject anything newer loudly instead of misparsing.
 ///
 /// Error contract: any structural problem — wrong magic, short buffer,
 /// truncated body, trailing bytes, checksum mismatch, or an unsupported
@@ -65,9 +73,9 @@ namespace least {
 /// Current writer version. Readers accept `kMinModelFormatVersion` through
 /// this version; older readers seeing a newer file fail loudly instead of
 /// misparsing.
-inline constexpr uint32_t kModelFormatVersion = 3;
+inline constexpr uint32_t kModelFormatVersion = 4;
 /// Oldest version readers still accept (v1: no optimizer-state section;
-/// v2: no dataset-spec / candidate-edge section).
+/// v2: no dataset-spec / candidate-edge section; v3: no shard layout).
 inline constexpr uint32_t kMinModelFormatVersion = 1;
 
 /// \brief A learned model plus everything needed to reproduce or resume it.
@@ -89,10 +97,11 @@ struct ModelArtifact {
   /// v1 blobs; set when checkpointing a cancelled or in-flight job so the
   /// loaded artifact can `ResumeFit` bit-identically.
   std::shared_ptr<const TrainState> train_state;
-  /// The dataset the model was learned from (v3 section): kind +
-  /// path/name + shape + content hash. Absent for v1/v2 blobs; when
-  /// present, `FleetScheduler::ScanAndResume` uses it to re-attach (and
-  /// verify) the data of an unfinished job.
+  /// The dataset the model was learned from (v3 section; v4 adds the shard
+  /// layout): kind + path/name + shape + content hash (+ per-shard row
+  /// ranges, byte extents, and hashes for sharded CSV sources). Absent for
+  /// v1/v2 blobs; when present, `FleetScheduler::ScanAndResume` uses it to
+  /// re-attach (and verify) the data of an unfinished job.
   std::optional<DatasetSpec> dataset;
   /// The sparse learner's injected candidate pattern (v3 section; empty
   /// for dense algorithms and older blobs). Required for a faithful
@@ -112,8 +121,9 @@ std::string SerializeModel(const ModelArtifact& artifact);
 /// Serializes targeting an explicit format version in
 /// [`kMinModelFormatVersion`, `kModelFormatVersion`] — the back-compat seam
 /// that keeps old readers loadable and lets tests cover every on-disk
-/// layout. Version 1 cannot carry a train state, and versions below 3
-/// cannot carry a dataset spec or candidate edges (checked).
+/// layout. Version 1 cannot carry a train state, versions below 3 cannot
+/// carry a dataset spec or candidate edges, and versions below 4 cannot
+/// carry a sharded dataset spec (checked).
 std::string SerializeModelForVersion(const ModelArtifact& artifact,
                                      uint32_t version);
 

@@ -516,7 +516,7 @@ Result<ResumeScan> FleetScheduler::ScanAndResume(
       }
       data = resolver(spec);
     } else if (artifact.dataset.has_value()) {
-      data = AttachDataset(*artifact.dataset);
+      data = AttachDataset(*artifact.dataset, options_.dataset_cache);
     }
     if (!data.ok()) {
       ++scan.failed;

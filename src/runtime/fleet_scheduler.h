@@ -141,6 +141,12 @@ struct FleetOptions {
   /// keep their outcome. Cancelled jobs always keep theirs (the in-memory
   /// resume path needs the train state).
   bool keep_settled_outcomes = true;
+  /// Cache that `ScanAndResume` hands to `AttachDataset` when re-attaching
+  /// checkpointed CSV datasets (whole or sharded). Borrowed; must outlive
+  /// the scheduler. Null = the process-wide `GlobalDatasetCache()`, so a
+  /// resumed fleet can keep its dataset RAM under the same byte budget the
+  /// original run used.
+  DatasetCache* dataset_cache = nullptr;
 };
 
 /// \brief Runs learning jobs concurrently on a borrowed `ThreadPool`.
@@ -219,11 +225,13 @@ class FleetScheduler {
   /// state, restarting fresh (with the recorded attempt-1 options) where it
   /// is an enqueue stub. Data is re-attached from the stamped dataset spec
   /// (`AttachDataset`: CSV datasets reload from their recorded path, with
-  /// shape/hash verification) unless `resolver` is supplied, in which case
-  /// it is consulted for every job. Files are processed in ascending old
-  /// job-id order and each is removed once its replacement checkpoint
-  /// exists under the new id. Unreadable checkpoints (v4+ blobs fail
-  /// loudly at load) and unattachable datasets are collected in the
+  /// shape/hash verification; sharded specs re-attach in chunked mode with
+  /// per-shard hash verification, streaming through
+  /// `FleetOptions::dataset_cache`) unless `resolver` is supplied, in
+  /// which case it is consulted for every job. Files are processed in
+  /// ascending old job-id order and each is removed once its replacement
+  /// checkpoint exists under the new id. Unreadable checkpoints (v5+ blobs
+  /// fail loudly at load) and unattachable datasets are collected in the
   /// returned report's `errors` — they never abort the scan.
   ///
   /// Requires `reseed_jobs = false` (the recorded options are

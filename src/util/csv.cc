@@ -8,9 +8,7 @@
 
 namespace least {
 
-namespace {
-
-std::vector<std::string> SplitLine(const std::string& line) {
+std::vector<std::string> SplitCsvLine(const std::string& line) {
   std::vector<std::string> cells;
   std::string cell;
   std::istringstream ss(line);
@@ -19,7 +17,30 @@ std::vector<std::string> SplitLine(const std::string& line) {
   return cells;
 }
 
-}  // namespace
+Status ParseCsvCells(const std::vector<std::string>& cells, size_t line_no,
+                     const std::string& path, std::vector<double>* out) {
+  out->clear();
+  out->reserve(cells.size());
+  for (const std::string& c : cells) {
+    errno = 0;
+    char* end = nullptr;
+    double v = std::strtod(c.c_str(), &end);
+    if (end == c.c_str() || errno == ERANGE) {
+      return Status::InvalidArgument(
+          "non-numeric CSV cell '" + c + "' at line " +
+          std::to_string(line_no) + " in '" + path + "'");
+    }
+    // Learning data must be finite: strtod happily parses "nan"/"inf",
+    // which would silently poison every downstream objective.
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "non-finite CSV cell '" + c + "' at line " +
+          std::to_string(line_no) + " in '" + path + "'");
+    }
+    out->push_back(v);
+  }
+  return Status::Ok();
+}
 
 Result<CsvTable> ReadCsv(const std::string& path, bool has_header) {
   std::ifstream in(path);
@@ -35,7 +56,7 @@ Result<CsvTable> ReadCsv(const std::string& path, bool has_header) {
     ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    std::vector<std::string> cells = SplitLine(line);
+    std::vector<std::string> cells = SplitCsvLine(line);
     if (first && has_header) {
       table.header = std::move(cells);
       expected_cols = table.header.size();
@@ -51,25 +72,8 @@ Result<CsvTable> ReadCsv(const std::string& path, bool has_header) {
           path + "'");
     }
     std::vector<double> row;
-    row.reserve(cells.size());
-    for (const std::string& c : cells) {
-      errno = 0;
-      char* end = nullptr;
-      double v = std::strtod(c.c_str(), &end);
-      if (end == c.c_str() || errno == ERANGE) {
-        return Status::InvalidArgument(
-            "non-numeric CSV cell '" + c + "' at line " +
-            std::to_string(line_no) + " in '" + path + "'");
-      }
-      // Learning data must be finite: strtod happily parses "nan"/"inf",
-      // which would silently poison every downstream objective.
-      if (!std::isfinite(v)) {
-        return Status::InvalidArgument(
-            "non-finite CSV cell '" + c + "' at line " +
-            std::to_string(line_no) + " in '" + path + "'");
-      }
-      row.push_back(v);
-    }
+    const Status parsed = ParseCsvCells(cells, line_no, path, &row);
+    if (!parsed.ok()) return parsed;
     table.rows.push_back(std::move(row));
   }
   return table;

@@ -29,6 +29,18 @@ struct CsvTable {
 /// data must be finite, so "nan"/"inf" are rejected rather than parsed.
 Result<CsvTable> ReadCsv(const std::string& path, bool has_header);
 
+/// Splits one raw CSV line into cells (comma-separated, no quoting). A
+/// trailing comma yields a trailing empty cell, matching `ReadCsv`.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+/// Parses the cells of one CSV data line into doubles with `ReadCsv`'s
+/// rejection rules: non-numeric and non-finite cells are `kInvalidArgument`
+/// (`line_no`/`path` only feed the error message). `out` is overwritten.
+/// Shared with the shard scanner in `core/data_source.cc` so a row parsed
+/// from a shard's byte extent is bit-identical to the whole-file parse.
+Status ParseCsvCells(const std::vector<std::string>& cells, size_t line_no,
+                     const std::string& path, std::vector<double>* out);
+
 /// Writes a numeric table (with optional header) to `path`.
 Status WriteCsv(const std::string& path,
                 const std::vector<std::string>& header,

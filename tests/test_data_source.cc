@@ -394,6 +394,35 @@ TEST(DatasetCacheTest, PinnedHandlesStayChargedAcrossEviction) {
   std::remove(pb.c_str());
 }
 
+TEST(DatasetCacheTest, FailedPrepareReleasesCacheReservation) {
+  // The failure-path accounting fix: a payload that loads but fails
+  // verification (here: a checkpointed expectation that doesn't match the
+  // file) must not stay cached and charged until LRU pressure reaches it —
+  // the reservation is released on the error path.
+  const DenseMatrix x = TestMatrix(12, 4, 71);
+  const std::string path = WriteTestCsv("least_cache_reserve.csv", x);
+  DatasetCache cache(1 << 20);
+  CsvSourceOptions wrong;
+  wrong.cache = &cache;
+  wrong.expected_hash = HashDenseContent(x) ^ 0xDEAD;  // stale checkpoint
+  CsvDataSource refused(path, wrong);
+  const Status s = refused.Prepare();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(cache.resident_bytes(), 0u) << "refused payload still charged";
+  EXPECT_GE(cache.stats().evictions, 1);
+
+  // The dropped entry does not poison the key: a source with correct
+  // expectations loads the same file fine afterwards.
+  CsvSourceOptions right;
+  right.cache = &cache;
+  right.expected_hash = HashDenseContent(x);
+  CsvDataSource accepted(path, right);
+  EXPECT_TRUE(accepted.Prepare().ok());
+  EXPECT_EQ(cache.resident_bytes(), x.size() * sizeof(double));
+  std::remove(path.c_str());
+}
+
 TEST(DatasetCacheTest, ShrinkingBudgetEvicts) {
   const DenseMatrix a = TestMatrix(10, 10, 43);
   const std::string pa = WriteTestCsv("least_cache_shrink.csv", a);

@@ -7,10 +7,15 @@
 //  * kill-and-restart: cancel a checkpointing fleet mid-run, build a fresh
 //    scheduler, ScanAndResume(checkpoint_dir), and the union of settled
 //    models is bit-identical to the uninterrupted run;
+//  * an over-budget single dataset: a CSV several times larger than its
+//    DatasetCache budget streams through the sparse learner in row-range
+//    shards (peak resident <= budget), survives a mid-run kill +
+//    ScanAndResume (the v4 checkpoint re-attaches the shard layout), and
+//    settles bit-identical to the all-in-RAM run;
 //  * the ResultSink streams settled models + index rows so records need not
 //    stay in RAM;
 //  * v2 checkpoints (no dataset spec) still load — resumable through a
-//    resolver — while v4+ blobs are rejected loudly.
+//    resolver — while v5+ blobs are rejected loudly.
 
 #include <gtest/gtest.h>
 
@@ -67,6 +72,20 @@ void ExpectBitIdenticalDense(const DenseMatrix& a, const DenseMatrix& b) {
             0);
 }
 
+void ExpectBitIdenticalCsr(const CsrMatrix& a, const CsrMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  EXPECT_EQ(a.row_ptr(), b.row_ptr());
+  EXPECT_EQ(a.col_idx(), b.col_idx());
+  EXPECT_EQ(a.values(), b.values());
+}
+
+std::string WriteDatasetCsv(const std::string& path, const DenseMatrix& x) {
+  EXPECT_TRUE(WriteMatrixCsv(path, x).ok());
+  return path;
+}
+
 TEST(FleetDataPlane, CsvFleetUnderCacheBudgetMatchesInRamFleet) {
   constexpr int kJobs = 200;
   constexpr int kRows = 60;
@@ -79,13 +98,9 @@ TEST(FleetDataPlane, CsvFleetUnderCacheBudgetMatchesInRamFleet) {
   std::vector<std::string> paths;
   for (int j = 0; j < kJobs; ++j) {
     datasets.push_back(FleetDataset(j, kRows, kCols));
-    const std::string path = dir + "/ds-" + std::to_string(j) + ".csv";
-    std::vector<std::vector<double>> rows;
-    for (int i = 0; i < kRows; ++i) {
-      rows.emplace_back(datasets[j].row(i), datasets[j].row(i) + kCols);
-    }
-    ASSERT_TRUE(WriteCsv(path, {}, rows).ok());
-    paths.push_back(path);
+    paths.push_back(
+        WriteDatasetCsv(dir + "/ds-" + std::to_string(j) + ".csv",
+                        datasets[j]));
   }
 
   auto enqueue_all = [&](FleetScheduler& scheduler, bool from_disk,
@@ -252,14 +267,9 @@ TEST(FleetDataPlane, KillAndRestartResumesBitIdentically) {
 
   std::vector<std::string> paths;
   for (int j = 0; j < kJobs; ++j) {
-    const DenseMatrix x = FleetDataset(j, kRows, kCols);
-    const std::string path = data_dir + "/ds-" + std::to_string(j) + ".csv";
-    std::vector<std::vector<double>> rows;
-    for (int i = 0; i < kRows; ++i) {
-      rows.emplace_back(x.row(i), x.row(i) + kCols);
-    }
-    ASSERT_TRUE(WriteCsv(path, {}, rows).ok());
-    paths.push_back(path);
+    paths.push_back(
+        WriteDatasetCsv(data_dir + "/ds-" + std::to_string(j) + ".csv",
+                        FleetDataset(j, kRows, kCols)));
   }
 
   auto make_job = [&](int j, DatasetCache* cache) {
@@ -377,6 +387,143 @@ TEST(FleetDataPlane, KillAndRestartResumesBitIdentically) {
   fs::remove_all(ckpt_dir);
 }
 
+TEST(FleetDataPlane, OverBudgetSingleDatasetStreamsKillsAndResumesBitIdentically) {
+  // One dataset 4x larger than its cache budget: only row-range sharding
+  // lets this job run at all. The fleet is killed mid-run and auto-resumed
+  // in a fresh scheduler — the v4 checkpoint re-attaches the shard layout —
+  // and the settled model must be bit-identical to the all-in-RAM run,
+  // with peak resident dataset bytes <= budget in every generation.
+  constexpr int kRows = 2000;
+  constexpr int kCols = 10;
+  constexpr int kShardRows = 125;  // 16 shards of 10,000 bytes
+  const size_t total_bytes = size_t{kRows} * kCols * sizeof(double);
+  const size_t budget = total_bytes / 4;
+  const std::string data_dir = FreshDir("least_overbudget_data");
+  const std::string ckpt_dir = FreshDir("least_overbudget_ckpt");
+  const DenseMatrix x = FleetDataset(77, kRows, kCols);
+  const std::string csv = WriteDatasetCsv(data_dir + "/big.csv", x);
+
+  LearnOptions options = QuickOptions();
+  options.max_outer_iterations = 14;
+  options.max_inner_iterations = 60;
+  options.batch_size = 200;
+  options.filter_threshold = 0.05;
+  options.init_density = 0.0;  // explicit full candidate pattern below
+  options.tolerance = 0.0;     // deterministic full-budget run
+  std::vector<std::pair<int, int>> candidates;
+  for (int i = 0; i < kCols; ++i) {
+    for (int j = 0; j < kCols; ++j) {
+      if (i != j) candidates.push_back({i, j});
+    }
+  }
+
+  // Unsharded in-RAM reference fleet (identical seeding).
+  CsrMatrix reference;
+  {
+    ThreadPool pool(2);
+    FleetScheduler scheduler(&pool, {.seed = 321});
+    LearnJob job;
+    job.name = "over-budget";
+    job.algorithm = Algorithm::kLeastSparse;
+    job.data = MakeDenseSource(x, job.name);
+    job.options = options;
+    job.candidate_edges = candidates;
+    scheduler.Enqueue(std::move(job));
+    scheduler.Wait();
+    reference = scheduler.record(0).outcome.sparse_raw_weights;
+    ASSERT_GT(reference.nnz(), 0);
+  }
+
+  auto make_sharded_job = [&](DatasetCache* cache) {
+    LearnJob job;
+    job.name = "over-budget";
+    job.algorithm = Algorithm::kLeastSparse;
+    CsvSourceOptions opt;
+    opt.has_header = false;
+    opt.cache = cache;
+    opt.shard_rows = kShardRows;
+    job.data = MakeCsvSource(csv, opt);
+    job.options = options;
+    job.candidate_edges = candidates;
+    return job;
+  };
+
+  // Generation B: sharded + checkpointing, killed once a mid-run train
+  // state has landed in the checkpoint file (the enqueue stub has none).
+  DatasetCache cache_b(budget);
+  {
+    ThreadPool pool(2);
+    FleetOptions fleet;
+    fleet.seed = 321;
+    fleet.checkpoint_dir = ckpt_dir;
+    fleet.checkpoint_every_outer = 2;
+    FleetScheduler scheduler(&pool, fleet);
+    const int64_t id = scheduler.Enqueue(make_sharded_job(&cache_b));
+    const std::string ckpt = FleetScheduler::CheckpointPath(ckpt_dir, id);
+    for (;;) {
+      Result<ModelArtifact> snap = LoadModel(ckpt);  // racing writes fail
+      if (snap.ok() && snap.value().train_state != nullptr) break;
+      if (scheduler.record(id).state != JobState::kPending &&
+          scheduler.record(id).state != JobState::kRunning) {
+        break;  // settled before a periodic checkpoint landed
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    scheduler.CancelAll();
+    scheduler.Wait();
+    ASSERT_EQ(scheduler.record(id).state, JobState::kCancelled)
+        << "job settled before the kill; grow the iteration budget";
+  }
+  EXPECT_LE(cache_b.stats().peak_resident_bytes, budget);
+  EXPECT_GT(cache_b.stats().evictions, 0);
+
+  // The cancelled job's checkpoint stamped the full shard layout, and the
+  // sharded source's whole-dataset hash matches the in-RAM matrix (sharding
+  // is invisible to spec identity).
+  {
+    Result<ModelArtifact> ckpt =
+        LoadModel(FleetScheduler::CheckpointPath(ckpt_dir, 0));
+    ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+    ASSERT_TRUE(ckpt.value().dataset.has_value());
+    const DatasetSpec& spec = *ckpt.value().dataset;
+    EXPECT_EQ(spec.shard_rows, kShardRows);
+    EXPECT_EQ(spec.shards.size(),
+              static_cast<size_t>((kRows + kShardRows - 1) / kShardRows));
+    EXPECT_EQ(spec.content_hash, HashDenseContent(x));
+    EXPECT_NE(ckpt.value().train_state, nullptr);
+  }
+
+  // Generation C: fresh scheduler, auto-resume from the directory; the
+  // stamped sharded spec re-attaches through this scheduler's cache.
+  DatasetCache cache_c(budget);
+  {
+    ThreadPool pool(2);
+    FleetOptions fleet;
+    fleet.seed = 321;
+    fleet.reseed_jobs = false;  // recorded options are authoritative
+    fleet.checkpoint_dir = ckpt_dir;
+    fleet.checkpoint_every_outer = 2;
+    fleet.dataset_cache = &cache_c;
+    FleetScheduler scheduler(&pool, fleet);
+    Result<ResumeScan> scan = scheduler.ScanAndResume(ckpt_dir);
+    ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+    ASSERT_EQ(scan.value().failed, 0)
+        << (scan.value().errors.empty() ? "" : scan.value().errors[0]);
+    ASSERT_EQ(scan.value().resumed, 1);
+    scheduler.Wait();
+    ASSERT_EQ(scan.value().job_ids.size(), 1u);
+    const JobRecord& record = scheduler.record(scan.value().job_ids[0]);
+    // The sharded, killed-and-resumed run lands exactly on the unsharded
+    // in-RAM fleet's model.
+    ExpectBitIdenticalCsr(record.outcome.sparse_raw_weights, reference);
+  }
+  EXPECT_LE(cache_c.stats().peak_resident_bytes, budget);
+  EXPECT_GT(cache_c.stats().evictions, 0);
+
+  fs::remove_all(data_dir);
+  fs::remove_all(ckpt_dir);
+}
+
 TEST(FleetDataPlane, ScanAndResumeRequiresRecordedOptionsAuthority) {
   ThreadPool pool(1);
   FleetScheduler scheduler(&pool, {.seed = 5});  // reseed_jobs = true
@@ -385,7 +532,7 @@ TEST(FleetDataPlane, ScanAndResumeRequiresRecordedOptionsAuthority) {
   EXPECT_EQ(scan.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(FleetDataPlane, V2CheckpointResumesThroughResolverAndV4RejectsLoudly) {
+TEST(FleetDataPlane, V2CheckpointResumesThroughResolverAndV5RejectsLoudly) {
   const std::string dir = FreshDir("least_v2_resume");
   const DenseMatrix x = FleetDataset(1, 100, 6);
 
@@ -417,16 +564,16 @@ TEST(FleetDataPlane, V2CheckpointResumesThroughResolverAndV4RejectsLoudly) {
   }
   // And a future-versioned blob that must be rejected, not misparsed.
   {
-    std::string v4_blob = v2_blob;
-    const uint32_t v4 = 4;
-    std::memcpy(v4_blob.data() + 4, &v4, sizeof v4);
+    std::string v5_blob = v2_blob;
+    const uint32_t v5 = 5;
+    std::memcpy(v5_blob.data() + 4, &v5, sizeof v5);
     std::FILE* f = std::fopen((dir + "/job-1.lbnm").c_str(), "wb");
-    std::fwrite(v4_blob.data(), 1, v4_blob.size(), f);
+    std::fwrite(v5_blob.data(), 1, v5_blob.size(), f);
     std::fclose(f);
   }
 
   // Without a resolver, the v2 checkpoint cannot re-attach its data (no
-  // spec recorded) and the v4 blob fails to load; both are reported, not
+  // spec recorded) and the v5 blob fails to load; both are reported, not
   // fatal.
   {
     ThreadPool pool(1);
@@ -442,7 +589,7 @@ TEST(FleetDataPlane, V2CheckpointResumesThroughResolverAndV4RejectsLoudly) {
     for (const std::string& error : scan.value().errors) {
       if (error.find("version") != std::string::npos) version_error = true;
     }
-    EXPECT_TRUE(version_error);  // the v4 rejection is loud and precise
+    EXPECT_TRUE(version_error);  // the v5 rejection is loud and precise
   }
 
   // With a resolver supplying the dataset, the v2 checkpoint resumes and
@@ -463,7 +610,7 @@ TEST(FleetDataPlane, V2CheckpointResumesThroughResolverAndV4RejectsLoudly) {
         });
     ASSERT_TRUE(scan.ok());
     EXPECT_EQ(scan.value().resumed, 1);
-    EXPECT_EQ(scan.value().failed, 1);  // the v4 blob again
+    EXPECT_EQ(scan.value().failed, 1);  // the v5 blob again
     scheduler.Wait();
     ASSERT_EQ(scan.value().job_ids.size(), 1u);
     const JobRecord& record = scheduler.record(scan.value().job_ids[0]);

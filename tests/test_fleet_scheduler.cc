@@ -158,10 +158,18 @@ TEST(FleetScheduler, ResultsAreIdenticalAcrossPoolSizes) {
 TEST(FleetScheduler, CancelsQueuedJobsWithoutRunningThem) {
   ThreadPool pool(1);
   FleetScheduler scheduler(&pool, {});
-  // Occupy the single worker so enqueued jobs stay pending.
+  // Occupy the single worker so enqueued jobs stay pending. The worker's
+  // deque is LIFO, so wait until the gate task has actually *started*
+  // before enqueueing — otherwise a slow-to-wake worker could pop a job
+  // first and run it ahead of the Cancel below.
+  std::promise<void> started;
   std::promise<void> release;
   std::shared_future<void> gate = release.get_future().share();
-  pool.Schedule([gate]() { gate.wait(); });
+  pool.Schedule([&started, gate]() {
+    started.set_value();
+    gate.wait();
+  });
+  started.get_future().wait();
 
   const int64_t a = scheduler.Enqueue(SmallJob(1, "queued-a"));
   const int64_t b = scheduler.Enqueue(SmallJob(2, "queued-b"));

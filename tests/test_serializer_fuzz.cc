@@ -1,14 +1,17 @@
 // Corruption fuzz for io/model_serializer.h: checkpoints are an on-disk
 // contract, so EVERY truncation prefix and EVERY single-byte flip of a
 // valid blob — v1 (no optimizer-state section), v2 (dense and sparse train
-// states included), and v3 (dataset spec + candidate edges) — must come
-// back as kInvalidArgument: never OK, never a crash, never a silent
-// misparse.
+// states included), v3 (dataset spec + candidate edges), and v4 (sharded
+// dataset spec with the shard-layout table) — must come back as
+// kInvalidArgument: never OK, never a crash, never a silent misparse.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "io/model_serializer.h"
@@ -97,6 +100,21 @@ DatasetSpec FuzzSpec() {
   return spec;
 }
 
+DatasetSpec FuzzShardedSpec() {
+  DatasetSpec spec = FuzzSpec();
+  spec.shard_rows = 50;  // 128 rows -> [0,50), [50,100), [100,128)
+  for (int begin = 0; begin < spec.rows; begin += spec.shard_rows) {
+    DatasetShard shard;
+    shard.row_begin = begin;
+    shard.row_end = std::min(begin + spec.shard_rows, spec.rows);
+    shard.byte_offset = 13 + static_cast<uint64_t>(begin) * 37;
+    shard.byte_size = 37 * static_cast<uint64_t>(shard.row_end - begin);
+    shard.content_hash = 0x1234567890ABCDEFull + static_cast<uint64_t>(begin);
+    spec.shards.push_back(shard);
+  }
+  return spec;
+}
+
 TEST(ModelSerializerFuzz, V1DenseBlobSurvivesFuzzing) {
   FuzzBlob(SerializeModelForVersion(BaseArtifact(), 1), "v1-dense");
 }
@@ -126,7 +144,7 @@ TEST(ModelSerializerFuzz, V2SparseTrainStateBlobSurvivesFuzzing) {
 }
 
 TEST(ModelSerializerFuzz, V3BlobWithoutNewSectionsSurvivesFuzzing) {
-  FuzzBlob(SerializeModel(BaseArtifact()), "v3-bare");
+  FuzzBlob(SerializeModelForVersion(BaseArtifact(), 3), "v3-bare");
 }
 
 TEST(ModelSerializerFuzz, V3DatasetAndEdgesBlobSurvivesFuzzing) {
@@ -134,12 +152,28 @@ TEST(ModelSerializerFuzz, V3DatasetAndEdgesBlobSurvivesFuzzing) {
   artifact.train_state = MakeTrainState(/*sparse=*/false);
   artifact.dataset = FuzzSpec();
   artifact.candidate_edges = {{0, 1}, {1, 2}, {3, 0}};
-  FuzzBlob(SerializeModel(artifact), "v3-dataset-edges");
+  FuzzBlob(SerializeModelForVersion(artifact, 3), "v3-dataset-edges");
 }
 
-TEST(ModelSerializerFuzz, V3DatasetSpecRoundTripsExactly) {
+TEST(ModelSerializerFuzz, V4BlobWithoutNewSectionsSurvivesFuzzing) {
+  FuzzBlob(SerializeModel(BaseArtifact()), "v4-bare");
+}
+
+TEST(ModelSerializerFuzz, V4ShardedDatasetBlobSurvivesFuzzing) {
+  // The shard-layout table is what a resumed over-budget fleet re-attaches
+  // its data from: every truncation prefix and single-byte flip of a blob
+  // carrying one must be kInvalidArgument, never a crash or a silently
+  // partial layout.
   ModelArtifact artifact = BaseArtifact();
-  artifact.dataset = FuzzSpec();
+  artifact.train_state = MakeTrainState(/*sparse=*/false);
+  artifact.dataset = FuzzShardedSpec();
+  artifact.candidate_edges = {{0, 1}, {1, 2}, {3, 0}};
+  FuzzBlob(SerializeModel(artifact), "v4-sharded-dataset");
+}
+
+TEST(ModelSerializerFuzz, DatasetSpecRoundTripsExactly) {
+  ModelArtifact artifact = BaseArtifact();
+  artifact.dataset = FuzzShardedSpec();
   artifact.candidate_edges = {{2, 3}, {0, 2}};
   Result<ModelArtifact> restored = DeserializeModel(SerializeModel(artifact));
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
@@ -153,7 +187,52 @@ TEST(ModelSerializerFuzz, V3DatasetSpecRoundTripsExactly) {
   EXPECT_EQ(a.cols, b.cols);
   EXPECT_EQ(a.content_hash, b.content_hash);
   EXPECT_EQ(a.csv_has_header, b.csv_has_header);
+  EXPECT_EQ(a.shard_rows, b.shard_rows);
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (size_t i = 0; i < a.shards.size(); ++i) {
+    EXPECT_EQ(a.shards[i].row_begin, b.shards[i].row_begin) << i;
+    EXPECT_EQ(a.shards[i].row_end, b.shards[i].row_end) << i;
+    EXPECT_EQ(a.shards[i].byte_offset, b.shards[i].byte_offset) << i;
+    EXPECT_EQ(a.shards[i].byte_size, b.shards[i].byte_size) << i;
+    EXPECT_EQ(a.shards[i].content_hash, b.shards[i].content_hash) << i;
+  }
   EXPECT_EQ(restored.value().candidate_edges, artifact.candidate_edges);
+}
+
+TEST(ModelSerializerFuzz, HandTamperedShardTablesAreRejected) {
+  // Beyond the checksum: a structurally coherent but lying shard table
+  // (gaps, overlaps, out-of-range or oversized chunks) must not parse —
+  // aliasing shards onto the wrong row ranges would silently corrupt a
+  // resumed fleet. Re-checksummed blobs simulate a malicious/buggy writer.
+  auto rewrite = [](const std::function<void(DatasetSpec&)>& mutate) {
+    ModelArtifact artifact = BaseArtifact();
+    artifact.dataset = FuzzShardedSpec();
+    mutate(*artifact.dataset);
+    // Bypass SerializeModel's own consistency checks by serializing a
+    // valid blob, then splicing the mutated table: simplest is to build
+    // the blob directly from the mutated artifact — the writer does not
+    // validate tiling, only the reader does.
+    return SerializeModel(artifact);
+  };
+  const std::vector<std::pair<std::string, std::function<void(DatasetSpec&)>>>
+      mutations = {
+          {"gap", [](DatasetSpec& s) { s.shards[1].row_begin = 60; }},
+          {"overlap", [](DatasetSpec& s) { s.shards[1].row_begin = 40; }},
+          {"short-coverage", [](DatasetSpec& s) { s.shards.pop_back(); }},
+          {"oversized-chunk", [](DatasetSpec& s) {
+             s.shards.erase(s.shards.begin() + 1);
+             s.shards[1].row_begin = 50;  // [100,128) -> [50,128): 78 > 50
+           }},
+          {"rows-overrun", [](DatasetSpec& s) { s.shards.back().row_end = 200; }},
+          {"table-without-geometry", [](DatasetSpec& s) {
+             s.shard_rows = 0;  // shards stay populated
+           }},
+      };
+  for (const auto& [what, mutate] : mutations) {
+    Result<ModelArtifact> r = DeserializeModel(rewrite(mutate));
+    ASSERT_FALSE(r.ok()) << what;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << what;
+  }
 }
 
 TEST(ModelSerializerFuzz, TrainStateRoundTripsExactly) {
@@ -195,7 +274,8 @@ TEST(ModelSerializerFuzz, V1BlobFromOldWriterStillLoads) {
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded.value().name, artifact.name);
   EXPECT_EQ(loaded.value().train_state, nullptr);
-  // And a v3 re-serialization of the loaded artifact is readable again.
+  // And a current-version re-serialization of the loaded artifact is
+  // readable again.
   EXPECT_TRUE(DeserializeModel(SerializeModel(loaded.value())).ok());
 }
 
@@ -215,10 +295,47 @@ TEST(ModelSerializerFuzz, V2BlobFromOldWriterStillLoads) {
   EXPECT_TRUE(loaded.value().candidate_edges.empty());
 }
 
-TEST(ModelSerializerFuzz, RejectsFutureVersion4Loudly) {
+TEST(ModelSerializerFuzz, StubShardedSpecWithoutTableRoundTrips) {
+  // An enqueue-time stub checkpoint stamps the dataset spec before the
+  // first scan: shard_rows is set but the table is still empty. That must
+  // round-trip (a killed fleet restarts never-started sharded jobs from
+  // exactly this shape).
+  ModelArtifact artifact = BaseArtifact();
+  artifact.dataset = FuzzSpec();
+  artifact.dataset->shard_rows = 50;
+  artifact.dataset->rows = 0;  // lazy source: shape unknown pre-Prepare
+  artifact.dataset->cols = 0;
+  artifact.dataset->content_hash = 0;
+  Result<ModelArtifact> restored = DeserializeModel(SerializeModel(artifact));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_TRUE(restored.value().dataset.has_value());
+  EXPECT_EQ(restored.value().dataset->shard_rows, 50);
+  EXPECT_TRUE(restored.value().dataset->shards.empty());
+}
+
+TEST(ModelSerializerFuzz, V3BlobFromOldWriterStillLoads) {
+  // v3 checkpoints (pre-shard-layout) keep loading: the dataset spec is
+  // preserved and simply reports an unsharded layout.
+  ModelArtifact artifact = BaseArtifact();
+  artifact.dataset = FuzzSpec();
+  artifact.candidate_edges = {{1, 3}};
+  const std::string v3 = SerializeModelForVersion(artifact, 3);
+  uint32_t version = 0;
+  std::memcpy(&version, v3.data() + 4, sizeof version);
+  EXPECT_EQ(version, 3u);
+  Result<ModelArtifact> loaded = DeserializeModel(v3);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded.value().dataset.has_value());
+  EXPECT_EQ(loaded.value().dataset->name, "fuzz-dataset");
+  EXPECT_EQ(loaded.value().dataset->shard_rows, 0);
+  EXPECT_TRUE(loaded.value().dataset->shards.empty());
+  EXPECT_EQ(loaded.value().candidate_edges, artifact.candidate_edges);
+}
+
+TEST(ModelSerializerFuzz, RejectsFutureVersion5Loudly) {
   std::string blob = SerializeModel(BaseArtifact());
-  const uint32_t v4 = 4;
-  std::memcpy(blob.data() + 4, &v4, sizeof v4);
+  const uint32_t v5 = 5;
+  std::memcpy(blob.data() + 4, &v5, sizeof v5);
   Result<ModelArtifact> r = DeserializeModel(blob);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
