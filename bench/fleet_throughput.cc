@@ -36,6 +36,7 @@
 #include "core/least_sparse.h"
 #include "data/benchmark_data.h"
 #include "data/gene_network.h"
+#include "obs/trace_log.h"
 #include "runtime/fleet_scheduler.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
@@ -195,6 +196,83 @@ int main() {
                         least::MaxAbsDiff(probe, ram_probe) == 0.0;
     disk_runs.push_back(run);
   }
+
+  // ---- Tracing overhead: the same CSV fleet with telemetry off/on. ----
+  // The telemetry contract is that observing the fleet is nearly free:
+  // `TraceEmit` is one relaxed load plus a branch when no log is installed,
+  // and a per-thread buffered append when one is. Three modes isolate the
+  // costs: off (the branch only), null-sink (emit + background drain, no
+  // I/O), file-sink (the full .lbtrace write path).
+  const size_t trace_budget = 16 * dataset_bytes;
+  auto run_csv_fleet = [&](least::DatasetCache* cache) {
+    least::ThreadPool pool(disk_threads);
+    least::FleetScheduler scheduler(&pool, {.seed = 7});
+    for (int j = 0; j < num_jobs; ++j) {
+      least::LearnJob job;
+      job.name = jobs[j].name;
+      job.algorithm = jobs[j].algorithm;
+      job.options = jobs[j].options;
+      least::CsvSourceOptions opt;
+      opt.has_header = false;
+      opt.cache = cache;
+      job.data = least::MakeCsvSource(csv_paths[j], opt);
+      scheduler.Enqueue(std::move(job));
+    }
+    RunResult result;
+    result.report = scheduler.Wait();
+    result.probe_weights = scheduler.record(0).outcome.weights;
+    return result;
+  };
+
+  struct TraceRun {
+    std::string mode;
+    least::FleetReport report;
+    int64_t events = 0;
+    uint64_t trace_bytes = 0;
+    bool deterministic = true;
+  };
+  const std::string trace_path = csv_dir + "/bench.lbtrace";
+  std::vector<TraceRun> trace_runs;
+  for (const char* mode : {"off", "null-sink", "file-sink"}) {
+    TraceRun best;
+    best.mode = mode;
+    // Best of 3 replays per mode: wall times of these small jobs are noisy
+    // enough to swamp the few-percent overhead being measured.
+    for (int rep = 0; rep < 3; ++rep) {
+      std::unique_ptr<least::TraceLog> log;
+      if (best.mode == "null-sink") {
+        log = least::TraceLog::NullSink({.flush_period_ms = 2});
+      } else if (best.mode == "file-sink") {
+        auto opened =
+            least::TraceLog::OpenFile(trace_path, {.flush_period_ms = 2});
+        if (opened.ok()) log = std::move(opened).value();
+      }
+      RunResult run;
+      {
+        least::ScopedTraceLog scope(log.get());  // nullptr => tracing off
+        least::DatasetCache cache(trace_budget);
+        run = run_csv_fleet(&cache);
+      }
+      int64_t events = 0;
+      uint64_t trace_bytes = 0;
+      if (log != nullptr) {
+        (void)log->Close();
+        events = log->events_written();
+        std::error_code ec;
+        const auto size = fs::file_size(trace_path, ec);
+        trace_bytes = ec ? 0 : static_cast<uint64_t>(size);
+      }
+      if (rep == 0 || run.report.wall_seconds < best.report.wall_seconds) {
+        best.report = run.report;
+        best.events = events;
+        best.trace_bytes = trace_bytes;
+      }
+      best.deterministic =
+          best.deterministic && run.probe_weights.SameShape(ram_probe) &&
+          least::MaxAbsDiff(run.probe_weights, ram_probe) == 0.0;
+    }
+    trace_runs.push_back(std::move(best));
+  }
   fs::remove_all(csv_dir);
 
   std::printf("disk-backed fleet (%d threads, %d CSV jobs of %zu bytes "
@@ -216,6 +294,31 @@ int main() {
          run.deterministic ? "yes" : "NO"});
   }
   std::printf("%s\n", disk_table.ToString().c_str());
+
+  const double off_jobs_per_sec = trace_runs[0].report.throughput_jobs_per_sec;
+  std::printf("tracing overhead (%d threads, %d CSV jobs, 16-dataset "
+              "cache, best of 3):\n",
+              disk_threads, num_jobs);
+  least::TablePrinter trace_table({"tracing", "wall s", "jobs/s",
+                                   "overhead %", "events", "trace KiB",
+                                   "deterministic"});
+  for (const TraceRun& run : trace_runs) {
+    const double overhead_pct =
+        off_jobs_per_sec > 0
+            ? 100.0 * (1.0 - run.report.throughput_jobs_per_sec /
+                                 off_jobs_per_sec)
+            : 0.0;
+    trace_table.AddRow(
+        {run.mode, least::TablePrinter::Fmt(run.report.wall_seconds, 2),
+         least::TablePrinter::Fmt(run.report.throughput_jobs_per_sec, 1),
+         run.mode == "off" ? "-"
+                           : least::TablePrinter::Fmt(overhead_pct, 1),
+         least::TablePrinter::Fmt(static_cast<long long>(run.events)),
+         least::TablePrinter::Fmt(
+             static_cast<double>(run.trace_bytes) / 1024.0, 1),
+         run.deterministic ? "yes" : "NO"});
+  }
+  std::printf("%s\n", trace_table.ToString().c_str());
 
   // ---- Over-budget single dataset: sharded streaming via least-sparse. ----
   // One dataset 4x larger than its cache budget; only the row-range-sharded
@@ -320,6 +423,27 @@ int main() {
           run.cache.peak_resident_bytes,
           run.deterministic ? "true" : "false",
           i + 1 < disk_runs.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"tracing\": [\n");
+    for (size_t i = 0; i < trace_runs.size(); ++i) {
+      const TraceRun& run = trace_runs[i];
+      const double overhead_pct =
+          off_jobs_per_sec > 0
+              ? 100.0 * (1.0 - run.report.throughput_jobs_per_sec /
+                                   off_jobs_per_sec)
+              : 0.0;
+      std::fprintf(
+          json,
+          "    {\"mode\": \"%s\", \"wall_seconds\": %.4f, "
+          "\"jobs_per_sec\": %.2f, \"overhead_pct\": %.2f, "
+          "\"events\": %lld, \"trace_bytes\": %llu, "
+          "\"deterministic\": %s}%s\n",
+          run.mode.c_str(), run.report.wall_seconds,
+          run.report.throughput_jobs_per_sec, overhead_pct,
+          static_cast<long long>(run.events),
+          static_cast<unsigned long long>(run.trace_bytes),
+          run.deterministic ? "true" : "false",
+          i + 1 < trace_runs.size() ? "," : "");
     }
     std::fprintf(
         json,

@@ -16,16 +16,20 @@
 //
 // Build & run:  ./build/examples/fleet_learning
 //   env: LEAST_FLEET_JOBS (default 1000), LEAST_FLEET_THREADS (default
-//   hardware concurrency)
+//   hardware concurrency), LEAST_FLEET_TRACE=<path.lbtrace> to record a
+//   binary telemetry trace (inspect with ./build/tools/lbtrace_dump)
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <thread>
 
 #include "data/gene_network.h"
 #include "io/result_sink.h"
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
 #include "runtime/fleet_scheduler.h"
 #include "util/env.h"
 
@@ -37,6 +41,23 @@ int main() {
   std::printf("fleet: %d gene-network BN jobs on %d worker thread(s)\n",
               num_jobs, num_threads);
 
+  // Optional telemetry: LEAST_FLEET_TRACE=<path> records every scheduler,
+  // cache, pool, and sink event to a .lbtrace file. Tracing never perturbs
+  // results — the fleet is bit-identical with it on or off.
+  std::unique_ptr<least::TraceLog> trace_log;
+  const char* trace_path = std::getenv("LEAST_FLEET_TRACE");
+  if (trace_path != nullptr && trace_path[0] != '\0') {
+    least::Result<std::unique_ptr<least::TraceLog>> opened =
+        least::TraceLog::OpenFile(trace_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open trace log: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    trace_log = std::move(opened).value();
+    std::printf("tracing to %s\n", trace_path);
+  }
+
   const std::string sink_dir = "fleet_models";
   std::filesystem::remove_all(sink_dir);
   std::filesystem::create_directories(sink_dir);
@@ -47,6 +68,8 @@ int main() {
                  sink.status().ToString().c_str());
     return 1;
   }
+
+  least::InstallTraceLog(trace_log.get());  // no-op when tracing is off
 
   least::ThreadPool pool(num_threads);
   least::FleetScheduler scheduler(&pool, {.seed = 2024, .max_attempts = 2});
@@ -86,6 +109,23 @@ int main() {
   std::printf("result sink: %lld models streamed to %s/ (+ index.tsv)\n",
               static_cast<long long>(sink.value()->written()),
               sink_dir.c_str());
+
+  // The fleet is settled: stop routing events, seal the trace file, and show
+  // the process-wide metrics the runtime layers accumulated.
+  if (trace_log != nullptr) {
+    least::InstallTraceLog(nullptr);
+    const least::Status closed = trace_log->Close();
+    if (!closed.ok()) {
+      std::fprintf(stderr, "trace close failed: %s\n",
+                   closed.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %lld events -> %s (inspect with lbtrace_dump)\n",
+                static_cast<long long>(trace_log->events_written()),
+                trace_log->path().c_str());
+  }
+  std::printf("\nmetrics:\n%s",
+              least::MetricsRegistry::Global().Snapshot().ToTable().c_str());
 
   // --- Every settled model was streamed as it landed; prove one round trip
   // is bit-identical by comparing the streamed file against the in-memory

@@ -15,6 +15,10 @@
 #                                           # record — refresh it by running
 #                                           # build/bench/kernel_micro from
 #                                           # the repo root at scale 1.
+#   scripts/check.sh --trace-smoke          # run the fleet example with a
+#                                           # .lbtrace telemetry file and
+#                                           # verify lbtrace_dump can read it
+#                                           # back (CI uploads the trace).
 #   LEAST_NATIVE=1 scripts/check.sh         # -march=native kernels (local
 #                                           # perf runs; off in CI)
 
@@ -24,9 +28,11 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BUILD_DIR:-build}"
 
 bench_smoke=0
+trace_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
+    --trace-smoke) trace_smoke=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -47,6 +53,30 @@ if [[ "$bench_smoke" != "0" ]]; then
   (cd "$build_dir" &&
    LEAST_BENCH_SCALE="${LEAST_BENCH_SCALE:-0.2}" bench/kernel_micro)
   echo "check.sh: bench smoke done ($build_dir/BENCH_kernels.json written)"
+  exit 0
+fi
+
+if [[ "$trace_smoke" != "0" ]]; then
+  # Telemetry smoke: run a small traced fleet end to end — example writes a
+  # .lbtrace file, lbtrace_dump decodes it (loudly rejecting corruption, so
+  # a successful dump proves the checksum/count header round-tripped) and
+  # must report every job settled. The trace stays in the build tree for CI
+  # to upload.
+  cd "$repo_root"
+  cmake -B "$build_dir" -S . "${native_flags[@]}"
+  cmake --build "$build_dir" -j --target example_fleet_learning tool_lbtrace_dump
+  trace_file="$build_dir/fleet-smoke.lbtrace"
+  jobs="${LEAST_FLEET_JOBS:-120}"
+  (cd "$build_dir" &&
+   LEAST_FLEET_JOBS="$jobs" LEAST_FLEET_TRACE="fleet-smoke.lbtrace" \
+     examples/fleet_learning)
+  dump="$("$build_dir/tools/lbtrace_dump" "$trace_file")"
+  echo "$dump" | tail -n 4
+  echo "$dump" | grep -q "settled jobs: $jobs (succeeded $jobs," || {
+    echo "check.sh: trace smoke FAILED — expected '$jobs' settled jobs in lbtrace_dump output" >&2
+    exit 1
+  }
+  echo "check.sh: trace smoke done ($trace_file written)"
   exit 0
 fi
 
@@ -91,9 +121,9 @@ if [[ "${LEAST_SANITIZE:-0}" != "0" ]]; then
         test_data_source test_csv test_fleet_data_plane \
         test_sharded_cache \
         test_fleet_scheduler test_model_serializer test_serializer_fuzz \
-        test_checkpoint_resume
+        test_checkpoint_resume test_trace_log test_obs_metrics
   cd "$san_dir"
   ctest --output-on-failure --no-tests=error -R \
-        '^(test_data_source|test_csv|test_fleet_data_plane|test_sharded_cache|test_fleet_scheduler|test_model_serializer|test_serializer_fuzz|test_checkpoint_resume)$'
+        '^(test_data_source|test_csv|test_fleet_data_plane|test_sharded_cache|test_fleet_scheduler|test_model_serializer|test_serializer_fuzz|test_checkpoint_resume|test_trace_log|test_obs_metrics)$'
   echo "check.sh: sanitizer pass green"
 fi

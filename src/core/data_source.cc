@@ -7,12 +7,35 @@
 #include <utility>
 
 #include "linalg/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
 #include "util/csv.h"
 #include "util/fnv.h"
 
 namespace least {
 
 namespace {
+
+/// Trace events carry the FNV-1a of the cache key instead of the key itself
+/// (records are fixed-size); `lbtrace_dump` correlates hit/load/evict chains
+/// by this hash.
+uint64_t CacheKeyHash(const std::string& key) { return Fnv1a(key); }
+
+/// Process-wide cache metrics, aggregated across every `DatasetCache`
+/// instance (per-instance exact numbers live in `DatasetCache::stats`).
+struct CacheMetrics {
+  Counter& hits = MetricsRegistry::Global().counter("cache.hits");
+  Counter& misses = MetricsRegistry::Global().counter("cache.misses");
+  Counter& loads = MetricsRegistry::Global().counter("cache.loads");
+  Counter& evictions = MetricsRegistry::Global().counter("cache.evictions");
+  Counter& refusals = MetricsRegistry::Global().counter("cache.refusals");
+  Gauge& resident = MetricsRegistry::Global().gauge("cache.resident_bytes");
+
+  static CacheMetrics& Get() {
+    static CacheMetrics* m = new CacheMetrics();  // never destroyed
+    return *m;
+  }
+};
 
 void GatherFromDense(const DenseMatrix& x, std::span<const int> rows,
                      DenseMatrix* out) {
@@ -389,6 +412,9 @@ void DatasetCache::EvictForLocked(size_t incoming) {
       }
     }
     if (victim == entries_.end()) return;  // everything left is pinned
+    TraceEmit(TraceEventKind::kCacheEvict, -1, victim->second.bytes,
+              CacheKeyHash(victim->first));
+    CacheMetrics::Get().evictions.Add();
     victim->second.cached.reset();  // may free inline when unpinned
     ++evictions_;
     if (victim->second.alive.expired()) entries_.erase(victim);
@@ -401,6 +427,9 @@ Result<std::shared_ptr<const DenseMatrix>> DatasetCache::GetOrLoad(
   for (;;) {
     if (auto handle = LookupLocked(key)) {
       ++hits_;
+      TraceEmit(TraceEventKind::kCacheHit, -1,
+                handle->size() * sizeof(double), CacheKeyHash(key));
+      CacheMetrics::Get().hits.Add();
       return handle;
     }
     // Single-flight per key: claim the load, or wait for whoever owns it
@@ -410,7 +439,13 @@ Result<std::shared_ptr<const DenseMatrix>> DatasetCache::GetOrLoad(
     if (inflight_.insert(key).second) break;
     inflight_cv_.wait(lock);
   }
+  // A miss is a lookup that found nothing usable — counted at claim time,
+  // whether or not the load then succeeds (a failing loader is still a
+  // miss; `loads` counts the successes).
+  ++misses_;
   lock.unlock();
+  TraceEmit(TraceEventKind::kCacheMiss, -1, 0, CacheKeyHash(key));
+  CacheMetrics::Get().misses.Add();
   // The in-flight claim must be released even if the loader throws (e.g.
   // bad_alloc materializing a large shard) — a leaked key would deadlock
   // every future miss on it.
@@ -439,17 +474,23 @@ Result<std::shared_ptr<const DenseMatrix>> DatasetCache::GetOrLoad(
         std::lock_guard<std::mutex> alock(acct->mu);
         acct->resident -= bytes;
       });
+  size_t resident_after = 0;
   {
     std::lock_guard<std::mutex> alock(acct->mu);
     acct->resident += bytes;
     acct->peak = std::max(acct->peak, acct->resident);
+    resident_after = acct->resident;
   }
   Entry& entry = entries_[key];
   entry.cached = handle;
   entry.alive = handle;
   entry.bytes = bytes;
   entry.last_used = ++tick_;
-  ++misses_;
+  ++loads_;
+  TraceEmit(TraceEventKind::kCacheLoad, -1, bytes, resident_after);
+  CacheMetrics& metrics = CacheMetrics::Get();
+  metrics.loads.Add();
+  metrics.resident.Set(static_cast<int64_t>(resident_after));
   return handle;
 }
 
@@ -466,11 +507,17 @@ void DatasetCache::Clear() {
 
 void DatasetCache::Drop(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Drop is the verification-refusal path, so every call counts as a
+  // refusal even when the payload was already evicted by LRU pressure.
+  ++refusals_;
+  TraceEmit(TraceEventKind::kCacheRefuse, -1, 0, CacheKeyHash(key));
+  CacheMetrics::Get().refusals.Add();
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
   if (it->second.cached != nullptr) {
     it->second.cached.reset();
     ++evictions_;
+    CacheMetrics::Get().evictions.Add();
   }
   if (it->second.alive.expired()) entries_.erase(it);
 }
@@ -497,7 +544,9 @@ DatasetCache::Stats DatasetCache::stats() const {
   }
   s.hits = hits_;
   s.misses = misses_;
+  s.loads = loads_;
   s.evictions = evictions_;
+  s.refusals = refusals_;
   s.entries = static_cast<int64_t>(entries_.size());
   return s;
 }

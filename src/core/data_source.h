@@ -279,9 +279,9 @@ class DatasetCache {
   void Clear();
 
   /// Drops the cache's reference for one key (counts as an eviction when a
-  /// payload was cached). Sources call this when a loaded payload fails
-  /// verification: a refused dataset must not keep charging the budget
-  /// until LRU pressure happens to reach it.
+  /// payload was cached, and always as a refusal). Sources call this when a
+  /// loaded payload fails verification: a refused dataset must not keep
+  /// charging the budget until LRU pressure happens to reach it.
   void Drop(const std::string& key);
 
   /// Adjusts the budget and evicts down to it.
@@ -293,8 +293,10 @@ class DatasetCache {
     size_t resident_bytes = 0;       ///< bytes alive via cache-issued handles
     size_t peak_resident_bytes = 0;  ///< high-water mark of the above
     int64_t hits = 0;
-    int64_t misses = 0;    ///< loads performed (first touches + reloads)
+    int64_t misses = 0;    ///< lookups that found no usable entry
+    int64_t loads = 0;     ///< loader invocations that succeeded
     int64_t evictions = 0; ///< cache references dropped to make room
+    int64_t refusals = 0;  ///< loaded payloads dropped by verification
     int64_t entries = 0;   ///< keys currently tracked
   };
   Stats stats() const;
@@ -330,7 +332,9 @@ class DatasetCache {
   uint64_t tick_ = 0;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  int64_t loads_ = 0;
   int64_t evictions_ = 0;
+  int64_t refusals_ = 0;
 };
 
 /// The process-wide cache lazy sources use by default.

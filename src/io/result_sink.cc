@@ -4,8 +4,12 @@
 #include <cinttypes>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
 
 namespace least {
 
@@ -93,6 +97,17 @@ Status ResultSink::Write(const ResultRow& row, const ModelArtifact& artifact) {
   if (printed < 0 || std::fflush(index_) != 0) {
     return Status::IoError("append to '" + IndexPath(dir_) + "' failed");
   }
+  if (TraceEnabled()) {
+    std::error_code ec;
+    const auto blob_bytes =
+        std::filesystem::file_size(dir_ + "/" + file, ec);
+    TraceEmit(TraceEventKind::kSinkStream, row.job_id,
+              ec ? 0 : static_cast<uint64_t>(blob_bytes),
+              static_cast<uint64_t>(next_seq_));
+  }
+  static Counter& streamed =
+      MetricsRegistry::Global().counter("sink.models_streamed");
+  streamed.Add();
   ++next_seq_;
   ++written_;
   return Status::Ok();

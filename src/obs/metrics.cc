@@ -1,0 +1,214 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/table_printer.h"
+
+namespace least {
+
+namespace {
+
+/// Renders `v` as a JSON number (int64 is always exactly representable as a
+/// JSON integer literal).
+std::string JsonInt(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+/// Metric names are restricted to dotted lowercase identifiers at
+/// registration time, so they never need JSON escaping; still quote them.
+std::string JsonString(const std::string& s) { return "\"" + s + "\""; }
+
+template <typename Row>
+void SortByName(std::vector<Row>& rows) {
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.name < b.name; });
+}
+
+}  // namespace
+
+Histogram::Histogram(std::string name, std::span<const int64_t> bounds)
+    : name_(std::move(name)), bounds_(bounds.begin(), bounds.end()) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i - 1] >= bounds_[i]) {
+      std::fprintf(stderr,
+                   "metrics: histogram '%s' bounds must be strictly "
+                   "ascending\n",
+                   name_.c_str());
+      std::abort();
+    }
+  }
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+int64_t MetricsSnapshot::HistogramRow::ApproxPercentile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank on the cumulative bucket counts, matching the scheduler's
+  // latency percentile convention.
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(count - 1)) + 1;
+  int64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      if (b < bounds.size()) return bounds[b];
+      return bounds.empty() ? 1 : bounds.back() + 1;  // overflow bucket
+    }
+  }
+  return bounds.empty() ? 1 : bounds.back() + 1;
+}
+
+std::string MetricsSnapshot::ToTable() const {
+  TablePrinter table({"metric", "kind", "value", "max", "count", "p99"});
+  for (const CounterRow& c : counters) {
+    table.AddRow({c.name, "counter", TablePrinter::Fmt((long long)c.value),
+                  "", "", ""});
+  }
+  for (const GaugeRow& g : gauges) {
+    table.AddRow({g.name, "gauge", TablePrinter::Fmt((long long)g.value),
+                  TablePrinter::Fmt((long long)g.max), "", ""});
+  }
+  for (const HistogramRow& h : histograms) {
+    table.AddRow({h.name, "histogram", TablePrinter::Fmt((long long)h.sum),
+                  "", TablePrinter::Fmt((long long)h.count),
+                  TablePrinter::Fmt((long long)h.ApproxPercentile(0.99))});
+  }
+  return table.ToString();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += (i ? ",\n    " : "\n    ");
+    out += JsonString(counters[i].name) + ": " + JsonInt(counters[i].value);
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += (i ? ",\n    " : "\n    ");
+    out += JsonString(gauges[i].name) + ": {\"value\": " +
+           JsonInt(gauges[i].value) + ", \"max\": " + JsonInt(gauges[i].max) +
+           "}";
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramRow& h = histograms[i];
+    out += (i ? ",\n    " : "\n    ");
+    out += JsonString(h.name) + ": {\"count\": " + JsonInt(h.count) +
+           ", \"sum\": " + JsonInt(h.sum) + ", \"bounds\": [";
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b) out += ", ";
+      out += JsonInt(h.bounds[b]);
+    }
+    out += "], \"buckets\": [";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b) out += ", ";
+      out += JsonInt(h.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : counters_) {
+    if (c->name() == name) return *c;
+  }
+  counters_.push_back(std::make_unique<Counter>(std::string(name)));
+  return *counters_.back();
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& g : gauges_) {
+    if (g->name() == name) return *g;
+  }
+  gauges_.push_back(std::make_unique<Gauge>(std::string(name)));
+  return *gauges_.back();
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& h : histograms_) {
+    if (h->name() == name) {
+      if (!std::equal(h->bounds().begin(), h->bounds().end(), bounds.begin(),
+                      bounds.end())) {
+        std::fprintf(stderr,
+                     "metrics: histogram '%s' re-registered with different "
+                     "bucket bounds\n",
+                     std::string(name).c_str());
+        std::abort();
+      }
+      return *h;
+    }
+  }
+  histograms_.push_back(
+      std::make_unique<Histogram>(std::string(name), bounds));
+  return *histograms_.back();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& c : counters_) {
+    snap.counters.push_back({c->name(), c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& g : gauges_) {
+    snap.gauges.push_back({g->name(), g->value(), g->max()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& h : histograms_) {
+    MetricsSnapshot::HistogramRow row;
+    row.name = h->name();
+    row.count = h->count();
+    row.sum = h->sum();
+    row.bounds = h->bounds();
+    row.buckets.resize(row.bounds.size() + 1);
+    for (size_t b = 0; b < row.buckets.size(); ++b) {
+      row.buckets[b] = h->buckets_[b].load(std::memory_order_relaxed);
+    }
+    snap.histograms.push_back(std::move(row));
+  }
+  SortByName(snap.counters);
+  SortByName(snap.gauges);
+  SortByName(snap.histograms);
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : counters_) {
+    c->value_.store(0, std::memory_order_relaxed);
+  }
+  for (const auto& g : gauges_) {
+    g->value_.store(0, std::memory_order_relaxed);
+    g->max_.store(0, std::memory_order_relaxed);
+  }
+  for (const auto& h : histograms_) {
+    h->count_.store(0, std::memory_order_relaxed);
+    h->sum_.store(0, std::memory_order_relaxed);
+    for (size_t b = 0; b <= h->bounds().size(); ++b) {
+      h->buckets_[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace least

@@ -1,0 +1,183 @@
+/// \file metrics.h
+/// \brief Lock-light named metrics: counters, gauges, and fixed-bucket
+/// histograms with table/JSON snapshots.
+///
+/// The trace log (`obs/trace_log.h`) answers "what happened, when"; this
+/// registry answers "how much, so far" — the always-on numbers a status
+/// endpoint or a post-run report reads. Design point is the update path:
+///
+///  * `Counter::Add`, `Gauge::Set`, `Histogram::Observe` are relaxed
+///    atomics on pre-registered handles — no lock, no allocation, no
+///    branch on a registry lookup. Hot paths hold a `Counter&` member and
+///    pay one atomic add.
+///  * Registration (`counter(name)` etc.) takes the registry mutex and is
+///    expected once per call site, at construction time. Handles are
+///    stable for the registry's lifetime (node-stable storage).
+///  * `Snapshot()` copies every value under the mutex and renders to a
+///    human table (via `util/table_printer.h`) or JSON.
+///
+/// Naming: dotted lowercase paths ("fleet.jobs_succeeded",
+/// "cache.hits"). The global registry is process-wide, so instruments
+/// of the same name aggregate across instances (two `DatasetCache`s both
+/// bump "cache.hits"); per-instance exact numbers live on the instance
+/// (e.g. `DatasetCache::stats()`). Gauges are last-writer-wins by nature —
+/// use them for process-wide levels, not per-instance ones.
+///
+/// Totals are monotonically increasing over the process lifetime;
+/// `Reset()` (tests, benches) zeroes values but keeps registrations.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace least {
+
+/// \brief Monotonic named counter. Updates are relaxed atomic adds.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  const std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Named level (queue depth, resident bytes). `Set` is a relaxed
+/// store; the high-water mark is kept with a CAS loop (contended only when
+/// the maximum actually moves).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  const std::string name_;
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// \brief Fixed-bucket histogram: `bounds` are inclusive upper bounds of
+/// the first N buckets plus an implicit overflow bucket, so `Observe(v)`
+/// lands in the first bucket with `v <= bound`. Bucket layout is fixed at
+/// registration; observations are relaxed atomics (one add on the bucket,
+/// one on the count, one on the sum).
+class Histogram {
+ public:
+  Histogram(std::string name, std::span<const int64_t> bounds);
+
+  void Observe(int64_t v) {
+    size_t b = 0;
+    while (b < bounds_.size() && v > bounds_[b]) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  const std::string name_;
+  const std::vector<int64_t> bounds_;
+  /// bounds_.size() + 1 buckets; the last is the overflow bucket.
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// \brief One consistent copy of every registered metric.
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct GaugeRow {
+    std::string name;
+    int64_t value = 0;
+    int64_t max = 0;
+  };
+  struct HistogramRow {
+    std::string name;
+    int64_t count = 0;
+    int64_t sum = 0;
+    std::vector<int64_t> bounds;   ///< inclusive upper bounds
+    std::vector<int64_t> buckets;  ///< bounds.size() + 1 counts (last = +inf)
+
+    /// Upper bound of the bucket holding the q-quantile observation
+    /// (conservative: the true value is <= the returned bound; the
+    /// overflow bucket reports the largest finite bound + 1).
+    int64_t ApproxPercentile(double q) const;
+  };
+
+  std::vector<CounterRow> counters;    ///< sorted by name
+  std::vector<GaugeRow> gauges;        ///< sorted by name
+  std::vector<HistogramRow> histograms;  ///< sorted by name
+
+  /// Aligned human-readable table (one row per metric).
+  std::string ToTable() const;
+  /// Machine-readable JSON object with "counters"/"gauges"/"histograms".
+  std::string ToJson() const;
+};
+
+/// \brief Owns every metric. Handles returned by `counter`/`gauge`/
+/// `histogram` are valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry the runtime layers instrument into.
+  static MetricsRegistry& Global();
+
+  /// Returns the counter named `name`, registering it on first use. Same
+  /// name → same handle.
+  Counter& counter(std::string_view name);
+  /// As above, for gauges.
+  Gauge& gauge(std::string_view name);
+  /// As above, for histograms. The bucket bounds must be strictly
+  /// ascending; only the first registration's bounds are kept (a repeat
+  /// with different bounds aborts — mixed layouts would corrupt counts).
+  Histogram& histogram(std::string_view name,
+                       std::span<const int64_t> bounds);
+
+  /// Copies every metric's current value.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every value, keeping all registrations and handles valid
+  /// (tests and benches that want a clean slate).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;  ///< guards the maps; never held on update paths
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace least

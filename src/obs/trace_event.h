@@ -1,0 +1,90 @@
+/// \file trace_event.h
+/// \brief Event vocabulary of the fleet trace log (`obs/trace_log.h`).
+///
+/// Every record in a `.lbtrace` file is one fixed-size event: a monotonic
+/// timestamp, the emitting thread, an event kind, the job id it concerns
+/// (or -1), and two kind-specific payload words. The kinds below are stable
+/// on-disk ids — renumbering breaks every recorded trace, so new kinds are
+/// appended and old ones never reused (same discipline as `DatasetKind`).
+///
+/// Payload word conventions per kind:
+///
+///   kind            | job  | arg0                    | arg1
+///   ----------------+------+-------------------------+---------------------
+///   kJobEnqueue     | id   | Algorithm enum value    | jobs enqueued so far
+///   kJobStart       | id   | attempt number (1-based)| queue wait in us
+///   kJobRetry       | id   | new attempt number      | failed StatusCode
+///   kJobRound       | id   | completed outer round   | total inner steps
+///   kJobCheckpoint  | id   | completed outer round   | 0
+///   kJobSettle      | id   | terminal JobState value | run time in us
+///   kCacheHit       | -1   | payload bytes           | FNV-1a of cache key
+///   kCacheMiss      | -1   | 0                       | FNV-1a of cache key
+///   kCacheLoad      | -1   | payload bytes           | resident bytes after
+///   kCacheEvict     | -1   | payload bytes           | FNV-1a of cache key
+///   kCacheRefuse    | -1   | 0                       | FNV-1a of cache key
+///   kPoolQueueDepth | -1   | queued tasks            | pool thread count
+///   kPoolSteal      | -1   | victim worker index     | thief worker index
+///   kSinkStream     | id   | model blob bytes        | sink sequence number
+///   kSinkRetire     | id   | 0                       | 0
+///
+/// Timestamps are nanoseconds on the steady clock, measured from the trace
+/// log's creation, so a trace is self-contained and two runs of the same
+/// fleet produce comparable timelines.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace least {
+
+/// \brief What happened. Stable on-disk ids (see file comment).
+enum class TraceEventKind : uint16_t {
+  kJobEnqueue = 1,
+  kJobStart = 2,
+  kJobRetry = 3,
+  kJobRound = 4,
+  kJobCheckpoint = 5,
+  kJobSettle = 6,
+  kCacheHit = 7,
+  kCacheMiss = 8,
+  kCacheLoad = 9,
+  kCacheEvict = 10,
+  kCacheRefuse = 11,
+  kPoolQueueDepth = 12,
+  kPoolSteal = 13,
+  kSinkStream = 14,
+  kSinkRetire = 15,
+};
+
+/// True for every kind a version-1 trace may legally contain. The decoder
+/// rejects records outside this set: after the checksum passes, an unknown
+/// kind can only mean a buggy writer, and misattributing it would silently
+/// corrupt a timeline.
+constexpr bool IsKnownTraceEventKind(uint16_t kind) {
+  return kind >= static_cast<uint16_t>(TraceEventKind::kJobEnqueue) &&
+         kind <= static_cast<uint16_t>(TraceEventKind::kSinkRetire);
+}
+
+/// Canonical lowercase name ("job-enqueue", "cache-hit", ...); "unknown"
+/// for out-of-range values.
+std::string_view TraceEventKindName(TraceEventKind kind);
+
+/// \brief One decoded trace event. `ts_ns` is absolute (nanoseconds since
+/// the trace log's creation); the on-disk form stores it as a delta from
+/// the previous record (see `trace_log.h` for the byte layout).
+struct TraceEvent {
+  uint64_t ts_ns = 0;
+  uint16_t thread = 0;   ///< per-trace registration id of the emitting thread
+  TraceEventKind kind = TraceEventKind::kJobEnqueue;
+  int64_t job = -1;      ///< job id, or -1 for events not tied to a job
+  uint64_t arg0 = 0;     ///< kind-specific payload (see file comment)
+  uint64_t arg1 = 0;     ///< kind-specific payload (see file comment)
+
+  friend bool operator==(const TraceEvent& a, const TraceEvent& b) {
+    return a.ts_ns == b.ts_ns && a.thread == b.thread && a.kind == b.kind &&
+           a.job == b.job && a.arg0 == b.arg0 && a.arg1 == b.arg1;
+  }
+};
+
+}  // namespace least

@@ -1,0 +1,346 @@
+#include "obs/trace_log.h"
+
+#include <cstring>
+
+#include "util/fnv.h"
+
+namespace least {
+
+namespace {
+
+constexpr char kTraceMagic[4] = {'L', 'B', 'T', 'R'};
+constexpr size_t kChecksumOffset = 8;
+
+// Generation counter for thread-local buffer caching: every TraceLog gets a
+// unique generation, so a thread's cached buffer pointer can never alias a
+// different (or destroyed-and-reallocated) log.
+std::atomic<uint64_t> g_trace_generation{0};
+
+std::atomic<TraceLog*> g_active_trace{nullptr};
+
+// Appends one record's 32 bytes to `out`, advancing the delta-encoder
+// state. Shared by EncodeTrace and the file writer so the two byte streams
+// can never diverge.
+void AppendRecordBytes(const TraceEvent& e, uint64_t* last_ts_ns,
+                       std::string* out) {
+  // Unsigned subtraction: exact for any pair of timestamps (the decoder
+  // adds the delta back with the same wraparound arithmetic).
+  const uint64_t delta = e.ts_ns - *last_ts_ns;
+  *last_ts_ns = e.ts_ns;
+  const uint16_t kind = static_cast<uint16_t>(e.kind);
+  const int32_t job = static_cast<int32_t>(e.job);
+  char rec[kTraceRecordBytes];
+  std::memcpy(rec + 0, &delta, 8);
+  std::memcpy(rec + 8, &e.thread, 2);
+  std::memcpy(rec + 10, &kind, 2);
+  std::memcpy(rec + 12, &job, 4);
+  std::memcpy(rec + 16, &e.arg0, 8);
+  std::memcpy(rec + 24, &e.arg1, 8);
+  out->append(rec, kTraceRecordBytes);
+}
+
+void AppendHeader(uint64_t checksum, uint64_t count, std::string* out) {
+  out->append(kTraceMagic, sizeof kTraceMagic);
+  const uint32_t version = kTraceFormatVersion;
+  out->append(reinterpret_cast<const char*>(&version), 4);
+  out->append(reinterpret_cast<const char*>(&checksum), 8);
+  out->append(reinterpret_cast<const char*>(&count), 8);
+}
+
+}  // namespace
+
+std::string_view TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kJobEnqueue:
+      return "job-enqueue";
+    case TraceEventKind::kJobStart:
+      return "job-start";
+    case TraceEventKind::kJobRetry:
+      return "job-retry";
+    case TraceEventKind::kJobRound:
+      return "job-round";
+    case TraceEventKind::kJobCheckpoint:
+      return "job-checkpoint";
+    case TraceEventKind::kJobSettle:
+      return "job-settle";
+    case TraceEventKind::kCacheHit:
+      return "cache-hit";
+    case TraceEventKind::kCacheMiss:
+      return "cache-miss";
+    case TraceEventKind::kCacheLoad:
+      return "cache-load";
+    case TraceEventKind::kCacheEvict:
+      return "cache-evict";
+    case TraceEventKind::kCacheRefuse:
+      return "cache-refuse";
+    case TraceEventKind::kPoolQueueDepth:
+      return "pool-queue-depth";
+    case TraceEventKind::kPoolSteal:
+      return "pool-steal";
+    case TraceEventKind::kSinkStream:
+      return "sink-stream";
+    case TraceEventKind::kSinkRetire:
+      return "sink-retire";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------- install ---
+
+void InstallTraceLog(TraceLog* log) {
+  g_active_trace.store(log, std::memory_order_release);
+}
+
+TraceLog* ActiveTraceLog() {
+  return g_active_trace.load(std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------- TraceLog ---
+
+TraceLog::TraceLog(std::string path, std::FILE* file, TraceLogOptions options)
+    : path_(std::move(path)),
+      file_(file),
+      options_(options),
+      generation_(g_trace_generation.fetch_add(1, std::memory_order_relaxed) +
+                  1),
+      epoch_(std::chrono::steady_clock::now()),
+      checksum_(kFnv1aOffset) {
+  writer_ = std::thread([this]() { WriterLoop(); });
+}
+
+Result<std::unique_ptr<TraceLog>> TraceLog::OpenFile(const std::string& path,
+                                                     TraceLogOptions options) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open trace file '" + path +
+                           "' for writing");
+  }
+  // Placeholder checksum/count; Close() patches them in place.
+  std::string header;
+  AppendHeader(/*checksum=*/0, /*count=*/0, &header);
+  if (std::fwrite(header.data(), 1, header.size(), file) != header.size()) {
+    std::fclose(file);
+    return Status::IoError("cannot write trace header to '" + path + "'");
+  }
+  return std::unique_ptr<TraceLog>(
+      new TraceLog(path, file, options));
+}
+
+std::unique_ptr<TraceLog> TraceLog::NullSink(TraceLogOptions options) {
+  return std::unique_ptr<TraceLog>(new TraceLog("", nullptr, options));
+}
+
+TraceLog::~TraceLog() { (void)Close(); }
+
+TraceLog::ThreadBuffer* TraceLog::BufferForThisThread() {
+  struct Cached {
+    uint64_t generation = 0;
+    ThreadBuffer* buffer = nullptr;
+  };
+  thread_local Cached cached;
+  if (cached.generation == generation_) return cached.buffer;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer* buffer = buffers_.back().get();
+  buffer->thread_id = static_cast<uint16_t>(buffers_.size() - 1);
+  cached = {generation_, buffer};
+  return buffer;
+}
+
+void TraceLog::Append(TraceEventKind kind, int64_t job, uint64_t arg0,
+                      uint64_t arg1) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  TraceEvent event;
+  event.ts_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  event.thread = buffer->thread_id;
+  event.kind = kind;
+  event.job = job;
+  event.arg0 = arg0;
+  event.arg1 = arg1;
+  {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.push_back(event);
+  }
+  appended_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceLog::WriterLoop() {
+  std::unique_lock<std::mutex> lock(writer_mu_);
+  while (!stop_) {
+    writer_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.flush_period_ms),
+        [this]() { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    DrainOnce();
+    lock.lock();
+  }
+}
+
+void TraceLog::DrainOnce() {
+  std::vector<TraceEvent> grabbed;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> block(buffer->mu);
+      if (buffer->events.empty()) continue;
+      grabbed.insert(grabbed.end(), buffer->events.begin(),
+                     buffer->events.end());
+      buffer->events.clear();
+    }
+  }
+  if (grabbed.empty()) return;
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (file_ != nullptr && close_status_.ok()) {
+    std::string chunk;
+    chunk.reserve(grabbed.size() * kTraceRecordBytes);
+    for (const TraceEvent& event : grabbed) {
+      AppendRecordBytes(event, &last_ts_ns_, &chunk);
+    }
+    checksum_ = Fnv1aFold(checksum_, chunk.data(), chunk.size());
+    records_written_ += grabbed.size();
+    if (std::fwrite(chunk.data(), 1, chunk.size(), file_) != chunk.size()) {
+      close_status_ =
+          Status::IoError("trace write failed for '" + path_ + "'");
+    }
+  }
+  written_.fetch_add(static_cast<int64_t>(grabbed.size()),
+                     std::memory_order_relaxed);
+}
+
+Status TraceLog::Close() {
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    if (closed_) return close_status_;
+    stop_ = true;
+  }
+  writer_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  DrainOnce();  // whatever landed after the writer's last pass
+
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  closed_ = true;
+  if (file_ != nullptr) {
+    // Patch the header's checksum + count now that the body is final.
+    if (close_status_.ok()) {
+      char patch[16];
+      std::memcpy(patch + 0, &checksum_, 8);
+      std::memcpy(patch + 8, &records_written_, 8);
+      if (std::fseek(file_, kChecksumOffset, SEEK_SET) != 0 ||
+          std::fwrite(patch, 1, sizeof patch, file_) != sizeof patch) {
+        close_status_ =
+            Status::IoError("cannot patch trace header of '" + path_ + "'");
+      }
+    }
+    if (std::fclose(file_) != 0 && close_status_.ok()) {
+      close_status_ = Status::IoError("cannot close trace file '" + path_ +
+                                      "'");
+    }
+    file_ = nullptr;
+  }
+  return close_status_;
+}
+
+// ---------------------------------------------------------------- codec ---
+
+std::string EncodeTrace(std::span<const TraceEvent> events) {
+  std::string body;
+  body.reserve(events.size() * kTraceRecordBytes);
+  uint64_t last_ts = 0;
+  for (const TraceEvent& event : events) {
+    AppendRecordBytes(event, &last_ts, &body);
+  }
+  const uint64_t checksum = Fnv1aFold(kFnv1aOffset, body.data(), body.size());
+  std::string blob;
+  blob.reserve(kTraceHeaderBytes + body.size());
+  AppendHeader(checksum, events.size(), &blob);
+  blob.append(body);
+  return blob;
+}
+
+Result<std::vector<TraceEvent>> DecodeTrace(std::string_view bytes) {
+  if (bytes.size() < kTraceHeaderBytes) {
+    return Status::InvalidArgument("trace blob shorter than its header (" +
+                                   std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kTraceMagic, sizeof kTraceMagic) != 0) {
+    return Status::InvalidArgument("bad trace magic (not an .lbtrace blob)");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, 4);
+  if (version != kTraceFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported trace format version " + std::to_string(version) +
+        " (this reader handles version " +
+        std::to_string(kTraceFormatVersion) + ")");
+  }
+  uint64_t checksum = 0;
+  uint64_t count = 0;
+  std::memcpy(&checksum, bytes.data() + kChecksumOffset, 8);
+  std::memcpy(&count, bytes.data() + 16, 8);
+  const std::string_view body = bytes.substr(kTraceHeaderBytes);
+  if (count > body.size() / kTraceRecordBytes ||
+      body.size() != count * kTraceRecordBytes) {
+    return Status::InvalidArgument(
+        "trace body is " + std::to_string(body.size()) +
+        " bytes but the header promises " + std::to_string(count) +
+        " records of " + std::to_string(kTraceRecordBytes) + " bytes");
+  }
+  const uint64_t actual = Fnv1aFold(kFnv1aOffset, body.data(), body.size());
+  if (actual != checksum) {
+    return Status::InvalidArgument("trace checksum mismatch (file corrupt)");
+  }
+  std::vector<TraceEvent> events;
+  events.reserve(count);
+  uint64_t ts = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const char* rec = body.data() + i * kTraceRecordBytes;
+    uint64_t delta = 0;
+    uint16_t thread = 0;
+    uint16_t kind = 0;
+    int32_t job = 0;
+    TraceEvent event;
+    std::memcpy(&delta, rec + 0, 8);
+    std::memcpy(&thread, rec + 8, 2);
+    std::memcpy(&kind, rec + 10, 2);
+    std::memcpy(&job, rec + 12, 4);
+    std::memcpy(&event.arg0, rec + 16, 8);
+    std::memcpy(&event.arg1, rec + 24, 8);
+    if (!IsKnownTraceEventKind(kind)) {
+      return Status::InvalidArgument("trace record " + std::to_string(i) +
+                                     " has unknown event kind " +
+                                     std::to_string(kind));
+    }
+    ts += delta;
+    event.ts_ns = ts;
+    event.thread = thread;
+    event.kind = static_cast<TraceEventKind>(kind);
+    event.job = job;
+    events.push_back(event);
+  }
+  return events;
+}
+
+Result<std::vector<TraceEvent>> ReadTraceFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open trace file '" + path + "'");
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, file)) > 0) {
+    bytes.append(buf, got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Status::IoError("error reading trace file '" + path + "'");
+  }
+  return DecodeTrace(bytes);
+}
+
+}  // namespace least

@@ -1,0 +1,205 @@
+/// \file trace_log.h
+/// \brief Compact binary trace log for fleet telemetry.
+///
+/// A 1,000-job fleet settles jobs faster than any text log can absorb;
+/// per-job tracing only stays cheap at thousands of jobs per second if the
+/// hot path is a few dozen nanoseconds and the encoding is fixed-size
+/// binary. This layer provides that:
+///
+///  * **Emit** — `TraceEmit(kind, job, arg0, arg1)` is a relaxed atomic
+///    load plus a branch when no log is installed (tracing disabled costs
+///    nothing measurable), and an append into a per-thread buffer under a
+///    per-thread mutex when one is (contention only with the drain thread,
+///    never with other emitters).
+///  * **Drain** — a background writer thread wakes every
+///    `TraceLogOptions::flush_period_ms`, swaps every thread's buffer out
+///    under its lock, and streams the records to the sink, so emitters
+///    never touch the file.
+///  * **Encode** — fixed 32-byte little-endian records: i64 timestamp
+///    delta from the previous record in file order (signed — buffers drain
+///    per thread, so file order is not globally chronological), u16 thread
+///    id, u16 event kind, i64 job id truncated to i32, and two u64 payload
+///    words. The file is versioned and checksummed like model checkpoints.
+///
+/// On-disk format ("LBTR", version 1), native little-endian:
+///
+///   [0..4)    magic "LBTR"
+///   [4..8)    u32 format version (currently 1)
+///   [8..16)   u64 FNV-1a checksum of the body
+///   [16..24)  u64 record count
+///   [24.. )   body: count fixed 32-byte records —
+///             i64 ts_delta_ns, u16 thread, u16 kind, i32 job,
+///             u64 arg0, u64 arg1
+///
+/// The header's checksum and count are patched in place by `Close()`; a
+/// file from a crashed process (zero count) is rejected by the decoder
+/// rather than half-parsed. Error contract mirrors `model_serializer`:
+/// every structural problem — bad magic, unsupported version, size/count
+/// mismatch, checksum mismatch, unknown event kind — is `kInvalidArgument`
+/// with a precise message, never a crash; only filesystem failures are
+/// `kIoError`. `EncodeTrace`/`DecodeTrace` round-trip bit-identically, and
+/// the file writer produces exactly `EncodeTrace` of its event sequence.
+///
+/// Thread safety: `Append`/`TraceEmit` may be called from any thread.
+/// Install/uninstall (and destruction) must not race live emitters — use
+/// `ScopedTraceLog` around the traced region and tear down pools and
+/// schedulers before it goes out of scope.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace_event.h"
+#include "util/status.h"
+
+namespace least {
+
+/// Current trace file format version. The decoder accepts exactly this
+/// version; anything else is rejected loudly instead of misparsed.
+inline constexpr uint32_t kTraceFormatVersion = 1;
+/// Bytes of the fixed header (magic + version + checksum + count).
+inline constexpr size_t kTraceHeaderBytes = 24;
+/// Bytes of one fixed-size event record.
+inline constexpr size_t kTraceRecordBytes = 32;
+/// Conventional file extension for trace files.
+inline constexpr std::string_view kTraceFileExtension = ".lbtrace";
+
+struct TraceLogOptions {
+  /// Drain cadence of the background writer thread.
+  int flush_period_ms = 10;
+};
+
+/// \brief Collects trace events through per-thread buffers and streams them
+/// to a sink from a background writer thread. See file comment.
+class TraceLog {
+ public:
+  /// Opens `path` for writing and starts the writer thread. The header is
+  /// written immediately; the checksum/count fields are patched by
+  /// `Close()` (or the destructor).
+  static Result<std::unique_ptr<TraceLog>> OpenFile(
+      const std::string& path, TraceLogOptions options = {});
+
+  /// A log with no sink: events are buffered and discarded at drain time.
+  /// Exists to measure the emit+drain cost in isolation (the bench's
+  /// "null-sink" column) and to count events without persisting them.
+  static std::unique_ptr<TraceLog> NullSink(TraceLogOptions options = {});
+
+  /// Closes (flushing + patching the header) if `Close` was not called.
+  ~TraceLog();
+
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  /// Appends one event, stamped with the current time and the calling
+  /// thread's per-trace id. Cheap and safe from any thread.
+  void Append(TraceEventKind kind, int64_t job, uint64_t arg0, uint64_t arg1);
+
+  /// Stops the writer thread, drains every buffer, and (for file sinks)
+  /// patches the header's checksum and record count. Idempotent; returns
+  /// the first error encountered (`kIoError` on write/patch failures).
+  Status Close();
+
+  /// Events appended so far (including ones not yet drained).
+  int64_t events_appended() const {
+    return appended_.load(std::memory_order_relaxed);
+  }
+  /// Events the writer thread has consumed (written or discarded).
+  int64_t events_written() const {
+    return written_.load(std::memory_order_relaxed);
+  }
+
+  /// File path ("" for the null sink).
+  const std::string& path() const { return path_; }
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+    uint16_t thread_id = 0;
+  };
+
+  TraceLog(std::string path, std::FILE* file, TraceLogOptions options);
+
+  ThreadBuffer* BufferForThisThread();
+  void WriterLoop();
+  /// Swaps out every thread buffer and streams the grabbed events.
+  void DrainOnce();
+
+  const std::string path_;
+  std::FILE* file_;  ///< null for the null sink
+  const TraceLogOptions options_;
+  const uint64_t generation_;  ///< distinguishes logs for thread-local reuse
+  const std::chrono::steady_clock::time_point epoch_;
+
+  std::mutex registry_mu_;  ///< guards buffers_ registration
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+
+  std::mutex writer_mu_;  ///< guards drain/close state + encoder state below
+  std::condition_variable writer_cv_;
+  bool stop_ = false;
+  bool closed_ = false;
+  Status close_status_;
+  uint64_t last_ts_ns_ = 0;     ///< delta-encoder state
+  uint64_t checksum_;           ///< running FNV-1a over the body
+  uint64_t records_written_ = 0;
+  std::thread writer_;
+
+  std::atomic<int64_t> appended_{0};
+  std::atomic<int64_t> written_{0};
+};
+
+/// Installs (or, with nullptr, uninstalls) the process-wide trace log that
+/// `TraceEmit` targets. The caller keeps ownership and must keep the log
+/// alive until after uninstalling; prefer `ScopedTraceLog`.
+void InstallTraceLog(TraceLog* log);
+
+/// The currently installed log (relaxed atomic load), or nullptr.
+TraceLog* ActiveTraceLog();
+
+/// True when a trace log is installed.
+inline bool TraceEnabled() { return ActiveTraceLog() != nullptr; }
+
+/// The instrumentation entry point: one relaxed atomic load and a branch
+/// when tracing is disabled — cheap enough for per-task hot paths.
+inline void TraceEmit(TraceEventKind kind, int64_t job, uint64_t arg0,
+                      uint64_t arg1) {
+  TraceLog* log = ActiveTraceLog();
+  if (log != nullptr) log->Append(kind, job, arg0, arg1);
+}
+
+/// \brief RAII install/uninstall of the process-wide trace log. Tear down
+/// everything that might emit (pools, schedulers) before this goes out of
+/// scope.
+class ScopedTraceLog {
+ public:
+  explicit ScopedTraceLog(TraceLog* log) { InstallTraceLog(log); }
+  ~ScopedTraceLog() { InstallTraceLog(nullptr); }
+  ScopedTraceLog(const ScopedTraceLog&) = delete;
+  ScopedTraceLog& operator=(const ScopedTraceLog&) = delete;
+};
+
+/// Encodes events into a complete trace blob (header with final checksum
+/// and count). `DecodeTrace(EncodeTrace(e)) == e` and
+/// `EncodeTrace(DecodeTrace(b)) == b`, bit for bit.
+std::string EncodeTrace(std::span<const TraceEvent> events);
+
+/// Parses a trace blob. Structural errors → `kInvalidArgument` (see file
+/// comment). Events come back in file order — per-thread chronological but
+/// not globally sorted; sort by `ts_ns` for a global timeline.
+Result<std::vector<TraceEvent>> DecodeTrace(std::string_view bytes);
+
+/// Reads and decodes a trace file. Missing/unreadable file → `kIoError`;
+/// corrupt contents → `kInvalidArgument`.
+Result<std::vector<TraceEvent>> ReadTraceFile(const std::string& path);
+
+}  // namespace least

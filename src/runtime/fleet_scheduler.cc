@@ -9,6 +9,8 @@
 #include "core/train_state.h"
 #include "io/model_serializer.h"
 #include "io/result_sink.h"
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
 
 namespace least {
 
@@ -18,6 +20,34 @@ double MillisBetween(std::chrono::steady_clock::time_point a,
                      std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
+
+uint64_t MicrosBetween(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count();
+  return us > 0 ? static_cast<uint64_t>(us) : 0;
+}
+
+constexpr int64_t kRunMsBounds[] = {1,   5,    10,   50,    100,
+                                    500, 1000, 5000, 10000, 60000};
+
+/// Process-wide fleet metrics; handles resolved once, updates lock-free.
+struct FleetMetrics {
+  Counter& enqueued = MetricsRegistry::Global().counter("fleet.jobs_enqueued");
+  Counter& succeeded =
+      MetricsRegistry::Global().counter("fleet.jobs_succeeded");
+  Counter& failed = MetricsRegistry::Global().counter("fleet.jobs_failed");
+  Counter& cancelled =
+      MetricsRegistry::Global().counter("fleet.jobs_cancelled");
+  Counter& retries = MetricsRegistry::Global().counter("fleet.retries");
+  Histogram& run_ms =
+      MetricsRegistry::Global().histogram("fleet.run_ms", kRunMsBounds);
+
+  static FleetMetrics& Get() {
+    static FleetMetrics* m = new FleetMetrics();  // never destroyed
+    return *m;
+  }
+};
 
 // SplitMix64 finalizer (Steele et al.); full-avalanche, so consecutive job
 // ids and attempt numbers land in statistically unrelated seed space.
@@ -35,6 +65,20 @@ double Percentile(const std::vector<double>& sorted, double q) {
   int64_t rank = static_cast<int64_t>(std::ceil(q * static_cast<double>(n)));
   rank = std::clamp<int64_t>(rank, 1, n);
   return sorted[rank - 1];
+}
+
+LatencyStats MakeLatencyStats(std::vector<double> samples) {
+  LatencyStats stats;
+  stats.jobs = static_cast<int64_t>(samples.size());
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  stats.mean_ms = sum / static_cast<double>(samples.size());
+  stats.p50_ms = Percentile(samples, 0.50);
+  stats.p99_ms = Percentile(samples, 0.99);
+  stats.max_ms = samples.back();
+  return stats;
 }
 
 }  // namespace
@@ -56,18 +100,33 @@ std::string_view JobStateName(JobState state) {
 }
 
 std::string FleetReport::ToString() const {
-  char buf[256];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "%lld jobs: %lld ok, %lld failed, %lld cancelled, %lld "
                 "retries | %.2fs wall, %.1f jobs/s | latency ms p50=%.1f "
-                "p90=%.1f p99=%.1f max=%.1f",
+                "p90=%.1f p99=%.1f p99.9=%.1f max=%.1f",
                 static_cast<long long>(total_jobs),
                 static_cast<long long>(succeeded),
                 static_cast<long long>(failed),
                 static_cast<long long>(cancelled), retries, wall_seconds,
                 throughput_jobs_per_sec, p50_latency_ms, p90_latency_ms,
-                p99_latency_ms, max_latency_ms);
-  return buf;
+                p99_latency_ms, p999_latency_ms, max_latency_ms);
+  std::string out = buf;
+  if (succeeded_retried.jobs > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "\n  ok first-try: %lld jobs, latency ms p50=%.1f p99=%.1f "
+        "max=%.1f | ok retried: %lld jobs, latency ms p50=%.1f p99=%.1f "
+        "max=%.1f",
+        static_cast<long long>(succeeded_first_try.jobs),
+        succeeded_first_try.p50_ms, succeeded_first_try.p99_ms,
+        succeeded_first_try.max_ms,
+        static_cast<long long>(succeeded_retried.jobs),
+        succeeded_retried.p50_ms, succeeded_retried.p99_ms,
+        succeeded_retried.max_ms);
+    out += buf;
+  }
+  return out;
 }
 
 uint64_t FleetScheduler::JobSeed(uint64_t fleet_seed, int64_t job_id,
@@ -110,6 +169,10 @@ int64_t FleetScheduler::Enqueue(LearnJob job) {
       first_enqueue_ = slot->enqueue_time;
     }
   }
+  TraceEmit(TraceEventKind::kJobEnqueue, id,
+            static_cast<uint64_t>(slot->record.algorithm),
+            static_cast<uint64_t>(id + 1));
+  FleetMetrics::Get().enqueued.Add();
   // The stub lands before the job can run: the directory then always holds
   // a restartable artifact for every live job, even one that never starts.
   if (!options_.checkpoint_dir.empty()) {
@@ -123,6 +186,9 @@ int64_t FleetScheduler::Enqueue(LearnJob job) {
       slot->record.status =
           Status::Internal("thread pool is shut down; job never ran");
     }
+    TraceEmit(TraceEventKind::kJobSettle, id,
+              static_cast<uint64_t>(JobState::kFailed), 0);
+    FleetMetrics::Get().failed.Add();
     NotifyProgress(slot->record);
     Settle();
   }
@@ -237,6 +303,7 @@ void FleetScheduler::StreamSettled(JobSlot* slot, JobState terminal,
   if (!options_.checkpoint_dir.empty()) {
     std::remove(
         CheckpointPath(options_.checkpoint_dir, slot->record.job_id).c_str());
+    TraceEmit(TraceEventKind::kSinkRetire, slot->record.job_id, 0, 0);
   }
   if (streamed && !options_.keep_settled_outcomes) {
     // The model lives on disk now; release the heavy parts of the record.
@@ -278,10 +345,15 @@ void FleetScheduler::RunJob(JobSlot* slot) {
     }
   }
   if (slot->record.state == JobState::kCancelled) {
+    TraceEmit(TraceEventKind::kJobSettle, slot->record.job_id,
+              static_cast<uint64_t>(JobState::kCancelled), 0);
+    FleetMetrics::Get().cancelled.Add();
     NotifyProgress(slot->record);
     Settle();
     return;
   }
+  TraceEmit(TraceEventKind::kJobStart, slot->record.job_id, 1,
+            MicrosBetween(slot->enqueue_time, slot->start_time));
 
   FitOutcome outcome;
   JobState terminal = JobState::kFailed;
@@ -310,6 +382,13 @@ void FleetScheduler::RunJob(JobSlot* slot) {
       slot->record.options = options;
       if (attempt > 1) ++retries_;
     }
+    if (attempt > 1) {
+      // outcome still holds the previous attempt's terminal status here.
+      TraceEmit(TraceEventKind::kJobRetry, slot->record.job_id,
+                static_cast<uint64_t>(attempt),
+                static_cast<uint64_t>(outcome.status.code()));
+      FleetMetrics::Get().retries.Add();
+    }
     NotifyProgress(slot->record);  // attempt starting (kRunning)
 
     RunHooks hooks;
@@ -317,10 +396,24 @@ void FleetScheduler::RunJob(JobSlot* slot) {
       return slot->cancel.load(std::memory_order_acquire);
     };
     hooks.resume = resume;
-    if (!options_.checkpoint_dir.empty()) {
+    const bool persist_checkpoints = !options_.checkpoint_dir.empty();
+    // The round-progress trace rides the learners' existing checkpoint
+    // cadence: install the callback whenever tracing is on, even with no
+    // checkpoint directory. Capturing a TrainState only *observes* the
+    // optimizer, so results stay bit-identical with tracing enabled (the
+    // fleet data-plane tests assert this).
+    if (persist_checkpoints || TraceEnabled()) {
       hooks.checkpoint_every_outer = options_.checkpoint_every_outer;
-      hooks.checkpoint = [this, slot, options](const TrainState& state) {
-        WriteCheckpoint(*slot, options, state);
+      hooks.checkpoint = [this, slot, options,
+                          persist_checkpoints](const TrainState& state) {
+        TraceEmit(TraceEventKind::kJobRound, slot->record.job_id,
+                  static_cast<uint64_t>(state.outer),
+                  static_cast<uint64_t>(state.total_inner));
+        if (persist_checkpoints) {
+          WriteCheckpoint(*slot, options, state);
+          TraceEmit(TraceEventKind::kJobCheckpoint, slot->record.job_id,
+                    static_cast<uint64_t>(state.outer), 0);
+        }
       };
     }
     outcome = RunAlgorithm(slot->job.algorithm, *slot->job.data, options,
@@ -354,13 +447,30 @@ void FleetScheduler::RunJob(JobSlot* slot) {
     StreamSettled(slot, terminal, &outcome);
   }
 
+  const Clock::time_point settle_time = Clock::now();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     slot->record.state = terminal;
     slot->record.status = outcome.status;
     slot->record.outcome = std::move(outcome);
-    slot->record.run_ms = MillisBetween(slot->start_time, Clock::now());
+    slot->record.run_ms = MillisBetween(slot->start_time, settle_time);
   }
+  TraceEmit(TraceEventKind::kJobSettle, slot->record.job_id,
+            static_cast<uint64_t>(terminal),
+            MicrosBetween(slot->start_time, settle_time));
+  FleetMetrics& metrics = FleetMetrics::Get();
+  switch (terminal) {
+    case JobState::kSucceeded:
+      metrics.succeeded.Add();
+      break;
+    case JobState::kCancelled:
+      metrics.cancelled.Add();
+      break;
+    default:
+      metrics.failed.Add();
+      break;
+  }
+  metrics.run_ms.Observe(static_cast<int64_t>(slot->record.run_ms));
   NotifyProgress(slot->record);
   Settle();
 }
@@ -375,12 +485,16 @@ FleetReport FleetScheduler::Wait() {
   report.total_jobs = static_cast<int64_t>(slots_.size());
   report.retries = retries_;
   std::vector<double> latencies;
+  std::vector<double> first_try;  // succeeded on attempt 1
+  std::vector<double> retried;    // succeeded after >= 1 retry
   latencies.reserve(slots_.size());
   double latency_sum = 0.0;
   for (const auto& slot : slots_) {
     switch (slot->record.state) {
       case JobState::kSucceeded:
         ++report.succeeded;
+        (slot->record.attempts > 1 ? retried : first_try)
+            .push_back(slot->record.run_ms);
         break;
       case JobState::kCancelled:
         ++report.cancelled;
@@ -414,7 +528,10 @@ FleetReport FleetScheduler::Wait() {
     report.p50_latency_ms = Percentile(latencies, 0.50);
     report.p90_latency_ms = Percentile(latencies, 0.90);
     report.p99_latency_ms = Percentile(latencies, 0.99);
+    report.p999_latency_ms = Percentile(latencies, 0.999);
   }
+  report.succeeded_first_try = MakeLatencyStats(std::move(first_try));
+  report.succeeded_retried = MakeLatencyStats(std::move(retried));
   return report;
 }
 

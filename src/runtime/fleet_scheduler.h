@@ -95,6 +95,15 @@ struct JobRecord {
   FitOutcome outcome;
 };
 
+/// \brief Latency percentiles over one subset of a fleet's settled jobs.
+struct LatencyStats {
+  int64_t jobs = 0;  ///< jobs in the subset (0 → all stats are 0)
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
 /// \brief Aggregate statistics over every settled job of a `Wait` call.
 struct FleetReport {
   int64_t total_jobs = 0;
@@ -104,13 +113,25 @@ struct FleetReport {
   long long retries = 0;  ///< extra attempts beyond each job's first
   double wall_seconds = 0;  ///< first enqueue → last settle
   double throughput_jobs_per_sec = 0;
+  /// Whole-fleet latency (`JobRecord::run_ms` of every job that started an
+  /// attempt). A retried job's latency spans *all* its attempts, so these
+  /// mix one-attempt and multi-attempt jobs — read the split below before
+  /// attributing a slow tail to the learner rather than to retries.
   double mean_latency_ms = 0;
   double p50_latency_ms = 0;
   double p90_latency_ms = 0;
   double p99_latency_ms = 0;
+  double p999_latency_ms = 0;
   double max_latency_ms = 0;
+  /// Succeeded jobs that converged on their first attempt — the clean
+  /// latency distribution of the learner itself.
+  LatencyStats succeeded_first_try;
+  /// Succeeded jobs that needed at least one retry; their latency includes
+  /// every failed attempt. Previously these were silently folded into the
+  /// headline percentiles, hiding retry cost.
+  LatencyStats succeeded_retried;
 
-  /// One-line human summary.
+  /// Human summary (two lines once any job retried).
   std::string ToString() const;
 };
 

@@ -3,7 +3,27 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
+
 namespace least {
+
+namespace {
+
+/// Process-wide pool metrics (aggregated across pools; per-pool exact
+/// numbers come from the pool's own accessors).
+struct PoolMetrics {
+  Counter& scheduled = MetricsRegistry::Global().counter("pool.tasks_scheduled");
+  Counter& steals = MetricsRegistry::Global().counter("pool.steals");
+  Gauge& queue_depth = MetricsRegistry::Global().gauge("pool.queue_depth");
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* m = new PoolMetrics();  // never destroyed
+    return *m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
@@ -38,6 +58,13 @@ bool ThreadPool::Schedule(std::function<void()> task) {
     }
     queued_.fetch_add(1, std::memory_order_release);
   }
+  const int64_t depth = queued_.load(std::memory_order_relaxed);
+  TraceEmit(TraceEventKind::kPoolQueueDepth, -1,
+            static_cast<uint64_t>(depth),
+            static_cast<uint64_t>(num_threads()));
+  PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.scheduled.Add();
+  metrics.queue_depth.Set(depth);
   wake_cv_.notify_one();
   return true;
 }
@@ -66,6 +93,10 @@ bool ThreadPool::RunOneTask(int self) {
         task = std::move(victim.queue.front());
         victim.queue.pop_front();
         stolen_.fetch_add(1, std::memory_order_relaxed);
+        TraceEmit(TraceEventKind::kPoolSteal, -1,
+                  static_cast<uint64_t>((self + hop) % n),
+                  static_cast<uint64_t>(self));
+        PoolMetrics::Get().steals.Add();
       }
     }
     if (task == nullptr) return false;

@@ -89,6 +89,9 @@ class ThreadPool final : public ParallelExecutor {
   int64_t tasks_stolen() const {
     return stolen_.load(std::memory_order_relaxed);
   }
+  /// Tasks enqueued but not yet claimed by a worker (instantaneous queue
+  /// depth; diagnostics).
+  int64_t queued() const { return queued_.load(std::memory_order_relaxed); }
 
   // --- ParallelExecutor ---
   int concurrency() const override { return num_threads(); }

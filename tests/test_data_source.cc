@@ -438,6 +438,100 @@ TEST(DatasetCacheTest, ShrinkingBudgetEvicts) {
   std::remove(pa.c_str());
 }
 
+TEST(DatasetCacheTest, StatsCountsExactlyThroughBudgetEvictReloadRefuse) {
+  // The Stats() contract, pinned by exact counts through a full lifecycle:
+  // two first-touch loads, an LRU eviction under budget pressure, a hit on
+  // the survivor, a bit-identical reload of the victim, and a verification
+  // refusal. `misses` counts lookups that found nothing usable; `loads`
+  // counts loader successes (they diverge on the refused load's failure
+  // path only in the refusal counter here, since the refused payload *did*
+  // load before verification dropped it).
+  const DenseMatrix a = TestMatrix(16, 4, 53);  // 512 payload bytes each
+  const DenseMatrix b = TestMatrix(16, 4, 59);
+  const std::string pa = WriteTestCsv("least_cache_stats_a.csv", a);
+  const std::string pb = WriteTestCsv("least_cache_stats_b.csv", b);
+  const size_t bytes = 16 * 4 * sizeof(double);
+
+  DatasetCache cache(bytes);  // budget: exactly one dataset
+  CsvSourceOptions opt;
+  opt.cache = &cache;
+  CsvDataSource sa(pa, opt), sb(pb, opt);
+
+  // Load a (miss + load), then b (miss + load + eviction of a).
+  ASSERT_TRUE(sa.Dense().ok());
+  {
+    DatasetCache::Stats s = cache.stats();
+    EXPECT_EQ(s.hits, 0);
+    EXPECT_EQ(s.misses, 1);
+    EXPECT_EQ(s.loads, 1);
+    EXPECT_EQ(s.evictions, 0);
+    EXPECT_EQ(s.refusals, 0);
+    EXPECT_EQ(s.resident_bytes, bytes);
+    EXPECT_EQ(s.peak_resident_bytes, bytes);
+    EXPECT_EQ(s.entries, 1);
+  }
+  ASSERT_TRUE(sb.Dense().ok());
+  {
+    DatasetCache::Stats s = cache.stats();
+    EXPECT_EQ(s.hits, 0);
+    EXPECT_EQ(s.misses, 2);
+    EXPECT_EQ(s.loads, 2);
+    EXPECT_EQ(s.evictions, 1);
+    EXPECT_EQ(s.refusals, 0);
+    EXPECT_EQ(s.resident_bytes, bytes);
+    EXPECT_EQ(s.entries, 1);
+  }
+
+  // b is cached: a hit, nothing else moves.
+  ASSERT_TRUE(sb.Dense().ok());
+  {
+    DatasetCache::Stats s = cache.stats();
+    EXPECT_EQ(s.hits, 1);
+    EXPECT_EQ(s.misses, 2);
+    EXPECT_EQ(s.loads, 2);
+    EXPECT_EQ(s.evictions, 1);  // unchanged by the hit
+  }
+
+  // Reload the evicted a: miss + load + eviction of b, bit-identical data.
+  auto ra = sa.Dense();
+  ASSERT_TRUE(ra.ok());
+  ExpectBitIdentical(*ra.value(), a);
+  {
+    DatasetCache::Stats s = cache.stats();
+    EXPECT_EQ(s.hits, 1);
+    EXPECT_EQ(s.misses, 3);
+    EXPECT_EQ(s.loads, 3);
+    EXPECT_EQ(s.evictions, 2);
+    EXPECT_EQ(s.refusals, 0);
+  }
+  ra.value().reset();
+
+  // A stale-checkpoint expectation refuses b's payload after it loads: one
+  // more miss + load, plus a refusal and the eviction of the refused bytes
+  // (a's unpinned entry is evicted to admit b first).
+  CsvSourceOptions stale;
+  stale.cache = &cache;
+  stale.expected_hash = HashDenseContent(b) ^ 0xBEEF;
+  CsvDataSource refused(pb, stale);
+  ASSERT_FALSE(refused.Prepare().ok());
+  {
+    DatasetCache::Stats s = cache.stats();
+    EXPECT_EQ(s.hits, 1);
+    EXPECT_EQ(s.misses, 4);
+    EXPECT_EQ(s.loads, 4);
+    EXPECT_EQ(s.evictions, 4);  // a for admission + the refused b
+    EXPECT_EQ(s.refusals, 1);
+    EXPECT_EQ(s.resident_bytes, 0u);
+    EXPECT_EQ(s.peak_resident_bytes, bytes);
+    // Drop() ran while the refusing source still held its handle, so the
+    // (unchargeable) entry record may linger until the key's next lookup.
+    EXPECT_LE(s.entries, 1);
+  }
+
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+}
+
 // --- corruption sweep (the serializer-fuzz pattern, applied to CSV) ---
 
 TEST(CsvSource, TruncationAndCorruptionSweepNeverCrashes) {

@@ -31,6 +31,7 @@
 #include "core/least.h"
 #include "data/benchmark_data.h"
 #include "io/result_sink.h"
+#include "obs/trace_log.h"
 #include "runtime/fleet_scheduler.h"
 #include "util/csv.h"
 
@@ -164,6 +165,115 @@ TEST(FleetDataPlane, CsvFleetUnderCacheBudgetMatchesInRamFleet) {
   EXPECT_GT(stats.evictions, 0);
   EXPECT_GE(stats.misses, kJobs);  // every dataset loaded at least once
   EXPECT_LE(stats.resident_bytes, budget);
+
+  fs::remove_all(dir);
+}
+
+// The telemetry layer's core contract: tracing observes the fleet, it never
+// perturbs it. The same CSV-backed fleet runs once untraced and once inside
+// a ScopedTraceLog with a file sink; every learned model must be
+// bit-identical, and the trace itself must be a coherent account of the run
+// (one enqueue/start/settle per job, cache activity present).
+TEST(FleetDataPlane, TracedFleetIsBitIdenticalToUntracedAndTraceIsCoherent) {
+  constexpr int kJobs = 32;
+  constexpr int kRows = 48;
+  constexpr int kCols = 6;
+  const std::string dir = FreshDir("least_traced_fleet");
+
+  std::vector<DenseMatrix> datasets;
+  std::vector<std::string> paths;
+  for (int j = 0; j < kJobs; ++j) {
+    datasets.push_back(FleetDataset(j, kRows, kCols));
+    paths.push_back(WriteDatasetCsv(dir + "/ds-" + std::to_string(j) + ".csv",
+                                    datasets[j]));
+  }
+
+  auto run_fleet = [&](DatasetCache* cache) {
+    ThreadPool pool(2);
+    FleetScheduler scheduler(&pool, {.seed = 707});
+    for (int j = 0; j < kJobs; ++j) {
+      LearnJob job;
+      job.name = "traced-fleet-" + std::to_string(j);
+      job.algorithm = Algorithm::kLeastDense;
+      job.options = QuickOptions();
+      CsvSourceOptions opt;
+      opt.has_header = false;
+      opt.cache = cache;
+      job.data = MakeCsvSource(paths[j], opt);
+      scheduler.Enqueue(std::move(job));
+    }
+    FleetReport report = scheduler.Wait();
+    EXPECT_EQ(report.total_jobs, kJobs);
+    EXPECT_EQ(report.succeeded, kJobs);
+    std::vector<DenseMatrix> weights;
+    for (int j = 0; j < kJobs; ++j) {
+      weights.push_back(scheduler.record(j).outcome.weights);
+    }
+    return weights;
+  };
+
+  // Reference run, tracing disabled. A cache budget of 4 datasets against 32
+  // on disk forces evictions so cache events show up in the traced run.
+  const size_t budget = 4 * size_t{kRows} * kCols * sizeof(double);
+  std::vector<DenseMatrix> untraced;
+  {
+    DatasetCache cache(budget);
+    untraced = run_fleet(&cache);
+  }
+
+  // Traced run: file sink, aggressive flush so the writer thread is actually
+  // interleaving with the workers rather than draining once at Close.
+  const std::string trace_path =
+      dir + "/fleet" + std::string(kTraceFileExtension);
+  auto opened = TraceLog::OpenFile(trace_path, {.flush_period_ms = 1});
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<TraceLog> log = std::move(opened).value();
+  std::vector<DenseMatrix> traced;
+  {
+    ScopedTraceLog scope(log.get());
+    DatasetCache cache(budget);
+    traced = run_fleet(&cache);
+  }
+  ASSERT_TRUE(log->Close().ok());
+  EXPECT_EQ(log->events_written(), log->events_appended());
+
+  // Bit-identity: tracing must not perturb a single bit of any model.
+  ASSERT_EQ(traced.size(), untraced.size());
+  for (int j = 0; j < kJobs; ++j) {
+    ExpectBitIdenticalDense(traced[j], untraced[j]);
+  }
+
+  // The trace is a coherent account of the run.
+  auto decoded = ReadTraceFile(trace_path);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const std::vector<TraceEvent>& events = decoded.value();
+  EXPECT_EQ(static_cast<int64_t>(events.size()), log->events_appended());
+
+  std::map<int64_t, int> enqueues, starts, settles;
+  int64_t cache_misses = 0, cache_loads = 0, cache_evicts = 0;
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEventKind::kJobEnqueue: ++enqueues[e.job]; break;
+      case TraceEventKind::kJobStart: ++starts[e.job]; break;
+      case TraceEventKind::kJobSettle:
+        ++settles[e.job];
+        EXPECT_EQ(e.arg0, static_cast<uint64_t>(JobState::kSucceeded));
+        break;
+      case TraceEventKind::kCacheMiss: ++cache_misses; break;
+      case TraceEventKind::kCacheLoad: ++cache_loads; break;
+      case TraceEventKind::kCacheEvict: ++cache_evicts; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(enqueues.size(), static_cast<size_t>(kJobs));
+  EXPECT_EQ(starts.size(), static_cast<size_t>(kJobs));
+  EXPECT_EQ(settles.size(), static_cast<size_t>(kJobs));
+  for (const auto& [id, n] : enqueues) EXPECT_EQ(n, 1) << "job " << id;
+  for (const auto& [id, n] : settles) EXPECT_EQ(n, 1) << "job " << id;
+  // Every dataset missed at least once; the 4-dataset budget forced evictions.
+  EXPECT_GE(cache_misses, kJobs);
+  EXPECT_GE(cache_loads, kJobs);
+  EXPECT_GT(cache_evicts, 0);
 
   fs::remove_all(dir);
 }

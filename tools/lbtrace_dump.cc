@@ -1,0 +1,264 @@
+// lbtrace_dump — inspect a .lbtrace fleet telemetry file.
+//
+// Usage:
+//   lbtrace_dump <trace.lbtrace>             per-job timelines + summaries
+//   lbtrace_dump --events <N> <trace.lbtrace>  also dump the first N records
+//
+// Reads the binary trace written by `obs/trace_log.h`, reconstructs one
+// timeline row per job (enqueue → start → retries/rounds → settle →
+// stream/retire), and summarizes dataset-cache, thread-pool, and result-sink
+// behavior. Corrupt or truncated files are rejected loudly with the
+// decoder's message — never half-parsed.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace_log.h"
+#include "runtime/fleet_scheduler.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using least::TraceEvent;
+using least::TraceEventKind;
+
+// Timeline of one job, folded from its events (file order is per-thread
+// chronological; per-job event sequences are totally ordered because one
+// worker runs the job end to end).
+struct JobTimeline {
+  uint64_t enqueue_ns = 0;
+  bool enqueued = false;
+  uint64_t start_ns = 0;
+  bool started = false;
+  uint64_t queue_wait_us = 0;
+  int attempts = 0;       // 1 + retries once started
+  int64_t rounds = 0;     // kJobRound observations
+  int64_t checkpoints = 0;
+  int settle_state = -1;  // JobState value from kJobSettle
+  uint64_t run_us = 0;
+  uint64_t streamed_bytes = 0;
+  bool streamed = false;
+  bool retired = false;
+};
+
+std::string FmtUs(uint64_t us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(us) / 1000.0);
+  return buf;  // milliseconds with one decimal
+}
+
+int Dump(const std::string& path, int64_t show_events) {
+  least::Result<std::vector<TraceEvent>> decoded =
+      least::ReadTraceFile(path);
+  if (!decoded.ok()) {
+    std::fprintf(stderr, "lbtrace_dump: %s\n",
+                 decoded.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<TraceEvent>& events = decoded.value();
+
+  uint64_t span_ns = 0;
+  int max_thread = -1;
+  for (const TraceEvent& e : events) {
+    span_ns = std::max(span_ns, e.ts_ns);
+    max_thread = std::max(max_thread, static_cast<int>(e.thread));
+  }
+  std::printf("%s: %zu events, %d emitting threads, %.3f s span\n",
+              path.c_str(), events.size(), max_thread + 1,
+              static_cast<double>(span_ns) / 1e9);
+
+  if (show_events > 0) {
+    least::TablePrinter raw({"ts_ms", "thread", "kind", "job", "arg0",
+                             "arg1"});
+    int64_t shown = 0;
+    for (const TraceEvent& e : events) {
+      if (shown >= show_events) break;
+      ++shown;
+      raw.AddRow({FmtUs(e.ts_ns / 1000),
+                  least::TablePrinter::Fmt((long long)e.thread),
+                  std::string(least::TraceEventKindName(e.kind)),
+                  least::TablePrinter::Fmt((long long)e.job),
+                  least::TablePrinter::Fmt((long long)e.arg0),
+                  least::TablePrinter::Fmt((long long)e.arg1)});
+    }
+    std::printf("\nfirst %lld records:\n%s", (long long)shown,
+                raw.ToString().c_str());
+  }
+
+  // ------------------------------------------------------ fold per stream --
+  std::map<int64_t, JobTimeline> jobs;
+  int64_t cache_hits = 0, cache_misses = 0, cache_loads = 0;
+  int64_t cache_evicts = 0, cache_refusals = 0;
+  uint64_t cache_loaded_bytes = 0, cache_evicted_bytes = 0;
+  uint64_t cache_peak_resident = 0;
+  int64_t pool_steals = 0;
+  uint64_t pool_max_depth = 0;
+  int64_t sink_streams = 0, sink_retires = 0;
+  uint64_t sink_bytes = 0;
+
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEventKind::kJobEnqueue:
+        jobs[e.job].enqueued = true;
+        jobs[e.job].enqueue_ns = e.ts_ns;
+        break;
+      case TraceEventKind::kJobStart: {
+        JobTimeline& j = jobs[e.job];
+        j.started = true;
+        j.start_ns = e.ts_ns;
+        j.queue_wait_us = e.arg1;
+        j.attempts = std::max(j.attempts, static_cast<int>(e.arg0));
+        break;
+      }
+      case TraceEventKind::kJobRetry:
+        jobs[e.job].attempts =
+            std::max(jobs[e.job].attempts, static_cast<int>(e.arg0));
+        break;
+      case TraceEventKind::kJobRound:
+        ++jobs[e.job].rounds;
+        break;
+      case TraceEventKind::kJobCheckpoint:
+        ++jobs[e.job].checkpoints;
+        break;
+      case TraceEventKind::kJobSettle: {
+        JobTimeline& j = jobs[e.job];
+        j.settle_state = static_cast<int>(e.arg0);
+        j.run_us = e.arg1;
+        break;
+      }
+      case TraceEventKind::kCacheHit:
+        ++cache_hits;
+        break;
+      case TraceEventKind::kCacheMiss:
+        ++cache_misses;
+        break;
+      case TraceEventKind::kCacheLoad:
+        ++cache_loads;
+        cache_loaded_bytes += e.arg0;
+        cache_peak_resident = std::max(cache_peak_resident, e.arg1);
+        break;
+      case TraceEventKind::kCacheEvict:
+        ++cache_evicts;
+        cache_evicted_bytes += e.arg0;
+        break;
+      case TraceEventKind::kCacheRefuse:
+        ++cache_refusals;
+        break;
+      case TraceEventKind::kPoolQueueDepth:
+        pool_max_depth = std::max(pool_max_depth, e.arg0);
+        break;
+      case TraceEventKind::kPoolSteal:
+        ++pool_steals;
+        break;
+      case TraceEventKind::kSinkStream: {
+        ++sink_streams;
+        sink_bytes += e.arg0;
+        JobTimeline& j = jobs[e.job];
+        j.streamed = true;
+        j.streamed_bytes = e.arg0;
+        break;
+      }
+      case TraceEventKind::kSinkRetire:
+        ++sink_retires;
+        jobs[e.job].retired = true;
+        break;
+    }
+  }
+
+  // -------------------------------------------------------- job timelines --
+  int64_t settled = 0, succeeded = 0, failed = 0, cancelled = 0;
+  least::TablePrinter table({"job", "enqueue_ms", "queue_ms", "attempts",
+                             "rounds", "ckpts", "state", "run_ms",
+                             "streamed_kb", "retired"});
+  for (const auto& [id, j] : jobs) {
+    std::string state = "-";
+    if (j.settle_state >= 0) {
+      ++settled;
+      const auto s = static_cast<least::JobState>(j.settle_state);
+      state = std::string(least::JobStateName(s));
+      if (s == least::JobState::kSucceeded) ++succeeded;
+      else if (s == least::JobState::kCancelled) ++cancelled;
+      else ++failed;
+    }
+    table.AddRow(
+        {least::TablePrinter::Fmt((long long)id), FmtUs(j.enqueue_ns / 1000),
+         j.started ? FmtUs(j.queue_wait_us) : "-",
+         least::TablePrinter::Fmt((long long)j.attempts),
+         least::TablePrinter::Fmt((long long)j.rounds),
+         least::TablePrinter::Fmt((long long)j.checkpoints), state,
+         j.settle_state >= 0 ? FmtUs(j.run_us) : "-",
+         j.streamed ? least::TablePrinter::Fmt(
+                          (long long)(j.streamed_bytes / 1024))
+                    : "-",
+         j.retired ? "yes" : "-"});
+  }
+  if (!jobs.empty()) {
+    std::printf("\nper-job timelines:\n%s", table.ToString().c_str());
+  }
+  std::printf(
+      "\nsettled jobs: %lld (succeeded %lld, failed %lld, cancelled %lld)\n",
+      (long long)settled, (long long)succeeded, (long long)failed,
+      (long long)cancelled);
+
+  // ------------------------------------------------------------ summaries --
+  if (cache_hits + cache_misses + cache_loads + cache_evicts +
+          cache_refusals >
+      0) {
+    const double total = static_cast<double>(cache_hits + cache_misses);
+    std::printf(
+        "cache: %lld hits, %lld misses (%.1f%% hit rate), %lld loads "
+        "(%.1f MiB), %lld evictions (%.1f MiB), %lld refusals, peak "
+        "resident %.1f MiB\n",
+        (long long)cache_hits, (long long)cache_misses,
+        total > 0 ? 100.0 * static_cast<double>(cache_hits) / total : 0.0,
+        (long long)cache_loads,
+        static_cast<double>(cache_loaded_bytes) / (1024.0 * 1024.0),
+        (long long)cache_evicts,
+        static_cast<double>(cache_evicted_bytes) / (1024.0 * 1024.0),
+        (long long)cache_refusals,
+        static_cast<double>(cache_peak_resident) / (1024.0 * 1024.0));
+  }
+  if (pool_steals > 0 || pool_max_depth > 0) {
+    std::printf("pool: %lld steals, max queue depth %llu\n",
+                (long long)pool_steals,
+                (unsigned long long)pool_max_depth);
+  }
+  if (sink_streams > 0 || sink_retires > 0) {
+    std::printf("sink: %lld models streamed (%.1f MiB), %lld checkpoints "
+                "retired\n",
+                (long long)sink_streams,
+                static_cast<double>(sink_bytes) / (1024.0 * 1024.0),
+                (long long)sink_retires);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t show_events = 0;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      show_events = std::strtoll(argv[++i], nullptr, 10);
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;  // too many positionals
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: lbtrace_dump [--events N] <trace%s>\n",
+                 std::string(least::kTraceFileExtension).c_str());
+    return 2;
+  }
+  return Dump(path, show_events);
+}
