@@ -1,0 +1,127 @@
+// Fleet-as-a-service: the fleet runtime behind an embedded REST front end.
+//
+// The paper's deployment learns "tens of thousands of BN instances daily",
+// which in production means a *service*: other systems submit datasets and
+// hyper-parameters, follow progress, and fetch learned models — they do not
+// link the learner. This example stands up that service in one process:
+//
+//   1. a work-stealing ThreadPool runs the learning jobs;
+//   2. a FleetScheduler owns job lifecycle (seeding, retry, cancellation),
+//      publishing every state transition to a JobJournal;
+//   3. a FleetService maps the REST routes (POST /jobs, GET /jobs/<id>,
+//      long-poll GET /changes, GET /models/<id>, GET /metrics,
+//      POST /admin/shutdown) onto the scheduler;
+//   4. an HttpServer (dependency-free HTTP/1.1 over loopback, with its own
+//      small connection pool so long-polls never starve the learners)
+//      serves it.
+//
+// The fleet determinism contract extends through this path: a job submitted
+// over HTTP learns bit-for-bit the same model as the same job enqueued
+// in-process (tests/test_net_service.cc holds the line).
+//
+// Build & run:  ./build/examples/fleet_server
+//   env: LEAST_SERVER_PORT    (default 8377; 0 picks an ephemeral port)
+//        LEAST_SERVER_THREADS (worker pool width, default hardware)
+//        LEAST_SERVER_CONNS   (connection pool width, default 4)
+//        LEAST_SERVER_DATA    (dataset root for CSV refs, default ".")
+//        LEAST_SERVER_TRACE   (.lbtrace path; records scheduler + http
+//                              events for ./build/tools/lbtrace_dump)
+//
+// Drive it with ./build/tools/fleet_client, or plain curl:
+//   curl -s localhost:8377/ | python3 -m json.tool
+//   curl -s -X POST localhost:8377/jobs -d '{"algorithm":"least-dense",
+//        "dataset":{"csv":"demo.csv","has_header":false}}'
+//   curl -s localhost:8377/changes?since=0
+//   curl -s -X POST localhost:8377/admin/shutdown
+//
+// The process exits after POST /admin/shutdown: submissions 503, in-flight
+// jobs settle, the listener closes, and the final fleet report prints.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include <memory>
+
+#include "net/fleet_service.h"
+#include "net/http_server.h"
+#include "obs/trace_log.h"
+#include "runtime/fleet_scheduler.h"
+#include "runtime/job_journal.h"
+#include "runtime/thread_pool.h"
+#include "util/env.h"
+
+int main() {
+  const int port = least::EnvInt("LEAST_SERVER_PORT", 8377);
+  const int workers = std::max(
+      1, least::EnvInt("LEAST_SERVER_THREADS",
+                       static_cast<int>(std::thread::hardware_concurrency())));
+  const int conns = std::max(1, least::EnvInt("LEAST_SERVER_CONNS", 4));
+  const char* data_env = std::getenv("LEAST_SERVER_DATA");
+  const std::string data_root =
+      (data_env != nullptr && data_env[0] != '\0') ? data_env : ".";
+
+  // Optional telemetry: LEAST_SERVER_TRACE=<path> records every scheduler,
+  // cache, pool, sink, and http event to a .lbtrace file (kHttpAccept/
+  // Request/Respond carry connection ids and byte counts; lbtrace_dump
+  // prints an http summary line).
+  std::unique_ptr<least::TraceLog> trace_log;
+  const char* trace_path = std::getenv("LEAST_SERVER_TRACE");
+  if (trace_path != nullptr && trace_path[0] != '\0') {
+    least::Result<std::unique_ptr<least::TraceLog>> opened =
+        least::TraceLog::OpenFile(trace_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "fleet_server: cannot open trace log: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    trace_log = std::move(opened).value();
+  }
+  least::InstallTraceLog(trace_log.get());  // no-op when tracing is off
+
+  least::ThreadPool pool(workers);
+  least::FleetScheduler scheduler(&pool);
+  least::JobJournal journal;
+  scheduler.set_journal(&journal);
+
+  least::FleetServiceOptions service_options;
+  service_options.data_root = data_root;
+  least::FleetService service(&scheduler, &journal, service_options);
+
+  least::HttpServerOptions server_options;
+  server_options.port = port;
+  server_options.num_threads = conns;
+  least::HttpServer server(service.AsHandler(), server_options);
+  if (least::Status started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "fleet_server: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("fleet_server: listening on %s (%d workers, %d connections, "
+              "data root %s)\n",
+              server.base_url().c_str(), workers, conns, data_root.c_str());
+  std::fflush(stdout);
+
+  // Park until POST /admin/shutdown flips the drain flag, then settle the
+  // fleet before closing the listener — a graceful drain, not a kill: the
+  // status/changes/models routes keep answering while in-flight jobs finish.
+  service.WaitForShutdownRequest();
+  std::printf("fleet_server: draining (%lld of %lld jobs settled)\n",
+              static_cast<long long>(scheduler.num_settled()),
+              static_cast<long long>(scheduler.num_jobs()));
+  std::fflush(stdout);
+  const least::FleetReport report = scheduler.Wait();
+  server.Stop();
+  if (trace_log != nullptr) {
+    least::InstallTraceLog(nullptr);
+    if (least::Status closed = trace_log->Close(); !closed.ok()) {
+      std::fprintf(stderr, "fleet_server: trace close failed: %s\n",
+                   closed.ToString().c_str());
+      return 1;
+    }
+    std::printf("fleet_server: trace written to %s\n",
+                trace_log->path().c_str());
+  }
+  std::printf("fleet_server: drained\n%s\n", report.ToString().c_str());
+  return 0;
+}

@@ -19,6 +19,11 @@
 #                                           # .lbtrace telemetry file and
 #                                           # verify lbtrace_dump can read it
 #                                           # back (CI uploads the trace).
+#   scripts/check.sh --http-smoke           # start the fleet_server example,
+#                                           # drive it over HTTP with
+#                                           # fleet_client (submit, watch,
+#                                           # fetch model, drain), and verify
+#                                           # every job settled.
 #   LEAST_NATIVE=1 scripts/check.sh         # -march=native kernels (local
 #                                           # perf runs; off in CI)
 
@@ -29,10 +34,12 @@ build_dir="${BUILD_DIR:-build}"
 
 bench_smoke=0
 trace_smoke=0
+http_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
     --trace-smoke) trace_smoke=1 ;;
+    --http-smoke) http_smoke=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -80,6 +87,86 @@ if [[ "$trace_smoke" != "0" ]]; then
   exit 0
 fi
 
+if [[ "$http_smoke" != "0" ]]; then
+  # Service smoke: start the fleet_server example on an ephemeral port and
+  # drive it purely over HTTP with fleet_client — submit two jobs, follow the
+  # changes feed until they settle, download a model blob, then drain via
+  # POST /admin/shutdown and require the server to exit with every job
+  # settled. Exercises the whole net stack (parser, server, service routes,
+  # journal long-poll, model streaming) as a black box.
+  cd "$repo_root"
+  cmake -B "$build_dir" -S . "${native_flags[@]}"
+  cmake --build "$build_dir" -j --target \
+        example_fleet_server example_csv_workflow tool_fleet_client \
+        tool_lbtrace_dump
+  build_abs="$(cd "$build_dir" && pwd)"
+  smoke_dir="$build_abs/http-smoke"
+  rm -rf "$smoke_dir"
+  mkdir -p "$smoke_dir"
+
+  # Dataset: the csv_workflow demo generator writes a learnable benchmark
+  # CSV; drop its header row since the submission declares has_header=false.
+  (cd "$smoke_dir" && "$build_abs/examples/csv_workflow" > /dev/null)
+  tail -n +2 "$smoke_dir/csv_workflow_demo.csv" > "$smoke_dir/http_smoke.csv"
+
+  server_log="$smoke_dir/fleet_server.log"
+  LEAST_SERVER_PORT=0 LEAST_SERVER_THREADS=4 LEAST_SERVER_DATA="$smoke_dir" \
+  LEAST_SERVER_TRACE="$smoke_dir/http-smoke.lbtrace" \
+    "$build_abs/examples/fleet_server" > "$server_log" 2>&1 &
+  server_pid=$!
+  trap 'kill "$server_pid" 2>/dev/null || true' EXIT
+
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n \
+      's#^fleet_server: listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' \
+      "$server_log")"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "check.sh: http smoke FAILED — server never reported its port" >&2
+    cat "$server_log" >&2
+    exit 1
+  fi
+
+  client="$build_abs/tools/fleet_client"
+  options='{"max_outer_iterations":40,"max_inner_iterations":150,
+            "tolerance":1e-3,"track_exact_h":true,"terminate_on_h":true}'
+  "$client" "$port" submit http_smoke.csv least-dense smoke-a "$options"
+  "$client" "$port" submit http_smoke.csv least-dense smoke-b "$options"
+  "$client" "$port" watch 0 300 | tail -n 1
+  "$client" "$port" watch 1 300 | tail -n 1
+  "$client" "$port" model 0 "$smoke_dir/model0.bin"
+  [[ -s "$smoke_dir/model0.bin" ]] || {
+    echo "check.sh: http smoke FAILED — empty model blob" >&2; exit 1; }
+  report="$("$client" "$port" report)"
+  echo "$report"
+  echo "$report" | grep -q '"succeeded":2' || {
+    echo "check.sh: http smoke FAILED — expected 2 succeeded jobs" >&2
+    exit 1
+  }
+  "$client" "$port" shutdown
+  wait "$server_pid"
+  trap - EXIT
+  grep -q "fleet_server: drained" "$server_log" || {
+    echo "check.sh: http smoke FAILED — server did not drain cleanly" >&2
+    cat "$server_log" >&2
+    exit 1
+  }
+  tail -n 4 "$server_log"
+
+  # The server recorded a .lbtrace; the inspector must decode it and report
+  # the HTTP traffic it carried (kinds 16-18).
+  "$build_abs/tools/lbtrace_dump" "$smoke_dir/http-smoke.lbtrace" |
+    grep "^http:" || {
+    echo "check.sh: http smoke FAILED — no http summary in lbtrace_dump" >&2
+    exit 1
+  }
+  echo "check.sh: http smoke done (model blob at $smoke_dir/model0.bin)"
+  exit 0
+fi
+
 if [[ "${LEAST_SANITIZE_ONLY:-0}" != "0" ]]; then
   LEAST_SANITIZE=1
 fi
@@ -95,22 +182,24 @@ if [[ "${LEAST_SANITIZE_ONLY:-0}" == "0" ]]; then
   cd "$build_dir"
   ctest --output-on-failure -j
 
-  # The thread-pool, fleet-scheduler, and sharded-cache tests exercise real
-  # concurrency (work stealing, cancellation races, shutdown, single-flight
-  # shard loads); a scheduling-dependent bug can pass a single run. Re-run
-  # them a few times and fail on a flake.
+  # The thread-pool, fleet-scheduler, sharded-cache, and net-stress tests
+  # exercise real concurrency (work stealing, cancellation races, shutdown,
+  # single-flight shard loads, HTTP drain-while-busy); a
+  # scheduling-dependent bug can pass a single run. Re-run them a few times
+  # and fail on a flake.
   ctest --output-on-failure \
-        -R '^(test_thread_pool|test_fleet_scheduler|test_sharded_cache)$' \
+        -R '^(test_thread_pool|test_fleet_scheduler|test_sharded_cache|test_net_stress)$' \
         --repeat until-fail:3 --no-tests=error
 
   echo "check.sh: all green"
 fi
 
-# Optional sanitizer pass over the data-plane tests: LEAST_SANITIZE=1
+# Optional sanitizer pass over the data-plane and net tests: LEAST_SANITIZE=1
 # configures a second build tree with ASan+UBSan and runs the tests that
-# exercise cache eviction lifetimes, CSV parsing, checkpoint parsing, and
-# scheduler concurrency. Kept separate from the main tree so incremental
-# builds stay fast.
+# exercise cache eviction lifetimes, CSV parsing, checkpoint parsing,
+# scheduler concurrency, and the HTTP stack (parser fuzz sweep, loopback
+# service end-to-end, connection churn). Kept separate from the main tree so
+# incremental builds stay fast.
 if [[ "${LEAST_SANITIZE:-0}" != "0" ]]; then
   san_dir="${SANITIZE_BUILD_DIR:-build-sanitize}"
   cd "$repo_root"
@@ -121,9 +210,10 @@ if [[ "${LEAST_SANITIZE:-0}" != "0" ]]; then
         test_data_source test_csv test_fleet_data_plane \
         test_sharded_cache \
         test_fleet_scheduler test_model_serializer test_serializer_fuzz \
-        test_checkpoint_resume test_trace_log test_obs_metrics
+        test_checkpoint_resume test_trace_log test_obs_metrics \
+        test_http_parser test_net_service test_net_stress
   cd "$san_dir"
   ctest --output-on-failure --no-tests=error -R \
-        '^(test_data_source|test_csv|test_fleet_data_plane|test_sharded_cache|test_fleet_scheduler|test_model_serializer|test_serializer_fuzz|test_checkpoint_resume|test_trace_log|test_obs_metrics)$'
+        '^(test_data_source|test_csv|test_fleet_data_plane|test_sharded_cache|test_fleet_scheduler|test_model_serializer|test_serializer_fuzz|test_checkpoint_resume|test_trace_log|test_obs_metrics|test_http_parser|test_net_service|test_net_stress)$'
   echo "check.sh: sanitizer pass green"
 fi

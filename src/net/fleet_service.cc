@@ -1,0 +1,527 @@
+#include "net/fleet_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/data_source.h"
+#include "obs/metrics.h"
+#include "runtime/fleet_scheduler.h"
+#include "runtime/job_journal.h"
+
+namespace least {
+namespace {
+
+/// Splits "/jobs/3/cancel" into {"jobs", "3", "cancel"}.
+std::vector<std::string_view> Segments(std::string_view path) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (start < path.size()) {
+    if (path[start] == '/') {
+      ++start;
+      continue;
+    }
+    size_t end = path.find('/', start);
+    if (end == std::string_view::npos) end = path.size();
+    out.push_back(path.substr(start, end - start));
+    start = end;
+  }
+  return out;
+}
+
+/// Strict decimal id ("0".."9223372036854775807"); false on anything else.
+bool ParseId(std::string_view text, int64_t* out) {
+  if (text.empty() || text.size() > 19) return false;
+  int64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+/// A dataset ref must stay under data_root: relative, no `..` segments.
+bool SafeRelativePath(std::string_view path) {
+  if (path.empty() || path.front() == '/') return false;
+  if (path.find('\0') != std::string_view::npos) return false;
+  for (std::string_view segment : Segments(path)) {
+    if (segment == "..") return false;
+  }
+  return true;
+}
+
+JsonValue LatencyToJson(const LatencyStats& stats) {
+  JsonValue v = JsonValue::Object();
+  v.Set("jobs", JsonValue::Number(static_cast<double>(stats.jobs)));
+  v.Set("mean_ms", JsonValue::Number(stats.mean_ms));
+  v.Set("p50_ms", JsonValue::Number(stats.p50_ms));
+  v.Set("p99_ms", JsonValue::Number(stats.p99_ms));
+  v.Set("max_ms", JsonValue::Number(stats.max_ms));
+  return v;
+}
+
+JsonValue ReportToJson(const FleetReport& report) {
+  JsonValue v = JsonValue::Object();
+  v.Set("total_jobs", JsonValue::Number(static_cast<double>(
+                          report.total_jobs)));
+  v.Set("pending", JsonValue::Number(static_cast<double>(report.pending)));
+  v.Set("running", JsonValue::Number(static_cast<double>(report.running)));
+  v.Set("succeeded",
+        JsonValue::Number(static_cast<double>(report.succeeded)));
+  v.Set("failed", JsonValue::Number(static_cast<double>(report.failed)));
+  v.Set("cancelled",
+        JsonValue::Number(static_cast<double>(report.cancelled)));
+  v.Set("retries", JsonValue::Number(static_cast<double>(report.retries)));
+  v.Set("wall_seconds", JsonValue::Number(report.wall_seconds));
+  v.Set("throughput_jobs_per_sec",
+        JsonValue::Number(report.throughput_jobs_per_sec));
+  v.Set("mean_latency_ms", JsonValue::Number(report.mean_latency_ms));
+  v.Set("p50_latency_ms", JsonValue::Number(report.p50_latency_ms));
+  v.Set("p90_latency_ms", JsonValue::Number(report.p90_latency_ms));
+  v.Set("p99_latency_ms", JsonValue::Number(report.p99_latency_ms));
+  v.Set("p999_latency_ms", JsonValue::Number(report.p999_latency_ms));
+  v.Set("max_latency_ms", JsonValue::Number(report.max_latency_ms));
+  v.Set("succeeded_first_try", LatencyToJson(report.succeeded_first_try));
+  v.Set("succeeded_retried", LatencyToJson(report.succeeded_retried));
+  return v;
+}
+
+JsonValue JobStatusToJson(const JobStatusView& view) {
+  JsonValue v = JsonValue::Object();
+  v.Set("job_id", JsonValue::Number(static_cast<double>(view.job_id)));
+  v.Set("name", JsonValue::String(view.name));
+  v.Set("algorithm",
+        JsonValue::String(std::string(AlgorithmName(view.algorithm))));
+  v.Set("state", JsonValue::String(std::string(JobStateName(view.state))));
+  v.Set("status_code",
+        JsonValue::String(std::string(StatusCodeToString(view.status_code))));
+  v.Set("status_message", JsonValue::String(view.status_message));
+  v.Set("attempts", JsonValue::Number(view.attempts));
+  // Seeds are full uint64s; a JSON number would silently round past 2^53.
+  v.Set("seed", JsonValue::String(std::to_string(view.seed)));
+  v.Set("queue_ms", JsonValue::Number(view.queue_ms));
+  v.Set("run_ms", JsonValue::Number(view.run_ms));
+  v.Set("edges", JsonValue::Number(static_cast<double>(view.edges)));
+  v.Set("has_model", JsonValue::Bool(view.has_model));
+  return v;
+}
+
+JsonValue EventToJson(const JobEvent& event) {
+  JsonValue v = JsonValue::Object();
+  v.Set("seq", JsonValue::Number(static_cast<double>(event.seq)));
+  v.Set("job_id", JsonValue::Number(static_cast<double>(event.job_id)));
+  v.Set("name", JsonValue::String(event.name));
+  v.Set("state", JsonValue::String(std::string(JobStateName(event.state))));
+  v.Set("status_code",
+        JsonValue::String(std::string(StatusCodeToString(event.status_code))));
+  v.Set("attempts", JsonValue::Number(event.attempts));
+  v.Set("queue_ms", JsonValue::Number(event.queue_ms));
+  v.Set("run_ms", JsonValue::Number(event.run_ms));
+  return v;
+}
+
+Status FieldError(std::string_view field, std::string_view want) {
+  return Status::InvalidArgument("field \"" + std::string(field) + "\": " +
+                                 std::string(want));
+}
+
+/// Applies one "options" member onto `options`; unknown keys are errors so
+/// a typo ("lamda1") fails loudly instead of silently learning garbage.
+Status ApplyOption(std::string_view key, const JsonValue& value,
+                   LearnOptions* options) {
+  const auto set_int = [&](int* out) {
+    int64_t i = 0;
+    if (!value.IntegerValue(&i) || i < INT32_MIN || i > INT32_MAX) {
+      return FieldError(key, "expected an integer");
+    }
+    *out = static_cast<int>(i);
+    return Status::Ok();
+  };
+  const auto set_double = [&](double* out) {
+    if (!value.is_number()) return FieldError(key, "expected a number");
+    *out = value.as_number();
+    return Status::Ok();
+  };
+  const auto set_bool = [&](bool* out) {
+    if (!value.is_bool()) return FieldError(key, "expected a boolean");
+    *out = value.as_bool();
+    return Status::Ok();
+  };
+
+  if (key == "k") return set_int(&options->k);
+  if (key == "alpha") return set_double(&options->alpha);
+  if (key == "lambda1") return set_double(&options->lambda1);
+  if (key == "learning_rate") return set_double(&options->learning_rate);
+  if (key == "lr_decay") return set_double(&options->lr_decay);
+  if (key == "batch_size") return set_int(&options->batch_size);
+  if (key == "rho_init") return set_double(&options->rho_init);
+  if (key == "eta_init") return set_double(&options->eta_init);
+  if (key == "rho_growth") return set_double(&options->rho_growth);
+  if (key == "rho_progress_ratio") {
+    return set_double(&options->rho_progress_ratio);
+  }
+  if (key == "rho_max") return set_double(&options->rho_max);
+  if (key == "max_outer_iterations") {
+    return set_int(&options->max_outer_iterations);
+  }
+  if (key == "max_inner_iterations") {
+    return set_int(&options->max_inner_iterations);
+  }
+  if (key == "tolerance") return set_double(&options->tolerance);
+  if (key == "inner_rtol") return set_double(&options->inner_rtol);
+  if (key == "inner_check_every") return set_int(&options->inner_check_every);
+  if (key == "filter_threshold") {
+    return set_double(&options->filter_threshold);
+  }
+  if (key == "threshold_warmup_rounds") {
+    return set_int(&options->threshold_warmup_rounds);
+  }
+  if (key == "prune_threshold") return set_double(&options->prune_threshold);
+  if (key == "init_density") return set_double(&options->init_density);
+  if (key == "seed") {
+    int64_t i = 0;
+    if (!value.IntegerValue(&i) || i < 0) {
+      return FieldError(key, "expected a non-negative integer");
+    }
+    options->seed = static_cast<uint64_t>(i);
+    return Status::Ok();
+  }
+  if (key == "verbose") return set_bool(&options->verbose);
+  if (key == "track_exact_h") return set_bool(&options->track_exact_h);
+  if (key == "terminate_on_h") return set_bool(&options->terminate_on_h);
+  if (key == "track_estimated_h") {
+    return set_bool(&options->track_estimated_h);
+  }
+  return FieldError(key, "unknown option");
+}
+
+}  // namespace
+
+FleetService::FleetService(FleetScheduler* scheduler, JobJournal* journal,
+                           FleetServiceOptions options)
+    : scheduler_(scheduler),
+      journal_(journal),
+      options_(std::move(options)) {}
+
+void FleetService::BeginDrain() {
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    if (draining_) return;
+    draining_ = true;
+  }
+  journal_->Close();
+  drain_cv_.notify_all();
+}
+
+bool FleetService::draining() const {
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  return draining_;
+}
+
+void FleetService::WaitForShutdownRequest() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] { return draining_; });
+}
+
+Status FleetService::JobFromJson(const JsonValue& doc, LearnJob* job) const {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  bool saw_algorithm = false, saw_dataset = false;
+  for (const auto& [key, value] : doc.members()) {
+    if (key == "name") {
+      if (!value.is_string()) return FieldError(key, "expected a string");
+      job->name = value.as_string();
+    } else if (key == "algorithm") {
+      if (!value.is_string()) return FieldError(key, "expected a string");
+      Result<Algorithm> algorithm = ParseAlgorithm(value.as_string());
+      if (!algorithm.ok()) return algorithm.status();
+      job->algorithm = algorithm.value();
+      saw_algorithm = true;
+    } else if (key == "dataset") {
+      if (!value.is_object()) {
+        return FieldError(key, "expected an object with a \"csv\" path");
+      }
+      std::string csv_path;
+      CsvSourceOptions csv;
+      for (const auto& [dkey, dvalue] : value.members()) {
+        if (dkey == "csv") {
+          if (!dvalue.is_string()) {
+            return FieldError("dataset.csv", "expected a string path");
+          }
+          csv_path = dvalue.as_string();
+        } else if (dkey == "has_header") {
+          if (!dvalue.is_bool()) {
+            return FieldError("dataset.has_header", "expected a boolean");
+          }
+          csv.has_header = dvalue.as_bool();
+        } else if (dkey == "name") {
+          if (!dvalue.is_string()) {
+            return FieldError("dataset.name", "expected a string");
+          }
+          csv.name = dvalue.as_string();
+        } else if (dkey == "shard_rows") {
+          int64_t rows = 0;
+          if (!dvalue.IntegerValue(&rows) || rows < 0 || rows > INT32_MAX) {
+            return FieldError("dataset.shard_rows",
+                              "expected a non-negative integer");
+          }
+          csv.shard_rows = static_cast<int>(rows);
+        } else {
+          return FieldError("dataset." + dkey, "unknown dataset field");
+        }
+      }
+      if (csv_path.empty()) {
+        return FieldError("dataset.csv", "required");
+      }
+      if (!SafeRelativePath(csv_path)) {
+        return FieldError("dataset.csv",
+                          "must be a relative path without \"..\"");
+      }
+      job->data = MakeCsvSource(options_.data_root + "/" + csv_path,
+                                std::move(csv));
+      saw_dataset = true;
+    } else if (key == "options") {
+      if (!value.is_object()) return FieldError(key, "expected an object");
+      for (const auto& [okey, ovalue] : value.members()) {
+        LEAST_RETURN_IF_ERROR(ApplyOption(okey, ovalue, &job->options));
+      }
+    } else if (key == "candidate_edges") {
+      if (!value.is_array()) {
+        return FieldError(key, "expected an array of [parent, child] pairs");
+      }
+      for (const JsonValue& pair : value.items()) {
+        int64_t a = 0, b = 0;
+        if (!pair.is_array() || pair.items().size() != 2 ||
+            !pair.items()[0].IntegerValue(&a) ||
+            !pair.items()[1].IntegerValue(&b) || a < 0 || b < 0 ||
+            a > INT32_MAX || b > INT32_MAX) {
+          return FieldError(key,
+                           "each entry must be two non-negative integers");
+        }
+        job->candidate_edges.emplace_back(static_cast<int>(a),
+                                          static_cast<int>(b));
+      }
+    } else if (key == "max_attempts") {
+      int64_t attempts = 0;
+      if (!value.IntegerValue(&attempts) || attempts < 0 ||
+          attempts > 1000) {
+        return FieldError(key, "expected an integer in [0, 1000]");
+      }
+      job->max_attempts = static_cast<int>(attempts);
+    } else {
+      return FieldError(key, "unknown field");
+    }
+  }
+  if (!saw_algorithm) return FieldError("algorithm", "required");
+  if (!saw_dataset) return FieldError("dataset", "required");
+  return Status::Ok();
+}
+
+HttpResponse FleetService::HandleSubmitJob(const HttpRequest& request) {
+  if (draining()) {
+    return HttpResponse::Error(503, "server is draining");
+  }
+  Result<JsonValue> doc = ParseJson(request.body, options_.json_limits);
+  if (!doc.ok()) return HttpResponse::Error(400, doc.status().message());
+  LearnJob job;
+  if (Status status = JobFromJson(doc.value(), &job); !status.ok()) {
+    return HttpResponse::Error(400, status.message());
+  }
+  const int64_t job_id = scheduler_->Enqueue(std::move(job));
+  Result<JobStatusView> view = scheduler_->JobStatus(job_id);
+  JsonValue body = JsonValue::Object();
+  body.Set("job_id", JsonValue::Number(static_cast<double>(job_id)));
+  if (view.ok()) {
+    body.Set("name", JsonValue::String(view.value().name));
+    body.Set("state", JsonValue::String(
+                          std::string(JobStateName(view.value().state))));
+  }
+  return HttpResponse::Json(202, body.Dump());
+}
+
+HttpResponse FleetService::HandleFleetReport() const {
+  return HttpResponse::Json(200, ReportToJson(scheduler_->Report()).Dump());
+}
+
+HttpResponse FleetService::HandleJobStatus(int64_t job_id) const {
+  Result<JobStatusView> view = scheduler_->JobStatus(job_id);
+  if (!view.ok()) return HttpResponse::Error(404, view.status().message());
+  return HttpResponse::Json(200, JobStatusToJson(view.value()).Dump());
+}
+
+HttpResponse FleetService::HandleCancel(int64_t job_id) {
+  Result<JobStatusView> view = scheduler_->JobStatus(job_id);
+  if (!view.ok()) return HttpResponse::Error(404, view.status().message());
+  const bool cancelled = scheduler_->Cancel(job_id);
+  JsonValue body = JsonValue::Object();
+  body.Set("job_id", JsonValue::Number(static_cast<double>(job_id)));
+  body.Set("cancelled", JsonValue::Bool(cancelled));
+  return HttpResponse::Json(200, body.Dump());
+}
+
+HttpResponse FleetService::HandleChanges(const HttpRequest& request) const {
+  uint64_t since = 0;
+  const std::string since_text = request.QueryParam("since", "0");
+  if (!ParseU64(since_text, &since)) {
+    return HttpResponse::Error(400, "query \"since\": expected an integer");
+  }
+  uint64_t timeout_ms = static_cast<uint64_t>(
+      options_.default_poll_timeout_ms);
+  const std::string timeout_text = request.QueryParam("timeout_ms");
+  if (!timeout_text.empty() && !ParseU64(timeout_text, &timeout_ms)) {
+    return HttpResponse::Error(400,
+                               "query \"timeout_ms\": expected an integer");
+  }
+  timeout_ms = std::min<uint64_t>(
+      timeout_ms, static_cast<uint64_t>(options_.max_poll_timeout_ms));
+
+  const JournalPoll poll = journal_->WaitSince(
+      since, std::chrono::milliseconds(static_cast<int64_t>(timeout_ms)));
+  JsonValue body = JsonValue::Object();
+  JsonValue events = JsonValue::Array();
+  for (const JobEvent& event : poll.events) events.Append(EventToJson(event));
+  body.Set("events", std::move(events));
+  body.Set("head", JsonValue::Number(static_cast<double>(poll.head)));
+  body.Set("first_retained_seq",
+           JsonValue::Number(static_cast<double>(poll.first_retained_seq)));
+  body.Set("closed", JsonValue::Bool(poll.closed));
+  return HttpResponse::Json(200, body.Dump());
+}
+
+HttpResponse FleetService::HandleModel(int64_t job_id) const {
+  Result<JobStatusView> view = scheduler_->JobStatus(job_id);
+  if (!view.ok()) return HttpResponse::Error(404, view.status().message());
+  const JobStatusView& status = view.value();
+  if (status.state == JobState::kPending ||
+      status.state == JobState::kRunning) {
+    return HttpResponse::Error(409, "job has not settled yet");
+  }
+  if (status.state != JobState::kSucceeded) {
+    return HttpResponse::Error(
+        409, "job settled as " + std::string(JobStateName(status.state)) +
+                 ": " + status.status_message);
+  }
+  if (!status.has_model) {
+    return HttpResponse::Error(
+        410, "model payload was released to the result sink");
+  }
+  Result<std::string> bytes = scheduler_->SerializedModel(job_id);
+  if (!bytes.ok()) {
+    return HttpResponse::Error(500, bytes.status().message());
+  }
+  HttpResponse response;
+  response.status = 200;
+  response.content_type = "application/octet-stream";
+  response.body = std::move(bytes).value();
+  response.headers.emplace_back("x-least-job-id", std::to_string(job_id));
+  return response;
+}
+
+HttpResponse FleetService::HandleMetrics() const {
+  return HttpResponse::Json(200,
+                            MetricsRegistry::Global().Snapshot().ToJson());
+}
+
+HttpResponse FleetService::HandleShutdown() {
+  BeginDrain();
+  JsonValue body = JsonValue::Object();
+  body.Set("draining", JsonValue::Bool(true));
+  body.Set("settled",
+           JsonValue::Number(static_cast<double>(scheduler_->num_settled())));
+  body.Set("total_jobs",
+           JsonValue::Number(static_cast<double>(scheduler_->num_jobs())));
+  return HttpResponse::Json(202, body.Dump());
+}
+
+HttpResponse FleetService::HandleIndex() const {
+  JsonValue body = JsonValue::Object();
+  body.Set("service", JsonValue::String("least-fleet"));
+  JsonValue endpoints = JsonValue::Array();
+  for (const char* e :
+       {"POST /jobs", "GET /jobs", "GET /jobs/<id>", "POST /jobs/<id>/cancel",
+        "DELETE /jobs/<id>", "GET /changes?since=<seq>", "GET /models/<id>",
+        "GET /metrics", "POST /admin/shutdown"}) {
+    endpoints.Append(JsonValue::String(e));
+  }
+  body.Set("endpoints", std::move(endpoints));
+  return HttpResponse::Json(200, body.Dump());
+}
+
+HttpResponse FleetService::Handle(const HttpRequest& request) {
+  const std::vector<std::string_view> segments = Segments(request.path);
+  const std::string_view method = request.method;
+
+  if (segments.empty()) {
+    if (method == "GET") return HandleIndex();
+    return HttpResponse::Error(405, "method not allowed on /");
+  }
+
+  if (segments[0] == "jobs") {
+    if (segments.size() == 1) {
+      if (method == "POST") return HandleSubmitJob(request);
+      if (method == "GET") return HandleFleetReport();
+      return HttpResponse::Error(405, "method not allowed on /jobs");
+    }
+    int64_t job_id = -1;
+    if (!ParseId(segments[1], &job_id)) {
+      return HttpResponse::Error(400, "job id must be a decimal integer");
+    }
+    if (segments.size() == 2) {
+      if (method == "GET") return HandleJobStatus(job_id);
+      if (method == "DELETE") return HandleCancel(job_id);
+      return HttpResponse::Error(405, "method not allowed on /jobs/<id>");
+    }
+    if (segments.size() == 3 && segments[2] == "cancel") {
+      if (method == "POST") return HandleCancel(job_id);
+      return HttpResponse::Error(405, "use POST /jobs/<id>/cancel");
+    }
+    return HttpResponse::Error(404, "no such route under /jobs");
+  }
+
+  if (segments[0] == "changes" && segments.size() == 1) {
+    if (method == "GET") return HandleChanges(request);
+    return HttpResponse::Error(405, "method not allowed on /changes");
+  }
+
+  if (segments[0] == "models" && segments.size() == 2) {
+    int64_t job_id = -1;
+    if (!ParseId(segments[1], &job_id)) {
+      return HttpResponse::Error(400, "job id must be a decimal integer");
+    }
+    if (method == "GET") return HandleModel(job_id);
+    return HttpResponse::Error(405, "method not allowed on /models/<id>");
+  }
+
+  if (segments[0] == "metrics" && segments.size() == 1) {
+    if (method == "GET") return HandleMetrics();
+    return HttpResponse::Error(405, "method not allowed on /metrics");
+  }
+
+  if (segments[0] == "admin" && segments.size() == 2 &&
+      segments[1] == "shutdown") {
+    if (method == "POST") return HandleShutdown();
+    return HttpResponse::Error(405, "use POST /admin/shutdown");
+  }
+
+  return HttpResponse::Error(404, "no such route: " + request.path);
+}
+
+}  // namespace least

@@ -1,0 +1,124 @@
+/// \file fleet_service.h
+/// \brief REST surface over `FleetScheduler` — the route table, JSON
+/// encodings, and drain protocol of the fleet server.
+///
+/// The service is a plain request handler (`Handle`), deliberately
+/// separable from `HttpServer` so protocol tests can drive routes without
+/// sockets. Routes:
+///
+///   POST   /jobs              submit a job: dataset ref + algorithm +
+///                             options (JSON body); 202 with the job id,
+///                             503 once draining
+///   GET    /jobs              point-in-time fleet report (state counts,
+///                             p50/p90/p99/p99.9 latency, throughput)
+///   GET    /jobs/<id>         one job's status view; 404 for unknown ids
+///   POST   /jobs/<id>/cancel  request cooperative cancellation
+///   DELETE /jobs/<id>         same as cancel
+///   GET    /changes?since=N   long-poll the job-event journal: blocks
+///                             until an event with seq > N exists (bounded
+///                             by timeout_ms), so clients follow fleet
+///                             progress without busy-polling
+///   GET    /models/<id>       serialized model checkpoint bytes of a
+///                             succeeded job (application/octet-stream) —
+///                             bit-identical to the artifact a `ResultSink`
+///                             persists; 404 unknown, 409 not (yet)
+///                             succeeded, 410 payload released to a sink
+///   GET    /metrics           global metrics registry snapshot (JSON)
+///   POST   /admin/shutdown    begin graceful drain: new submissions get
+///                             503, in-flight jobs settle, long-polls wake
+///
+/// Dataset refs are CSV paths resolved under `options.data_root`; absolute
+/// paths and `..` segments are rejected (the server must not become a file
+/// oracle for whatever user it runs as). Bodies are parsed with the bounded
+/// JSON parser; every malformed request maps to a precise 4xx.
+///
+/// Threading: `Handle` is called concurrently from connection threads. It
+/// only touches the scheduler through its thread-safe snapshot API
+/// (`JobStatus` / `Report` / `SerializedModel`) and blocks only on the
+/// journal's condition variable — never on the scheduler while holding
+/// anything another route needs.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "net/http_parser.h"
+#include "net/http_server.h"
+#include "net/json.h"
+
+namespace least {
+
+class FleetScheduler;
+class JobJournal;
+struct LearnJob;
+
+struct FleetServiceOptions {
+  /// Directory CSV dataset refs resolve under. Submissions may not escape
+  /// it (no absolute paths, no `..`).
+  std::string data_root = ".";
+  /// Long-poll bound: `timeout_ms` query values are clamped to this.
+  int max_poll_timeout_ms = 30000;
+  /// Long-poll default when the query omits `timeout_ms`.
+  int default_poll_timeout_ms = 15000;
+  /// Bound on `POST /jobs` body documents.
+  JsonLimits json_limits;
+};
+
+/// \brief The route table. One instance serves one scheduler+journal pair.
+class FleetService {
+ public:
+  /// Both pointers are borrowed and must outlive the service. The journal
+  /// should be installed on the scheduler (`set_journal`) by the caller —
+  /// the service only reads it.
+  FleetService(FleetScheduler* scheduler, JobJournal* journal,
+               FleetServiceOptions options = {});
+
+  /// Routes one request. Thread-safe; may block (long-poll) up to the
+  /// clamped timeout.
+  HttpResponse Handle(const HttpRequest& request);
+
+  /// Adapter for `HttpServer`.
+  HttpHandler AsHandler() {
+    return [this](const HttpRequest& request) { return Handle(request); };
+  }
+
+  /// Enters drain mode: `POST /jobs` answers 503 from now on, the journal
+  /// is closed (long-polls wake with `closed: true`), and
+  /// `WaitForShutdownRequest` returns. In-flight jobs are *not* cancelled —
+  /// the owner settles them (`scheduler->Wait()`) before stopping the
+  /// server. Idempotent.
+  void BeginDrain();
+  bool draining() const;
+
+  /// Blocks until `BeginDrain` is called (by `POST /admin/shutdown` or
+  /// directly). The serving loop of `examples/fleet_server.cpp` parks here.
+  void WaitForShutdownRequest();
+
+ private:
+  HttpResponse HandleIndex() const;
+  HttpResponse HandleSubmitJob(const HttpRequest& request);
+  HttpResponse HandleFleetReport() const;
+  HttpResponse HandleJobStatus(int64_t job_id) const;
+  HttpResponse HandleCancel(int64_t job_id);
+  HttpResponse HandleChanges(const HttpRequest& request) const;
+  HttpResponse HandleModel(int64_t job_id) const;
+  HttpResponse HandleMetrics() const;
+  HttpResponse HandleShutdown();
+
+  /// Builds a `LearnJob` from a parsed submission document; `kInvalidArgument`
+  /// messages name the offending field.
+  Status JobFromJson(const JsonValue& doc, LearnJob* job) const;
+
+  FleetScheduler* scheduler_;
+  JobJournal* journal_;
+  FleetServiceOptions options_;
+
+  mutable std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  bool draining_ = false;
+};
+
+}  // namespace least

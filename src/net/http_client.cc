@@ -1,0 +1,249 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace least {
+namespace {
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string_view HttpClientResponse::Header(
+    std::string_view lowercase_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lowercase_name) return value;
+  }
+  return {};
+}
+
+HttpClient::HttpClient(std::string host, int port,
+                       std::chrono::milliseconds timeout)
+    : host_(std::move(host)), port_(port), timeout_(timeout) {}
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status HttpClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::Ok();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host_);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("connect(" + host_ + ":" + std::to_string(port_) +
+                           "): " + std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (timeout_.count() > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout_.count() % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  fd_ = fd;
+  return Status::Ok();
+}
+
+Status HttpClient::SendAll(std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send(): ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<HttpClientResponse> HttpClient::ReadResponse() {
+  std::string data;
+  char buf[16 << 10];
+  size_t head_end = std::string::npos;
+  while (head_end == std::string::npos) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Status::IoError(std::string("recv(): ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      Close();
+      return Status::IoError("connection closed before response head");
+    }
+    data.append(buf, static_cast<size_t>(n));
+    head_end = data.find("\r\n\r\n");
+    if (head_end == std::string::npos && data.size() > (64u << 10)) {
+      Close();
+      return Status::IoError("response head exceeds 64 KiB");
+    }
+  }
+
+  HttpClientResponse response;
+  const std::string_view head = std::string_view(data).substr(0, head_end);
+  size_t line_start = 0;
+  bool first = true;
+  while (line_start <= head.size()) {
+    size_t line_end = head.find("\r\n", line_start);
+    if (line_end == std::string_view::npos) line_end = head.size();
+    const std::string_view line =
+        head.substr(line_start, line_end - line_start);
+    if (first) {
+      // "HTTP/1.1 200 OK"
+      if (line.size() < 12 || line.substr(0, 5) != "HTTP/") {
+        Close();
+        return Status::IoError("malformed status line: " + std::string(line));
+      }
+      const size_t space = line.find(' ');
+      response.status = std::atoi(std::string(line.substr(space + 1)).c_str());
+      first = false;
+    } else if (!line.empty()) {
+      const size_t colon = line.find(':');
+      if (colon == std::string_view::npos) {
+        Close();
+        return Status::IoError("malformed header line: " + std::string(line));
+      }
+      response.headers.emplace_back(ToLower(Trim(line.substr(0, colon))),
+                                    std::string(Trim(line.substr(colon + 1))));
+    }
+    if (line_end >= head.size()) break;
+    line_start = line_end + 2;
+  }
+
+  const std::string_view length_value = response.Header("content-length");
+  uint64_t content_length = 0;
+  if (!length_value.empty()) {
+    content_length = std::strtoull(std::string(length_value).c_str(),
+                                   nullptr, 10);
+  }
+  response.body = data.substr(head_end + 4);
+  while (response.body.size() < content_length) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Status::IoError(std::string("recv(): ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      Close();
+      return Status::IoError("connection closed mid-body");
+    }
+    response.body.append(buf, static_cast<size_t>(n));
+  }
+  if (response.body.size() > content_length) {
+    // The server only sends Content-Length framing; extra bytes would be a
+    // pipelined response we never requested.
+    Close();
+    return Status::IoError("unexpected bytes after response body");
+  }
+  if (ToLower(response.Header("connection")) == "close") Close();
+  return response;
+}
+
+Result<HttpClientResponse> HttpClient::Request(std::string_view method,
+                                               std::string_view path,
+                                               std::string body,
+                                               std::string_view content_type) {
+  std::string request;
+  request.reserve(128 + body.size());
+  request.append(method).append(" ").append(path).append(" HTTP/1.1\r\n");
+  request.append("Host: ").append(host_).append(":").append(
+      std::to_string(port_));
+  request.append("\r\n");
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request.append("Content-Type: ").append(content_type).append("\r\n");
+    request.append("Content-Length: ")
+        .append(std::to_string(body.size()))
+        .append("\r\n");
+  }
+  request.append("\r\n").append(body);
+
+  // One transparent retry on a fresh connection: the server may have
+  // reaped our idle keep-alive socket between requests.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool fresh = fd_ < 0;
+    LEAST_RETURN_IF_ERROR(EnsureConnected());
+    Status sent = SendAll(request);
+    if (sent.ok()) {
+      Result<HttpClientResponse> response = ReadResponse();
+      if (response.ok() || fresh) return response;
+    } else if (fresh) {
+      return sent;
+    }
+    Close();  // stale keep-alive connection; retry once on a fresh one
+  }
+  return Status::IoError("request failed after reconnect");
+}
+
+Result<HttpClientResponse> HttpClient::Get(std::string_view path) {
+  return Request("GET", path, {}, {});
+}
+
+Result<HttpClientResponse> HttpClient::Post(std::string_view path,
+                                            std::string body,
+                                            std::string_view content_type) {
+  return Request("POST", path, std::move(body), content_type);
+}
+
+Result<HttpClientResponse> HttpClient::Delete(std::string_view path) {
+  return Request("DELETE", path, {}, {});
+}
+
+Result<HttpClientResponse> HttpClient::RawRequest(std::string_view bytes) {
+  Close();
+  LEAST_RETURN_IF_ERROR(EnsureConnected());
+  Status sent = SendAll(bytes);
+  // Keep reading even when the send failed partway: the server may already
+  // have rejected the prefix with a 4xx and reset the connection.
+  Result<HttpClientResponse> response = ReadResponse();
+  Close();
+  if (!response.ok() && !sent.ok()) return sent;
+  return response;
+}
+
+}  // namespace least

@@ -1,0 +1,82 @@
+/// \file http_client.h
+/// \brief Minimal blocking HTTP/1.1 client for the protocol test harness
+/// and the `fleet_client` CLI.
+///
+/// This is the other half of the loopback test rig: enough client to drive
+/// `HttpServer` end-to-end — keep-alive (one TCP connection across many
+/// requests, with one transparent reconnect when the server closed an idle
+/// connection), `Content-Length`-framed responses, and nothing more. It is
+/// *not* a general client: no chunked responses (the server never sends
+/// them), no redirects, no TLS.
+///
+/// `RawRequest` sends caller-provided bytes verbatim and reads one
+/// response; the parser fuzz tests use it to deliver truncated and
+/// bit-flipped requests that the structured API could never produce.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace least {
+
+/// \brief One parsed response.
+struct HttpClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  ///< lowercased
+  std::string body;
+
+  /// Case-insensitive lookup (names are stored lowercased); empty view when
+  /// absent.
+  std::string_view Header(std::string_view lowercase_name) const;
+};
+
+/// \brief Blocking keep-alive client for one host:port. Not thread-safe;
+/// use one instance per client thread.
+class HttpClient {
+ public:
+  HttpClient(std::string host, int port,
+             std::chrono::milliseconds timeout = std::chrono::milliseconds(
+                 30000));
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  Result<HttpClientResponse> Get(std::string_view path);
+  Result<HttpClientResponse> Post(std::string_view path, std::string body,
+                                  std::string_view content_type =
+                                      "application/json");
+  Result<HttpClientResponse> Delete(std::string_view path);
+  /// Generic form; `body` is sent with Content-Length framing.
+  Result<HttpClientResponse> Request(std::string_view method,
+                                     std::string_view path, std::string body,
+                                     std::string_view content_type);
+
+  /// Sends `bytes` verbatim on a *fresh* connection and reads one response
+  /// (or EOF, reported as kIoError). For protocol-level tests that need to
+  /// send malformed requests.
+  Result<HttpClientResponse> RawRequest(std::string_view bytes);
+
+  /// Closes the kept-alive connection (reopened lazily by the next call).
+  void Close();
+
+ private:
+  Status EnsureConnected();
+  Status SendAll(std::string_view bytes);
+  /// Reads one Content-Length-framed response from `fd_`.
+  Result<HttpClientResponse> ReadResponse();
+
+  std::string host_;
+  int port_;
+  std::chrono::milliseconds timeout_;
+  int fd_ = -1;
+};
+
+}  // namespace least

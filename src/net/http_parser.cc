@@ -1,0 +1,492 @@
+#include "net/http_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace least {
+
+namespace {
+
+// Bound on a chunk-size line ("ffff;ext=1\r\n"): 16 hex digits covers any
+// uint64 and leaves generous room for extensions nobody sends.
+constexpr size_t kMaxChunkSizeLine = 128;
+
+bool IsTokenChar(char c) {
+  // RFC 9110 token characters.
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!':
+    case '#':
+    case '$':
+    case '%':
+    case '&':
+    case '\'':
+    case '*':
+    case '+':
+    case '-':
+    case '.':
+    case '^':
+    case '_':
+    case '`':
+    case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view TrimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string PercentDecode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size()) {
+      const int hi = HexDigit(text[i + 1]);
+      const int lo = HexDigit(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(text[i]);
+  }
+  return out;
+}
+
+std::string_view HttpRequest::Header(std::string_view lowercase_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lowercase_name) return value;
+  }
+  return {};
+}
+
+std::string HttpRequest::QueryParam(std::string_view name,
+                                    std::string_view fallback) const {
+  std::string_view rest = query;
+  while (!rest.empty()) {
+    const size_t amp = rest.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(amp + 1);
+    const size_t eq = pair.find('=');
+    const std::string_view key =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (key == name) {
+      return PercentDecode(eq == std::string_view::npos ? std::string_view{}
+                                                        : pair.substr(eq + 1));
+    }
+  }
+  return std::string(fallback);
+}
+
+Status HttpRequestParser::Fail(int http_status, std::string message) {
+  phase_ = Phase::kError;
+  http_status_ = http_status;
+  status_ = Status::InvalidArgument(std::move(message));
+  return status_;
+}
+
+void HttpRequestParser::Reset() {
+  phase_ = Phase::kRequestLine;
+  buffer_.clear();
+  header_bytes_ = 0;
+  body_remaining_ = 0;
+  request_ = HttpRequest();
+  status_ = Status::Ok();
+  http_status_ = 0;
+}
+
+Status HttpRequestParser::ParseRequestLine(std::string_view line) {
+  // METHOD SP request-target SP HTTP/1.x — exactly two single spaces.
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) {
+    return Fail(400, "malformed request line (no method)");
+  }
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) {
+    return Fail(400, "malformed request line (no request target)");
+  }
+  if (line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Fail(400, "malformed request line (extra spaces)");
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  for (char c : method) {
+    if (!IsTokenChar(c)) return Fail(400, "invalid character in method");
+  }
+  if (target[0] != '/') {
+    return Fail(400, "request target must be origin-form (start with '/')");
+  }
+  for (char c : target) {
+    if (static_cast<unsigned char>(c) <= 0x20 || c == 0x7F) {
+      return Fail(400, "invalid character in request target");
+    }
+  }
+  if (version == "HTTP/1.1") {
+    request_.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    request_.version_minor = 0;
+  } else if (version.substr(0, 5) == "HTTP/") {
+    return Fail(505, "unsupported HTTP version '" + std::string(version) +
+                         "'");
+  } else {
+    return Fail(400, "malformed request line (bad version)");
+  }
+  request_.method = std::string(method);
+  request_.target = std::string(target);
+  const size_t question = target.find('?');
+  request_.path = PercentDecode(target.substr(0, question));
+  request_.query = question == std::string_view::npos
+                       ? std::string()
+                       : std::string(target.substr(question + 1));
+  phase_ = Phase::kHeaders;
+  return Status::Ok();
+}
+
+Status HttpRequestParser::ParseHeaderLine(std::string_view line) {
+  if (static_cast<int>(request_.headers.size()) >= limits_.max_headers) {
+    return Fail(431, "more than " + std::to_string(limits_.max_headers) +
+                         " header fields");
+  }
+  const size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return Fail(400, "malformed header line (no field name)");
+  }
+  const std::string_view name = line.substr(0, colon);
+  for (char c : name) {
+    if (!IsTokenChar(c)) {
+      // Notably rejects "Name : value" — whitespace before the colon is a
+      // classic request-smuggling vector.
+      return Fail(400, "invalid character in header field name");
+    }
+  }
+  const std::string_view value = TrimOws(line.substr(colon + 1));
+  for (char c : value) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if ((u < 0x20 && c != '\t') || u == 0x7F) {
+      return Fail(400, "invalid character in header field value");
+    }
+  }
+  request_.headers.emplace_back(ToLower(name), std::string(value));
+  return Status::Ok();
+}
+
+Status HttpRequestParser::BeginBody() {
+  // Framing per RFC 9112 §6: Transfer-Encoding wins over Content-Length,
+  // but receiving both is a smuggling signature we reject outright.
+  std::string_view transfer_encoding;
+  std::string_view content_length;
+  for (const auto& [name, value] : request_.headers) {
+    if (name == "transfer-encoding") {
+      if (!transfer_encoding.empty()) {
+        return Fail(400, "duplicate Transfer-Encoding header");
+      }
+      transfer_encoding = value;
+    } else if (name == "content-length") {
+      if (!content_length.empty() && content_length != value) {
+        return Fail(400, "conflicting Content-Length headers");
+      }
+      content_length = value;
+    }
+  }
+  if (request_.version_minor == 1 && request_.Header("host").empty()) {
+    return Fail(400, "HTTP/1.1 request without Host header");
+  }
+  const std::string_view connection = request_.Header("connection");
+  request_.keep_alive = request_.version_minor == 1
+                            ? !EqualsIgnoreCase(connection, "close")
+                            : EqualsIgnoreCase(connection, "keep-alive");
+  if (!transfer_encoding.empty()) {
+    if (!content_length.empty()) {
+      return Fail(400, "both Transfer-Encoding and Content-Length present");
+    }
+    if (!EqualsIgnoreCase(TrimOws(transfer_encoding), "chunked")) {
+      return Fail(501, "unsupported transfer encoding '" +
+                           std::string(transfer_encoding) + "'");
+    }
+    phase_ = Phase::kChunkSize;
+    return Status::Ok();
+  }
+  if (!content_length.empty()) {
+    uint64_t length = 0;
+    if (content_length.size() > 19) {
+      return Fail(413, "Content-Length too large");
+    }
+    for (char c : content_length) {
+      if (c < '0' || c > '9') {
+        return Fail(400, "non-numeric Content-Length");
+      }
+      length = length * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (length > limits_.max_body_bytes) {
+      return Fail(413, "body of " + std::to_string(length) +
+                           " bytes exceeds the " +
+                           std::to_string(limits_.max_body_bytes) +
+                           "-byte limit");
+    }
+    if (length == 0) {
+      phase_ = Phase::kComplete;
+      return Status::Ok();
+    }
+    request_.body.reserve(static_cast<size_t>(length));
+    body_remaining_ = length;
+    phase_ = Phase::kBody;
+    return Status::Ok();
+  }
+  phase_ = Phase::kComplete;  // no framing headers: no body
+  return Status::Ok();
+}
+
+Status HttpRequestParser::Consume(std::string_view bytes, size_t* consumed) {
+  *consumed = 0;
+  if (phase_ == Phase::kError) return status_;
+  while (!complete()) {
+    const std::string_view rest = bytes.substr(*consumed);
+    switch (phase_) {
+      case Phase::kBody:
+      case Phase::kChunkData: {
+        if (rest.empty()) return Status::Ok();  // need more input
+        const size_t take = static_cast<size_t>(
+            std::min<uint64_t>(body_remaining_, rest.size()));
+        request_.body.append(rest.data(), take);
+        *consumed += take;
+        body_remaining_ -= take;
+        if (body_remaining_ == 0) {
+          phase_ = phase_ == Phase::kBody ? Phase::kComplete
+                                          : Phase::kChunkCrlf;
+        }
+        break;
+      }
+      default: {
+        // Line-oriented phases: buffer up to the next LF. The applicable
+        // size bound is enforced on the *buffered* prefix, so unbounded
+        // garbage without a newline still fails early.
+        const size_t lf = rest.find('\n');
+        const size_t take =
+            lf == std::string_view::npos ? rest.size() : lf + 1;
+        size_t bound = 0;
+        int over_status = 400;
+        std::string over_what;
+        switch (phase_) {
+          case Phase::kRequestLine:
+            bound = limits_.max_request_line;
+            over_status = 414;
+            over_what = "request line longer than " +
+                        std::to_string(bound) + " bytes";
+            break;
+          case Phase::kHeaders:
+          case Phase::kTrailers:
+            bound = limits_.max_header_bytes - header_bytes_;
+            over_status = 431;
+            over_what = "header section larger than " +
+                        std::to_string(limits_.max_header_bytes) + " bytes";
+            break;
+          default:  // kChunkSize, kChunkCrlf
+            bound = kMaxChunkSizeLine;
+            over_status = 400;
+            over_what = "chunk framing line too long";
+            break;
+        }
+        if (buffer_.size() + take > bound) {
+          return Fail(over_status, std::move(over_what));
+        }
+        buffer_.append(rest.data(), take);
+        *consumed += take;
+        if (lf == std::string_view::npos) return Status::Ok();  // need more
+        // One full line: strip the LF and an optional preceding CR.
+        std::string_view line(buffer_);
+        line.remove_suffix(1);
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+        Status handled;
+        switch (phase_) {
+          case Phase::kRequestLine:
+            if (line.empty()) break;  // tolerate leading blank lines
+            handled = ParseRequestLine(line);
+            break;
+          case Phase::kHeaders:
+            header_bytes_ += buffer_.size();
+            handled = line.empty() ? BeginBody() : ParseHeaderLine(line);
+            break;
+          case Phase::kTrailers:
+            header_bytes_ += buffer_.size();
+            // Trailer fields are validated like headers but not retained.
+            if (line.empty()) {
+              phase_ = Phase::kComplete;
+            } else if (line.find(':') == std::string_view::npos ||
+                       line.front() == ':') {
+              handled = Fail(400, "malformed trailer line");
+            }
+            break;
+          case Phase::kChunkSize: {
+            // chunk-size [;extensions]
+            const size_t semi = line.find(';');
+            const std::string_view digits =
+                TrimOws(line.substr(0, semi));
+            if (digits.empty()) {
+              handled = Fail(400, "empty chunk size");
+              break;
+            }
+            uint64_t size = 0;
+            bool bad = false;
+            for (char c : digits) {
+              const int d = HexDigit(c);
+              if (d < 0 || size > (limits_.max_body_bytes >> 4)) {
+                bad = true;
+                break;
+              }
+              size = (size << 4) | static_cast<uint64_t>(d);
+            }
+            if (bad) {
+              handled = Fail(400, "malformed chunk size '" +
+                                      std::string(digits) + "'");
+              break;
+            }
+            if (request_.body.size() + size > limits_.max_body_bytes) {
+              handled = Fail(413, "chunked body exceeds the " +
+                                      std::to_string(limits_.max_body_bytes) +
+                                      "-byte limit");
+              break;
+            }
+            if (size == 0) {
+              phase_ = Phase::kTrailers;
+            } else {
+              body_remaining_ = size;
+              phase_ = Phase::kChunkData;
+            }
+            break;
+          }
+          case Phase::kChunkCrlf:
+            if (!line.empty()) {
+              handled = Fail(400, "missing CRLF after chunk data");
+            } else {
+              phase_ = Phase::kChunkSize;
+            }
+            break;
+          default:
+            break;
+        }
+        buffer_.clear();
+        if (!handled.ok()) return handled;
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string_view HttpStatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 202:
+      return "Accepted";
+    case 204:
+      return "No Content";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 409:
+      return "Conflict";
+    case 410:
+      return "Gone";
+    case 413:
+      return "Content Too Large";
+    case 414:
+      return "URI Too Long";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
+    case 505:
+      return "HTTP Version Not Supported";
+    default:
+      return "Unknown";
+  }
+}
+
+HttpResponse HttpResponse::Json(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::Error(int status, std::string_view message) {
+  std::string body = "{\"error\":";
+  // JsonQuote lives in net/json.h; inline the tiny escape here instead so
+  // the parser half of the layer stays standalone (the fuzz test links it
+  // without the service).
+  body.push_back('"');
+  for (char c : message) {
+    if (c == '"' || c == '\\') body.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) body.push_back(c);
+  }
+  body += "\"}";
+  return Json(status, std::move(body));
+}
+
+std::string SerializeResponseHead(const HttpResponse& response,
+                                  bool keep_alive) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     std::string(HttpStatusReason(response.status)) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  head += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& [name, value] : response.headers) {
+    head += name + ": " + value + "\r\n";
+  }
+  head += "\r\n";
+  return head;
+}
+
+}  // namespace least

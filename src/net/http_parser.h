@@ -1,0 +1,157 @@
+/// \file http_parser.h
+/// \brief Incremental, bounded HTTP/1.1 request parser and response writer.
+///
+/// The REST front end (`net/http_server.h`) reads from untrusted sockets,
+/// so the parser follows the same discipline as the checkpoint and trace
+/// decoders (`io/model_serializer`, `obs/trace_log`): every size is bounded
+/// before a byte is buffered, every malformed input yields a *precise*
+/// error — mapped to the exact 4xx the peer should see — and no input, no
+/// matter how truncated or bit-flipped, can crash or over-read
+/// (`tests/test_http_parser.cc` sweeps every truncation prefix and
+/// single-byte flip of valid requests under ASan+UBSan).
+///
+/// The parser is incremental: feed it whatever bytes the socket produced
+/// (`Consume`), and it either needs more input, completes a request, or
+/// fails terminally. One parser instance serves a keep-alive connection by
+/// `Reset()`ing between requests; bytes beyond the first request's end are
+/// left unconsumed for the next round (pipelining-safe).
+///
+/// Supported framing: bodies by `Content-Length` or
+/// `Transfer-Encoding: chunked` (trailers are parsed and discarded);
+/// requests with neither have no body. Unsupported transfer codings are
+/// rejected with 501, oversized headers with 431, oversized bodies with
+/// 413, everything else malformed with 400, and HTTP versions other than
+/// 1.0/1.1 with 505.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace least {
+
+/// \brief One parsed request.
+struct HttpRequest {
+  std::string method;   ///< uppercase token as sent ("GET", "POST", ...)
+  std::string target;   ///< raw request target ("/jobs/3?x=1")
+  std::string path;     ///< target up to '?', percent-decoded
+  std::string query;    ///< target after '?', raw (may be empty)
+  int version_minor = 1;  ///< 0 for HTTP/1.0, 1 for HTTP/1.1
+  /// Headers in arrival order; names lowercased (values trimmed of optional
+  /// whitespace, otherwise verbatim).
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;  ///< resolved from version + Connection header
+
+  /// Case-insensitive lookup (names are stored lowercased); empty view when
+  /// absent.
+  std::string_view Header(std::string_view lowercase_name) const;
+  /// Value of `name` in the query string ("since=3&x=1"), percent-decoded;
+  /// `fallback` when absent.
+  std::string QueryParam(std::string_view name,
+                         std::string_view fallback = {}) const;
+};
+
+/// \brief Input bounds enforced *before* buffering (see file comment for
+/// the status code each bound maps to).
+struct HttpParserLimits {
+  size_t max_request_line = 8 << 10;  ///< method + target + version
+  size_t max_header_bytes = 16 << 10;  ///< all header lines together
+  int max_headers = 100;
+  size_t max_body_bytes = 16 << 20;  ///< content-length or chunked total
+};
+
+/// \brief Incremental request parser (one connection's read side).
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(HttpParserLimits limits = {})
+      : limits_(limits) {}
+
+  /// Feeds bytes from the socket. Consumes up to one complete request;
+  /// `*consumed` reports how many of `bytes` were used (the remainder
+  /// belongs to the next request on this connection). Returns the parse
+  /// status: OK both when the request completed and when more input is
+  /// needed (check `complete()`); a non-OK status is terminal for the
+  /// connection and `http_status()` names the response code to send.
+  Status Consume(std::string_view bytes, size_t* consumed);
+
+  bool complete() const { return phase_ == Phase::kComplete; }
+  bool failed() const { return phase_ == Phase::kError; }
+  /// The parsed request; valid once `complete()`.
+  const HttpRequest& request() const { return request_; }
+  /// HTTP status code matching the terminal parse error (400/413/431/501/
+  /// 505); 0 while not failed.
+  int http_status() const { return http_status_; }
+  /// The terminal parse error; OK while not failed.
+  const Status& status() const { return status_; }
+
+  /// Ready for the next request on the same connection (keep-alive). The
+  /// parser may only be reset from the complete state.
+  void Reset();
+
+ private:
+  enum class Phase {
+    kRequestLine,
+    kHeaders,
+    kBody,        ///< reading `body_remaining_` content-length bytes
+    kChunkSize,   ///< reading a chunk-size line
+    kChunkData,   ///< reading `body_remaining_` chunk bytes
+    kChunkCrlf,   ///< reading the CRLF after chunk data
+    kTrailers,    ///< reading (and discarding) trailer lines
+    kComplete,
+    kError,
+  };
+
+  /// Enters the terminal error state; always returns the stored status so
+  /// call sites can `return Fail(...)`.
+  Status Fail(int http_status, std::string message);
+  Status ParseRequestLine(std::string_view line);
+  Status ParseHeaderLine(std::string_view line);
+  /// Validates headers once all have arrived and selects the body framing.
+  Status BeginBody();
+
+  HttpParserLimits limits_;
+  Phase phase_ = Phase::kRequestLine;
+  std::string buffer_;  ///< unparsed input for the current line/body
+  size_t header_bytes_ = 0;
+  uint64_t body_remaining_ = 0;
+  HttpRequest request_;
+  Status status_;
+  int http_status_ = 0;
+};
+
+/// \brief One response to serialize.
+struct HttpResponse {
+  int status = 200;
+  /// Extra headers; Content-Length, Date, and Server are emitted
+  /// automatically by `SerializeResponseHead`.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string content_type = "application/json";
+  std::string body;
+
+  static HttpResponse Json(int status, std::string body);
+  /// application/json `{"error": <message>}` with the status's reason.
+  static HttpResponse Error(int status, std::string_view message);
+};
+
+/// Canonical reason phrase ("OK", "Not Found", ...); "Unknown" for codes
+/// without one.
+std::string_view HttpStatusReason(int status);
+
+/// Serializes the status line + headers + blank line (not the body). The
+/// body is framed by Content-Length; `keep_alive` selects the Connection
+/// header.
+std::string SerializeResponseHead(const HttpResponse& response,
+                                  bool keep_alive);
+
+/// Percent-decodes `text` ("%2F" → "/", "+" is NOT treated as space —
+/// query values here are paths and integers). Invalid escapes are passed
+/// through verbatim (decoding is for routing convenience, not validation).
+std::string PercentDecode(std::string_view text);
+
+}  // namespace least

@@ -1,0 +1,287 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
+#include "runtime/thread_pool.h"
+#include "util/check.h"
+
+namespace least {
+namespace {
+
+/// FNV-1a, matching the cache-key hash convention used by trace events.
+uint64_t HashPath(std::string_view path) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : path) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void SetReadTimeout(int fd, std::chrono::milliseconds timeout) {
+  if (timeout.count() <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+struct NetMetrics {
+  Counter& connections;
+  Counter& requests;
+  Counter& responses;
+  Counter& responses_error;
+  Counter& read_timeouts;
+  Gauge& active;
+
+  static NetMetrics& Get() {
+    static NetMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new NetMetrics{r.counter("net.http.connections"),
+                            r.counter("net.http.requests"),
+                            r.counter("net.http.responses"),
+                            r.counter("net.http.responses_error"),
+                            r.counter("net.http.read_timeouts"),
+                            r.gauge("net.http.active_connections")};
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+HttpServer::HttpServer(HttpHandler handler, HttpServerOptions options)
+    : handler_(std::move(handler)), options_(options) {
+  LEAST_CHECK(handler_ != nullptr);
+  if (options_.num_threads < 1) options_.num_threads = 1;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  LEAST_CHECK(!running_.load() && listener_.joinable() == false);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("bind(127.0.0.1:") +
+                            std::to_string(options_.port) +
+                            "): " + std::strerror(err));
+  }
+  if (::listen(fd, options_.backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("listen(): ") + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("getsockname(): ") +
+                            std::strerror(err));
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false);
+  running_.store(true);
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  listener_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  // Closing the listener makes the blocked accept(2) return with EBADF /
+  // ECONNABORTED, ending the accept loop.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (listener_.joinable()) listener_.join();
+  // Wake every connection blocked in recv(2); the serving task sees EOF (or
+  // an error), finishes its in-flight response, and returns.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& [id, fd] : conns_) ::shutdown(fd, SHUT_RD);
+  }
+  if (pool_) {
+    pool_->Shutdown();
+    pool_.reset();
+  }
+  LEAST_CHECK(active_connections() == 0);
+  port_ = 0;
+}
+
+std::string HttpServer::base_url() const {
+  return "http://127.0.0.1:" + std::to_string(port_);
+}
+
+int HttpServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return static_cast<int>(conns_.size());
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (Stop) or unrecoverable
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    SetReadTimeout(fd, options_.read_timeout);
+
+    int64_t conn_id;
+    size_t active;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conn_id = ++next_conn_id_;
+      conns_.emplace(conn_id, fd);
+      active = conns_.size();
+    }
+    NetMetrics::Get().connections.Add();
+    NetMetrics::Get().active.Set(static_cast<int64_t>(active));
+    TraceEmit(TraceEventKind::kHttpAccept, conn_id, active, 0);
+
+    const bool scheduled =
+        pool_->Schedule([this, conn_id, fd] { ServeConnection(conn_id, fd); });
+    if (!scheduled) {
+      // Pool already shutting down: unregister and drop the connection.
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.erase(conn_id);
+      ::close(fd);
+    }
+  }
+}
+
+void HttpServer::ServeConnection(int64_t conn_id, int fd) {
+  HttpRequestParser parser(options_.limits);
+  std::string pending;  // bytes received but not yet consumed (pipelining)
+  char buf[16 << 10];
+  bool close_connection = false;
+  size_t fed = 0;  // bytes consumed toward the current request
+
+  while (!close_connection) {
+    // Drain already-buffered bytes first, then read more as needed.
+    while (!parser.complete() && !parser.failed()) {
+      if (pending.empty()) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+          pending.assign(buf, static_cast<size_t>(n));
+        } else if (n == 0) {
+          close_connection = true;  // peer closed (or Stop() shut us down)
+          break;
+        } else if (errno == EINTR) {
+          continue;
+        } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          // Read timeout. Mid-request it earns a 408; between requests the
+          // idle keep-alive connection is just closed.
+          NetMetrics::Get().read_timeouts.Add();
+          if (fed > 0) {
+            WriteResponse(fd, conn_id,
+                          HttpResponse::Error(408, "request read timed out"),
+                          /*keep_alive=*/false);
+          }
+          close_connection = true;
+          break;
+        } else {
+          close_connection = true;
+          break;
+        }
+      }
+      size_t consumed = 0;
+      const Status status = parser.Consume(pending, &consumed);
+      pending.erase(0, consumed);
+      fed += consumed;
+      if (!status.ok()) break;  // parser.failed() now
+    }
+
+    if (parser.failed()) {
+      TraceEmit(TraceEventKind::kHttpRequest, conn_id, 0, 0);
+      NetMetrics::Get().requests.Add();
+      WriteResponse(
+          fd, conn_id,
+          HttpResponse::Error(parser.http_status(),
+                              parser.status().message()),
+          /*keep_alive=*/false);
+      break;
+    }
+    if (!parser.complete()) break;  // connection ended mid-request
+
+    const HttpRequest& request = parser.request();
+    NetMetrics::Get().requests.Add();
+    TraceEmit(TraceEventKind::kHttpRequest, conn_id,
+              request.target.size() + request.body.size(),
+              HashPath(request.path));
+
+    HttpResponse response = handler_(request);
+    const bool keep_alive = request.keep_alive && !stopping_.load();
+    if (!WriteResponse(fd, conn_id, response, keep_alive)) break;
+    if (!keep_alive) break;
+    parser.Reset();
+    fed = 0;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.erase(conn_id);
+    NetMetrics::Get().active.Set(static_cast<int64_t>(conns_.size()));
+  }
+  ::close(fd);
+}
+
+bool HttpServer::WriteResponse(int fd, int64_t conn_id,
+                               const HttpResponse& response,
+                               bool keep_alive) {
+  NetMetrics::Get().responses.Add();
+  if (response.status >= 400) NetMetrics::Get().responses_error.Add();
+  TraceEmit(TraceEventKind::kHttpRespond, conn_id,
+            static_cast<uint64_t>(response.status), response.body.size());
+
+  const std::string head = SerializeResponseHead(response, keep_alive);
+  for (const std::string* part : {&head, &response.body}) {
+    size_t sent = 0;
+    while (sent < part->size()) {
+      const ssize_t n = ::send(fd, part->data() + sent, part->size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;  // peer went away mid-response
+      }
+      sent += static_cast<size_t>(n);
+    }
+  }
+  return true;
+}
+
+}  // namespace least

@@ -1,0 +1,124 @@
+/// \file http_server.h
+/// \brief Embedded HTTP/1.1 server: a loopback listener thread plus a small
+/// connection pool, with zero dependencies beyond POSIX sockets.
+///
+/// The server is deliberately narrow — it exists to put `FleetScheduler`
+/// behind a REST surface (`net/fleet_service.h`), not to be a general web
+/// server. One thread blocks in `accept(2)`; each accepted connection is
+/// handed to the server's own `ThreadPool` (reusing the fleet's pool class,
+/// but a *separate instance*, so a long-poll handler sleeping on the job
+/// journal can never starve the workers that are learning models). Within a
+/// connection, requests are parsed incrementally by `HttpRequestParser`,
+/// dispatched to a single user handler, and answered with `Content-Length`
+/// framing; `keep-alive` and pipelining work because the parser reports how
+/// many bytes it consumed and the connection loop re-feeds the remainder.
+///
+/// Failure discipline mirrors the repo's serializers: every malformed
+/// request is answered with the parser's precise 4xx and the connection is
+/// closed; nothing a client sends can crash the process. Reads carry a
+/// socket timeout so an idle or wedged peer is reaped (408 when it died
+/// mid-request, silent close when it was between requests).
+///
+/// `Stop()` is graceful by construction: it closes the listener (no new
+/// connections), calls `shutdown(2)` on every open connection so blocked
+/// reads return, and then joins the pool — which waits for in-flight
+/// handlers to finish writing their responses.
+///
+/// Observability: the server emits `kHttpAccept` / `kHttpRequest` /
+/// `kHttpRespond` trace events (connection id in the `job` field) and
+/// maintains `net.http.*` counters in the global metrics registry.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/http_parser.h"
+#include "util/status.h"
+
+namespace least {
+
+class ThreadPool;
+
+/// \brief Application hook: one fully-parsed request in, one response out.
+/// Called concurrently from connection-pool threads; must be thread-safe.
+/// The handler may block (long-poll), since it occupies only its own
+/// connection's pool slot.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerOptions {
+  /// TCP port to bind on 127.0.0.1. 0 picks an ephemeral port; read the
+  /// outcome from `HttpServer::port()` after `Start()`.
+  int port = 0;
+  /// Connection-pool width: how many connections make progress at once.
+  /// Additional accepted connections queue inside the pool.
+  int num_threads = 4;
+  /// Listen backlog passed to `listen(2)`.
+  int backlog = 64;
+  /// Per-read socket timeout. A connection idle longer than this between
+  /// requests is closed; one that stalls mid-request gets 408.
+  std::chrono::milliseconds read_timeout{30000};
+  /// Parser bounds (request line / header / body sizes).
+  HttpParserLimits limits;
+};
+
+/// \brief Minimal threaded HTTP/1.1 server over loopback.
+class HttpServer {
+ public:
+  explicit HttpServer(HttpHandler handler, HttpServerOptions options = {});
+
+  /// Stops the server if still running.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the listener thread and connection pool.
+  /// Returns `kInternal` with the socket error when the bind fails (port
+  /// already taken, no loopback, ...). Calling `Start()` twice is an error.
+  Status Start();
+
+  /// Graceful stop: closes the listener, wakes every connection, joins the
+  /// pool after in-flight handlers finish. Idempotent.
+  void Stop();
+
+  /// Bound port (the concrete one when options.port was 0). 0 before
+  /// `Start()` succeeds.
+  int port() const { return port_; }
+
+  /// Base URL of the listener, e.g. "http://127.0.0.1:39211".
+  std::string base_url() const;
+
+  /// Connections currently open (accepted, not yet closed).
+  int active_connections() const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int64_t conn_id, int fd);
+  /// Writes head+body, returns false when the peer is gone.
+  bool WriteResponse(int fd, int64_t conn_id, const HttpResponse& response,
+                     bool keep_alive);
+
+  HttpHandler handler_;
+  HttpServerOptions options_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread listener_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex conns_mu_;
+  std::unordered_map<int64_t, int> conns_;  ///< conn id -> open fd
+  int64_t next_conn_id_ = 0;
+};
+
+}  // namespace least

@@ -1,0 +1,440 @@
+#include "net/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace least {
+
+bool JsonValue::IntegerValue(int64_t* out) const {
+  if (!is_number()) return false;
+  if (!std::isfinite(number_)) return false;
+  if (number_ < -9.007199254740992e15 || number_ > 9.007199254740992e15) {
+    return false;  // outside the exactly-representable integer range
+  }
+  const double rounded = std::nearbyint(number_);
+  if (rounded != number_) return false;
+  *out = static_cast<int64_t>(rounded);
+  return true;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+void DumpTo(const JsonValue& v, std::string* out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      *out += v.as_bool() ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber: {
+      const double d = v.as_number();
+      if (!std::isfinite(d)) {
+        *out += "null";
+        return;
+      }
+      char buf[40];
+      // %.17g round-trips every double; trim to the shortest exact form is
+      // not needed for machine consumers.
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      *out += buf;
+      return;
+    }
+    case JsonValue::Kind::kString:
+      *out += JsonQuote(v.as_string());
+      return;
+    case JsonValue::Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) out->push_back(',');
+        first = false;
+        DumpTo(item, out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.members()) {
+        if (!first) out->push_back(',');
+        first = false;
+        *out += JsonQuote(key);
+        out->push_back(':');
+        DumpTo(value, out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+/// Recursive-descent parser over an immutable text with an explicit cursor;
+/// every method either advances or reports `kInvalidArgument` with the byte
+/// offset where parsing stopped.
+class Parser {
+ public:
+  Parser(std::string_view text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue root;
+    LEAST_RETURN_IF_ERROR(ParseValue(0, &root));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing bytes after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(std::string what) const {
+    return Status::InvalidArgument("JSON error at byte " +
+                                   std::to_string(pos_) + ": " +
+                                   std::move(what));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Status ParseValue(int depth, JsonValue* out) {
+    if (depth > limits_.max_depth) {
+      return Error("nesting deeper than " + std::to_string(limits_.max_depth));
+    }
+    if (++values_ > limits_.max_values) {
+      return Error("more than " + std::to_string(limits_.max_values) +
+                   " values");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of document");
+    const char c = text_[pos_];
+    switch (c) {
+      case 'n':
+        if (!Literal("null")) return Error("bad literal (expected null)");
+        *out = JsonValue::Null();
+        return Status::Ok();
+      case 't':
+        if (!Literal("true")) return Error("bad literal (expected true)");
+        *out = JsonValue::Bool(true);
+        return Status::Ok();
+      case 'f':
+        if (!Literal("false")) return Error("bad literal (expected false)");
+        *out = JsonValue::Bool(false);
+        return Status::Ok();
+      case '"': {
+        std::string s;
+        LEAST_RETURN_IF_ERROR(ParseString(&s));
+        *out = JsonValue::String(std::move(s));
+        return Status::Ok();
+      }
+      case '[':
+        return ParseArray(depth, out);
+      case '{':
+        return ParseObject(depth, out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      pos_ = start;
+      return Error("invalid value");
+    }
+    // Grammar check (JSON forbids leading zeros, bare dots, etc.) before
+    // handing the slice to strtod.
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("digit required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("digit required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string slice(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(slice.c_str(), &end);
+    if (end != slice.c_str() + slice.size()) {
+      return Error("invalid number");
+    }
+    // Overflow to +-inf is accepted as the nearest representable double;
+    // JSON itself places no range limit.
+    *out = JsonValue::Number(d);
+    return Status::Ok();
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("bad hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::Ok();
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c < 0x20) return Error("raw control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          LEAST_RETURN_IF_ERROR(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired surrogate");
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            LEAST_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired surrogate");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Error("unknown escape character");
+      }
+    }
+  }
+
+  Status ParseArray(int depth, JsonValue* out) {
+    ++pos_;  // '['
+    *out = JsonValue::Array();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      JsonValue item;
+      LEAST_RETURN_IF_ERROR(ParseValue(depth + 1, &item));
+      out->Append(std::move(item));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Error("unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') return Status::Ok();
+      if (c != ',') {
+        --pos_;
+        return Error("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  Status ParseObject(int depth, JsonValue* out) {
+    ++pos_;  // '{'
+    *out = JsonValue::Object();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected string key in object");
+      }
+      std::string key;
+      LEAST_RETURN_IF_ERROR(ParseString(&key));
+      if (out->Find(key) != nullptr) {
+        return Error("duplicate object key \"" + key + "\"");
+      }
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Error("expected ':' after object key");
+      }
+      ++pos_;
+      JsonValue value;
+      LEAST_RETURN_IF_ERROR(ParseValue(depth + 1, &value));
+      out->Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Error("unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') return Status::Ok();
+      if (c != ',') {
+        --pos_;
+        return Error("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  std::string_view text_;
+  const JsonLimits& limits_;
+  size_t pos_ = 0;
+  int64_t values_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(*this, &out);
+  return out;
+}
+
+Result<JsonValue> ParseJson(std::string_view text, JsonLimits limits) {
+  return Parser(text, limits).Parse();
+}
+
+}  // namespace least

@@ -1,0 +1,132 @@
+/// \file json.h
+/// \brief Minimal JSON value, parser, and writer for the REST front end.
+///
+/// The HTTP layer speaks JSON (`POST /jobs` bodies, status/changes
+/// responses) without external dependencies, so this file carries the
+/// smallest complete implementation that upholds the repo's serializer
+/// discipline: every byte of untrusted input is bounds-checked, every
+/// malformed document fails with `kInvalidArgument` and a precise
+/// byte-offset message, and resource bounds (nesting depth, total values)
+/// are enforced so a hostile body cannot exhaust the server.
+///
+/// Scope: UTF-8 pass-through (no normalization), numbers as `double` (the
+/// option fields the service parses are doubles and small integers — an
+/// integral check is provided for id-like fields), `\uXXXX` escapes decode
+/// to UTF-8. Object member order is preserved; duplicate keys are rejected
+/// (a request meaning two different things depending on reader is a bug).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace least {
+
+/// \brief One JSON value (tree-owning).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  ///< null
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double d) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = d;
+    return v;
+  }
+  static JsonValue String(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; reading the wrong kind returns the type's zero value
+  /// (callers validate kind first — route handlers turn mismatches into
+  /// precise 400s before touching the value).
+  bool as_bool() const { return is_bool() ? bool_ : false; }
+  double as_number() const { return is_number() ? number_ : 0.0; }
+  const std::string& as_string() const {
+    static const std::string kEmpty;
+    return is_string() ? string_ : kEmpty;
+  }
+
+  /// True when the value is a number that is exactly an int64 (id fields,
+  /// row counts). `out` receives the integer.
+  bool IntegerValue(int64_t* out) const;
+
+  // --- array ---
+  const std::vector<JsonValue>& items() const { return items_; }
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+
+  // --- object ---
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  void Set(std::string key, JsonValue v) {
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+  /// Member lookup; null when absent.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Serializes (compact, no whitespace). Strings are escaped; non-finite
+  /// numbers render as null (JSON has no representation for them).
+  std::string Dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// \brief Resource bounds for `ParseJson` (defaults sized for `POST /jobs`
+/// bodies: small option maps plus an optional inline dataset).
+struct JsonLimits {
+  int max_depth = 32;          ///< nesting depth of arrays/objects
+  int64_t max_values = 1 << 20;  ///< total parsed values (DoS bound)
+};
+
+/// Parses one JSON document (the whole input must be consumed; trailing
+/// non-whitespace is an error). Malformed input fails with
+/// `kInvalidArgument` and a byte-offset message, never a crash.
+Result<JsonValue> ParseJson(std::string_view text, JsonLimits limits = {});
+
+/// Escapes and quotes `s` as a JSON string literal (used by handlers that
+/// build small documents without going through `JsonValue`).
+std::string JsonQuote(std::string_view s);
+
+}  // namespace least

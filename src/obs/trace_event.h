@@ -26,6 +26,13 @@
 ///   kPoolSteal      | -1   | victim worker index     | thief worker index
 ///   kSinkStream     | id   | model blob bytes        | sink sequence number
 ///   kSinkRetire     | id   | 0                       | 0
+///   kHttpAccept     | conn | active connections      | 0
+///   kHttpRequest    | conn | request bytes           | FNV-1a of the path
+///   kHttpRespond    | conn | HTTP status code        | response body bytes
+///
+/// The three HTTP kinds carry the server's per-listener connection id in
+/// the `job` field (requests are not jobs; a `POST /jobs` that enqueues one
+/// is followed by that job's own `kJobEnqueue`).
 ///
 /// Timestamps are nanoseconds on the steady clock, measured from the trace
 /// log's creation, so a trace is self-contained and two runs of the same
@@ -55,6 +62,9 @@ enum class TraceEventKind : uint16_t {
   kPoolSteal = 13,
   kSinkStream = 14,
   kSinkRetire = 15,
+  kHttpAccept = 16,
+  kHttpRequest = 17,
+  kHttpRespond = 18,
 };
 
 /// True for every kind a version-1 trace may legally contain. The decoder
@@ -63,7 +73,7 @@ enum class TraceEventKind : uint16_t {
 /// corrupt a timeline.
 constexpr bool IsKnownTraceEventKind(uint16_t kind) {
   return kind >= static_cast<uint16_t>(TraceEventKind::kJobEnqueue) &&
-         kind <= static_cast<uint16_t>(TraceEventKind::kSinkRetire);
+         kind <= static_cast<uint16_t>(TraceEventKind::kHttpRespond);
 }
 
 /// Canonical lowercase name ("job-enqueue", "cache-hit", ...); "unknown"

@@ -81,6 +81,12 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "sink-stream";
     case TraceEventKind::kSinkRetire:
       return "sink-retire";
+    case TraceEventKind::kHttpAccept:
+      return "http-accept";
+    case TraceEventKind::kHttpRequest:
+      return "http-request";
+    case TraceEventKind::kHttpRespond:
+      return "http-respond";
   }
   return "unknown";
 }

@@ -11,6 +11,7 @@
 #include "io/result_sink.h"
 #include "obs/metrics.h"
 #include "obs/trace_log.h"
+#include "runtime/job_journal.h"
 
 namespace least {
 
@@ -173,6 +174,7 @@ int64_t FleetScheduler::Enqueue(LearnJob job) {
             static_cast<uint64_t>(slot->record.algorithm),
             static_cast<uint64_t>(id + 1));
   FleetMetrics::Get().enqueued.Add();
+  PublishEvent(slot->record);  // kPending: the job exists
   // The stub lands before the job can run: the directory then always holds
   // a restartable artifact for every live job, even one that never starts.
   if (!options_.checkpoint_dir.empty()) {
@@ -222,7 +224,21 @@ int64_t FleetScheduler::CancelAll() {
   return requested;
 }
 
+void FleetScheduler::PublishEvent(const JobRecord& record) {
+  if (journal_ == nullptr) return;
+  JobEvent event;
+  event.job_id = record.job_id;
+  event.name = record.name;
+  event.state = record.state;
+  event.status_code = record.status.code();
+  event.attempts = record.attempts;
+  event.queue_ms = record.queue_ms;
+  event.run_ms = record.run_ms;
+  journal_->Append(std::move(event));
+}
+
 void FleetScheduler::NotifyProgress(const JobRecord& record) {
+  PublishEvent(record);
   if (progress_ != nullptr) progress_(record);
 }
 
@@ -475,12 +491,7 @@ void FleetScheduler::RunJob(JobSlot* slot) {
   Settle();
 }
 
-FleetReport FleetScheduler::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  settled_cv_.wait(lock, [this]() {
-    return settled_ == static_cast<int64_t>(slots_.size());
-  });
-
+FleetReport FleetScheduler::BuildReportLocked() const {
   FleetReport report;
   report.total_jobs = static_cast<int64_t>(slots_.size());
   report.retries = retries_;
@@ -490,7 +501,16 @@ FleetReport FleetScheduler::Wait() {
   latencies.reserve(slots_.size());
   double latency_sum = 0.0;
   for (const auto& slot : slots_) {
+    bool terminal = true;
     switch (slot->record.state) {
+      case JobState::kPending:
+        ++report.pending;
+        terminal = false;
+        break;
+      case JobState::kRunning:
+        ++report.running;
+        terminal = false;
+        break;
       case JobState::kSucceeded:
         ++report.succeeded;
         (slot->record.attempts > 1 ? retried : first_try)
@@ -503,23 +523,25 @@ FleetReport FleetScheduler::Wait() {
         ++report.failed;
         break;
     }
-    // Latency statistics cover only jobs that actually ran; jobs settled
-    // without an attempt (cancelled while queued, pool shut down) would
-    // contribute fake 0 ms samples.
-    if (slot->record.attempts > 0) {
+    // Latency statistics cover only jobs that ran to a terminal state; jobs
+    // settled without an attempt (cancelled while queued, pool shut down)
+    // and still-running jobs would contribute fake 0 ms samples.
+    if (terminal && slot->record.attempts > 0) {
       latencies.push_back(slot->record.run_ms);
       latency_sum += slot->record.run_ms;
       report.max_latency_ms =
           std::max(report.max_latency_ms, slot->record.run_ms);
     }
   }
-  if (have_window_) {
+  if (have_window_ && settled_ > 0) {
     report.wall_seconds =
         MillisBetween(first_enqueue_, last_settle_) / 1000.0;
   }
   if (report.wall_seconds > 0) {
+    // succeeded + failed == total - cancelled once every job has settled;
+    // mid-run snapshots count only work actually completed.
     report.throughput_jobs_per_sec =
-        static_cast<double>(report.total_jobs - report.cancelled) /
+        static_cast<double>(report.succeeded + report.failed) /
         report.wall_seconds;
   }
   if (!latencies.empty()) {
@@ -535,10 +557,94 @@ FleetReport FleetScheduler::Wait() {
   return report;
 }
 
+FleetReport FleetScheduler::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  settled_cv_.wait(lock, [this]() {
+    return settled_ == static_cast<int64_t>(slots_.size());
+  });
+  return BuildReportLocked();
+}
+
+FleetReport FleetScheduler::Report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return BuildReportLocked();
+}
+
+int64_t FleetScheduler::num_settled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return settled_;
+}
+
 const JobRecord& FleetScheduler::record(int64_t job_id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   LEAST_CHECK(job_id >= 0 && job_id < static_cast<int64_t>(slots_.size()));
   return slots_[static_cast<size_t>(job_id)]->record;
+}
+
+Result<JobStatusView> FleetScheduler::JobStatus(int64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (job_id < 0 || job_id >= static_cast<int64_t>(slots_.size())) {
+    return Status::OutOfRange("unknown job id " + std::to_string(job_id));
+  }
+  const JobRecord& record = slots_[static_cast<size_t>(job_id)]->record;
+  JobStatusView view;
+  view.job_id = record.job_id;
+  view.name = record.name;
+  view.algorithm = record.algorithm;
+  view.state = record.state;
+  view.status_code = record.status.code();
+  view.status_message = record.status.message();
+  view.attempts = record.attempts;
+  view.seed = record.seed;
+  view.queue_ms = record.queue_ms;
+  view.run_ms = record.run_ms;
+  if (record.state == JobState::kSucceeded) {
+    const bool held = record.outcome.sparse
+                          ? record.outcome.sparse_weights.rows() > 0
+                          : record.outcome.weights.rows() > 0;
+    view.has_model = held;
+    if (held) view.edges = record.outcome.EdgeCount();
+  }
+  return view;
+}
+
+Result<std::string> FleetScheduler::SerializedModel(int64_t job_id) const {
+  ModelArtifact artifact;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job_id < 0 || job_id >= static_cast<int64_t>(slots_.size())) {
+      return Status::OutOfRange("unknown job id " + std::to_string(job_id));
+    }
+    const JobSlot& slot = *slots_[static_cast<size_t>(job_id)];
+    const JobRecord& record = slot.record;
+    if (record.state == JobState::kPending ||
+        record.state == JobState::kRunning) {
+      return Status::InvalidArgument("job " + std::to_string(job_id) +
+                                     " has not settled yet");
+    }
+    if (record.state != JobState::kSucceeded) {
+      return Status::InvalidArgument(
+          "job " + std::to_string(job_id) + " settled " +
+          std::string(JobStateName(record.state)) + ", not succeeded");
+    }
+    const bool held = record.outcome.sparse
+                          ? record.outcome.sparse_weights.rows() > 0
+                          : record.outcome.weights.rows() > 0;
+    if (!held) {
+      return Status::InvalidArgument(
+          "job " + std::to_string(job_id) +
+          "'s model was released to the result sink");
+    }
+    // Same artifact a ResultSink persists: callers get bytes bit-identical
+    // to the on-disk checkpoint of an in-process run.
+    artifact = ModelArtifact::FromOutcome(slot.job.name, slot.job.algorithm,
+                                          record.options, record.outcome);
+    artifact.train_state = nullptr;
+    artifact.dataset = slot.job.data->spec();
+    artifact.candidate_edges = slot.job.candidate_edges;
+  }
+  // Serialization happens outside the lock: the artifact owns copies.
+  return SerializeModel(artifact);
 }
 
 int64_t FleetScheduler::num_jobs() const {

@@ -104,9 +104,14 @@ struct LatencyStats {
   double max_ms = 0;
 };
 
-/// \brief Aggregate statistics over every settled job of a `Wait` call.
+/// \brief Aggregate statistics over a fleet's settled jobs — the result of
+/// a `Wait` call, or a point-in-time snapshot from `Report()` (in which
+/// case `pending`/`running` may be non-zero and latency stats cover only
+/// the jobs settled so far).
 struct FleetReport {
   int64_t total_jobs = 0;
+  int64_t pending = 0;  ///< enqueued, no attempt started (snapshots only)
+  int64_t running = 0;  ///< attempt executing (snapshots only)
   int64_t succeeded = 0;
   int64_t failed = 0;
   int64_t cancelled = 0;
@@ -176,6 +181,31 @@ struct FleetOptions {
 /// progress callback is invoked from worker threads (set it before the
 /// first `Enqueue`; it must be thread-safe).
 class ResultSink;
+class JobJournal;
+
+/// \brief Safe, copyable snapshot of one job's record — what
+/// `FleetScheduler::JobStatus` returns. Unlike `record()`, taking one never
+/// aborts on an unknown id and never exposes a reference that a running
+/// worker may be mid-update on: every field is copied under the scheduler
+/// mutex. This is the lookup the HTTP layer's `GET /jobs/<id>` rides.
+struct JobStatusView {
+  int64_t job_id = -1;
+  std::string name;
+  Algorithm algorithm = Algorithm::kLeastDense;
+  JobState state = JobState::kPending;
+  StatusCode status_code = StatusCode::kOk;
+  std::string status_message;
+  int attempts = 0;
+  uint64_t seed = 0;
+  double queue_ms = 0;
+  double run_ms = 0;
+  /// Edge count of the learned structure; -1 until the job succeeded.
+  long long edges = -1;
+  /// True when the settled model's weight payloads are still held in the
+  /// record (false while running, and for records released to a result
+  /// sink under `keep_settled_outcomes = false`).
+  bool has_model = false;
+};
 
 /// \brief Outcome of a `ScanAndResume` pass over a checkpoint directory.
 struct ResumeScan {
@@ -223,6 +253,13 @@ class FleetScheduler {
   /// `FleetOptions::keep_settled_outcomes = false` to keep fleet RAM flat.
   void set_result_sink(ResultSink* sink) { sink_ = sink; }
 
+  /// Installs a job-event journal (`runtime/job_journal.h`): every state
+  /// transition (enqueue, attempt start, retry, settle) appends one
+  /// sequenced `JobEvent`, which is what HTTP `/changes` long-polls read —
+  /// workers pay one O(1) append and never block on a feed consumer.
+  /// Borrowed; must outlive the scheduler. Set before the first `Enqueue`.
+  void set_journal(JobJournal* journal) { journal_ = journal; }
+
   /// Schedules a job and returns its id (dense, starting at 0 in enqueue
   /// order — the id that seeds the job's RNG).
   int64_t Enqueue(LearnJob job);
@@ -239,6 +276,15 @@ class FleetScheduler {
   /// Blocks until all jobs enqueued so far have settled; returns aggregate
   /// statistics over every settled job.
   FleetReport Wait();
+
+  /// Point-in-time fleet snapshot without waiting: state counts (including
+  /// `pending`/`running`) plus latency percentiles over the jobs settled so
+  /// far. What `GET /jobs` serves — a live fleet must report its tail
+  /// latency without blocking the status endpoint until the queue drains.
+  FleetReport Report() const;
+
+  /// Jobs that have settled so far (terminal state reached).
+  int64_t num_settled() const;
 
   /// Auto-resume: scans `checkpoint_dir` for `job-*.lbnm` checkpoints (the
   /// unfinished jobs of a previous, killed or cancelled, fleet run) and
@@ -267,6 +313,19 @@ class FleetScheduler {
   /// job is terminal; while it runs, fields may be mid-update.
   const JobRecord& record(int64_t job_id) const;
 
+  /// Indexed job lookup by id that is safe against *untrusted* ids: an
+  /// unknown id returns `kOutOfRange` instead of aborting, and the returned
+  /// view is a consistent copy taken under the scheduler mutex (never a
+  /// reference a worker may be mid-update on). O(1).
+  Result<JobStatusView> JobStatus(int64_t job_id) const;
+
+  /// Serialized model checkpoint bytes of a *succeeded* job — what
+  /// `GET /models/<id>` streams, bit-identical to `SerializeModel` over the
+  /// artifact a `ResultSink` would persist. Errors: `kOutOfRange` (unknown
+  /// id), `kInvalidArgument` (job not settled, settled without success, or
+  /// its payload was released to a result sink).
+  Result<std::string> SerializedModel(int64_t job_id) const;
+
   int64_t num_jobs() const;
 
   /// Deterministic per-attempt seed derivation (SplitMix64 mixing of the
@@ -290,6 +349,11 @@ class FleetScheduler {
   };
 
   void RunJob(JobSlot* slot);
+  /// Appends the record's current state to the installed journal (no-op
+  /// without one). Called at every transition the journal reports.
+  void PublishEvent(const JobRecord& record);
+  /// Aggregation shared by `Wait` and `Report`; requires `mutex_`.
+  FleetReport BuildReportLocked() const;
   /// Best-effort resumable checkpoint write for the periodic sink and the
   /// final cancelled-job snapshot; warns on stderr when the write fails.
   void WriteCheckpoint(const JobSlot& slot, const LearnOptions& options,
@@ -311,6 +375,7 @@ class FleetScheduler {
   FleetOptions options_;
   ProgressCallback progress_;
   ResultSink* sink_ = nullptr;
+  JobJournal* journal_ = nullptr;
 
   mutable std::mutex mutex_;
   std::condition_variable settled_cv_;

@@ -1,0 +1,51 @@
+#include "runtime/job_journal.h"
+
+#include "util/check.h"
+
+namespace least {
+
+JobJournal::JobJournal(size_t capacity) : capacity_(capacity) {
+  LEAST_CHECK(capacity_ > 0);
+}
+
+uint64_t JobJournal::Append(JobEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event.seq = ++head_;
+  window_.push_back(std::move(event));
+  if (window_.size() > capacity_) window_.pop_front();
+  cv_.notify_all();
+  return head_;
+}
+
+JournalPoll JobJournal::WaitSince(uint64_t since,
+                                  std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout,
+               [this, since]() { return head_ > since || closed_; });
+  JournalPoll poll;
+  poll.head = head_;
+  poll.closed = closed_;
+  poll.first_retained_seq = window_.empty() ? 0 : window_.front().seq;
+  for (const JobEvent& event : window_) {
+    if (event.seq > since) poll.events.push_back(event);
+  }
+  return poll;
+}
+
+uint64_t JobJournal::head() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+void JobJournal::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool JobJournal::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace least

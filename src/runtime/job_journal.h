@@ -1,0 +1,98 @@
+/// \file job_journal.h
+/// \brief Monotonically-sequenced journal of fleet job state transitions —
+/// the seam between scheduler workers and HTTP progress feeds.
+///
+/// Workers must never block on a slow HTTP client, and long-poll handlers
+/// must never hold the scheduler's mutex while they sleep. The journal
+/// decouples them: the scheduler appends one small event per job transition
+/// (an O(1) copy under the journal's own mutex — the only thing a worker
+/// ever pays), and any number of `GET /changes?since=<seq>` handlers wait
+/// on the journal's condition variable for events they have not seen.
+///
+/// Sequencing: events get dense sequence numbers starting at 1, assigned
+/// under the journal mutex, so a client that polls `since = <last seq seen>`
+/// observes every transition exactly once and in order. The journal retains
+/// a bounded window (`capacity` most recent events); a client that falls
+/// further behind than the window learns so from `first_retained_seq` in
+/// the poll result and re-syncs from `GET /jobs` instead of silently
+/// missing transitions.
+///
+/// Thread safety: all methods may be called from any thread. `Close()`
+/// wakes every waiter (used on server drain so no handler outlives the
+/// service); waits on a closed journal return immediately.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace least {
+
+enum class JobState;  // runtime/fleet_scheduler.h
+
+/// \brief One job state transition, as the changes feed reports it.
+struct JobEvent {
+  uint64_t seq = 0;  ///< dense, starting at 1; assigned by `Append`
+  int64_t job_id = -1;
+  std::string name;        ///< job label
+  JobState state = JobState{};  ///< state after the transition
+  StatusCode status_code = StatusCode::kOk;  ///< terminal status (settled)
+  int attempts = 0;
+  double queue_ms = 0;  ///< filled once the job started
+  double run_ms = 0;    ///< filled once the job settled
+};
+
+/// \brief Result of one `WaitSince` poll.
+struct JournalPoll {
+  std::vector<JobEvent> events;  ///< events with seq > since, in order
+  uint64_t head = 0;             ///< seq of the newest event appended so far
+  /// Oldest seq still retained (0 when nothing was ever appended). When
+  /// `since + 1 < first_retained_seq`, events were dropped from the window
+  /// and the client must re-sync its view of the fleet.
+  uint64_t first_retained_seq = 0;
+  bool closed = false;  ///< the journal was closed (server draining)
+};
+
+class JobJournal {
+ public:
+  /// `capacity` bounds the retained window (events, not bytes; a JobEvent
+  /// is ~100 bytes, so the default retains ~400 KB per fleet).
+  explicit JobJournal(size_t capacity = 4096);
+
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  /// Appends one event, assigns its sequence number (returned), and wakes
+  /// every waiting poll. O(1); called by scheduler workers.
+  uint64_t Append(JobEvent event);
+
+  /// Returns every retained event with `seq > since`, blocking up to
+  /// `timeout` when there are none yet. Returns immediately (with empty
+  /// `events`) once the journal is closed.
+  JournalPoll WaitSince(uint64_t since, std::chrono::milliseconds timeout) const;
+
+  /// Seq of the newest event (0 when empty). Non-blocking.
+  uint64_t head() const;
+
+  /// Wakes every waiter and makes all future waits non-blocking. Events
+  /// stay readable (a draining server still answers catch-up polls).
+  void Close();
+  bool closed() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::deque<JobEvent> window_;  ///< retained events, ascending seq
+  uint64_t head_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace least

@@ -311,5 +311,86 @@ TEST(FleetScheduler, RunsSparseJobs) {
   EXPECT_EQ(record.outcome.sparse_weights.rows(), 10);
 }
 
+// --- indexed JobStatus accessor (what GET /jobs/<id> rides) ---
+
+TEST(FleetScheduler, JobStatusRejectsUntrustedIdsWithoutAborting) {
+  ThreadPool pool(2);
+  FleetScheduler scheduler(&pool);
+  EXPECT_EQ(scheduler.JobStatus(-1).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(scheduler.JobStatus(0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(scheduler.JobStatus(1LL << 40).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(FleetScheduler, JobStatusMatchesRecordAfterSettle) {
+  ThreadPool pool(2);
+  FleetScheduler scheduler(&pool);
+  const int64_t id = scheduler.Enqueue(SmallJob(3, "status-job"));
+  scheduler.Wait();
+
+  Result<JobStatusView> status = scheduler.JobStatus(id);
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  const JobStatusView& view = status.value();
+  const JobRecord& record = scheduler.record(id);
+  EXPECT_EQ(view.job_id, id);
+  EXPECT_EQ(view.name, "status-job");
+  EXPECT_EQ(view.state, record.state);
+  EXPECT_EQ(view.status_code, record.status.code());
+  EXPECT_EQ(view.attempts, record.attempts);
+  EXPECT_EQ(view.seed, record.seed);
+  EXPECT_EQ(view.run_ms, record.run_ms);
+  ASSERT_EQ(view.state, JobState::kSucceeded);
+  EXPECT_TRUE(view.has_model);
+  EXPECT_EQ(view.edges, record.outcome.EdgeCount());
+  EXPECT_GE(view.edges, 0);
+}
+
+TEST(FleetScheduler, JobStatusOnCancelledJobReportsNoModel) {
+  ThreadPool pool(1);
+  FleetScheduler scheduler(&pool);
+  // Occupy the single worker so the second job stays pending.
+  scheduler.Enqueue(SmallJob(4, "blocker"));
+  const int64_t id = scheduler.Enqueue(SmallJob(5, "cancel-me"));
+  EXPECT_TRUE(scheduler.Cancel(id));
+  scheduler.Wait();
+
+  Result<JobStatusView> status = scheduler.JobStatus(id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value().state, JobState::kCancelled);
+  EXPECT_EQ(status.value().status_code, StatusCode::kCancelled);
+  EXPECT_FALSE(status.value().has_model);
+  EXPECT_EQ(status.value().edges, -1);
+}
+
+TEST(FleetScheduler, ReportSnapshotsWithoutWaiting) {
+  ThreadPool pool(2);
+  FleetScheduler scheduler(&pool);
+  scheduler.Enqueue(SmallJob(6, "a"));
+  scheduler.Enqueue(SmallJob(7, "b"));
+  const FleetReport snapshot = scheduler.Report();  // must not block
+  EXPECT_EQ(snapshot.total_jobs, 2);
+  EXPECT_EQ(snapshot.pending + snapshot.running + snapshot.succeeded +
+                snapshot.failed + snapshot.cancelled,
+            2);
+  const FleetReport final_report = scheduler.Wait();
+  EXPECT_EQ(final_report.pending, 0);
+  EXPECT_EQ(final_report.running, 0);
+  EXPECT_EQ(final_report.succeeded, 2);
+}
+
+TEST(FleetScheduler, SerializedModelMatchesSinkFormat) {
+  ThreadPool pool(1);
+  FleetScheduler scheduler(&pool);
+  const int64_t id = scheduler.Enqueue(SmallJob(8, "bytes"));
+  scheduler.Wait();
+  Result<std::string> bytes = scheduler.SerializedModel(id);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  EXPECT_FALSE(bytes.value().empty());
+  // Unknown ids and out-of-range ids map to kOutOfRange, not an abort.
+  EXPECT_EQ(scheduler.SerializedModel(id + 1).status().code(),
+            StatusCode::kOutOfRange);
+}
+
 }  // namespace
 }  // namespace least

@@ -1,0 +1,238 @@
+// Concurrency stress for the REST front end: N client threads submitting,
+// polling, and cancelling jobs over real loopback connections while other
+// threads long-poll the changes feed — then a graceful drain
+// (POST /admin/shutdown) in the middle of a busy fleet, which must 503 new
+// submissions, wake every long-poll with `closed: true`, and settle every
+// in-flight job. Wired into `check.sh --repeat until-fail:3` to shake out
+// interleaving-dependent bugs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/data_source.h"
+#include "data/benchmark_data.h"
+#include "net/fleet_service.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/json.h"
+#include "runtime/fleet_scheduler.h"
+#include "runtime/job_journal.h"
+#include "runtime/thread_pool.h"
+
+namespace least {
+namespace {
+
+constexpr int kClientThreads = 4;
+constexpr int kJobsPerThread = 5;
+
+std::string DatasetDir() {
+  static const std::string* dir = [] {
+    BenchmarkConfig cfg;
+    cfg.d = 6;
+    cfg.n = 120;
+    cfg.seed = 5;
+    auto* d = new std::string(testing::TempDir());
+    EXPECT_TRUE(WriteMatrixCsv(*d + "/net_stress_data.csv",
+                               MakeBenchmarkInstance(cfg).x)
+                    .ok());
+    return d;
+  }();
+  return *dir;
+}
+
+std::string JobBody(const std::string& name, bool slow) {
+  // Slow jobs cannot converge (tolerance 0) and are what drain interrupts;
+  // fast jobs finish in a few rounds.
+  const std::string options =
+      slow ? "{\"max_outer_iterations\":100000,\"max_inner_iterations\":300,"
+             "\"tolerance\":0}"
+           : "{\"max_outer_iterations\":20,\"max_inner_iterations\":100,"
+             "\"tolerance\":1e-3,\"track_exact_h\":true,"
+             "\"terminate_on_h\":true}";
+  return "{\"name\":" + JsonQuote(name) +
+         ",\"algorithm\":\"least-dense\","
+         "\"dataset\":{\"csv\":\"net_stress_data.csv\","
+         "\"has_header\":false},\"options\":" +
+         options + "}";
+}
+
+TEST(NetStress, ConcurrentSubmitPollCancel) {
+  ThreadPool pool(4);
+  FleetOptions fleet_options;
+  fleet_options.seed = 9;
+  FleetScheduler scheduler(&pool, fleet_options);
+  JobJournal journal;
+  scheduler.set_journal(&journal);
+  FleetServiceOptions service_options;
+  service_options.data_root = DatasetDir();
+  FleetService service(&scheduler, &journal, service_options);
+  HttpServerOptions server_options;
+  server_options.num_threads = kClientThreads + 2;  // headroom for pollers
+  HttpServer server(service.AsHandler(), server_options);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  std::atomic<int> submitted{0};
+  std::atomic<int> cancel_requests{0};
+  std::atomic<bool> stop_polling{false};
+  std::atomic<int> poll_errors{0};
+
+  // Changes-feed followers: long-poll concurrently with the submitters.
+  std::vector<std::thread> pollers;
+  for (int p = 0; p < 2; ++p) {
+    pollers.emplace_back([port, &stop_polling, &poll_errors] {
+      HttpClient client("127.0.0.1", port);
+      uint64_t since = 0;
+      while (!stop_polling.load()) {
+        Result<HttpClientResponse> poll = client.Get(
+            "/changes?since=" + std::to_string(since) + "&timeout_ms=200");
+        if (!poll.ok() || poll.value().status != 200) {
+          poll_errors.fetch_add(1);
+          break;
+        }
+        Result<JsonValue> doc = ParseJson(poll.value().body);
+        if (!doc.ok()) {
+          poll_errors.fetch_add(1);
+          break;
+        }
+        int64_t head = 0;
+        doc.value().Find("head")->IntegerValue(&head);
+        since = static_cast<uint64_t>(head);
+        if (doc.value().Find("closed")->as_bool()) break;
+      }
+    });
+  }
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([t, port, &submitted, &cancel_requests] {
+      HttpClient client("127.0.0.1", port);
+      for (int j = 0; j < kJobsPerThread; ++j) {
+        const bool slow = (j % 2 == 1);
+        Result<HttpClientResponse> submit = client.Post(
+            "/jobs",
+            JobBody("t" + std::to_string(t) + "-j" + std::to_string(j),
+                    slow));
+        if (!submit.ok()) {
+          ADD_FAILURE() << submit.status().ToString();
+          return;
+        }
+        ASSERT_EQ(submit.value().status, 202) << submit.value().body;
+        Result<JsonValue> doc = ParseJson(submit.value().body);
+        ASSERT_TRUE(doc.ok());
+        int64_t job_id = -1;
+        ASSERT_TRUE(doc.value().Find("job_id")->IntegerValue(&job_id));
+        submitted.fetch_add(1);
+
+        // Poll the job's status a few times, then cancel the slow ones.
+        for (int poll = 0; poll < 3; ++poll) {
+          Result<HttpClientResponse> status =
+              client.Get("/jobs/" + std::to_string(job_id));
+          ASSERT_TRUE(status.ok());
+          ASSERT_EQ(status.value().status, 200);
+        }
+        if (slow && j % 4 == 1) {
+          Result<HttpClientResponse> cancel = client.Post(
+              "/jobs/" + std::to_string(job_id) + "/cancel", "");
+          ASSERT_TRUE(cancel.ok());
+          ASSERT_EQ(cancel.value().status, 200);
+          cancel_requests.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  ASSERT_EQ(submitted.load(), kClientThreads * kJobsPerThread);
+
+  // Drain while the fleet is still busy (slow jobs are unfinishable until
+  // cancelled, so the fleet cannot have settled everything yet).
+  HttpClient admin("127.0.0.1", port);
+  Result<HttpClientResponse> drain = admin.Post("/admin/shutdown", "");
+  ASSERT_TRUE(drain.ok());
+  EXPECT_EQ(drain.value().status, 202);
+
+  // New submissions are refused from now on.
+  Result<HttpClientResponse> refused =
+      admin.Post("/jobs", JobBody("late", false));
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused.value().status, 503);
+
+  // Long-polls observe the close instead of hanging.
+  Result<HttpClientResponse> closed_poll =
+      admin.Get("/changes?since=0&timeout_ms=5000");
+  ASSERT_TRUE(closed_poll.ok());
+  ASSERT_EQ(closed_poll.value().status, 200);
+  Result<JsonValue> closed_doc = ParseJson(closed_poll.value().body);
+  ASSERT_TRUE(closed_doc.ok());
+  EXPECT_TRUE(closed_doc.value().Find("closed")->as_bool());
+
+  // Settle the in-flight jobs: cancel the unfinishable ones, then wait.
+  scheduler.CancelAll();
+  const FleetReport report = scheduler.Wait();
+  EXPECT_EQ(report.total_jobs, kClientThreads * kJobsPerThread);
+  EXPECT_EQ(report.pending, 0);
+  EXPECT_EQ(report.running, 0);
+  EXPECT_EQ(report.succeeded + report.failed + report.cancelled,
+            report.total_jobs);
+  EXPECT_GT(report.succeeded, 0);  // the fast jobs converge
+
+  // Status endpoint still answers during drain (only submission is gated).
+  Result<HttpClientResponse> status_after = admin.Get("/jobs/0");
+  ASSERT_TRUE(status_after.ok());
+  EXPECT_EQ(status_after.value().status, 200);
+
+  stop_polling.store(true);
+  for (std::thread& t : pollers) t.join();
+  EXPECT_EQ(poll_errors.load(), 0);
+
+  server.Stop();
+  EXPECT_EQ(server.active_connections(), 0);
+}
+
+// Keep-alive churn: one connection per thread, many small requests, while
+// the server is also accepting fresh connections — shakes the connection
+// registry and response writer under contention.
+TEST(NetStress, KeepAliveChurn) {
+  ThreadPool pool(2);
+  FleetScheduler scheduler(&pool);
+  JobJournal journal;
+  scheduler.set_journal(&journal);
+  FleetServiceOptions service_options;
+  service_options.data_root = DatasetDir();
+  FleetService service(&scheduler, &journal, service_options);
+  HttpServer server(service.AsHandler());
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&server, &failures] {
+      HttpClient client("127.0.0.1", server.port());
+      for (int i = 0; i < 50; ++i) {
+        Result<HttpClientResponse> index = client.Get("/");
+        if (!index.ok() || index.value().status != 200) {
+          failures.fetch_add(1);
+          return;
+        }
+        Result<HttpClientResponse> missing = client.Get("/jobs/12345");
+        if (!missing.ok() || missing.value().status != 404) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.Stop();
+  EXPECT_EQ(server.active_connections(), 0);
+}
+
+}  // namespace
+}  // namespace least

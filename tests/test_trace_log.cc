@@ -270,10 +270,11 @@ TEST(TraceEventNames, KnownKindsHaveStableNames) {
   EXPECT_EQ(TraceEventKindName(TraceEventKind::kCacheRefuse), "cache-refuse");
   EXPECT_EQ(TraceEventKindName(TraceEventKind::kSinkRetire), "sink-retire");
   EXPECT_EQ(TraceEventKindName(static_cast<TraceEventKind>(999)), "unknown");
+  EXPECT_EQ(TraceEventKindName(TraceEventKind::kHttpRespond), "http-respond");
   EXPECT_TRUE(IsKnownTraceEventKind(1));
-  EXPECT_TRUE(IsKnownTraceEventKind(15));
+  EXPECT_TRUE(IsKnownTraceEventKind(18));
   EXPECT_FALSE(IsKnownTraceEventKind(0));
-  EXPECT_FALSE(IsKnownTraceEventKind(16));
+  EXPECT_FALSE(IsKnownTraceEventKind(19));
 }
 
 }  // namespace

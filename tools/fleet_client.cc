@@ -1,0 +1,152 @@
+// fleet_client: command-line driver for the REST front end
+// (examples/fleet_server.cpp). Used interactively and by the CI HTTP smoke
+// (`scripts/check.sh --http-smoke`), which starts a server, submits jobs,
+// watches the changes feed until they settle, fetches a model blob, and
+// drains the server — all through this client.
+//
+// Usage: fleet_client <port> <command> [args...]   (host is 127.0.0.1)
+//
+//   submit <csv> [algorithm] [name] [options-json]  enqueue a job; prints
+//                                                   the response JSON
+//   status <id>                                     GET /jobs/<id>
+//   report                                          GET /jobs
+//   watch <id> [max-polls]                          long-poll /changes until
+//                                                   the job settles; prints
+//                                                   "settled: <state>"
+//   model <id> <out-path>                           GET /models/<id> to file
+//   cancel <id>                                     POST /jobs/<id>/cancel
+//   metrics                                         GET /metrics
+//   shutdown                                        POST /admin/shutdown
+//
+// Exit code 0 on HTTP 2xx (and, for watch, a settled job), 1 otherwise.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "net/http_client.h"
+#include "net/json.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: fleet_client <port> submit <csv> [algorithm] [name] "
+               "[options-json]\n"
+               "       fleet_client <port> "
+               "status|watch|model|cancel <id> [...]\n"
+               "       fleet_client <port> report|metrics|shutdown\n");
+  return 2;
+}
+
+// Prints the body and maps the HTTP status to an exit code.
+int Finish(const least::Result<least::HttpClientResponse>& response) {
+  if (!response.ok()) {
+    std::fprintf(stderr, "fleet_client: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", response.value().body.c_str());
+  return response.value().status < 300 ? 0 : 1;
+}
+
+int Watch(least::HttpClient& client, const std::string& id, int max_polls) {
+  uint64_t since = 0;
+  for (int round = 0; round < max_polls; ++round) {
+    least::Result<least::HttpClientResponse> poll = client.Get(
+        "/changes?since=" + std::to_string(since) + "&timeout_ms=2000");
+    if (!poll.ok() || poll.value().status != 200) return Finish(poll);
+    least::Result<least::JsonValue> doc =
+        least::ParseJson(poll.value().body);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "fleet_client: %s\n",
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    for (const least::JsonValue& event :
+         doc.value().Find("events")->items()) {
+      int64_t event_job = -1;
+      event.Find("job_id")->IntegerValue(&event_job);
+      const std::string& state = event.Find("state")->as_string();
+      std::printf("event job=%lld state=%s\n",
+                  static_cast<long long>(event_job), state.c_str());
+      if (std::to_string(event_job) == id &&
+          (state == "succeeded" || state == "failed" ||
+           state == "cancelled")) {
+        std::printf("settled: %s\n", state.c_str());
+        return state == "succeeded" ? 0 : 1;
+      }
+    }
+    int64_t head = 0;
+    doc.value().Find("head")->IntegerValue(&head);
+    since = static_cast<uint64_t>(head);
+    if (doc.value().Find("closed")->as_bool()) break;
+  }
+  std::fprintf(stderr, "fleet_client: job %s did not settle\n", id.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const int port = std::atoi(argv[1]);
+  if (port <= 0 || port > 65535) return Usage();
+  const std::string command = argv[2];
+  least::HttpClient client("127.0.0.1", port);
+
+  if (command == "submit") {
+    if (argc < 4) return Usage();
+    const std::string algorithm = argc > 4 ? argv[4] : "least-dense";
+    const std::string name = argc > 5 ? argv[5] : "cli-job";
+    const std::string options = argc > 6 ? argv[6] : "{}";
+    const std::string body =
+        "{\"name\":" + least::JsonQuote(name) +
+        ",\"algorithm\":" + least::JsonQuote(algorithm) +
+        ",\"dataset\":{\"csv\":" + least::JsonQuote(argv[3]) +
+        ",\"has_header\":false},\"options\":" + options + "}";
+    return Finish(client.Post("/jobs", body));
+  }
+  if (command == "status" && argc == 4) {
+    return Finish(client.Get(std::string("/jobs/") + argv[3]));
+  }
+  if (command == "report" && argc == 3) {
+    return Finish(client.Get("/jobs"));
+  }
+  if (command == "watch" && argc >= 4) {
+    const int max_polls = argc > 4 ? std::atoi(argv[4]) : 150;
+    return Watch(client, argv[3], std::max(1, max_polls));
+  }
+  if (command == "model" && argc == 5) {
+    least::Result<least::HttpClientResponse> response =
+        client.Get(std::string("/models/") + argv[3]);
+    if (!response.ok() || response.value().status != 200) {
+      return Finish(response);
+    }
+    std::ofstream out(argv[4], std::ios::binary | std::ios::trunc);
+    out.write(response.value().body.data(),
+              static_cast<std::streamsize>(response.value().body.size()));
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "fleet_client: cannot write %s\n", argv[4]);
+      return 1;
+    }
+    std::printf("wrote %zu bytes to %s\n", response.value().body.size(),
+                argv[4]);
+    return 0;
+  }
+  if (command == "cancel" && argc == 4) {
+    return Finish(
+        client.Post(std::string("/jobs/") + argv[3] + "/cancel", ""));
+  }
+  if (command == "metrics" && argc == 3) {
+    return Finish(client.Get("/metrics"));
+  }
+  if (command == "shutdown" && argc == 3) {
+    return Finish(client.Post("/admin/shutdown", ""));
+  }
+  return Usage();
+}

@@ -101,6 +101,10 @@ int Dump(const std::string& path, int64_t show_events) {
   uint64_t pool_max_depth = 0;
   int64_t sink_streams = 0, sink_retires = 0;
   uint64_t sink_bytes = 0;
+  int64_t http_accepts = 0, http_requests = 0, http_responses = 0;
+  int64_t http_errors = 0;  // responses with status >= 400
+  uint64_t http_request_bytes = 0, http_response_bytes = 0;
+  uint64_t http_peak_connections = 0;
 
   for (const TraceEvent& e : events) {
     switch (e.kind) {
@@ -167,6 +171,19 @@ int Dump(const std::string& path, int64_t show_events) {
       case TraceEventKind::kSinkRetire:
         ++sink_retires;
         jobs[e.job].retired = true;
+        break;
+      case TraceEventKind::kHttpAccept:
+        ++http_accepts;
+        http_peak_connections = std::max(http_peak_connections, e.arg0);
+        break;
+      case TraceEventKind::kHttpRequest:
+        ++http_requests;
+        http_request_bytes += e.arg0;
+        break;
+      case TraceEventKind::kHttpRespond:
+        ++http_responses;
+        http_response_bytes += e.arg1;
+        if (e.arg0 >= 400) ++http_errors;
         break;
     }
   }
@@ -235,6 +252,17 @@ int Dump(const std::string& path, int64_t show_events) {
                 (long long)sink_streams,
                 static_cast<double>(sink_bytes) / (1024.0 * 1024.0),
                 (long long)sink_retires);
+  }
+  if (http_accepts > 0 || http_requests > 0) {
+    std::printf(
+        "http: %lld connections (peak %llu concurrent), %lld requests "
+        "(%.1f KiB in), %lld responses (%.1f KiB out, %lld errors)\n",
+        (long long)http_accepts, (unsigned long long)http_peak_connections,
+        (long long)http_requests,
+        static_cast<double>(http_request_bytes) / 1024.0,
+        (long long)http_responses,
+        static_cast<double>(http_response_bytes) / 1024.0,
+        (long long)http_errors);
   }
   return 0;
 }
