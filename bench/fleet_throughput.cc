@@ -18,13 +18,21 @@
 /// A third section measures the sharded data plane on a single dataset 4x
 /// larger than its cache budget: `least-sparse` streams it in row-range
 /// shards (peak resident <= budget) and must land bitwise on the all-in-RAM
-/// model. A machine-readable snapshot of all sections lands in
+/// model.
+///
+/// A fourth section (`mixed_workload`) measures the scheduling policy
+/// itself: latency-sensitive small jobs stuck behind batch-sized large jobs
+/// on a saturated 2-thread pool, FIFO vs. the priority and cache-affinity
+/// claim orders. The policy must cut the small-job p99 at equal throughput
+/// (same total work, same pool) while every policy learns bit-identical
+/// models. A machine-readable snapshot of all sections lands in
 /// `BENCH_fleet.json`.
 ///
 /// Sizes follow the standard harness envs:
 ///   LEAST_BENCH_SCALE=<double>  fraction of the default 400-job queue
 ///   LEAST_FLEET_MAX_THREADS     cap on the largest pool (default: hardware)
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
@@ -399,6 +407,150 @@ int main() {
        shard_deterministic ? "yes" : "NO"});
   std::printf("%s\n", shard_table.ToString().c_str());
 
+  // ---- Mixed workload: scheduling policy vs. small-job tail latency. ----
+  // Worst case for FIFO: every batch-sized job arrives *before* the
+  // latency-sensitive small ones, on a pool too narrow to hide them. Small
+  // jobs carry a deadline (the priority comparator claims deadline-carrying
+  // work first within a class); large jobs are plain batch work. The small
+  // jobs cycle over a handful of shared CSV datasets through a cache that
+  // cannot hold them all — the affinity policy's chance to group claims by
+  // resident dataset instead of thrashing the LRU.
+  const int num_small = std::max(24, static_cast<int>(120 * scale));
+  const int num_large = std::max(3, num_small / 8);
+  const int num_shared_datasets = 6;
+  const size_t mixed_budget_datasets = 3;  // < num_shared_datasets: thrashes
+  const std::string mixed_dir =
+      (fs::temp_directory_path() / "least_bench_fleet_mixed").string();
+  fs::remove_all(mixed_dir);
+  fs::create_directories(mixed_dir);
+  std::vector<std::string> small_csvs;
+  size_t small_bytes = 0;
+  for (int s = 0; s < num_shared_datasets; ++s) {
+    least::GeneNetworkConfig config;
+    config.num_genes = 12;
+    config.num_edges = 20;
+    config.num_samples = 120;
+    config.seed = 5000 + static_cast<uint64_t>(s);
+    const least::DenseMatrix x = least::MakeGeneNetwork(config).x;
+    small_bytes = x.size() * sizeof(double);
+    const std::string path =
+        mixed_dir + "/small-" + std::to_string(s) + ".csv";
+    (void)least::WriteMatrixCsv(path, x);
+    small_csvs.push_back(path);
+  }
+  std::vector<std::string> large_csvs;
+  for (int l = 0; l < num_large; ++l) {
+    least::BenchmarkConfig big;
+    big.d = 24;
+    big.n = 480;
+    big.seed = 6000 + static_cast<uint64_t>(l);
+    const std::string path =
+        mixed_dir + "/large-" + std::to_string(l) + ".csv";
+    (void)least::WriteMatrixCsv(path, least::MakeBenchmarkInstance(big).x);
+    large_csvs.push_back(path);
+  }
+
+  struct MixedRun {
+    std::string policy;
+    least::FleetReport report;
+    double small_p50_ms = 0, small_p99_ms = 0, large_p99_ms = 0;
+    least::DatasetCache::Stats cache;
+    bool deterministic = true;
+  };
+  auto percentile = [](std::vector<double> v, double p) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const double rank = p * static_cast<double>(v.size() - 1);
+    return v[static_cast<size_t>(rank + 0.5)];
+  };
+  std::vector<MixedRun> mixed_runs;
+  least::DenseMatrix mixed_probe;  // job 0 under FIFO, the identity baseline
+  for (const least::SchedPolicy policy :
+       {least::SchedPolicy::kFifo, least::SchedPolicy::kPriority,
+        least::SchedPolicy::kCacheAffinity}) {
+    MixedRun run;
+    run.policy = std::string(least::SchedPolicyName(policy));
+    least::DatasetCache cache(mixed_budget_datasets * small_bytes);
+    least::ThreadPool pool(2);
+    least::FleetScheduler scheduler(&pool, {.seed = 7, .policy = policy});
+    // Batch work first — the arrival order FIFO handles worst.
+    for (int l = 0; l < num_large; ++l) {
+      least::LearnJob job;
+      job.name = "large-" + std::to_string(l);
+      job.algorithm = least::Algorithm::kLeastDense;
+      least::CsvSourceOptions opt;
+      opt.has_header = false;
+      opt.cache = &cache;
+      job.data = least::MakeCsvSource(large_csvs[l], opt);
+      job.options.max_outer_iterations = 30;
+      job.options.max_inner_iterations = 120;
+      job.options.tolerance = 1e-8;
+      scheduler.Enqueue(std::move(job));
+    }
+    for (int s = 0; s < num_small; ++s) {
+      least::LearnJob job;
+      job.name = "small-" + std::to_string(s);
+      job.algorithm = least::Algorithm::kLeastDense;
+      least::CsvSourceOptions opt;
+      opt.has_header = false;
+      opt.cache = &cache;
+      job.data = least::MakeCsvSource(
+          small_csvs[static_cast<size_t>(s) % small_csvs.size()], opt);
+      job.options.max_outer_iterations = 12;
+      job.options.max_inner_iterations = 80;
+      job.options.tolerance = 1e-6;
+      job.deadline_ms = 500;  // latency-sensitive class
+      scheduler.Enqueue(std::move(job));
+    }
+    run.report = scheduler.Wait();
+    run.cache = cache.stats();
+    std::vector<double> small_latency, large_latency;
+    for (int64_t j = 0; j < scheduler.num_jobs(); ++j) {
+      const least::JobRecord& record = scheduler.record(j);
+      const double settle_ms = record.queue_ms + record.run_ms;
+      if (record.name.rfind("small-", 0) == 0) {
+        small_latency.push_back(settle_ms);
+      } else {
+        large_latency.push_back(settle_ms);
+      }
+    }
+    run.small_p50_ms = percentile(small_latency, 0.50);
+    run.small_p99_ms = percentile(small_latency, 0.99);
+    run.large_p99_ms = percentile(large_latency, 0.99);
+    const least::DenseMatrix& probe = scheduler.record(0).outcome.weights;
+    if (policy == least::SchedPolicy::kFifo) {
+      mixed_probe = probe;
+    } else {
+      run.deterministic =
+          probe.SameShape(mixed_probe) &&
+          least::MaxAbsDiff(probe, mixed_probe) == 0.0;
+    }
+    mixed_runs.push_back(std::move(run));
+  }
+  fs::remove_all(mixed_dir);
+
+  std::printf("mixed workload (2 threads, %d large jobs enqueued ahead of "
+              "%d deadline-carrying small jobs, %zu-dataset cache over %d "
+              "shared datasets):\n",
+              num_large, num_small, mixed_budget_datasets,
+              num_shared_datasets);
+  least::TablePrinter mixed_table({"policy", "wall s", "jobs/s",
+                                   "small p50", "small p99", "large p99",
+                                   "loads", "evicted", "deterministic"});
+  for (const MixedRun& run : mixed_runs) {
+    mixed_table.AddRow(
+        {run.policy, least::TablePrinter::Fmt(run.report.wall_seconds, 2),
+         least::TablePrinter::Fmt(run.report.throughput_jobs_per_sec, 1),
+         least::TablePrinter::Fmt(run.small_p50_ms, 1),
+         least::TablePrinter::Fmt(run.small_p99_ms, 1),
+         least::TablePrinter::Fmt(run.large_p99_ms, 1),
+         least::TablePrinter::Fmt(static_cast<long long>(run.cache.misses)),
+         least::TablePrinter::Fmt(
+             static_cast<long long>(run.cache.evictions)),
+         run.deterministic ? "yes" : "NO"});
+  }
+  std::printf("%s\n", mixed_table.ToString().c_str());
+
   // ---- Machine-readable snapshot. ----
   std::FILE* json = std::fopen("BENCH_fleet.json", "w");
   if (json != nullptr) {
@@ -452,12 +604,37 @@ int main() {
         "    \"budget_bytes\": %zu, \"shard_rows\": %d,\n"
         "    \"in_ram_fit_seconds\": %.4f, \"sharded_fit_seconds\": %.4f,\n"
         "    \"shard_loads\": %lld, \"shard_evictions\": %lld,\n"
-        "    \"peak_resident_bytes\": %zu, \"deterministic\": %s\n  }\n}\n",
+        "    \"peak_resident_bytes\": %zu, \"deterministic\": %s\n  },\n",
         big_n, big_d, big_bytes, shard_budget, shard_rows_count, ram_seconds,
         shard_seconds, static_cast<long long>(shard_stats.misses),
         static_cast<long long>(shard_stats.evictions),
         shard_stats.peak_resident_bytes,
         shard_deterministic ? "true" : "false");
+    std::fprintf(json,
+                 "  \"mixed_workload\": {\n"
+                 "    \"small_jobs\": %d, \"large_jobs\": %d,\n"
+                 "    \"shared_datasets\": %d, \"cache_budget_datasets\": "
+                 "%zu,\n    \"runs\": [\n",
+                 num_small, num_large, num_shared_datasets,
+                 mixed_budget_datasets);
+    for (size_t i = 0; i < mixed_runs.size(); ++i) {
+      const MixedRun& run = mixed_runs[i];
+      std::fprintf(
+          json,
+          "      {\"policy\": \"%s\", \"wall_seconds\": %.4f, "
+          "\"jobs_per_sec\": %.2f, \"small_p50_ms\": %.2f, "
+          "\"small_p99_ms\": %.2f, \"large_p99_ms\": %.2f, "
+          "\"cache_loads\": %lld, \"cache_evictions\": %lld, "
+          "\"deterministic\": %s}%s\n",
+          run.policy.c_str(), run.report.wall_seconds,
+          run.report.throughput_jobs_per_sec, run.small_p50_ms,
+          run.small_p99_ms, run.large_p99_ms,
+          static_cast<long long>(run.cache.misses),
+          static_cast<long long>(run.cache.evictions),
+          run.deterministic ? "true" : "false",
+          i + 1 < mixed_runs.size() ? "," : "");
+    }
+    std::fprintf(json, "    ]\n  }\n}\n");
     std::fclose(json);
     std::printf("snapshot written to BENCH_fleet.json\n");
   }

@@ -24,6 +24,11 @@
 //        LEAST_SERVER_THREADS (worker pool width, default hardware)
 //        LEAST_SERVER_CONNS   (connection pool width, default 4)
 //        LEAST_SERVER_DATA    (dataset root for CSV refs, default ".")
+//        LEAST_SERVER_POLICY  (scheduling policy: fifo | priority |
+//                              cache-affinity, default fifo)
+//        LEAST_SERVER_MAX_QUEUED (bounded admission: max waiting jobs, 0 =
+//                              unbounded; overflow answers 429 +
+//                              Retry-After)
 //        LEAST_SERVER_TRACE   (.lbtrace path; records scheduler + http
 //                              events for ./build/tools/lbtrace_dump)
 //
@@ -80,8 +85,24 @@ int main() {
   }
   least::InstallTraceLog(trace_log.get());  // no-op when tracing is off
 
+  least::FleetOptions fleet_options;
+  const char* policy_env = std::getenv("LEAST_SERVER_POLICY");
+  if (policy_env != nullptr && policy_env[0] != '\0') {
+    least::Result<least::SchedPolicy> policy =
+        least::ParseSchedPolicy(policy_env);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "fleet_server: %s\n",
+                   policy.status().ToString().c_str());
+      return 1;
+    }
+    fleet_options.policy = policy.value();
+  }
+  fleet_options.max_queued = std::max(
+      0, least::EnvInt("LEAST_SERVER_MAX_QUEUED",
+                       static_cast<int>(fleet_options.max_queued)));
+
   least::ThreadPool pool(workers);
-  least::FleetScheduler scheduler(&pool);
+  least::FleetScheduler scheduler(&pool, fleet_options);
   least::JobJournal journal;
   scheduler.set_journal(&journal);
 
@@ -98,8 +119,10 @@ int main() {
     return 1;
   }
   std::printf("fleet_server: listening on %s (%d workers, %d connections, "
-              "data root %s)\n",
-              server.base_url().c_str(), workers, conns, data_root.c_str());
+              "data root %s, policy %s, max queued %lld)\n",
+              server.base_url().c_str(), workers, conns, data_root.c_str(),
+              std::string(least::SchedPolicyName(scheduler.policy())).c_str(),
+              static_cast<long long>(scheduler.max_queued()));
   std::fflush(stdout);
 
   // Park until POST /admin/shutdown flips the drain flag, then settle the

@@ -50,16 +50,23 @@ if [[ "${LEAST_NATIVE:-0}" != "0" ]]; then
 fi
 
 if [[ "$bench_smoke" != "0" ]]; then
-  # Kernel microbenchmark smoke: small sizes, single-threaded, proves the
-  # blocked gemm / workspace layer still reports sane numbers. The snapshot
-  # lands in the build tree so it can never clobber the committed
-  # paper-scale BENCH_kernels.json at the repo root.
+  # Bench smoke: small sizes, proves the kernel microbenchmark and the fleet
+  # scheduling/throughput bench (policy comparison, mixed_workload section)
+  # still report sane numbers. The snapshots land in the build tree so they
+  # can never clobber the committed paper-scale BENCH_kernels.json /
+  # BENCH_fleet.json at the repo root.
   cd "$repo_root"
   cmake -B "$build_dir" -S . "${native_flags[@]}"
-  cmake --build "$build_dir" -j --target bench_kernel_micro
+  cmake --build "$build_dir" -j --target bench_kernel_micro \
+        bench_fleet_throughput
   (cd "$build_dir" &&
    LEAST_BENCH_SCALE="${LEAST_BENCH_SCALE:-0.2}" bench/kernel_micro)
-  echo "check.sh: bench smoke done ($build_dir/BENCH_kernels.json written)"
+  (cd "$build_dir" &&
+   LEAST_BENCH_SCALE="${LEAST_BENCH_SCALE:-0.2}" \
+   LEAST_FLEET_MAX_THREADS="${LEAST_FLEET_MAX_THREADS:-2}" \
+     bench/fleet_throughput)
+  echo "check.sh: bench smoke done ($build_dir/BENCH_kernels.json and" \
+       "$build_dir/BENCH_fleet.json written)"
   exit 0
 fi
 
@@ -182,13 +189,14 @@ if [[ "${LEAST_SANITIZE_ONLY:-0}" == "0" ]]; then
   cd "$build_dir"
   ctest --output-on-failure -j
 
-  # The thread-pool, fleet-scheduler, sharded-cache, and net-stress tests
-  # exercise real concurrency (work stealing, cancellation races, shutdown,
+  # The thread-pool, fleet-scheduler, fleet-scheduling, sharded-cache, and
+  # net-stress tests exercise real concurrency (work stealing, cancellation
+  # races, shutdown, policy-ordered claims, bounded-admission storms,
   # single-flight shard loads, HTTP drain-while-busy); a
   # scheduling-dependent bug can pass a single run. Re-run them a few times
   # and fail on a flake.
   ctest --output-on-failure \
-        -R '^(test_thread_pool|test_fleet_scheduler|test_sharded_cache|test_net_stress)$' \
+        -R '^(test_thread_pool|test_fleet_scheduler|test_fleet_scheduling|test_sharded_cache|test_net_stress)$' \
         --repeat until-fail:3 --no-tests=error
 
   echo "check.sh: all green"
@@ -209,11 +217,12 @@ if [[ "${LEAST_SANITIZE:-0}" != "0" ]]; then
   cmake --build "$san_dir" -j --target \
         test_data_source test_csv test_fleet_data_plane \
         test_sharded_cache \
-        test_fleet_scheduler test_model_serializer test_serializer_fuzz \
+        test_fleet_scheduler test_fleet_scheduling test_model_serializer \
+        test_serializer_fuzz \
         test_checkpoint_resume test_trace_log test_obs_metrics \
         test_http_parser test_net_service test_net_stress
   cd "$san_dir"
   ctest --output-on-failure --no-tests=error -R \
-        '^(test_data_source|test_csv|test_fleet_data_plane|test_sharded_cache|test_fleet_scheduler|test_model_serializer|test_serializer_fuzz|test_checkpoint_resume|test_trace_log|test_obs_metrics|test_http_parser|test_net_service|test_net_stress)$'
+        '^(test_data_source|test_csv|test_fleet_data_plane|test_sharded_cache|test_fleet_scheduler|test_fleet_scheduling|test_model_serializer|test_serializer_fuzz|test_checkpoint_resume|test_trace_log|test_obs_metrics|test_http_parser|test_net_service|test_net_stress)$'
   echo "check.sh: sanitizer pass green"
 fi

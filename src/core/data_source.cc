@@ -522,6 +522,16 @@ void DatasetCache::Drop(const std::string& key) {
   if (it->second.alive.expired()) entries_.erase(it);
 }
 
+bool DatasetCache::Resident(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  // Mirrors LookupLocked's "would this hit?" logic without its side
+  // effects: no LRU bump, no re-promotion, no erase of a dead entry —
+  // affinity probing must never perturb eviction order.
+  return it->second.cached != nullptr || !it->second.alive.expired();
+}
+
 void DatasetCache::set_byte_budget(size_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   byte_budget_ = bytes;
@@ -738,6 +748,22 @@ Status CsvDataSource::Prepare() const {
 DatasetSpec CsvDataSource::spec() const {
   std::lock_guard<std::mutex> lock(mu_);
   return spec_;
+}
+
+double CsvDataSource::CacheResidency() const {
+  size_t num_shards = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!prepared_) return 0.0;  // nothing loaded yet, and probing loads nothing
+    num_shards = spec_.shards.size();
+  }
+  if (shard_rows_ == 0) return cache_->Resident(cache_key_) ? 1.0 : 0.0;
+  if (num_shards == 0) return 0.0;
+  size_t resident = 0;
+  for (size_t i = 0; i < num_shards; ++i) {
+    if (cache_->Resident(ShardKey(static_cast<int>(i)))) ++resident;
+  }
+  return static_cast<double>(resident) / static_cast<double>(num_shards);
 }
 
 Result<DenseMatrix> CsvDataSource::LoadShard(int index) const {

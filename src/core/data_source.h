@@ -172,6 +172,16 @@ class DataSource {
     (void)scratch;
     return GatherTransposed(rows, out);
   }
+
+  /// Fraction of this dataset currently resident in cache, in [0, 1] — the
+  /// cache-affinity signal the fleet scheduler's placement policy reads.
+  /// In-memory sources are always "warm" (1.0). Lazy sources report what a
+  /// touch right now would find without loading anything: 0 or 1 for
+  /// whole-dataset residency, the resident-shard fraction for sharded mode,
+  /// and 0 before `Prepare` (an unprepared source has loaded nothing, and
+  /// probing must stay side-effect-free). Advisory only — the value may be
+  /// stale by the time the job runs; correctness never depends on it.
+  virtual double CacheResidency() const { return 1.0; }
 };
 
 /// \brief In-memory dense dataset, owning (or sharing) its matrix.
@@ -284,6 +294,12 @@ class DatasetCache {
   /// charging the budget until LRU pressure happens to reach it.
   void Drop(const std::string& key);
 
+  /// True when a `GetOrLoad(key, ...)` right now would hit: the entry is
+  /// cached, or evicted-but-pinned (a live handle still holds the bytes).
+  /// A pure probe for the scheduler's cache-affinity placement — no LRU
+  /// bump, no hit/miss accounting, no load.
+  bool Resident(const std::string& key) const;
+
   /// Adjusts the budget and evicts down to it.
   void set_byte_budget(size_t bytes);
   size_t byte_budget() const;
@@ -395,6 +411,9 @@ class CsvDataSource final : public DataSource {
                           DenseMatrix* out) const override;
   Status GatherTransposed(std::span<const int> rows, DenseMatrix* out,
                           GatherScratch* scratch) const override;
+  /// Whole-dataset mode: 0 or 1. Sharded mode: resident shards / shards.
+  /// 0 before `Prepare` (nothing has been loaded; probing loads nothing).
+  double CacheResidency() const override;
 
  private:
   /// Parses + structurally validates the whole file (the unsharded cache

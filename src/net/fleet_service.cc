@@ -100,6 +100,18 @@ JsonValue ReportToJson(const FleetReport& report) {
   v.Set("max_latency_ms", JsonValue::Number(report.max_latency_ms));
   v.Set("succeeded_first_try", LatencyToJson(report.succeeded_first_try));
   v.Set("succeeded_retried", LatencyToJson(report.succeeded_retried));
+  v.Set("queue_depth_high_water",
+        JsonValue::Number(static_cast<double>(report.queue_depth_high_water)));
+  v.Set("admission_rejects",
+        JsonValue::Number(static_cast<double>(report.admission_rejects)));
+  JsonValue classes = JsonValue::Array();
+  for (const FleetReport::PriorityClassStats& cls : report.priority_classes) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("priority", JsonValue::Number(cls.priority));
+    entry.Set("latency", LatencyToJson(cls.latency));
+    classes.Append(std::move(entry));
+  }
+  v.Set("priority_classes", std::move(classes));
   return v;
 }
 
@@ -120,6 +132,12 @@ JsonValue JobStatusToJson(const JobStatusView& view) {
   v.Set("run_ms", JsonValue::Number(view.run_ms));
   v.Set("edges", JsonValue::Number(static_cast<double>(view.edges)));
   v.Set("has_model", JsonValue::Bool(view.has_model));
+  v.Set("priority", JsonValue::Number(view.priority));
+  v.Set("deadline_ms",
+        JsonValue::Number(static_cast<double>(view.deadline_ms)));
+  v.Set("queue_position",
+        JsonValue::Number(static_cast<double>(view.queue_position)));
+  v.Set("policy", JsonValue::String(std::string(SchedPolicyName(view.policy))));
   return v;
 }
 
@@ -326,6 +344,19 @@ Status FleetService::JobFromJson(const JsonValue& doc, LearnJob* job) const {
         return FieldError(key, "expected an integer in [0, 1000]");
       }
       job->max_attempts = static_cast<int>(attempts);
+    } else if (key == "priority") {
+      int64_t priority = 0;
+      if (!value.IntegerValue(&priority) || priority < -1000000 ||
+          priority > 1000000) {
+        return FieldError(key, "expected an integer in [-1000000, 1000000]");
+      }
+      job->priority = static_cast<int>(priority);
+    } else if (key == "deadline_ms") {
+      int64_t deadline = 0;
+      if (!value.IntegerValue(&deadline) || deadline < 0) {
+        return FieldError(key, "expected a non-negative integer");
+      }
+      job->deadline_ms = deadline;
     } else {
       return FieldError(key, "unknown field");
     }
@@ -345,7 +376,30 @@ HttpResponse FleetService::HandleSubmitJob(const HttpRequest& request) {
   if (Status status = JobFromJson(doc.value(), &job); !status.ok()) {
     return HttpResponse::Error(400, status.message());
   }
-  const int64_t job_id = scheduler_->Enqueue(std::move(job));
+  Result<int64_t> admitted = scheduler_->TryEnqueue(std::move(job));
+  if (!admitted.ok()) {
+    if (admitted.status().code() != StatusCode::kResourceExhausted) {
+      return HttpResponse::Error(500, admitted.status().message());
+    }
+    // Load shed: 429 with a Retry-After hint sized from the fleet's own
+    // mean job latency — "after roughly one queue's worth of settles" —
+    // clamped to [1, 60] s so a cold fleet still gives a usable hint.
+    const FleetReport report = scheduler_->Report();
+    const double backlog = static_cast<double>(report.pending + 1);
+    int64_t retry_after = static_cast<int64_t>(
+        report.mean_latency_ms * backlog / 1000.0 + 1.0);
+    retry_after = std::clamp<int64_t>(retry_after, 1, 60);
+    JsonValue body = JsonValue::Object();
+    body.Set("error", JsonValue::String(admitted.status().message()));
+    body.Set("state",
+             JsonValue::String(std::string(JobStateName(JobState::kRejected))));
+    body.Set("retry_after_seconds",
+             JsonValue::Number(static_cast<double>(retry_after)));
+    HttpResponse response = HttpResponse::Json(429, body.Dump());
+    response.headers.emplace_back("Retry-After", std::to_string(retry_after));
+    return response;
+  }
+  const int64_t job_id = admitted.value();
   Result<JobStatusView> view = scheduler_->JobStatus(job_id);
   JsonValue body = JsonValue::Object();
   body.Set("job_id", JsonValue::Number(static_cast<double>(job_id)));
@@ -353,6 +407,11 @@ HttpResponse FleetService::HandleSubmitJob(const HttpRequest& request) {
     body.Set("name", JsonValue::String(view.value().name));
     body.Set("state", JsonValue::String(
                           std::string(JobStateName(view.value().state))));
+    body.Set("queue_position",
+             JsonValue::Number(
+                 static_cast<double>(view.value().queue_position)));
+    body.Set("policy", JsonValue::String(
+                           std::string(SchedPolicyName(view.value().policy))));
   }
   return HttpResponse::Json(202, body.Dump());
 }

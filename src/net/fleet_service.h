@@ -7,8 +7,13 @@
 /// sockets. Routes:
 ///
 ///   POST   /jobs              submit a job: dataset ref + algorithm +
-///                             options (JSON body); 202 with the job id,
-///                             503 once draining
+///                             options (JSON body; optional `priority` and
+///                             `deadline_ms` scheduling fields); 202 with
+///                             the job id, queue position, and active
+///                             policy; 429 + `Retry-After` when bounded
+///                             admission sheds the submission
+///                             (`FleetOptions::max_queued`); 503 once
+///                             draining
 ///   GET    /jobs              point-in-time fleet report (state counts,
 ///                             p50/p90/p99/p99.9 latency, throughput)
 ///   GET    /jobs/<id>         one job's status view; 404 for unknown ids

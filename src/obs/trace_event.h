@@ -29,10 +29,20 @@
 ///   kHttpAccept     | conn | active connections      | 0
 ///   kHttpRequest    | conn | request bytes           | FNV-1a of the path
 ///   kHttpRespond    | conn | HTTP status code        | response body bytes
+///   kSchedAdmit     | id   | ready-queue depth after | SchedPolicy enum value
+///   kSchedReject    | -1   | ready-queue depth       | max_queued bound
+///   kSchedPromote   | id   | older ready jobs passed | SchedPolicy enum value
 ///
 /// The three HTTP kinds carry the server's per-listener connection id in
 /// the `job` field (requests are not jobs; a `POST /jobs` that enqueues one
 /// is followed by that job's own `kJobEnqueue`).
+///
+/// The three scheduler kinds narrate admission control and policy ordering
+/// (`runtime/fleet_scheduler.h`): kSchedAdmit fires when a job passes the
+/// bounded-queue gate, kSchedReject when `TryEnqueue` sheds load (no job id
+/// exists yet — the submission never became a job), and kSchedPromote when
+/// the claim step dequeues a job ahead of `arg0` older ready jobs, i.e.
+/// whenever the policy deviates from FIFO order.
 ///
 /// Timestamps are nanoseconds on the steady clock, measured from the trace
 /// log's creation, so a trace is self-contained and two runs of the same
@@ -65,6 +75,9 @@ enum class TraceEventKind : uint16_t {
   kHttpAccept = 16,
   kHttpRequest = 17,
   kHttpRespond = 18,
+  kSchedAdmit = 19,
+  kSchedReject = 20,
+  kSchedPromote = 21,
 };
 
 /// True for every kind a version-1 trace may legally contain. The decoder
@@ -73,7 +86,7 @@ enum class TraceEventKind : uint16_t {
 /// corrupt a timeline.
 constexpr bool IsKnownTraceEventKind(uint16_t kind) {
   return kind >= static_cast<uint16_t>(TraceEventKind::kJobEnqueue) &&
-         kind <= static_cast<uint16_t>(TraceEventKind::kHttpRespond);
+         kind <= static_cast<uint16_t>(TraceEventKind::kSchedPromote);
 }
 
 /// Canonical lowercase name ("job-enqueue", "cache-hit", ...); "unknown"

@@ -87,6 +87,12 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "http-request";
     case TraceEventKind::kHttpRespond:
       return "http-respond";
+    case TraceEventKind::kSchedAdmit:
+      return "sched-admit";
+    case TraceEventKind::kSchedReject:
+      return "sched-reject";
+    case TraceEventKind::kSchedPromote:
+      return "sched-promote";
   }
   return "unknown";
 }

@@ -1,0 +1,62 @@
+#include "runtime/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace least {
+
+namespace {
+
+// The iteration budget the default LearnOptions carry (100 x 200); used to
+// scale the unknown-shape fallback so a job with a tiny explicit budget is
+// still estimated as cheap even when its dataset shape is unknown.
+constexpr double kDefaultStepBudget = 100.0 * 200.0;
+
+// The bench curves were recorded at n = 2d (bench/kernel_micro.cc); a step
+// splits into an n-proportional gradient pass and an n-independent
+// constraint pass, apportioned half-and-half (see cost_model.h).
+double BenchShapeScale(int d, int n) {
+  const double bench_n = 2.0 * static_cast<double>(d);
+  return 0.5 + 0.5 * static_cast<double>(n) / bench_n;
+}
+
+}  // namespace
+
+double CostModel::StepMs(Algorithm algorithm, int d, int n,
+                         int batch_size) const {
+  d = std::max(d, 1);
+  n = std::max(n, 1);
+  switch (algorithm) {
+    case Algorithm::kLeastDense:
+      return dense_base_ms * std::pow(static_cast<double>(d) / 50.0,
+                                      dense_exponent) *
+             BenchShapeScale(d, n);
+    case Algorithm::kNotears:
+      return notears_base_ms * std::pow(static_cast<double>(d) / 50.0,
+                                        notears_exponent) *
+             BenchShapeScale(d, n);
+    case Algorithm::kLeastSparse: {
+      // Pattern-restricted: O(B·d) touched entries per step, full batch
+      // when batch_size == 0 (the paper's benchmark setting).
+      const int b = batch_size > 0 ? std::min(batch_size, n) : n;
+      return sparse_ms_per_bd * static_cast<double>(b) *
+             static_cast<double>(d);
+    }
+  }
+  return unknown_shape_ms;  // unreachable for valid enum values
+}
+
+double CostModel::JobMs(Algorithm algorithm, int d, int n,
+                        const LearnOptions& options) const {
+  const double steps =
+      std::max(1.0, static_cast<double>(options.max_outer_iterations) *
+                        static_cast<double>(options.max_inner_iterations));
+  if (d <= 0 || n <= 0) {
+    // Shape unknown (lazy source before Prepare). Scale the fallback by
+    // the job's iteration budget so an explicitly tiny job stays cheap.
+    return unknown_shape_ms * steps / kDefaultStepBudget;
+  }
+  return StepMs(algorithm, d, n, options.batch_size) * steps;
+}
+
+}  // namespace least

@@ -1,0 +1,72 @@
+/// \file cost_model.h
+/// \brief Step-time prediction for fleet scheduling policies.
+///
+/// The scheduler's shortest-expected-first ordering needs a *relative*
+/// runtime estimate per ready job, computable at enqueue time from nothing
+/// but the dataset shape (d, n) and the job's algorithm + iteration budget.
+/// This model fits the measured `learner_step` curves in the committed
+/// `BENCH_kernels.json` (recorded at the bench shape n = 2d):
+///
+///   least-dense step:  0.086 ms @ d=50  -> 36.5 ms @ d=500   (~ d^2.6)
+///   notears step:      0.226 ms @ d=50  -> 270.5 ms @ d=500  (~ d^3.0)
+///
+/// Both learners split per step into an n-proportional gradient pass
+/// (O(n d^2) through the blocked gemm) and an n-independent constraint
+/// pass (spectral bound / matrix exponential, O(d^3)); the model
+/// apportions the fitted step cost half-and-half between the two, so jobs
+/// whose n deviates from the bench shape still order sensibly. LEAST-SP
+/// has no committed bench row; its pattern-restricted step touches O(B·d)
+/// entries and is modeled linearly with a coefficient far below the dense
+/// curves — which preserves the one property the policy needs: sparse
+/// refits order as much cheaper than dense cold fits.
+///
+/// Accuracy contract: these are *ordering* estimates, not wall-clock
+/// promises. `JobMs` multiplies the step estimate by the full
+/// outer x inner iteration budget — an upper bound (early termination on
+/// tolerance is the common case) — because a uniform over-estimate leaves
+/// relative order intact. Correctness never depends on the estimate: the
+/// fleet determinism contract (per-job seeding) makes any execution order
+/// produce bit-identical models.
+
+#pragma once
+
+#include "core/learn_options.h"
+#include "runtime/learner_factory.h"
+
+namespace least {
+
+/// \brief Fitted (d, n, algorithm) -> step-time model. Plain aggregate so
+/// tests and benches can pin custom coefficients; `Default()` carries the
+/// BENCH_kernels.json fit described in the file comment.
+struct CostModel {
+  // Power-law fit of the n = 2d bench curves: step ~ base_ms * (d/50)^exp.
+  double dense_base_ms = 0.086;   ///< least-dense step at d = 50
+  double dense_exponent = 2.6;
+  double notears_base_ms = 0.226; ///< notears step at d = 50
+  double notears_exponent = 3.0;
+  /// LEAST-SP per-(batch-row x variable) cost; see file comment.
+  double sparse_ms_per_bd = 2e-7;
+  /// Fallback estimate when the dataset shape is unknown (a lazy CSV
+  /// source before `Prepare` reports rows = cols = 0: enqueue must not
+  /// touch the disk to find out). Deliberately mid-range so unknown jobs
+  /// neither jump the whole queue nor starve behind every known job.
+  double unknown_shape_ms = 1000.0;
+
+  /// The committed-benchmark fit.
+  static CostModel Default() { return CostModel{}; }
+
+  /// Expected milliseconds for one inner optimizer step of `algorithm` on
+  /// an n x d dataset with batch size `batch_size` (0 = full batch).
+  /// Clamps degenerate shapes to 1; never returns a negative.
+  double StepMs(Algorithm algorithm, int d, int n, int batch_size) const;
+
+  /// Expected milliseconds for a whole job: `StepMs` times the
+  /// outer x inner iteration budget (an upper bound — see file comment).
+  /// d == 0 or n == 0 means "shape unknown" and returns
+  /// `unknown_shape_ms` scaled by the iteration budget's fraction of the
+  /// default budget, so tiny-budget jobs stay cheap even when unsized.
+  double JobMs(Algorithm algorithm, int d, int n,
+               const LearnOptions& options) const;
+};
+
+}  // namespace least

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
+#include <map>
 
 #include "core/train_state.h"
 #include "io/model_serializer.h"
@@ -43,6 +45,20 @@ struct FleetMetrics {
   Counter& retries = MetricsRegistry::Global().counter("fleet.retries");
   Histogram& run_ms =
       MetricsRegistry::Global().histogram("fleet.run_ms", kRunMsBounds);
+  // Scheduling layer: admission control and policy ordering.
+  Counter& sched_admitted =
+      MetricsRegistry::Global().counter("fleet.sched.admitted");
+  Counter& sched_rejected =
+      MetricsRegistry::Global().counter("fleet.sched.rejected");
+  /// Claims that deviated from FIFO order (a newer job ran first).
+  Counter& sched_promotions =
+      MetricsRegistry::Global().counter("fleet.sched.promotions");
+  /// Claims under `kCacheAffinity` whose dataset was fully cache-resident.
+  Counter& sched_affinity_hits =
+      MetricsRegistry::Global().counter("fleet.sched.affinity_hits");
+  /// Ready-queue depth (its `max()` is the fleet-lifetime high water).
+  Gauge& sched_queue_depth =
+      MetricsRegistry::Global().gauge("fleet.sched.queue_depth");
 
   static FleetMetrics& Get() {
     static FleetMetrics* m = new FleetMetrics();  // never destroyed
@@ -96,8 +112,32 @@ std::string_view JobStateName(JobState state) {
       return "failed";
     case JobState::kCancelled:
       return "cancelled";
+    case JobState::kRejected:
+      return "rejected";
   }
   return "unknown";
+}
+
+std::string_view SchedPolicyName(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::kFifo:
+      return "fifo";
+    case SchedPolicy::kPriority:
+      return "priority";
+    case SchedPolicy::kCacheAffinity:
+      return "cache-affinity";
+  }
+  return "unknown";
+}
+
+Result<SchedPolicy> ParseSchedPolicy(std::string_view name) {
+  if (name == "fifo") return SchedPolicy::kFifo;
+  if (name == "priority") return SchedPolicy::kPriority;
+  if (name == "cache-affinity" || name == "affinity") {
+    return SchedPolicy::kCacheAffinity;
+  }
+  return Status::InvalidArgument("unknown scheduling policy '" +
+                                 std::string(name) + "'");
 }
 
 std::string FleetReport::ToString() const {
@@ -113,6 +153,23 @@ std::string FleetReport::ToString() const {
                 throughput_jobs_per_sec, p50_latency_ms, p90_latency_ms,
                 p99_latency_ms, p999_latency_ms, max_latency_ms);
   std::string out = buf;
+  if (queue_depth_high_water > 0 || admission_rejects > 0 ||
+      priority_classes.size() > 1) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n  queue: high-water %lld, rejected %lld",
+                  static_cast<long long>(queue_depth_high_water),
+                  static_cast<long long>(admission_rejects));
+    out += buf;
+    if (priority_classes.size() > 1) {
+      for (const PriorityClassStats& cls : priority_classes) {
+        std::snprintf(buf, sizeof(buf),
+                      " | prio %d: %lld jobs p50=%.1f p99=%.1f",
+                      cls.priority, static_cast<long long>(cls.latency.jobs),
+                      cls.latency.p50_ms, cls.latency.p99_ms);
+        out += buf;
+      }
+    }
+  }
   if (succeeded_retried.jobs > 0) {
     std::snprintf(
         buf, sizeof(buf),
@@ -152,75 +209,170 @@ FleetScheduler::FleetScheduler(ThreadPool* pool, FleetOptions options)
 FleetScheduler::~FleetScheduler() { Wait(); }
 
 int64_t FleetScheduler::Enqueue(LearnJob job) {
+  Result<int64_t> admitted = TryEnqueue(std::move(job));
+  // Enqueue is the unconditional entry point; a bounded fleet that can be
+  // told "no" must submit through TryEnqueue and handle the rejection.
+  LEAST_CHECK(admitted.ok());
+  return admitted.value();
+}
+
+Result<int64_t> FleetScheduler::TryEnqueue(LearnJob job) {
   LEAST_CHECK(job.data != nullptr);
+  // The cost estimate reads the dataset's self-description (and may take
+  // the source's own mutex), so compute it before the scheduler lock. A
+  // lazy source before Prepare reports a zero shape and gets the model's
+  // documented unknown-shape fallback — admission never touches the disk.
+  const DatasetSpec spec = job.data->spec();
+  const double expected_ms = options_.cost_model.JobMs(
+      job.algorithm, spec.cols, spec.rows, job.options);
   JobSlot* slot = nullptr;
   int64_t id = -1;
+  int64_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    id = static_cast<int64_t>(slots_.size());
-    slots_.push_back(std::make_unique<JobSlot>());
-    slot = slots_.back().get();
-    slot->job = std::move(job);
-    slot->enqueue_time = Clock::now();
-    slot->record.job_id = id;
-    slot->record.name = slot->job.name;
-    slot->record.algorithm = slot->job.algorithm;
-    if (!have_window_) {
-      have_window_ = true;
-      first_enqueue_ = slot->enqueue_time;
+    if (options_.max_queued > 0 &&
+        static_cast<int64_t>(ready_.size()) >= options_.max_queued) {
+      ++rejects_;
+      depth = static_cast<int64_t>(ready_.size());
+      // Rejected submissions never become jobs, but the journal still
+      // records them (job_id -1) so feed consumers see the shed load.
+      if (journal_ != nullptr) {
+        JobEvent event;
+        event.job_id = -1;
+        event.name = job.name;
+        event.state = JobState::kRejected;
+        event.status_code = StatusCode::kResourceExhausted;
+        journal_->Append(std::move(event));
+      }
+    } else {
+      id = static_cast<int64_t>(slots_.size());
+      slots_.push_back(std::make_unique<JobSlot>());
+      slot = slots_.back().get();
+      slot->job = std::move(job);
+      slot->enqueue_time = Clock::now();
+      slot->record.job_id = id;
+      slot->record.name = slot->job.name;
+      slot->record.algorithm = slot->job.algorithm;
+      slot->record.priority = slot->job.priority;
+      slot->record.deadline_ms = slot->job.deadline_ms;
+      slot->record.expected_ms = expected_ms;
+      if (slot->job.deadline_ms > 0) {
+        slot->deadline = slot->enqueue_time +
+                         std::chrono::milliseconds(slot->job.deadline_ms);
+      }
+      ready_.push_back(slot);
+      slot->in_ready = true;
+      depth = static_cast<int64_t>(ready_.size());
+      queue_high_water_ = std::max(queue_high_water_, depth);
+      if (!have_window_) {
+        have_window_ = true;
+        first_enqueue_ = slot->enqueue_time;
+      }
+      // The kPending journal event lands inside the admission critical
+      // section: the moment the lock drops, a concurrent Cancel may settle
+      // this job, and its kCancelled event must sequence after this one.
+      PublishEvent(slot->record);
     }
+  }
+  FleetMetrics& metrics = FleetMetrics::Get();
+  if (slot == nullptr) {
+    TraceEmit(TraceEventKind::kSchedReject, -1, static_cast<uint64_t>(depth),
+              static_cast<uint64_t>(options_.max_queued));
+    metrics.sched_rejected.Add();
+    return Status::ResourceExhausted(
+        "fleet queue is full (" + std::to_string(depth) + " of " +
+        std::to_string(options_.max_queued) + " waiting jobs)");
   }
   TraceEmit(TraceEventKind::kJobEnqueue, id,
             static_cast<uint64_t>(slot->record.algorithm),
             static_cast<uint64_t>(id + 1));
-  FleetMetrics::Get().enqueued.Add();
-  PublishEvent(slot->record);  // kPending: the job exists
+  TraceEmit(TraceEventKind::kSchedAdmit, id, static_cast<uint64_t>(depth),
+            static_cast<uint64_t>(options_.policy));
+  metrics.enqueued.Add();
+  metrics.sched_admitted.Add();
+  metrics.sched_queue_depth.Set(depth);
   // The stub lands before the job can run: the directory then always holds
   // a restartable artifact for every live job, even one that never starts.
   if (!options_.checkpoint_dir.empty()) {
     WriteEnqueueStub(*slot);
   }
-  if (!pool_->Schedule([this, slot]() { RunJob(slot); })) {
+  // One generic drain task per admitted job: the task claims the
+  // policy-best ready job at dequeue time, which is not necessarily this
+  // one. Counting tasks instead of binding them to jobs is what lets the
+  // claim step reorder freely while guaranteeing every ready job is
+  // eventually claimed.
+  if (!pool_->Schedule([this]() { DispatchOne(); })) {
     // Pool already shut down: settle the job here so Wait() terminates.
+    bool ours = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      slot->record.state = JobState::kFailed;
-      slot->record.status =
-          Status::Internal("thread pool is shut down; job never ran");
+      if (slot->in_ready) {  // a concurrent Cancel may have settled it
+        ready_.erase(std::find(ready_.begin(), ready_.end(), slot));
+        slot->in_ready = false;
+        slot->record.state = JobState::kFailed;
+        slot->record.status =
+            Status::Internal("thread pool is shut down; job never ran");
+        ours = true;
+      }
     }
-    TraceEmit(TraceEventKind::kJobSettle, id,
-              static_cast<uint64_t>(JobState::kFailed), 0);
-    FleetMetrics::Get().failed.Add();
-    NotifyProgress(slot->record);
-    Settle();
+    if (ours) SettleNeverRan(slot);
   }
   return id;
 }
 
 bool FleetScheduler::Cancel(int64_t job_id) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (job_id < 0 || job_id >= static_cast<int64_t>(slots_.size())) {
-    return false;
+  JobSlot* queued = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (job_id < 0 || job_id >= static_cast<int64_t>(slots_.size())) {
+      return false;
+    }
+    JobSlot* slot = slots_[static_cast<size_t>(job_id)].get();
+    const JobState state = slot->record.state;
+    if (state != JobState::kPending && state != JobState::kRunning) {
+      return false;  // already terminal
+    }
+    slot->cancel.store(true, std::memory_order_release);
+    if (slot->in_ready) {
+      // Still waiting: pull it out of the ready queue and settle it now.
+      // Claim order is policy-defined, so "it will be claimed soon and
+      // notice the flag" no longer holds — under a priority policy a
+      // low-priority queued job might otherwise wait out the whole fleet
+      // before settling. Its orphaned drain task will find one fewer
+      // ready job and no-op.
+      ready_.erase(std::find(ready_.begin(), ready_.end(), slot));
+      slot->in_ready = false;
+      slot->record.state = JobState::kCancelled;
+      slot->record.status = Status::Cancelled("cancelled while queued");
+      queued = slot;
+    }
   }
-  JobSlot* slot = slots_[static_cast<size_t>(job_id)].get();
-  const JobState state = slot->record.state;
-  if (state != JobState::kPending && state != JobState::kRunning) {
-    return false;  // already terminal
-  }
-  slot->cancel.store(true, std::memory_order_release);
+  if (queued != nullptr) SettleNeverRan(queued);
   return true;
 }
 
 int64_t FleetScheduler::CancelAll() {
   int64_t requested = 0;
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& slot : slots_) {
-    const JobState state = slot->record.state;
-    if (state == JobState::kPending || state == JobState::kRunning) {
+  std::vector<JobSlot*> queued;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& slot : slots_) {
+      const JobState state = slot->record.state;
+      if (state != JobState::kPending && state != JobState::kRunning) {
+        continue;
+      }
       slot->cancel.store(true, std::memory_order_release);
       ++requested;
+      if (slot->in_ready) {
+        slot->in_ready = false;
+        slot->record.state = JobState::kCancelled;
+        slot->record.status = Status::Cancelled("cancelled while queued");
+        queued.push_back(slot.get());
+      }
     }
+    if (!queued.empty()) ready_.clear();  // every waiter was just settled
   }
+  for (JobSlot* slot : queued) SettleNeverRan(slot);
   return requested;
 }
 
@@ -343,33 +495,103 @@ void FleetScheduler::Settle() {
   settled_cv_.notify_all();
 }
 
+void FleetScheduler::SettleNeverRan(JobSlot* slot) {
+  // The slot's terminal record fields (state/status) were set by the
+  // caller, with attempts left at 0 — the job never started.
+  TraceEmit(TraceEventKind::kJobSettle, slot->record.job_id,
+            static_cast<uint64_t>(slot->record.state), 0);
+  if (slot->record.state == JobState::kCancelled) {
+    FleetMetrics::Get().cancelled.Add();
+  } else {
+    FleetMetrics::Get().failed.Add();
+  }
+  NotifyProgress(slot->record);
+  Settle();
+}
+
+bool FleetScheduler::ClaimBeforeLocked(const JobSlot& a, double res_a,
+                                       const JobSlot& b, double res_b) const {
+  if (options_.policy != SchedPolicy::kFifo) {
+    // Priority class first: a higher class always claims first.
+    if (a.job.priority != b.job.priority) {
+      return a.job.priority > b.job.priority;
+    }
+    // Deadline urgency within a class: deadline-carrying jobs ahead of
+    // deadline-free ones, nearest absolute deadline first.
+    const bool a_dl = a.job.deadline_ms > 0;
+    const bool b_dl = b.job.deadline_ms > 0;
+    if (a_dl != b_dl) return a_dl;
+    if (a_dl && a.deadline != b.deadline) return a.deadline < b.deadline;
+    // Placement: prefer the job whose dataset is already resident (the
+    // caller probed residency only under kCacheAffinity; it passes equal
+    // values otherwise, making this comparison a no-op).
+    if (res_a != res_b) return res_a > res_b;
+    // Shortest-expected-first under the cost model.
+    if (a.record.expected_ms != b.record.expected_ms) {
+      return a.record.expected_ms < b.record.expected_ms;
+    }
+  }
+  // Final tiebreak (and the whole order under kFifo): arrival.
+  return a.record.job_id < b.record.job_id;
+}
+
+FleetScheduler::JobSlot* FleetScheduler::ClaimNextLocked(uint64_t* bypassed) {
+  *bypassed = 0;
+  if (ready_.empty()) return nullptr;
+  const bool affinity = options_.policy == SchedPolicy::kCacheAffinity;
+  size_t best = 0;
+  double best_res = affinity ? ready_[0]->job.data->CacheResidency() : 0.0;
+  for (size_t i = 1; i < ready_.size(); ++i) {
+    const double res = affinity ? ready_[i]->job.data->CacheResidency() : 0.0;
+    if (ClaimBeforeLocked(*ready_[i], res, *ready_[best], best_res)) {
+      best = i;
+      best_res = res;
+    }
+  }
+  JobSlot* slot = ready_[best];
+  for (const JobSlot* waiting : ready_) {
+    if (waiting->record.job_id < slot->record.job_id) ++*bypassed;
+  }
+  ready_.erase(ready_.begin() + static_cast<ptrdiff_t>(best));
+  slot->in_ready = false;
+  slot->record.state = JobState::kRunning;
+  slot->start_time = Clock::now();
+  slot->record.queue_ms = MillisBetween(slot->enqueue_time, slot->start_time);
+  if (affinity && best_res >= 1.0) {
+    FleetMetrics::Get().sched_affinity_hits.Add();
+  }
+  return slot;
+}
+
+void FleetScheduler::DispatchOne() {
+  JobSlot* slot = nullptr;
+  uint64_t bypassed = 0;
+  int64_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slot = ClaimNextLocked(&bypassed);
+    depth = static_cast<int64_t>(ready_.size());
+  }
+  // An empty claim is an orphaned drain task: its job was settled by an
+  // eager queued-job cancellation (or claimed by an earlier task) — the
+  // task count and the ready count always settle to parity.
+  if (slot == nullptr) return;
+  FleetMetrics& metrics = FleetMetrics::Get();
+  metrics.sched_queue_depth.Set(depth);
+  if (bypassed > 0) {
+    TraceEmit(TraceEventKind::kSchedPromote, slot->record.job_id, bypassed,
+              static_cast<uint64_t>(options_.policy));
+    metrics.sched_promotions.Add();
+  }
+  TraceEmit(TraceEventKind::kJobStart, slot->record.job_id, 1,
+            MicrosBetween(slot->enqueue_time, slot->start_time));
+  RunJob(slot);
+}
+
 void FleetScheduler::RunJob(JobSlot* slot) {
   const int max_attempts =
       slot->job.max_attempts > 0 ? slot->job.max_attempts
                                  : options_.max_attempts;
-  // Claim the job (or settle immediately if cancelled while queued).
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (slot->cancel.load(std::memory_order_acquire)) {
-      slot->record.state = JobState::kCancelled;
-      slot->record.status = Status::Cancelled("cancelled while queued");
-    } else {
-      slot->record.state = JobState::kRunning;
-      slot->start_time = Clock::now();
-      slot->record.queue_ms =
-          MillisBetween(slot->enqueue_time, slot->start_time);
-    }
-  }
-  if (slot->record.state == JobState::kCancelled) {
-    TraceEmit(TraceEventKind::kJobSettle, slot->record.job_id,
-              static_cast<uint64_t>(JobState::kCancelled), 0);
-    FleetMetrics::Get().cancelled.Add();
-    NotifyProgress(slot->record);
-    Settle();
-    return;
-  }
-  TraceEmit(TraceEventKind::kJobStart, slot->record.job_id, 1,
-            MicrosBetween(slot->enqueue_time, slot->start_time));
 
   FitOutcome outcome;
   JobState terminal = JobState::kFailed;
@@ -495,9 +717,13 @@ FleetReport FleetScheduler::BuildReportLocked() const {
   FleetReport report;
   report.total_jobs = static_cast<int64_t>(slots_.size());
   report.retries = retries_;
+  report.queue_depth_high_water = queue_high_water_;
+  report.admission_rejects = rejects_;
   std::vector<double> latencies;
   std::vector<double> first_try;  // succeeded on attempt 1
   std::vector<double> retried;    // succeeded after >= 1 retry
+  // Latency samples per scheduling class (same filter as `latencies`).
+  std::map<int, std::vector<double>, std::greater<int>> by_priority;
   latencies.reserve(slots_.size());
   double latency_sum = 0.0;
   for (const auto& slot : slots_) {
@@ -531,6 +757,7 @@ FleetReport FleetScheduler::BuildReportLocked() const {
       latency_sum += slot->record.run_ms;
       report.max_latency_ms =
           std::max(report.max_latency_ms, slot->record.run_ms);
+      by_priority[slot->record.priority].push_back(slot->record.run_ms);
     }
   }
   if (have_window_ && settled_ > 0) {
@@ -554,6 +781,13 @@ FleetReport FleetScheduler::BuildReportLocked() const {
   }
   report.succeeded_first_try = MakeLatencyStats(std::move(first_try));
   report.succeeded_retried = MakeLatencyStats(std::move(retried));
+  report.priority_classes.reserve(by_priority.size());
+  for (auto& [priority, samples] : by_priority) {
+    FleetReport::PriorityClassStats cls;
+    cls.priority = priority;
+    cls.latency = MakeLatencyStats(std::move(samples));
+    report.priority_classes.push_back(std::move(cls));
+  }
   return report;
 }
 
@@ -598,6 +832,25 @@ Result<JobStatusView> FleetScheduler::JobStatus(int64_t job_id) const {
   view.seed = record.seed;
   view.queue_ms = record.queue_ms;
   view.run_ms = record.run_ms;
+  view.priority = record.priority;
+  view.deadline_ms = record.deadline_ms;
+  view.policy = options_.policy;
+  const JobSlot* slot = slots_[static_cast<size_t>(job_id)].get();
+  if (slot->in_ready) {
+    // Rank = ready jobs that would be claimed first under the active
+    // policy. Residency is probed per comparison only under kCacheAffinity
+    // (same rule as the claim step), so the reported position matches what
+    // the next claim would do with today's cache contents.
+    const bool affinity = options_.policy == SchedPolicy::kCacheAffinity;
+    const double own_res = affinity ? slot->job.data->CacheResidency() : 0.0;
+    int64_t position = 0;
+    for (const JobSlot* other : ready_) {
+      if (other == slot) continue;
+      const double res = affinity ? other->job.data->CacheResidency() : 0.0;
+      if (ClaimBeforeLocked(*other, res, *slot, own_res)) ++position;
+    }
+    view.queue_position = position;
+  }
   if (record.state == JobState::kSucceeded) {
     const bool held = record.outcome.sparse
                           ? record.outcome.sparse_weights.rows() > 0

@@ -15,10 +15,18 @@
 /// on thread count or completion interleaving. Re-running the same queue on
 /// a bigger pool reproduces every model bit-for-bit.
 ///
-/// Lifecycle: `Enqueue` schedules immediately; `Wait` blocks until every
-/// job enqueued so far has settled and returns the aggregate `FleetReport`;
-/// the destructor waits too, so records outlive all job tasks. One
-/// scheduler may be reused for multiple waves of jobs.
+/// Scheduling: admitted jobs wait in a scheduler-owned ready queue; worker
+/// tasks claim the best ready job under the configured `SchedPolicy` at
+/// dequeue time. Because of the seeding contract above, policy choice moves
+/// *when* a job runs, never what it learns — `tests/test_fleet_scheduling.cc`
+/// proves bit-identity across policies and pool sizes. Admission is bounded
+/// (`FleetOptions::max_queued`): `TryEnqueue` sheds load with
+/// `kResourceExhausted` instead of growing the queue without bound.
+///
+/// Lifecycle: `Enqueue`/`TryEnqueue` schedule immediately; `Wait` blocks
+/// until every admitted job has settled and returns the aggregate
+/// `FleetReport`; the destructor waits too, so records outlive all job
+/// tasks. One scheduler may be reused for multiple waves of jobs.
 
 #pragma once
 
@@ -34,6 +42,7 @@
 #include <vector>
 
 #include "core/learn_options.h"
+#include "runtime/cost_model.h"
 #include "runtime/learner_factory.h"
 #include "runtime/thread_pool.h"
 
@@ -64,6 +73,17 @@ struct LearnJob {
   /// scheduler with `reseed_jobs = false` so the fleet does not rewrite the
   /// seed. Retry attempts (on `kNotConverged`) fall back to fresh fits.
   std::shared_ptr<const TrainState> resume_state;
+  /// Scheduling class under `SchedPolicy::kPriority`/`kCacheAffinity`:
+  /// higher-priority ready jobs are always claimed first. 0 = normal.
+  /// Ignored under `kFifo`. Never affects the learned model (see the
+  /// determinism contract in the file comment).
+  int priority = 0;
+  /// Optional latency target: the job would like to settle within this many
+  /// milliseconds of enqueue. Within a priority class, jobs carrying a
+  /// deadline are claimed before jobs without one, nearest absolute
+  /// deadline first — a best-effort ordering hint, not an SLA (an
+  /// already-late job still runs). 0 = no deadline.
+  int64_t deadline_ms = 0;
 };
 
 enum class JobState {
@@ -72,9 +92,35 @@ enum class JobState {
   kSucceeded = 2,
   kFailed = 3,    ///< terminal non-OK status other than cancellation
   kCancelled = 4,
+  /// Shed at admission (`max_queued` full). Never stored in a `JobRecord` —
+  /// a rejected submission never becomes a job — but journal events and the
+  /// HTTP layer report it so clients can tell "never admitted" from
+  /// "admitted and failed".
+  kRejected = 5,
 };
 
 std::string_view JobStateName(JobState state);
+
+/// \brief How the scheduler orders its ready queue at claim time.
+enum class SchedPolicy {
+  /// Strict arrival order (job id ascending) — the pre-policy behavior.
+  kFifo = 0,
+  /// priority desc, then deadline urgency, then shortest-expected-first
+  /// under the cost model, then arrival order.
+  kPriority = 1,
+  /// `kPriority`, with dataset cache residency preferred ahead of expected
+  /// cost: among equally urgent jobs, one whose dataset (or shard working
+  /// set) is already resident in the `DatasetCache` runs before one that
+  /// would evict-and-reload — the placement half of the scheduling policy.
+  kCacheAffinity = 2,
+};
+
+/// Canonical name ("fifo", "priority", "cache-affinity").
+std::string_view SchedPolicyName(SchedPolicy policy);
+
+/// Parses a canonical name (plus the alias "affinity"). Unknown names fail
+/// with `kInvalidArgument`.
+Result<SchedPolicy> ParseSchedPolicy(std::string_view name);
 
 /// \brief Everything the scheduler knows about one job. Stable storage: a
 /// reference from `record()` stays valid for the scheduler's lifetime.
@@ -91,6 +137,11 @@ struct JobRecord {
   LearnOptions options;
   double queue_ms = 0;  ///< enqueue → first attempt start
   double run_ms = 0;    ///< first attempt start → settle (fleet latency)
+  int priority = 0;        ///< scheduling class (`LearnJob::priority`)
+  int64_t deadline_ms = 0; ///< latency target (`LearnJob::deadline_ms`)
+  /// Cost-model runtime estimate fixed at admission (0 with no model
+  /// input); what shortest-expected-first ordering used for this job.
+  double expected_ms = 0;
   /// Learned model (populated at settle; partial weights on cancellation).
   FitOutcome outcome;
 };
@@ -135,8 +186,24 @@ struct FleetReport {
   /// every failed attempt. Previously these were silently folded into the
   /// headline percentiles, hiding retry cost.
   LatencyStats succeeded_retried;
+  /// Most jobs the ready queue ever held at once — how close the fleet came
+  /// to its `max_queued` bound (or how far overload grew an unbounded one).
+  int64_t queue_depth_high_water = 0;
+  /// Submissions shed at admission (`TryEnqueue` → `kResourceExhausted`).
+  /// Rejected submissions never become jobs and are *not* in `total_jobs`.
+  int64_t admission_rejects = 0;
+  /// Latency split by scheduling class (descending priority, one entry per
+  /// distinct priority among settled jobs that ran) — how much the policy's
+  /// preferential ordering actually bought each class. Same sample filter
+  /// as the headline percentiles.
+  struct PriorityClassStats {
+    int priority = 0;
+    LatencyStats latency;
+  };
+  std::vector<PriorityClassStats> priority_classes;
 
-  /// Human summary (two lines once any job retried).
+  /// Human summary (two lines once any job retried; a queue line once
+  /// admission control or multiple priority classes were exercised).
   std::string ToString() const;
 };
 
@@ -173,6 +240,18 @@ struct FleetOptions {
   /// resumed fleet can keep its dataset RAM under the same byte budget the
   /// original run used.
   DatasetCache* dataset_cache = nullptr;
+  /// Ready-queue ordering at claim time. Any policy yields bit-identical
+  /// models (see the determinism contract); non-FIFO policies trade strict
+  /// arrival fairness for mixed-workload tail latency.
+  SchedPolicy policy = SchedPolicy::kFifo;
+  /// Bounded admission: when > 0, `TryEnqueue` rejects with
+  /// `kResourceExhausted` while the ready queue already holds this many
+  /// jobs (running jobs do not count — the bound is on *waiting* work).
+  /// 0 = unbounded (the pre-admission-control behavior).
+  int64_t max_queued = 0;
+  /// Step-time model behind shortest-expected-first ordering and the
+  /// `Retry-After` hint. Defaults to the committed BENCH_kernels.json fit.
+  CostModel cost_model = CostModel::Default();
 };
 
 /// \brief Runs learning jobs concurrently on a borrowed `ThreadPool`.
@@ -205,6 +284,14 @@ struct JobStatusView {
   /// record (false while running, and for records released to a result
   /// sink under `keep_settled_outcomes = false`).
   bool has_model = false;
+  int priority = 0;         ///< scheduling class of the job
+  int64_t deadline_ms = 0;  ///< latency target; 0 = none
+  /// 0-based rank in the ready queue under the active policy — how many
+  /// ready jobs would be claimed first. -1 once claimed (running/terminal).
+  int64_t queue_position = -1;
+  /// The scheduler's active policy, echoed so a client can interpret
+  /// `queue_position` without a second round trip.
+  SchedPolicy policy = SchedPolicy::kFifo;
 };
 
 /// \brief Outcome of a `ScanAndResume` pass over a checkpoint directory.
@@ -260,13 +347,28 @@ class FleetScheduler {
   /// Borrowed; must outlive the scheduler. Set before the first `Enqueue`.
   void set_journal(JobJournal* journal) { journal_ = journal; }
 
-  /// Schedules a job and returns its id (dense, starting at 0 in enqueue
-  /// order — the id that seeds the job's RNG).
+  /// Schedules a job and returns its id (dense, starting at 0 in admission
+  /// order — the id that seeds the job's RNG). Admission is unconditional:
+  /// on a scheduler with `max_queued` set this aborts if the queue is full,
+  /// so bounded fleets should submit through `TryEnqueue` and handle the
+  /// rejection.
   int64_t Enqueue(LearnJob job);
 
-  /// Requests cancellation. Pending jobs settle as `kCancelled` without
-  /// running; running jobs stop cooperatively within a few optimizer
-  /// rounds. Returns false when the job is unknown or already terminal.
+  /// Bounded-admission submission: returns the new job id, or
+  /// `kResourceExhausted` when the ready queue already holds
+  /// `FleetOptions::max_queued` jobs. A rejected submission never becomes a
+  /// job (no id, no slot, not counted in `total_jobs`); it is recorded in
+  /// `FleetReport::admission_rejects`, the journal (a `kRejected` event
+  /// with `job_id = -1`), the `fleet.sched.rejected` metric, and a
+  /// `kSchedReject` trace event. This is what `POST /jobs` rides — the
+  /// HTTP layer maps the rejection to 429 with a `Retry-After` hint.
+  Result<int64_t> TryEnqueue(LearnJob job);
+
+  /// Requests cancellation. A job still waiting in the ready queue is
+  /// removed and settles as `kCancelled` immediately (it can never be
+  /// claimed afterwards, under any policy); running jobs stop cooperatively
+  /// within a few optimizer rounds. Returns false when the job is unknown
+  /// or already terminal.
   bool Cancel(int64_t job_id);
 
   /// Cancels every job that has not yet settled; returns how many
@@ -328,6 +430,11 @@ class FleetScheduler {
 
   int64_t num_jobs() const;
 
+  /// The active claim-ordering policy (immutable after construction).
+  SchedPolicy policy() const { return options_.policy; }
+  /// The admission bound (0 = unbounded).
+  int64_t max_queued() const { return options_.max_queued; }
+
   /// Deterministic per-attempt seed derivation (SplitMix64 mixing of the
   /// fleet seed, job id, and 1-based attempt number). Exposed so tests and
   /// external tooling can predict/verify fleet seeding.
@@ -346,9 +453,40 @@ class FleetScheduler {
     std::atomic<bool> cancel{false};
     Clock::time_point enqueue_time;
     Clock::time_point start_time;
+    /// Absolute deadline (`enqueue_time + deadline_ms`); only meaningful
+    /// when `job.deadline_ms > 0`.
+    Clock::time_point deadline;
+    /// True while the slot waits in `ready_` (claimable / eagerly
+    /// cancellable). Guarded by `mutex_`.
+    bool in_ready = false;
   };
 
+  /// Generic drain task: one is scheduled on the pool per admitted job;
+  /// each claims the policy-best ready job (not necessarily the one whose
+  /// admission scheduled it) and runs it, or no-ops when an eager
+  /// cancellation already emptied its share of the queue.
+  void DispatchOne();
+  /// Removes and returns the best ready job under `options_.policy`,
+  /// marking it running; null when nothing is ready. `*bypassed` gets the
+  /// number of older (smaller-id) jobs left waiting — non-zero means the
+  /// policy deviated from FIFO and a `kSchedPromote` event is due.
+  /// Requires `mutex_`.
+  JobSlot* ClaimNextLocked(uint64_t* bypassed);
+  /// True when `a` should be claimed before `b` under the active policy
+  /// (see `SchedPolicy`); a strict weak order with job id as the final
+  /// tiebreak, so claim order is deterministic given a queue state.
+  /// `res_a`/`res_b` are the jobs' cache residencies (probed by the caller
+  /// only under `kCacheAffinity`; ignored otherwise). Requires `mutex_`.
+  bool ClaimBeforeLocked(const JobSlot& a, double res_a, const JobSlot& b,
+                         double res_b) const;
+  /// Runs the claimed job's attempt loop through settle (the tail of the
+  /// old monolithic RunJob; claiming now lives in `ClaimNextLocked`).
   void RunJob(JobSlot* slot);
+  /// Settles a job that never ran (cancelled while queued, or the pool
+  /// refused its drain task): trace + metrics + journal + `Settle`, with
+  /// `attempts = 0`. Call *without* `mutex_` held, after the slot's
+  /// terminal record fields are set.
+  void SettleNeverRan(JobSlot* slot);
   /// Appends the record's current state to the installed journal (no-op
   /// without one). Called at every transition the journal reports.
   void PublishEvent(const JobRecord& record);
@@ -380,6 +518,12 @@ class FleetScheduler {
   mutable std::mutex mutex_;
   std::condition_variable settled_cv_;
   std::deque<std::unique_ptr<JobSlot>> slots_;  // stable addresses
+  /// Admitted jobs waiting to be claimed, in admission order. Claiming
+  /// scans for the policy-best entry (the comparator is dynamic — cache
+  /// residency changes between claims — so a static heap would go stale).
+  std::vector<JobSlot*> ready_;
+  int64_t queue_high_water_ = 0;  ///< most jobs ever waiting at once
+  int64_t rejects_ = 0;           ///< submissions shed at admission
   int64_t settled_ = 0;
   long long retries_ = 0;
   bool have_window_ = false;

@@ -23,6 +23,10 @@ enum class StatusCode {
   kNotConverged,
   kInternal,
   kCancelled,
+  /// Load shed: a bounded resource (e.g. the fleet scheduler's admission
+  /// queue) is full. Retryable by the caller after backing off — the
+  /// HTTP layer maps it to 429 with a Retry-After hint.
+  kResourceExhausted,
 };
 
 /// \brief Returns a human-readable name for a status code.
@@ -61,6 +65,10 @@ class Status {
   }
   /// Creates an error with `StatusCode::kCancelled` (cooperative
   /// cancellation observed by a long-running operation).
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+
   static Status Cancelled(std::string message) {
     return Status(StatusCode::kCancelled, std::move(message));
   }

@@ -156,37 +156,45 @@ TEST(FleetScheduler, ResultsAreIdenticalAcrossPoolSizes) {
 }
 
 TEST(FleetScheduler, CancelsQueuedJobsWithoutRunningThem) {
-  ThreadPool pool(1);
-  FleetScheduler scheduler(&pool, {});
-  // Occupy the single worker so enqueued jobs stay pending. The worker's
-  // deque is LIFO, so wait until the gate task has actually *started*
-  // before enqueueing — otherwise a slow-to-wake worker could pop a job
-  // first and run it ahead of the Cancel below.
-  std::promise<void> started;
-  std::promise<void> release;
-  std::shared_future<void> gate = release.get_future().share();
-  pool.Schedule([&started, gate]() {
-    started.set_value();
-    gate.wait();
-  });
-  started.get_future().wait();
+  // Policy-agnostic: cancelling a still-queued job settles it eagerly
+  // (attempts == 0) regardless of how the claim step would have ordered it.
+  for (SchedPolicy policy : {SchedPolicy::kFifo, SchedPolicy::kPriority,
+                             SchedPolicy::kCacheAffinity}) {
+    SCOPED_TRACE(std::string(SchedPolicyName(policy)));
+    ThreadPool pool(1);
+    FleetScheduler scheduler(&pool, {.policy = policy});
+    // Occupy the single worker so enqueued jobs stay pending. The worker's
+    // deque is LIFO, so wait until the gate task has actually *started*
+    // before enqueueing — otherwise a slow-to-wake worker could pop a job
+    // first and run it ahead of the Cancel below.
+    std::promise<void> started;
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    pool.Schedule([&started, gate]() {
+      started.set_value();
+      gate.wait();
+    });
+    started.get_future().wait();
 
-  const int64_t a = scheduler.Enqueue(SmallJob(1, "queued-a"));
-  const int64_t b = scheduler.Enqueue(SmallJob(2, "queued-b"));
-  EXPECT_TRUE(scheduler.Cancel(a));
-  EXPECT_TRUE(scheduler.Cancel(b));
-  EXPECT_FALSE(scheduler.Cancel(99));  // unknown id
-  release.set_value();
+    LearnJob urgent = SmallJob(2, "queued-b");
+    urgent.priority = 5;  // would be claimed first under kPriority
+    const int64_t a = scheduler.Enqueue(SmallJob(1, "queued-a"));
+    const int64_t b = scheduler.Enqueue(std::move(urgent));
+    EXPECT_TRUE(scheduler.Cancel(a));
+    EXPECT_TRUE(scheduler.Cancel(b));
+    EXPECT_FALSE(scheduler.Cancel(99));  // unknown id
+    release.set_value();
 
-  FleetReport report = scheduler.Wait();
-  EXPECT_EQ(report.cancelled, 2);
-  for (int64_t id : {a, b}) {
-    const JobRecord& record = scheduler.record(id);
-    EXPECT_EQ(record.state, JobState::kCancelled);
-    EXPECT_EQ(record.status.code(), StatusCode::kCancelled);
-    EXPECT_EQ(record.attempts, 0);  // never started
+    FleetReport report = scheduler.Wait();
+    EXPECT_EQ(report.cancelled, 2);
+    for (int64_t id : {a, b}) {
+      const JobRecord& record = scheduler.record(id);
+      EXPECT_EQ(record.state, JobState::kCancelled);
+      EXPECT_EQ(record.status.code(), StatusCode::kCancelled);
+      EXPECT_EQ(record.attempts, 0);  // never started
+    }
+    EXPECT_FALSE(scheduler.Cancel(a));  // already terminal
   }
-  EXPECT_FALSE(scheduler.Cancel(a));  // already terminal
 }
 
 TEST(FleetScheduler, CancelsRunningJobCooperatively) {

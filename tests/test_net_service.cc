@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <future>
 #include <memory>
 #include <string>
 
@@ -97,8 +99,9 @@ std::string DirectModelBytes(const std::string& csv_path, int pool_size) {
 
 // One running REST stack (pool + scheduler + journal + service + server).
 struct Stack {
-  explicit Stack(const std::string& data_root, int pool_size)
-      : pool(pool_size), scheduler(&pool, MakeFleetOptions()) {
+  explicit Stack(const std::string& data_root, int pool_size,
+                 FleetOptions fleet_options = MakeFleetOptions())
+      : pool(pool_size), scheduler(&pool, fleet_options) {
     scheduler.set_journal(&journal);
     FleetServiceOptions service_options;
     service_options.data_root = data_root;
@@ -304,6 +307,155 @@ TEST(NetService, RouteAndValidationErrors) {
       400, "misspelled option");
   expect_status(client.RawRequest("BOGUS\r\n\r\n"), 400,
                 "malformed request line");
+}
+
+// POST /jobs carries the scheduling fields through to the scheduler: the
+// 202 body reports queue position + policy, GET /jobs/<id> echoes
+// priority/deadline, and malformed scheduling fields are precise 400s.
+TEST(NetService, SubmissionCarriesSchedulingFields) {
+  const std::string dir = testing::TempDir();
+  WriteDataset(dir);
+  FleetOptions fleet_options = Stack::MakeFleetOptions();
+  fleet_options.policy = SchedPolicy::kPriority;
+  Stack stack(dir, /*pool_size=*/1, fleet_options);
+  HttpClient client("127.0.0.1", stack.server->port());
+
+  // Gate the single worker so the job stays queued while we inspect it.
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  stack.pool.Schedule([&started, gate]() {
+    started.set_value();
+    gate.wait();
+  });
+  started.get_future().wait();
+
+  std::string body = SubmitBody();
+  body.insert(body.size() - 1, ",\"priority\":3,\"deadline_ms\":5000");
+  Result<HttpClientResponse> submit = client.Post("/jobs", body);
+  ASSERT_TRUE(submit.ok()) << submit.status().ToString();
+  ASSERT_EQ(submit.value().status, 202) << submit.value().body;
+  Result<JsonValue> accepted = ParseJson(submit.value().body);
+  ASSERT_TRUE(accepted.ok());
+  int64_t position = -1;
+  EXPECT_TRUE(
+      accepted.value().Find("queue_position")->IntegerValue(&position));
+  EXPECT_EQ(position, 0);
+  EXPECT_EQ(accepted.value().Find("policy")->as_string(), "priority");
+
+  Result<HttpClientResponse> status = client.Get("/jobs/0");
+  ASSERT_TRUE(status.ok());
+  ASSERT_EQ(status.value().status, 200);
+  Result<JsonValue> view = ParseJson(status.value().body);
+  ASSERT_TRUE(view.ok());
+  int64_t priority = 0, deadline = 0, queue_position = -2;
+  EXPECT_TRUE(view.value().Find("priority")->IntegerValue(&priority));
+  EXPECT_TRUE(view.value().Find("deadline_ms")->IntegerValue(&deadline));
+  EXPECT_TRUE(
+      view.value().Find("queue_position")->IntegerValue(&queue_position));
+  EXPECT_EQ(priority, 3);
+  EXPECT_EQ(deadline, 5000);
+  EXPECT_EQ(queue_position, 0);
+  EXPECT_EQ(view.value().Find("policy")->as_string(), "priority");
+
+  // Malformed scheduling fields are 400s, and field strictness still holds.
+  const auto expect_400 = [&](const std::string& extra, const char* label) {
+    std::string bad = SubmitBody();
+    bad.insert(bad.size() - 1, extra);
+    Result<HttpClientResponse> response = client.Post("/jobs", bad);
+    ASSERT_TRUE(response.ok()) << label;
+    EXPECT_EQ(response.value().status, 400)
+        << label << ": " << response.value().body;
+  };
+  expect_400(",\"priority\":\"high\"", "non-integer priority");
+  expect_400(",\"deadline_ms\":-5", "negative deadline");
+  expect_400(",\"prioritee\":1", "misspelled scheduling field");
+
+  release.set_value();
+  EXPECT_EQ(FollowUntilSettled(client, 0), "succeeded");
+  // Once claimed, the queue position is gone from the status view.
+  Result<HttpClientResponse> settled = client.Get("/jobs/0");
+  ASSERT_TRUE(settled.ok());
+  Result<JsonValue> settled_view = ParseJson(settled.value().body);
+  ASSERT_TRUE(settled_view.ok());
+  int64_t settled_position = 0;
+  EXPECT_TRUE(settled_view.value()
+                  .Find("queue_position")
+                  ->IntegerValue(&settled_position));
+  EXPECT_EQ(settled_position, -1);
+}
+
+// Bounded admission over HTTP: a full queue answers 429 with a Retry-After
+// hint, the journal records the shed submission (job_id = -1), and the
+// fleet report counts it — while admitted jobs are untouched.
+TEST(NetService, FullQueueAnswers429WithRetryAfter) {
+  const std::string dir = testing::TempDir();
+  WriteDataset(dir);
+  FleetOptions fleet_options = Stack::MakeFleetOptions();
+  fleet_options.max_queued = 1;
+  Stack stack(dir, /*pool_size=*/1, fleet_options);
+  HttpClient client("127.0.0.1", stack.server->port());
+
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  stack.pool.Schedule([&started, gate]() {
+    started.set_value();
+    gate.wait();
+  });
+  started.get_future().wait();
+
+  Result<HttpClientResponse> admitted = client.Post("/jobs", SubmitBody());
+  ASSERT_TRUE(admitted.ok());
+  ASSERT_EQ(admitted.value().status, 202) << admitted.value().body;
+
+  Result<HttpClientResponse> shed = client.Post("/jobs", SubmitBody());
+  ASSERT_TRUE(shed.ok());
+  ASSERT_EQ(shed.value().status, 429) << shed.value().body;
+  const std::string retry_after(shed.value().Header("retry-after"));
+  ASSERT_FALSE(retry_after.empty());
+  const long retry_seconds = std::strtol(retry_after.c_str(), nullptr, 10);
+  EXPECT_GE(retry_seconds, 1);
+  EXPECT_LE(retry_seconds, 60);
+  Result<JsonValue> shed_doc = ParseJson(shed.value().body);
+  ASSERT_TRUE(shed_doc.ok());
+  EXPECT_EQ(shed_doc.value().Find("state")->as_string(), "rejected");
+  int64_t hint = 0;
+  EXPECT_TRUE(
+      shed_doc.value().Find("retry_after_seconds")->IntegerValue(&hint));
+  EXPECT_EQ(hint, retry_seconds);
+
+  // The journal records the rejection with job_id = -1 (a rejected
+  // submission never becomes a job).
+  Result<HttpClientResponse> changes =
+      client.Get("/changes?since=0&timeout_ms=100");
+  ASSERT_TRUE(changes.ok());
+  Result<JsonValue> feed = ParseJson(changes.value().body);
+  ASSERT_TRUE(feed.ok());
+  bool saw_rejection = false;
+  for (const JsonValue& event : feed.value().Find("events")->items()) {
+    int64_t event_job = 0;
+    event.Find("job_id")->IntegerValue(&event_job);
+    if (event.Find("state")->as_string() == "rejected") {
+      EXPECT_EQ(event_job, -1);
+      saw_rejection = true;
+    }
+  }
+  EXPECT_TRUE(saw_rejection);
+
+  release.set_value();
+  EXPECT_EQ(FollowUntilSettled(client, 0), "succeeded");
+  Result<HttpClientResponse> report = client.Get("/jobs");
+  ASSERT_TRUE(report.ok());
+  Result<JsonValue> report_doc = ParseJson(report.value().body);
+  ASSERT_TRUE(report_doc.ok());
+  int64_t total = 0, rejects = 0;
+  EXPECT_TRUE(report_doc.value().Find("total_jobs")->IntegerValue(&total));
+  EXPECT_TRUE(report_doc.value()
+                  .Find("admission_rejects")
+                  ->IntegerValue(&rejects));
+  EXPECT_EQ(total, 1);
+  EXPECT_EQ(rejects, 1);
 }
 
 // GET /models/<id> before the job settles is 409; after cancellation it is

@@ -3,8 +3,9 @@
 // threads long-poll the changes feed — then a graceful drain
 // (POST /admin/shutdown) in the middle of a busy fleet, which must 503 new
 // submissions, wake every long-poll with `closed: true`, and settle every
-// in-flight job. Wired into `check.sh --repeat until-fail:3` to shake out
-// interleaving-dependent bugs.
+// in-flight job. A separate shed-load phase storms a bounded-admission
+// server and checks the 202/429 split stays exact. Wired into
+// `check.sh --repeat until-fail:3` to shake out interleaving-dependent bugs.
 
 #include <gtest/gtest.h>
 
@@ -191,6 +192,74 @@ TEST(NetStress, ConcurrentSubmitPollCancel) {
   for (std::thread& t : pollers) t.join();
   EXPECT_EQ(poll_errors.load(), 0);
 
+  server.Stop();
+  EXPECT_EQ(server.active_connections(), 0);
+}
+
+// Shed-load phase: a bounded-admission server under a submission storm.
+// Every response must be exactly 202 or 429 (nothing dropped, nothing
+// mislabeled), every 429 must carry a Retry-After hint, the admitted count
+// must equal the fleet's job count, and every admitted job must settle.
+TEST(NetStress, BoundedQueueShedsLoadUnderSubmissionStorm) {
+  ThreadPool pool(2);
+  FleetOptions fleet_options;
+  fleet_options.seed = 9;
+  fleet_options.max_queued = 4;
+  fleet_options.policy = SchedPolicy::kPriority;
+  FleetScheduler scheduler(&pool, fleet_options);
+  JobJournal journal;
+  scheduler.set_journal(&journal);
+  FleetServiceOptions service_options;
+  service_options.data_root = DatasetDir();
+  FleetService service(&scheduler, &journal, service_options);
+  HttpServerOptions server_options;
+  server_options.num_threads = kClientThreads;
+  HttpServer server(service.AsHandler(), server_options);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  std::atomic<int> accepted{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> unexpected{0};
+  std::vector<std::thread> storm;
+  for (int t = 0; t < kClientThreads; ++t) {
+    storm.emplace_back([t, port, &accepted, &shed, &unexpected] {
+      HttpClient client("127.0.0.1", port);
+      for (int j = 0; j < 2 * kJobsPerThread; ++j) {
+        Result<HttpClientResponse> submit = client.Post(
+            "/jobs",
+            JobBody("storm-t" + std::to_string(t) + "-j" +
+                        std::to_string(j),
+                    /*slow=*/false));
+        if (!submit.ok()) {
+          unexpected.fetch_add(1);
+          return;
+        }
+        if (submit.value().status == 202) {
+          accepted.fetch_add(1);
+        } else if (submit.value().status == 429) {
+          if (submit.value().Header("retry-after").empty()) {
+            unexpected.fetch_add(1);  // a 429 without a backoff hint
+          }
+          shed.fetch_add(1);
+        } else {
+          unexpected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : storm) t.join();
+
+  EXPECT_EQ(unexpected.load(), 0);
+  EXPECT_EQ(accepted.load() + shed.load(),
+            kClientThreads * 2 * kJobsPerThread);
+  EXPECT_GT(accepted.load(), 0);  // the pool drains, so some always land
+
+  const FleetReport report = scheduler.Wait();
+  EXPECT_EQ(report.total_jobs, accepted.load());
+  EXPECT_EQ(report.succeeded + report.failed, report.total_jobs);
+  EXPECT_EQ(report.admission_rejects, shed.load());
+  EXPECT_LE(report.queue_depth_high_water, 4);
   server.Stop();
   EXPECT_EQ(server.active_connections(), 0);
 }

@@ -271,10 +271,15 @@ TEST(TraceEventNames, KnownKindsHaveStableNames) {
   EXPECT_EQ(TraceEventKindName(TraceEventKind::kSinkRetire), "sink-retire");
   EXPECT_EQ(TraceEventKindName(static_cast<TraceEventKind>(999)), "unknown");
   EXPECT_EQ(TraceEventKindName(TraceEventKind::kHttpRespond), "http-respond");
+  EXPECT_EQ(TraceEventKindName(TraceEventKind::kSchedAdmit), "sched-admit");
+  EXPECT_EQ(TraceEventKindName(TraceEventKind::kSchedPromote),
+            "sched-promote");
   EXPECT_TRUE(IsKnownTraceEventKind(1));
   EXPECT_TRUE(IsKnownTraceEventKind(18));
+  EXPECT_TRUE(IsKnownTraceEventKind(19));
+  EXPECT_TRUE(IsKnownTraceEventKind(21));
   EXPECT_FALSE(IsKnownTraceEventKind(0));
-  EXPECT_FALSE(IsKnownTraceEventKind(19));
+  EXPECT_FALSE(IsKnownTraceEventKind(22));
 }
 
 }  // namespace

@@ -6,13 +6,19 @@
 //
 // Usage: fleet_client <port> <command> [args...]   (host is 127.0.0.1)
 //
-//   submit <csv> [algorithm] [name] [options-json]  enqueue a job; prints
-//                                                   the response JSON
-//   status <id>                                     GET /jobs/<id>
+//   submit <csv> [algorithm] [name] [options-json] [priority] [deadline-ms]
+//                                                   enqueue a job; prints
+//                                                   the response JSON (a 429
+//                                                   rejection prints the
+//                                                   server's Retry-After)
+//   status <id>                                     GET /jobs/<id>; queued
+//                                                   jobs also print their
+//                                                   queue position + policy
 //   report                                          GET /jobs
 //   watch <id> [max-polls]                          long-poll /changes until
 //                                                   the job settles; prints
-//                                                   "settled: <state>"
+//                                                   the queue position first,
+//                                                   then "settled: <state>"
 //   model <id> <out-path>                           GET /models/<id> to file
 //   cancel <id>                                     POST /jobs/<id>/cancel
 //   metrics                                         GET /metrics
@@ -35,14 +41,16 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: fleet_client <port> submit <csv> [algorithm] [name] "
-               "[options-json]\n"
+               "[options-json] [priority] [deadline-ms]\n"
                "       fleet_client <port> "
                "status|watch|model|cancel <id> [...]\n"
                "       fleet_client <port> report|metrics|shutdown\n");
   return 2;
 }
 
-// Prints the body and maps the HTTP status to an exit code.
+// Prints the body and maps the HTTP status to an exit code. Bounded-queue
+// rejections (429) surface the server's Retry-After hint so scripted callers
+// can back off without parsing JSON.
 int Finish(const least::Result<least::HttpClientResponse>& response) {
   if (!response.ok()) {
     std::fprintf(stderr, "fleet_client: %s\n",
@@ -50,10 +58,38 @@ int Finish(const least::Result<least::HttpClientResponse>& response) {
     return 1;
   }
   std::printf("%s\n", response.value().body.c_str());
+  if (response.value().status == 429) {
+    const std::string retry_after(response.value().Header("retry-after"));
+    if (!retry_after.empty()) {
+      std::fprintf(stderr, "fleet_client: queue full, retry after %ss\n",
+                   retry_after.c_str());
+    }
+  }
   return response.value().status < 300 ? 0 : 1;
 }
 
+// Prints "queued: position N (policy P)" when the status document shows the
+// job still waiting; silent for running/terminal jobs or non-JSON bodies.
+void PrintQueuePosition(const std::string& body) {
+  least::Result<least::JsonValue> doc = least::ParseJson(body);
+  if (!doc.ok()) return;
+  int64_t position = -1;
+  doc.value().Find("queue_position")->IntegerValue(&position);
+  if (position < 0) return;
+  const least::JsonValue* policy = doc.value().Find("policy");
+  std::printf("queued: position %lld (policy %s)\n",
+              static_cast<long long>(position),
+              policy->is_string() ? policy->as_string().c_str() : "?");
+}
+
 int Watch(least::HttpClient& client, const std::string& id, int max_polls) {
+  // One status probe up front: a still-queued job prints where it sits in
+  // line before the event feed takes over.
+  least::Result<least::HttpClientResponse> probe =
+      client.Get("/jobs/" + id);
+  if (probe.ok() && probe.value().status == 200) {
+    PrintQueuePosition(probe.value().body);
+  }
   uint64_t since = 0;
   for (int round = 0; round < max_polls; ++round) {
     least::Result<least::HttpClientResponse> poll = client.Get(
@@ -103,15 +139,27 @@ int main(int argc, char** argv) {
     const std::string algorithm = argc > 4 ? argv[4] : "least-dense";
     const std::string name = argc > 5 ? argv[5] : "cli-job";
     const std::string options = argc > 6 ? argv[6] : "{}";
-    const std::string body =
+    std::string body =
         "{\"name\":" + least::JsonQuote(name) +
         ",\"algorithm\":" + least::JsonQuote(algorithm) +
         ",\"dataset\":{\"csv\":" + least::JsonQuote(argv[3]) +
-        ",\"has_header\":false},\"options\":" + options + "}";
+        ",\"has_header\":false},\"options\":" + options;
+    if (argc > 7) {
+      body += ",\"priority\":" + std::to_string(std::atoll(argv[7]));
+    }
+    if (argc > 8) {
+      body += ",\"deadline_ms\":" + std::to_string(std::atoll(argv[8]));
+    }
+    body += "}";
     return Finish(client.Post("/jobs", body));
   }
   if (command == "status" && argc == 4) {
-    return Finish(client.Get(std::string("/jobs/") + argv[3]));
+    least::Result<least::HttpClientResponse> response =
+        client.Get(std::string("/jobs/") + argv[3]);
+    if (response.ok() && response.value().status == 200) {
+      PrintQueuePosition(response.value().body);
+    }
+    return Finish(response);
   }
   if (command == "report" && argc == 3) {
     return Finish(client.Get("/jobs"));

@@ -105,6 +105,9 @@ int Dump(const std::string& path, int64_t show_events) {
   int64_t http_errors = 0;  // responses with status >= 400
   uint64_t http_request_bytes = 0, http_response_bytes = 0;
   uint64_t http_peak_connections = 0;
+  int64_t sched_admits = 0, sched_rejects = 0, sched_promotes = 0;
+  uint64_t sched_peak_depth = 0, sched_max_bypass = 0;
+  int sched_policy = -1;  // SchedPolicy value from the last admit event
 
   for (const TraceEvent& e : events) {
     switch (e.kind) {
@@ -185,6 +188,19 @@ int Dump(const std::string& path, int64_t show_events) {
         http_response_bytes += e.arg1;
         if (e.arg0 >= 400) ++http_errors;
         break;
+      case TraceEventKind::kSchedAdmit:
+        ++sched_admits;
+        sched_peak_depth = std::max(sched_peak_depth, e.arg0);
+        sched_policy = static_cast<int>(e.arg1);
+        break;
+      case TraceEventKind::kSchedReject:
+        ++sched_rejects;
+        sched_peak_depth = std::max(sched_peak_depth, e.arg0);
+        break;
+      case TraceEventKind::kSchedPromote:
+        ++sched_promotes;
+        sched_max_bypass = std::max(sched_max_bypass, e.arg0);
+        break;
     }
   }
 
@@ -263,6 +279,19 @@ int Dump(const std::string& path, int64_t show_events) {
         (long long)http_responses,
         static_cast<double>(http_response_bytes) / 1024.0,
         (long long)http_errors);
+  }
+  if (sched_admits > 0 || sched_rejects > 0 || sched_promotes > 0) {
+    const std::string policy =
+        sched_policy >= 0
+            ? std::string(least::SchedPolicyName(
+                  static_cast<least::SchedPolicy>(sched_policy)))
+            : "unknown";
+    std::printf(
+        "sched: %lld admits, %lld rejects, %lld promotions (max %llu "
+        "bypassed), peak queue depth %llu, policy %s\n",
+        (long long)sched_admits, (long long)sched_rejects,
+        (long long)sched_promotes, (unsigned long long)sched_max_bypass,
+        (unsigned long long)sched_peak_depth, policy.c_str());
   }
   return 0;
 }
