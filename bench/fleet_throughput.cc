@@ -47,6 +47,7 @@
 #include "obs/trace_log.h"
 #include "runtime/fleet_scheduler.h"
 #include "util/csv.h"
+#include "util/failpoint.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
 
@@ -281,6 +282,47 @@ int main() {
     }
     trace_runs.push_back(std::move(best));
   }
+
+  // ---- Failpoint overhead: the same CSV fleet with probes disarmed and
+  // armed-but-inert. ----
+  // The failpoint contract mirrors tracing's: a disarmed `LEAST_FAILPOINT`
+  // probe is one relaxed atomic load plus a branch, so production pays
+  // nothing for the fault-injection seams threaded through the cache,
+  // checkpoint, sink, scheduler, and HTTP paths. "disarmed" is the
+  // production default (configuration-identical to the tracing-off
+  // baseline above); "armed-inert" arms a plan for a site no probe ever
+  // reaches, forcing every probe through the slow-path registry lookup —
+  // the worst case a chaos run imposes on un-probed code. The two modes
+  // alternate rep by rep (best of 5 each) so slow machine-level drift
+  // cancels out of the comparison.
+  struct FailpointRun {
+    std::string mode;
+    least::FleetReport report;
+    bool deterministic = true;
+  };
+  std::vector<FailpointRun> failpoint_runs(2);
+  failpoint_runs[0].mode = "disarmed";
+  failpoint_runs[1].mode = "armed-inert";
+  for (int rep = 0; rep < 5; ++rep) {
+    for (FailpointRun& best : failpoint_runs) {
+      RunResult run;
+      {
+        std::unique_ptr<least::ScopedFailpoints> armed;
+        if (best.mode == "armed-inert") {
+          armed = std::make_unique<least::ScopedFailpoints>(
+              "bench.unreachable=err:io@1000000");
+        }
+        least::DatasetCache cache(trace_budget);
+        run = run_csv_fleet(&cache);
+      }
+      if (rep == 0 || run.report.wall_seconds < best.report.wall_seconds) {
+        best.report = run.report;
+      }
+      best.deterministic =
+          best.deterministic && run.probe_weights.SameShape(ram_probe) &&
+          least::MaxAbsDiff(run.probe_weights, ram_probe) == 0.0;
+    }
+  }
   fs::remove_all(csv_dir);
 
   std::printf("disk-backed fleet (%d threads, %d CSV jobs of %zu bytes "
@@ -327,6 +369,28 @@ int main() {
          run.deterministic ? "yes" : "NO"});
   }
   std::printf("%s\n", trace_table.ToString().c_str());
+
+  const double disarmed_jobs_per_sec =
+      failpoint_runs[0].report.throughput_jobs_per_sec;
+  std::printf("failpoint overhead (%d threads, %d CSV jobs, 16-dataset "
+              "cache, interleaved best of 5, vs disarmed):\n",
+              disk_threads, num_jobs);
+  least::TablePrinter failpoint_table(
+      {"failpoints", "wall s", "jobs/s", "overhead %", "deterministic"});
+  for (const FailpointRun& run : failpoint_runs) {
+    const double overhead_pct =
+        disarmed_jobs_per_sec > 0
+            ? 100.0 * (1.0 - run.report.throughput_jobs_per_sec /
+                                 disarmed_jobs_per_sec)
+            : 0.0;
+    failpoint_table.AddRow(
+        {run.mode, least::TablePrinter::Fmt(run.report.wall_seconds, 2),
+         least::TablePrinter::Fmt(run.report.throughput_jobs_per_sec, 1),
+         run.mode == "disarmed" ? "-"
+                                : least::TablePrinter::Fmt(overhead_pct, 1),
+         run.deterministic ? "yes" : "NO"});
+  }
+  std::printf("%s\n", failpoint_table.ToString().c_str());
 
   // ---- Over-budget single dataset: sharded streaming via least-sparse. ----
   // One dataset 4x larger than its cache budget; only the row-range-sharded
@@ -596,6 +660,23 @@ int main() {
           static_cast<unsigned long long>(run.trace_bytes),
           run.deterministic ? "true" : "false",
           i + 1 < trace_runs.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"failpoints\": [\n");
+    for (size_t i = 0; i < failpoint_runs.size(); ++i) {
+      const FailpointRun& run = failpoint_runs[i];
+      const double overhead_pct =
+          disarmed_jobs_per_sec > 0
+              ? 100.0 * (1.0 - run.report.throughput_jobs_per_sec /
+                                   disarmed_jobs_per_sec)
+              : 0.0;
+      std::fprintf(json,
+                   "    {\"mode\": \"%s\", \"wall_seconds\": %.4f, "
+                   "\"jobs_per_sec\": %.2f, \"overhead_pct\": %.2f, "
+                   "\"deterministic\": %s}%s\n",
+                   run.mode.c_str(), run.report.wall_seconds,
+                   run.report.throughput_jobs_per_sec, overhead_pct,
+                   run.deterministic ? "true" : "false",
+                   i + 1 < failpoint_runs.size() ? "," : "");
     }
     std::fprintf(
         json,

@@ -32,6 +32,7 @@
 #include "obs/trace_log.h"
 #include "runtime/fleet_scheduler.h"
 #include "util/env.h"
+#include "util/failpoint.h"
 
 int main() {
   const int num_jobs = std::max(1, least::EnvInt("LEAST_FLEET_JOBS", 1000));
@@ -40,6 +41,18 @@ int main() {
                        static_cast<int>(std::thread::hardware_concurrency())));
   std::printf("fleet: %d gene-network BN jobs on %d worker thread(s)\n",
               num_jobs, num_threads);
+
+  // Optional fault injection: LEAST_FAILPOINTS=<spec> (with
+  // LEAST_FAILPOINTS_SEED) arms deterministic fault plans at the probed
+  // sites; fires land in the trace as kFaultInjected events and in the
+  // `fault.injected` counter.
+  least::InstallFailpointTracing();
+  const least::Status armed = least::ArmFailpointsFromEnv();
+  if (!armed.ok()) {
+    std::fprintf(stderr, "bad LEAST_FAILPOINTS: %s\n",
+                 armed.ToString().c_str());
+    return 1;
+  }
 
   // Optional telemetry: LEAST_FLEET_TRACE=<path> records every scheduler,
   // cache, pool, and sink event to a .lbtrace file. Tracing never perturbs

@@ -56,6 +56,7 @@
 #include "runtime/job_journal.h"
 #include "runtime/thread_pool.h"
 #include "util/env.h"
+#include "util/failpoint.h"
 
 int main() {
   const int port = least::EnvInt("LEAST_SERVER_PORT", 8377);
@@ -66,6 +67,18 @@ int main() {
   const char* data_env = std::getenv("LEAST_SERVER_DATA");
   const std::string data_root =
       (data_env != nullptr && data_env[0] != '\0') ? data_env : ".";
+
+  // Optional fault injection: LEAST_FAILPOINTS=<spec> (with
+  // LEAST_FAILPOINTS_SEED) arms deterministic fault plans at the probed
+  // sites — useful for drilling client retry behaviour against a live
+  // server. Fires are traced as kFaultInjected events.
+  least::InstallFailpointTracing();
+  const least::Status armed = least::ArmFailpointsFromEnv();
+  if (!armed.ok()) {
+    std::fprintf(stderr, "fleet_server: bad LEAST_FAILPOINTS: %s\n",
+                 armed.ToString().c_str());
+    return 1;
+  }
 
   // Optional telemetry: LEAST_SERVER_TRACE=<path> records every scheduler,
   // cache, pool, sink, and http event to a .lbtrace file (kHttpAccept/

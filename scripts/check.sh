@@ -24,6 +24,11 @@
 #                                           # fleet_client (submit, watch,
 #                                           # fetch model, drain), and verify
 #                                           # every job settled.
+#   scripts/check.sh --chaos                # run the seeded fault-injection
+#                                           # harness (test_chaos_fleet) at
+#                                           # three fixed storm seeds; every
+#                                           # seed must absorb its storm with
+#                                           # bit-identical models.
 #   LEAST_NATIVE=1 scripts/check.sh         # -march=native kernels (local
 #                                           # perf runs; off in CI)
 
@@ -35,11 +40,13 @@ build_dir="${BUILD_DIR:-build}"
 bench_smoke=0
 trace_smoke=0
 http_smoke=0
+chaos=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
     --trace-smoke) trace_smoke=1 ;;
     --http-smoke) http_smoke=1 ;;
+    --chaos) chaos=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -174,6 +181,23 @@ if [[ "$http_smoke" != "0" ]]; then
   exit 0
 fi
 
+if [[ "$chaos" != "0" ]]; then
+  # Chaos pass: the seeded fault-injection harness at three fixed storm
+  # seeds. Each seed drives a different (but reproducible) fault stream
+  # through the 200-job storm fleet, the mid-storm kill + resume, and the
+  # HTTP chaos tests; a regression in retry/crash-safety semantics shows up
+  # as a failed settle, a non-identical model, or checkpoint debris.
+  cd "$repo_root"
+  cmake -B "$build_dir" -S . "${native_flags[@]}"
+  cmake --build "$build_dir" -j --target test_chaos_fleet
+  for seed in 1 2 3; do
+    echo "check.sh: chaos seed $seed"
+    LEAST_CHAOS_SEED="$seed" "$build_dir/test_chaos_fleet"
+  done
+  echo "check.sh: chaos pass green (seeds 1-3)"
+  exit 0
+fi
+
 if [[ "${LEAST_SANITIZE_ONLY:-0}" != "0" ]]; then
   LEAST_SANITIZE=1
 fi
@@ -189,14 +213,14 @@ if [[ "${LEAST_SANITIZE_ONLY:-0}" == "0" ]]; then
   cd "$build_dir"
   ctest --output-on-failure -j
 
-  # The thread-pool, fleet-scheduler, fleet-scheduling, sharded-cache, and
-  # net-stress tests exercise real concurrency (work stealing, cancellation
-  # races, shutdown, policy-ordered claims, bounded-admission storms,
-  # single-flight shard loads, HTTP drain-while-busy); a
-  # scheduling-dependent bug can pass a single run. Re-run them a few times
-  # and fail on a flake.
+  # The thread-pool, fleet-scheduler, fleet-scheduling, sharded-cache,
+  # net-stress, and chaos tests exercise real concurrency (work stealing,
+  # cancellation races, shutdown, policy-ordered claims, bounded-admission
+  # storms, single-flight shard loads, HTTP drain-while-busy, fault storms
+  # racing transient retries); a scheduling-dependent bug can pass a single
+  # run. Re-run them a few times and fail on a flake.
   ctest --output-on-failure \
-        -R '^(test_thread_pool|test_fleet_scheduler|test_fleet_scheduling|test_sharded_cache|test_net_stress)$' \
+        -R '^(test_thread_pool|test_fleet_scheduler|test_fleet_scheduling|test_sharded_cache|test_net_stress|test_chaos_fleet)$' \
         --repeat until-fail:3 --no-tests=error
 
   echo "check.sh: all green"
@@ -220,9 +244,10 @@ if [[ "${LEAST_SANITIZE:-0}" != "0" ]]; then
         test_fleet_scheduler test_fleet_scheduling test_model_serializer \
         test_serializer_fuzz \
         test_checkpoint_resume test_trace_log test_obs_metrics \
-        test_http_parser test_net_service test_net_stress
+        test_http_parser test_net_service test_net_stress \
+        test_failpoint test_chaos_fleet
   cd "$san_dir"
   ctest --output-on-failure --no-tests=error -R \
-        '^(test_data_source|test_csv|test_fleet_data_plane|test_sharded_cache|test_fleet_scheduler|test_fleet_scheduling|test_model_serializer|test_serializer_fuzz|test_checkpoint_resume|test_trace_log|test_obs_metrics|test_http_parser|test_net_service|test_net_stress)$'
+        '^(test_data_source|test_csv|test_fleet_data_plane|test_sharded_cache|test_fleet_scheduler|test_fleet_scheduling|test_model_serializer|test_serializer_fuzz|test_checkpoint_resume|test_trace_log|test_obs_metrics|test_http_parser|test_net_service|test_net_stress|test_failpoint|test_chaos_fleet)$'
   echo "check.sh: sanitizer pass green"
 fi

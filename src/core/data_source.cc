@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/trace_log.h"
 #include "util/csv.h"
+#include "util/failpoint.h"
 #include "util/fnv.h"
 
 namespace least {
@@ -451,7 +452,12 @@ Result<std::shared_ptr<const DenseMatrix>> DatasetCache::GetOrLoad(
   // every future miss on it.
   Result<DenseMatrix> loaded = Status::Internal("loader did not run");
   try {
-    loaded = loader();
+    // The fault stands in for the loader failing (disk hiccup, transient
+    // I/O): the single-flight claim is released on the normal failure path
+    // below, and a later attempt on the same key loads for real.
+    Status fault = Status::Ok();
+    if (FailpointsArmed()) fault = FailpointHit("cache.load");
+    loaded = fault.ok() ? loader() : Result<DenseMatrix>(fault);
   } catch (...) {
     lock.lock();
     inflight_.erase(key);
@@ -633,6 +639,9 @@ Result<std::shared_ptr<const DenseMatrix>> CsvDataSource::AcquireVerified()
   Result<std::shared_ptr<const DenseMatrix>> acquired =
       cache_->GetOrLoad(cache_key_, [this]() { return Load(); });
   if (!acquired.ok()) return acquired;
+  // Transient acquire fault: the payload stays cached (no Drop — the data
+  // is fine), so a retrying caller succeeds on the next attempt.
+  LEAST_FAILPOINT("cache.verify");
   const std::shared_ptr<const DenseMatrix>& handle = acquired.value();
   std::lock_guard<std::mutex> lock(mu_);
   if (handle == verified_.lock()) return acquired;  // same payload object
@@ -788,6 +797,9 @@ Result<std::shared_ptr<const DenseMatrix>> CsvDataSource::AcquireShard(
   Result<std::shared_ptr<const DenseMatrix>> acquired =
       cache_->GetOrLoad(key, [this, index]() { return LoadShard(index); });
   if (!acquired.ok()) return acquired;
+  // Same transient-fault site as `AcquireVerified`: no Drop, the shard
+  // stays cached for the retry.
+  LEAST_FAILPOINT("cache.verify");
   const std::shared_ptr<const DenseMatrix>& handle = acquired.value();
   std::lock_guard<std::mutex> lock(mu_);
   std::weak_ptr<const DenseMatrix>& seen =

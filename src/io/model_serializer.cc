@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "util/atomic_file.h"
+#include "util/failpoint.h"
 #include "util/fnv.h"
 
 namespace least {
@@ -642,20 +644,13 @@ Result<ModelArtifact> DeserializeModel(std::string_view bytes) {
 }
 
 Status SaveModel(const std::string& path, const ModelArtifact& artifact) {
-  const std::string blob = SerializeModel(artifact);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open '" + path + "' for writing");
-  }
-  const size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
-  const bool close_ok = std::fclose(f) == 0;
-  if (written != blob.size() || !close_ok) {
-    return Status::IoError("short write to '" + path + "'");
-  }
-  return Status::Ok();
+  // Temp + rename: a crash mid-save leaves the previous complete file (or
+  // nothing), never a torn checkpoint for ScanAndResume to trip over.
+  return AtomicWriteFile(path, SerializeModel(artifact));
 }
 
 Result<ModelArtifact> LoadModel(const std::string& path) {
+  LEAST_FAILPOINT("serializer.read");
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IoError("cannot open '" + path + "' for reading");

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cinttypes>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -10,6 +11,8 @@
 
 #include "obs/metrics.h"
 #include "obs/trace_log.h"
+#include "util/atomic_file.h"
+#include "util/failpoint.h"
 
 namespace least {
 
@@ -29,12 +32,11 @@ std::string Sanitize(std::string_view s) {
   return out;
 }
 
-// Counts existing data rows so model numbering continues across scheduler
-// generations (the index is append-only).
-int64_t CountDataLines(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return 0;
+// Counts data rows in index content so model numbering continues across
+// scheduler generations (the index is logically append-only).
+int64_t CountDataLines(const std::string& content) {
   int64_t lines = 0;
+  std::istringstream in(content);
   std::string line;
   while (std::getline(in, line)) {
     if (!line.empty()) ++lines;
@@ -44,30 +46,39 @@ int64_t CountDataLines(const std::string& path) {
 
 }  // namespace
 
-ResultSink::ResultSink(std::string dir, std::FILE* index, int64_t next_seq)
-    : dir_(std::move(dir)), index_(index), next_seq_(next_seq) {}
+ResultSink::ResultSink(std::string dir, std::string index_content,
+                       int64_t next_seq)
+    : dir_(std::move(dir)),
+      index_content_(std::move(index_content)),
+      next_seq_(next_seq) {}
 
 Result<std::unique_ptr<ResultSink>> ResultSink::Open(const std::string& dir) {
   const std::string index_path = IndexPath(dir);
-  const int64_t existing = CountDataLines(index_path);
-  std::FILE* index = std::fopen(index_path.c_str(), "ab");
-  if (index == nullptr) {
-    return Status::IoError("cannot open '" + index_path + "' for appending");
+  std::string content;
+  std::ifstream in(index_path, std::ios::binary);
+  if (in) {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) {
+      return Status::IoError("cannot read '" + index_path + "'");
+    }
+    content = buf.str();
   }
-  if (existing == 0 && std::ftell(index) == 0) {
-    std::fputs(kIndexHeader, index);
-    std::fflush(index);
+  if (content.empty()) {
+    content = kIndexHeader;
+    // Materialize the header immediately so a fleet that settles no jobs
+    // still leaves a readable (empty) index behind, matching the previous
+    // open-in-append-mode behavior.
+    LEAST_RETURN_IF_ERROR(AtomicWriteFile(index_path, content));
   }
+  const int64_t existing = CountDataLines(content);
   return std::unique_ptr<ResultSink>(
-      new ResultSink(dir, index, existing));
-}
-
-ResultSink::~ResultSink() {
-  if (index_ != nullptr) std::fclose(index_);
+      new ResultSink(dir, std::move(content), existing));
 }
 
 Status ResultSink::Write(const ResultRow& row, const ModelArtifact& artifact) {
   std::lock_guard<std::mutex> lock(mu_);
+  LEAST_FAILPOINT("sink.write");
   const std::string file = "model-" + std::to_string(next_seq_) + ".lbnm";
   LEAST_RETURN_IF_ERROR(SaveModel(dir_ + "/" + file, artifact));
 
@@ -86,17 +97,38 @@ Status ResultSink::Write(const ResultRow& row, const ModelArtifact& artifact) {
                                                  : artifact.dataset->path;
     dataset_hash = artifact.dataset->content_hash;
   }
-  const int printed = std::fprintf(
-      index_, "%lld\t%s\t%s\t%s\t%s\t%d\t%" PRIu64 "\t%lld\t%s\t%s\t%s\t%016" PRIx64 "\n",
-      static_cast<long long>(row.job_id), Sanitize(artifact.name).c_str(),
-      std::string(AlgorithmName(artifact.algorithm)).c_str(),
-      Sanitize(row.state).c_str(),
-      std::string(StatusCodeToString(row.status)).c_str(), row.attempts,
-      row.seed, edges, file.c_str(), dataset_kind.c_str(),
-      Sanitize(dataset_ref).c_str(), dataset_hash);
-  if (printed < 0 || std::fflush(index_) != 0) {
-    return Status::IoError("append to '" + IndexPath(dir_) + "' failed");
+  constexpr char kRowFormat[] =
+      "%lld\t%s\t%s\t%s\t%s\t%d\t%" PRIu64 "\t%lld\t%s\t%s\t%s\t%016" PRIx64
+      "\n";
+  const std::string name = Sanitize(artifact.name);
+  const std::string algorithm(AlgorithmName(artifact.algorithm));
+  const std::string state = Sanitize(row.state);
+  const std::string status(StatusCodeToString(row.status));
+  const std::string ref = Sanitize(dataset_ref);
+  const int need = std::snprintf(
+      nullptr, 0, kRowFormat, static_cast<long long>(row.job_id),
+      name.c_str(), algorithm.c_str(), state.c_str(), status.c_str(),
+      row.attempts, row.seed, edges, file.c_str(), dataset_kind.c_str(),
+      ref.c_str(), dataset_hash);
+  std::string index_row(static_cast<size_t>(need > 0 ? need : 0), '\0');
+  if (need <= 0 ||
+      std::snprintf(index_row.data(), index_row.size() + 1, kRowFormat,
+                    static_cast<long long>(row.job_id), name.c_str(),
+                    algorithm.c_str(), state.c_str(), status.c_str(),
+                    row.attempts, row.seed, edges, file.c_str(),
+                    dataset_kind.c_str(), ref.c_str(), dataset_hash) != need) {
+    return Status::Internal("cannot format index row for job " +
+                            std::to_string(row.job_id));
   }
+  // Commit the row by atomically rewriting the whole index from the
+  // in-memory copy: a reader or a crash sees the index before this row or
+  // after it, never a torn line. On failure the on-disk index and the
+  // in-memory copy both still lack the row, and the error propagates to the
+  // caller instead of silently dropping the row.
+  LEAST_FAILPOINT("sink.index");
+  LEAST_RETURN_IF_ERROR(AtomicWriteFile(IndexPath(dir_),
+                                        index_content_ + index_row));
+  index_content_ += index_row;
   if (TraceEnabled()) {
     std::error_code ec;
     const auto blob_bytes =

@@ -14,12 +14,14 @@
 ///   dataset_kind  dataset_ref  dataset_hash
 /// The file is append-only across scheduler generations: resuming a killed
 /// fleet into the same directory appends its settled jobs after the rows
-/// the previous run left behind.
+/// the previous run left behind. Physically each append rewrites the whole
+/// index through `AtomicWriteFile` (the sink keeps the full content in
+/// memory), so a reader — or a crash at any instant — sees either the index
+/// before the row or after it, never a torn line.
 
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -59,19 +61,19 @@ struct ResultIndexEntry {
 /// fleet worker threads write concurrently through one sink.
 class ResultSink {
  public:
-  /// Opens (creating if absent) `<dir>/index.tsv` in append mode. The
-  /// directory must exist. Model file numbering continues after any rows a
-  /// previous generation already wrote.
+  /// Loads any existing `<dir>/index.tsv` (creating a fresh header if
+  /// absent). The directory must exist. Model file numbering continues
+  /// after any rows a previous generation already wrote.
   static Result<std::unique_ptr<ResultSink>> Open(const std::string& dir);
-
-  ~ResultSink();
 
   ResultSink(const ResultSink&) = delete;
   ResultSink& operator=(const ResultSink&) = delete;
 
-  /// Writes the artifact to the next `model-<seq>.lbnm` and appends (and
-  /// flushes) its index row. The artifact's name/algorithm/dataset fields
-  /// fill the non-summary columns.
+  /// Writes the artifact to the next `model-<seq>.lbnm` and commits its
+  /// index row (both through `AtomicWriteFile`). On error the index on disk
+  /// is unchanged and the Status carries the failing path — a dropped row
+  /// is loud, never silent. Failpoints: `sink.write` before the model file,
+  /// `sink.index` before the index rewrite.
   Status Write(const ResultRow& row, const ModelArtifact& artifact);
 
   const std::string& dir() const { return dir_; }
@@ -83,11 +85,11 @@ class ResultSink {
   int64_t written() const;
 
  private:
-  ResultSink(std::string dir, std::FILE* index, int64_t next_seq);
+  ResultSink(std::string dir, std::string index_content, int64_t next_seq);
 
   std::string dir_;
-  std::FILE* index_ = nullptr;
   mutable std::mutex mu_;
+  std::string index_content_;  ///< full index.tsv content, header included
   int64_t next_seq_ = 0;
   int64_t written_ = 0;
 };

@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "runtime/fleet_scheduler.h"
 #include "runtime/job_journal.h"
+#include "util/failpoint.h"
 
 namespace least {
 namespace {
@@ -77,6 +78,26 @@ JsonValue LatencyToJson(const LatencyStats& stats) {
   return v;
 }
 
+/// Maps an internal error Status to an HTTP response. `kUnavailable` — the
+/// transient class the scheduler retries — becomes 503 with a `Retry-After`
+/// hint so well-behaved clients back off and resubmit instead of treating a
+/// flaky moment as a permanent failure.
+HttpResponse ErrorFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+      return HttpResponse::Error(400, status.message());
+    case StatusCode::kOutOfRange:
+      return HttpResponse::Error(404, status.message());
+    case StatusCode::kUnavailable: {
+      HttpResponse response = HttpResponse::Error(503, status.message());
+      response.headers.emplace_back("Retry-After", "1");
+      return response;
+    }
+    default:
+      return HttpResponse::Error(500, status.message());
+  }
+}
+
 JsonValue ReportToJson(const FleetReport& report) {
   JsonValue v = JsonValue::Object();
   v.Set("total_jobs", JsonValue::Number(static_cast<double>(
@@ -89,6 +110,8 @@ JsonValue ReportToJson(const FleetReport& report) {
   v.Set("cancelled",
         JsonValue::Number(static_cast<double>(report.cancelled)));
   v.Set("retries", JsonValue::Number(static_cast<double>(report.retries)));
+  v.Set("retries_transient",
+        JsonValue::Number(static_cast<double>(report.transient_retries)));
   v.Set("wall_seconds", JsonValue::Number(report.wall_seconds));
   v.Set("throughput_jobs_per_sec",
         JsonValue::Number(report.throughput_jobs_per_sec));
@@ -379,7 +402,7 @@ HttpResponse FleetService::HandleSubmitJob(const HttpRequest& request) {
   Result<int64_t> admitted = scheduler_->TryEnqueue(std::move(job));
   if (!admitted.ok()) {
     if (admitted.status().code() != StatusCode::kResourceExhausted) {
-      return HttpResponse::Error(500, admitted.status().message());
+      return ErrorFromStatus(admitted.status());
     }
     // Load shed: 429 with a Retry-After hint sized from the fleet's own
     // mean job latency — "after roughly one queue's worth of settles" —
@@ -484,7 +507,7 @@ HttpResponse FleetService::HandleModel(int64_t job_id) const {
   }
   Result<std::string> bytes = scheduler_->SerializedModel(job_id);
   if (!bytes.ok()) {
-    return HttpResponse::Error(500, bytes.status().message());
+    return ErrorFromStatus(bytes.status());
   }
   HttpResponse response;
   response.status = 200;
@@ -525,6 +548,13 @@ HttpResponse FleetService::HandleIndex() const {
 }
 
 HttpResponse FleetService::Handle(const HttpRequest& request) {
+  // Whole-service fault gate: an injected error here exercises the status →
+  // HTTP mapping (notably kUnavailable → 503 + Retry-After) without needing
+  // a backend that happens to be failing.
+  if (FailpointsArmed()) {
+    const Status fault = FailpointHit("service.handle");
+    if (!fault.ok()) return ErrorFromStatus(fault);
+  }
   const std::vector<std::string_view> segments = Segments(request.path);
   const std::string_view method = request.method;
 

@@ -14,6 +14,7 @@
 #include "obs/trace_log.h"
 #include "runtime/thread_pool.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace least {
 namespace {
@@ -157,6 +158,14 @@ void HttpServer::AcceptLoop() {
       ::close(fd);
       break;
     }
+    // "Accept thread hiccup": an injected fault drops this connection on
+    // the floor before it is registered — the client sees a reset, the
+    // server keeps serving. Must run before registration so there is no
+    // conns_ entry to leak.
+    if (FailpointsArmed() && !FailpointHit("http.accept").ok()) {
+      ::close(fd);
+      continue;
+    }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     SetReadTimeout(fd, options_.read_timeout);
@@ -195,6 +204,12 @@ void HttpServer::ServeConnection(int64_t conn_id, int fd) {
     // Drain already-buffered bytes first, then read more as needed.
     while (!parser.complete() && !parser.failed()) {
       if (pending.empty()) {
+        // Injected read fault: treated exactly like a peer hanging up
+        // mid-request — the connection closes, the server survives.
+        if (FailpointsArmed() && !FailpointHit("http.read").ok()) {
+          close_connection = true;
+          break;
+        }
         const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
         if (n > 0) {
           pending.assign(buf, static_cast<size_t>(n));

@@ -32,6 +32,14 @@
 ///   kSchedAdmit     | id   | ready-queue depth after | SchedPolicy enum value
 ///   kSchedReject    | -1   | ready-queue depth       | max_queued bound
 ///   kSchedPromote   | id   | older ready jobs passed | SchedPolicy enum value
+///   kFaultInjected  | -1   | FNV-1a of failpoint site| fault detail word
+///
+/// `kFaultInjected` narrates the fault-injection subsystem
+/// (`util/failpoint.h`): one event per failpoint fire, emitted through the
+/// observer `InstallFailpointTracing` installs. The detail word's bit 32
+/// selects the fault kind — clear: an injected error, with the `StatusCode`
+/// value in bits 0..31; set: an injected delay, with the milliseconds in
+/// bits 0..31 (see `FailpointDetail`).
 ///
 /// The three HTTP kinds carry the server's per-listener connection id in
 /// the `job` field (requests are not jobs; a `POST /jobs` that enqueues one
@@ -78,6 +86,7 @@ enum class TraceEventKind : uint16_t {
   kSchedAdmit = 19,
   kSchedReject = 20,
   kSchedPromote = 21,
+  kFaultInjected = 22,
 };
 
 /// True for every kind a version-1 trace may legally contain. The decoder
@@ -86,7 +95,7 @@ enum class TraceEventKind : uint16_t {
 /// corrupt a timeline.
 constexpr bool IsKnownTraceEventKind(uint16_t kind) {
   return kind >= static_cast<uint16_t>(TraceEventKind::kJobEnqueue) &&
-         kind <= static_cast<uint16_t>(TraceEventKind::kSchedPromote);
+         kind <= static_cast<uint16_t>(TraceEventKind::kFaultInjected);
 }
 
 /// Canonical lowercase name ("job-enqueue", "cache-hit", ...); "unknown"

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "util/failpoint.h"
 #include "util/fnv.h"
 
 namespace least {
@@ -93,6 +95,8 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "sched-reject";
     case TraceEventKind::kSchedPromote:
       return "sched-promote";
+    case TraceEventKind::kFaultInjected:
+      return "fault-injected";
   }
   return "unknown";
 }
@@ -105,6 +109,21 @@ void InstallTraceLog(TraceLog* log) {
 
 TraceLog* ActiveTraceLog() {
   return g_active_trace.load(std::memory_order_relaxed);
+}
+
+void InstallFailpointTracing() {
+  // The observer is obs-side glue: `util/failpoint.cc` cannot emit traces
+  // or touch the metrics registry itself without inverting the util → obs
+  // layering, so it exposes a hook and this translates fires into the
+  // kFaultInjected vocabulary. Idempotent; fires while no trace log is
+  // installed still count the metric.
+  SetFailpointObserver(
+      [](std::string_view, uint64_t site_hash, uint64_t detail) {
+        TraceEmit(TraceEventKind::kFaultInjected, -1, site_hash, detail);
+        static Counter& injected =
+            MetricsRegistry::Global().counter("fault.injected");
+        injected.Add();
+      });
 }
 
 // ------------------------------------------------------------- TraceLog ---

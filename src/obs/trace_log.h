@@ -166,6 +166,13 @@ void InstallTraceLog(TraceLog* log);
 /// The currently installed log (relaxed atomic load), or nullptr.
 TraceLog* ActiveTraceLog();
 
+/// Wires the fault-injection subsystem (`util/failpoint.h`) into the
+/// observability layer: every failpoint fire emits a `kFaultInjected` trace
+/// event (arg0 = FNV-1a of the site, arg1 = the fault detail word) and
+/// bumps the `fault.injected` counter. Idempotent; call once before arming
+/// a spec whose fires should be visible in traces and `/metrics`.
+void InstallFailpointTracing();
+
 /// True when a trace log is installed.
 inline bool TraceEnabled() { return ActiveTraceLog() != nullptr; }
 

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <functional>
 #include <map>
+#include <thread>
 
 #include "core/train_state.h"
 #include "io/model_serializer.h"
@@ -14,6 +15,7 @@
 #include "obs/metrics.h"
 #include "obs/trace_log.h"
 #include "runtime/job_journal.h"
+#include "util/failpoint.h"
 
 namespace least {
 
@@ -43,6 +45,10 @@ struct FleetMetrics {
   Counter& cancelled =
       MetricsRegistry::Global().counter("fleet.jobs_cancelled");
   Counter& retries = MetricsRegistry::Global().counter("fleet.retries");
+  /// Same-seed re-runs after transient failures (see
+  /// `FleetOptions::max_transient_retries`).
+  Counter& retries_transient =
+      MetricsRegistry::Global().counter("fleet.retries_transient");
   Histogram& run_ms =
       MetricsRegistry::Global().histogram("fleet.run_ms", kRunMsBounds);
   // Scheduling layer: admission control and policy ordering.
@@ -169,6 +175,12 @@ std::string FleetReport::ToString() const {
         out += buf;
       }
     }
+  }
+  if (transient_retries > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n  transient: %lld same-seed re-runs absorbed",
+                  transient_retries);
+    out += buf;
   }
   if (succeeded_retried.jobs > 0) {
     std::snprintf(
@@ -407,7 +419,9 @@ void FleetScheduler::WriteCheckpoint(const JobSlot& slot,
   artifact.candidate_edges = slot.job.candidate_edges;
   const std::string path =
       CheckpointPath(options_.checkpoint_dir, slot.record.job_id);
-  const Status status = SaveModel(path, artifact);
+  Status status = Status::Ok();
+  if (FailpointsArmed()) status = FailpointHit("ckpt.write");
+  if (status.ok()) status = SaveModel(path, artifact);
   if (!status.ok()) {
     std::fprintf(stderr, "[fleet] checkpoint write failed for job %lld: %s\n",
                  static_cast<long long>(slot.record.job_id),
@@ -434,7 +448,9 @@ void FleetScheduler::WriteEnqueueStub(const JobSlot& slot) const {
   artifact.candidate_edges = slot.job.candidate_edges;
   const std::string path =
       CheckpointPath(options_.checkpoint_dir, slot.record.job_id);
-  const Status status = SaveModel(path, artifact);
+  Status status = Status::Ok();
+  if (FailpointsArmed()) status = FailpointHit("ckpt.write");
+  if (status.ok()) status = SaveModel(path, artifact);
   if (!status.ok()) {
     std::fprintf(stderr, "[fleet] stub checkpoint failed for job %lld: %s\n",
                  static_cast<long long>(slot.record.job_id),
@@ -576,6 +592,16 @@ void FleetScheduler::DispatchOne() {
   // eager queued-job cancellation (or claimed by an earlier task) — the
   // task count and the ready count always settle to parity.
   if (slot == nullptr) return;
+  // "Worker died after claiming": an injected fault here abandons the claim
+  // before the job starts, and the job must survive it — back to the ready
+  // queue, claimed again by a replacement drain task.
+  if (FailpointsArmed()) {
+    const Status fault = FailpointHit("sched.claim");
+    if (!fault.ok()) {
+      RequeueClaimed(slot);
+      return;
+    }
+  }
   FleetMetrics& metrics = FleetMetrics::Get();
   metrics.sched_queue_depth.Set(depth);
   if (bypassed > 0) {
@@ -588,6 +614,38 @@ void FleetScheduler::DispatchOne() {
   RunJob(slot);
 }
 
+void FleetScheduler::RequeueClaimed(JobSlot* slot) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Back to pending *before* the replacement task exists: a job must
+    // never be invisible to both the ready queue and a worker. A concurrent
+    // Cancel can now settle it eagerly, exactly like any queued job.
+    slot->record.state = JobState::kPending;
+    slot->record.queue_ms = 0;
+    ready_.push_back(slot);
+    slot->in_ready = true;
+  }
+  if (!pool_->Schedule([this]() { DispatchOne(); })) {
+    // Pool shut down between the claim and the requeue: settle the job here
+    // so Wait() terminates (mirrors the TryEnqueue fallback). Re-claim only
+    // if it is still ours — a concurrent Cancel or drain task may have
+    // taken it meanwhile.
+    bool ours = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (slot->in_ready) {
+        ready_.erase(std::find(ready_.begin(), ready_.end(), slot));
+        slot->in_ready = false;
+        slot->record.state = JobState::kFailed;
+        slot->record.status =
+            Status::Internal("thread pool is shut down; job never ran");
+        ours = true;
+      }
+    }
+    if (ours) SettleNeverRan(slot);
+  }
+}
+
 void FleetScheduler::RunJob(JobSlot* slot) {
   const int max_attempts =
       slot->job.max_attempts > 0 ? slot->job.max_attempts
@@ -595,11 +653,43 @@ void FleetScheduler::RunJob(JobSlot* slot) {
 
   FitOutcome outcome;
   JobState terminal = JobState::kFailed;
+  // Transient-failure budget for the whole job, shared by the prepare and
+  // attempt loops below. A transient re-run repeats the same work with the
+  // same seed, so it can never change what the job learns — only whether a
+  // flaky environment gets to fail it.
+  int transient_budget =
+      options_.max_transient_retries > 0 ? options_.max_transient_retries : 0;
+  const auto note_transient = [&](int attempt_number, const Status& failed) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++slot->record.transient_retries;
+      ++transient_retries_;
+    }
+    TraceEmit(TraceEventKind::kJobRetry, slot->record.job_id,
+              static_cast<uint64_t>(attempt_number),
+              static_cast<uint64_t>(failed.code()));
+    FleetMetrics::Get().retries_transient.Add();
+  };
   // First touch of the dataset: a lazy source loads (and validates) here,
   // so a malformed or missing file fails the job with a clean status.
-  const Status prepared = slot->job.data->Prepare();
+  // Transient load failures (a disk hiccup, an injected fault) retry with
+  // backoff; permanent ones (malformed CSV, hash mismatch) fail fast.
+  Status prepared = slot->job.data->Prepare();
+  while (!prepared.ok() && transient_budget > 0 && IsTransient(prepared)) {
+    const int retry_index = options_.max_transient_retries - transient_budget;
+    --transient_budget;
+    note_transient(1, prepared);
+    if (!TransientBackoff(*slot, retry_index)) {
+      prepared = Status::Cancelled("cancelled during transient-retry backoff");
+      break;
+    }
+    prepared = slot->job.data->Prepare();
+  }
   if (!prepared.ok()) {
     outcome.status = prepared;
+    if (prepared.code() == StatusCode::kCancelled) {
+      terminal = JobState::kCancelled;
+    }
   }
   for (int attempt = 1; prepared.ok() && attempt <= max_attempts; ++attempt) {
     LearnOptions options = slot->job.options;
@@ -629,33 +719,54 @@ void FleetScheduler::RunJob(JobSlot* slot) {
     }
     NotifyProgress(slot->record);  // attempt starting (kRunning)
 
-    RunHooks hooks;
-    hooks.stop = [slot]() {
-      return slot->cancel.load(std::memory_order_acquire);
-    };
-    hooks.resume = resume;
     const bool persist_checkpoints = !options_.checkpoint_dir.empty();
-    // The round-progress trace rides the learners' existing checkpoint
-    // cadence: install the callback whenever tracing is on, even with no
-    // checkpoint directory. Capturing a TrainState only *observes* the
-    // optimizer, so results stay bit-identical with tracing enabled (the
-    // fleet data-plane tests assert this).
-    if (persist_checkpoints || TraceEnabled()) {
-      hooks.checkpoint_every_outer = options_.checkpoint_every_outer;
-      hooks.checkpoint = [this, slot, options,
-                          persist_checkpoints](const TrainState& state) {
-        TraceEmit(TraceEventKind::kJobRound, slot->record.job_id,
-                  static_cast<uint64_t>(state.outer),
-                  static_cast<uint64_t>(state.total_inner));
-        if (persist_checkpoints) {
-          WriteCheckpoint(*slot, options, state);
-          TraceEmit(TraceEventKind::kJobCheckpoint, slot->record.job_id,
-                    static_cast<uint64_t>(state.outer), 0);
-        }
+    const auto run_once = [&]() {
+      RunHooks hooks;
+      hooks.stop = [slot]() {
+        return slot->cancel.load(std::memory_order_acquire);
       };
+      hooks.resume = resume;
+      // The round-progress trace rides the learners' existing checkpoint
+      // cadence: install the callback whenever tracing is on, even with no
+      // checkpoint directory. Capturing a TrainState only *observes* the
+      // optimizer, so results stay bit-identical with tracing enabled (the
+      // fleet data-plane tests assert this).
+      if (persist_checkpoints || TraceEnabled()) {
+        hooks.checkpoint_every_outer = options_.checkpoint_every_outer;
+        hooks.checkpoint = [this, slot, options,
+                            persist_checkpoints](const TrainState& state) {
+          TraceEmit(TraceEventKind::kJobRound, slot->record.job_id,
+                    static_cast<uint64_t>(state.outer),
+                    static_cast<uint64_t>(state.total_inner));
+          if (persist_checkpoints) {
+            WriteCheckpoint(*slot, options, state);
+            TraceEmit(TraceEventKind::kJobCheckpoint, slot->record.job_id,
+                      static_cast<uint64_t>(state.outer), 0);
+          }
+        };
+      }
+      return RunAlgorithm(slot->job.algorithm, *slot->job.data, options,
+                          slot->job.candidate_edges, std::move(hooks));
+    };
+    outcome = run_once();
+    // Transient failures re-run the *same* attempt with the *same* seed
+    // after a bounded backoff: the re-run either reproduces the exact model
+    // the attempt would have produced in a fault-free world, or hits the
+    // fault again and burns more budget. Never reseeds — reseeding lives in
+    // the kNotConverged path below and would break bit-identity.
+    while (!outcome.status.ok() && transient_budget > 0 &&
+           IsTransient(outcome.status)) {
+      const int retry_index =
+          options_.max_transient_retries - transient_budget;
+      --transient_budget;
+      note_transient(attempt, outcome.status);
+      if (!TransientBackoff(*slot, retry_index)) {
+        outcome.status =
+            Status::Cancelled("cancelled during transient-retry backoff");
+        break;
+      }
+      outcome = run_once();
     }
-    outcome = RunAlgorithm(slot->job.algorithm, *slot->job.data, options,
-                           slot->job.candidate_edges, std::move(hooks));
 
     if (outcome.status.ok()) {
       terminal = JobState::kSucceeded;
@@ -685,6 +796,12 @@ void FleetScheduler::RunJob(JobSlot* slot) {
     StreamSettled(slot, terminal, &outcome);
   }
 
+  // Delay-only probe in the settle path: the job already has its terminal
+  // outcome, so an injected *error* here has nowhere to go — it is swallowed
+  // (the fire still traces and counts); an injected delay stretches the
+  // settle latency, which is what the site exists to exercise.
+  if (FailpointsArmed()) (void)FailpointHit("sched.settle");
+
   const Clock::time_point settle_time = Clock::now();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -713,10 +830,53 @@ void FleetScheduler::RunJob(JobSlot* slot) {
   Settle();
 }
 
+bool FleetScheduler::IsTransient(const Status& status) const {
+  if (status.ok() || options_.max_transient_retries <= 0) return false;
+  if (options_.transient_classifier) {
+    return options_.transient_classifier(status);
+  }
+  return status.code() == StatusCode::kUnavailable;
+}
+
+bool FleetScheduler::TransientBackoff(const JobSlot& slot,
+                                      int retry_index) const {
+  int64_t wait = std::max(0, options_.transient_backoff_ms);
+  if (wait > 0) {
+    const int64_t cap =
+        std::max<int64_t>(wait, options_.transient_backoff_max_ms);
+    for (int i = 0; i < retry_index && wait < cap; ++i) wait <<= 1;
+    wait = std::min(wait, cap);
+    // Deterministic jitter in [0.5, 1.0): decorrelates a burst of jobs all
+    // retrying against the same flaky resource, without introducing any
+    // run-to-run nondeterminism (a pure function of fleet seed, job id,
+    // and retry index — and timing never feeds back into results anyway).
+    const uint64_t mix = SplitMix64(
+        options_.seed ^
+        SplitMix64(static_cast<uint64_t>(slot.record.job_id) *
+                       0x100000001B3ull +
+                   static_cast<uint64_t>(retry_index)));
+    const double jitter =
+        0.5 + 0.5 * (static_cast<double>(mix >> 11) * 0x1.0p-53);
+    wait = std::max<int64_t>(
+        1, static_cast<int64_t>(static_cast<double>(wait) * jitter));
+  }
+  // Sliced sleep: a cancellation lands within ~10 ms even mid-backoff.
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(wait);
+  for (;;) {
+    if (slot.cancel.load(std::memory_order_acquire)) return false;
+    const Clock::time_point now = Clock::now();
+    if (now >= deadline) return true;
+    std::this_thread::sleep_for(std::min<Clock::duration>(
+        deadline - now, std::chrono::milliseconds(10)));
+  }
+}
+
 FleetReport FleetScheduler::BuildReportLocked() const {
   FleetReport report;
   report.total_jobs = static_cast<int64_t>(slots_.size());
   report.retries = retries_;
+  report.transient_retries = transient_retries_;
   report.queue_depth_high_water = queue_high_water_;
   report.admission_rejects = rejects_;
   std::vector<double> latencies;

@@ -131,6 +131,11 @@ struct JobRecord {
   JobState state = JobState::kPending;
   Status status;        ///< terminal status of the last attempt
   int attempts = 0;     ///< attempts started so far
+  /// Same-seed re-runs taken after transient failures (`kUnavailable` by
+  /// default) across all attempts — bounded by
+  /// `FleetOptions::max_transient_retries` and *not* counted in `attempts`
+  /// (a transient re-run is the same attempt, same seed, retried).
+  int transient_retries = 0;
   uint64_t seed = 0;    ///< derived seed of the latest attempt
   /// Exact options of the latest attempt (job options with the derived
   /// seed applied) — serialize these to make a checkpoint reproducible.
@@ -167,6 +172,10 @@ struct FleetReport {
   int64_t failed = 0;
   int64_t cancelled = 0;
   long long retries = 0;  ///< extra attempts beyond each job's first
+  /// Same-seed re-runs after transient failures, summed over all jobs
+  /// (`JobRecord::transient_retries`) — how hard the fleet had to work to
+  /// absorb flaky I/O without giving up determinism.
+  long long transient_retries = 0;
   double wall_seconds = 0;  ///< first enqueue → last settle
   double throughput_jobs_per_sec = 0;
   /// Whole-fleet latency (`JobRecord::run_ms` of every job that started an
@@ -252,6 +261,26 @@ struct FleetOptions {
   /// Step-time model behind shortest-expected-first ordering and the
   /// `Retry-After` hint. Defaults to the committed BENCH_kernels.json fit.
   CostModel cost_model = CostModel::Default();
+  /// Transient-error budget per job, *separate* from `max_attempts`: when
+  /// an attempt fails with a status the `transient_classifier` accepts
+  /// (default: `kUnavailable` — a flaky dataset load, an injected fault),
+  /// the scheduler re-runs the *same* attempt with the *same* seed after a
+  /// bounded backoff, up to this many times per job. Same-seed re-runs keep
+  /// the determinism contract: a fleet that weathered transient faults
+  /// produces models bit-identical to a fault-free run. Permanent errors
+  /// (hash mismatch, malformed CSV, ...) never consume this budget — they
+  /// fail fast. 0 disables transient retries.
+  int max_transient_retries = 3;
+  /// Backoff before transient re-run k (0-based) is
+  /// `min(transient_backoff_max_ms, transient_backoff_ms << k)` scaled by a
+  /// deterministic per-(job, retry) jitter factor in [0.5, 1.0). The sleep
+  /// is sliced so cancellation still lands within ~10 ms.
+  int transient_backoff_ms = 25;
+  int transient_backoff_max_ms = 1000;
+  /// Classifies an attempt's non-OK status as transient (retry with the
+  /// same seed) or permanent (fail fast / fall through to the
+  /// `kNotConverged` reseed path). Null = `code == kUnavailable`.
+  std::function<bool(const Status&)> transient_classifier;
 };
 
 /// \brief Runs learning jobs concurrently on a borrowed `ThreadPool`.
@@ -482,6 +511,17 @@ class FleetScheduler {
   /// Runs the claimed job's attempt loop through settle (the tail of the
   /// old monolithic RunJob; claiming now lives in `ClaimNextLocked`).
   void RunJob(JobSlot* slot);
+  /// True when `status` should be absorbed by a same-seed transient re-run
+  /// (see `FleetOptions::transient_classifier`).
+  bool IsTransient(const Status& status) const;
+  /// Sleeps the bounded, deterministically jittered backoff before
+  /// transient re-run `retry_index` (0-based) of `slot`'s job, in slices,
+  /// returning early (false) if the job is cancelled meanwhile.
+  bool TransientBackoff(const JobSlot& slot, int retry_index) const;
+  /// Returns a claimed-but-never-started job to the ready queue and
+  /// schedules a replacement drain task — the `sched.claim` failpoint's
+  /// "worker died after claiming" semantics. Call without `mutex_` held.
+  void RequeueClaimed(JobSlot* slot);
   /// Settles a job that never ran (cancelled while queued, or the pool
   /// refused its drain task): trace + metrics + journal + `Settle`, with
   /// `attempts = 0`. Call *without* `mutex_` held, after the slot's
@@ -526,6 +566,7 @@ class FleetScheduler {
   int64_t rejects_ = 0;           ///< submissions shed at admission
   int64_t settled_ = 0;
   long long retries_ = 0;
+  long long transient_retries_ = 0;  ///< same-seed re-runs across all jobs
   bool have_window_ = false;
   Clock::time_point first_enqueue_;
   Clock::time_point last_settle_;

@@ -1,0 +1,78 @@
+#include "util/atomic_file.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/failpoint.h"
+
+namespace least {
+
+namespace {
+
+std::string OsError() {
+  return errno != 0 ? std::strerror(errno) : "unknown error";
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  LEAST_FAILPOINT("atomic.write");
+  // Unique per process and call: two threads writing the same target never
+  // share a temp file, and a leftover temp from a crashed run is never
+  // reused.
+  static std::atomic<uint64_t> counter{0};
+  const std::string tmp = path + ".tmp-" + std::to_string(::getpid()) + "-" +
+                          std::to_string(counter.fetch_add(1) + 1);
+  errno = 0;
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open temp file '" + tmp + "' for '" +
+                           path + "': " + OsError());
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  if (written != bytes.size() || std::fflush(f) != 0) {
+    const std::string detail = OsError();
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IoError("short write to temp file '" + tmp + "' for '" +
+                           path + "' (" + std::to_string(written) + " of " +
+                           std::to_string(bytes.size()) + " bytes): " +
+                           detail);
+  }
+  // Durability, not just ordering: the rename must never land before the
+  // data. fsync can legitimately fail on special files; treat that as an
+  // unsupported-medium no-op only for EINVAL/ENOTSUP.
+  if (::fsync(::fileno(f)) != 0 && errno != EINVAL && errno != ENOTSUP) {
+    const std::string detail = OsError();
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot sync temp file '" + tmp + "' for '" +
+                           path + "': " + detail);
+  }
+  if (std::fclose(f) != 0) {
+    const std::string detail = OsError();
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot close temp file '" + tmp + "' for '" +
+                           path + "': " + detail);
+  }
+  // The commit window: an injected fault here returns with the fully
+  // written temp file left behind — the crash-between-write-and-rename
+  // state the crash-safety tests assert the old file survives.
+  if (FailpointsArmed()) {
+    const Status fault = FailpointHit("atomic.rename");
+    if (!fault.ok()) return fault;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string detail = OsError();
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename '" + tmp + "' over '" + path +
+                           "': " + detail);
+  }
+  return Status::Ok();
+}
+
+}  // namespace least

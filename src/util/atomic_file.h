@@ -1,0 +1,34 @@
+/// \file atomic_file.h
+/// \brief Crash-safe whole-file writes: temp + flush + fsync + rename.
+///
+/// `AtomicWriteFile` is the rule every durable artifact in this codebase
+/// follows — model checkpoints, streamed sink models, the result index. The
+/// bytes land in a uniquely named temp file in the target's directory,
+/// are flushed and fsync'd, and only then does a POSIX `rename(2)` (atomic
+/// within a filesystem) move them over the target. A crash at any instant
+/// leaves either the complete old file or the complete new one, never a
+/// torn mix — plus, at worst, a stray `<target>.tmp-*` file that readers
+/// and directory scanners must ignore (`ScanAndResume`'s `job-*.lbnm`
+/// filter and `ReadResultIndex` already do).
+///
+/// Failpoints: `atomic.write` fires before the temp file is opened (a
+/// failure that leaves nothing behind); `atomic.rename` fires after the
+/// temp file is fully written but before the rename — an injected error
+/// there returns with the temp file left on disk, which is exactly the
+/// state a crash in the commit window would leave, so tests can prove the
+/// old file survives it.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace least {
+
+/// Atomically replaces `path` with `bytes`. Errors are `kIoError` with the
+/// path and the OS error in the message; on error the target is untouched.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes);
+
+}  // namespace least

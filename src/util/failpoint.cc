@@ -1,0 +1,311 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/fnv.h"
+
+namespace least {
+
+namespace internal {
+std::atomic<int> g_failpoints_armed{0};
+}  // namespace internal
+
+namespace {
+
+std::atomic<FailpointObserver> g_observer{nullptr};
+
+// SplitMix64 finalizer — the same full-avalanche mix the fleet scheduler
+// uses for seed derivation, so per-site streams from adjacent seeds are
+// statistically unrelated.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+struct Plan {
+  bool is_delay = false;
+  StatusCode code = StatusCode::kUnavailable;  // err faults
+  uint32_t delay_ms = 0;                       // delay faults
+  int64_t nth = 0;          // fire on exactly this hit; 0 = not @-triggered
+  double probability = -1;  // per-hit fire chance; < 0 = not %-triggered
+  int64_t max_fires = INT64_MAX;
+  // Runtime state, guarded by the registry mutex.
+  int64_t hits = 0;
+  int64_t fires = 0;
+  uint64_t rng = 0;  // per-site stream for probability triggers
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Plan, std::less<>> plans;
+};
+
+Registry& TheRegistry() {
+  static Registry* r = new Registry();  // never destroyed
+  return *r;
+}
+
+Status MakeInjected(StatusCode code, std::string message) {
+  switch (code) {
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kIoError:
+      return Status::IoError(std::move(message));
+    case StatusCode::kNotConverged:
+      return Status::NotConverged(std::move(message));
+    case StatusCode::kCancelled:
+      return Status::Cancelled(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(message));
+    case StatusCode::kInternal:
+    case StatusCode::kOk:
+      break;
+  }
+  return Status::Internal(std::move(message));
+}
+
+bool ParseCode(std::string_view token, StatusCode* out) {
+  if (token == "invalid") *out = StatusCode::kInvalidArgument;
+  else if (token == "outofrange") *out = StatusCode::kOutOfRange;
+  else if (token == "io") *out = StatusCode::kIoError;
+  else if (token == "notconverged") *out = StatusCode::kNotConverged;
+  else if (token == "internal") *out = StatusCode::kInternal;
+  else if (token == "cancelled") *out = StatusCode::kCancelled;
+  else if (token == "exhausted") *out = StatusCode::kResourceExhausted;
+  else if (token == "unavailable") *out = StatusCode::kUnavailable;
+  else return false;
+  return true;
+}
+
+Status SpecError(std::string_view entry, std::string_view why) {
+  return Status::InvalidArgument("failpoint spec entry '" +
+                                 std::string(entry) + "': " +
+                                 std::string(why));
+}
+
+// Parses one `site=fault` entry into (site, plan).
+Status ParseEntry(std::string_view entry, std::string* site, Plan* plan) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return SpecError(entry, "expected site=fault");
+  }
+  *site = std::string(entry.substr(0, eq));
+  std::string_view fault = entry.substr(eq + 1);
+
+  // Action head: everything before the first trigger/limit marker.
+  const size_t head_end = fault.find_first_of("@%*");
+  std::string_view head =
+      head_end == std::string_view::npos ? fault : fault.substr(0, head_end);
+  constexpr std::string_view kErr = "err:";
+  constexpr std::string_view kDelay = "delay:";
+  if (head.substr(0, kErr.size()) == kErr) {
+    plan->is_delay = false;
+    if (!ParseCode(head.substr(kErr.size()), &plan->code)) {
+      return SpecError(entry, "unknown status code '" +
+                                  std::string(head.substr(kErr.size())) + "'");
+    }
+  } else if (head.substr(0, kDelay.size()) == kDelay) {
+    plan->is_delay = true;
+    const std::string ms(head.substr(kDelay.size()));
+    char* end = nullptr;
+    const long parsed = std::strtol(ms.c_str(), &end, 10);
+    if (end == ms.c_str() || *end != '\0' || parsed < 0 || parsed > 60000) {
+      return SpecError(entry, "delay wants milliseconds in [0, 60000]");
+    }
+    plan->delay_ms = static_cast<uint32_t>(parsed);
+  } else {
+    return SpecError(entry, "fault must start with err:<code> or delay:<ms>");
+  }
+
+  // Trigger/limit tail: at most one of each marker, @ and % exclusive.
+  std::string_view tail =
+      head_end == std::string_view::npos ? std::string_view{}
+                                         : fault.substr(head_end);
+  while (!tail.empty()) {
+    const char marker = tail.front();
+    tail.remove_prefix(1);
+    size_t next = tail.find_first_of("@%*");
+    const std::string value(tail.substr(0, next));
+    tail = next == std::string_view::npos ? std::string_view{}
+                                          : tail.substr(next);
+    char* end = nullptr;
+    if (marker == '@') {
+      if (plan->nth > 0) return SpecError(entry, "duplicate @ trigger");
+      const long long n = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || n < 1) {
+        return SpecError(entry, "@ wants a hit number >= 1");
+      }
+      plan->nth = n;
+    } else if (marker == '%') {
+      if (plan->probability >= 0) {
+        return SpecError(entry, "duplicate % trigger");
+      }
+      const double p = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || p <= 0.0 || p > 1.0) {
+        return SpecError(entry, "% wants a probability in (0, 1]");
+      }
+      plan->probability = p;
+    } else {  // '*'
+      if (plan->max_fires != INT64_MAX) {
+        return SpecError(entry, "duplicate * limit");
+      }
+      const long long k = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || k < 1) {
+        return SpecError(entry, "* wants a fire limit >= 1");
+      }
+      plan->max_fires = k;
+    }
+  }
+  if (plan->nth > 0 && plan->probability >= 0) {
+    return SpecError(entry, "@ and % are mutually exclusive");
+  }
+  return Status::Ok();
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+Status ArmFailpoints(std::string_view spec, uint64_t seed) {
+  std::map<std::string, Plan, std::less<>> plans;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const size_t semi = rest.find(';');
+    std::string_view entry = Trim(
+        semi == std::string_view::npos ? rest : rest.substr(0, semi));
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (entry.empty()) continue;
+    std::string site;
+    Plan plan;
+    LEAST_RETURN_IF_ERROR(ParseEntry(entry, &site, &plan));
+    plan.rng = SplitMix64(seed ^ Fnv1a(site));
+    if (!plans.emplace(std::move(site), plan).second) {
+      return SpecError(entry, "site armed twice");
+    }
+  }
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.plans = std::move(plans);
+  internal::g_failpoints_armed.store(
+      static_cast<int>(registry.plans.size()), std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void DisarmFailpoints() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.plans.clear();
+  internal::g_failpoints_armed.store(0, std::memory_order_relaxed);
+}
+
+Status ArmFailpointsFromEnv() {
+  const char* spec = std::getenv("LEAST_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return Status::Ok();
+  uint64_t seed = 1;
+  if (const char* s = std::getenv("LEAST_FAILPOINTS_SEED")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(s, &end, 10);
+    if (end != s && *end == '\0') seed = parsed;
+  }
+  return ArmFailpoints(spec, seed);
+}
+
+Status FailpointHit(std::string_view site) {
+  if (!FailpointsArmed()) return Status::Ok();
+  bool is_delay = false;
+  StatusCode code = StatusCode::kUnavailable;
+  uint32_t delay_ms = 0;
+  int64_t fire_number = 0;
+  {
+    Registry& registry = TheRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    const auto it = registry.plans.find(site);
+    if (it == registry.plans.end()) return Status::Ok();
+    Plan& plan = it->second;
+    ++plan.hits;
+    bool fire = false;
+    if (plan.fires < plan.max_fires) {
+      if (plan.nth > 0) {
+        fire = plan.hits == plan.nth;
+      } else if (plan.probability >= 0) {
+        plan.rng = SplitMix64(plan.rng);
+        // 53-bit mantissa draw in [0, 1).
+        const double u =
+            static_cast<double>(plan.rng >> 11) * 0x1.0p-53;
+        fire = u < plan.probability;
+      } else {
+        fire = true;
+      }
+    }
+    if (!fire) return Status::Ok();
+    fire_number = ++plan.fires;
+    is_delay = plan.is_delay;
+    code = plan.code;
+    delay_ms = plan.delay_ms;
+  }
+  // Observer and sleep run outside the lock: a delay fault must stall only
+  // its own thread, and the observer may emit traces that hit probes.
+  if (FailpointObserver observer = g_observer.load(std::memory_order_acquire);
+      observer != nullptr) {
+    observer(site, Fnv1a(site),
+             FailpointDetail(is_delay, is_delay
+                                           ? delay_ms
+                                           : static_cast<uint32_t>(code)));
+  }
+  if (is_delay) {
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    return Status::Ok();
+  }
+  return MakeInjected(code, "injected " +
+                                std::string(StatusCodeToString(code)) +
+                                " fault at failpoint '" + std::string(site) +
+                                "' (fire " + std::to_string(fire_number) +
+                                ")");
+}
+
+std::vector<FailpointSiteStats> FailpointStats() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<FailpointSiteStats> out;
+  out.reserve(registry.plans.size());
+  for (const auto& [site, plan] : registry.plans) {
+    out.push_back({site, plan.hits, plan.fires});
+  }
+  return out;
+}
+
+int64_t FailpointFireCount() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  int64_t fires = 0;
+  for (const auto& [site, plan] : registry.plans) fires += plan.fires;
+  return fires;
+}
+
+void SetFailpointObserver(FailpointObserver observer) {
+  g_observer.store(observer, std::memory_order_release);
+}
+
+}  // namespace least

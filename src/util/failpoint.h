@@ -1,0 +1,144 @@
+/// \file failpoint.h
+/// \brief Deterministic fault injection: named probe sites that cost one
+/// relaxed atomic load + branch when disarmed.
+///
+/// A *failpoint* is a named site in production code — `"cache.load"`,
+/// `"ckpt.write"`, `"http.read"` — where a test (or an operator, via the
+/// `LEAST_FAILPOINTS` environment variable) can inject a failure without
+/// touching the code under test. The probe follows the same discipline as
+/// `TraceEmit` (`obs/trace_log.h`): when nothing is armed, a probe is one
+/// relaxed atomic load and a branch, so sites can live on per-batch hot
+/// paths; the registry lookup, trigger evaluation, and any injected sleep
+/// happen only while a spec is armed.
+///
+/// Spec grammar (semicolon-separated entries, one per site):
+///
+///   spec   := entry (';' entry)*
+///   entry  := site '=' fault
+///   fault  := ('err:' code | 'delay:' millis) trigger* ('*' max_fires)?
+///   trigger:= '@' nth_hit          -- fire on exactly the Nth hit (1-based)
+///           | '%' probability      -- fire per hit with probability in (0,1]
+///   code   := invalid | outofrange | io | notconverged | internal
+///           | cancelled | exhausted | unavailable
+///
+/// `@` and `%` are mutually exclusive; with neither, the fault fires on
+/// every hit. `*K` caps the total number of fires (an `@` trigger fires at
+/// most once regardless). Probability triggers draw from a per-site RNG
+/// stream seeded from `(seed, site name)`, so a storm's fire pattern is a
+/// pure function of the spec, the seed, and each site's hit order — the
+/// chaos harness re-runs a storm bit-for-bit by re-arming the same spec.
+///
+/// Examples:
+///
+///   cache.load=err:unavailable@3        -- 3rd load fails, all others OK
+///   ckpt.write=err:io%0.2*10            -- 20% of writes fail, 10 at most
+///   sched.settle=delay:5%0.5            -- half of all settles sleep 5 ms
+///
+/// Thread safety: arming, disarming, and hitting probes are all safe from
+/// any thread. `ArmFailpoints` replaces the whole registry atomically with
+/// respect to probes (a probe sees either the old plan set or the new one).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace least {
+
+namespace internal {
+/// Number of armed sites. Probes only read this (relaxed); the registry
+/// mutex orders writes. Nonzero means `FailpointHit` is worth calling.
+extern std::atomic<int> g_failpoints_armed;
+}  // namespace internal
+
+/// True when any failpoint is armed — the probe fast path. One relaxed
+/// atomic load; pair with `LEAST_FAILPOINT` or a manual `FailpointHit`.
+inline bool FailpointsArmed() {
+  return internal::g_failpoints_armed.load(std::memory_order_relaxed) != 0;
+}
+
+/// The probe slow path: records a hit on `site` and evaluates its armed
+/// trigger plan, if any. Returns the injected error when an `err` fault
+/// fires, otherwise OK (a `delay` fault sleeps, then returns OK). Unknown
+/// sites return OK — sites need no registration. Safe to call disarmed
+/// (returns OK without a lookup), but callers on hot paths should gate on
+/// `FailpointsArmed()` first.
+Status FailpointHit(std::string_view site);
+
+/// Parses `spec` (grammar above) and installs it as the active plan set,
+/// replacing any previous one and resetting all hit/fire counters.
+/// Probability triggers derive their streams from `seed`. An empty spec
+/// disarms everything. Fails with `kInvalidArgument` (and arms nothing) on
+/// a malformed spec.
+Status ArmFailpoints(std::string_view spec, uint64_t seed = 1);
+
+/// Removes every armed plan; probes return to the one-load fast path.
+void DisarmFailpoints();
+
+/// Reads `LEAST_FAILPOINTS` (spec) and `LEAST_FAILPOINTS_SEED` (decimal
+/// seed, default 1) from the environment and arms them. OK when the
+/// variable is unset or empty (nothing armed).
+Status ArmFailpointsFromEnv();
+
+/// Per-site accounting of the currently armed plan set.
+struct FailpointSiteStats {
+  std::string site;
+  int64_t hits = 0;   ///< probe visits since arming
+  int64_t fires = 0;  ///< visits on which the fault triggered
+};
+
+/// Snapshot of every armed site's counters (alphabetical by site).
+std::vector<FailpointSiteStats> FailpointStats();
+
+/// Total fires across all sites since the last `ArmFailpoints`.
+int64_t FailpointFireCount();
+
+/// Observer invoked on every fire — the hook the observability layer uses
+/// to emit `kFaultInjected` trace events without `util` depending on `obs`
+/// (see `InstallFailpointTracing` in `obs/trace_log.h`). `site_hash` is the
+/// FNV-1a of the site name; `detail` packs what fired: bit 32 clear means
+/// an injected error with the `StatusCode` in bits 0..31, bit 32 set means
+/// an injected delay with the milliseconds in bits 0..31. Called outside
+/// the registry lock; must be thread-safe. Pass nullptr to uninstall.
+using FailpointObserver = void (*)(std::string_view site, uint64_t site_hash,
+                                   uint64_t detail);
+void SetFailpointObserver(FailpointObserver observer);
+
+/// Packs a fire-detail word for `FailpointObserver` (and the
+/// `kFaultInjected` trace payload). `is_delay` selects the encoding.
+constexpr uint64_t FailpointDetail(bool is_delay, uint32_t value) {
+  return (is_delay ? (uint64_t{1} << 32) : 0) | value;
+}
+
+/// RAII spec arming for tests: arms on construction, disarms on
+/// destruction. Check `status()` — a malformed spec arms nothing.
+class ScopedFailpoints {
+ public:
+  explicit ScopedFailpoints(std::string_view spec, uint64_t seed = 1)
+      : status_(ArmFailpoints(spec, seed)) {}
+  ~ScopedFailpoints() { DisarmFailpoints(); }
+  ScopedFailpoints(const ScopedFailpoints&) = delete;
+  ScopedFailpoints& operator=(const ScopedFailpoints&) = delete;
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace least
+
+/// Failpoint probe for functions that return `Status` (or `Result<T>`):
+/// propagates an injected error to the caller exactly as a real failure at
+/// this site would. Disarmed cost: one relaxed atomic load and a branch.
+#define LEAST_FAILPOINT(site)                                   \
+  do {                                                          \
+    if (::least::FailpointsArmed()) {                           \
+      ::least::Status _least_fp = ::least::FailpointHit(site);  \
+      if (!_least_fp.ok()) return _least_fp;                    \
+    }                                                           \
+  } while (false)

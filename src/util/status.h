@@ -27,6 +27,13 @@ enum class StatusCode {
   /// queue) is full. Retryable by the caller after backing off — the
   /// HTTP layer maps it to 429 with a Retry-After hint.
   kResourceExhausted,
+  /// A dependency is temporarily unreachable (flaky disk, injected fault,
+  /// remote data plane hiccup). The *transient* error class: the fleet
+  /// scheduler's retry seam re-runs the attempt with the same seed after
+  /// bounded backoff, and the HTTP layer maps it to 503 with a Retry-After
+  /// hint. Permanent failures (hash mismatch, malformed input) must use
+  /// `kInvalidArgument`/`kIoError` instead so they keep failing fast.
+  kUnavailable,
 };
 
 /// \brief Returns a human-readable name for a status code.
@@ -63,12 +70,19 @@ class Status {
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
   }
-  /// Creates an error with `StatusCode::kCancelled` (cooperative
-  /// cancellation observed by a long-running operation).
+  /// Creates an error with `StatusCode::kResourceExhausted` (bounded
+  /// resource full; retry after backing off).
   static Status ResourceExhausted(std::string message) {
     return Status(StatusCode::kResourceExhausted, std::move(message));
   }
+  /// Creates an error with `StatusCode::kUnavailable` (transient failure;
+  /// safe to retry the same operation).
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
 
+  /// Creates an error with `StatusCode::kCancelled` (cooperative
+  /// cancellation observed by a long-running operation).
   static Status Cancelled(std::string message) {
     return Status(StatusCode::kCancelled, std::move(message));
   }

@@ -1,0 +1,633 @@
+// Seeded chaos harness for the fault-injection subsystem (util/failpoint.h)
+// and the fleet's crash-safe failure semantics:
+//
+//  * a 200-job CSV fleet under a randomized failpoint storm (cache faults,
+//    claim faults, settle delays, checkpoint-write faults) — every job
+//    settles, every successful model is bit-identical to the fault-free
+//    run, cache accounting returns to zero, and no unfinished checkpoints
+//    remain;
+//  * a mid-storm kill + fresh-scheduler ScanAndResume under continued fault
+//    injection — the settled-model union is bit-for-bit the uninterrupted
+//    fleet's output;
+//  * ResultSink index/model write faults surface as loud Status errors and
+//    leave the on-disk index old-or-new, never torn; the same Write retried
+//    after the fault commits cleanly;
+//  * ScanAndResume over a directory containing a torn (truncated)
+//    checkpoint skips it, reports it, and resumes the rest;
+//  * the HTTP front end survives accept/read faults and maps kUnavailable
+//    to 503 + Retry-After.
+//
+// The storm seed comes from LEAST_CHAOS_SEED (default 1) so CI can replay
+// several fixed seeds; per-site fault streams are pure functions of
+// (spec, seed), making each seed's storm reproducible.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/data_source.h"
+#include "core/least.h"
+#include "data/benchmark_data.h"
+#include "io/model_serializer.h"
+#include "io/result_sink.h"
+#include "net/fleet_service.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "runtime/fleet_scheduler.h"
+#include "runtime/job_journal.h"
+#include "runtime/thread_pool.h"
+#include "util/csv.h"
+#include "util/env.h"
+#include "util/failpoint.h"
+
+namespace least {
+namespace {
+
+namespace fs = std::filesystem;
+
+uint64_t ChaosSeed() {
+  return static_cast<uint64_t>(EnvInt("LEAST_CHAOS_SEED", 1));
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+DenseMatrix ChaosDataset(int index, int n, int d) {
+  BenchmarkConfig cfg;
+  cfg.d = d;
+  cfg.n = n;
+  cfg.seed = 26000 + static_cast<uint64_t>(index);
+  return MakeBenchmarkInstance(cfg).x;
+}
+
+LearnOptions QuickOptions() {
+  LearnOptions opt;
+  opt.max_outer_iterations = 6;
+  opt.max_inner_iterations = 40;
+  opt.tolerance = 1e-6;
+  opt.lambda1 = 0.05;
+  opt.learning_rate = 0.03;
+  return opt;
+}
+
+void ExpectBitIdenticalDense(const DenseMatrix& a, const DenseMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                        a.size() * sizeof(double)),
+            0);
+}
+
+int64_t CountCheckpointFiles(const std::string& dir) {
+  int64_t n = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind("job-", 0) == 0) ++n;
+  }
+  return n;
+}
+
+/// Fleet options tuned for storms: a transient budget deep enough to absorb
+/// capped fault bursts, and near-zero backoff so retries do not dominate
+/// wall-clock.
+FleetOptions StormOptions(uint64_t seed) {
+  FleetOptions options;
+  options.seed = seed;
+  options.max_transient_retries = 10;
+  options.transient_backoff_ms = 1;
+  options.transient_backoff_max_ms = 8;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Storm fleet: every job settles, successes bit-identical to the fault-free
+// run, cache accounting returns to zero, no checkpoint debris.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosFleet, StormFleetSettlesEveryJobBitIdenticallyToFaultFreeRun) {
+  constexpr int kJobs = 200;
+  constexpr int kRows = 60;
+  constexpr int kCols = 8;
+  const std::string data_dir = FreshDir("least_chaos_storm_data");
+  const std::string ckpt_dir = FreshDir("least_chaos_storm_ckpt");
+
+  std::vector<std::string> paths;
+  for (int j = 0; j < kJobs; ++j) {
+    const std::string path = data_dir + "/ds-" + std::to_string(j) + ".csv";
+    ASSERT_TRUE(WriteMatrixCsv(path, ChaosDataset(j, kRows, kCols)).ok());
+    paths.push_back(path);
+  }
+
+  const size_t dataset_bytes = size_t{kRows} * kCols * sizeof(double);
+  auto run_fleet = [&](DatasetCache* cache) {
+    ThreadPool pool(2);
+    FleetOptions options = StormOptions(606);
+    options.checkpoint_dir = ckpt_dir;
+    options.checkpoint_every_outer = 3;
+    FleetScheduler scheduler(&pool, options);
+    for (int j = 0; j < kJobs; ++j) {
+      LearnJob job;
+      job.name = "chaos-" + std::to_string(j);
+      job.algorithm = Algorithm::kLeastDense;
+      job.options = QuickOptions();
+      CsvSourceOptions opt;
+      opt.has_header = false;
+      opt.cache = cache;
+      job.data = MakeCsvSource(paths[j], opt);
+      scheduler.Enqueue(std::move(job));
+    }
+    FleetReport report = scheduler.Wait();
+    EXPECT_EQ(report.total_jobs, kJobs);
+    EXPECT_EQ(report.succeeded, kJobs)
+        << "storm must be fully absorbed: " << report.ToString();
+    std::vector<DenseMatrix> weights;
+    for (int j = 0; j < kJobs; ++j) {
+      weights.push_back(scheduler.record(j).outcome.weights);
+    }
+    return weights;
+  };
+
+  // Fault-free reference (cache budget of 6 datasets, same as the storm).
+  std::vector<DenseMatrix> reference;
+  {
+    DatasetCache cache(6 * dataset_bytes);
+    reference = run_fleet(&cache);
+  }
+  ASSERT_EQ(CountCheckpointFiles(ckpt_dir), 0);
+
+  // The storm: transient cache faults (absorbed by same-seed retries),
+  // claim faults (job re-queued), settle delays (pure latency), and
+  // checkpoint-write faults (best-effort sink, never fails the job). Every
+  // entry is fire-capped so no single job can exhaust its retry budget.
+  const uint64_t seed = ChaosSeed();
+  ScopedFailpoints storm(
+      "cache.load=err:unavailable%0.3*40;"
+      "cache.verify=err:unavailable%0.25*30;"
+      "sched.claim=err:io%0.2*12;"
+      "sched.settle=delay:1%0.2*40;"
+      "ckpt.write=err:io%0.3*25",
+      seed);
+  ASSERT_TRUE(storm.status().ok()) << storm.status().ToString();
+
+  std::vector<DenseMatrix> stormed;
+  DatasetCache cache(6 * dataset_bytes);
+  stormed = run_fleet(&cache);
+  const int64_t fires = FailpointFireCount();
+  DisarmFailpoints();
+
+  EXPECT_GT(fires, 0) << "the storm never actually injected a fault";
+  ASSERT_EQ(stormed.size(), reference.size());
+  for (int j = 0; j < kJobs; ++j) {
+    ExpectBitIdenticalDense(stormed[j], reference[j]);
+  }
+
+  // Cache accounting survives the storm: clearing the (now idle) cache
+  // returns resident bytes to zero — no handle leaked through a fault path.
+  cache.Clear();
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+  EXPECT_EQ(cache.stats().entries, 0);
+
+  // Every job settled, so no unfinished checkpoints remain.
+  EXPECT_EQ(CountCheckpointFiles(ckpt_dir), 0);
+
+  fs::remove_all(data_dir);
+  fs::remove_all(ckpt_dir);
+}
+
+// ---------------------------------------------------------------------------
+// Mid-storm kill + resume: the union of settled models across generations is
+// bit-for-bit the uninterrupted fleet's output, with faults injected both
+// before the kill and during the resumed generation.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosFleet, KillMidStormThenResumeUnionIsBitIdentical) {
+  constexpr int kJobs = 12;
+  constexpr int kRows = 80;
+  constexpr int kCols = 8;
+  const std::string data_dir = FreshDir("least_chaos_resume_data");
+  const std::string ckpt_dir = FreshDir("least_chaos_resume_ckpt");
+
+  std::vector<std::string> paths;
+  for (int j = 0; j < kJobs; ++j) {
+    const std::string path = data_dir + "/ds-" + std::to_string(j) + ".csv";
+    ASSERT_TRUE(WriteMatrixCsv(path, ChaosDataset(j, kRows, kCols)).ok());
+    paths.push_back(path);
+  }
+
+  auto make_job = [&](int j, DatasetCache* cache) {
+    LearnJob job;
+    job.name = "chaos-resume-" + std::to_string(j);
+    job.algorithm = Algorithm::kLeastDense;
+    CsvSourceOptions opt;
+    opt.has_header = false;
+    opt.cache = cache;
+    job.data = MakeCsvSource(paths[j], opt);
+    job.options = QuickOptions();
+    job.options.max_outer_iterations = 14;
+    job.options.tolerance = 0.0;  // deterministic full-budget runs
+    return job;
+  };
+
+  // Uninterrupted fault-free reference.
+  std::map<std::string, DenseMatrix> reference;
+  DatasetCache ref_cache;
+  {
+    ThreadPool pool(2);
+    FleetScheduler scheduler(&pool, {.seed = 808});
+    for (int j = 0; j < kJobs; ++j) {
+      scheduler.Enqueue(make_job(j, &ref_cache));
+    }
+    scheduler.Wait();
+    for (int j = 0; j < kJobs; ++j) {
+      reference[scheduler.record(j).name] =
+          scheduler.record(j).outcome.raw_weights;
+    }
+  }
+
+  // The resume-safe storm. Deliberately excluded sites: ckpt.write and
+  // atomic.rename (a dropped enqueue stub would permanently lose the job
+  // for ScanAndResume), sink.* (a dropped index row would break the union),
+  // and serializer.read (the resume scan itself must read checkpoints).
+  const char kStormSpec[] =
+      "cache.load=err:unavailable%0.25*20;"
+      "cache.verify=err:unavailable%0.2*15;"
+      "sched.claim=err:io%0.15*8;"
+      "sched.settle=delay:2%0.3*30";
+  const uint64_t seed = ChaosSeed();
+
+  // Generation B: checkpointing + streaming fleet under the storm, killed
+  // once a few jobs have settled.
+  DatasetCache gen_b_cache;
+  int64_t settled_before_kill = 0;
+  {
+    ScopedFailpoints storm(kStormSpec, seed);
+    ASSERT_TRUE(storm.status().ok()) << storm.status().ToString();
+    Result<std::unique_ptr<ResultSink>> sink = ResultSink::Open(ckpt_dir);
+    ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+    ThreadPool pool(2);
+    FleetOptions options = StormOptions(808);
+    options.checkpoint_dir = ckpt_dir;
+    options.checkpoint_every_outer = 3;
+    FleetScheduler scheduler(&pool, options);
+    scheduler.set_result_sink(sink.value().get());
+    std::atomic<int> settled{0};
+    scheduler.set_progress_callback([&](const JobRecord& record) {
+      if (record.state != JobState::kPending &&
+          record.state != JobState::kRunning) {
+        ++settled;
+      }
+    });
+    for (int j = 0; j < kJobs; ++j) {
+      scheduler.Enqueue(make_job(j, &gen_b_cache));
+    }
+    while (settled.load() < 3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    scheduler.CancelAll();
+    scheduler.Wait();
+    settled_before_kill = sink.value()->written();
+  }
+  ASSERT_GE(settled_before_kill, 3);
+  ASSERT_LT(settled_before_kill, kJobs);  // the kill landed mid-fleet
+
+  // Generation C: fresh scheduler, auto-resume — with the storm *still
+  // raging* (fresh fault streams, same spec/seed).
+  DatasetCache gen_c_cache;
+  {
+    ScopedFailpoints storm(kStormSpec, seed + 1);
+    ASSERT_TRUE(storm.status().ok()) << storm.status().ToString();
+    Result<std::unique_ptr<ResultSink>> sink = ResultSink::Open(ckpt_dir);
+    ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+    ThreadPool pool(2);
+    FleetOptions options = StormOptions(808);
+    options.reseed_jobs = false;  // recorded options are authoritative
+    options.checkpoint_dir = ckpt_dir;
+    options.checkpoint_every_outer = 3;
+    options.dataset_cache = &gen_c_cache;
+    FleetScheduler scheduler(&pool, options);
+    scheduler.set_result_sink(sink.value().get());
+
+    Result<ResumeScan> scan = scheduler.ScanAndResume(ckpt_dir);
+    ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+    EXPECT_EQ(scan.value().failed, 0)
+        << (scan.value().errors.empty() ? "" : scan.value().errors[0]);
+    EXPECT_EQ(scan.value().files_seen, kJobs - settled_before_kill);
+    EXPECT_EQ(scan.value().resumed + scan.value().restarted,
+              scan.value().files_seen);
+    FleetReport report = scheduler.Wait();
+    EXPECT_EQ(report.succeeded, report.total_jobs)
+        << "resumed storm must be fully absorbed: " << report.ToString();
+  }
+
+  // Union of both generations' streamed models = the whole fleet, each
+  // bit-identical to the uninterrupted fault-free run.
+  Result<std::vector<ResultIndexEntry>> index = ReadResultIndex(ckpt_dir);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  std::map<std::string, DenseMatrix> settled_models;
+  for (const ResultIndexEntry& entry : index.value()) {
+    Result<ModelArtifact> model = LoadModel(ckpt_dir + "/" + entry.file);
+    ASSERT_TRUE(model.ok()) << entry.file << ": "
+                            << model.status().ToString();
+    settled_models[model.value().name] = model.value().raw_weights;
+  }
+  ASSERT_EQ(settled_models.size(), static_cast<size_t>(kJobs));
+  for (const auto& [name, weights] : reference) {
+    ASSERT_TRUE(settled_models.count(name)) << name;
+    ExpectBitIdenticalDense(settled_models.at(name), weights);
+  }
+  EXPECT_EQ(CountCheckpointFiles(ckpt_dir), 0);
+
+  fs::remove_all(data_dir);
+  fs::remove_all(ckpt_dir);
+}
+
+// ---------------------------------------------------------------------------
+// ResultSink fault semantics: loud Status, old-or-new index, clean retry.
+// ---------------------------------------------------------------------------
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+ModelArtifact SmallArtifact(const std::string& name) {
+  ModelArtifact artifact;
+  artifact.name = name;
+  artifact.weights = ChaosDataset(3, 4, 4);
+  artifact.raw_weights = artifact.weights;
+  return artifact;
+}
+
+TEST(ChaosFleet, SinkIndexFaultPropagatesAndLeavesIndexUntorn) {
+  const std::string dir = FreshDir("least_chaos_sink_index");
+  Result<std::unique_ptr<ResultSink>> sink = ResultSink::Open(dir);
+  ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+  const std::string index_before = Slurp(dir + "/index.tsv");
+  ASSERT_FALSE(index_before.empty());  // header committed by Open
+
+  ResultRow row;
+  row.job_id = 1;
+  row.state = "succeeded";
+  row.status = StatusCode::kOk;
+  row.attempts = 1;
+  row.seed = 7;
+
+  {
+    ScopedFailpoints fp("sink.index=err:io@1");
+    ASSERT_TRUE(fp.status().ok());
+    const Status failed = sink.value()->Write(row, SmallArtifact("m-1"));
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.code(), StatusCode::kIoError);
+    EXPECT_NE(failed.message().find("sink.index"), std::string::npos)
+        << failed.ToString();
+  }
+  // The fault surfaced loudly and the on-disk index is exactly the old
+  // content — never a torn half-row.
+  EXPECT_EQ(sink.value()->written(), 0);
+  EXPECT_EQ(Slurp(dir + "/index.tsv"), index_before);
+
+  // The same Write retried after the fault commits cleanly; the sequence
+  // number did not burn on the failed attempt, so no model-file gap.
+  ASSERT_TRUE(sink.value()->Write(row, SmallArtifact("m-1")).ok());
+  EXPECT_EQ(sink.value()->written(), 1);
+  Result<std::vector<ResultIndexEntry>> index = ReadResultIndex(dir);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  ASSERT_EQ(index.value().size(), 1u);
+  Result<ModelArtifact> model = LoadModel(dir + "/" + index.value()[0].file);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model.value().name, "m-1");
+
+  fs::remove_all(dir);
+}
+
+TEST(ChaosFleet, SinkModelWriteFaultLeavesNoModelFile) {
+  const std::string dir = FreshDir("least_chaos_sink_write");
+  Result<std::unique_ptr<ResultSink>> sink = ResultSink::Open(dir);
+  ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+
+  ResultRow row;
+  row.job_id = 2;
+  row.state = "succeeded";
+
+  {
+    ScopedFailpoints fp("sink.write=err:io@1");
+    ASSERT_TRUE(fp.status().ok());
+    const Status failed = sink.value()->Write(row, SmallArtifact("m-2"));
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  }
+  EXPECT_EQ(sink.value()->written(), 0);
+  int64_t model_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind("model-", 0) == 0) {
+      ++model_files;
+    }
+  }
+  EXPECT_EQ(model_files, 0);
+
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Torn checkpoint: ScanAndResume skips it, reports it, resumes the rest.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosFleet, ScanAndResumeSkipsTornCheckpointAndReportsIt) {
+  constexpr int kJobs = 4;
+  constexpr int kRows = 80;
+  constexpr int kCols = 8;
+  const std::string data_dir = FreshDir("least_chaos_torn_data");
+  const std::string ckpt_dir = FreshDir("least_chaos_torn_ckpt");
+
+  std::vector<std::string> paths;
+  for (int j = 0; j < kJobs; ++j) {
+    const std::string path = data_dir + "/ds-" + std::to_string(j) + ".csv";
+    ASSERT_TRUE(WriteMatrixCsv(path, ChaosDataset(j, kRows, kCols)).ok());
+    paths.push_back(path);
+  }
+
+  auto make_job = [&](int j, DatasetCache* cache) {
+    LearnJob job;
+    job.name = "torn-" + std::to_string(j);
+    job.algorithm = Algorithm::kLeastDense;
+    CsvSourceOptions opt;
+    opt.has_header = false;
+    opt.cache = cache;
+    job.data = MakeCsvSource(paths[j], opt);
+    job.options = QuickOptions();
+    job.options.max_outer_iterations = 14;
+    job.options.tolerance = 0.0;
+    return job;
+  };
+
+  // Generation A: enqueue then cancel before any job can start — the pool's
+  // only worker is parked on a gate, so every job is cancelled while still
+  // pending and leaves exactly its enqueue stub behind.
+  DatasetCache gen_a_cache;
+  {
+    ThreadPool pool(1);
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    ASSERT_TRUE(pool.Schedule([gate] { gate.wait(); }));
+    FleetOptions options;
+    options.seed = 909;
+    options.checkpoint_dir = ckpt_dir;
+    options.checkpoint_every_outer = 3;
+    FleetScheduler scheduler(&pool, options);
+    for (int j = 0; j < kJobs; ++j) {
+      scheduler.Enqueue(make_job(j, &gen_a_cache));
+    }
+    scheduler.CancelAll();
+    release.set_value();
+    scheduler.Wait();
+  }
+  std::vector<std::string> stubs;
+  for (const auto& entry : fs::directory_iterator(ckpt_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("job-", 0) == 0) stubs.push_back(name);
+  }
+  const int64_t unfinished = static_cast<int64_t>(stubs.size());
+  ASSERT_EQ(unfinished, kJobs) << "no job may settle before the cancel";
+  std::sort(stubs.begin(), stubs.end());
+
+  // Tear the highest-id checkpoint in half — a crash mid-write by a sink
+  // that does not write atomically. (Highest id so the fresh scheduler's
+  // re-enqueued jobs, whose ids restart at 0, never reuse its file name.)
+  const std::string torn_name = stubs.back();
+  const std::string torn = ckpt_dir + "/" + torn_name;
+  const std::string bytes = Slurp(torn);
+  ASSERT_GT(bytes.size(), 8u);
+  {
+    std::ofstream out(torn, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  // Generation B: the scan skips-and-reports the torn file and resumes
+  // every readable one.
+  DatasetCache gen_b_cache;
+  {
+    ThreadPool pool(2);
+    FleetOptions options;
+    options.seed = 909;
+    options.reseed_jobs = false;
+    options.checkpoint_dir = ckpt_dir;
+    options.checkpoint_every_outer = 3;
+    options.dataset_cache = &gen_b_cache;
+    FleetScheduler scheduler(&pool, options);
+    Result<ResumeScan> scan = scheduler.ScanAndResume(ckpt_dir);
+    ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+    EXPECT_EQ(scan.value().files_seen, unfinished);
+    EXPECT_EQ(scan.value().failed, 1);
+    ASSERT_EQ(scan.value().errors.size(), 1u);
+    EXPECT_NE(scan.value().errors[0].find(torn_name), std::string::npos)
+        << scan.value().errors[0];
+    EXPECT_EQ(scan.value().resumed + scan.value().restarted, unfinished - 1);
+    FleetReport report = scheduler.Wait();
+    EXPECT_EQ(report.succeeded, unfinished - 1);
+  }
+
+  // The torn file is left in place for the operator; every resumed job
+  // settled and removed its own checkpoint.
+  EXPECT_EQ(CountCheckpointFiles(ckpt_dir), 1);
+  EXPECT_TRUE(fs::exists(torn));
+
+  fs::remove_all(data_dir);
+  fs::remove_all(ckpt_dir);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP chaos: accept/read faults drop individual connections, never the
+// server; kUnavailable maps to 503 + Retry-After.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosFleet, HttpServerSurvivesAcceptAndReadFaults) {
+  HttpServerOptions options;
+  options.num_threads = 2;
+  HttpServer server(
+      [](const HttpRequest&) {
+        HttpResponse response;
+        response.status = 200;
+        response.body = "ok";
+        return response;
+      },
+      options);
+  ASSERT_TRUE(server.Start().ok());
+
+  int delivered = 0;
+  int dropped = 0;
+  {
+    ScopedFailpoints fp(
+        "http.accept=err:io%0.4*6;http.read=err:io%0.4*6", ChaosSeed());
+    ASSERT_TRUE(fp.status().ok());
+    for (int i = 0; i < 40; ++i) {
+      // Fresh connection per request so every round passes through both
+      // the accept gate and the read gate.
+      HttpClient client("127.0.0.1", server.port(),
+                        std::chrono::milliseconds(2000));
+      Result<HttpClientResponse> response = client.Get("/");
+      if (response.ok() && response.value().status == 200) {
+        ++delivered;
+      } else {
+        ++dropped;
+      }
+    }
+    EXPECT_GT(FailpointFireCount(), 0) << "chaos never fired";
+  }
+  // Dropped connections are the *client's* problem; the server kept serving.
+  EXPECT_GT(delivered, 0);
+  EXPECT_EQ(delivered + dropped, 40);
+
+  // Fully disarmed, service is nominal again.
+  HttpClient client("127.0.0.1", server.port());
+  Result<HttpClientResponse> response = client.Get("/");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().status, 200);
+  server.Stop();
+}
+
+TEST(ChaosFleet, ServiceMapsUnavailableTo503WithRetryAfter) {
+  ThreadPool pool(1);
+  FleetScheduler scheduler(&pool, {});
+  JobJournal journal;
+  scheduler.set_journal(&journal);
+  FleetService service(&scheduler, &journal, {});
+  HttpServerOptions options;
+  options.num_threads = 1;
+  HttpServer server(service.AsHandler(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    ScopedFailpoints fp("service.handle=err:unavailable@1");
+    ASSERT_TRUE(fp.status().ok());
+    HttpClient client("127.0.0.1", server.port());
+    Result<HttpClientResponse> faulted = client.Get("/");
+    ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+    EXPECT_EQ(faulted.value().status, 503);
+    EXPECT_EQ(faulted.value().Header("retry-after"), "1");
+
+    // One-shot fault: the very next request on the same connection is 200.
+    Result<HttpClientResponse> healthy = client.Get("/");
+    ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+    EXPECT_EQ(healthy.value().status, 200);
+  }
+  server.Stop();
+  scheduler.CancelAll();
+  scheduler.Wait();
+}
+
+}  // namespace
+}  // namespace least

@@ -1,0 +1,281 @@
+// Tests for util/failpoint.h + util/atomic_file.h: spec grammar, trigger
+// semantics (@nth, %probability, *cap), seed-determinism of probability
+// streams, injected delays, the fire observer, environment arming, and the
+// crash-safety contract of AtomicWriteFile (old file survives a fault in
+// the commit window).
+
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/atomic_file.h"
+#include "util/status.h"
+
+namespace least {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(Failpoint, DisarmedProbesAreFreeNoOps) {
+  DisarmFailpoints();
+  EXPECT_FALSE(FailpointsArmed());
+  EXPECT_TRUE(FailpointHit("never.armed").ok());
+  EXPECT_EQ(FailpointFireCount(), 0);
+  EXPECT_TRUE(FailpointStats().empty());
+}
+
+TEST(Failpoint, MalformedSpecsArmNothing) {
+  const char* bad[] = {
+      "no-equals-sign",
+      "site=",
+      "site=frob:io",           // unknown fault head
+      "site=err:nosuchcode",
+      "site=err:io@0",          // nth is 1-based
+      "site=err:io@junk",
+      "site=err:io%0",          // probability must be in (0, 1]
+      "site=err:io%1.5",
+      "site=err:io@2%0.5",      // @ and % are mutually exclusive
+      "site=err:io*0",          // cap must be >= 1
+      "site=delay:-5",
+      "site=delay:999999",      // delay capped at 60 s
+      "a=err:io;a=err:internal",  // duplicate site
+  };
+  for (const char* spec : bad) {
+    EXPECT_FALSE(ArmFailpoints(spec).ok()) << spec;
+    EXPECT_FALSE(FailpointsArmed()) << spec;
+  }
+  EXPECT_TRUE(FailpointHit("site").ok());
+}
+
+TEST(Failpoint, NthHitTriggerFiresExactlyOnce) {
+  ScopedFailpoints armed("t.nth=err:io@3");
+  ASSERT_TRUE(armed.status().ok()) << armed.status().ToString();
+  ASSERT_TRUE(FailpointsArmed());
+  for (int hit = 1; hit <= 6; ++hit) {
+    const Status s = FailpointHit("t.nth");
+    if (hit == 3) {
+      EXPECT_EQ(s.code(), StatusCode::kIoError);
+      EXPECT_NE(s.message().find("t.nth"), std::string::npos) << s.message();
+    } else {
+      EXPECT_TRUE(s.ok()) << "hit " << hit << ": " << s.ToString();
+    }
+  }
+  const std::vector<FailpointSiteStats> stats = FailpointStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].site, "t.nth");
+  EXPECT_EQ(stats[0].hits, 6);
+  EXPECT_EQ(stats[0].fires, 1);
+  EXPECT_EQ(FailpointFireCount(), 1);
+}
+
+TEST(Failpoint, FireCapBoundsAnAlwaysFault) {
+  ScopedFailpoints armed("t.cap=err:unavailable*2");
+  ASSERT_TRUE(armed.status().ok());
+  EXPECT_EQ(FailpointHit("t.cap").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(FailpointHit("t.cap").code(), StatusCode::kUnavailable);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(FailpointHit("t.cap").ok());
+  }
+  EXPECT_EQ(FailpointFireCount(), 2);
+}
+
+TEST(Failpoint, EveryInjectableCodeMapsToItsStatusCode) {
+  const struct {
+    const char* name;
+    StatusCode code;
+  } cases[] = {
+      {"invalid", StatusCode::kInvalidArgument},
+      {"outofrange", StatusCode::kOutOfRange},
+      {"io", StatusCode::kIoError},
+      {"notconverged", StatusCode::kNotConverged},
+      {"internal", StatusCode::kInternal},
+      {"cancelled", StatusCode::kCancelled},
+      {"exhausted", StatusCode::kResourceExhausted},
+      {"unavailable", StatusCode::kUnavailable},
+  };
+  for (const auto& c : cases) {
+    ScopedFailpoints armed(std::string("t.code=err:") + c.name);
+    ASSERT_TRUE(armed.status().ok()) << c.name;
+    EXPECT_EQ(FailpointHit("t.code").code(), c.code) << c.name;
+  }
+}
+
+TEST(Failpoint, ProbabilityStreamIsAPureFunctionOfSpecAndSeed) {
+  constexpr int kHits = 200;
+  auto pattern = [&](uint64_t seed) {
+    ScopedFailpoints armed("t.prob=err:io%0.3", seed);
+    EXPECT_TRUE(armed.status().ok());
+    std::vector<bool> fired;
+    fired.reserve(kHits);
+    for (int i = 0; i < kHits; ++i) {
+      fired.push_back(!FailpointHit("t.prob").ok());
+    }
+    return fired;
+  };
+  const std::vector<bool> a = pattern(42);
+  const std::vector<bool> b = pattern(42);
+  EXPECT_EQ(a, b);  // re-arming replays the storm bit-for-bit
+  int fires = 0;
+  for (const bool f : a) fires += f ? 1 : 0;
+  // 200 draws at p=0.3: the count is binomial(200, 0.3); [20, 110] is a
+  // > 8-sigma window, so a failure here means a broken RNG, not bad luck.
+  EXPECT_GT(fires, 20);
+  EXPECT_LT(fires, 110);
+  EXPECT_NE(pattern(43), a);  // a different seed is a different storm
+}
+
+TEST(Failpoint, DelayFaultSleepsAndReturnsOk) {
+  ScopedFailpoints armed("t.delay=delay:30@1");
+  ASSERT_TRUE(armed.status().ok());
+  const auto before = std::chrono::steady_clock::now();
+  EXPECT_TRUE(FailpointHit("t.delay").ok());
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            25);
+  EXPECT_EQ(FailpointFireCount(), 1);
+  // Subsequent hits (past the @1 trigger) must not sleep again; just check
+  // they return OK rather than timing them.
+  EXPECT_TRUE(FailpointHit("t.delay").ok());
+}
+
+// The observer bridge: every fire reports the site, its FNV-1a hash, and a
+// detail word encoding error-vs-delay (what InstallFailpointTracing turns
+// into kFaultInjected trace events).
+std::vector<uint64_t> g_observed_details;
+
+TEST(Failpoint, ObserverSeesEveryFireWithPackedDetail) {
+  g_observed_details.clear();
+  SetFailpointObserver([](std::string_view site, uint64_t site_hash,
+                          uint64_t detail) {
+    EXPECT_EQ(site, "t.obs");
+    EXPECT_NE(site_hash, 0u);
+    g_observed_details.push_back(detail);
+  });
+  {
+    ScopedFailpoints armed("t.obs=err:unavailable*2");
+    ASSERT_TRUE(armed.status().ok());
+    FailpointHit("t.obs");
+    FailpointHit("t.obs");
+    FailpointHit("t.obs");  // past the cap: no fire, no callback
+  }
+  SetFailpointObserver(nullptr);
+  ASSERT_EQ(g_observed_details.size(), 2u);
+  const uint64_t expected = FailpointDetail(
+      false, static_cast<uint32_t>(StatusCode::kUnavailable));
+  EXPECT_EQ(g_observed_details[0], expected);
+  EXPECT_EQ(g_observed_details[1], expected);
+  EXPECT_EQ(expected >> 32, 0u);                             // error encoding
+  EXPECT_EQ(FailpointDetail(true, 30) >> 32, 1u);            // delay encoding
+  EXPECT_EQ(FailpointDetail(true, 30) & 0xFFFFFFFFu, 30u);
+}
+
+TEST(Failpoint, ArmsFromEnvironmentVariables) {
+  ASSERT_EQ(::setenv("LEAST_FAILPOINTS", "t.env=err:io@1", 1), 0);
+  ASSERT_EQ(::setenv("LEAST_FAILPOINTS_SEED", "7", 1), 0);
+  ASSERT_TRUE(ArmFailpointsFromEnv().ok());
+  EXPECT_TRUE(FailpointsArmed());
+  EXPECT_EQ(FailpointHit("t.env").code(), StatusCode::kIoError);
+  DisarmFailpoints();
+  ASSERT_EQ(::unsetenv("LEAST_FAILPOINTS"), 0);
+  ASSERT_EQ(::unsetenv("LEAST_FAILPOINTS_SEED"), 0);
+  // Unset variable: arming is a no-op success.
+  EXPECT_TRUE(ArmFailpointsFromEnv().ok());
+  EXPECT_FALSE(FailpointsArmed());
+}
+
+TEST(Failpoint, RearmResetsCountersAndReplacesPlans) {
+  ASSERT_TRUE(ArmFailpoints("t.a=err:io@1").ok());
+  EXPECT_EQ(FailpointHit("t.a").code(), StatusCode::kIoError);
+  EXPECT_EQ(FailpointFireCount(), 1);
+  ASSERT_TRUE(ArmFailpoints("t.b=err:internal@1").ok());
+  EXPECT_EQ(FailpointFireCount(), 0);      // counters reset
+  EXPECT_TRUE(FailpointHit("t.a").ok());   // old plan gone
+  EXPECT_EQ(FailpointHit("t.b").code(), StatusCode::kInternal);
+  DisarmFailpoints();
+  EXPECT_FALSE(FailpointsArmed());
+}
+
+// ------------------------------------------------------- AtomicWriteFile --
+
+TEST(AtomicWriteFile, WritesAndReplacesWholeFiles) {
+  const std::string dir = FreshDir("least_atomic_write");
+  const std::string path = dir + "/target.bin";
+  ASSERT_TRUE(AtomicWriteFile(path, "first contents").ok());
+  EXPECT_EQ(Slurp(path), "first contents");
+  ASSERT_TRUE(AtomicWriteFile(path, "second, longer contents").ok());
+  EXPECT_EQ(Slurp(path), "second, longer contents");
+  // No temp debris on the success path.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().filename().string(), "target.bin");
+  }
+  fs::remove_all(dir);
+}
+
+TEST(AtomicWriteFile, OldFileSurvivesAFaultInTheCommitWindow) {
+  const std::string dir = FreshDir("least_atomic_crash");
+  const std::string path = dir + "/target.bin";
+  ASSERT_TRUE(AtomicWriteFile(path, "committed").ok());
+
+  // Fault between the fully written temp file and the rename — the state an
+  // actual crash in the commit window leaves behind.
+  {
+    ScopedFailpoints armed("atomic.rename=err:io@1");
+    ASSERT_TRUE(armed.status().ok());
+    const Status s = AtomicWriteFile(path, "never visible");
+    EXPECT_EQ(s.code(), StatusCode::kIoError);
+  }
+  EXPECT_EQ(Slurp(path), "committed");  // the old file is intact
+  // The simulated crash leaves the temp file behind; readers and directory
+  // scanners must ignore it by suffix.
+  int temps = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name != "target.bin") {
+      EXPECT_NE(name.find(".tmp-"), std::string::npos) << name;
+      ++temps;
+    }
+  }
+  EXPECT_EQ(temps, 1);
+
+  // A fault at the open site leaves nothing behind at all.
+  {
+    ScopedFailpoints armed("atomic.write=err:io@1");
+    ASSERT_TRUE(armed.status().ok());
+    const std::string other = dir + "/other.bin";
+    EXPECT_EQ(AtomicWriteFile(other, "x").code(), StatusCode::kIoError);
+    EXPECT_FALSE(fs::exists(other));
+  }
+  fs::remove_all(dir);
+}
+
+TEST(StatusUnavailable, CodeNameAndFactory) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  const Status s = Status::Unavailable("shard store flaked");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_NE(s.ToString().find("shard store flaked"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace least

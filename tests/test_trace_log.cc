@@ -274,12 +274,15 @@ TEST(TraceEventNames, KnownKindsHaveStableNames) {
   EXPECT_EQ(TraceEventKindName(TraceEventKind::kSchedAdmit), "sched-admit");
   EXPECT_EQ(TraceEventKindName(TraceEventKind::kSchedPromote),
             "sched-promote");
+  EXPECT_EQ(TraceEventKindName(TraceEventKind::kFaultInjected),
+            "fault-injected");
   EXPECT_TRUE(IsKnownTraceEventKind(1));
   EXPECT_TRUE(IsKnownTraceEventKind(18));
   EXPECT_TRUE(IsKnownTraceEventKind(19));
   EXPECT_TRUE(IsKnownTraceEventKind(21));
+  EXPECT_TRUE(IsKnownTraceEventKind(22));
   EXPECT_FALSE(IsKnownTraceEventKind(0));
-  EXPECT_FALSE(IsKnownTraceEventKind(22));
+  EXPECT_FALSE(IsKnownTraceEventKind(23));
 }
 
 }  // namespace

@@ -108,6 +108,7 @@ int Dump(const std::string& path, int64_t show_events) {
   int64_t sched_admits = 0, sched_rejects = 0, sched_promotes = 0;
   uint64_t sched_peak_depth = 0, sched_max_bypass = 0;
   int sched_policy = -1;  // SchedPolicy value from the last admit event
+  int64_t faults_injected = 0, fault_errors = 0, fault_delays = 0;
 
   for (const TraceEvent& e : events) {
     switch (e.kind) {
@@ -201,6 +202,12 @@ int Dump(const std::string& path, int64_t show_events) {
         ++sched_promotes;
         sched_max_bypass = std::max(sched_max_bypass, e.arg0);
         break;
+      case TraceEventKind::kFaultInjected:
+        ++faults_injected;
+        // Detail word bit 32: clear = injected error, set = injected delay.
+        if ((e.arg1 >> 32) & 1) ++fault_delays;
+        else ++fault_errors;
+        break;
     }
   }
 
@@ -292,6 +299,11 @@ int Dump(const std::string& path, int64_t show_events) {
         (long long)sched_admits, (long long)sched_rejects,
         (long long)sched_promotes, (unsigned long long)sched_max_bypass,
         (unsigned long long)sched_peak_depth, policy.c_str());
+  }
+  if (faults_injected > 0) {
+    std::printf("faults: %lld injected (%lld errors, %lld delays)\n",
+                (long long)faults_injected, (long long)fault_errors,
+                (long long)fault_delays);
   }
   return 0;
 }
