@@ -18,7 +18,9 @@
 /// A third section measures the sharded data plane on a single dataset 4x
 /// larger than its cache budget: `least-sparse` streams it in row-range
 /// shards (peak resident <= budget) and must land bitwise on the all-in-RAM
-/// model.
+/// model — first from local disk, then over loopback HTTP `Range:` requests
+/// from a live origin (`HttpDataSource`), reporting the wire's cost next to
+/// the disk's.
 ///
 /// A fourth section (`mixed_workload`) measures the scheduling policy
 /// itself: latency-sensitive small jobs stuck behind batch-sized large jobs
@@ -44,8 +46,12 @@
 #include "core/least_sparse.h"
 #include "data/benchmark_data.h"
 #include "data/gene_network.h"
+#include "net/fleet_service.h"
+#include "net/http_data_source.h"
+#include "net/http_server.h"
 #include "obs/trace_log.h"
 #include "runtime/fleet_scheduler.h"
+#include "runtime/job_journal.h"
 #include "util/csv.h"
 #include "util/failpoint.h"
 #include "util/stopwatch.h"
@@ -441,15 +447,69 @@ int main() {
   least::Stopwatch shard_watch;
   const least::SparseLearnResult shard_result = sparse_learner.Fit(big_disk);
   const double shard_seconds = shard_watch.Seconds();
+
+  // Same dataset, same budget, same shard geometry — but the bytes arrive
+  // over loopback HTTP as `Range:` requests from a live origin.
+  auto bitwise_csr = [](const least::CsrMatrix& a, const least::CsrMatrix& b) {
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           a.row_ptr() == b.row_ptr() && a.col_idx() == b.col_idx() &&
+           a.values() == b.values();
+  };
+  double remote_seconds = 0.0;
+  bool remote_deterministic = false;
+  least::DatasetCache::Stats remote_stats;
+  least::HttpConnectionPool::Stats remote_transport;
+  least::DatasetCache remote_cache(shard_budget);
+  {
+    least::ThreadPool origin_pool(1);
+    least::FleetScheduler origin_scheduler(&origin_pool, {});
+    least::JobJournal origin_journal;
+    origin_scheduler.set_journal(&origin_journal);
+    least::FleetServiceOptions service_options;
+    service_options.data_root = fs::temp_directory_path().string();
+    least::FleetService service(&origin_scheduler, &origin_journal,
+                                service_options);
+    least::HttpServer origin_server(service.AsHandler(), {});
+    const least::Status origin_started = origin_server.Start();
+    if (origin_started.ok()) {
+      least::HttpSourceOptions remote_opt;
+      remote_opt.has_header = false;
+      remote_opt.cache = &remote_cache;
+      remote_opt.shard_rows = shard_rows_count;
+      const std::string url = "http://127.0.0.1:" +
+                              std::to_string(origin_server.port()) +
+                              "/data/least_bench_overbudget.csv";
+      least::Result<std::shared_ptr<const least::DataSource>> remote =
+          least::MakeHttpSource(url, remote_opt);
+      if (remote.ok() && remote.value()->Prepare().ok()) {
+        least::Stopwatch remote_watch;
+        const least::SparseLearnResult remote_result =
+            sparse_learner.Fit(*remote.value());
+        remote_seconds = remote_watch.Seconds();
+        remote_stats = remote_cache.stats();
+        remote_transport =
+            static_cast<const least::HttpDataSource*>(remote.value().get())
+                ->transport_stats();
+        remote_deterministic =
+            bitwise_csr(remote_result.raw_weights, ram_result.raw_weights);
+      } else {
+        std::fprintf(stderr, "remote fit skipped: %s\n",
+                     remote.ok() ? "prepare failed"
+                                 : remote.status().ToString().c_str());
+      }
+      origin_server.Stop();
+    } else {
+      std::fprintf(stderr, "remote fit skipped: %s\n",
+                   origin_started.ToString().c_str());
+    }
+    origin_scheduler.CancelAll();
+    origin_scheduler.Wait();
+  }
   fs::remove(big_csv);
 
   const least::DatasetCache::Stats shard_stats = shard_cache.stats();
   const bool shard_deterministic =
-      shard_result.raw_weights.rows() == ram_result.raw_weights.rows() &&
-      shard_result.raw_weights.cols() == ram_result.raw_weights.cols() &&
-      shard_result.raw_weights.row_ptr() == ram_result.raw_weights.row_ptr() &&
-      shard_result.raw_weights.col_idx() == ram_result.raw_weights.col_idx() &&
-      shard_result.raw_weights.values() == ram_result.raw_weights.values();
+      bitwise_csr(shard_result.raw_weights, ram_result.raw_weights);
   std::printf("over-budget single dataset (%dx%d = %zu bytes, budget %zu "
               "bytes = 4x smaller, %d-row shards):\n",
               big_n, big_d, big_bytes, shard_budget, shard_rows_count);
@@ -469,7 +529,23 @@ int main() {
        least::TablePrinter::Fmt(static_cast<double>(shard_budget) / 1024.0,
                                 1),
        shard_deterministic ? "yes" : "NO"});
+  shard_table.AddRow(
+      {"remote HTTP", least::TablePrinter::Fmt(remote_seconds, 2),
+       least::TablePrinter::Fmt(static_cast<long long>(remote_stats.misses)),
+       least::TablePrinter::Fmt(
+           static_cast<long long>(remote_stats.evictions)),
+       least::TablePrinter::Fmt(
+           static_cast<double>(remote_stats.peak_resident_bytes) / 1024.0,
+           1),
+       least::TablePrinter::Fmt(static_cast<double>(shard_budget) / 1024.0,
+                                1),
+       remote_deterministic ? "yes" : "NO"});
   std::printf("%s\n", shard_table.ToString().c_str());
+  std::printf("remote transport: %lld fetches, %lld retries, %lld "
+              "connection(s)\n\n",
+              static_cast<long long>(remote_transport.fetches),
+              static_cast<long long>(remote_transport.retries),
+              static_cast<long long>(remote_transport.connections_created));
 
   // ---- Mixed workload: scheduling policy vs. small-job tail latency. ----
   // Worst case for FIFO: every batch-sized job arrives *before* the
@@ -685,12 +761,19 @@ int main() {
         "    \"budget_bytes\": %zu, \"shard_rows\": %d,\n"
         "    \"in_ram_fit_seconds\": %.4f, \"sharded_fit_seconds\": %.4f,\n"
         "    \"shard_loads\": %lld, \"shard_evictions\": %lld,\n"
-        "    \"peak_resident_bytes\": %zu, \"deterministic\": %s\n  },\n",
+        "    \"peak_resident_bytes\": %zu, \"deterministic\": %s,\n"
+        "    \"remote_fit_seconds\": %.4f, \"remote_fetches\": %lld,\n"
+        "    \"remote_retries\": %lld, \"remote_peak_resident_bytes\": %zu,"
+        "\n    \"remote_deterministic\": %s\n  },\n",
         big_n, big_d, big_bytes, shard_budget, shard_rows_count, ram_seconds,
         shard_seconds, static_cast<long long>(shard_stats.misses),
         static_cast<long long>(shard_stats.evictions),
         shard_stats.peak_resident_bytes,
-        shard_deterministic ? "true" : "false");
+        shard_deterministic ? "true" : "false", remote_seconds,
+        static_cast<long long>(remote_transport.fetches),
+        static_cast<long long>(remote_transport.retries),
+        remote_stats.peak_resident_bytes,
+        remote_deterministic ? "true" : "false");
     std::fprintf(json,
                  "  \"mixed_workload\": {\n"
                  "    \"small_jobs\": %d, \"large_jobs\": %d,\n"

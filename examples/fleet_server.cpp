@@ -50,6 +50,7 @@
 #include <memory>
 
 #include "net/fleet_service.h"
+#include "net/http_data_source.h"
 #include "net/http_server.h"
 #include "obs/trace_log.h"
 #include "runtime/fleet_scheduler.h"
@@ -72,6 +73,11 @@ int main() {
   // LEAST_FAILPOINTS_SEED) arms deterministic fault plans at the probed
   // sites — useful for drilling client retry behaviour against a live
   // server. Fires are traced as kFaultInjected events.
+  // Register the remote data plane: with it installed, submissions (and
+  // resumed checkpoints) may reference `http://host:port/...` dataset
+  // origins — this server's own `/data` route, or another node's.
+  least::InstallHttpDataPlane();
+
   least::InstallFailpointTracing();
   const least::Status armed = least::ArmFailpointsFromEnv();
   if (!armed.ok()) {

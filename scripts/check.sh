@@ -29,6 +29,13 @@
 #                                           # three fixed storm seeds; every
 #                                           # seed must absorb its storm with
 #                                           # bit-identical models.
+#   scripts/check.sh --remote-smoke         # start fleet_server, probe its
+#                                           # /data route (manifest + Range
+#                                           # slice) with fleet_client fetch,
+#                                           # then submit a job whose dataset
+#                                           # is the server's own http:// URL
+#                                           # — the remote data plane end to
+#                                           # end as a black box.
 #   LEAST_NATIVE=1 scripts/check.sh         # -march=native kernels (local
 #                                           # perf runs; off in CI)
 
@@ -40,12 +47,14 @@ build_dir="${BUILD_DIR:-build}"
 bench_smoke=0
 trace_smoke=0
 http_smoke=0
+remote_smoke=0
 chaos=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
     --trace-smoke) trace_smoke=1 ;;
     --http-smoke) http_smoke=1 ;;
+    --remote-smoke) remote_smoke=1 ;;
     --chaos) chaos=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
@@ -181,6 +190,90 @@ if [[ "$http_smoke" != "0" ]]; then
   exit 0
 fi
 
+if [[ "$remote_smoke" != "0" ]]; then
+  # Remote data plane smoke: the server serves its own dataset directory
+  # over GET /data/<ref> (shard manifests + Range slices), and a submitted
+  # job may name an http:// origin as its dataset. Probe both with
+  # fleet_client, then close the loop: submit a job whose dataset is the
+  # server's *own* /data URL, so the shards stream over loopback HTTP
+  # through HttpDataSource while the model is learned — end to end, black
+  # box.
+  cd "$repo_root"
+  cmake -B "$build_dir" -S . "${native_flags[@]}"
+  cmake --build "$build_dir" -j --target \
+        example_fleet_server example_csv_workflow tool_fleet_client
+  build_abs="$(cd "$build_dir" && pwd)"
+  smoke_dir="$build_abs/remote-smoke"
+  rm -rf "$smoke_dir"
+  mkdir -p "$smoke_dir"
+
+  (cd "$smoke_dir" && "$build_abs/examples/csv_workflow" > /dev/null)
+  tail -n +2 "$smoke_dir/csv_workflow_demo.csv" > "$smoke_dir/remote_smoke.csv"
+
+  server_log="$smoke_dir/fleet_server.log"
+  LEAST_SERVER_PORT=0 LEAST_SERVER_THREADS=4 LEAST_SERVER_DATA="$smoke_dir" \
+    "$build_abs/examples/fleet_server" > "$server_log" 2>&1 &
+  server_pid=$!
+  trap 'kill "$server_pid" 2>/dev/null || true' EXIT
+
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n \
+      's#^fleet_server: listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' \
+      "$server_log")"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "check.sh: remote smoke FAILED — server never reported its port" >&2
+    cat "$server_log" >&2
+    exit 1
+  fi
+
+  client="$build_abs/tools/fleet_client"
+
+  # 1. The manifest: shape, whole-dataset hash, and the shard table whose
+  #    byte extents the Range loads will replay.
+  manifest="$("$client" "$port" fetch \
+    '/data/remote_smoke.csv?manifest=1&shard_rows=64&has_header=0')"
+  echo "$manifest" | grep -q '"shards"' || {
+    echo "check.sh: remote smoke FAILED — manifest has no shard table" >&2
+    echo "$manifest" >&2
+    exit 1
+  }
+
+  # 2. A Range slice: exactly the requested 128 bytes back.
+  "$client" "$port" fetch /data/remote_smoke.csv 0-127 \
+    "$smoke_dir/slice.bin"
+  slice_bytes=$(wc -c < "$smoke_dir/slice.bin")
+  [[ "$slice_bytes" == "128" ]] || {
+    echo "check.sh: remote smoke FAILED — Range 0-127 returned $slice_bytes bytes" >&2
+    exit 1
+  }
+
+  # 3. A job whose dataset is the origin URL: shards stream over HTTP while
+  #    the model is learned.
+  options='{"max_outer_iterations":40,"max_inner_iterations":150,
+            "tolerance":1e-3,"track_exact_h":true,"terminate_on_h":true}'
+  "$client" "$port" submit \
+    "http://127.0.0.1:$port/data/remote_smoke.csv" \
+    least-dense remote-smoke "$options"
+  "$client" "$port" watch 0 300 | tail -n 1 | grep -q "settled: succeeded" || {
+    echo "check.sh: remote smoke FAILED — remote-dataset job did not succeed" >&2
+    exit 1
+  }
+  "$client" "$port" shutdown
+  wait "$server_pid"
+  trap - EXIT
+  grep -q "fleet_server: drained" "$server_log" || {
+    echo "check.sh: remote smoke FAILED — server did not drain cleanly" >&2
+    cat "$server_log" >&2
+    exit 1
+  }
+  echo "check.sh: remote smoke done (manifest + Range slice + streamed-shard job)"
+  exit 0
+fi
+
 if [[ "$chaos" != "0" ]]; then
   # Chaos pass: the seeded fault-injection harness at three fixed storm
   # seeds. Each seed drives a different (but reproducible) fault stream
@@ -214,13 +307,14 @@ if [[ "${LEAST_SANITIZE_ONLY:-0}" == "0" ]]; then
   ctest --output-on-failure -j
 
   # The thread-pool, fleet-scheduler, fleet-scheduling, sharded-cache,
-  # net-stress, and chaos tests exercise real concurrency (work stealing,
-  # cancellation races, shutdown, policy-ordered claims, bounded-admission
-  # storms, single-flight shard loads, HTTP drain-while-busy, fault storms
-  # racing transient retries); a scheduling-dependent bug can pass a single
-  # run. Re-run them a few times and fail on a flake.
+  # net-stress, chaos, and remote-data-plane tests exercise real concurrency
+  # (work stealing, cancellation races, shutdown, policy-ordered claims,
+  # bounded-admission storms, single-flight shard loads, HTTP
+  # drain-while-busy, fault storms racing transient retries, live loopback
+  # connection pools); a scheduling-dependent bug can pass a single run.
+  # Re-run them a few times and fail on a flake.
   ctest --output-on-failure \
-        -R '^(test_thread_pool|test_fleet_scheduler|test_fleet_scheduling|test_sharded_cache|test_net_stress|test_chaos_fleet)$' \
+        -R '^(test_thread_pool|test_fleet_scheduler|test_fleet_scheduling|test_sharded_cache|test_net_stress|test_chaos_fleet|test_http_client|test_remote_shards)$' \
         --repeat until-fail:3 --no-tests=error
 
   echo "check.sh: all green"
@@ -244,10 +338,11 @@ if [[ "${LEAST_SANITIZE:-0}" != "0" ]]; then
         test_fleet_scheduler test_fleet_scheduling test_model_serializer \
         test_serializer_fuzz \
         test_checkpoint_resume test_trace_log test_obs_metrics \
-        test_http_parser test_net_service test_net_stress \
+        test_http_parser test_http_client test_remote_shards \
+        test_net_service test_net_stress \
         test_failpoint test_chaos_fleet
   cd "$san_dir"
   ctest --output-on-failure --no-tests=error -R \
-        '^(test_data_source|test_csv|test_fleet_data_plane|test_sharded_cache|test_fleet_scheduler|test_fleet_scheduling|test_model_serializer|test_serializer_fuzz|test_checkpoint_resume|test_trace_log|test_obs_metrics|test_http_parser|test_net_service|test_net_stress|test_failpoint|test_chaos_fleet)$'
+        '^(test_data_source|test_csv|test_fleet_data_plane|test_sharded_cache|test_fleet_scheduler|test_fleet_scheduling|test_model_serializer|test_serializer_fuzz|test_checkpoint_resume|test_trace_log|test_obs_metrics|test_http_parser|test_http_client|test_remote_shards|test_net_service|test_net_stress|test_failpoint|test_chaos_fleet)$'
   echo "check.sh: sanitizer pass green"
 fi

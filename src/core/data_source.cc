@@ -99,15 +99,11 @@ Status ReadShardBytes(std::ifstream& in, const std::string& path,
   return Status::Ok();
 }
 
-/// Parses the data lines of one shard's byte extent into an
-/// `expect_rows` x `cols` matrix. Every cell goes through the same
-/// `SplitCsvLine`/`ParseCsvCells` pair as `ReadCsv`, so a value parsed from
-/// a shard is bit-identical to the whole-file parse. Any structural
-/// surprise — ragged/extra/missing lines — is `kInvalidArgument` (the file
-/// changed since it was scanned).
-Result<DenseMatrix> ParseShardBuffer(const std::string& buffer,
-                                     const std::string& path, int expect_rows,
-                                     int cols) {
+}  // namespace
+
+Result<DenseMatrix> ParseCsvShardBuffer(const std::string& buffer,
+                                        const std::string& path,
+                                        int expect_rows, int cols) {
   DenseMatrix x(expect_rows, cols);
   std::vector<std::string> cells;
   std::vector<double> row;
@@ -145,6 +141,8 @@ Result<DenseMatrix> ParseShardBuffer(const std::string& buffer,
   return x;
 }
 
+namespace {
+
 /// Self-contained open + read + parse of one shard (the cache loader).
 Result<DenseMatrix> ParseShardExtent(const std::string& path,
                                      uint64_t byte_offset, uint64_t byte_size,
@@ -156,31 +154,18 @@ Result<DenseMatrix> ParseShardExtent(const std::string& path,
   std::string buffer;
   const Status read = ReadShardBytes(in, path, byte_offset, byte_size, &buffer);
   if (!read.ok()) return read;
-  return ParseShardBuffer(buffer, path, expect_rows, cols);
+  return ParseCsvShardBuffer(buffer, path, expect_rows, cols);
 }
 
-struct ShardScanResult {
-  int rows = 0;
-  int cols = 0;
-  /// Whole-dataset hash, identical to `HashDenseContent` of the fully
-  /// materialized matrix (the row-major value stream is the concatenation
-  /// of the shard value streams).
-  uint64_t content_hash = 0;
-  std::vector<DatasetShard> shards;
-};
+}  // namespace
 
-/// Two-pass scan of a CSV file into fixed `shard_rows`-row shards with
-/// bounded memory (one line in pass one, one shard of values in pass two).
-/// Pass one establishes structure: shape, raggedness, and each shard's byte
-/// extent. Pass two re-parses shard by shard to compute per-shard value
-/// hashes and the whole-dataset content hash.
-Result<ShardScanResult> ScanCsvShards(const std::string& path,
-                                      bool has_header, int shard_rows) {
+Result<CsvShardScan> ScanCsvIntoShards(const std::string& path,
+                                       bool has_header, int shard_rows) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IoError("cannot open '" + path + "' for reading");
   }
-  ShardScanResult scan;
+  CsvShardScan scan;
   uint64_t offset = 0;
   std::string line;
   size_t expected_cols = 0;
@@ -248,7 +233,7 @@ Result<ShardScanResult> ScanCsvShards(const std::string& path,
     const Status read = ReadShardBytes(values_in, path, shard.byte_offset,
                                        shard.byte_size, &buffer);
     if (!read.ok()) return read;
-    Result<DenseMatrix> values = ParseShardBuffer(
+    Result<DenseMatrix> values = ParseCsvShardBuffer(
         buffer, path, shard.row_end - shard.row_begin, scan.cols);
     if (!values.ok()) return values.status();
     const DenseMatrix& x = values.value();
@@ -259,7 +244,64 @@ Result<ShardScanResult> ScanCsvShards(const std::string& path,
   return scan;
 }
 
-}  // namespace
+Status GatherFromShards(
+    std::span<const int> rows, DenseMatrix* out, GatherScratch* scratch,
+    int total_rows, int cols, int shard_rows, int num_shards,
+    const std::function<Result<std::shared_ptr<const DenseMatrix>>(int)>&
+        acquire_shard) {
+  const int batch = static_cast<int>(rows.size());
+  LEAST_CHECK(out != nullptr && out->rows() == cols && out->cols() == batch);
+  LEAST_CHECK(shard_rows > 0 && num_shards > 0);
+  GatherScratch local;
+  if (scratch == nullptr) scratch = &local;
+  // Counting sort of batch indices by shard, so each shard is materialized
+  // exactly once per batch and pinned only while its columns are copied —
+  // peak residency is one shard above whatever the cache retains.
+  std::vector<int>& bucket = scratch->bucket;
+  std::vector<int>& order = scratch->order;
+  bucket.assign(static_cast<size_t>(num_shards) + 1, 0);
+  for (int b = 0; b < batch; ++b) {
+    const int r = rows[static_cast<size_t>(b)];
+    // Hard check (not DCHECK): an out-of-range row would make the counting
+    // sort below *write* past bucket's end in release builds — a heap
+    // corruption, unlike the bounded garbage read of the in-memory gathers.
+    LEAST_CHECK(r >= 0 && r < total_rows);
+    ++bucket[static_cast<size_t>(r / shard_rows) + 1];
+  }
+  for (int s = 0; s < num_shards; ++s) bucket[s + 1] += bucket[s];
+  order.resize(static_cast<size_t>(batch));
+  for (int b = 0; b < batch; ++b) {
+    order[static_cast<size_t>(
+        bucket[rows[static_cast<size_t>(b)] / shard_rows]++)] = b;
+  }
+  // bucket[s] is now the end offset of shard s's group.
+  for (int s = 0; s < num_shards; ++s) {
+    const int begin = s == 0 ? 0 : bucket[s - 1];
+    const int end = bucket[s];
+    if (begin == end) continue;
+    Result<std::shared_ptr<const DenseMatrix>> shard = acquire_shard(s);
+    if (!shard.ok()) return shard.status();
+    const DenseMatrix& m = *shard.value();
+    const int* group = order.data() + begin;
+    const int count = end - begin;
+    const int64_t flops = static_cast<int64_t>(count) * cols;
+    // Pure output-column partition (each column written by exactly one
+    // chunk, values copied verbatim): bitwise identical at any thread
+    // count, with or without an executor.
+    MaybeParallelForFlops(flops, 0, count, /*grain=*/-1,
+                          [&](int64_t g_lo, int64_t g_hi) {
+      for (int64_t g = g_lo; g < g_hi; ++g) {
+        const int b = group[g];
+        const double* src =
+            m.row(rows[static_cast<size_t>(b)] - s * shard_rows);
+        for (int v = 0; v < cols; ++v) (*out)(v, b) = src[v];
+      }
+    });
+    // The shard handle dies here, so the next admission may evict it: any
+    // budget that admits one shard streams a dataset of unbounded size.
+  }
+  return Status::Ok();
+}
 
 std::string_view DatasetKindName(DatasetKind kind) {
   switch (kind) {
@@ -271,6 +313,8 @@ std::string_view DatasetKindName(DatasetKind kind) {
       return "csv";
     case DatasetKind::kVirtual:
       return "virtual";
+    case DatasetKind::kRemote:
+      return "remote";
   }
   return "unknown";
 }
@@ -687,10 +731,10 @@ Status CsvDataSource::PrepareSharded() const {
     path = spec_.path;
     has_header = spec_.csv_has_header;
   }
-  Result<ShardScanResult> scanned =
-      ScanCsvShards(path, has_header, shard_rows_);
+  Result<CsvShardScan> scanned =
+      ScanCsvIntoShards(path, has_header, shard_rows_);
   if (!scanned.ok()) return scanned.status();
-  const ShardScanResult& scan = scanned.value();
+  const CsvShardScan& scan = scanned.value();
   std::lock_guard<std::mutex> lock(mu_);
   if (prepared_) return Status::Ok();  // a racing Prepare finished first
   if ((spec_.rows != 0 && spec_.rows != scan.rows) ||
@@ -867,57 +911,8 @@ Status CsvDataSource::GatherSharded(std::span<const int> rows,
     d = spec_.cols;
     num_shards = static_cast<int>(spec_.shards.size());
   }
-  const int batch = static_cast<int>(rows.size());
-  LEAST_CHECK(out != nullptr && out->rows() == d && out->cols() == batch);
-  GatherScratch local;
-  if (scratch == nullptr) scratch = &local;
-  // Counting sort of batch indices by shard, so each shard is materialized
-  // exactly once per batch and pinned only while its columns are copied —
-  // peak residency is one shard above whatever the cache retains.
-  std::vector<int>& bucket = scratch->bucket;
-  std::vector<int>& order = scratch->order;
-  bucket.assign(static_cast<size_t>(num_shards) + 1, 0);
-  for (int b = 0; b < batch; ++b) {
-    const int r = rows[static_cast<size_t>(b)];
-    // Hard check (not DCHECK): an out-of-range row would make the counting
-    // sort below *write* past bucket's end in release builds — a heap
-    // corruption, unlike the bounded garbage read of the in-memory gathers.
-    LEAST_CHECK(r >= 0 && r < n);
-    ++bucket[static_cast<size_t>(r / shard_rows_) + 1];
-  }
-  for (int s = 0; s < num_shards; ++s) bucket[s + 1] += bucket[s];
-  order.resize(static_cast<size_t>(batch));
-  for (int b = 0; b < batch; ++b) {
-    order[static_cast<size_t>(
-        bucket[rows[static_cast<size_t>(b)] / shard_rows_]++)] = b;
-  }
-  // bucket[s] is now the end offset of shard s's group.
-  for (int s = 0; s < num_shards; ++s) {
-    const int begin = s == 0 ? 0 : bucket[s - 1];
-    const int end = bucket[s];
-    if (begin == end) continue;
-    Result<std::shared_ptr<const DenseMatrix>> shard = AcquireShard(s);
-    if (!shard.ok()) return shard.status();
-    const DenseMatrix& m = *shard.value();
-    const int* group = order.data() + begin;
-    const int count = end - begin;
-    const int64_t flops = static_cast<int64_t>(count) * d;
-    // Pure output-column partition (each column written by exactly one
-    // chunk, values copied verbatim): bitwise identical at any thread
-    // count, with or without an executor.
-    MaybeParallelForFlops(flops, 0, count, /*grain=*/-1,
-                          [&](int64_t g_lo, int64_t g_hi) {
-      for (int64_t g = g_lo; g < g_hi; ++g) {
-        const int b = group[g];
-        const double* src =
-            m.row(rows[static_cast<size_t>(b)] - s * shard_rows_);
-        for (int v = 0; v < d; ++v) (*out)(v, b) = src[v];
-      }
-    });
-    // The shard handle dies here, so the next admission may evict it: any
-    // budget that admits one shard streams a dataset of unbounded size.
-  }
-  return Status::Ok();
+  return GatherFromShards(rows, out, scratch, n, d, shard_rows_, num_shards,
+                          [this](int s) { return AcquireShard(s); });
 }
 
 Status CsvDataSource::GatherTransposed(std::span<const int> rows,
@@ -975,8 +970,38 @@ Status WriteMatrixCsv(const std::string& path, const DenseMatrix& x,
   return WriteCsv(path, header, rows);
 }
 
+namespace {
+
+/// Plain pointer, not atomic: installation happens once at process start
+/// (main, or a test fixture) before any attach runs concurrently.
+RemoteSourceFactory g_remote_source_factory = nullptr;
+
+}  // namespace
+
+void SetRemoteSourceFactory(RemoteSourceFactory factory) {
+  g_remote_source_factory = factory;
+}
+
+RemoteSourceFactory GetRemoteSourceFactory() {
+  return g_remote_source_factory;
+}
+
 Result<std::shared_ptr<const DataSource>> AttachDataset(
     const DatasetSpec& spec, DatasetCache* cache) {
+  if (spec.kind == DatasetKind::kRemote) {
+    RemoteSourceFactory factory = GetRemoteSourceFactory();
+    if (factory == nullptr) {
+      return Status::InvalidArgument(
+          "remote dataset '" + spec.name +
+          "' cannot be re-attached: no remote source factory is installed "
+          "(call InstallHttpDataPlane() first)");
+    }
+    if (spec.path.empty()) {
+      return Status::InvalidArgument(
+          "remote dataset spec carries no origin URL to re-attach from");
+    }
+    return factory(spec, cache);
+  }
   if (spec.kind == DatasetKind::kCsv) {
     if (spec.path.empty()) {
       return Status::InvalidArgument(

@@ -51,9 +51,13 @@ enum class DatasetKind : uint8_t {
   kCsr = 1,      ///< in-memory CSR samples
   kCsv = 2,      ///< numeric CSV file on disk, loaded lazily
   kVirtual = 3,  ///< synthesized on demand (e.g. `StreamingLsemSource`)
+  /// Numeric CSV served by a remote HTTP origin, fetched shard-by-shard
+  /// with `Range:` requests (`net/http_data_source.h`). The spec's `path`
+  /// holds the origin URL. Stamped only into format-v5+ checkpoints.
+  kRemote = 4,
 };
 
-/// Canonical lowercase name ("dense", "csr", "csv", "virtual").
+/// Canonical lowercase name ("dense", "csr", "csv", "virtual", "remote").
 std::string_view DatasetKindName(DatasetKind kind);
 
 /// \brief One row-range chunk of a sharded on-disk dataset: the logical row
@@ -453,6 +457,68 @@ class CsvDataSource final : public DataSource {
   mutable std::vector<std::weak_ptr<const DenseMatrix>> verified_shards_;
 };
 
+// ------------------------------------------------- shard-plane utilities ---
+//
+// The row-range shard machinery is shared between the local `CsvDataSource`
+// and the remote `HttpDataSource` (`net/http_data_source.h`): both scan (or
+// receive) the same shard layout, parse shard byte extents with the same
+// cell-exact parser, and gather batches with the same counting-sort
+// one-shard-pinned-at-a-time loop — so a remote dataset streams
+// bit-identically to the local file it was exported from.
+
+/// \brief Outcome of scanning a CSV file into fixed row-range shards.
+struct CsvShardScan {
+  int rows = 0;
+  int cols = 0;
+  /// Whole-dataset hash, identical to `HashDenseContent` of the fully
+  /// materialized matrix (the row-major value stream is the concatenation
+  /// of the shard value streams).
+  uint64_t content_hash = 0;
+  std::vector<DatasetShard> shards;
+};
+
+/// Two-pass bounded-memory scan of a CSV file into fixed `shard_rows`-row
+/// shards: pass one establishes structure (shape, raggedness, byte
+/// extents), pass two folds per-shard value hashes plus the whole-dataset
+/// hash one shard at a time. The scan behind `CsvDataSource`'s chunked mode
+/// and the manifest the fleet service serves to remote readers.
+Result<CsvShardScan> ScanCsvIntoShards(const std::string& path,
+                                       bool has_header, int shard_rows);
+
+/// Parses the data lines of one shard's byte extent (however it was
+/// obtained — local read or HTTP `Range:` response body) into an
+/// `expect_rows` x `cols` matrix. Every cell goes through the same
+/// `SplitCsvLine`/`ParseCsvCells` pair as `ReadCsv`, so a value parsed from
+/// a shard is bit-identical to the whole-file parse. Any structural
+/// surprise — ragged/extra/missing lines — is `kInvalidArgument` (the
+/// origin changed since it was scanned). `origin` only feeds messages.
+Result<DenseMatrix> ParseCsvShardBuffer(const std::string& buffer,
+                                        const std::string& origin,
+                                        int expect_rows, int cols);
+
+/// The shard-granular gather loop shared by every sharded source: counting-
+/// sorts `rows` by shard (via `scratch`, allocation-free in steady state;
+/// nullptr uses a transient local), then materializes each touched shard
+/// exactly once through `acquire_shard` and copies its columns into `out`
+/// as a pure output partition (bitwise identical at any thread count). The
+/// shard handle is released before the next shard is acquired, so peak
+/// residency is one shard above whatever the cache retains.
+Status GatherFromShards(
+    std::span<const int> rows, DenseMatrix* out, GatherScratch* scratch,
+    int total_rows, int cols, int shard_rows, int num_shards,
+    const std::function<Result<std::shared_ptr<const DenseMatrix>>(int)>&
+        acquire_shard);
+
+/// \brief Factory `AttachDataset` uses for `kRemote` specs, so the core
+/// data plane can re-attach remote datasets without depending on the net
+/// layer. Installed by `InstallHttpDataPlane()` (`net/http_data_source.h`);
+/// nullptr (the default) makes re-attaching a remote spec fail with a
+/// message naming the installer.
+using RemoteSourceFactory = Result<std::shared_ptr<const DataSource>> (*)(
+    const DatasetSpec& spec, DatasetCache* cache);
+void SetRemoteSourceFactory(RemoteSourceFactory factory);
+RemoteSourceFactory GetRemoteSourceFactory();
+
 // ------------------------------------------------------------- factories ---
 
 /// Wraps an in-memory dense matrix into a shareable source.
@@ -476,13 +542,15 @@ std::shared_ptr<DataSource> MakeCsvSource(std::string path,
 Status WriteMatrixCsv(const std::string& path, const DenseMatrix& x,
                       const std::vector<std::string>& header = {});
 
-/// Re-attaches the dataset described by a checkpointed spec. Today only
-/// `kCsv` specs are re-attachable from the spec alone (shape and hash are
-/// verified on load when recorded; a sharded spec re-attaches in chunked
-/// mode and additionally verifies every shard's row range and value hash,
-/// so a file mutated since the checkpoint is refused shard by shard); in-
-/// memory kinds fail with `kInvalidArgument` — supply them through a
-/// resolver (see `FleetScheduler::ScanAndResume`).
+/// Re-attaches the dataset described by a checkpointed spec. `kCsv` specs
+/// re-attach from the spec alone (shape and hash are verified on load when
+/// recorded; a sharded spec re-attaches in chunked mode and additionally
+/// verifies every shard's row range and value hash, so a file mutated since
+/// the checkpoint is refused shard by shard). `kRemote` specs re-attach
+/// through the installed `RemoteSourceFactory` (call
+/// `InstallHttpDataPlane()` first) with the same verification rules against
+/// the origin. In-memory kinds fail with `kInvalidArgument` — supply them
+/// through a resolver (see `FleetScheduler::ScanAndResume`).
 Result<std::shared_ptr<const DataSource>> AttachDataset(
     const DatasetSpec& spec, DatasetCache* cache = nullptr);
 

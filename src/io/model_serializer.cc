@@ -370,8 +370,14 @@ std::optional<DatasetSpec> ReadDatasetSpec(Reader& r, uint32_t version) {
   uint8_t kind = 0;
   r.Pod(&kind);
   if (!r.status().ok()) return std::nullopt;
-  if (kind > static_cast<uint8_t>(DatasetKind::kVirtual)) {
-    r.Fail("unknown dataset kind id " + std::to_string(kind));
+  // The remote kind (4) exists only in v5+ blobs: a v1-v4 writer could
+  // never have produced it, so finding it there is tampering, not data.
+  const uint8_t max_kind = version >= 5
+                               ? static_cast<uint8_t>(DatasetKind::kRemote)
+                               : static_cast<uint8_t>(DatasetKind::kVirtual);
+  if (kind > max_kind) {
+    r.Fail("unknown dataset kind id " + std::to_string(kind) +
+           " for format version " + std::to_string(version));
     return std::nullopt;
   }
   spec.kind = static_cast<DatasetKind>(kind);
@@ -522,6 +528,8 @@ std::string SerializeModelForVersion(const ModelArtifact& artifact,
   LEAST_CHECK(version >= 4 || !artifact.dataset.has_value() ||
               (artifact.dataset->shard_rows == 0 &&
                artifact.dataset->shards.empty()));
+  LEAST_CHECK(version >= 5 || !artifact.dataset.has_value() ||
+              artifact.dataset->kind != DatasetKind::kRemote);
   Writer body;
   body.Pod<uint8_t>(static_cast<uint8_t>(artifact.algorithm));
   body.Pod<uint8_t>(artifact.sparse ? 1 : 0);

@@ -6,7 +6,7 @@
 /// (weights — dense or CSR — plus the `LearnOptions` that produced them and
 /// run metadata) to a checkpoint blob or file and back, bit-identically.
 ///
-/// Format ("LBNM", version 4), all integers/doubles in native byte order:
+/// Format ("LBNM", version 5), all integers/doubles in native byte order:
 ///
 ///   [0..4)   magic "LBNM"
 ///   [4..8)   u32 format version
@@ -30,7 +30,7 @@
 ///            learning from, so a resumed fleet can re-attach (and verify)
 ///            its data; then u64 candidate-edge count + (i32 from, i32 to)
 ///            pairs, the sparse learner's injected pattern.
-///   v4 only, inside the dataset-spec section (after csv_has_header):
+///   v4+, inside the dataset-spec section (after csv_has_header):
 ///            the shard layout — i32 shard_rows (0 = unsharded) and a u64
 ///            shard count followed by per-shard (i32 row_begin,
 ///            i32 row_end, u64 byte_offset, u64 byte_size,
@@ -38,12 +38,19 @@
 ///            order with chunks of at most shard_rows rows, so a resumed
 ///            fleet re-attaches a sharded dataset at the same granularity
 ///            and refuses a mutated file shard by shard.
+///   v5: no new bytes — v5 widens the dataset-spec *value domain*: the
+///            dataset kind may be `kRemote` (4), whose `path` is an origin
+///            URL and whose shard table doubles as the HTTP `Range:`
+///            request plan. Readers of v1-v4 blobs reject kind 4 (those
+///            writers could never have produced it), so a tampered old
+///            blob cannot smuggle a remote spec past an old-format check.
 ///
-/// Version policy: the writer emits version 4 by default (versions 1-3 on
+/// Version policy: the writer emits version 5 by default (versions 1-4 on
 /// request via `SerializeModelForVersion`, for artifacts without the newer
-/// sections). Readers accept versions 1 through 4 — a v1 blob simply has no
+/// sections). Readers accept versions 1 through 5 — a v1 blob simply has no
 /// optimizer-state section, a v2 blob no dataset section, a v3 blob no
-/// shard layout — and reject anything newer loudly instead of misparsing.
+/// shard layout, a v4 blob no remote dataset kind — and reject anything
+/// newer loudly instead of misparsing.
 ///
 /// Error contract: any structural problem — wrong magic, short buffer,
 /// truncated body, trailing bytes, checksum mismatch, or an unsupported
@@ -73,9 +80,10 @@ namespace least {
 /// Current writer version. Readers accept `kMinModelFormatVersion` through
 /// this version; older readers seeing a newer file fail loudly instead of
 /// misparsing.
-inline constexpr uint32_t kModelFormatVersion = 4;
+inline constexpr uint32_t kModelFormatVersion = 5;
 /// Oldest version readers still accept (v1: no optimizer-state section;
-/// v2: no dataset-spec / candidate-edge section; v3: no shard layout).
+/// v2: no dataset-spec / candidate-edge section; v3: no shard layout;
+/// v4: no remote dataset kind).
 inline constexpr uint32_t kMinModelFormatVersion = 1;
 
 /// \brief A learned model plus everything needed to reproduce or resume it.
@@ -122,8 +130,9 @@ std::string SerializeModel(const ModelArtifact& artifact);
 /// [`kMinModelFormatVersion`, `kModelFormatVersion`] — the back-compat seam
 /// that keeps old readers loadable and lets tests cover every on-disk
 /// layout. Version 1 cannot carry a train state, versions below 3 cannot
-/// carry a dataset spec or candidate edges, and versions below 4 cannot
-/// carry a sharded dataset spec (checked).
+/// carry a dataset spec or candidate edges, versions below 4 cannot carry
+/// a sharded dataset spec, and versions below 5 cannot carry a remote
+/// (`kRemote`) dataset spec (checked).
 std::string SerializeModelForVersion(const ModelArtifact& artifact,
                                      uint32_t version);
 

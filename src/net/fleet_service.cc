@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <fstream>
+#include <sstream>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "core/data_source.h"
+#include "net/http_data_source.h"
 #include "obs/metrics.h"
 #include "runtime/fleet_scheduler.h"
 #include "runtime/job_journal.h"
@@ -66,6 +69,66 @@ bool SafeRelativePath(std::string_view path) {
     if (segment == "..") return false;
   }
   return true;
+}
+
+/// Reads a file fully into `*out`; false on any filesystem error. The
+/// `/data` route serves whole files or slices of them — either way the
+/// extent arithmetic runs on in-memory bytes, never on seek offsets.
+bool ReadFileBytes(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return false;
+  *out = buffer.str();
+  return true;
+}
+
+/// One byte extent requested via `Range:`.
+enum class RangeKind {
+  kNone,           ///< no (or ignorable/malformed) Range header → 200 full
+  kSatisfiable,    ///< [lo, hi] within the file → 206
+  kUnsatisfiable,  ///< cannot overlap the file → 416
+};
+
+/// Parses a single-extent `bytes=lo-hi` / `bytes=lo-` / `bytes=-n` Range
+/// value against a file of `size` bytes. Per RFC 9110 a malformed or
+/// multi-extent Range header is *ignored* (the whole file is served with
+/// 200) — only a well-formed extent that cannot overlap the file is 416.
+RangeKind ParseByteRange(std::string_view value, uint64_t size, uint64_t* lo,
+                         uint64_t* hi) {
+  constexpr std::string_view kPrefix = "bytes=";
+  if (value.substr(0, kPrefix.size()) != kPrefix) return RangeKind::kNone;
+  std::string_view spec = value.substr(kPrefix.size());
+  if (spec.find(',') != std::string_view::npos) return RangeKind::kNone;
+  const size_t dash = spec.find('-');
+  if (dash == std::string_view::npos) return RangeKind::kNone;
+  const std::string_view first = spec.substr(0, dash);
+  const std::string_view last = spec.substr(dash + 1);
+  if (first.empty()) {
+    // Suffix form "-n": the final n bytes.
+    uint64_t n = 0;
+    if (!ParseU64(last, &n)) return RangeKind::kNone;
+    if (n == 0 || size == 0) return RangeKind::kUnsatisfiable;
+    *lo = n >= size ? 0 : size - n;
+    *hi = size - 1;
+    return RangeKind::kSatisfiable;
+  }
+  if (!ParseU64(first, lo)) return RangeKind::kNone;
+  if (last.empty()) {
+    *hi = size == 0 ? 0 : size - 1;
+  } else {
+    if (!ParseU64(last, hi) || *hi < *lo) return RangeKind::kNone;
+  }
+  if (*lo >= size) return RangeKind::kUnsatisfiable;
+  *hi = std::min(*hi, size - 1);
+  return RangeKind::kSatisfiable;
+}
+
+/// u64 values (hashes, byte extents) travel as decimal strings: JSON
+/// numbers are doubles and lose precision past 2^53.
+JsonValue JsonU64(uint64_t value) {
+  return JsonValue::String(std::to_string(value));
 }
 
 JsonValue LatencyToJson(const LatencyStats& stats) {
@@ -332,12 +395,28 @@ Status FleetService::JobFromJson(const JsonValue& doc, LearnJob* job) const {
       if (csv_path.empty()) {
         return FieldError("dataset.csv", "required");
       }
-      if (!SafeRelativePath(csv_path)) {
-        return FieldError("dataset.csv",
-                          "must be a relative path without \"..\"");
+      if (csv_path.rfind("http://", 0) == 0) {
+        // A remote origin: the ref *is* the URL. Shards stream over
+        // `Range:` GETs (possibly from this server's own /data route)
+        // instead of resolving under data_root.
+        HttpSourceOptions remote;
+        remote.has_header = csv.has_header;
+        remote.name = csv.name;
+        if (csv.shard_rows > 0) remote.shard_rows = csv.shard_rows;
+        Result<std::shared_ptr<const DataSource>> source =
+            MakeHttpSource(csv_path, std::move(remote));
+        if (!source.ok()) {
+          return FieldError("dataset.csv", source.status().message());
+        }
+        job->data = std::move(source).value();
+      } else {
+        if (!SafeRelativePath(csv_path)) {
+          return FieldError("dataset.csv",
+                            "must be a relative path without \"..\"");
+        }
+        job->data = MakeCsvSource(options_.data_root + "/" + csv_path,
+                                  std::move(csv));
       }
-      job->data = MakeCsvSource(options_.data_root + "/" + csv_path,
-                                std::move(csv));
       saw_dataset = true;
     } else if (key == "options") {
       if (!value.is_object()) return FieldError(key, "expected an object");
@@ -533,6 +612,99 @@ HttpResponse FleetService::HandleShutdown() {
   return HttpResponse::Json(202, body.Dump());
 }
 
+HttpResponse FleetService::HandleData(const HttpRequest& request) const {
+  constexpr std::string_view kPrefix = "/data/";
+  const std::string ref = request.path.substr(kPrefix.size());
+  if (!SafeRelativePath(ref)) {
+    return HttpResponse::Error(
+        400, "dataset ref must be a relative path without '..'");
+  }
+  const std::string full = options_.data_root + "/" + ref;
+
+  if (request.QueryParam("manifest", "") == "1") {
+    int64_t shard_rows = 0;
+    if (!ParseId(request.QueryParam("shard_rows", "256"), &shard_rows) ||
+        shard_rows <= 0 || shard_rows > INT32_MAX) {
+      return HttpResponse::Error(
+          400, "shard_rows must be a positive decimal integer");
+    }
+    const bool has_header = request.QueryParam("has_header", "1") != "0";
+    const Result<CsvShardScan> scan =
+        ScanCsvIntoShards(full, has_header, static_cast<int>(shard_rows));
+    if (!scan.ok()) {
+      // A ref that does not resolve to a readable file is a 404, not a
+      // server fault; a file that is not valid CSV is the client's 400.
+      if (scan.status().code() == StatusCode::kIoError) {
+        return HttpResponse::Error(404, "no such dataset: " + ref);
+      }
+      return ErrorFromStatus(scan.status());
+    }
+    const CsvShardScan& manifest = scan.value();
+    JsonValue body = JsonValue::Object();
+    body.Set("rows", JsonValue::Number(static_cast<double>(manifest.rows)));
+    body.Set("cols", JsonValue::Number(static_cast<double>(manifest.cols)));
+    // Echoed so the client can refuse a granularity mismatch.
+    body.Set("shard_rows",
+             JsonValue::Number(static_cast<double>(shard_rows)));
+    body.Set("content_hash", JsonU64(manifest.content_hash));
+    JsonValue shards = JsonValue::Array();
+    for (const DatasetShard& shard : manifest.shards) {
+      JsonValue s = JsonValue::Object();
+      s.Set("row_begin",
+            JsonValue::Number(static_cast<double>(shard.row_begin)));
+      s.Set("row_end", JsonValue::Number(static_cast<double>(shard.row_end)));
+      s.Set("byte_offset", JsonU64(shard.byte_offset));
+      s.Set("byte_size", JsonU64(shard.byte_size));
+      s.Set("content_hash", JsonU64(shard.content_hash));
+      shards.Append(std::move(s));
+    }
+    body.Set("shards", std::move(shards));
+    return HttpResponse::Json(200, body.Dump());
+  }
+
+  std::string bytes;
+  if (!ReadFileBytes(full, &bytes)) {
+    return HttpResponse::Error(404, "no such dataset: " + ref);
+  }
+  const uint64_t size = bytes.size();
+
+  HttpResponse response;
+  response.content_type = "text/csv";
+  const std::string_view range = request.Header("range");
+  if (!range.empty()) {
+    // An injected fault here simulates an origin that cannot serve ranges
+    // right now (transient 503) or refuses them (terminal), so the client's
+    // retry classification is testable against the real route.
+    if (FailpointsArmed()) {
+      const Status fault = FailpointHit("service.data.range");
+      if (!fault.ok()) return ErrorFromStatus(fault);
+    }
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    switch (ParseByteRange(range, size, &lo, &hi)) {
+      case RangeKind::kNone:
+        break;  // ignored → 200 with the whole file
+      case RangeKind::kUnsatisfiable: {
+        HttpResponse r = HttpResponse::Error(416, "range not satisfiable");
+        r.headers.emplace_back("Content-Range",
+                               "bytes */" + std::to_string(size));
+        return r;
+      }
+      case RangeKind::kSatisfiable:
+        response.status = 206;
+        response.headers.emplace_back(
+            "Content-Range", "bytes " + std::to_string(lo) + "-" +
+                                 std::to_string(hi) + "/" +
+                                 std::to_string(size));
+        response.body = bytes.substr(lo, hi - lo + 1);
+        return response;
+    }
+  }
+  response.status = 200;
+  response.body = std::move(bytes);
+  return response;
+}
+
 HttpResponse FleetService::HandleIndex() const {
   JsonValue body = JsonValue::Object();
   body.Set("service", JsonValue::String("least-fleet"));
@@ -540,7 +712,7 @@ HttpResponse FleetService::HandleIndex() const {
   for (const char* e :
        {"POST /jobs", "GET /jobs", "GET /jobs/<id>", "POST /jobs/<id>/cancel",
         "DELETE /jobs/<id>", "GET /changes?since=<seq>", "GET /models/<id>",
-        "GET /metrics", "POST /admin/shutdown"}) {
+        "GET /metrics", "GET /data/<ref>", "POST /admin/shutdown"}) {
     endpoints.Append(JsonValue::String(e));
   }
   body.Set("endpoints", std::move(endpoints));
@@ -602,6 +774,11 @@ HttpResponse FleetService::Handle(const HttpRequest& request) {
   if (segments[0] == "metrics" && segments.size() == 1) {
     if (method == "GET") return HandleMetrics();
     return HttpResponse::Error(405, "method not allowed on /metrics");
+  }
+
+  if (segments[0] == "data" && segments.size() >= 2) {
+    if (method == "GET") return HandleData(request);
+    return HttpResponse::Error(405, "method not allowed on /data/<ref>");
   }
 
   if (segments[0] == "admin" && segments.size() == 2 &&

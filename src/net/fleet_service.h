@@ -29,6 +29,16 @@
 ///                             persists; 404 unknown, 409 not (yet)
 ///                             succeeded, 410 payload released to a sink
 ///   GET    /metrics           global metrics registry snapshot (JSON)
+///   GET    /data/<ref>        static dataset bytes under `data_root`,
+///                             honoring single-extent `Range: bytes=lo-hi`
+///                             requests (206 + `Content-Range`; 416 when
+///                             unsatisfiable); with
+///                             `?manifest=1&shard_rows=K&has_header=H` it
+///                             instead returns the shard-table manifest
+///                             JSON (shape, whole-dataset hash, per-shard
+///                             byte extents + hashes) that the remote data
+///                             plane's `HttpDataSource` rides — the
+///                             embedded server doubles as a shard origin
 ///   POST   /admin/shutdown    begin graceful drain: new submissions get
 ///                             503, in-flight jobs settle, long-polls wake
 ///
@@ -111,6 +121,9 @@ class FleetService {
   HttpResponse HandleChanges(const HttpRequest& request) const;
   HttpResponse HandleModel(int64_t job_id) const;
   HttpResponse HandleMetrics() const;
+  /// `GET /data/<ref>` — raw dataset bytes (Range-aware) or, with
+  /// `?manifest=1`, the shard-table manifest (see file comment).
+  HttpResponse HandleData(const HttpRequest& request) const;
   HttpResponse HandleShutdown();
 
   /// Builds a `LearnJob` from a parsed submission document; `kInvalidArgument`

@@ -6,13 +6,21 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
-#include <cstdlib>
 #include <cstring>
+#include <thread>
+
+#include "obs/trace_log.h"
+#include "util/failpoint.h"
+#include "util/fnv.h"
 
 namespace least {
 namespace {
+
+// Bound on a chunk-size line; matches the request parser's.
+constexpr size_t kMaxChunkSizeLine = 128;
 
 std::string ToLower(std::string_view text) {
   std::string out(text);
@@ -32,6 +40,24 @@ std::string_view Trim(std::string_view text) {
   return text;
 }
 
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
 }  // namespace
 
 std::string_view HttpClientResponse::Header(
@@ -42,9 +68,302 @@ std::string_view HttpClientResponse::Header(
   return {};
 }
 
+// ------------------------------------------------------- response parser ---
+
+Status HttpResponseParser::Fail(std::string message) {
+  phase_ = Phase::kError;
+  status_ = Status::IoError(std::move(message));
+  return status_;
+}
+
+void HttpResponseParser::Reset() {
+  phase_ = Phase::kStatusLine;
+  buffer_.clear();
+  header_bytes_ = 0;
+  body_remaining_ = 0;
+  response_ = HttpClientResponse();
+  status_ = Status::Ok();
+}
+
+Status HttpResponseParser::ParseStatusLine(std::string_view line) {
+  // "HTTP/1.x SP 3DIGIT [SP reason]" — the reason phrase is free-form and
+  // may be empty or contain spaces.
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    return Fail("malformed status line (no status code): " +
+                std::string(line.substr(0, 64)));
+  }
+  const std::string_view version = line.substr(0, sp1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Fail("unsupported HTTP version in status line '" +
+                std::string(version.substr(0, 16)) + "'");
+  }
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  const std::string_view code =
+      line.substr(sp1 + 1, sp2 == std::string_view::npos ? std::string_view::npos
+                                                         : sp2 - sp1 - 1);
+  if (code.size() != 3 || code[0] < '1' || code[0] > '5') {
+    return Fail("malformed status code '" + std::string(code.substr(0, 8)) +
+                "'");
+  }
+  int status = 0;
+  for (char c : code) {
+    if (c < '0' || c > '9') {
+      return Fail("malformed status code '" + std::string(code) + "'");
+    }
+    status = status * 10 + (c - '0');
+  }
+  response_.status = status;
+  phase_ = Phase::kHeaders;
+  return Status::Ok();
+}
+
+Status HttpResponseParser::ParseHeaderLine(std::string_view line) {
+  if (static_cast<int>(response_.headers.size()) >= limits_.max_headers) {
+    return Fail("more than " + std::to_string(limits_.max_headers) +
+                " response header fields");
+  }
+  const size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return Fail("malformed response header line (no field name)");
+  }
+  const std::string_view name = line.substr(0, colon);
+  for (char c : name) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u <= 0x20 || u == 0x7F || c == ':') {
+      return Fail("invalid character in response header field name");
+    }
+  }
+  const std::string_view value = Trim(line.substr(colon + 1));
+  for (char c : value) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if ((u < 0x20 && c != '\t') || u == 0x7F) {
+      return Fail("invalid character in response header field value");
+    }
+  }
+  response_.headers.emplace_back(ToLower(name), std::string(value));
+  return Status::Ok();
+}
+
+Status HttpResponseParser::BeginBody() {
+  // Framing per RFC 9112 §6.3, client side. Bodyless statuses first: their
+  // framing headers (if any) describe the response a HEAD/304 *would* have
+  // carried, not bytes on this wire.
+  if (response_.status / 100 == 1 || response_.status == 204 ||
+      response_.status == 304) {
+    phase_ = Phase::kComplete;
+    return Status::Ok();
+  }
+  std::string_view transfer_encoding;
+  std::string_view content_length;
+  for (const auto& [name, value] : response_.headers) {
+    if (name == "transfer-encoding") {
+      if (!transfer_encoding.empty()) {
+        return Fail("duplicate Transfer-Encoding response header");
+      }
+      transfer_encoding = value;
+    } else if (name == "content-length") {
+      if (!content_length.empty() && content_length != value) {
+        return Fail("conflicting Content-Length response headers");
+      }
+      content_length = value;
+    }
+  }
+  if (!transfer_encoding.empty()) {
+    if (!content_length.empty()) {
+      return Fail("both Transfer-Encoding and Content-Length in response");
+    }
+    if (!EqualsIgnoreCase(Trim(transfer_encoding), "chunked")) {
+      return Fail("unsupported response transfer encoding '" +
+                  std::string(transfer_encoding.substr(0, 32)) + "'");
+    }
+    phase_ = Phase::kChunkSize;
+    return Status::Ok();
+  }
+  if (!content_length.empty()) {
+    uint64_t length = 0;
+    if (content_length.size() > 19) {
+      return Fail("response Content-Length too large");
+    }
+    for (char c : content_length) {
+      if (c < '0' || c > '9') {
+        return Fail("non-numeric response Content-Length");
+      }
+      length = length * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (length > limits_.max_body_bytes) {
+      return Fail("response body of " + std::to_string(length) +
+                  " bytes exceeds the " +
+                  std::to_string(limits_.max_body_bytes) + "-byte limit");
+    }
+    if (length == 0) {
+      phase_ = Phase::kComplete;
+      return Status::Ok();
+    }
+    response_.body.reserve(static_cast<size_t>(length));
+    body_remaining_ = length;
+    phase_ = Phase::kBody;
+    return Status::Ok();
+  }
+  // No framing headers: no body (see file comment — EOF-delimited bodies
+  // are deliberately unsupported).
+  phase_ = Phase::kComplete;
+  return Status::Ok();
+}
+
+Status HttpResponseParser::Consume(std::string_view bytes, size_t* consumed) {
+  *consumed = 0;
+  if (phase_ == Phase::kError) return status_;
+  while (!complete()) {
+    const std::string_view rest = bytes.substr(*consumed);
+    switch (phase_) {
+      case Phase::kBody:
+      case Phase::kChunkData: {
+        if (rest.empty()) return Status::Ok();  // need more input
+        const size_t take = static_cast<size_t>(
+            std::min<uint64_t>(body_remaining_, rest.size()));
+        response_.body.append(rest.data(), take);
+        *consumed += take;
+        body_remaining_ -= take;
+        if (body_remaining_ == 0) {
+          phase_ = phase_ == Phase::kBody ? Phase::kComplete
+                                          : Phase::kChunkCrlf;
+        }
+        break;
+      }
+      default: {
+        // Line-oriented phases: buffer up to the next LF with the
+        // applicable bound enforced on the *buffered* prefix, so unbounded
+        // garbage without a newline still fails early.
+        const size_t lf = rest.find('\n');
+        const size_t take =
+            lf == std::string_view::npos ? rest.size() : lf + 1;
+        size_t bound = 0;
+        std::string over_what;
+        switch (phase_) {
+          case Phase::kStatusLine:
+            bound = limits_.max_request_line;
+            over_what = "status line longer than " + std::to_string(bound) +
+                        " bytes";
+            break;
+          case Phase::kHeaders:
+          case Phase::kTrailers:
+            bound = limits_.max_header_bytes - header_bytes_;
+            over_what = "response header section larger than " +
+                        std::to_string(limits_.max_header_bytes) + " bytes";
+            break;
+          default:  // kChunkSize, kChunkCrlf
+            bound = kMaxChunkSizeLine;
+            over_what = "response chunk framing line too long";
+            break;
+        }
+        if (buffer_.size() + take > bound) {
+          return Fail(std::move(over_what));
+        }
+        buffer_.append(rest.data(), take);
+        *consumed += take;
+        if (lf == std::string_view::npos) return Status::Ok();  // need more
+        // One full line: strip the LF and an optional preceding CR.
+        std::string_view line(buffer_);
+        line.remove_suffix(1);
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+        Status handled;
+        switch (phase_) {
+          case Phase::kStatusLine:
+            handled = ParseStatusLine(line);
+            break;
+          case Phase::kHeaders:
+            header_bytes_ += buffer_.size();
+            handled = line.empty() ? BeginBody() : ParseHeaderLine(line);
+            break;
+          case Phase::kTrailers:
+            header_bytes_ += buffer_.size();
+            if (line.empty()) {
+              phase_ = Phase::kComplete;
+            } else if (line.find(':') == std::string_view::npos ||
+                       line.front() == ':') {
+              handled = Fail("malformed response trailer line");
+            }
+            break;
+          case Phase::kChunkSize: {
+            const size_t semi = line.find(';');
+            const std::string_view digits = Trim(line.substr(0, semi));
+            if (digits.empty()) {
+              handled = Fail("empty response chunk size");
+              break;
+            }
+            uint64_t size = 0;
+            bool bad = false;
+            for (char c : digits) {
+              const int d = HexDigit(c);
+              if (d < 0 || size > (limits_.max_body_bytes >> 4)) {
+                bad = true;
+                break;
+              }
+              size = (size << 4) | static_cast<uint64_t>(d);
+            }
+            if (bad) {
+              handled = Fail("malformed response chunk size '" +
+                             std::string(digits.substr(0, 32)) + "'");
+              break;
+            }
+            if (response_.body.size() + size > limits_.max_body_bytes) {
+              handled = Fail("chunked response body exceeds the " +
+                             std::to_string(limits_.max_body_bytes) +
+                             "-byte limit");
+              break;
+            }
+            if (size == 0) {
+              phase_ = Phase::kTrailers;
+            } else {
+              body_remaining_ = size;
+              phase_ = Phase::kChunkData;
+            }
+            break;
+          }
+          case Phase::kChunkCrlf:
+            if (!line.empty()) {
+              handled = Fail("missing CRLF after response chunk data");
+            } else {
+              phase_ = Phase::kChunkSize;
+            }
+            break;
+          default:
+            break;
+        }
+        buffer_.clear();
+        if (!handled.ok()) return handled;
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// ----------------------------------------------------------- retry policy ---
+
+uint64_t BackoffDelayMs(const HttpRetryPolicy& policy, int failures) {
+  if (policy.backoff_base_ms <= 0 || failures <= 0) return 0;
+  const uint64_t base = static_cast<uint64_t>(policy.backoff_base_ms);
+  const uint64_t cap =
+      static_cast<uint64_t>(std::max(policy.backoff_max_ms, 0));
+  // base << (failures - 1), saturating: past 63 shifts (or any overflow)
+  // the cap has long since won.
+  if (failures - 1 >= 63) return cap;
+  const uint64_t shifted = base << (failures - 1);
+  if ((shifted >> (failures - 1)) != base) return cap;
+  return std::min(cap, shifted);
+}
+
+// ------------------------------------------------------------------ client ---
+
 HttpClient::HttpClient(std::string host, int port,
-                       std::chrono::milliseconds timeout)
-    : host_(std::move(host)), port_(port), timeout_(timeout) {}
+                       std::chrono::milliseconds timeout,
+                       HttpRetryPolicy policy)
+    : host_(std::move(host)), port_(port), timeout_(timeout),
+      policy_(policy) {
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+}
 
 HttpClient::~HttpClient() { Close(); }
 
@@ -84,6 +403,7 @@ Status HttpClient::EnsureConnected() {
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
   fd_ = fd;
+  ++stats_.connects;
   return Status::Ok();
 }
 
@@ -102,10 +422,10 @@ Status HttpClient::SendAll(std::string_view bytes) {
 }
 
 Result<HttpClientResponse> HttpClient::ReadResponse() {
-  std::string data;
+  HttpResponseParser parser;
   char buf[16 << 10];
-  size_t head_end = std::string::npos;
-  while (head_end == std::string::npos) {
+  bool any_bytes = false;
+  while (!parser.complete()) {
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -114,74 +434,28 @@ Result<HttpClientResponse> HttpClient::ReadResponse() {
     }
     if (n == 0) {
       Close();
-      return Status::IoError("connection closed before response head");
+      return Status::IoError(any_bytes
+                                 ? "connection closed mid-response"
+                                 : "connection closed before response head");
     }
-    data.append(buf, static_cast<size_t>(n));
-    head_end = data.find("\r\n\r\n");
-    if (head_end == std::string::npos && data.size() > (64u << 10)) {
+    any_bytes = true;
+    size_t consumed = 0;
+    const Status fed =
+        parser.Consume(std::string_view(buf, static_cast<size_t>(n)),
+                       &consumed);
+    if (!fed.ok()) {
       Close();
-      return Status::IoError("response head exceeds 64 KiB");
+      return fed;
     }
-  }
-
-  HttpClientResponse response;
-  const std::string_view head = std::string_view(data).substr(0, head_end);
-  size_t line_start = 0;
-  bool first = true;
-  while (line_start <= head.size()) {
-    size_t line_end = head.find("\r\n", line_start);
-    if (line_end == std::string_view::npos) line_end = head.size();
-    const std::string_view line =
-        head.substr(line_start, line_end - line_start);
-    if (first) {
-      // "HTTP/1.1 200 OK"
-      if (line.size() < 12 || line.substr(0, 5) != "HTTP/") {
-        Close();
-        return Status::IoError("malformed status line: " + std::string(line));
-      }
-      const size_t space = line.find(' ');
-      response.status = std::atoi(std::string(line.substr(space + 1)).c_str());
-      first = false;
-    } else if (!line.empty()) {
-      const size_t colon = line.find(':');
-      if (colon == std::string_view::npos) {
-        Close();
-        return Status::IoError("malformed header line: " + std::string(line));
-      }
-      response.headers.emplace_back(ToLower(Trim(line.substr(0, colon))),
-                                    std::string(Trim(line.substr(colon + 1))));
-    }
-    if (line_end >= head.size()) break;
-    line_start = line_end + 2;
-  }
-
-  const std::string_view length_value = response.Header("content-length");
-  uint64_t content_length = 0;
-  if (!length_value.empty()) {
-    content_length = std::strtoull(std::string(length_value).c_str(),
-                                   nullptr, 10);
-  }
-  response.body = data.substr(head_end + 4);
-  while (response.body.size() < content_length) {
-    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
+    if (parser.complete() && consumed < static_cast<size_t>(n)) {
+      // The server only answers what we asked; extra bytes would be a
+      // pipelined response we never requested.
       Close();
-      return Status::IoError(std::string("recv(): ") + std::strerror(errno));
+      return Status::IoError("unexpected bytes after response body");
     }
-    if (n == 0) {
-      Close();
-      return Status::IoError("connection closed mid-body");
-    }
-    response.body.append(buf, static_cast<size_t>(n));
   }
-  if (response.body.size() > content_length) {
-    // The server only sends Content-Length framing; extra bytes would be a
-    // pipelined response we never requested.
-    Close();
-    return Status::IoError("unexpected bytes after response body");
-  }
-  if (ToLower(response.Header("connection")) == "close") Close();
+  HttpClientResponse response = parser.response();
+  if (EqualsIgnoreCase(response.Header("connection"), "close")) Close();
   return response;
 }
 
@@ -189,12 +463,22 @@ Result<HttpClientResponse> HttpClient::Request(std::string_view method,
                                                std::string_view path,
                                                std::string body,
                                                std::string_view content_type) {
+  return Request(method, path, std::move(body), content_type, {});
+}
+
+Result<HttpClientResponse> HttpClient::Request(
+    std::string_view method, std::string_view path, std::string body,
+    std::string_view content_type,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   std::string request;
-  request.reserve(128 + body.size());
+  request.reserve(160 + body.size());
   request.append(method).append(" ").append(path).append(" HTTP/1.1\r\n");
   request.append("Host: ").append(host_).append(":").append(
       std::to_string(port_));
   request.append("\r\n");
+  for (const auto& [name, value] : extra_headers) {
+    request.append(name).append(": ").append(value).append("\r\n");
+  }
   if (!body.empty() || method == "POST" || method == "PUT") {
     request.append("Content-Type: ").append(content_type).append("\r\n");
     request.append("Content-Length: ")
@@ -203,21 +487,36 @@ Result<HttpClientResponse> HttpClient::Request(std::string_view method,
   }
   request.append("\r\n").append(body);
 
-  // One transparent retry on a fresh connection: the server may have
-  // reaped our idle keep-alive socket between requests.
-  for (int attempt = 0; attempt < 2; ++attempt) {
+  ++stats_.requests;
+  // Policy-driven transparent reconnect: the server may have reaped our
+  // idle keep-alive socket between requests, so a failure on a *reused*
+  // connection retries on a fresh one — exactly `max_attempts` sends at
+  // most, with the policy's deterministic backoff between them.
+  Status last_error = Status::Ok();
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      const uint64_t delay = BackoffDelayMs(policy_, attempt - 1);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+    }
     const bool fresh = fd_ < 0;
     LEAST_RETURN_IF_ERROR(EnsureConnected());
+    ++stats_.send_attempts;
     Status sent = SendAll(request);
     if (sent.ok()) {
       Result<HttpClientResponse> response = ReadResponse();
       if (response.ok() || fresh) return response;
-    } else if (fresh) {
-      return sent;
+      last_error = response.status();
+    } else {
+      if (fresh) return sent;
+      last_error = sent;
     }
-    Close();  // stale keep-alive connection; retry once on a fresh one
+    Close();  // stale keep-alive connection; the next attempt reconnects
   }
-  return Status::IoError("request failed after reconnect");
+  if (!last_error.ok()) return last_error;
+  return Status::IoError("request failed after " +
+                         std::to_string(policy_.max_attempts) + " attempts");
 }
 
 Result<HttpClientResponse> HttpClient::Get(std::string_view path) {
@@ -244,6 +543,166 @@ Result<HttpClientResponse> HttpClient::RawRequest(std::string_view bytes) {
   Close();
   if (!response.ok() && !sent.ok()) return sent;
   return response;
+}
+
+// -------------------------------------------------------- connection pool ---
+
+HttpConnectionPool::HttpConnectionPool(std::string host, int port,
+                                       Options options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+HttpConnectionPool::Lease::~Lease() {
+  if (pool_ != nullptr && client_ != nullptr) {
+    pool_->Checkin(std::move(client_));
+  }
+}
+
+HttpConnectionPool::Lease HttpConnectionPool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      std::unique_ptr<HttpClient> client = std::move(idle_.back());
+      idle_.pop_back();
+      return Lease(this, std::move(client));
+    }
+    ++stats_.connections_created;
+  }
+  // "Created" counts pool clients, not TCP connects (the client dials
+  // lazily); a reused lease whose socket stayed warm performs no connect
+  // at all, which is what the keep-alive reuse tests assert through
+  // `HttpClient::stats().connects`.
+  return Lease(this, std::make_unique<HttpClient>(
+                         host_, port_, options_.timeout,
+                         HttpRetryPolicy{/*max_attempts=*/2,
+                                         /*backoff_base_ms=*/0,
+                                         /*backoff_max_ms=*/0,
+                                         /*max_redirects=*/0}));
+}
+
+void HttpConnectionPool::Checkin(std::unique_ptr<HttpClient> client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idle_.size() < options_.max_idle) {
+    idle_.push_back(std::move(client));
+  }
+  // else: dropped — the destructor closes the socket.
+}
+
+HttpConnectionPool::Stats HttpConnectionPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Result<HttpClientResponse> HttpConnectionPool::Fetch(
+    std::string_view path, const HttpFetchOptions& options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.fetches;
+  }
+  const uint64_t path_hash = Fnv1a(path);
+  std::vector<std::pair<std::string, std::string>> headers;
+  if (!options.range.empty()) headers.emplace_back("Range", options.range);
+
+  std::string target(path);
+  int redirects_left = options_.retry.max_redirects;
+  Status last_transient = Status::Ok();
+  const int max_attempts = std::max(options_.retry.max_attempts, 1);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      TraceEmit(TraceEventKind::kRemoteRetry, -1,
+                static_cast<uint64_t>(attempt), path_hash);
+      const uint64_t delay = BackoffDelayMs(options_.retry, attempt - 1);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.retries;
+    }
+    // Fault-injection sites: `http.fetch` guards every fetch attempt,
+    // `http.range` additionally guards ranged (shard) fetches. An injected
+    // `kUnavailable` is a transient fault — it burns an attempt and backs
+    // off like a real 503; any other injected code surfaces immediately.
+    Status injected = Status::Ok();
+    if (FailpointsArmed()) {
+      injected = FailpointHit("http.fetch");
+      if (injected.ok() && !options.range.empty()) {
+        injected = FailpointHit("http.range");
+      }
+    }
+    if (!injected.ok()) {
+      if (injected.code() != StatusCode::kUnavailable) return injected;
+      last_transient = injected;
+      continue;  // transient: burns this attempt, backs off like a 503
+    }
+    Lease lease = Acquire();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.attempts;
+    }
+    Result<HttpClientResponse> got =
+        lease->Request("GET", target, {}, {}, headers);
+    if (!got.ok()) {
+      lease.Discard();  // socket state unknown
+      if (got.status().code() == StatusCode::kUnavailable ||
+          got.status().code() == StatusCode::kIoError) {
+        last_transient = got.status();
+        continue;  // transient: retry with backoff
+      }
+      return got.status();
+    }
+    const HttpClientResponse& response = got.value();
+    if (response.status == 503) {
+      last_transient = Status::Unavailable(
+          "origin returned 503 for '" + target + "'");
+      continue;
+    }
+    if (response.status == 301 || response.status == 302 ||
+        response.status == 303 || response.status == 307 ||
+        response.status == 308) {
+      const std::string_view location = response.Header("location");
+      if (location.empty()) {
+        return Status::IoError("redirect from '" + target +
+                               "' carries no Location header");
+      }
+      if (redirects_left-- <= 0) {
+        return Status::IoError(
+            "redirect cap (" +
+            std::to_string(options_.retry.max_redirects) +
+            ") exceeded fetching '" + std::string(path) + "'");
+      }
+      // Same-origin only: origin-form targets, or absolute URLs naming
+      // exactly this pool's host:port. Anything else is refused — the
+      // data plane never silently hops origins.
+      std::string_view rest = location;
+      const std::string prefix =
+          "http://" + host_ + ":" + std::to_string(port_);
+      if (rest.substr(0, prefix.size()) == prefix) {
+        rest.remove_prefix(prefix.size());
+        if (rest.empty()) rest = "/";
+      }
+      if (rest.empty() || rest[0] != '/') {
+        return Status::IoError("refusing cross-origin redirect to '" +
+                               std::string(location) + "'");
+      }
+      target.assign(rest);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.redirects;
+      }
+      --attempt;  // a followed redirect is progress, not a failed attempt
+      continue;
+    }
+    TraceEmit(TraceEventKind::kRemoteFetch, -1,
+              static_cast<uint64_t>(response.body.size()), path_hash);
+    return got;
+  }
+  if (!last_transient.ok()) {
+    return Status::Unavailable(
+        "fetch of '" + std::string(path) + "' failed after " +
+        std::to_string(max_attempts) + " attempts: " +
+        std::string(last_transient.message()));
+  }
+  return Status::IoError("fetch of '" + std::string(path) +
+                         "' exhausted its attempts");
 }
 
 }  // namespace least

@@ -1,27 +1,49 @@
 /// \file http_client.h
-/// \brief Minimal blocking HTTP/1.1 client for the protocol test harness
-/// and the `fleet_client` CLI.
+/// \brief Blocking HTTP/1.1 client, response parser, and retrying
+/// connection pool — the transport under `HttpDataSource` and the protocol
+/// test harness.
 ///
-/// This is the other half of the loopback test rig: enough client to drive
-/// `HttpServer` end-to-end — keep-alive (one TCP connection across many
-/// requests, with one transparent reconnect when the server closed an idle
-/// connection), `Content-Length`-framed responses, and nothing more. It is
-/// *not* a general client: no chunked responses (the server never sends
-/// them), no redirects, no TLS.
+/// Three pieces, layered:
 ///
-/// `RawRequest` sends caller-provided bytes verbatim and reads one
-/// response; the parser fuzz tests use it to deliver truncated and
-/// bit-flipped requests that the structured API could never produce.
+///  * `HttpResponseParser` — the client-side twin of `HttpRequestParser`
+///    (`net/http_parser.h`), with the same discipline: incremental, every
+///    size bounded *before* a byte is buffered, every malformed input a
+///    *precise* `kIoError`, and no truncation or bit flip can crash or
+///    over-read (`tests/test_http_client.cc` sweeps both under
+///    ASan+UBSan). Framing: `Content-Length`, `Transfer-Encoding: chunked`
+///    (trailers parsed and discarded), and the bodyless statuses (1xx,
+///    204, 304). Responses with neither framing header have no body —
+///    EOF-delimited bodies are deliberately unsupported (every origin we
+///    speak to frames its responses, and unbounded read-until-close is
+///    exactly the kind of open-ended buffering this layer refuses).
+///
+///  * `HttpClient` — blocking keep-alive client for one host:port. Its
+///    transparent reconnect loop (the server may reap an idle keep-alive
+///    socket between requests) is driven by an `HttpRetryPolicy`, so tests
+///    asserting attempt counts are deterministic: exactly
+///    `max_attempts` sends, only the first of which may ride a stale
+///    connection. `RawRequest` sends caller-provided bytes verbatim for
+///    protocol-level tests.
+///
+///  * `HttpConnectionPool` — thread-safe checkout/checkin of keep-alive
+///    clients plus `Fetch`, the retrying GET the remote data plane uses:
+///    bounded retries with deterministic exponential backoff on transient
+///    failures (transport errors, 503, injected `kUnavailable`), a
+///    same-origin redirect cap, `Range:` support, failpoints (`http.fetch`,
+///    `http.range`), and `kRemoteFetch`/`kRemoteRetry` trace events.
 
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "net/http_parser.h"
 #include "util/status.h"
 
 namespace least {
@@ -37,13 +59,99 @@ struct HttpClientResponse {
   std::string_view Header(std::string_view lowercase_name) const;
 };
 
+/// \brief Incremental response parser (one connection's read side). Mirrors
+/// `HttpRequestParser`; see the file comment for framing and error rules.
+/// Reuses `HttpParserLimits` — the status line is bounded by
+/// `max_request_line`.
+class HttpResponseParser {
+ public:
+  explicit HttpResponseParser(HttpParserLimits limits = {})
+      : limits_(limits) {}
+
+  /// Feeds bytes from the socket. Consumes up to one complete response;
+  /// `*consumed` reports how many of `bytes` were used (the remainder would
+  /// belong to a pipelined next response). Returns the parse status: OK
+  /// both when the response completed and when more input is needed (check
+  /// `complete()`); a non-OK status (`kIoError`, with a precise message) is
+  /// terminal for the connection.
+  Status Consume(std::string_view bytes, size_t* consumed);
+
+  bool complete() const { return phase_ == Phase::kComplete; }
+  bool failed() const { return phase_ == Phase::kError; }
+  /// The parsed response; valid once `complete()`.
+  const HttpClientResponse& response() const { return response_; }
+  /// The terminal parse error; OK while not failed.
+  const Status& status() const { return status_; }
+
+  /// Ready for the next response on the same connection (keep-alive). May
+  /// only be called from the complete state.
+  void Reset();
+
+ private:
+  enum class Phase {
+    kStatusLine,
+    kHeaders,
+    kBody,        ///< reading `body_remaining_` content-length bytes
+    kChunkSize,   ///< reading a chunk-size line
+    kChunkData,   ///< reading `body_remaining_` chunk bytes
+    kChunkCrlf,   ///< reading the CRLF after chunk data
+    kTrailers,    ///< reading (and discarding) trailer lines
+    kComplete,
+    kError,
+  };
+
+  /// Enters the terminal error state; always returns the stored status so
+  /// call sites can `return Fail(...)`.
+  Status Fail(std::string message);
+  Status ParseStatusLine(std::string_view line);
+  Status ParseHeaderLine(std::string_view line);
+  /// Validates headers once all have arrived and selects the body framing.
+  Status BeginBody();
+
+  HttpParserLimits limits_;
+  Phase phase_ = Phase::kStatusLine;
+  std::string buffer_;  ///< unparsed input for the current line/body
+  size_t header_bytes_ = 0;
+  uint64_t body_remaining_ = 0;
+  HttpClientResponse response_;
+  Status status_;
+};
+
+/// \brief Bounded-retry policy with deterministic exponential backoff,
+/// shared by `HttpClient`'s transparent reconnects and
+/// `HttpConnectionPool::Fetch`'s transient-failure retries. Determinism
+/// contract: the delay before retrying is a pure function of (policy,
+/// attempt) — `BackoffDelayMs` — never of wall-clock or randomness, so a
+/// test can assert the exact attempt count and total sleep of any failure
+/// sequence.
+struct HttpRetryPolicy {
+  /// Total attempts (>= 1). `HttpClient` interprets this as send attempts
+  /// per request (first may ride a stale keep-alive connection; each retry
+  /// reconnects fresh); `Fetch` as end-to-end tries per fetch.
+  int max_attempts = 2;
+  /// Backoff before retry k (1-based count of *failed* attempts) is
+  /// `min(backoff_max_ms, backoff_base_ms << (k - 1))`; 0 disables
+  /// sleeping entirely (the client default — reconnects are immediate).
+  int backoff_base_ms = 0;
+  int backoff_max_ms = 1000;
+  /// Same-origin redirects `Fetch` follows per call before failing.
+  int max_redirects = 4;
+};
+
+/// The deterministic delay (milliseconds) before retrying after `failures`
+/// failed attempts (>= 1): `min(max, base << (failures - 1))`, 0 when the
+/// base is 0. Saturates instead of overflowing for absurd failure counts.
+uint64_t BackoffDelayMs(const HttpRetryPolicy& policy, int failures);
+
 /// \brief Blocking keep-alive client for one host:port. Not thread-safe;
-/// use one instance per client thread.
+/// use one instance per client thread (or check one out of an
+/// `HttpConnectionPool`).
 class HttpClient {
  public:
   HttpClient(std::string host, int port,
              std::chrono::milliseconds timeout = std::chrono::milliseconds(
-                 30000));
+                 30000),
+             HttpRetryPolicy policy = {});
   ~HttpClient();
 
   HttpClient(const HttpClient&) = delete;
@@ -58,6 +166,12 @@ class HttpClient {
   Result<HttpClientResponse> Request(std::string_view method,
                                      std::string_view path, std::string body,
                                      std::string_view content_type);
+  /// As above with extra request headers sent verbatim (e.g.
+  /// `{"Range", "bytes=0-99"}`).
+  Result<HttpClientResponse> Request(
+      std::string_view method, std::string_view path, std::string body,
+      std::string_view content_type,
+      const std::vector<std::pair<std::string, std::string>>& extra_headers);
 
   /// Sends `bytes` verbatim on a *fresh* connection and reads one response
   /// (or EOF, reported as kIoError). For protocol-level tests that need to
@@ -67,16 +181,121 @@ class HttpClient {
   /// Closes the kept-alive connection (reopened lazily by the next call).
   void Close();
 
+  /// Lifetime transport counters, for attempt-determinism assertions.
+  struct Stats {
+    int64_t requests = 0;       ///< structured `Request` calls
+    int64_t send_attempts = 0;  ///< request transmissions (>= requests)
+    int64_t connects = 0;       ///< TCP connections established
+  };
+  Stats stats() const { return stats_; }
+
  private:
   Status EnsureConnected();
   Status SendAll(std::string_view bytes);
-  /// Reads one Content-Length-framed response from `fd_`.
+  /// Reads one parser-framed response from `fd_`.
   Result<HttpClientResponse> ReadResponse();
 
   std::string host_;
   int port_;
   std::chrono::milliseconds timeout_;
+  HttpRetryPolicy policy_;
   int fd_ = -1;
+  Stats stats_;
+};
+
+/// \brief Options for one `HttpConnectionPool::Fetch`.
+struct HttpFetchOptions {
+  /// Verbatim `Range:` header value ("bytes=128-511"); empty sends none.
+  std::string range;
+};
+
+/// \brief Options for `HttpConnectionPool` (namespace-scope so it is
+/// complete where the constructor's `= {}` default needs it).
+struct HttpConnectionPoolOptions {
+  /// Fetch-level policy. Defaults retry transient failures twice more
+  /// with 2 ms, 4 ms backoff — small enough for tests, real enough to
+  /// absorb a restarting origin.
+  HttpRetryPolicy retry{/*max_attempts=*/3, /*backoff_base_ms=*/2,
+                        /*backoff_max_ms=*/50, /*max_redirects=*/4};
+  std::chrono::milliseconds timeout{30000};
+  size_t max_idle = 4;  ///< connections retained between uses
+};
+
+/// \brief Thread-safe pool of keep-alive clients for one origin, plus the
+/// retrying `Fetch` the remote data plane rides. Checked-in connections are
+/// reused LIFO (the warmest socket first); the pool never blocks an
+/// `Acquire` — beyond `max_idle` connections are simply not retained.
+class HttpConnectionPool {
+ public:
+  using Options = HttpConnectionPoolOptions;
+
+  HttpConnectionPool(std::string host, int port, Options options = {});
+
+  HttpConnectionPool(const HttpConnectionPool&) = delete;
+  HttpConnectionPool& operator=(const HttpConnectionPool&) = delete;
+
+  /// \brief RAII checkout: returns the client to the pool on destruction
+  /// (keeping its connection warm), unless `Discard` was called.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), client_(std::move(other.client_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    ~Lease();
+
+    HttpClient* operator->() { return client_.get(); }
+    HttpClient& operator*() { return *client_; }
+
+    /// Drops the connection instead of returning it (call after a
+    /// transport error — the socket state is unknown).
+    void Discard() { pool_ = nullptr; }
+
+   private:
+    friend class HttpConnectionPool;
+    Lease(HttpConnectionPool* pool, std::unique_ptr<HttpClient> client)
+        : pool_(pool), client_(std::move(client)) {}
+
+    HttpConnectionPool* pool_;
+    std::unique_ptr<HttpClient> client_;
+  };
+
+  /// Checks out an idle client, or creates one.
+  Lease Acquire();
+
+  /// Retrying GET (see file comment): bounded attempts with deterministic
+  /// backoff on transport errors / 503 / injected `kUnavailable`
+  /// (failpoints `http.fetch`, and `http.range` when a Range is set),
+  /// same-origin redirects up to the policy cap, `kRemoteFetch` /
+  /// `kRemoteRetry` trace events. Non-2xx terminal statuses (404, 416, ...)
+  /// are returned as responses, not errors — the caller owns their
+  /// meaning; exhausted retries on 503 surface as `kUnavailable`.
+  Result<HttpClientResponse> Fetch(std::string_view path,
+                                   const HttpFetchOptions& options = {});
+
+  struct Stats {
+    int64_t connections_created = 0;
+    int64_t fetches = 0;   ///< Fetch calls
+    int64_t attempts = 0;  ///< request attempts across all fetches
+    int64_t retries = 0;   ///< attempts after the first, per fetch
+    int64_t redirects = 0; ///< redirects followed
+  };
+  Stats stats() const;
+
+  const std::string& host() const { return host_; }
+  int port() const { return port_; }
+
+ private:
+  friend class Lease;
+  void Checkin(std::unique_ptr<HttpClient> client);
+
+  std::string host_;
+  int port_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<HttpClient>> idle_;
+  Stats stats_;
 };
 
 }  // namespace least

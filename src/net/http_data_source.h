@@ -1,0 +1,149 @@
+/// \file http_data_source.h
+/// \brief Remote data plane: a `DataSource` that streams CSV shards from an
+/// HTTP origin with `Range:` requests.
+///
+/// The shard table PR 5 records for local CSV files — per-shard
+/// `byte_offset`/`byte_size`/`content_hash` — is exactly an HTTP `Range:`
+/// request plan, so a learner can run where compute is while its dataset
+/// stays at the origin. `HttpDataSource` rides that plan:
+///
+///  * `Prepare` fetches a small JSON *manifest*
+///    (`GET <path>?manifest=1&shard_rows=K&has_header=H`, served by
+///    `FleetService`'s `/data` route) describing shape, whole-dataset
+///    hash, and the shard table — the node never holds the dataset to
+///    learn its structure.
+///  * Every shard load is a `Range:` GET through a retrying
+///    `HttpConnectionPool` (keep-alive reuse, deterministic backoff on
+///    transient failures, redirect cap), flowing through the *same*
+///    `DatasetCache` and the *same* per-shard FNV-1a verification as local
+///    sharded CSVs: a mutated origin is refused shard by shard, and any
+///    cache budget that admits one shard streams an unbounded remote
+///    dataset bit-identically to the all-in-RAM run.
+///  * The spec is stamped `kRemote` (`path` = origin URL) into format-v5
+///    checkpoints; `InstallHttpDataPlane()` registers the factory
+///    `AttachDataset` needs so a killed fleet resumes streaming from the
+///    origin (`FleetScheduler::ScanAndResume`).
+///
+/// Layering: this lives in `net` (it owns sockets); `core` reaches it only
+/// through the `RemoteSourceFactory` function-pointer seam
+/// (`core/data_source.h`), installed explicitly — never via static
+/// initializers, which dead-strip out of static libraries.
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/data_source.h"
+#include "net/http_client.h"
+#include "util/status.h"
+
+namespace least {
+
+/// \brief A split `http://host:port/path` origin URL.
+struct ParsedHttpUrl {
+  std::string host;  ///< IPv4 literal (the client dials addresses, not names)
+  int port = 80;
+  std::string path;  ///< origin-form target, always starting with '/'
+};
+
+/// Splits an `http://` URL. Accepts only what the transport can dial:
+/// plain `http`, an IPv4 host literal, an optional decimal port (default
+/// 80), an optional path (default "/"). Anything else — other schemes,
+/// userinfo, empty host, junk ports — is `kInvalidArgument`.
+Result<ParsedHttpUrl> ParseHttpUrl(std::string_view url);
+
+/// \brief Options for `HttpDataSource` / `MakeHttpSource`. Mirrors
+/// `CsvSourceOptions`; remote sources are *always* sharded (fetching a
+/// whole remote dataset in one request is exactly what this layer exists
+/// to avoid).
+struct HttpSourceOptions {
+  bool has_header = true;
+  std::string name;               ///< label; defaults to the URL
+  DatasetCache* cache = nullptr;  ///< defaults to `GlobalDatasetCache()`
+  /// Row-range residency granularity (must be > 0). The origin scans at
+  /// this granularity, so the manifest's byte extents line up with the
+  /// `Range:` requests the shard loads issue.
+  int shard_rows = 256;
+  /// Expected shape/hash/layout from a checkpointed `DatasetSpec`: when
+  /// set, `Prepare` fails with `kInvalidArgument` if the origin's manifest
+  /// does not match (the origin changed since the checkpoint).
+  int expected_rows = 0;
+  int expected_cols = 0;
+  uint64_t expected_hash = 0;
+  std::vector<DatasetShard> expected_shards;
+  /// Transport knobs (retry policy, timeout, idle connections).
+  HttpConnectionPoolOptions pool;
+};
+
+/// \brief CSV dataset served by a remote HTTP origin (see file comment).
+///
+/// Thread safety: like every `DataSource`, all methods are const and safe
+/// concurrently (the pool hands each in-flight request its own
+/// connection). Lifecycle: `Prepare()` fetches and verifies the manifest;
+/// everything else requires it.
+class HttpDataSource final : public DataSource {
+ public:
+  /// `origin` must already be parsed (use `MakeHttpSource` for URL
+  /// strings); `url` is the original URL kept for spec/path stamping.
+  HttpDataSource(ParsedHttpUrl origin, std::string url,
+                 HttpSourceOptions options);
+
+  Status Prepare() const override;
+  DatasetSpec spec() const override;
+  Result<std::shared_ptr<const DenseMatrix>> Dense() const override;
+  Result<std::shared_ptr<const CsrMatrix>> Csr() const override;
+  Status GatherTransposed(std::span<const int> rows,
+                          DenseMatrix* out) const override;
+  Status GatherTransposed(std::span<const int> rows, DenseMatrix* out,
+                          GatherScratch* scratch) const override;
+  double CacheResidency() const override;
+
+  /// The pool's transport counters (fetches, retries, redirects) — what
+  /// the chaos and property tests assert against.
+  HttpConnectionPool::Stats transport_stats() const {
+    return pool_->stats();
+  }
+
+ private:
+  /// Fetches + validates the manifest; fills spec_. Called under no lock.
+  Status PrepareRemote() const;
+  /// One shard's `Range:` fetch + parse (the cache loader).
+  Result<DenseMatrix> LoadShard(int index) const;
+  /// Cache acquire + payload-identity-gated hash verification; mirrors
+  /// `CsvDataSource::AcquireShard`.
+  Result<std::shared_ptr<const DenseMatrix>> AcquireShard(int index) const;
+  std::string ShardKey(int index) const;
+
+  const ParsedHttpUrl origin_;
+  DatasetCache* cache_;
+  std::string cache_key_;  ///< URL + parse options (header flag + sharding)
+  const int shard_rows_;
+  const bool has_header_;
+  std::vector<DatasetShard> expected_shards_;
+  const int expected_rows_;
+  const int expected_cols_;
+  const uint64_t expected_hash_;
+  mutable std::unique_ptr<HttpConnectionPool> pool_;
+  mutable std::mutex mu_;  ///< guards spec_, prepared_, verified_shards_
+  mutable DatasetSpec spec_;
+  mutable bool prepared_ = false;
+  mutable std::vector<std::weak_ptr<const DenseMatrix>> verified_shards_;
+};
+
+/// Builds an `HttpDataSource` from a URL string. Fails with
+/// `kInvalidArgument` on a URL the transport cannot dial or a non-positive
+/// `shard_rows`; network trouble surfaces later, from `Prepare`.
+Result<std::shared_ptr<const DataSource>> MakeHttpSource(
+    const std::string& url, HttpSourceOptions options = {});
+
+/// Registers the HTTP data plane with core's `RemoteSourceFactory` seam so
+/// `AttachDataset` (and through it `FleetScheduler::ScanAndResume`) can
+/// re-attach `kRemote` specs. Idempotent; call once at process start
+/// (examples/fleet_server does, as do the remote tests).
+void InstallHttpDataPlane();
+
+}  // namespace least

@@ -423,6 +423,18 @@ std::string_view HttpStatusReason(int status) {
       return "Accepted";
     case 204:
       return "No Content";
+    case 206:
+      return "Partial Content";
+    case 301:
+      return "Moved Permanently";
+    case 302:
+      return "Found";
+    case 303:
+      return "See Other";
+    case 307:
+      return "Temporary Redirect";
+    case 308:
+      return "Permanent Redirect";
     case 400:
       return "Bad Request";
     case 404:
@@ -439,6 +451,10 @@ std::string_view HttpStatusReason(int status) {
       return "Content Too Large";
     case 414:
       return "URI Too Long";
+    case 416:
+      return "Range Not Satisfiable";
+    case 429:
+      return "Too Many Requests";
     case 431:
       return "Request Header Fields Too Large";
     case 500:

@@ -33,6 +33,8 @@
 ///   kSchedReject    | -1   | ready-queue depth       | max_queued bound
 ///   kSchedPromote   | id   | older ready jobs passed | SchedPolicy enum value
 ///   kFaultInjected  | -1   | FNV-1a of failpoint site| fault detail word
+///   kRemoteFetch    | -1   | bytes fetched           | FNV-1a of the URL path
+///   kRemoteRetry    | -1   | attempt number (1-based)| FNV-1a of the URL path
 ///
 /// `kFaultInjected` narrates the fault-injection subsystem
 /// (`util/failpoint.h`): one event per failpoint fire, emitted through the
@@ -87,6 +89,8 @@ enum class TraceEventKind : uint16_t {
   kSchedReject = 20,
   kSchedPromote = 21,
   kFaultInjected = 22,
+  kRemoteFetch = 23,
+  kRemoteRetry = 24,
 };
 
 /// True for every kind a version-1 trace may legally contain. The decoder
@@ -95,7 +99,7 @@ enum class TraceEventKind : uint16_t {
 /// corrupt a timeline.
 constexpr bool IsKnownTraceEventKind(uint16_t kind) {
   return kind >= static_cast<uint16_t>(TraceEventKind::kJobEnqueue) &&
-         kind <= static_cast<uint16_t>(TraceEventKind::kFaultInjected);
+         kind <= static_cast<uint16_t>(TraceEventKind::kRemoteRetry);
 }
 
 /// Canonical lowercase name ("job-enqueue", "cache-hit", ...); "unknown"

@@ -97,6 +97,10 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "sched-promote";
     case TraceEventKind::kFaultInjected:
       return "fault-injected";
+    case TraceEventKind::kRemoteFetch:
+      return "remote-fetch";
+    case TraceEventKind::kRemoteRetry:
+      return "remote-retry";
   }
   return "unknown";
 }

@@ -14,6 +14,11 @@
 //    after the fault commits cleanly;
 //  * ScanAndResume over a directory containing a torn (truncated)
 //    checkpoint skips it, reports it, and resumes the rest;
+//  * a fleet streaming its shards from an HTTP origin with `Range:`
+//    requests, stormed on both sides of the wire (`http.fetch` on the
+//    client, `service.data.range` on the origin), killed mid-storm, and
+//    resumed *from the origin* via v5 kRemote checkpoints — bit-identical
+//    to the fault-free local-CSV fleet throughout;
 //  * the HTTP front end survives accept/read faults and maps kUnavailable
 //    to 503 + Retry-After.
 //
@@ -31,6 +36,7 @@
 #include <fstream>
 #include <future>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,6 +48,7 @@
 #include "io/result_sink.h"
 #include "net/fleet_service.h"
 #include "net/http_client.h"
+#include "net/http_data_source.h"
 #include "net/http_server.h"
 #include "runtime/fleet_scheduler.h"
 #include "runtime/job_journal.h"
@@ -334,6 +341,245 @@ TEST(ChaosFleet, KillMidStormThenResumeUnionIsBitIdentical) {
 
   // Union of both generations' streamed models = the whole fleet, each
   // bit-identical to the uninterrupted fault-free run.
+  Result<std::vector<ResultIndexEntry>> index = ReadResultIndex(ckpt_dir);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  std::map<std::string, DenseMatrix> settled_models;
+  for (const ResultIndexEntry& entry : index.value()) {
+    Result<ModelArtifact> model = LoadModel(ckpt_dir + "/" + entry.file);
+    ASSERT_TRUE(model.ok()) << entry.file << ": "
+                            << model.status().ToString();
+    settled_models[model.value().name] = model.value().raw_weights;
+  }
+  ASSERT_EQ(settled_models.size(), static_cast<size_t>(kJobs));
+  for (const auto& [name, weights] : reference) {
+    ASSERT_TRUE(settled_models.count(name)) << name;
+    ExpectBitIdenticalDense(settled_models.at(name), weights);
+  }
+  EXPECT_EQ(CountCheckpointFiles(ckpt_dir), 0);
+
+  fs::remove_all(data_dir);
+  fs::remove_all(ckpt_dir);
+}
+
+// ---------------------------------------------------------------------------
+// Remote streaming storm: a fleet whose shards arrive as HTTP `Range:`
+// requests, faulted on both sides of the wire, killed mid-storm, and
+// resumed *from the origin* through v5 kRemote checkpoints.
+// ---------------------------------------------------------------------------
+
+/// One live shard origin: a FleetService (for its Range-aware `/data`
+/// route) behind a real HttpServer, serving files under `data_root`.
+struct ChaosOrigin {
+  explicit ChaosOrigin(std::string data_root_in)
+      : data_root(std::move(data_root_in)), pool(1), scheduler(&pool, {}) {
+    scheduler.set_journal(&journal);
+    FleetServiceOptions options;
+    options.data_root = data_root;
+    service = std::make_unique<FleetService>(&scheduler, &journal, options);
+    HttpServerOptions server_options;
+    server_options.num_threads = 8;
+    // Reap idle keep-alive connections fast: every job's connection pool
+    // parks a warm socket on a server thread, and at the default 30 s
+    // timeout ten pooled jobs starve the origin. A reaped connection is
+    // just a stale keep-alive to the client — a designed retry path — so
+    // this trades a few reconnects for an unstarved origin (and makes the
+    // stale-connection retry part of the storm).
+    server_options.read_timeout = std::chrono::milliseconds(50);
+    server =
+        std::make_unique<HttpServer>(service->AsHandler(), server_options);
+    const Status started = server->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+
+  ~ChaosOrigin() {
+    scheduler.CancelAll();
+    scheduler.Wait();
+    server->Stop();
+  }
+
+  std::string Url(const std::string& ref) const {
+    return "http://127.0.0.1:" + std::to_string(server->port()) + "/data/" +
+           ref;
+  }
+
+  std::string data_root;
+  ThreadPool pool;
+  FleetScheduler scheduler;
+  JobJournal journal;
+  std::unique_ptr<FleetService> service;
+  std::unique_ptr<HttpServer> server;
+};
+
+TEST(ChaosFleet, RemoteStreamingStormKillAndResumeBitIdenticalToLocalFleet) {
+  InstallHttpDataPlane();  // ScanAndResume must re-attach kRemote specs
+  constexpr int kJobs = 10;
+  constexpr int kRows = 80;
+  constexpr int kCols = 8;
+  constexpr int kShardRows = 20;  // 4 Range requests per dataset
+  const std::string data_dir = FreshDir("least_chaos_remote_data");
+  const std::string ckpt_dir = FreshDir("least_chaos_remote_ckpt");
+  ChaosOrigin origin(data_dir);
+
+  std::vector<std::string> refs;
+  for (int j = 0; j < kJobs; ++j) {
+    const std::string ref = "ds-" + std::to_string(j) + ".csv";
+    ASSERT_TRUE(
+        WriteMatrixCsv(data_dir + "/" + ref, ChaosDataset(j, kRows, kCols))
+            .ok());
+    refs.push_back(ref);
+  }
+
+  auto tune = [](LearnJob* job) {
+    job->algorithm = Algorithm::kLeastDense;
+    job->options = QuickOptions();
+    job->options.max_outer_iterations = 14;
+    job->options.tolerance = 0.0;  // deterministic full-budget runs
+  };
+
+  auto remote_job = [&](int j, DatasetCache* cache) {
+    LearnJob job;
+    job.name = "chaos-remote-" + std::to_string(j);
+    HttpSourceOptions opt;
+    opt.has_header = false;
+    opt.cache = cache;
+    opt.shard_rows = kShardRows;
+    // A transport retry budget deep enough that no capped fault burst can
+    // exhaust a single fetch (the transport-level mirror of StormOptions).
+    opt.pool.retry.max_attempts = 8;
+    opt.pool.retry.backoff_base_ms = 1;
+    opt.pool.retry.backoff_max_ms = 4;
+    Result<std::shared_ptr<const DataSource>> source =
+        MakeHttpSource(origin.Url(refs[j]), opt);
+    EXPECT_TRUE(source.ok()) << source.status().ToString();
+    job.data = std::move(source).value();
+    tune(&job);
+    return job;
+  };
+
+  // Fault-free *local CSV* reference fleet: the wire must not change a bit.
+  std::map<std::string, DenseMatrix> reference;
+  DatasetCache ref_cache;
+  {
+    ThreadPool pool(2);
+    FleetScheduler scheduler(&pool, {.seed = 909});
+    for (int j = 0; j < kJobs; ++j) {
+      LearnJob job;
+      job.name = "chaos-remote-" + std::to_string(j);
+      CsvSourceOptions opt;
+      opt.has_header = false;
+      opt.cache = &ref_cache;
+      opt.shard_rows = kShardRows;  // same shard geometry as the wire
+      job.data = MakeCsvSource(data_dir + "/" + refs[j], opt);
+      tune(&job);
+      scheduler.Enqueue(std::move(job));
+    }
+    scheduler.Wait();
+    for (int j = 0; j < kJobs; ++j) {
+      reference[scheduler.record(j).name] =
+          scheduler.record(j).outcome.raw_weights;
+    }
+  }
+
+  // The wire storm: client-side fetch faults (absorbed by the pool's retry
+  // budget), origin-side Range faults (a real 503 over the wire, also
+  // transient to the client), plus the cache/settle sites from the local
+  // storm. Same exclusions as KillMidStormThenResumeUnionIsBitIdentical:
+  // no ckpt.write / atomic.rename / sink.* / serializer.read.
+  const char kStormSpec[] =
+      "http.fetch=err:unavailable%0.2*16;"
+      "service.data.range=err:unavailable%0.15*10;"
+      "cache.load=err:unavailable%0.2*12;"
+      "cache.verify=err:unavailable%0.15*8;"
+      "sched.settle=delay:2%0.3*20";
+  const uint64_t seed = ChaosSeed();
+
+  // Generation B: checkpointing remote fleet under the storm, killed once a
+  // few jobs have settled.
+  DatasetCache gen_b_cache;
+  int64_t settled_before_kill = 0;
+  {
+    ScopedFailpoints storm(kStormSpec, seed);
+    ASSERT_TRUE(storm.status().ok()) << storm.status().ToString();
+    Result<std::unique_ptr<ResultSink>> sink = ResultSink::Open(ckpt_dir);
+    ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+    ThreadPool pool(2);
+    FleetOptions options = StormOptions(909);
+    options.checkpoint_dir = ckpt_dir;
+    options.checkpoint_every_outer = 3;
+    FleetScheduler scheduler(&pool, options);
+    scheduler.set_result_sink(sink.value().get());
+    std::atomic<int> settled{0};
+    scheduler.set_progress_callback([&](const JobRecord& record) {
+      if (record.state != JobState::kPending &&
+          record.state != JobState::kRunning) {
+        ++settled;
+      }
+    });
+    for (int j = 0; j < kJobs; ++j) {
+      scheduler.Enqueue(remote_job(j, &gen_b_cache));
+    }
+    while (settled.load() < 3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    scheduler.CancelAll();
+    scheduler.Wait();
+    settled_before_kill = sink.value()->written();
+  }
+  ASSERT_GE(settled_before_kill, 3);
+  ASSERT_LT(settled_before_kill, kJobs);  // the kill landed mid-fleet
+
+  // The checkpoints carry the origin, not the bytes: every unfinished job
+  // froze as a v5 kRemote spec whose path is the `http://` URL.
+  {
+    bool checked_one = false;
+    for (const auto& entry : fs::directory_iterator(ckpt_dir)) {
+      const std::string filename = entry.path().filename().string();
+      if (filename.rfind("job-", 0) != 0) continue;
+      Result<ModelArtifact> artifact = LoadModel(entry.path().string());
+      ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+      ASSERT_TRUE(artifact.value().dataset.has_value()) << filename;
+      EXPECT_EQ(artifact.value().dataset->kind, DatasetKind::kRemote)
+          << filename;
+      EXPECT_EQ(artifact.value().dataset->path.rfind("http://", 0), 0u)
+          << filename << ": " << artifact.value().dataset->path;
+      checked_one = true;
+    }
+    ASSERT_TRUE(checked_one) << "kill left no checkpoint to inspect";
+  }
+
+  // Generation C: fresh scheduler, auto-resume streaming from the origin —
+  // with the storm *still raging* (fresh fault streams, same spec).
+  DatasetCache gen_c_cache;
+  {
+    ScopedFailpoints storm(kStormSpec, seed + 1);
+    ASSERT_TRUE(storm.status().ok()) << storm.status().ToString();
+    Result<std::unique_ptr<ResultSink>> sink = ResultSink::Open(ckpt_dir);
+    ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+    ThreadPool pool(2);
+    FleetOptions options = StormOptions(909);
+    options.reseed_jobs = false;  // recorded options are authoritative
+    options.checkpoint_dir = ckpt_dir;
+    options.checkpoint_every_outer = 3;
+    options.dataset_cache = &gen_c_cache;
+    FleetScheduler scheduler(&pool, options);
+    scheduler.set_result_sink(sink.value().get());
+
+    Result<ResumeScan> scan = scheduler.ScanAndResume(ckpt_dir);
+    ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+    EXPECT_EQ(scan.value().failed, 0)
+        << (scan.value().errors.empty() ? "" : scan.value().errors[0]);
+    EXPECT_EQ(scan.value().files_seen, kJobs - settled_before_kill);
+    EXPECT_EQ(scan.value().resumed + scan.value().restarted,
+              scan.value().files_seen);
+    FleetReport report = scheduler.Wait();
+    EXPECT_EQ(report.succeeded, report.total_jobs)
+        << "resumed remote storm must be fully absorbed: "
+        << report.ToString();
+  }
+
+  // Union of both generations = the whole fleet, every model bit-identical
+  // to the uninterrupted local-CSV run: neither the wire, the storm, nor
+  // the kill/resume seam changed a single bit.
   Result<std::vector<ResultIndexEntry>> index = ReadResultIndex(ckpt_dir);
   ASSERT_TRUE(index.ok()) << index.status().ToString();
   std::map<std::string, DenseMatrix> settled_models;

@@ -642,7 +642,7 @@ TEST(FleetDataPlane, ScanAndResumeRequiresRecordedOptionsAuthority) {
   EXPECT_EQ(scan.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(FleetDataPlane, V2CheckpointResumesThroughResolverAndV5RejectsLoudly) {
+TEST(FleetDataPlane, V2CheckpointResumesThroughResolverAndV6RejectsLoudly) {
   const std::string dir = FreshDir("least_v2_resume");
   const DenseMatrix x = FleetDataset(1, 100, 6);
 
@@ -674,16 +674,16 @@ TEST(FleetDataPlane, V2CheckpointResumesThroughResolverAndV5RejectsLoudly) {
   }
   // And a future-versioned blob that must be rejected, not misparsed.
   {
-    std::string v5_blob = v2_blob;
-    const uint32_t v5 = 5;
-    std::memcpy(v5_blob.data() + 4, &v5, sizeof v5);
+    std::string v6_blob = v2_blob;
+    const uint32_t v6 = 6;
+    std::memcpy(v6_blob.data() + 4, &v6, sizeof v6);
     std::FILE* f = std::fopen((dir + "/job-1.lbnm").c_str(), "wb");
-    std::fwrite(v5_blob.data(), 1, v5_blob.size(), f);
+    std::fwrite(v6_blob.data(), 1, v6_blob.size(), f);
     std::fclose(f);
   }
 
   // Without a resolver, the v2 checkpoint cannot re-attach its data (no
-  // spec recorded) and the v5 blob fails to load; both are reported, not
+  // spec recorded) and the v6 blob fails to load; both are reported, not
   // fatal.
   {
     ThreadPool pool(1);
@@ -699,7 +699,7 @@ TEST(FleetDataPlane, V2CheckpointResumesThroughResolverAndV5RejectsLoudly) {
     for (const std::string& error : scan.value().errors) {
       if (error.find("version") != std::string::npos) version_error = true;
     }
-    EXPECT_TRUE(version_error);  // the v5 rejection is loud and precise
+    EXPECT_TRUE(version_error);  // the v6 rejection is loud and precise
   }
 
   // With a resolver supplying the dataset, the v2 checkpoint resumes and

@@ -1,0 +1,532 @@
+// Transport tests for net/http_client.h: the response parser's structured
+// parsing and its fuzz battery (every truncation prefix and every
+// single-byte flip of valid responses must yield "need more input", a
+// precise kIoError, or a clean parse — never a crash or over-read; the
+// sanitize CI pass runs this file under ASan+UBSan), the deterministic
+// retry policy (BackoffDelayMs is a pure function; attempt counts are
+// exact), and the connection pool's Fetch loop against a live HttpServer —
+// keep-alive reuse, 503/transport-error retries, redirect following and
+// caps, Range pass-through, and failpoint-injected faults.
+
+#include "net/http_client.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/http_parser.h"
+#include "net/http_server.h"
+#include "util/failpoint.h"
+#include "util/status.h"
+
+namespace least {
+namespace {
+
+// Feeds the whole input at once; returns the parser for inspection.
+HttpResponseParser FeedAll(const std::string& input,
+                           HttpParserLimits limits = {}) {
+  HttpResponseParser parser(limits);
+  size_t consumed = 0;
+  (void)parser.Consume(input, &consumed);
+  return parser;
+}
+
+const std::string kOkResponse =
+    "HTTP/1.1 200 OK\r\n"
+    "Content-Type: text/csv\r\n"
+    "Content-Length: 12\r\n"
+    "\r\n"
+    "hello shards";
+
+const std::string kPartialResponse =
+    "HTTP/1.1 206 Partial Content\r\n"
+    "Content-Range: bytes 5-9/100\r\n"
+    "Content-Length: 5\r\n"
+    "\r\n"
+    "abcde";
+
+const std::string kChunkedResponse =
+    "HTTP/1.1 200 OK\r\n"
+    "Transfer-Encoding: chunked\r\n"
+    "\r\n"
+    "7\r\n"
+    "{\"a\":1,\r\n"
+    "8\r\n"
+    "\"b\":22}\n\r\n"
+    "0\r\n"
+    "X-Trailer: ignored\r\n"
+    "\r\n";
+
+const std::string kNoContent = "HTTP/1.1 204 No Content\r\n\r\n";
+
+// --- structured parsing ---
+
+TEST(HttpResponseParser, ParsesContentLengthBody) {
+  HttpResponseParser parser = FeedAll(kOkResponse);
+  ASSERT_TRUE(parser.complete());
+  const HttpClientResponse& r = parser.response();
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.Header("content-type"), "text/csv");
+  EXPECT_EQ(r.Header("missing"), "");
+  EXPECT_EQ(r.body, "hello shards");
+}
+
+TEST(HttpResponseParser, ParsesPartialContent) {
+  HttpResponseParser parser = FeedAll(kPartialResponse);
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.response().status, 206);
+  EXPECT_EQ(parser.response().Header("content-range"), "bytes 5-9/100");
+  EXPECT_EQ(parser.response().body, "abcde");
+}
+
+TEST(HttpResponseParser, ParsesChunkedBodyAndDiscardsTrailers) {
+  HttpResponseParser parser = FeedAll(kChunkedResponse);
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.response().body, "{\"a\":1,\"b\":22}\n");
+  // The trailer is discarded, not surfaced as a header.
+  EXPECT_EQ(parser.response().Header("x-trailer"), "");
+}
+
+TEST(HttpResponseParser, BodylessStatusesCompleteAtHeaders) {
+  for (const std::string& head :
+       {std::string("HTTP/1.1 204 No Content\r\n\r\n"),
+        std::string("HTTP/1.1 304 Not Modified\r\n\r\n"),
+        std::string("HTTP/1.1 100 Continue\r\n\r\n")}) {
+    HttpResponseParser parser = FeedAll(head);
+    ASSERT_TRUE(parser.complete()) << head;
+    EXPECT_TRUE(parser.response().body.empty()) << head;
+  }
+}
+
+TEST(HttpResponseParser, ResponseWithoutFramingHasNoBody) {
+  // Neither Content-Length nor Transfer-Encoding: the body is empty by
+  // definition here — EOF-delimited bodies are deliberately unsupported.
+  HttpResponseParser parser = FeedAll("HTTP/1.1 200 OK\r\nX-A: b\r\n\r\n");
+  ASSERT_TRUE(parser.complete());
+  EXPECT_TRUE(parser.response().body.empty());
+}
+
+TEST(HttpResponseParser, ReportsPipelinedLeftoverBytes) {
+  const std::string two = kOkResponse + kNoContent;
+  HttpResponseParser parser;
+  size_t consumed = 0;
+  ASSERT_TRUE(parser.Consume(two, &consumed).ok());
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(consumed, kOkResponse.size());
+}
+
+TEST(HttpResponseParser, ResetAllowsNextKeepAliveResponse) {
+  HttpResponseParser parser = FeedAll(kOkResponse);
+  ASSERT_TRUE(parser.complete());
+  parser.Reset();
+  size_t consumed = 0;
+  ASSERT_TRUE(parser.Consume(kNoContent, &consumed).ok());
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.response().status, 204);
+}
+
+// --- precise rejection of malformed responses ---
+
+void ExpectParseError(const std::string& input, const std::string& what) {
+  HttpResponseParser parser = FeedAll(input);
+  EXPECT_TRUE(parser.failed()) << what;
+  EXPECT_EQ(parser.status().code(), StatusCode::kIoError) << what;
+  EXPECT_FALSE(parser.status().message().empty()) << what;
+}
+
+TEST(HttpResponseParser, RejectsMalformedStatusLines) {
+  ExpectParseError("HTTP/2 200 OK\r\n\r\n", "http/2");
+  ExpectParseError("HTTP/1.1 2x0 OK\r\n\r\n", "non-digit status");
+  ExpectParseError("HTTP/1.1 999 Weird\r\n\r\n", "status class");
+  ExpectParseError("ICY 200 OK\r\n\r\n", "not http");
+  ExpectParseError("HTTP/1.1200 OK\r\n\r\n", "missing space");
+}
+
+TEST(HttpResponseParser, RejectsBrokenFraming) {
+  ExpectParseError(
+      "HTTP/1.1 200 OK\r\nContent-Length: twelve\r\n\r\n", "non-numeric CL");
+  ExpectParseError(
+      "HTTP/1.1 200 OK\r\nContent-Length: 99999999999999999999\r\n\r\n",
+      "CL overflow");
+  ExpectParseError(
+      "HTTP/1.1 200 OK\r\nContent-Length: 4\r\nTransfer-Encoding: "
+      "chunked\r\n\r\n",
+      "CL + TE");
+  ExpectParseError(
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: gzip\r\n\r\n", "TE gzip");
+  ExpectParseError(
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n",
+      "bad chunk size");
+}
+
+TEST(HttpResponseParser, EnforcesBoundsBeforeBuffering) {
+  HttpParserLimits tight;
+  tight.max_request_line = 32;  // also bounds the status line
+  HttpResponseParser parser = FeedAll(
+      "HTTP/1.1 200 OK" + std::string(64, 'x') + "\r\n\r\n", tight);
+  EXPECT_TRUE(parser.failed());
+  EXPECT_EQ(parser.status().code(), StatusCode::kIoError);
+
+  HttpParserLimits small_body;
+  small_body.max_body_bytes = 8;
+  HttpResponseParser bounded = FeedAll(
+      "HTTP/1.1 200 OK\r\nContent-Length: 9\r\n\r\n123456789", small_body);
+  EXPECT_TRUE(bounded.failed());
+  EXPECT_EQ(bounded.status().code(), StatusCode::kIoError);
+}
+
+TEST(HttpResponseParser, FailedParserStaysFailed) {
+  HttpResponseParser parser = FeedAll("JUNK\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  size_t consumed = 0;
+  EXPECT_FALSE(parser.Consume(kOkResponse, &consumed).ok());
+  EXPECT_TRUE(parser.failed());
+}
+
+// --- fuzz sweeps (the satellite battery) ---
+
+// Every truncation prefix must leave the parser incomplete — and feeding
+// the remaining bytes must then finish the response exactly as if it had
+// arrived whole (shard fetches land in arbitrary recv() slices).
+TEST(HttpResponseParserFuzz, EveryTruncationPrefixIsRecoverable) {
+  for (const std::string* response :
+       {&kOkResponse, &kPartialResponse, &kChunkedResponse, &kNoContent}) {
+    for (size_t cut = 0; cut < response->size(); ++cut) {
+      HttpResponseParser parser;
+      size_t consumed = 0;
+      ASSERT_TRUE(parser.Consume(response->substr(0, cut), &consumed).ok())
+          << "prefix of " << cut << " bytes";
+      ASSERT_FALSE(parser.complete()) << "prefix of " << cut << " bytes";
+      size_t consumed2 = 0;
+      ASSERT_TRUE(parser.Consume(response->substr(cut), &consumed2).ok())
+          << "resume after " << cut << " bytes";
+      ASSERT_TRUE(parser.complete()) << "resume after " << cut << " bytes";
+    }
+  }
+}
+
+// Every single-byte flip must produce a clean parse (flips in the body or
+// a header value are legal bytes), an incomplete parse (the flip grew a
+// length — the read timeout bounds it), or a terminal kIoError with a
+// message — never a crash, hang, or over-read.
+TEST(HttpResponseParserFuzz, EverySingleByteFlipIsBoundedlyRejected) {
+  for (const std::string* response :
+       {&kOkResponse, &kPartialResponse, &kChunkedResponse, &kNoContent}) {
+    for (size_t pos = 0; pos < response->size(); ++pos) {
+      for (const unsigned char mask : {0x01, 0x20, 0x80}) {
+        std::string mutated = *response;
+        mutated[pos] = static_cast<char>(
+            static_cast<unsigned char>(mutated[pos]) ^ mask);
+        if (mutated[pos] == (*response)[pos]) continue;
+        HttpResponseParser parser;
+        size_t consumed = 0;
+        (void)parser.Consume(mutated, &consumed);
+        if (parser.failed()) {
+          EXPECT_EQ(parser.status().code(), StatusCode::kIoError)
+              << "pos " << pos << " mask " << int(mask);
+          EXPECT_FALSE(parser.status().message().empty())
+              << "pos " << pos << " mask " << int(mask);
+          // Failed is sticky: more bytes must not revive the parser.
+          size_t more = 0;
+          EXPECT_FALSE(parser.Consume("extra", &more).ok());
+        }
+      }
+    }
+  }
+}
+
+// --- retry policy (pure function) ---
+
+TEST(HttpRetryPolicy, BackoffIsDeterministicAndCapped) {
+  HttpRetryPolicy policy;
+  policy.backoff_base_ms = 2;
+  policy.backoff_max_ms = 50;
+  EXPECT_EQ(BackoffDelayMs(policy, 1), 2u);
+  EXPECT_EQ(BackoffDelayMs(policy, 2), 4u);
+  EXPECT_EQ(BackoffDelayMs(policy, 3), 8u);
+  EXPECT_EQ(BackoffDelayMs(policy, 5), 32u);
+  EXPECT_EQ(BackoffDelayMs(policy, 6), 50u);   // capped
+  EXPECT_EQ(BackoffDelayMs(policy, 100), 50u); // saturates, no overflow
+  EXPECT_EQ(BackoffDelayMs(policy, 0), 0u);
+
+  HttpRetryPolicy no_sleep;  // the client default
+  EXPECT_EQ(BackoffDelayMs(no_sleep, 1), 0u);
+  EXPECT_EQ(BackoffDelayMs(no_sleep, 7), 0u);
+}
+
+// --- live transport: client + pool against a real server ---
+
+// A tiny origin: counts hits per path and scripts redirect / 503 / Range
+// behaviour so every retry branch of the pool is reachable without a
+// misbehaving network.
+struct Origin {
+  Origin() : server(MakeHandler(), MakeOptions()) {
+    const Status started = server.Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    port = server.port();
+  }
+
+  static HttpServerOptions MakeOptions() {
+    HttpServerOptions options;
+    options.num_threads = 2;
+    return options;
+  }
+
+  HttpHandler MakeHandler() {
+    return [this](const HttpRequest& request) { return Route(request); };
+  }
+
+  HttpResponse Route(const HttpRequest& request) {
+    ++hits;
+    if (request.path == "/ping") {
+      HttpResponse r;
+      r.status = 200;
+      r.content_type = "text/plain";
+      r.body = "pong";
+      return r;
+    }
+    if (request.path == "/range-echo") {
+      HttpResponse r;
+      r.status = 200;
+      r.content_type = "text/plain";
+      r.body = std::string(request.Header("range"));
+      return r;
+    }
+    if (request.path == "/flaky") {
+      // First `flaky_failures` hits answer 503, then 200.
+      if (flaky_hits++ < flaky_failures) {
+        return HttpResponse::Error(503, "warming up");
+      }
+      HttpResponse r;
+      r.status = 200;
+      r.content_type = "text/plain";
+      r.body = "recovered";
+      return r;
+    }
+    if (request.path == "/busy") return HttpResponse::Error(503, "busy");
+    if (request.path == "/hop-a") {
+      HttpResponse r;
+      r.status = 302;
+      r.headers.emplace_back("Location", "/hop-b");
+      return r;
+    }
+    if (request.path == "/hop-b") {
+      HttpResponse r;
+      r.status = 307;
+      // Absolute same-origin form: must be accepted and stripped.
+      r.headers.emplace_back(
+          "Location",
+          "http://127.0.0.1:" + std::to_string(port.load()) + "/ping");
+      return r;
+    }
+    if (request.path == "/loop") {
+      HttpResponse r;
+      r.status = 302;
+      r.headers.emplace_back("Location", "/loop");
+      return r;
+    }
+    if (request.path == "/away") {
+      HttpResponse r;
+      r.status = 302;
+      r.headers.emplace_back("Location", "http://10.9.9.9:80/elsewhere");
+      return r;
+    }
+    if (request.path == "/naked-redirect") {
+      HttpResponse r;
+      r.status = 301;  // no Location header
+      return r;
+    }
+    return HttpResponse::Error(404, "no such route");
+  }
+
+  HttpServer server;
+  std::atomic<int> port{0};
+  std::atomic<int> hits{0};
+  std::atomic<int> flaky_hits{0};
+  int flaky_failures = 2;
+};
+
+TEST(HttpClientLive, KeepAliveReusesOneConnection) {
+  Origin origin;
+  HttpClient client("127.0.0.1", origin.port);
+  for (int i = 0; i < 4; ++i) {
+    Result<HttpClientResponse> r = client.Get("/ping");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().status, 200);
+    EXPECT_EQ(r.value().body, "pong");
+  }
+  EXPECT_EQ(client.stats().requests, 4);
+  EXPECT_EQ(client.stats().send_attempts, 4);  // no hidden retries
+  EXPECT_EQ(client.stats().connects, 1);       // keep-alive held throughout
+}
+
+TEST(HttpClientLive, DeadOriginFailsWithExactAttemptCount) {
+  int dead_port = 0;
+  {
+    Origin origin;
+    HttpClient warm("127.0.0.1", origin.port);
+    ASSERT_TRUE(warm.Get("/ping").ok());
+    dead_port = origin.port;
+  }  // server torn down; the port is now closed
+  HttpClient client("127.0.0.1", dead_port);
+  Result<HttpClientResponse> r = client.Get("/ping");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  // A fresh-connection failure is terminal immediately: exactly one
+  // connect() refusal, zero sends — the policy only re-sends when a
+  // *reused* keep-alive socket turns out stale.
+  EXPECT_EQ(client.stats().send_attempts, 0);
+}
+
+TEST(HttpClientLive, StaleKeepAliveConnectionIsRetriedOnce) {
+  auto origin = std::make_unique<Origin>();
+  const int port = origin->port;
+  HttpClient client("127.0.0.1", port);
+  ASSERT_TRUE(client.Get("/ping").ok());
+  ASSERT_EQ(client.stats().connects, 1);
+  origin.reset();  // server gone: the kept-alive socket is now stale
+  Result<HttpClientResponse> r = client.Get("/ping");
+  ASSERT_FALSE(r.ok());
+  // Attempt 1 rides the stale socket (send or read fails), attempt 2
+  // reconnects fresh and finds the port closed: 2 requests, at most one
+  // extra send, and no third attempt.
+  EXPECT_EQ(client.stats().requests, 2);
+  EXPECT_LE(client.stats().send_attempts, 2);
+  EXPECT_EQ(client.stats().connects, 1);  // the reconnect never succeeded
+}
+
+TEST(HttpPoolLive, FetchFollowsSameOriginRedirects) {
+  Origin origin;
+  HttpConnectionPool pool("127.0.0.1", origin.port);
+  Result<HttpClientResponse> r = pool.Fetch("/hop-a");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().status, 200);
+  EXPECT_EQ(r.value().body, "pong");
+  EXPECT_EQ(pool.stats().redirects, 2);
+  EXPECT_EQ(pool.stats().retries, 0);  // redirects are progress, not failures
+}
+
+TEST(HttpPoolLive, FetchEnforcesRedirectCap) {
+  Origin origin;
+  HttpConnectionPoolOptions options;
+  options.retry.max_redirects = 3;
+  HttpConnectionPool pool("127.0.0.1", origin.port, options);
+  Result<HttpClientResponse> r = pool.Fetch("/loop");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("redirect cap"), std::string::npos);
+  EXPECT_EQ(pool.stats().redirects, 3);
+}
+
+TEST(HttpPoolLive, FetchRefusesCrossOriginRedirect) {
+  Origin origin;
+  HttpConnectionPool pool("127.0.0.1", origin.port);
+  Result<HttpClientResponse> r = pool.Fetch("/away");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("cross-origin"), std::string::npos);
+
+  Result<HttpClientResponse> naked = pool.Fetch("/naked-redirect");
+  ASSERT_FALSE(naked.ok());
+  EXPECT_NE(naked.status().message().find("Location"), std::string::npos);
+}
+
+TEST(HttpPoolLive, FetchRetries503WithDeterministicAttempts) {
+  Origin origin;
+  origin.flaky_failures = 2;
+  HttpConnectionPoolOptions options;
+  options.retry.max_attempts = 3;
+  options.retry.backoff_base_ms = 1;
+  HttpConnectionPool pool("127.0.0.1", origin.port, options);
+  Result<HttpClientResponse> r = pool.Fetch("/flaky");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().body, "recovered");
+  EXPECT_EQ(pool.stats().attempts, 3);  // 503, 503, 200 — exactly
+  EXPECT_EQ(pool.stats().retries, 2);
+}
+
+TEST(HttpPoolLive, FetchSurfacesExhausted503AsUnavailable) {
+  Origin origin;
+  HttpConnectionPoolOptions options;
+  options.retry.max_attempts = 2;
+  options.retry.backoff_base_ms = 1;
+  HttpConnectionPool pool("127.0.0.1", origin.port, options);
+  Result<HttpClientResponse> r = pool.Fetch("/busy");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(r.status().message().find("failed after 2 attempts"),
+            std::string::npos);
+  EXPECT_EQ(pool.stats().retries, 1);
+}
+
+TEST(HttpPoolLive, TerminalStatusesAreResponsesNotErrors) {
+  Origin origin;
+  HttpConnectionPool pool("127.0.0.1", origin.port);
+  Result<HttpClientResponse> r = pool.Fetch("/no-such-path");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().status, 404);
+  EXPECT_EQ(pool.stats().attempts, 1);  // 404 is the caller's to interpret
+}
+
+TEST(HttpPoolLive, FetchSendsRangeHeaderVerbatim) {
+  Origin origin;
+  HttpConnectionPool pool("127.0.0.1", origin.port);
+  HttpFetchOptions fetch;
+  fetch.range = "bytes=128-511";
+  Result<HttpClientResponse> r = pool.Fetch("/range-echo", fetch);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().body, "bytes=128-511");
+}
+
+TEST(HttpPoolLive, SequentialFetchesReuseOnePooledConnection) {
+  Origin origin;
+  HttpConnectionPool pool("127.0.0.1", origin.port);
+  for (int i = 0; i < 6; ++i) {
+    Result<HttpClientResponse> r = pool.Fetch("/ping");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  EXPECT_EQ(pool.stats().fetches, 6);
+  EXPECT_EQ(pool.stats().connections_created, 1);
+}
+
+TEST(HttpPoolLive, InjectedTransientFaultBurnsAnAttempt) {
+  Origin origin;
+  HttpConnectionPoolOptions options;
+  options.retry.max_attempts = 3;
+  options.retry.backoff_base_ms = 1;
+  HttpConnectionPool pool("127.0.0.1", origin.port, options);
+  ScopedFailpoints faults("http.fetch=err:unavailable@1");
+  Result<HttpClientResponse> r = pool.Fetch("/ping");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().body, "pong");
+  EXPECT_EQ(pool.stats().retries, 1);   // the injected fault cost one try
+  EXPECT_EQ(pool.stats().attempts, 1);  // only the real attempt hit the wire
+}
+
+TEST(HttpPoolLive, InjectedTerminalFaultSurfacesImmediately) {
+  Origin origin;
+  HttpConnectionPool pool("127.0.0.1", origin.port);
+  ScopedFailpoints faults("http.fetch=err:invalid");
+  Result<HttpClientResponse> r = pool.Fetch("/ping");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(pool.stats().attempts, 0);  // never reached the wire
+}
+
+TEST(HttpPoolLive, RangeFailpointOnlyGuardsRangedFetches) {
+  Origin origin;
+  HttpConnectionPool pool("127.0.0.1", origin.port);
+  ScopedFailpoints faults("http.range=err:invalid");
+  Result<HttpClientResponse> plain = pool.Fetch("/ping");
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  HttpFetchOptions fetch;
+  fetch.range = "bytes=0-3";
+  Result<HttpClientResponse> ranged = pool.Fetch("/range-echo", fetch);
+  ASSERT_FALSE(ranged.ok());
+  EXPECT_EQ(ranged.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace least

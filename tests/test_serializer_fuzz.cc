@@ -80,9 +80,25 @@ void FuzzBlob(const std::string& blob, const std::string& label) {
     std::string mutated = blob;
     for (size_t pos = 0; pos < blob.size(); ++pos) {
       mutated[pos] = static_cast<char>(mutated[pos] ^ pattern);
-      ExpectRejected(mutated, label + ": flipped byte " +
-                                  std::to_string(pos) + " with pattern " +
-                                  std::to_string(pattern));
+      const std::string what = label + ": flipped byte " +
+                               std::to_string(pos) + " with pattern " +
+                               std::to_string(pattern);
+      if (pos >= 4 && pos < 8) {
+        // The version field is the one place a flip may land on another
+        // *accepted* version. v5 added no bytes (it only widens the
+        // dataset-kind value domain), so rewriting 4 <-> 5 yields an
+        // equally valid blob with an identical parse; any other accepted
+        // value here would be a misparse.
+        Result<ModelArtifact> r = DeserializeModel(mutated);
+        if (r.ok()) {
+          uint32_t flipped_version = 0;
+          std::memcpy(&flipped_version, mutated.data() + 4,
+                      sizeof flipped_version);
+          EXPECT_TRUE(flipped_version == 4 || flipped_version == 5) << what;
+        }
+      } else {
+        ExpectRejected(mutated, what);
+      }
       mutated[pos] = blob[pos];  // restore for the next position
     }
   }
@@ -155,8 +171,12 @@ TEST(ModelSerializerFuzz, V3DatasetAndEdgesBlobSurvivesFuzzing) {
   FuzzBlob(SerializeModelForVersion(artifact, 3), "v3-dataset-edges");
 }
 
+TEST(ModelSerializerFuzz, CurrentVersionBlobWithoutNewSectionsSurvivesFuzzing) {
+  FuzzBlob(SerializeModel(BaseArtifact()), "v5-bare");
+}
+
 TEST(ModelSerializerFuzz, V4BlobWithoutNewSectionsSurvivesFuzzing) {
-  FuzzBlob(SerializeModel(BaseArtifact()), "v4-bare");
+  FuzzBlob(SerializeModelForVersion(BaseArtifact(), 4), "v4-bare");
 }
 
 TEST(ModelSerializerFuzz, V4ShardedDatasetBlobSurvivesFuzzing) {
@@ -332,14 +352,51 @@ TEST(ModelSerializerFuzz, V3BlobFromOldWriterStillLoads) {
   EXPECT_EQ(loaded.value().candidate_edges, artifact.candidate_edges);
 }
 
-TEST(ModelSerializerFuzz, RejectsFutureVersion5Loudly) {
+TEST(ModelSerializerFuzz, RejectsFutureVersion6Loudly) {
   std::string blob = SerializeModel(BaseArtifact());
-  const uint32_t v5 = 5;
-  std::memcpy(blob.data() + 4, &v5, sizeof v5);
+  const uint32_t v6 = 6;
+  std::memcpy(blob.data() + 4, &v6, sizeof v6);
   Result<ModelArtifact> r = DeserializeModel(blob);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(r.status().message().find("version"), std::string::npos);
+}
+
+TEST(ModelSerializerFuzz, V5RemoteDatasetBlobSurvivesFuzzing) {
+  // A remote spec's shard table is the HTTP Range request plan a resumed
+  // fleet streams from: corrupt it and the resume must refuse, not fetch
+  // garbage extents.
+  ModelArtifact artifact = BaseArtifact();
+  artifact.train_state = MakeTrainState(/*sparse=*/false);
+  artifact.dataset = FuzzShardedSpec();
+  artifact.dataset->kind = DatasetKind::kRemote;
+  artifact.dataset->path = "http://127.0.0.1:8377/data/fuzz-dataset.csv";
+  const std::string blob = SerializeModel(artifact);
+  Result<ModelArtifact> loaded = DeserializeModel(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded.value().dataset.has_value());
+  EXPECT_EQ(loaded.value().dataset->kind, DatasetKind::kRemote);
+  EXPECT_EQ(loaded.value().dataset->path,
+            "http://127.0.0.1:8377/data/fuzz-dataset.csv");
+  EXPECT_EQ(loaded.value().dataset->shards.size(), 3u);
+  FuzzBlob(blob, "v5-remote-dataset");
+}
+
+TEST(ModelSerializerFuzz, V4ReaderRejectsSmuggledRemoteKind) {
+  // Anti-tamper: rewriting a v5 remote blob's version field to 4 must not
+  // smuggle the remote spec past a v4-era format check — no v4 writer
+  // could have produced dataset kind 4, so the v4 reader refuses it.
+  ModelArtifact artifact = BaseArtifact();
+  artifact.dataset = FuzzShardedSpec();
+  artifact.dataset->kind = DatasetKind::kRemote;
+  artifact.dataset->path = "http://127.0.0.1:8377/data/fuzz-dataset.csv";
+  std::string blob = SerializeModel(artifact);
+  const uint32_t v4 = 4;
+  std::memcpy(blob.data() + 4, &v4, sizeof v4);
+  Result<ModelArtifact> r = DeserializeModel(blob);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("dataset kind"), std::string::npos);
 }
 
 }  // namespace

@@ -276,13 +276,17 @@ TEST(TraceEventNames, KnownKindsHaveStableNames) {
             "sched-promote");
   EXPECT_EQ(TraceEventKindName(TraceEventKind::kFaultInjected),
             "fault-injected");
+  EXPECT_EQ(TraceEventKindName(TraceEventKind::kRemoteFetch), "remote-fetch");
+  EXPECT_EQ(TraceEventKindName(TraceEventKind::kRemoteRetry), "remote-retry");
   EXPECT_TRUE(IsKnownTraceEventKind(1));
   EXPECT_TRUE(IsKnownTraceEventKind(18));
   EXPECT_TRUE(IsKnownTraceEventKind(19));
   EXPECT_TRUE(IsKnownTraceEventKind(21));
   EXPECT_TRUE(IsKnownTraceEventKind(22));
+  EXPECT_TRUE(IsKnownTraceEventKind(23));
+  EXPECT_TRUE(IsKnownTraceEventKind(24));
   EXPECT_FALSE(IsKnownTraceEventKind(0));
-  EXPECT_FALSE(IsKnownTraceEventKind(23));
+  EXPECT_FALSE(IsKnownTraceEventKind(25));
 }
 
 }  // namespace

@@ -20,6 +20,13 @@
 //                                                   the queue position first,
 //                                                   then "settled: <state>"
 //   model <id> <out-path>                           GET /models/<id> to file
+//   fetch <path> [range] [out-path]                 retrying GET through the
+//                                                   remote-data-plane pool;
+//                                                   range is "lo-hi" bytes
+//                                                   (e.g. "0-1023") and adds
+//                                                   a Range: header — use
+//                                                   "/data/<ref>?manifest=1"
+//                                                   for shard manifests
 //   cancel <id>                                     POST /jobs/<id>/cancel
 //   metrics                                         GET /metrics
 //   shutdown                                        POST /admin/shutdown
@@ -44,6 +51,7 @@ int Usage() {
                "[options-json] [priority] [deadline-ms]\n"
                "       fleet_client <port> "
                "status|watch|model|cancel <id> [...]\n"
+               "       fleet_client <port> fetch <path> [range] [out-path]\n"
                "       fleet_client <port> report|metrics|shutdown\n");
   return 2;
 }
@@ -185,6 +193,50 @@ int main(int argc, char** argv) {
     std::printf("wrote %zu bytes to %s\n", response.value().body.size(),
                 argv[4]);
     return 0;
+  }
+  if (command == "fetch" && argc >= 4 && argc <= 6) {
+    // The same retrying pool the remote data plane rides: bounded attempts
+    // with deterministic backoff on 503/transport faults, redirect cap,
+    // keep-alive reuse. Lets scripts probe /data manifests and Range-read
+    // shards exactly the way HttpDataSource will.
+    least::HttpConnectionPool pool("127.0.0.1", port);
+    least::HttpFetchOptions fetch;
+    if (argc > 4 && argv[4][0] != '\0') {
+      fetch.range = std::string("bytes=") + argv[4];
+    }
+    least::Result<least::HttpClientResponse> response =
+        pool.Fetch(argv[3], fetch);
+    if (!response.ok()) {
+      std::fprintf(stderr, "fleet_client: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    const least::HttpConnectionPool::Stats stats = pool.stats();
+    std::fprintf(stderr,
+                 "fleet_client: status %d, %zu bytes "
+                 "(attempts %lld, retries %lld, redirects %lld)\n",
+                 response.value().status, response.value().body.size(),
+                 static_cast<long long>(stats.attempts),
+                 static_cast<long long>(stats.retries),
+                 static_cast<long long>(stats.redirects));
+    if (argc == 6) {
+      std::ofstream out(argv[5], std::ios::binary | std::ios::trunc);
+      out.write(response.value().body.data(),
+                static_cast<std::streamsize>(response.value().body.size()));
+      out.close();
+      if (!out) {
+        std::fprintf(stderr, "fleet_client: cannot write %s\n", argv[5]);
+        return 1;
+      }
+    } else {
+      std::fwrite(response.value().body.data(), 1,
+                  response.value().body.size(), stdout);
+      if (!response.value().body.empty() &&
+          response.value().body.back() != '\n') {
+        std::printf("\n");
+      }
+    }
+    return response.value().status < 300 ? 0 : 1;
   }
   if (command == "cancel" && argc == 4) {
     return Finish(

@@ -109,6 +109,9 @@ int Dump(const std::string& path, int64_t show_events) {
   uint64_t sched_peak_depth = 0, sched_max_bypass = 0;
   int sched_policy = -1;  // SchedPolicy value from the last admit event
   int64_t faults_injected = 0, fault_errors = 0, fault_delays = 0;
+  int64_t remote_fetches = 0, remote_retries = 0;
+  uint64_t remote_bytes = 0;
+  std::map<uint64_t, int64_t> remote_targets;  // URL-path hash → fetches
 
   for (const TraceEvent& e : events) {
     switch (e.kind) {
@@ -208,6 +211,14 @@ int Dump(const std::string& path, int64_t show_events) {
         if ((e.arg1 >> 32) & 1) ++fault_delays;
         else ++fault_errors;
         break;
+      case TraceEventKind::kRemoteFetch:
+        ++remote_fetches;
+        remote_bytes += e.arg0;
+        ++remote_targets[e.arg1];
+        break;
+      case TraceEventKind::kRemoteRetry:
+        ++remote_retries;
+        break;
     }
   }
 
@@ -299,6 +310,14 @@ int Dump(const std::string& path, int64_t show_events) {
         (long long)sched_admits, (long long)sched_rejects,
         (long long)sched_promotes, (unsigned long long)sched_max_bypass,
         (unsigned long long)sched_peak_depth, policy.c_str());
+  }
+  if (remote_fetches > 0 || remote_retries > 0) {
+    std::printf(
+        "remote: %lld fetches (%.1f MiB from %zu distinct targets), "
+        "%lld retries\n",
+        (long long)remote_fetches,
+        static_cast<double>(remote_bytes) / (1024.0 * 1024.0),
+        remote_targets.size(), (long long)remote_retries);
   }
   if (faults_injected > 0) {
     std::printf("faults: %lld injected (%lld errors, %lld delays)\n",
