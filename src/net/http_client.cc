@@ -407,17 +407,19 @@ Status HttpClient::EnsureConnected() {
   return Status::Ok();
 }
 
-Status HttpClient::SendAll(std::string_view bytes) {
+Status HttpClient::SendAll(std::string_view bytes, size_t* sent_out) {
   size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n =
         ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (sent_out != nullptr) *sent_out = sent;
       return Status::IoError(std::string("send(): ") + std::strerror(errno));
     }
     sent += static_cast<size_t>(n);
   }
+  if (sent_out != nullptr) *sent_out = sent;
   return Status::Ok();
 }
 
@@ -491,7 +493,14 @@ Result<HttpClientResponse> HttpClient::Request(
   // Policy-driven transparent reconnect: the server may have reaped our
   // idle keep-alive socket between requests, so a failure on a *reused*
   // connection retries on a fresh one — exactly `max_attempts` sends at
-  // most, with the policy's deterministic backoff between them.
+  // most, with the policy's deterministic backoff between them. Only
+  // idempotent methods may be re-sent after the request could have reached
+  // the server: a POST whose response was lost mid-read may already have
+  // been processed, and a transparent re-send would double-submit. A
+  // non-idempotent request is retried only when the send failed with zero
+  // bytes written — the request provably never left this process.
+  const bool idempotent = method == "GET" || method == "HEAD" ||
+                          method == "PUT" || method == "DELETE";
   Status last_error = Status::Ok();
   for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
     if (attempt > 1) {
@@ -503,13 +512,14 @@ Result<HttpClientResponse> HttpClient::Request(
     const bool fresh = fd_ < 0;
     LEAST_RETURN_IF_ERROR(EnsureConnected());
     ++stats_.send_attempts;
-    Status sent = SendAll(request);
+    size_t sent_bytes = 0;
+    Status sent = SendAll(request, &sent_bytes);
     if (sent.ok()) {
       Result<HttpClientResponse> response = ReadResponse();
-      if (response.ok() || fresh) return response;
+      if (response.ok() || fresh || !idempotent) return response;
       last_error = response.status();
     } else {
-      if (fresh) return sent;
+      if (fresh || (!idempotent && sent_bytes > 0)) return sent;
       last_error = sent;
     }
     Close();  // stale keep-alive connection; the next attempt reconnects

@@ -20,10 +20,13 @@
 ///  * `HttpClient` — blocking keep-alive client for one host:port. Its
 ///    transparent reconnect loop (the server may reap an idle keep-alive
 ///    socket between requests) is driven by an `HttpRetryPolicy`, so tests
-///    asserting attempt counts are deterministic: exactly
-///    `max_attempts` sends, only the first of which may ride a stale
-///    connection. `RawRequest` sends caller-provided bytes verbatim for
-///    protocol-level tests.
+///    asserting attempt counts are deterministic: at most `max_attempts`
+///    sends, only the first of which may ride a stale connection.
+///    Transparent re-sends are limited to idempotent methods (GET, HEAD,
+///    PUT, DELETE); a non-idempotent request is retried only when the send
+///    wrote zero bytes, so a POST is never silently double-submitted.
+///    `RawRequest` sends caller-provided bytes verbatim for protocol-level
+///    tests.
 ///
 ///  * `HttpConnectionPool` — thread-safe checkout/checkin of keep-alive
 ///    clients plus `Fetch`, the retrying GET the remote data plane uses:
@@ -191,7 +194,10 @@ class HttpClient {
 
  private:
   Status EnsureConnected();
-  Status SendAll(std::string_view bytes);
+  /// `*sent_out` (when non-null) reports bytes written even on failure, so
+  /// the retry loop can tell "never left this process" from "may have
+  /// reached the server".
+  Status SendAll(std::string_view bytes, size_t* sent_out = nullptr);
   /// Reads one parser-framed response from `fd_`.
   Result<HttpClientResponse> ReadResponse();
 

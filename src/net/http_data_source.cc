@@ -1,5 +1,6 @@
 #include "net/http_data_source.h"
 
+#include <cstdint>
 #include <cstring>
 
 #include "net/json.h"
@@ -190,6 +191,7 @@ Status HttpDataSource::PrepareRemote() const {
   std::vector<DatasetShard> shards;
   shards.reserve(shard_list->items().size());
   int expect_begin = 0;
+  int64_t shard_index = 0;
   for (const JsonValue& entry : shard_list->items()) {
     if (!entry.is_object()) {
       return ManifestError(spec_.path, "shard entry is not an object");
@@ -202,15 +204,28 @@ Status HttpDataSource::PrepareRemote() const {
         !U64Field(entry.Find("content_hash"), &shard.content_hash)) {
       return ManifestError(spec_.path, "shard entry field missing or invalid");
     }
-    // Same tiling discipline as the checkpoint reader: shards must cover
-    // [0, rows) in order with chunks of at most shard_rows rows.
-    if (shard.row_begin != expect_begin || shard.row_end <= shard.row_begin ||
-        shard.row_end - shard.row_begin > shard_rows_ ||
+    // Same tiling discipline as `ScanCsvIntoShards`: shard i covers exactly
+    // [i * shard_rows, min((i + 1) * shard_rows, rows)). The fixed stride is
+    // load-bearing — Dense() writes shard i at row i * shard_rows and the
+    // gather path buckets row r into shard r / shard_rows — so a manifest
+    // that merely tiles [0, rows) with smaller shards must be refused, not
+    // just one with gaps.
+    if (shard.row_begin != expect_begin ||
+        static_cast<int64_t>(shard.row_begin) != shard_index * shard_rows_ ||
+        shard.row_end <= shard.row_begin ||
+        (shard.row_end - shard.row_begin != shard_rows_ &&
+         shard.row_end != rows) ||
         shard.row_end > rows || shard.byte_size == 0) {
       return ManifestError(spec_.path,
                            "shard table does not tile the dataset");
     }
+    // Byte extents participate in Range headers and slicing arithmetic;
+    // refuse extents whose end would wrap uint64.
+    if (shard.byte_offset > UINT64_MAX - shard.byte_size) {
+      return ManifestError(spec_.path, "shard byte extent overflows");
+    }
     expect_begin = shard.row_end;
+    ++shard_index;
     shards.push_back(shard);
   }
   if (expect_begin != rows) {
@@ -307,7 +322,11 @@ Result<DenseMatrix> HttpDataSource::LoadShard(int index) const {
   } else if (response.status == 200) {
     // The origin ignored the Range header and sent the whole file; slice
     // the extent out (correctness is identical, just more bytes moved).
-    if (body.size() < shard.byte_offset + shard.byte_size) {
+    // Written subtraction-side so untrusted u64 extents cannot wrap (the
+    // manifest check already refuses wrapping extents; keep this load path
+    // safe on its own).
+    if (shard.byte_offset > body.size() ||
+        body.size() - shard.byte_offset < shard.byte_size) {
       return Status::InvalidArgument(
           "remote dataset '" + spec_.path +
           "' is shorter than its recorded shard extents (origin changed)");

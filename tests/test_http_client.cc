@@ -11,10 +11,14 @@
 #include "net/http_client.h"
 
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/http_parser.h"
@@ -396,6 +400,106 @@ TEST(HttpClientLive, StaleKeepAliveConnectionIsRetriedOnce) {
   EXPECT_EQ(client.stats().requests, 2);
   EXPECT_LE(client.stats().send_attempts, 2);
   EXPECT_EQ(client.stats().connects, 1);  // the reconnect never succeeded
+}
+
+// A raw-TCP origin for exchange-level failure injection the structured
+// HttpServer cannot express: it reads whole (bodiless) request heads,
+// counts them, answers the first `responses` of them, and thereafter drops
+// the connection right after consuming a request — the "server processed
+// it, response lost" case the retry loop must not paper over for
+// non-idempotent methods. Keep requests body-free (Content-Length: 0).
+struct DropAfterOrigin {
+  explicit DropAfterOrigin(int responses) : responses_left(responses) {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd, 4), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                            &len),
+              0);
+    port = ntohs(addr.sin_port);
+    serve = std::thread([this] { Serve(); });
+  }
+
+  ~DropAfterOrigin() {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+    if (serve.joinable()) serve.join();
+  }
+
+  void Serve() {
+    for (;;) {
+      const int conn = ::accept(listen_fd, nullptr, nullptr);
+      if (conn < 0) return;  // listener shut down
+      ServeConnection(conn);
+    }
+  }
+
+  void ServeConnection(int conn) {
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+      size_t head_end;
+      while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
+        const ssize_t n = ::recv(conn, chunk, sizeof chunk, 0);
+        if (n <= 0) {
+          ::close(conn);
+          return;
+        }
+        buf.append(chunk, static_cast<size_t>(n));
+      }
+      buf.erase(0, head_end + 4);
+      ++requests;
+      if (responses_left-- > 0) {
+        constexpr char kOk[] =
+            "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok";
+        ::send(conn, kOk, sizeof kOk - 1, MSG_NOSIGNAL);
+      } else {
+        ::close(conn);  // request consumed, response never sent
+        return;
+      }
+    }
+  }
+
+  int listen_fd = -1;
+  int port = 0;
+  std::atomic<int> requests{0};
+  std::atomic<int> responses_left;
+  std::thread serve;
+};
+
+TEST(HttpClientLive, LostResponseDoesNotResendNonIdempotentRequest) {
+  DropAfterOrigin origin(1);
+  HttpClient client("127.0.0.1", origin.port);
+  ASSERT_TRUE(client.Get("/warm").ok());  // keep-alive established
+  Result<HttpClientResponse> r = client.Post("/jobs", "");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  // The origin consumed the POST before dropping the connection, so the
+  // client cannot know it was not processed: no transparent re-send, the
+  // origin sees the POST exactly once.
+  EXPECT_EQ(origin.requests.load(), 2);  // warm GET + one POST
+  EXPECT_EQ(client.stats().send_attempts, 2);
+}
+
+TEST(HttpClientLive, LostResponseRetriesIdempotentRequestExactlyOnce) {
+  DropAfterOrigin origin(1);
+  HttpClient client("127.0.0.1", origin.port);
+  ASSERT_TRUE(client.Get("/warm").ok());
+  Result<HttpClientResponse> r = client.Get("/again");
+  ASSERT_FALSE(r.ok());  // the fresh-connection attempt is dropped too
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  // Safe for GET: the lost-response attempt is retried once on a fresh
+  // connection, so the origin sees the request twice — the observable
+  // difference from the POST case above.
+  EXPECT_EQ(origin.requests.load(), 3);  // warm GET + two tries
+  EXPECT_EQ(client.stats().send_attempts, 3);
 }
 
 TEST(HttpPoolLive, FetchFollowsSameOriginRedirects) {

@@ -295,6 +295,78 @@ TEST(RemoteShards, MutatedOriginRefusedOnReloadAndAtPrepare) {
   EXPECT_EQ(prepare.code(), StatusCode::kInvalidArgument);
 }
 
+// An origin that answers every request with one scripted body — manifests
+// the well-behaved FleetService /data route would never produce. The data
+// plane must refuse them at Prepare, before a single shard byte streams.
+struct ScriptedManifestOrigin {
+  explicit ScriptedManifestOrigin(std::string body_in)
+      : body(std::move(body_in)),
+        server(
+            [this](const HttpRequest&) {
+              HttpResponse r;
+              r.status = 200;
+              r.body = body;
+              return r;
+            },
+            HttpServerOptions{}) {
+    EXPECT_TRUE(server.Start().ok());
+  }
+
+  std::string Url() const {
+    return "http://127.0.0.1:" + std::to_string(server.port()) +
+           "/data/x.csv";
+  }
+
+  std::string body;
+  HttpServer server;
+};
+
+TEST(RemoteShards, UndersizedShardManifestRefusedAtPrepare) {
+  // Twenty 2-row shards tile 40 rows contiguously and are internally
+  // consistent, but violate the fixed stride row_begin == i * shard_rows
+  // that Dense() (memcpy at row i * shard_rows) and the gather path
+  // (bucket r / shard_rows) index by — trusting such a manifest would
+  // write past the materialized matrix and read out of shard bounds.
+  std::string shards;
+  for (int i = 0; i < 20; ++i) {
+    if (i > 0) shards += ",";
+    shards += "{\"row_begin\":" + std::to_string(2 * i) +
+              ",\"row_end\":" + std::to_string(2 * i + 2) +
+              ",\"byte_offset\":\"" + std::to_string(10 * i) +
+              "\",\"byte_size\":\"10\",\"content_hash\":\"1\"}";
+  }
+  ScriptedManifestOrigin origin(
+      "{\"rows\":40,\"cols\":2,\"shard_rows\":20,\"content_hash\":\"1\","
+      "\"shards\":[" +
+      shards + "]}");
+  DatasetCache cache(1 << 20);
+  Result<std::shared_ptr<const DataSource>> made =
+      MakeHttpSource(origin.Url(), RemoteOptions(&cache, 20));
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  const Status prepare = made.value()->Prepare();
+  ASSERT_FALSE(prepare.ok());
+  EXPECT_EQ(prepare.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(prepare.ToString().find("does not tile"), std::string::npos);
+}
+
+TEST(RemoteShards, WrappingByteExtentManifestRefusedAtPrepare) {
+  // byte_offset + byte_size wraps uint64: accepted, it would poison the
+  // Range header arithmetic and the 200-fallback slice in LoadShard.
+  ScriptedManifestOrigin origin(
+      "{\"rows\":20,\"cols\":2,\"shard_rows\":20,\"content_hash\":\"1\","
+      "\"shards\":[{\"row_begin\":0,\"row_end\":20,"
+      "\"byte_offset\":\"18446744073709551615\",\"byte_size\":\"2\","
+      "\"content_hash\":\"1\"}]}");
+  DatasetCache cache(1 << 20);
+  Result<std::shared_ptr<const DataSource>> made =
+      MakeHttpSource(origin.Url(), RemoteOptions(&cache, 20));
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  const Status prepare = made.value()->Prepare();
+  ASSERT_FALSE(prepare.ok());
+  EXPECT_EQ(prepare.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(prepare.ToString().find("overflow"), std::string::npos);
+}
+
 TEST(RemoteShards, MissingRefAndBadUrlFailPrecisely) {
   const std::string dir = FreshDir("least_remote_missing");
   ShardOrigin origin(dir);
